@@ -1,0 +1,559 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation (§IV).
+
+     table1   Table I  — benchmark inventory + avg dynamic instructions
+     fig10    Fig 10   — scalar/vector mix per fault-site category
+     fig11    Fig 11   — SDC/Benign/Crash rates per benchmark/ISA/category
+     fig12    Fig 12   — detector SDC-detection rates + overhead (micro)
+     ablation          — design-choice ablations from DESIGN.md
+     timing            — Bechamel wall-clock benches
+
+   Default (no argument): everything at "quick" scale. Environment:
+     VULFI_SCALE=paper        paper-scale campaigns (hours)
+     VULFI_EXPERIMENTS=N      experiments per campaign override
+     VULFI_CAMPAIGNS=N        max campaigns override *)
+
+let scale_is_paper =
+  match Sys.getenv_opt "VULFI_SCALE" with
+  | Some s -> String.lowercase_ascii s = "paper"
+  | None -> false
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> default)
+  | None -> default
+
+let campaign_config () =
+  let base =
+    if scale_is_paper then Vulfi.Campaign.paper_config
+    else Vulfi.Campaign.quick_config
+  in
+  let experiments =
+    getenv_int "VULFI_EXPERIMENTS" base.Vulfi.Campaign.experiments_per_campaign
+  in
+  let campaigns = getenv_int "VULFI_CAMPAIGNS" base.Vulfi.Campaign.max_campaigns in
+  {
+    base with
+    Vulfi.Campaign.experiments_per_campaign = experiments;
+    max_campaigns = campaigns;
+    min_campaigns = min base.Vulfi.Campaign.min_campaigns campaigns;
+  }
+
+(* In quick mode restrict each workload to its smallest input so the
+   default bench run completes in minutes. *)
+let scale_workload (w : Vulfi.Workload.t) =
+  if scale_is_paper then w else { w with Vulfi.Workload.w_inputs = 1 }
+
+let header title =
+  let line = String.make 72 '=' in
+  Printf.printf "\n%s\n%s\n%s\n" line title line
+
+(* ------------------------------------------------------------------ *)
+(* Table I                                                             *)
+
+let run_uninstrumented (b : Benchmarks.Harness.benchmark) target input =
+  let w = b.Benchmarks.Harness.bench in
+  let m = w.Vulfi.Workload.w_build target in
+  let st = Interp.Machine.create (Interp.Compile.compile_module m) in
+  let args, _ = w.Vulfi.Workload.w_setup ~input st in
+  ignore (Interp.Machine.run st w.Vulfi.Workload.w_fn args);
+  Interp.Machine.dyn_count st
+
+let table1 () =
+  header
+    "Table I: benchmarks and average dynamic instruction count (VM \
+     instructions; paper ran native x86, so magnitudes differ — the \
+     per-benchmark ordering is the comparable shape)";
+  Printf.printf "%-18s %-6s %-34s %-4s %14s\n" "Benchmark" "Lang"
+    "Test input" "ISA" "Avg dyn instrs";
+  List.iter
+    (fun (b : Benchmarks.Harness.benchmark) ->
+      let w = scale_workload b.Benchmarks.Harness.bench in
+      List.iter
+        (fun target ->
+          let total = ref 0 in
+          for input = 0 to w.Vulfi.Workload.w_inputs - 1 do
+            total := !total + run_uninstrumented b target input
+          done;
+          let avg = !total / w.Vulfi.Workload.w_inputs in
+          Printf.printf "%-18s %-6s %-34s %-4s %14d\n"
+            w.Vulfi.Workload.w_name b.Benchmarks.Harness.language
+            b.Benchmarks.Harness.input_desc (Vir.Target.name target) avg)
+        Vir.Target.all)
+    Benchmarks.Registry.paper_benchmarks
+
+(* ------------------------------------------------------------------ *)
+(* Fig 10                                                              *)
+
+let fig10 () =
+  header
+    "Fig 10: composition of vector and scalar instructions per fault-site \
+     category (fraction of fault-target instructions that are vector)";
+  Printf.printf "%-18s %-4s %12s %12s %12s\n" "Benchmark" "ISA" "pure-data"
+    "control" "address";
+  let grand = Hashtbl.create 3 in
+  List.iter
+    (fun (b : Benchmarks.Harness.benchmark) ->
+      let w = b.Benchmarks.Harness.bench in
+      List.iter
+        (fun target ->
+          let m = w.Vulfi.Workload.w_build target in
+          let census = Analysis.Instmix.census m in
+          let cell cat =
+            let mix = List.assoc cat census in
+            let old =
+              try Hashtbl.find grand cat
+              with Not_found -> Analysis.Instmix.empty
+            in
+            Hashtbl.replace grand cat
+              {
+                Analysis.Instmix.scalar_count =
+                  old.Analysis.Instmix.scalar_count
+                  + mix.Analysis.Instmix.scalar_count;
+                vector_count =
+                  old.Analysis.Instmix.vector_count
+                  + mix.Analysis.Instmix.vector_count;
+              };
+            Printf.sprintf "%5.1f%% vec"
+              (100.0 *. Analysis.Instmix.vector_fraction mix)
+          in
+          Printf.printf "%-18s %-4s %12s %12s %12s\n"
+            w.Vulfi.Workload.w_name (Vir.Target.name target)
+            (cell Analysis.Sites.Pure_data)
+            (cell Analysis.Sites.Control)
+            (cell Analysis.Sites.Address))
+        Vir.Target.all)
+    Benchmarks.Registry.paper_benchmarks;
+  (* dynamic counterpart: executed vector-instruction fraction *)
+  Printf.printf "\nDynamic vector-instruction fraction (executed, input 0, AVX):\n";
+  List.iter
+    (fun (b : Benchmarks.Harness.benchmark) ->
+      let w = b.Benchmarks.Harness.bench in
+      let m = w.Vulfi.Workload.w_build Vir.Target.Avx in
+      let st = Interp.Machine.create (Interp.Compile.compile_module m) in
+      let args, _ = w.Vulfi.Workload.w_setup ~input:0 st in
+      ignore (Interp.Machine.run st w.Vulfi.Workload.w_fn args);
+      Printf.printf "  %-18s %5.1f%% (%d of %d)\n" w.Vulfi.Workload.w_name
+        (100.0
+        *. float_of_int (Interp.Machine.dyn_vector_count st)
+        /. float_of_int (max 1 (Interp.Machine.dyn_count st)))
+        (Interp.Machine.dyn_vector_count st)
+        (Interp.Machine.dyn_count st))
+    Benchmarks.Registry.paper_benchmarks;
+  Printf.printf
+    "\nAverages across benchmarks (paper reports 67%% pure-data and 43%% \
+     control vector instructions):\n";
+  List.iter
+    (fun cat ->
+      let mix =
+        try Hashtbl.find grand cat
+        with Not_found -> Analysis.Instmix.empty
+      in
+      Printf.printf "  %-10s %5.1f%% vector\n"
+        (Analysis.Sites.category_name cat)
+        (100.0 *. Analysis.Instmix.vector_fraction mix))
+    Analysis.Sites.all_categories
+
+(* ------------------------------------------------------------------ *)
+(* Fig 11                                                              *)
+
+let fig11 () =
+  let cfg = campaign_config () in
+  header
+    (Printf.sprintf
+       "Fig 11: fault-injection outcomes (%d experiments/campaign, <=%d \
+        campaigns/cell%s)"
+       cfg.Vulfi.Campaign.experiments_per_campaign
+       cfg.Vulfi.Campaign.max_campaigns
+       (if scale_is_paper then ", paper scale" else ", quick scale"));
+  List.iter
+    (fun (b : Benchmarks.Harness.benchmark) ->
+      let w = scale_workload b.Benchmarks.Harness.bench in
+      List.iter
+        (fun target ->
+          List.iter
+            (fun cat ->
+              let r = Vulfi.Campaign.run cfg w target cat in
+              print_endline (Vulfi.Report.fig11_row r))
+            Analysis.Sites.all_categories)
+        Vir.Target.all)
+    Benchmarks.Registry.paper_benchmarks
+
+(* ------------------------------------------------------------------ *)
+(* Fig 12                                                              *)
+
+let fig12 () =
+  let cfg = campaign_config () in
+  header
+    "Fig 12: detector efficacy + overhead on the micro-benchmarks \
+     (foreach loop-invariant detectors, checked on loop exit)";
+  List.iter
+    (fun (b : Benchmarks.Harness.benchmark) ->
+      let w = scale_workload b.Benchmarks.Harness.bench in
+      let ov =
+        Detectors.Overhead.measure ~set:Detectors.Overhead.paper_detectors
+          b.Benchmarks.Harness.bench Vir.Target.Avx ~input:0
+      in
+      Printf.printf
+        "%-16s avg overhead %5.2f%% (dynamic instructions, %d detectors)\n"
+        w.Vulfi.Workload.w_name
+        (100.0 *. Detectors.Overhead.overhead_fraction ov)
+        ov.Detectors.Overhead.detectors_inserted;
+      List.iter
+        (fun cat ->
+          let r =
+            Vulfi.Campaign.run
+              ~transform:
+                (Detectors.Overhead.transform Detectors.Overhead.paper_detectors)
+              ~hooks:(Detectors.Runtime.hooks ()) cfg w Vir.Target.Avx cat
+          in
+          print_endline ("  " ^ Vulfi.Report.fig12_row r))
+        Analysis.Sites.all_categories)
+    Benchmarks.Registry.micro_benchmarks
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+let ablation () =
+  let cfg = campaign_config () in
+  header "Ablation 1: detector placement (exit-only vs every-iteration)";
+  List.iter
+    (fun (b : Benchmarks.Harness.benchmark) ->
+      let w = scale_workload b.Benchmarks.Harness.bench in
+      List.iter
+        (fun (label, set) ->
+          let ov =
+            Detectors.Overhead.measure ~set b.Benchmarks.Harness.bench
+              Vir.Target.Avx ~input:0
+          in
+          let r =
+            Vulfi.Campaign.run
+              ~transform:(Detectors.Overhead.transform set)
+              ~hooks:(Detectors.Runtime.hooks ()) cfg w Vir.Target.Avx
+              Analysis.Sites.Control
+          in
+          Printf.printf
+            "%-16s %-16s overhead %6.2f%%  SDC-detection %5.1f%%\n"
+            w.Vulfi.Workload.w_name label
+            (100.0 *. Detectors.Overhead.overhead_fraction ov)
+            (100.0 *. Vulfi.Campaign.sdc_detection_rate r))
+        [
+          ("exit-only", Detectors.Overhead.paper_detectors);
+          ( "every-iteration",
+            {
+              Detectors.Overhead.with_foreach = true;
+              with_uniform = false;
+              placement = `Every_iteration;
+              strengthen = false;
+            } );
+        ])
+    Benchmarks.Registry.micro_benchmarks;
+  header
+    "Ablation 2: masked-lane awareness (VULFI skips masked-off lanes; a \
+     mask-oblivious injector wastes injections on dead lanes). Workload: \
+     vcopy with n = 9, so 7 of 8 partial-block lanes are masked off.";
+  let tiny_vcopy =
+    {
+      Vulfi.Workload.w_name = "vcopy-n9";
+      w_fn = "vcopy_ispc";
+      w_inputs = 1;
+      w_out_tolerance = 0.0;
+      w_build =
+        (fun t ->
+          Minispc.Driver.compile t
+            "export void vcopy_ispc(uniform int a1[], uniform int a2[], \
+             uniform int n) { foreach (i = 0 ... n) { a2[i] = a1[i]; } }");
+      w_setup =
+        (fun ~input:_ st ->
+          let n = 9 in
+          let mem = Interp.Machine.memory st in
+          let a1 = Interp.Memory.alloc mem ~name:"a1" ~bytes:(4 * n) in
+          let a2 = Interp.Memory.alloc mem ~name:"a2" ~bytes:(4 * n) in
+          Interp.Memory.write_i32_array mem a1 (Array.init n (fun i -> i));
+          ( [ Interp.Vvalue.of_ptr a1; Interp.Vvalue.of_ptr a2;
+              Interp.Vvalue.of_i32 n ],
+            fun () ->
+              {
+                Vulfi.Outcome.empty_output with
+                Vulfi.Outcome.o_i32 =
+                  [ Interp.Memory.read_i32_array mem a2 n ];
+              } ));
+    }
+  in
+  List.iter
+    (fun (label, respect) ->
+      let r =
+        Vulfi.Campaign.run ~respect_masks:respect cfg tiny_vcopy
+          Vir.Target.Avx Analysis.Sites.Pure_data
+      in
+      Printf.printf "%-24s SDC %5.1f%%  benign %5.1f%%  crash %5.1f%%\n"
+        label
+        (100.0 *. Vulfi.Campaign.sdc_rate r)
+        (100.0 *. Vulfi.Campaign.benign_rate r)
+        (100.0 *. Vulfi.Campaign.crash_rate r))
+    [ ("mask-aware (VULFI)", true); ("mask-oblivious", false) ];
+  header
+    "Ablation 3: uniform-broadcast XOR detector (§III-B — future work in \
+     the paper, implemented here). Workload: a scale kernel whose \
+     broadcast multiplier feeds every lane (pure-data faults can land in \
+     the broadcast register).";
+  let scale_w =
+    {
+      Vulfi.Workload.w_name = "scale";
+      w_fn = "scale";
+      w_inputs = 1;
+      w_out_tolerance = 0.0;
+      w_build =
+        (fun t ->
+          Minispc.Driver.compile t
+            "export void scale(uniform float a[], uniform float s, \
+             uniform int n) { foreach (i = 0 ... n) { a[i] = a[i] * s; } \
+             }");
+      w_setup =
+        (fun ~input:_ st ->
+          let n = 64 in
+          let mem = Interp.Machine.memory st in
+          let a = Interp.Memory.alloc mem ~name:"a" ~bytes:(4 * n) in
+          Interp.Memory.write_f32_array mem a
+            (Array.init n (fun i -> float_of_int i *. 0.5));
+          ( [ Interp.Vvalue.of_ptr a; Interp.Vvalue.of_f32 2.5;
+              Interp.Vvalue.of_i32 n ],
+            fun () ->
+              {
+                Vulfi.Outcome.empty_output with
+                Vulfi.Outcome.o_f32 =
+                  [ Interp.Memory.read_f32_array mem a n ];
+              } ));
+    }
+  in
+  List.iter
+    (fun (label, set) ->
+      let r =
+        Vulfi.Campaign.run
+          ~transform:(Detectors.Overhead.transform set)
+          ~hooks:(Detectors.Runtime.hooks ()) cfg scale_w Vir.Target.Avx
+          Analysis.Sites.Pure_data
+      in
+      Printf.printf
+        "%-24s flagged %d of %d experiments (SDC-detection %5.1f%%)\n"
+        label r.Vulfi.Campaign.c_totals.Vulfi.Campaign.n_detected
+        r.Vulfi.Campaign.c_totals.Vulfi.Campaign.n_experiments
+        (100.0 *. Vulfi.Campaign.sdc_detection_rate r))
+    [
+      ("foreach only", Detectors.Overhead.paper_detectors);
+      ("foreach + uniform-xor", Detectors.Overhead.all_detectors);
+    ];
+  header
+    "Ablation 4: fault models beyond the paper's single bit flip \
+     (Blackscholes, AVX, pure-data)";
+  let bs = List.nth Benchmarks.Registry.paper_benchmarks 2 in
+  let wbs = scale_workload bs.Benchmarks.Harness.bench in
+  List.iter
+    (fun kind ->
+      let r =
+        Vulfi.Campaign.run ~fault_kind:kind cfg wbs Vir.Target.Avx
+          Analysis.Sites.Pure_data
+      in
+      Printf.printf "%-16s SDC %5.1f%%  benign %5.1f%%  crash %5.1f%%\n"
+        (Vulfi.Runtime.fault_kind_name kind)
+        (100.0 *. Vulfi.Campaign.sdc_rate r)
+        (100.0 *. Vulfi.Campaign.benign_rate r)
+        (100.0 *. Vulfi.Campaign.crash_rate r))
+    [
+      Vulfi.Runtime.Single_bit_flip;
+      Vulfi.Runtime.Multi_bit_flip 2;
+      Vulfi.Runtime.Multi_bit_flip 4;
+      Vulfi.Runtime.Random_value;
+      Vulfi.Runtime.Stuck_at_zero;
+    ];
+  header
+    "Ablation 5: strengthened exit invariant (new_counter == aligned_end \
+     on exit, extension) vs the paper's Fig 8 invariants";
+  List.iter
+    (fun (b : Benchmarks.Harness.benchmark) ->
+      let w = scale_workload b.Benchmarks.Harness.bench in
+      List.iter
+        (fun (label, set) ->
+          let r =
+            Vulfi.Campaign.run
+              ~transform:(Detectors.Overhead.transform set)
+              ~hooks:(Detectors.Runtime.hooks ()) cfg w Vir.Target.Avx
+              Analysis.Sites.Control
+          in
+          Printf.printf "%-16s %-22s SDC-detection %5.1f%% (%d / %d)\n"
+            w.Vulfi.Workload.w_name label
+            (100.0 *. Vulfi.Campaign.sdc_detection_rate r)
+            r.Vulfi.Campaign.c_totals.Vulfi.Campaign.n_detected_sdc
+            r.Vulfi.Campaign.c_totals.Vulfi.Campaign.n_sdc)
+        [
+          ("Fig 8 invariants", Detectors.Overhead.paper_detectors);
+          ("strengthened (==)", Detectors.Overhead.strengthened_detectors);
+        ])
+    Benchmarks.Registry.micro_benchmarks;
+  header
+    "Ablation 6: manually inserted source-level asserts (the paper's \
+     introduction motif) — equality asserts in a checked vector copy \
+     catch pure-data faults that no compiler-derived detector sees";
+  let checked_src =
+    "export void checked_copy(uniform int a1[], uniform int a2[], uniform \
+     int n) { foreach (i = 0 ... n) { int v = a1[i]; a2[i] = v; \
+     assert(a2[i] == v); } }"
+  in
+  let plain_src =
+    "export void checked_copy(uniform int a1[], uniform int a2[], uniform \
+     int n) { foreach (i = 0 ... n) { int v = a1[i]; a2[i] = v; } }"
+  in
+  let mk_workload src =
+    {
+      Vulfi.Workload.w_name = "checked_copy";
+      w_fn = "checked_copy";
+      w_inputs = 1;
+      w_out_tolerance = 0.0;
+      w_build = (fun t -> Minispc.Driver.compile t src);
+      w_setup =
+        (fun ~input:_ st ->
+          let n = 64 in
+          let mem = Interp.Machine.memory st in
+          let a1 = Interp.Memory.alloc mem ~name:"a1" ~bytes:(4 * n) in
+          let a2 = Interp.Memory.alloc mem ~name:"a2" ~bytes:(4 * n) in
+          Interp.Memory.write_i32_array mem a1 (Array.init n (fun i -> i * 3));
+          ( [ Interp.Vvalue.of_ptr a1; Interp.Vvalue.of_ptr a2;
+              Interp.Vvalue.of_i32 n ],
+            fun () ->
+              {
+                Vulfi.Outcome.empty_output with
+                Vulfi.Outcome.o_i32 =
+                  [ Interp.Memory.read_i32_array mem a2 n ];
+              } ));
+    }
+  in
+  List.iter
+    (fun (label, src) ->
+      let r =
+        Vulfi.Campaign.run ~hooks:(Detectors.Runtime.hooks ()) cfg
+          (mk_workload src) Vir.Target.Avx Analysis.Sites.Pure_data
+      in
+      Printf.printf "%-24s SDC %5.1f%%  SDC-detection %5.1f%% (%d / %d)\n"
+        label
+        (100.0 *. Vulfi.Campaign.sdc_rate r)
+        (100.0 *. Vulfi.Campaign.sdc_detection_rate r)
+        r.Vulfi.Campaign.c_totals.Vulfi.Campaign.n_detected_sdc
+        r.Vulfi.Campaign.c_totals.Vulfi.Campaign.n_sdc)
+    [ ("with asserts", checked_src); ("without asserts", plain_src) ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock timing                                          *)
+
+let timing () =
+  let open Bechamel in
+  let open Toolkit in
+  header
+    "Wall-clock timing (Bechamel): detector overhead corroboration + VM \
+     throughput";
+  let run_workload (b : Benchmarks.Harness.benchmark) transform =
+    let w = b.Benchmarks.Harness.bench in
+    let m = transform (w.Vulfi.Workload.w_build Vir.Target.Avx) in
+    let code = Interp.Compile.compile_module m in
+    fun () ->
+      let st = Interp.Machine.create code in
+      let det = Detectors.Runtime.create () in
+      Detectors.Runtime.attach det st;
+      let args, _ = w.Vulfi.Workload.w_setup ~input:0 st in
+      ignore (Interp.Machine.run st w.Vulfi.Workload.w_fn args)
+  in
+  let id_transform m = m in
+  let with_detectors m =
+    ignore (Detectors.Foreach_invariants.run m);
+    m
+  in
+  let micro = Benchmarks.Registry.micro_benchmarks in
+  let tests =
+    List.concat_map
+      (fun (b : Benchmarks.Harness.benchmark) ->
+        let name = b.Benchmarks.Harness.bench.Vulfi.Workload.w_name in
+        [
+          Test.make ~name:(name ^ " plain")
+            (Staged.stage (run_workload b id_transform));
+          Test.make
+            ~name:(name ^ " +detector")
+            (Staged.stage (run_workload b with_detectors));
+        ])
+      micro
+    @ [
+        Test.make ~name:"stencil VM throughput"
+          (Staged.stage
+             (run_workload
+                (List.nth Benchmarks.Registry.paper_benchmarks 4)
+                id_transform));
+      ]
+  in
+  let test = Test.make_grouped ~name:"vulfi" tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let cfg_b =
+    Benchmark.cfg ~limit:5000 ~quota:(Time.second 1.0) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg_b [ Instance.monotonic_clock ] test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some [ ns ] -> (name, ns) :: acc
+        | _ -> acc)
+      results []
+  in
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-44s %14.1f ns/run\n" name ns)
+    (List.sort compare rows);
+  List.iter
+    (fun (b : Benchmarks.Harness.benchmark) ->
+      let name = b.Benchmarks.Harness.bench.Vulfi.Workload.w_name in
+      let find suffix = List.assoc_opt ("vulfi/" ^ name ^ suffix) rows in
+      match (find " plain", find " +detector") with
+      | Some p, Some d when p > 0.0 ->
+        Printf.printf "%-16s wall-clock detector overhead: %5.2f%%\n" name
+          (100.0 *. ((d -. p) /. p))
+      | _ -> ())
+    micro;
+  (* VM throughput: dynamic instructions per second on the stencil *)
+  (match List.assoc_opt "vulfi/stencil VM throughput" rows with
+  | Some ns when ns > 0.0 ->
+    let stencil = List.nth Benchmarks.Registry.paper_benchmarks 4 in
+    let dyn =
+      run_uninstrumented stencil Vir.Target.Avx 0
+    in
+    Printf.printf
+      "\nVM throughput: %.1f M dynamic instructions / second (stencil, \
+       %d instrs in %.2f ms)\n"
+      (float_of_int dyn /. ns *. 1000.0)
+      dyn (ns /. 1.0e6)
+  | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let what =
+    if Array.length Sys.argv > 1 then
+      Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1))
+    else [ "table1"; "fig10"; "fig11"; "fig12"; "ablation"; "timing" ]
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun cmd ->
+      match cmd with
+      | "table1" -> table1 ()
+      | "fig10" -> fig10 ()
+      | "fig11" -> fig11 ()
+      | "fig12" -> fig12 ()
+      | "ablation" -> ablation ()
+      | "timing" -> timing ()
+      | other ->
+        Printf.eprintf
+          "unknown experiment %S (try table1 fig10 fig11 fig12 ablation \
+           timing)\n"
+          other;
+        exit 2)
+    what;
+  Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)

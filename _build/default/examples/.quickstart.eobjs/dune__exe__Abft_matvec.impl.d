@@ -1,0 +1,1 @@
+examples/abft_matvec.ml: Analysis Array Benchmarks Detectors Interp List Minispc Printf Vir Vulfi

@@ -1,0 +1,1 @@
+examples/abft_matvec.mli:

@@ -1,0 +1,1 @@
+examples/campaign_blackscholes.ml: Analysis Benchmarks List Printf Sys Vir Vulfi

@@ -1,0 +1,1 @@
+examples/custom_pass.ml: Analysis Array Block Builder Func Hashtbl Instr Interp Intrinsics List Option Pp Printf Target Verify Vir Vmodule Vtype Vulfi

@@ -1,0 +1,1 @@
+examples/detector_demo.ml: Analysis Array Detectors Interp List Minispc Printf String Vir Vulfi

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Array Interp Minispc Printf String Vir Vulfi

@@ -1,0 +1,43 @@
+(* A resiliency study of one real benchmark: run statistically sized
+   fault-injection campaigns on Black-Scholes for both vector ISAs and
+   all three fault-site categories, reproducing one column group of the
+   paper's Fig 11.
+
+     dune exec examples/campaign_blackscholes.exe            (quick)
+     VULFI_FULL=1 dune exec examples/campaign_blackscholes.exe *)
+
+let () =
+  let full = Sys.getenv_opt "VULFI_FULL" <> None in
+  let cfg =
+    if full then Vulfi.Campaign.paper_config
+    else
+      {
+        Vulfi.Campaign.experiments_per_campaign = 40;
+        min_campaigns = 4;
+        max_campaigns = 6;
+        margin_target = 0.05;
+        seed = 2024;
+      }
+  in
+  let bench = Benchmarks.Blackscholes.benchmark in
+  Printf.printf
+    "Black-Scholes fault-injection study (%d experiments/campaign, up to \
+     %d campaigns per cell)\n\n"
+    cfg.Vulfi.Campaign.experiments_per_campaign
+    cfg.Vulfi.Campaign.max_campaigns;
+  List.iter
+    (fun target ->
+      List.iter
+        (fun category ->
+          let r =
+            Vulfi.Campaign.run cfg bench.Benchmarks.Harness.bench target
+              category
+          in
+          print_endline (Vulfi.Report.fig11_row r))
+        Analysis.Sites.all_categories)
+    Vir.Target.all;
+  print_newline ();
+  print_endline
+    "Expected shape (paper Fig 11): high SDC under pure-data and control \
+     faults (every option price is data-dependent), crashes dominating \
+     the address category."

@@ -1,0 +1,122 @@
+(* Using the library as an IR toolkit: build a function with the
+   Builder, verify it, write a small custom analysis over the def-use
+   graph, and run a what-if study with a custom fault-site selection.
+
+     dune exec examples/custom_pass.exe *)
+
+open Vir
+
+(* A custom analysis: for every masked intrinsic call, report which
+   register supplies its execution mask and how many instructions feed
+   that mask (its backward cone). *)
+let mask_provenance (m : Vmodule.t) =
+  List.iter
+    (fun f ->
+      let def_tbl = Func.def_table f in
+      Func.iter_instrs f (fun b i ->
+          match i.Instr.op with
+          | Instr.Call (name, args) when Intrinsics.is_masked name ->
+            let mask_ix = Option.get (Intrinsics.mask_operand name) in
+            let rec cone_size seen o =
+              match o with
+              | Instr.Imm _ -> 0
+              | Instr.Reg (r, _) -> (
+                if Hashtbl.mem seen r then 0
+                else begin
+                  Hashtbl.replace seen r ();
+                  match Hashtbl.find_opt def_tbl r with
+                  | None -> 0 (* parameter *)
+                  | Some def ->
+                    1
+                    + List.fold_left
+                        (fun acc o -> acc + cone_size seen o)
+                        0 (Instr.operands def)
+                end)
+            in
+            let size = cone_size (Hashtbl.create 8) (List.nth args mask_ix) in
+            Printf.printf "  %%%s/%s: mask cone of %d instruction(s)\n"
+              f.Func.fname b.Block.label size
+          | _ -> ()))
+    m.Vmodule.funcs
+
+let () =
+  (* 1. Build a masked kernel by hand with the Builder API. *)
+  let m = Vmodule.create "custom" in
+  let vl = 8 in
+  let vty = Vtype.vector vl Vtype.F32 in
+  let b =
+    Builder.define m ~name:"clamped_store"
+      ~params:[ ("src", Vtype.ptr); ("dst", Vtype.ptr); ("limit", Vtype.f32) ]
+      ~ret_ty:Vtype.Void
+  in
+  let entry = Builder.new_block b "entry" in
+  Builder.position_at_end b entry;
+  let v = Builder.load b ~name:"v" vty (Builder.param b "src") in
+  let lim = Builder.broadcast b (Builder.param b "limit") vl in
+  let mask = Builder.fcmp b ~name:"mask" Instr.Folt v lim in
+  ignore
+    (Builder.call b ~ret:Vtype.Void
+       (Intrinsics.maskstore_name Target.Avx Vtype.F32)
+       [ Builder.param b "dst"; mask; v ]);
+  Builder.ret b None;
+  Verify.check_module m;
+  Printf.printf "=== hand-built module ===\n%s\n" (Pp.module_to_string m);
+
+  (* 2. Run the custom analysis. *)
+  Printf.printf "mask provenance:\n";
+  mask_provenance m;
+
+  (* 3. Custom fault-site selection: target ONLY the masked intrinsics'
+     values, ignoring the built-in category heuristics, and sweep every
+     (lane, bit) with a deterministic harness. *)
+  let targets =
+    List.filter
+      (fun (t : Analysis.Sites.target) ->
+        match t.Analysis.Sites.t_instr.Instr.op with
+        | Instr.Call (name, _) -> Intrinsics.is_masked name
+        | _ -> false)
+      (Analysis.Sites.targets_of_module m)
+  in
+  Printf.printf "\ncustom selection: %d masked-intrinsic target(s), %d sites\n"
+    (List.length targets)
+    (Analysis.Sites.total_sites targets);
+  let instr = Vulfi.Instrument.run m targets in
+  let code = Interp.Compile.compile_module instr.Vulfi.Instrument.instrumented in
+  let run_once ~site ~seed =
+    let rt =
+      Vulfi.Runtime.create ~seed
+        (Vulfi.Runtime.Inject { dynamic_site = site })
+    in
+    let st = Interp.Machine.create code in
+    Vulfi.Runtime.attach rt st;
+    let mem = Interp.Machine.memory st in
+    let src = Interp.Memory.alloc mem ~name:"src" ~bytes:(4 * vl) in
+    let dst = Interp.Memory.alloc mem ~name:"dst" ~bytes:(4 * vl) in
+    Interp.Memory.write_f32_array mem src
+      (Array.init vl (fun i -> float_of_int i));
+    ignore
+      (Interp.Machine.run st "clamped_store"
+         [ Interp.Vvalue.of_ptr src; Interp.Vvalue.of_ptr dst;
+           Interp.Vvalue.of_f32 4.5 ]);
+    (Interp.Memory.read_f32_array mem dst vl, Vulfi.Runtime.injected rt)
+  in
+  let golden, _ = run_once ~site:0 ~seed:0 in
+  let corrupted = ref 0 and total = ref 0 and skipped = ref 0 in
+  for site = 1 to Analysis.Sites.total_sites targets do
+    for seed = 0 to 9 do
+      let out, inj = run_once ~site ~seed in
+      if inj <> None then begin
+        incr total;
+        if out <> golden then incr corrupted
+      end
+      else incr skipped
+    done
+  done;
+  Printf.printf
+    "swept the site space: %d injections landed (%d corrupted the \
+     output), %d attempts skipped\n"
+    !total !corrupted !skipped;
+  Printf.printf
+    "(the skipped attempts targeted dynamic sites that never go live: \
+     lanes masked off by the store predicate are not fault sites — \
+     VULFI's mask-awareness at work)\n"

@@ -1,0 +1,95 @@
+(* Compiler-derived error detectors (paper §III): insert the foreach
+   loop-invariant checker into the Fig 6 vector-copy kernel, show the
+   detector block in the CFG, then measure what it catches.
+
+     dune exec examples/detector_demo.exe *)
+
+let vcopy_src =
+  "export void vcopy_ispc(uniform int a1[], uniform int a2[],\n\
+  \                       uniform int n) {\n\
+  \  foreach (i = 0 ... n) {\n\
+  \    a2[i] = a1[i];\n\
+  \  }\n\
+   }"
+
+let () =
+  let target = Vir.Target.Avx in
+
+  (* 1. Show the pass at work: the detector block appears on the exit
+     edge of foreach_full_body, exactly as in the paper's Fig 7. *)
+  let m = Minispc.Driver.compile target vcopy_src in
+  let inserted = Detectors.Foreach_invariants.run m in
+  Printf.printf "inserted %d detector block(s)\n\n" inserted;
+  let f = Vir.Vmodule.find_func_exn m "vcopy_ispc" in
+  List.iter
+    (fun b ->
+      Printf.printf "  block %%%s -> %s\n" b.Vir.Block.label
+        (String.concat ", "
+           (List.map (fun l -> "%" ^ l) (Vir.Block.successors b))))
+    f.Vir.Func.blocks;
+
+  (* 2. Fault-inject control sites with the detector armed and count
+     how many SDCs it flags (Fig 12's SDC-detection rate). *)
+  let workload =
+    {
+      Vulfi.Workload.w_name = "vcopy";
+      w_fn = "vcopy_ispc";
+      w_inputs = 1;
+      w_out_tolerance = 0.0;
+      w_build = (fun t -> Minispc.Driver.compile t vcopy_src);
+      w_setup =
+        (fun ~input:_ st ->
+          let n = 100 in
+          let mem = Interp.Machine.memory st in
+          let a1 = Interp.Memory.alloc mem ~name:"a1" ~bytes:(4 * n) in
+          let a2 = Interp.Memory.alloc mem ~name:"a2" ~bytes:(4 * n) in
+          Interp.Memory.write_i32_array mem a1 (Array.init n (fun i -> i));
+          ( [ Interp.Vvalue.of_ptr a1; Interp.Vvalue.of_ptr a2;
+              Interp.Vvalue.of_i32 n ],
+            fun () ->
+              {
+                Vulfi.Outcome.empty_output with
+                Vulfi.Outcome.o_i32 =
+                  [ Interp.Memory.read_i32_array mem a2 n ];
+              } ));
+    }
+  in
+  Printf.printf "\nexhaustive sweep over control-site faults:\n";
+  let hooks = Detectors.Runtime.hooks () in
+  let p =
+    Vulfi.Experiment.prepare
+      ~transform:(fun m ->
+        ignore (Detectors.Foreach_invariants.run m);
+        m)
+      workload target Analysis.Sites.Control
+  in
+  let g = Vulfi.Experiment.golden_run ~hooks p ~input:0 in
+  let sdc = ref 0 and detected_sdc = ref 0 and crash = ref 0 in
+  let benign = ref 0 in
+  for site = 1 to g.Vulfi.Experiment.g_dyn_sites do
+    let r =
+      Vulfi.Experiment.faulty_run ~hooks p ~golden:g ~dynamic_site:site
+        ~seed:(5000 + site)
+    in
+    match r.Vulfi.Experiment.r_outcome with
+    | Vulfi.Outcome.Sdc ->
+      incr sdc;
+      if r.Vulfi.Experiment.r_detected then incr detected_sdc
+    | Vulfi.Outcome.Benign -> incr benign
+    | Vulfi.Outcome.Crash _ -> incr crash
+  done;
+  let n = g.Vulfi.Experiment.g_dyn_sites in
+  Printf.printf
+    "  %d sites: %d SDC (%d flagged by the detector), %d benign, %d crash\n"
+    n !sdc !detected_sdc !benign !crash;
+  Printf.printf "  SDC detection rate: %.1f%%\n"
+    (100.0 *. float_of_int !detected_sdc /. float_of_int (max 1 !sdc));
+
+  (* 3. Overhead of the detector block (the paper reports ~8%). *)
+  let ov =
+    Detectors.Overhead.measure ~set:Detectors.Overhead.paper_detectors
+      workload target ~input:0
+  in
+  Printf.printf "\ndetector overhead: %.2f%% dynamic instructions (%d -> %d)\n"
+    (100.0 *. Detectors.Overhead.overhead_fraction ov)
+    ov.Detectors.Overhead.plain_instrs ov.Detectors.Overhead.detected_instrs

@@ -1,0 +1,83 @@
+(* Quickstart: compile a mini-ISPC kernel, run it in the VM, then flip a
+   single bit mid-execution and watch the output corrupt.
+
+     dune exec examples/quickstart.exe *)
+
+let source =
+  "export void saxpy(uniform float x[], uniform float y[],\n\
+  \                  uniform float a, uniform int n) {\n\
+  \  foreach (i = 0 ... n) {\n\
+  \    y[i] = a * x[i] + y[i];\n\
+  \  }\n\
+   }"
+
+let n = 12
+
+let () =
+  (* 1. Compile for the AVX target (8 x f32 lanes). *)
+  let target = Vir.Target.Avx in
+  let m = Minispc.Driver.compile target source in
+  Printf.printf "=== generated VIR (note the Fig 7 foreach structure) ===\n%s\n"
+    (Vir.Pp.module_to_string m);
+
+  (* 2. Run it fault-free. *)
+  let run_plain () =
+    let st = Interp.Machine.create (Interp.Compile.compile_module m) in
+    let mem = Interp.Machine.memory st in
+    let x = Interp.Memory.alloc mem ~name:"x" ~bytes:(4 * n) in
+    let y = Interp.Memory.alloc mem ~name:"y" ~bytes:(4 * n) in
+    Interp.Memory.write_f32_array mem x (Array.init n float_of_int);
+    Interp.Memory.write_f32_array mem y (Array.make n 1.0);
+    ignore
+      (Interp.Machine.run st "saxpy"
+         [ Interp.Vvalue.of_ptr x; Interp.Vvalue.of_ptr y;
+           Interp.Vvalue.of_f32 2.0; Interp.Vvalue.of_i32 n ]);
+    Interp.Memory.read_f32_array mem y n
+  in
+  let golden = run_plain () in
+  Printf.printf "fault-free y = [%s]\n"
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%g") golden)));
+
+  (* 3. Wrap it as a workload and inject one fault at a pure-data site. *)
+  let workload =
+    {
+      Vulfi.Workload.w_name = "saxpy";
+      w_fn = "saxpy";
+      w_inputs = 1;
+      w_out_tolerance = 0.0;
+      w_build = (fun t -> Minispc.Driver.compile t source);
+      w_setup =
+        (fun ~input:_ st ->
+          let mem = Interp.Machine.memory st in
+          let x = Interp.Memory.alloc mem ~name:"x" ~bytes:(4 * n) in
+          let y = Interp.Memory.alloc mem ~name:"y" ~bytes:(4 * n) in
+          Interp.Memory.write_f32_array mem x (Array.init n float_of_int);
+          Interp.Memory.write_f32_array mem y (Array.make n 1.0);
+          ( [ Interp.Vvalue.of_ptr x; Interp.Vvalue.of_ptr y;
+              Interp.Vvalue.of_f32 2.0; Interp.Vvalue.of_i32 n ],
+            fun () ->
+              {
+                Vulfi.Outcome.empty_output with
+                Vulfi.Outcome.o_f32 =
+                  [ Interp.Memory.read_f32_array mem y n ];
+              } ));
+    }
+  in
+  let prepared =
+    Vulfi.Experiment.prepare workload target Analysis.Sites.Pure_data
+  in
+  let g = Vulfi.Experiment.golden_run prepared ~input:0 in
+  Printf.printf "\ninstrumented golden run: %d dynamic fault sites\n"
+    g.Vulfi.Experiment.g_dyn_sites;
+  let r =
+    Vulfi.Experiment.faulty_run prepared ~golden:g ~dynamic_site:5 ~seed:7
+  in
+  (match r.Vulfi.Experiment.r_injection with
+  | Some inj ->
+    Printf.printf "flipped bit %d: %s -> %s\n" inj.Vulfi.Runtime.inj_bit
+      (Interp.Vvalue.to_string inj.Vulfi.Runtime.inj_before)
+      (Interp.Vvalue.to_string inj.Vulfi.Runtime.inj_after)
+  | None -> ());
+  Printf.printf "outcome: %s\n"
+    (Vulfi.Outcome.to_string r.Vulfi.Experiment.r_outcome)

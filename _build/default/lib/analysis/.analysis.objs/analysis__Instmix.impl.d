@@ -1,0 +1,1 @@
+lib/analysis/instmix.ml: List Sites Vir

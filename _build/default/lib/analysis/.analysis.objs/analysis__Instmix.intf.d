@@ -1,0 +1,1 @@
+lib/analysis/instmix.mli: Sites Vir

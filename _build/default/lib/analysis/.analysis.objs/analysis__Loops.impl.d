@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Domtree Fun Hashtbl List Option String Vir

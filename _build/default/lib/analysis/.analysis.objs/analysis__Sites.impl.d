@@ -1,0 +1,1 @@
+lib/analysis/sites.ml: Defuse List Option Slice String Vir

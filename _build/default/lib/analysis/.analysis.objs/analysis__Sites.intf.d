@@ -1,0 +1,1 @@
+lib/analysis/sites.mli: Vir

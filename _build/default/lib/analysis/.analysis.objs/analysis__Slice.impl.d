@@ -1,0 +1,1 @@
+lib/analysis/slice.ml: Defuse Hashtbl List Vir

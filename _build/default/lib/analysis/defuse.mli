@@ -1,0 +1,20 @@
+(** Def-use chains over a VIR function. *)
+
+type use_site = {
+  u_block : string;  (** label of the block containing the use *)
+  u_instr : Vir.Instr.t;
+}
+
+type t
+
+(** Build the chains for one function. *)
+val build : Vir.Func.t -> t
+
+(** Defining instruction of a register ([None] for parameters). *)
+val def : t -> Vir.Instr.reg -> Vir.Instr.t option
+
+(** All instructions using a register. *)
+val uses_of : t -> Vir.Instr.reg -> use_site list
+
+(** Registers with no uses (dead definitions). *)
+val dead_defs : t -> (Vir.Instr.reg * Vir.Instr.t) list

@@ -1,0 +1,36 @@
+(** Scalar/vector instruction composition per fault-site category —
+    the census behind the paper's Fig 10. *)
+
+type mix = {
+  scalar_count : int;
+  vector_count : int;
+}
+
+let empty = { scalar_count = 0; vector_count = 0 }
+
+let total m = m.scalar_count + m.vector_count
+
+let vector_fraction m =
+  let t = total m in
+  if t = 0 then 0.0 else float_of_int m.vector_count /. float_of_int t
+
+(* Mix of target instructions falling into [cat]. *)
+let of_targets (targets : Sites.target list) (cat : Sites.category) : mix =
+  List.fold_left
+    (fun m (t : Sites.target) ->
+      if Sites.in_category t cat then
+        if t.Sites.t_is_vector then
+          { m with vector_count = m.vector_count + 1 }
+        else { m with scalar_count = m.scalar_count + 1 }
+      else m)
+    empty targets
+
+(* Full Fig 10 row for a module: mix per category. *)
+let census ?funcs (m : Vir.Vmodule.t) : (Sites.category * mix) list =
+  let targets = Sites.targets_of_module m in
+  let targets =
+    match funcs with
+    | None -> targets
+    | Some fs -> List.filter (fun t -> List.mem t.Sites.t_func fs) targets
+  in
+  List.map (fun c -> (c, of_targets targets c)) Sites.all_categories

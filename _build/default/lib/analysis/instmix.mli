@@ -1,0 +1,22 @@
+(** Scalar/vector instruction composition per fault-site category — the
+    census behind the paper's Fig 10. *)
+
+type mix = {
+  scalar_count : int;
+  vector_count : int;
+}
+
+val empty : mix
+
+val total : mix -> int
+
+(** Fraction of instructions that are vector instructions; 0 if empty. *)
+val vector_fraction : mix -> float
+
+(** Mix of the target instructions falling into one category. *)
+val of_targets : Sites.target list -> Sites.category -> mix
+
+(** Full Fig 10 row for a module: the mix per category, optionally
+    restricted to named functions. *)
+val census :
+  ?funcs:string list -> Vir.Vmodule.t -> (Sites.category * mix) list

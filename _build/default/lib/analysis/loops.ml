@@ -1,0 +1,64 @@
+(** Natural-loop detection from back edges.
+
+    A back edge [latch -> header] (where the header dominates the
+    latch) defines a natural loop: the header plus every block that can
+    reach the latch without passing through the header. *)
+
+type loop = {
+  l_header : string;
+  l_latch : string;
+  l_blocks : string list;  (** including header and latch *)
+  l_depth : int;  (** 1 = outermost *)
+}
+
+let natural_loop (dt : Domtree.t) ~header ~latch : string list =
+  let hi = Option.get (Domtree.index_of dt header) in
+  let li = Option.get (Domtree.index_of dt latch) in
+  let in_loop = Hashtbl.create 8 in
+  Hashtbl.replace in_loop hi ();
+  let rec add b =
+    if not (Hashtbl.mem in_loop b) then begin
+      Hashtbl.replace in_loop b ();
+      List.iter add (Domtree.preds_of dt b)
+    end
+  in
+  add li;
+  List.filter_map
+    (fun i ->
+      if Hashtbl.mem in_loop i then Some (Domtree.label_of dt i) else None)
+    (List.init (Domtree.block_count dt) Fun.id)
+
+(* All natural loops of a function, with nesting depth. *)
+let find (f : Vir.Func.t) : loop list =
+  let dt = Domtree.compute f in
+  let raw =
+    List.map
+      (fun (latch, header) ->
+        (header, latch, natural_loop dt ~header ~latch))
+      (Domtree.back_edges dt)
+  in
+  (* depth of a loop = 1 + number of other loops strictly containing
+     its header *)
+  List.map
+    (fun (header, latch, blocks) ->
+      let depth =
+        1
+        + List.length
+            (List.filter
+               (fun (h', _, blocks') ->
+                 h' <> header && List.mem header blocks')
+               raw)
+      in
+      { l_header = header; l_latch = latch; l_blocks = blocks; l_depth = depth })
+    raw
+
+(* Loops whose header matches the foreach naming convention. *)
+let foreach_loops (f : Vir.Func.t) : loop list =
+  List.filter
+    (fun l ->
+      String.length l.l_header >= 17
+      && String.sub l.l_header 0 17 = "foreach_full_body"
+      && not
+           (String.length l.l_header >= 23
+           && String.sub l.l_header 17 6 = ".lr.ph"))
+    (find f)

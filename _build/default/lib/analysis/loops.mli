@@ -1,0 +1,18 @@
+(** Natural-loop detection from back edges. *)
+
+type loop = {
+  l_header : string;
+  l_latch : string;  (** source of the back edge *)
+  l_blocks : string list;  (** including header and latch *)
+  l_depth : int;  (** 1 = outermost *)
+}
+
+(** Blocks of the natural loop of one back edge. *)
+val natural_loop : Domtree.t -> header:string -> latch:string -> string list
+
+(** All natural loops of a function, with nesting depth. *)
+val find : Vir.Func.t -> loop list
+
+(** Loops whose header follows the [foreach_full_body] naming
+    convention of the mini-ISPC lowering. *)
+val foreach_loops : Vir.Func.t -> loop list

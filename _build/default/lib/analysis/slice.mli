@@ -1,0 +1,14 @@
+(** Forward slices over def-use chains — the basis of the VULFI
+    fault-site taxonomy (paper §II-C). *)
+
+(** [forward_slice du r] is every instruction transitively consuming
+    register [r], including its defining instruction. *)
+val forward_slice : Defuse.t -> Vir.Instr.reg -> Vir.Instr.t list
+
+(** Slice seeded at an instruction: the Lvalue's slice for definitions,
+    just the store itself for stores (memory is not tracked). *)
+val forward_slice_of_instr : Defuse.t -> Vir.Instr.t -> Vir.Instr.t list
+
+val contains_gep : Vir.Instr.t list -> bool
+
+val contains_control_flow : Vir.Instr.t list -> bool

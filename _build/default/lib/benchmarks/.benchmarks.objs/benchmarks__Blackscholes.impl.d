@@ -1,0 +1,1 @@
+lib/benchmarks/blackscholes.ml: Array Harness Prng

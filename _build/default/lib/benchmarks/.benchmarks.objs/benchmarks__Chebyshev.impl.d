@@ -1,0 +1,1 @@
+lib/benchmarks/chebyshev.ml: Array Float Harness Interp Vir

@@ -1,0 +1,1 @@
+lib/benchmarks/conjugate_gradient.ml: Array Harness Prng

@@ -1,0 +1,1 @@
+lib/benchmarks/fluidanimate.ml: Array Harness Prng

@@ -1,0 +1,1 @@
+lib/benchmarks/harness.ml: Array Interp List Minispc Vulfi

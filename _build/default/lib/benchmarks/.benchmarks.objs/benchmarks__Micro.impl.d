@@ -1,0 +1,1 @@
+lib/benchmarks/micro.ml: Array Harness Prng

@@ -1,0 +1,1 @@
+lib/benchmarks/prng.ml: Array Int64 Interp Vir

@@ -1,0 +1,1 @@
+lib/benchmarks/raytracing.ml: Array Harness Interp List Prng Vir

@@ -1,0 +1,1 @@
+lib/benchmarks/registry.ml: Blackscholes Chebyshev Conjugate_gradient Fluidanimate Harness Jacobi List Micro Raytracing Sorting Stencil String Swaptions Vulfi

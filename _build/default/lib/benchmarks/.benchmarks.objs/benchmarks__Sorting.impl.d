@@ -1,0 +1,1 @@
+lib/benchmarks/sorting.ml: Array Harness Prng

@@ -1,0 +1,1 @@
+lib/benchmarks/stencil.ml: Array Harness Prng

@@ -1,0 +1,1 @@
+lib/benchmarks/swaptions.ml: Array Harness Int32 Interp Prng Vir

@@ -1,0 +1,88 @@
+(** Black-Scholes European option pricing — the ISPC-distribution
+    benchmark from Table I. Vectorized over options; exercises float
+    math intrinsics ([log]/[exp]/[sqrt]) and a varying branch in the
+    cumulative-normal-distribution approximation. *)
+
+let source =
+  "export void blackscholes(uniform float S[], uniform float X[],\n\
+   uniform float T[], uniform float result[],\n\
+   uniform float r, uniform float v, uniform int n) {\n\
+   foreach (i = 0 ... n) {\n\
+   float Sv = S[i];\n\
+   float Xv = X[i];\n\
+   float Tv = T[i];\n\
+   float sqt = sqrt(Tv);\n\
+   float d1 = (log(Sv / Xv) + (r + v * v * 0.5) * Tv) / (v * sqt);\n\
+   float d2 = d1 - v * sqt;\n\
+   // CND(d1) via the Abramowitz-Stegun polynomial\n\
+   float L1 = abs(d1);\n\
+   float k1 = 1.0 / (1.0 + 0.2316419 * L1);\n\
+   float p1 = ((((1.330274429 * k1 - 1.821255978) * k1 + 1.781477937)\n\
+   * k1 - 0.356563782) * k1 + 0.31938153) * k1;\n\
+   float w1 = 1.0 - 0.39894228 * exp(0.0 - L1 * L1 * 0.5) * p1;\n\
+   if (d1 < 0.0) { w1 = 1.0 - w1; }\n\
+   float L2 = abs(d2);\n\
+   float k2 = 1.0 / (1.0 + 0.2316419 * L2);\n\
+   float p2 = ((((1.330274429 * k2 - 1.821255978) * k2 + 1.781477937)\n\
+   * k2 - 0.356563782) * k2 + 0.31938153) * k2;\n\
+   float w2 = 1.0 - 0.39894228 * exp(0.0 - L2 * L2 * 0.5) * p2;\n\
+   if (d2 < 0.0) { w2 = 1.0 - w2; }\n\
+   result[i] = Sv * w1 - Xv * exp(0.0 - r * Tv) * w2;\n\
+   }\n\
+   }"
+
+(* Paper input: "sim small / sim medium / sim large". *)
+let sizes = [| 64; 128; 256 |]
+
+let rate = 0.02
+
+let volatility = 0.30
+
+let spots input =
+  Prng.f32_array (Prng.create (11 + input)) sizes.(input) 20.0 120.0
+
+let strikes input =
+  Prng.f32_array (Prng.create (23 + input)) sizes.(input) 20.0 120.0
+
+let expiries input =
+  Prng.f32_array (Prng.create (37 + input)) sizes.(input) 0.25 4.0
+
+(* Double-precision reference implementation. *)
+let reference ~input =
+  let s = spots input and x = strikes input and t = expiries input in
+  let cnd d =
+    let l = abs_float d in
+    let k = 1.0 /. (1.0 +. (0.2316419 *. l)) in
+    let p =
+      ((((((1.330274429 *. k) -. 1.821255978) *. k) +. 1.781477937) *. k
+        -. 0.356563782)
+       *. k
+      +. 0.31938153)
+      *. k
+    in
+    let w = 1.0 -. (0.39894228 *. exp (-.l *. l *. 0.5) *. p) in
+    if d < 0.0 then 1.0 -. w else w
+  in
+  Array.init sizes.(input) (fun i ->
+      let sv = s.(i) and xv = x.(i) and tv = t.(i) in
+      let sqt = sqrt tv in
+      let d1 =
+        (log (sv /. xv) +. ((rate +. (volatility *. volatility *. 0.5)) *. tv))
+        /. (volatility *. sqt)
+      in
+      let d2 = d1 -. (volatility *. sqt) in
+      (sv *. cnd d1) -. (xv *. exp (-.rate *. tv) *. cnd d2))
+
+let benchmark =
+  Harness.make ~tolerance:1e-5 ~name:"Blackscholes" ~fn:"blackscholes"
+    ~inputs:(Array.length sizes) ~language:"ISPC" ~suite:"ISPC"
+    ~input_desc:"sim_small / sim_medium / sim_large" ~source
+    [
+      Harness.In_f32 spots;
+      Harness.In_f32 strikes;
+      Harness.In_f32 expiries;
+      Harness.Out_f32 (fun input -> sizes.(input));
+      Harness.Scalar_f (fun _ -> rate);
+      Harness.Scalar_f (fun _ -> volatility);
+      Harness.Scalar_i (fun input -> sizes.(input));
+    ]

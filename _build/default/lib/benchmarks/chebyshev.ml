@@ -1,0 +1,55 @@
+(** Chebyshev interpolation coefficients — from Burkardt's SCL, as in
+    the paper. For sampled function values f(x_i) at the Chebyshev
+    points, computes c_j = (2/n) * sum_i f_i * cos(pi*j*(i+1/2)/n),
+    vectorized over the coefficient index j. *)
+
+let source =
+  "export void chebyshev_coef(uniform float fx[], uniform float c[],\n\
+   uniform int n) {\n\
+   uniform float pi = 3.14159265358979;\n\
+   foreach (j = 0 ... n) {\n\
+   float total = 0.0;\n\
+   float fj = (float) j;\n\
+   for (uniform int i = 0; i < n; i += 1) {\n\
+   uniform float fi = (float) i + 0.5;\n\
+   total += fx[i] * cos(fj * fi * pi / (float) n);\n\
+   }\n\
+   c[j] = total * 2.0 / (float) n;\n\
+   }\n\
+   }"
+
+(* Paper input: degree 1..256 (scaled). *)
+let degrees = [| 8; 16; 32; 64 |]
+
+let samples input =
+  let n = degrees.(input) in
+  (* f(x) = exp(x) sampled at Chebyshev points on [-1, 1] *)
+  Array.init n (fun i ->
+      let x = cos (Float.pi *. (float_of_int i +. 0.5) /. float_of_int n) in
+      Interp.Bits.round_float Vir.Vtype.F32 (exp x))
+
+let reference ~input =
+  let n = degrees.(input) in
+  let fx = samples input in
+  Array.init n (fun j ->
+      let total = ref 0.0 in
+      for i = 0 to n - 1 do
+        total :=
+          !total
+          +. fx.(i)
+             *. cos
+                  (float_of_int j
+                  *. (float_of_int i +. 0.5)
+                  *. 3.14159265358979 /. float_of_int n)
+      done;
+      !total *. 2.0 /. float_of_int n)
+
+let benchmark =
+  Harness.make ~tolerance:1e-5 ~name:"Chebyshev" ~fn:"chebyshev_coef"
+    ~inputs:(Array.length degrees) ~language:"ISPC" ~suite:"SCL"
+    ~input_desc:"Degree: [8, 64]" ~source
+    [
+      Harness.In_f32 samples;
+      Harness.Out_f32 (fun input -> degrees.(input));
+      Harness.Scalar_i (fun input -> degrees.(input));
+    ]

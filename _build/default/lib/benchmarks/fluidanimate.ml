@@ -1,0 +1,114 @@
+(** Fluidanimate — the PARVEC benchmark (vectorized PARSEC SPH fluid
+    simulation). Reproduced as the SPH core: an O(n^2) smoothed-particle
+    density kernel followed by a symplectic-Euler integration step,
+    vectorized over particles. The density kernel's distance test is a
+    varying branch, as in the PARVEC cell-neighborhood loops. *)
+
+let source =
+  "void density_pass(uniform float px[], uniform float py[],\n\
+   uniform float pz[], uniform float density[], uniform int n,\n\
+   uniform float h2) {\n\
+   foreach (i = 0 ... n) {\n\
+   float xi = px[i];\n\
+   float yi = py[i];\n\
+   float zi = pz[i];\n\
+   float rho = 0.0;\n\
+   for (uniform int j = 0; j < n; j += 1) {\n\
+   uniform float xj = px[j];\n\
+   uniform float yj = py[j];\n\
+   uniform float zj = pz[j];\n\
+   float dx = xi - xj;\n\
+   float dy = yi - yj;\n\
+   float dz = zi - zj;\n\
+   float d2 = dx * dx + dy * dy + dz * dz;\n\
+   if (d2 < h2) {\n\
+   float diff = h2 - d2;\n\
+   rho += diff * diff * diff;\n\
+   }\n\
+   }\n\
+   density[i] = rho;\n\
+   }\n\
+   }\n\
+   void integrate_pass(uniform float p[], uniform float v[],\n\
+   uniform float density[], uniform int n, uniform float dt) {\n\
+   foreach (i = 0 ... n) {\n\
+   float accel = 0.01 - 0.001 * density[i];\n\
+   v[i] = v[i] + accel * dt;\n\
+   p[i] = p[i] + v[i] * dt;\n\
+   }\n\
+   }\n\
+   export void fluid_step(uniform float px[], uniform float py[],\n\
+   uniform float pz[], uniform float vx[], uniform float vy[],\n\
+   uniform float vz[], uniform float density[], uniform int n,\n\
+   uniform float h2, uniform float dt) {\n\
+   density_pass(px, py, pz, density, n, h2);\n\
+   integrate_pass(px, vx, density, n, dt);\n\
+   integrate_pass(py, vy, density, n, dt);\n\
+   integrate_pass(pz, vz, density, n, dt);\n\
+   }"
+
+(* Paper input: simsmall / simmedium (particle counts, scaled). *)
+let sizes = [| 48; 96 |]
+
+let h2 = 0.5
+
+let dt = 0.05
+
+let coords seed input =
+  Prng.f32_array (Prng.create (seed + input)) sizes.(input) (-1.0) 1.0
+
+let vels seed input =
+  Prng.f32_array (Prng.create (seed + input)) sizes.(input) (-0.1) 0.1
+
+(* Reference SPH step in double precision. *)
+let reference ~input =
+  let n = sizes.(input) in
+  let px = Array.map (fun x -> x) (coords 601 input) in
+  let py = Array.map (fun x -> x) (coords 607 input) in
+  let pz = Array.map (fun x -> x) (coords 613 input) in
+  let vx = Array.map (fun x -> x) (vels 617 input) in
+  let vy = Array.map (fun x -> x) (vels 619 input) in
+  let vz = Array.map (fun x -> x) (vels 623 input) in
+  let density = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let rho = ref 0.0 in
+    for j = 0 to n - 1 do
+      let dx = px.(i) -. px.(j)
+      and dy = py.(i) -. py.(j)
+      and dz = pz.(i) -. pz.(j) in
+      let d2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+      if d2 < h2 then begin
+        let diff = h2 -. d2 in
+        rho := !rho +. (diff *. diff *. diff)
+      end
+    done;
+    density.(i) <- !rho
+  done;
+  let integrate p v =
+    for i = 0 to n - 1 do
+      let accel = 0.01 -. (0.001 *. density.(i)) in
+      v.(i) <- v.(i) +. (accel *. dt);
+      p.(i) <- p.(i) +. (v.(i) *. dt)
+    done
+  in
+  integrate px vx;
+  integrate py vy;
+  integrate pz vz;
+  (px, py, pz, density)
+
+let benchmark =
+  Harness.make ~tolerance:1e-5 ~name:"Fluidanimate" ~fn:"fluid_step"
+    ~inputs:(Array.length sizes) ~language:"C++" ~suite:"Parvec"
+    ~input_desc:"sim_small / sim_medium" ~source
+    [
+      Harness.Inout_f32 (coords 601);
+      Harness.Inout_f32 (coords 607);
+      Harness.Inout_f32 (coords 613);
+      Harness.In_f32 (vels 617);
+      Harness.In_f32 (vels 619);
+      Harness.In_f32 (vels 623);
+      Harness.Out_f32 (fun input -> sizes.(input));
+      Harness.Scalar_i (fun input -> sizes.(input));
+      Harness.Scalar_f (fun _ -> h2);
+      Harness.Scalar_f (fun _ -> dt);
+    ]

@@ -1,0 +1,104 @@
+(** Declarative construction of {!Vulfi.Workload.t} values.
+
+    A benchmark declares its entry-point arguments as a [spec] list;
+    the harness materialises them in the machine's memory per input
+    index and wires output readback for the SDC comparison. *)
+
+type arg =
+  | In_f32 of (int -> float array)   (** input data, not compared *)
+  | In_i32 of (int -> int array)
+  | Out_f32 of (int -> int)          (** zero-initialised output of length *)
+  | Out_i32 of (int -> int)
+  | Inout_f32 of (int -> float array)  (** initial data, compared after *)
+  | Inout_i32 of (int -> int array)
+  | Scratch_f32 of (int -> int)
+      (** zero-initialised workspace of length, NOT part of the
+          compared output (the paper compares recorded program output,
+          not intermediate buffers) *)
+  | Scratch_i32 of (int -> int)
+  | Scalar_i of (int -> int)
+  | Scalar_f of (int -> float)
+
+type benchmark = {
+  bench : Vulfi.Workload.t;
+  language : string;      (** Table I's "Language" column *)
+  suite : string;         (** Parvec / ISPC / SCL / Micro *)
+  input_desc : string;    (** Table I's "Test Input" column *)
+}
+
+let make_workload ?(tolerance = 0.0) ~name ~fn ~inputs (spec : arg list) :
+    Vulfi.Workload.t =
+  let setup ~input st =
+    let mem = Interp.Machine.memory st in
+    let readers = ref [] in
+    let args =
+      List.map
+        (fun a ->
+          let alloc_f32 data compare =
+            let n = Array.length data in
+            let base =
+              Interp.Memory.alloc mem ~name:"arg" ~bytes:(4 * max n 1)
+            in
+            Interp.Memory.write_f32_array mem base data;
+            if compare then
+              readers := `F32 (base, n) :: !readers;
+            Interp.Vvalue.of_ptr base
+          in
+          let alloc_i32 data compare =
+            let n = Array.length data in
+            let base =
+              Interp.Memory.alloc mem ~name:"arg" ~bytes:(4 * max n 1)
+            in
+            Interp.Memory.write_i32_array mem base data;
+            if compare then readers := `I32 (base, n) :: !readers;
+            Interp.Vvalue.of_ptr base
+          in
+          match a with
+          | In_f32 f -> alloc_f32 (f input) false
+          | In_i32 f -> alloc_i32 (f input) false
+          | Out_f32 f -> alloc_f32 (Array.make (max (f input) 1) 0.0) true
+          | Out_i32 f -> alloc_i32 (Array.make (max (f input) 1) 0) true
+          | Scratch_f32 f -> alloc_f32 (Array.make (max (f input) 1) 0.0) false
+          | Scratch_i32 f -> alloc_i32 (Array.make (max (f input) 1) 0) false
+          | Inout_f32 f -> alloc_f32 (f input) true
+          | Inout_i32 f -> alloc_i32 (f input) true
+          | Scalar_i f -> Interp.Vvalue.of_i32 (f input)
+          | Scalar_f f -> Interp.Vvalue.of_f32 (f input))
+        spec
+    in
+    let readers = List.rev !readers in
+    let read_output () =
+      {
+        Vulfi.Outcome.o_f32 =
+          List.filter_map
+            (function
+              | `F32 (b, n) -> Some (Interp.Memory.read_f32_array mem b n)
+              | `I32 _ -> None)
+            readers;
+        o_i32 =
+          List.filter_map
+            (function
+              | `I32 (b, n) -> Some (Interp.Memory.read_i32_array mem b n)
+              | `F32 _ -> None)
+            readers;
+        o_ret = None;
+      }
+    in
+    (args, read_output)
+  in
+  { Vulfi.Workload.w_name = name; w_fn = fn; w_inputs = inputs;
+    w_setup = setup; w_out_tolerance = tolerance;
+    w_build = (fun _ -> invalid_arg "harness: w_build unset") }
+
+(* Note: passes mutate modules in place, so w_build always compiles a
+   fresh module from source rather than caching. *)
+let make ?tolerance ~name ~fn ~inputs ~language ~suite ~input_desc ~source
+    spec : benchmark =
+  let w = make_workload ?tolerance ~name ~fn ~inputs spec in
+  {
+    bench =
+      { w with Vulfi.Workload.w_build = (fun t -> Minispc.Driver.compile ~module_name:name t source) };
+    language;
+    suite;
+    input_desc;
+  }

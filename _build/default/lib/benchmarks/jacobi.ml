@@ -1,0 +1,75 @@
+(** Jacobi iteration for the 2D Poisson equation — from Burkardt's
+    scientific computing library (SCL), re-implemented in mini-ISPC as
+    in the paper. Structurally similar to Stencil but with a source
+    term and quarter-weighting. *)
+
+let source =
+  "export void jacobi_ispc(uniform float u[], uniform float unew[],\n\
+   uniform float f[], uniform int n, uniform int iters) {\n\
+   for (uniform int t = 0; t < iters; t += 1) {\n\
+   for (uniform int y = 1; y < n - 1; y += 1) {\n\
+   uniform int row = y * n;\n\
+   uniform int hi = n - 1;\n\
+   foreach (x = 1 ... hi) {\n\
+   unew[row + x] = 0.25 * (u[row + x - 1] + u[row + x + 1]\n\
+   + u[row - n + x] + u[row + n + x] + f[row + x]);\n\
+   }\n\
+   }\n\
+   for (uniform int y2 = 1; y2 < n - 1; y2 += 1) {\n\
+   uniform int row2 = y2 * n;\n\
+   uniform int hi2 = n - 1;\n\
+   foreach (x2 = 1 ... hi2) {\n\
+   u[row2 + x2] = unew[row2 + x2];\n\
+   }\n\
+   }\n\
+   }\n\
+   }"
+
+(* Paper input: 2D array 32x32 .. 192x192 (scaled). *)
+let sizes = [| 16; 24; 32 |]
+
+let iters = 6
+
+let rhs input =
+  let n = sizes.(input) in
+  Prng.f32_array (Prng.create (307 + input)) (n * n) (-1.0) 1.0
+
+let initial input =
+  let n = sizes.(input) in
+  Prng.f32_array (Prng.create (311 + input)) (n * n) 0.0 1.0
+
+let reference ~input =
+  let n = sizes.(input) in
+  let u = Array.map (fun x -> x) (initial input) in
+  let f = rhs input in
+  let unew = Array.make (n * n) 0.0 in
+  for _ = 1 to iters do
+    for y = 1 to n - 2 do
+      for x = 1 to n - 2 do
+        unew.((y * n) + x) <-
+          0.25
+          *. (u.((y * n) + x - 1) +. u.((y * n) + x + 1)
+             +. u.(((y - 1) * n) + x)
+             +. u.(((y + 1) * n) + x)
+             +. f.((y * n) + x))
+      done
+    done;
+    for y = 1 to n - 2 do
+      for x = 1 to n - 2 do
+        u.((y * n) + x) <- unew.((y * n) + x)
+      done
+    done
+  done;
+  u
+
+let benchmark =
+  Harness.make ~tolerance:1e-5 ~name:"Jacobi" ~fn:"jacobi_ispc" ~inputs:(Array.length sizes)
+    ~language:"ISPC" ~suite:"SCL"
+    ~input_desc:"2D array: 16x16 .. 32x32" ~source
+    [
+      Harness.Inout_f32 initial;
+      Harness.Scratch_f32 (fun input -> sizes.(input) * sizes.(input));
+      Harness.In_f32 rhs;
+      Harness.Scalar_i (fun input -> sizes.(input));
+      Harness.Scalar_i (fun _ -> iters);
+    ]

@@ -1,0 +1,85 @@
+(** The paper's three micro-benchmarks for the detector study (§IV-E):
+    vector copy (Fig 6's vcopy_ispc), vector dot product, vector sum. *)
+
+let vcopy_source =
+  "export void vcopy_ispc(uniform int a1[], uniform int a2[],\n\
+   uniform int n) {\n\
+   foreach (i = 0 ... n) {\n\
+   a2[i] = a1[i];\n\
+   }\n\
+   }"
+
+let dot_source =
+  "export void dot_ispc(uniform float a[], uniform float b[],\n\
+   uniform float out[], uniform int n) {\n\
+   varying float partial = 0.0;\n\
+   foreach (i = 0 ... n) {\n\
+   partial += a[i] * b[i];\n\
+   }\n\
+   out[0] = reduce_add(partial);\n\
+   }"
+
+let vsum_source =
+  "export void vsum_ispc(uniform float a[], uniform float out[],\n\
+   uniform int n) {\n\
+   varying float partial = 0.0;\n\
+   foreach (i = 0 ... n) {\n\
+   partial += a[i];\n\
+   }\n\
+   out[0] = reduce_add(partial);\n\
+   }"
+
+(* The micro study uses modest lengths so that 2000-experiment sweeps
+   stay fast; both lengths exercise full and partial foreach blocks. *)
+let sizes = [| 100; 1000 |]
+
+let int_data input =
+  Prng.i32_array (Prng.create (801 + input)) sizes.(input) 100000
+
+let f32_data seed input =
+  Prng.f32_array (Prng.create (seed + input)) sizes.(input) (-1.0) 1.0
+
+let vcopy =
+  Harness.make ~name:"vector copy" ~fn:"vcopy_ispc"
+    ~inputs:(Array.length sizes) ~language:"ISPC" ~suite:"Micro"
+    ~input_desc:"1D array length: [100, 1000]" ~source:vcopy_source
+    [
+      Harness.In_i32 int_data;
+      Harness.Out_i32 (fun input -> sizes.(input));
+      Harness.Scalar_i (fun input -> sizes.(input));
+    ]
+
+let dot_product =
+  Harness.make ~name:"dot product" ~fn:"dot_ispc"
+    ~inputs:(Array.length sizes) ~language:"ISPC" ~suite:"Micro"
+    ~input_desc:"1D array length: [100, 1000]" ~source:dot_source
+    [
+      Harness.In_f32 (f32_data 811);
+      Harness.In_f32 (f32_data 821);
+      Harness.Out_f32 (fun _ -> 1);
+      Harness.Scalar_i (fun input -> sizes.(input));
+    ]
+
+let vsum =
+  Harness.make ~name:"vector sum" ~fn:"vsum_ispc"
+    ~inputs:(Array.length sizes) ~language:"ISPC" ~suite:"Micro"
+    ~input_desc:"1D array length: [100, 1000]" ~source:vsum_source
+    [
+      Harness.In_f32 (f32_data 831);
+      Harness.Out_f32 (fun _ -> 1);
+      Harness.Scalar_i (fun input -> sizes.(input));
+    ]
+
+let all = [ vcopy; dot_product; vsum ]
+
+(* OCaml references for the test suite. *)
+let vcopy_reference ~input = int_data input
+
+let dot_reference ~input =
+  let a = f32_data 811 input and b = f32_data 821 input in
+  let s = ref 0.0 in
+  Array.iteri (fun i x -> s := !s +. (x *. b.(i))) a;
+  !s
+
+let vsum_reference ~input =
+  Array.fold_left ( +. ) 0.0 (f32_data 831 input)

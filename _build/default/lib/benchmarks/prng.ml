@@ -1,0 +1,34 @@
+(** Deterministic input generation for benchmark workloads.
+
+    A small splitmix64 generator, independent of OCaml's [Random], so
+    that benchmark inputs are stable across OCaml versions and runs —
+    campaign results must be reproducible bit for bit. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_i64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0";
+  Int64.to_int (Int64.unsigned_rem (next_i64 t) (Int64.of_int bound))
+
+(* Uniform float in [0, 1), rounded to f32 so VM inputs are exact. *)
+let f32 t =
+  let mant = Int64.to_float (Int64.shift_right_logical (next_i64 t) 40) in
+  Interp.Bits.round_float Vir.Vtype.F32 (mant /. 16777216.0)
+
+(* Uniform f32 in [lo, hi). *)
+let f32_range t lo hi =
+  Interp.Bits.round_float Vir.Vtype.F32 (lo +. (f32 t *. (hi -. lo)))
+
+let f32_array t n lo hi = Array.init n (fun _ -> f32_range t lo hi)
+
+let i32_array t n bound = Array.init n (fun _ -> int t bound)

@@ -1,0 +1,130 @@
+(** Ray tracing — the ISPC-distribution benchmark. A compact
+    sphere-scene tracer: rays are vectorized across the pixels of each
+    scanline; each ray tests every sphere, keeps the nearest hit and a
+    distance-attenuated shade. The three paper camera inputs (Sponza /
+    Teapot / Cornell) become three synthetic scene+camera configs. *)
+
+let source =
+  "export void raytrace(uniform float spheres[], uniform int nspheres,\n\
+   uniform float img[], uniform int width, uniform int height,\n\
+   uniform float cam_x, uniform float cam_y, uniform float cam_z) {\n\
+   for (uniform int y = 0; y < height; y += 1) {\n\
+   uniform float py = ((float) y + 0.5) / (float) height - 0.5;\n\
+   uniform int row = y * width;\n\
+   foreach (x = 0 ... width) {\n\
+   float px = ((float) x + 0.5) / (float) width - 0.5;\n\
+   float dx = px;\n\
+   float dy = py;\n\
+   float dz = 1.0;\n\
+   float inv = rsqrt(dx * dx + dy * dy + dz * dz);\n\
+   dx = dx * inv;\n\
+   dy = dy * inv;\n\
+   dz = dz * inv;\n\
+   float tmin = 100000000.0;\n\
+   float shade = 0.0;\n\
+   for (uniform int s = 0; s < nspheres; s += 1) {\n\
+   uniform float sx = spheres[s * 5 + 0];\n\
+   uniform float sy = spheres[s * 5 + 1];\n\
+   uniform float sz = spheres[s * 5 + 2];\n\
+   uniform float sr = spheres[s * 5 + 3];\n\
+   uniform float sshade = spheres[s * 5 + 4];\n\
+   float ocx = sx - cam_x;\n\
+   float ocy = sy - cam_y;\n\
+   float ocz = sz - cam_z;\n\
+   float bq = ocx * dx + ocy * dy + ocz * dz;\n\
+   float cq = ocx * ocx + ocy * ocy + ocz * ocz - sr * sr;\n\
+   float disc = bq * bq - cq;\n\
+   if (disc > 0.0) {\n\
+   float tq = bq - sqrt(disc);\n\
+   if (tq > 0.001 && tq < tmin) {\n\
+   tmin = tq;\n\
+   shade = sshade / (1.0 + 0.1 * tq);\n\
+   }\n\
+   }\n\
+   }\n\
+   img[row + x] = shade;\n\
+   }\n\
+   }\n\
+   }"
+
+type scene = {
+  scene_name : string;
+  cam : float * float * float;
+  spheres : float array;  (* packed x,y,z,r,shade records *)
+}
+
+let mk_scene name seed cam nspheres =
+  let rng = Prng.create seed in
+  let spheres =
+    Array.concat
+      (List.init nspheres (fun _ ->
+           [|
+             Prng.f32_range rng (-2.0) 2.0;
+             Prng.f32_range rng (-2.0) 2.0;
+             Prng.f32_range rng 3.0 9.0;
+             Prng.f32_range rng 0.3 1.2;
+             Prng.f32_range rng 0.2 1.0;
+           |]))
+  in
+  { scene_name = name; cam; spheres }
+
+(* The paper's camera inputs. *)
+let scenes =
+  [|
+    mk_scene "Sponza" 501 (0.0, 0.0, 0.0) 8;
+    mk_scene "Teapot" 503 (0.3, -0.2, 0.0) 5;
+    mk_scene "Cornell" 507 (-0.3, 0.1, -0.5) 6;
+  |]
+
+let width = 16
+
+let height = 16
+
+let f32 = Interp.Bits.round_float Vir.Vtype.F32
+
+(* Reference tracer in double precision. *)
+let reference ~input =
+  let sc = scenes.(input) in
+  let cx, cy, cz = sc.cam in
+  let nspheres = Array.length sc.spheres / 5 in
+  Array.init (width * height) (fun pix ->
+      let x = pix mod width and y = pix / width in
+      let px = ((float_of_int x +. 0.5) /. float_of_int width) -. 0.5 in
+      let py = ((float_of_int y +. 0.5) /. float_of_int height) -. 0.5 in
+      let norm = sqrt ((px *. px) +. (py *. py) +. 1.0) in
+      let dx = px /. norm and dy = py /. norm and dz = 1.0 /. norm in
+      let tmin = ref 1.0e8 and shade = ref 0.0 in
+      for s = 0 to nspheres - 1 do
+        let sx = sc.spheres.((s * 5) + 0) -. cx in
+        let sy = sc.spheres.((s * 5) + 1) -. cy in
+        let sz = sc.spheres.((s * 5) + 2) -. cz in
+        let sr = sc.spheres.((s * 5) + 3) in
+        let ss = sc.spheres.((s * 5) + 4) in
+        let bq = (sx *. dx) +. (sy *. dy) +. (sz *. dz) in
+        let cq = (sx *. sx) +. (sy *. sy) +. (sz *. sz) -. (sr *. sr) in
+        let disc = (bq *. bq) -. cq in
+        if disc > 0.0 then begin
+          let t = bq -. sqrt disc in
+          if t > 0.001 && t < !tmin then begin
+            tmin := t;
+            shade := ss /. (1.0 +. (0.1 *. t))
+          end
+        end
+      done;
+      !shade)
+
+let benchmark =
+  Harness.make ~tolerance:1e-5 ~name:"Raytracing" ~fn:"raytrace"
+    ~inputs:(Array.length scenes) ~language:"ISPC" ~suite:"ISPC"
+    ~input_desc:"Camera: Sponza / Teapot / Cornell" ~source
+    [
+      Harness.In_f32 (fun input -> scenes.(input).spheres);
+      Harness.Scalar_i
+        (fun input -> Array.length scenes.(input).spheres / 5);
+      Harness.Out_f32 (fun _ -> width * height);
+      Harness.Scalar_i (fun _ -> width);
+      Harness.Scalar_i (fun _ -> height);
+      Harness.Scalar_f (fun input -> f32 (let x, _, _ = scenes.(input).cam in x));
+      Harness.Scalar_f (fun input -> f32 (let _, y, _ = scenes.(input).cam in y));
+      Harness.Scalar_f (fun input -> f32 (let _, _, z = scenes.(input).cam in z));
+    ]

@@ -1,0 +1,32 @@
+(** The benchmark registry: the nine Table I programs plus the three
+    §IV-E micro-benchmarks, in the paper's order. *)
+
+(* Table I order: Parvec, ISPC-distribution, SCL. *)
+let paper_benchmarks : Harness.benchmark list =
+  [
+    Fluidanimate.benchmark;
+    Swaptions.benchmark;
+    Blackscholes.benchmark;
+    Sorting.benchmark;
+    Stencil.benchmark;
+    Raytracing.benchmark;
+    Chebyshev.benchmark;
+    Jacobi.benchmark;
+    Conjugate_gradient.benchmark;
+  ]
+
+let micro_benchmarks : Harness.benchmark list = Micro.all
+
+let all = paper_benchmarks @ micro_benchmarks
+
+let find name =
+  List.find_opt
+    (fun (b : Harness.benchmark) ->
+      String.lowercase_ascii b.Harness.bench.Vulfi.Workload.w_name
+      = String.lowercase_ascii name)
+    all
+
+let names =
+  List.map
+    (fun (b : Harness.benchmark) -> b.Harness.bench.Vulfi.Workload.w_name)
+    all

@@ -1,0 +1,41 @@
+(** Sorting — the ISPC-distribution benchmark. Implemented as a fully
+    data-parallel rank ("enumeration") sort: each lane computes the
+    final position of one element, then scatters it. Gather/scatter
+    heavy, so address-category faults dominate (cf. the paper's
+    observation that Sorting's address faults produce many SDCs). *)
+
+let source =
+  "export void sort_ispc(uniform int input[], uniform int output[],\n\
+   uniform int n) {\n\
+   foreach (i = 0 ... n) {\n\
+   int key = input[i];\n\
+   int rank = 0;\n\
+   for (uniform int j = 0; j < n; j += 1) {\n\
+   int other = input[j];\n\
+   if (other < key) { rank += 1; }\n\
+   if (other == key && j < i) { rank += 1; }\n\
+   }\n\
+   output[rank] = key;\n\
+   }\n\
+   }"
+
+(* Paper input: 1D array length 1000..100000 (scaled for the VM). *)
+let sizes = [| 48; 96; 160 |]
+
+let data input =
+  Prng.i32_array (Prng.create (101 + input)) sizes.(input) 1000
+
+let reference ~input =
+  let a = Array.copy (data input) in
+  Array.sort compare a;
+  a
+
+let benchmark =
+  Harness.make ~tolerance:1e-5 ~name:"Sorting" ~fn:"sort_ispc" ~inputs:(Array.length sizes)
+    ~language:"ISPC" ~suite:"ISPC"
+    ~input_desc:"1D array length: [48, 160]" ~source
+    [
+      Harness.In_i32 data;
+      Harness.Out_i32 (fun input -> sizes.(input));
+      Harness.Scalar_i (fun input -> sizes.(input));
+    ]

@@ -1,0 +1,71 @@
+(** Stencil — the ISPC-distribution benchmark: an iterated 2D 5-point
+    stencil. Inner rows are vectorized with contiguous (masked in the
+    remainder) vector loads/stores; the paper reports the highest SDC
+    rates for this kernel, consistent with every loaded value flowing
+    straight into the output. *)
+
+let source =
+  "export void stencil_ispc(uniform float a[], uniform float b[],\n\
+   uniform int w, uniform int h, uniform int steps) {\n\
+   for (uniform int t = 0; t < steps; t += 1) {\n\
+   for (uniform int y = 1; y < h - 1; y += 1) {\n\
+   uniform int row = y * w;\n\
+   uniform int xhi = w - 1;\n\
+   foreach (x = 1 ... xhi) {\n\
+   b[row + x] = 0.2 * (a[row + x] + a[row + x - 1] + a[row + x + 1]\n\
+   + a[row - w + x] + a[row + w + x]);\n\
+   }\n\
+   }\n\
+   for (uniform int y2 = 1; y2 < h - 1; y2 += 1) {\n\
+   uniform int row2 = y2 * w;\n\
+   uniform int xhi2 = w - 1;\n\
+   foreach (x2 = 1 ... xhi2) {\n\
+   a[row2 + x2] = b[row2 + x2];\n\
+   }\n\
+   }\n\
+   }\n\
+   }"
+
+(* Paper input: 2D array 16x16 .. 64x64. *)
+let dims = [| (16, 16); (24, 24); (32, 32) |]
+
+let steps = 4
+
+let grid input =
+  let w, h = dims.(input) in
+  Prng.f32_array (Prng.create (211 + input)) (w * h) 0.0 1.0
+
+let reference ~input =
+  let w, h = dims.(input) in
+  let a = Array.map (fun x -> x) (grid input) in
+  let b = Array.make (w * h) 0.0 in
+  for _ = 1 to steps do
+    for y = 1 to h - 2 do
+      for x = 1 to w - 2 do
+        b.((y * w) + x) <-
+          0.2
+          *. (a.((y * w) + x) +. a.((y * w) + x - 1)
+             +. a.((y * w) + x + 1)
+             +. a.(((y - 1) * w) + x)
+             +. a.(((y + 1) * w) + x))
+      done
+    done;
+    for y = 1 to h - 2 do
+      for x = 1 to w - 2 do
+        a.((y * w) + x) <- b.((y * w) + x)
+      done
+    done
+  done;
+  a
+
+let benchmark =
+  Harness.make ~tolerance:1e-5 ~name:"Stencil" ~fn:"stencil_ispc"
+    ~inputs:(Array.length dims) ~language:"ISPC" ~suite:"ISPC"
+    ~input_desc:"2D array: 16x16 .. 32x32" ~source
+    [
+      Harness.Inout_f32 grid;
+      Harness.Scratch_f32 (fun input -> let w, h = dims.(input) in w * h);
+      Harness.Scalar_i (fun input -> fst dims.(input));
+      Harness.Scalar_i (fun input -> snd dims.(input));
+      Harness.Scalar_i (fun _ -> steps);
+    ]

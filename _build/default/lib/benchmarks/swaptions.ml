@@ -1,0 +1,90 @@
+(** Swaptions — the PARVEC benchmark (vectorized PARSEC HJM Monte
+    Carlo). Reproduced as a short-rate Monte-Carlo pricer: paths are
+    vectorized across lanes, each path evolves a rate with an integer
+    LCG driving the shocks (the integer/float mix is what distinguishes
+    this kernel in Fig 10), discounts, and the payoff is averaged with
+    a cross-lane reduction. *)
+
+let source =
+  "export void swaptions_ispc(uniform float strikes[],\n\
+   uniform float prices[], uniform int nswaptions, uniform int nsims,\n\
+   uniform int nsteps) {\n\
+   for (uniform int s = 0; s < nswaptions; s += 1) {\n\
+   uniform float strike = strikes[s];\n\
+   varying float payoff_acc = 0.0;\n\
+   foreach (path = 0 ... nsims) {\n\
+   int seed = path * 747796405 + s * 12345 + 1013904223;\n\
+   float rate = 0.05;\n\
+   float disc = 1.0;\n\
+   for (uniform int t = 0; t < nsteps; t += 1) {\n\
+   seed = seed * 747796405 + 1013904223;\n\
+   int bits = (seed >> 8) & 65535;\n\
+   float u = (float) bits * 0.0000152587890625;\n\
+   rate = rate + 0.01 * (u - 0.5);\n\
+   if (rate < 0.001) { rate = 0.001; }\n\
+   disc = disc * (1.0 - rate * 0.1);\n\
+   }\n\
+   float payoff = rate - strike;\n\
+   if (payoff < 0.0) { payoff = 0.0; }\n\
+   payoff_acc += payoff * disc;\n\
+   }\n\
+   prices[s] = reduce_add(payoff_acc) / (float) nsims;\n\
+   }\n\
+   }"
+
+(* Paper input: swaptions [16,64] x simulations [100,200] (scaled). *)
+let configs = [| (4, 16); (6, 32) |]
+
+let nsteps = 12
+
+let strikes input =
+  let ns, _ = configs.(input) in
+  Prng.f32_array (Prng.create (701 + input)) ns 0.01 0.09
+
+(* Bit-faithful reference: 32-bit LCG via Int32, f32 rounding on every
+   float step so that the expected prices match the kernel closely. *)
+let reference ~input =
+  let ns, nsims = configs.(input) in
+  let ks = strikes input in
+  let r32 = Interp.Bits.round_float Vir.Vtype.F32 in
+  let lcg seed = Int32.add (Int32.mul seed 747796405l) 1013904223l in
+  Array.init ns (fun s ->
+      let acc = Array.make nsims 0.0 in
+      for path = 0 to nsims - 1 do
+        let seed =
+          ref
+            (Int32.add
+               (Int32.add
+                  (Int32.mul (Int32.of_int path) 747796405l)
+                  (Int32.mul (Int32.of_int s) 12345l))
+               1013904223l)
+        in
+        let rate = ref (r32 0.05) and disc = ref 1.0 in
+        for _ = 1 to nsteps do
+          seed := lcg !seed;
+          let bits =
+            Int32.to_int (Int32.logand (Int32.shift_right !seed 8) 65535l)
+          in
+          let u = r32 (r32 (float_of_int bits) *. r32 0.0000152587890625) in
+          rate := r32 (!rate +. r32 (r32 0.01 *. r32 (u -. 0.5)));
+          if !rate < 0.001 then rate := r32 0.001;
+          disc := r32 (!disc *. r32 (1.0 -. r32 (!rate *. 0.1)))
+        done;
+        let payoff = max 0.0 (r32 (!rate -. ks.(s))) in
+        acc.(path) <- r32 (payoff *. !disc)
+      done;
+      (* reduce_add folds lane-major; a plain sum is close enough for
+         the tolerance-based tests *)
+      Array.fold_left ( +. ) 0.0 acc /. float_of_int nsims)
+
+let benchmark =
+  Harness.make ~tolerance:1e-5 ~name:"Swaptions" ~fn:"swaptions_ispc"
+    ~inputs:(Array.length configs) ~language:"C++" ~suite:"Parvec"
+    ~input_desc:"Swaptions [4,6] x Simulations [16,32]" ~source
+    [
+      Harness.In_f32 strikes;
+      Harness.Out_f32 (fun input -> fst configs.(input));
+      Harness.Scalar_i (fun input -> fst configs.(input));
+      Harness.Scalar_i (fun input -> snd configs.(input));
+      Harness.Scalar_i (fun _ -> nsteps);
+    ]

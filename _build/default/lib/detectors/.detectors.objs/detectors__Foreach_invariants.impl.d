@@ -1,0 +1,1 @@
+lib/detectors/foreach_invariants.ml: Block Const Func Hashtbl Instr Int64 List Runtime String Verify Vir Vmodule Vtype

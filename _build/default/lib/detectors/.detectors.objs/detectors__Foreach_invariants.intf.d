@@ -1,0 +1,1 @@
+lib/detectors/foreach_invariants.mli: Vir

@@ -1,0 +1,1 @@
+lib/detectors/overhead.ml: Foreach_invariants Interp Runtime Uniform_xor Vir Vulfi

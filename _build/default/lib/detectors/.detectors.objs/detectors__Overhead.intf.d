@@ -1,0 +1,1 @@
+lib/detectors/overhead.mli: Foreach_invariants Vir Vulfi

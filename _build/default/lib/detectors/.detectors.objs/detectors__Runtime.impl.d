@@ -1,0 +1,1 @@
+lib/detectors/runtime.ml: Int64 Interp Vulfi

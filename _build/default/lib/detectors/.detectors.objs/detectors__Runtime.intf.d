@@ -1,0 +1,1 @@
+lib/detectors/runtime.mli: Interp Vulfi

@@ -1,0 +1,1 @@
+lib/detectors/uniform_xor.ml: Array Block Const Func Hashtbl Instr List Printf Runtime Verify Vir Vmodule Vtype

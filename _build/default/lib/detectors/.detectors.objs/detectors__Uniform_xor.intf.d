@@ -1,0 +1,1 @@
+lib/detectors/uniform_xor.mli: Vir

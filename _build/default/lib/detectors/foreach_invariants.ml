@@ -1,0 +1,227 @@
+(** Automatic insertion of foreach loop-invariant detectors (§III-A).
+
+    For every lowered [foreach] loop, insert a
+    [foreach_fullbody_check_invariants] block on the exit edge of
+    [foreach_full_body] (Fig 7). The block calls
+    [__vulfi_check_foreach(new_counter, aligned_end, Vl)], whose runtime
+    validates Fig 8's invariants:
+
+      1. new_counter >= 0
+      2. new_counter <= aligned_end
+      3. new_counter % Vl == 0
+
+    The paper checks only on loop exit to keep the overhead low; the
+    pass optionally checks on every iteration for the ablation study
+    ([~placement:`Every_iteration]). *)
+
+open Vir
+
+type found_foreach = {
+  ff_header : string;        (** label of foreach_full_body *)
+  ff_latch : string;         (** block carrying the backedge + exit edge *)
+  ff_exit : string;          (** exit successor (partial_inner_all_outer) *)
+  ff_new_counter : Instr.reg;
+  ff_aligned_end : Instr.reg;
+  ff_vl : int;
+}
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let is_full_body_label l =
+  has_prefix "foreach_full_body" l
+  && not
+       (let rec contains i =
+          i + 6 <= String.length l
+          && (String.sub l i 6 = ".lr.ph" || contains (i + 1))
+        in
+        String.length l >= 6 && contains 0)
+
+(* Pattern-match the code generator's output, the way the prototype pass
+   in the paper recognises ISPC's lowering: find blocks named
+   foreach_full_body*, locate the conditional backedge, and recover
+   new_counter (the add feeding the exit compare) and aligned_end (the
+   compare's other operand). The structured {!Func.foreach_meta}
+   recorded by codegen is used only as a cross-check in tests. *)
+let detect (f : Func.t) : found_foreach list =
+  let def_tbl = Func.def_table f in
+  List.filter_map
+    (fun header_blk ->
+      let header = header_blk.Block.label in
+      if not (is_full_body_label header) then None
+      else
+        (* Find the latch: a block whose condbr targets the header. *)
+        let latch_opt =
+          List.find_opt
+            (fun b ->
+              match Block.terminator b with
+              | Some { Instr.op = Instr.Condbr (_, l1, l2); _ } ->
+                l1 = header || l2 = header
+              | _ -> false)
+            f.Func.blocks
+        in
+        match latch_opt with
+        | None -> None
+        | Some latch -> (
+          match Block.terminator latch with
+          | Some
+              {
+                Instr.op = Instr.Condbr (Instr.Reg (cond_reg, _), l1, l2);
+                _;
+              } -> (
+            let exit = if l1 = header then l2 else l1 in
+            match Hashtbl.find_opt def_tbl cond_reg with
+            | Some
+                {
+                  Instr.op =
+                    Instr.Icmp
+                      ( Instr.Islt,
+                        Instr.Reg (nc, _),
+                        Instr.Reg (ae, _) );
+                  _;
+                } -> (
+              (* new_counter = add counter, Vl *)
+              match Hashtbl.find_opt def_tbl nc with
+              | Some
+                  {
+                    Instr.op =
+                      Instr.Ibinop
+                        ( Instr.Add,
+                          _,
+                          Instr.Imm (Const.Cint (_, vl)) );
+                    _;
+                  } ->
+                Some
+                  {
+                    ff_header = header;
+                    ff_latch = latch.Block.label;
+                    ff_exit = exit;
+                    ff_new_counter = nc;
+                    ff_aligned_end = ae;
+                    ff_vl = Int64.to_int vl;
+                  }
+              | _ -> None)
+            | _ -> None)
+          | _ -> None))
+    f.Func.blocks
+
+(* Split the latch->exit edge with a detector block. With [strengthen]
+   an additional exit-equality check (new_counter == aligned_end) is
+   emitted — an extension beyond the paper's Fig 8 that also traps
+   fault-induced early exits. *)
+let insert_check_block ?(strengthen = false) (f : Func.t)
+    (ff : found_foreach) =
+  let check_label =
+    Func.fresh_label f "foreach_fullbody_check_invariants"
+  in
+  let call =
+    {
+      Instr.id = -1;
+      name = "__det_check";
+      ty = Vtype.Void;
+      op =
+        Instr.Call
+          ( Runtime.check_foreach_name,
+            [
+              Instr.Reg (ff.ff_new_counter, Vtype.i32);
+              Instr.Reg (ff.ff_aligned_end, Vtype.i32);
+              Instr.Imm (Const.i32 ff.ff_vl);
+            ] );
+    }
+  in
+  let exact_calls =
+    if strengthen then
+      [
+        {
+          Instr.id = -1;
+          name = "__det_check_exact";
+          ty = Vtype.Void;
+          op =
+            Instr.Call
+              ( Runtime.check_foreach_exact_name,
+                [
+                  Instr.Reg (ff.ff_new_counter, Vtype.i32);
+                  Instr.Reg (ff.ff_aligned_end, Vtype.i32);
+                ] );
+        };
+      ]
+    else []
+  in
+  let br =
+    { Instr.id = -1; name = ""; ty = Vtype.Void; op = Instr.Br ff.ff_exit }
+  in
+  let check_blk =
+    Block.create ~instrs:((call :: exact_calls) @ [ br ]) check_label
+  in
+  (* Retarget the latch's exit edge. *)
+  let latch = Func.find_block f ff.ff_latch in
+  Block.retarget latch (fun l ->
+      if l = ff.ff_exit then check_label else l);
+  (* Fix incoming labels of phis in the exit block. *)
+  let exit_blk = Func.find_block f ff.ff_exit in
+  Block.map_instrs exit_blk (fun i ->
+      match i.Instr.op with
+      | Instr.Phi incoming ->
+        {
+          i with
+          Instr.op =
+            Instr.Phi
+              (List.map
+                 (fun (l, v) ->
+                   ((if l = ff.ff_latch then check_label else l), v))
+                 incoming);
+        }
+      | _ -> i);
+  Func.add_block f check_blk;
+  check_label
+
+(* Additionally check the invariants on every iteration (ablation). *)
+let insert_per_iteration_check (f : Func.t) (ff : found_foreach) =
+  let latch = Func.find_block f ff.ff_latch in
+  let call =
+    {
+      Instr.id = -1;
+      name = "__det_check_iter";
+      ty = Vtype.Void;
+      op =
+        Instr.Call
+          ( Runtime.check_foreach_name,
+            [
+              Instr.Reg (ff.ff_new_counter, Vtype.i32);
+              Instr.Reg (ff.ff_aligned_end, Vtype.i32);
+              Instr.Imm (Const.i32 ff.ff_vl);
+            ] );
+    }
+  in
+  (* new_counter <= aligned_end fails on the final iteration where
+     new_counter = aligned_end exactly — that is still <=, fine. *)
+  Block.insert_before_terminator latch [ call ]
+
+type placement = [ `Exit_only | `Every_iteration ]
+
+(* Run the pass over a module. Returns the number of detector blocks
+   inserted. The module is modified in place and re-verified.
+   [strengthen] adds the exit-equality check (extension). *)
+let run ?(placement : placement = `Exit_only) ?(strengthen = false)
+    (m : Vmodule.t) : int =
+  Vmodule.declare_extern m ~name:Runtime.check_foreach_name
+    ~arg_tys:[ Vtype.i32; Vtype.i32; Vtype.i32 ]
+    ~ret:Vtype.Void;
+  if strengthen then
+    Vmodule.declare_extern m ~name:Runtime.check_foreach_exact_name
+      ~arg_tys:[ Vtype.i32; Vtype.i32 ] ~ret:Vtype.Void;
+  let count = ref 0 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun ff ->
+          (match placement with
+          | `Exit_only -> ignore (insert_check_block ~strengthen f ff)
+          | `Every_iteration ->
+            insert_per_iteration_check f ff;
+            ignore (insert_check_block ~strengthen f ff));
+          incr count)
+        (detect f))
+    m.Vmodule.funcs;
+  Verify.check_module m;
+  !count

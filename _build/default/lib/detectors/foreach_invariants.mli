@@ -1,0 +1,31 @@
+(** Automatic insertion of foreach loop-invariant detectors (paper
+    §III-A, Figs 7 and 8). *)
+
+(** A recognised foreach lowering, recovered by pattern-matching the
+    code generator's output (the structured metadata in
+    {!Vir.Func.foreach_meta} is only a cross-check). *)
+type found_foreach = {
+  ff_header : string;  (** label of foreach_full_body *)
+  ff_latch : string;  (** block carrying the backedge + exit edge *)
+  ff_exit : string;  (** exit successor (partial_inner_all_outer) *)
+  ff_new_counter : Vir.Instr.reg;
+  ff_aligned_end : Vir.Instr.reg;
+  ff_vl : int;
+}
+
+(** Recognise every lowered foreach loop in a function. *)
+val detect : Vir.Func.t -> found_foreach list
+
+type placement =
+  [ `Exit_only  (** the paper's choice: check once, on loop exit *)
+  | `Every_iteration  (** ablation: also check on every iteration *) ]
+
+(** [run ?placement ?strengthen m] inserts a
+    [foreach_fullbody_check_invariants] block on the exit edge of every
+    recognised foreach loop (splitting the edge and fixing phis), plus
+    per-iteration checks when requested. [strengthen] adds the
+    exit-equality check [new_counter == aligned_end] — an extension
+    beyond Fig 8 that also traps fault-induced early exits. The module
+    is modified in place and re-verified; returns the number of loops
+    protected. *)
+val run : ?placement:placement -> ?strengthen:bool -> Vir.Vmodule.t -> int

@@ -1,0 +1,101 @@
+(** Runtime side of the compiler-derived error detectors.
+
+    The detector passes splice calls to these externs into the IR; at
+    run time a violated invariant raises a detection flag. Detection is
+    recorded rather than aborting, so an experiment can report both the
+    outcome (SDC/benign/crash) and whether a detector flagged it —
+    exactly the measurement Fig 12 makes. *)
+
+let check_foreach_name = "__vulfi_check_foreach"
+
+let check_foreach_exact_name = "__vulfi_check_foreach_exact"
+
+let check_uniform_name = "__vulfi_check_uniform"
+
+let assert_name = "__vulfi_assert"
+
+type t = {
+  mutable foreach_violations : int;
+  mutable uniform_violations : int;
+  mutable assert_violations : int;
+}
+
+let create () =
+  { foreach_violations = 0; uniform_violations = 0; assert_violations = 0 }
+
+let flagged t =
+  t.foreach_violations > 0 || t.uniform_violations > 0
+  || t.assert_violations > 0
+
+let reset t =
+  t.foreach_violations <- 0;
+  t.uniform_violations <- 0;
+  t.assert_violations <- 0
+
+(* checkInvariantsForeachFullBody(new_counter, aligned_end, Vl):
+   Fig 8's three loop invariants, checked on loop exit. *)
+let handle_check_foreach t _st (args : Interp.Vvalue.t list) =
+  (match args with
+  | [ nc; ae; vl ] ->
+    let nc = Interp.Vvalue.as_int nc in
+    let ae = Interp.Vvalue.as_int ae in
+    let vl = Interp.Vvalue.as_int vl in
+    let ok =
+      Int64.compare nc 0L >= 0        (* Invariant 1: new_counter >= 0 *)
+      && Int64.compare nc ae <= 0     (* Invariant 2: <= aligned_end *)
+      && (Int64.equal vl 0L |> not)
+      && Int64.equal (Int64.rem nc vl) 0L  (* Invariant 3: % Vl == 0 *)
+    in
+    if not ok then t.foreach_violations <- t.foreach_violations + 1
+  | _ -> invalid_arg "__vulfi_check_foreach: bad arity");
+  None
+
+(* Strengthened exit invariant (an extension beyond the paper's Fig 8):
+   on the normal exit path new_counter does not merely satisfy
+   new_counter <= aligned_end — it must EQUAL aligned_end, which also
+   traps fault-induced early exits that Fig 8's invariants admit. *)
+let handle_check_foreach_exact t _st (args : Interp.Vvalue.t list) =
+  (match args with
+  | [ nc; ae ] ->
+    if not (Int64.equal (Interp.Vvalue.as_int nc) (Interp.Vvalue.as_int ae))
+    then t.foreach_violations <- t.foreach_violations + 1
+  | _ -> invalid_arg "__vulfi_check_foreach_exact: bad arity");
+  None
+
+(* checkUniformBroadcast(or_reduced_xor): non-zero means some lane of a
+   broadcast vector differed from lane 0 (§III-B). *)
+let handle_check_uniform t _st (args : Interp.Vvalue.t list) =
+  (match args with
+  | [ diff ] ->
+    if not (Int64.equal (Interp.Vvalue.as_int diff) 0L) then
+      t.uniform_violations <- t.uniform_violations + 1
+  | _ -> invalid_arg "__vulfi_check_uniform: bad arity");
+  None
+
+(* Source-level assert (mini-ISPC [assert(cond);]): argument is an
+   all-active-lanes-ok flag; false flags the run. *)
+let handle_assert t _st (args : Interp.Vvalue.t list) =
+  (match args with
+  | [ ok ] ->
+    if not (Interp.Vvalue.as_bool ok) then
+      t.assert_violations <- t.assert_violations + 1
+  | _ -> invalid_arg "__vulfi_assert: bad arity");
+  None
+
+let attach t (st : Interp.Machine.state) =
+  Interp.Machine.register_extern st check_foreach_name
+    (handle_check_foreach t);
+  Interp.Machine.register_extern st check_foreach_exact_name
+    (handle_check_foreach_exact t);
+  Interp.Machine.register_extern st check_uniform_name
+    (handle_check_uniform t);
+  Interp.Machine.register_extern st assert_name (handle_assert t)
+
+(* Hooks for the experiment/campaign machinery. *)
+let hooks () : Vulfi.Experiment.hooks =
+  let t = create () in
+  {
+    Vulfi.Experiment.h_attach = attach t;
+    h_flagged = (fun () -> flagged t);
+    h_reset = (fun () -> reset t);
+  }

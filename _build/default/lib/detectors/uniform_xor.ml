@@ -1,0 +1,132 @@
+(** Protection of uniform broadcast values (§III-B, Fig 9).
+
+    ISPC shares a uniform value across lanes by storing it in a scalar
+    register and broadcasting it ([insertelement] into lane 0 of undef
+    followed by a zero [shufflevector]). A bit flip in any lane of the
+    broadcast register breaks the all-lanes-equal invariant, which can
+    be checked cheaply by XORing each lane with its neighbour and
+    OR-reducing the differences.
+
+    The paper describes this detector and defers implementation to
+    future work; this pass implements it: after every broadcast pattern
+    it inserts
+
+      rot  = shufflevector v, undef, <1, 2, ..., n-1, 0>
+      diff = xor v_bits, rot_bits
+      or   = llvm.vector.reduce.or(diff)
+      ne   = icmp ne or, 0
+      call @__vulfi_check_uniform(zext ne)
+
+    and the runtime flags any non-zero result. *)
+
+open Vir
+
+(* Recognise the Fig 9 idiom: shufflevector whose first operand is an
+   insertelement into lane 0 of undef and whose mask is all zeros. *)
+let is_broadcast (def_tbl : (Instr.reg, Instr.t) Hashtbl.t) (i : Instr.t) =
+  match i.Instr.op with
+  | Instr.Shufflevector (Instr.Reg (src, _), Instr.Imm (Const.Cundef _), mask)
+    when Array.for_all (( = ) 0) mask -> (
+    match Hashtbl.find_opt def_tbl src with
+    | Some
+        {
+          Instr.op =
+            Instr.Insertelement
+              (Instr.Imm (Const.Cundef _), _, Instr.Imm (Const.Cint (_, 0L)));
+          _;
+        } ->
+      true
+    | _ -> false)
+  | _ -> false
+
+(* Build the checker chain for broadcast register [reg] of type [ty]. *)
+let build_check (f : Func.t) (reg : Instr.reg) (ty : Vtype.t) :
+    Instr.t list =
+  let n = Vtype.lanes ty in
+  let s = Vtype.elem ty in
+  let mk name ty op =
+    let id = if Vtype.is_void ty then -1 else Func.fresh_reg f in
+    ({ Instr.id; name = Printf.sprintf "__det_%s%d" name (max id 0); ty; op }, id)
+  in
+  let int_s =
+    match s with
+    | Vtype.F32 -> Vtype.I32
+    | Vtype.F64 -> Vtype.I64
+    | other -> other
+  in
+  let int_ty = Vtype.Vector (n, int_s) in
+  let src = Instr.Reg (reg, ty) in
+  let as_int, cast_instrs =
+    if int_s = s then (src, [])
+    else
+      let c, cid = mk "bits" int_ty (Instr.Cast (Instr.Bitcast, src)) in
+      (Instr.Reg (cid, int_ty), [ c ])
+  in
+  let rot_mask = Array.init n (fun k -> (k + 1) mod n) in
+  let rot, rot_id =
+    mk "rot" int_ty
+      (Instr.Shufflevector (as_int, Instr.Imm (Const.Cundef int_ty), rot_mask))
+  in
+  let diff, diff_id =
+    mk "diff" int_ty
+      (Instr.Ibinop (Instr.Xor, as_int, Instr.Reg (rot_id, int_ty)))
+  in
+  ignore diff_id;
+  let orred, or_id =
+    mk "or"
+      (Vtype.Scalar int_s)
+      (Instr.Call
+         ( Printf.sprintf "llvm.vector.reduce.or.v%d%s" n
+             (Vtype.scalar_name int_s),
+           [ Instr.Reg (diff.Instr.id, int_ty) ] ))
+  in
+  ignore or_id;
+  let ne, ne_id =
+    mk "ne" Vtype.bool_ty
+      (Instr.Icmp
+         ( Instr.Ine,
+           Instr.Reg (orred.Instr.id, Vtype.Scalar int_s),
+           Instr.Imm (Const.zero int_s) ))
+  in
+  let z, z_id =
+    mk "z" Vtype.i32
+      (Instr.Cast (Instr.Zext, Instr.Reg (ne_id, Vtype.bool_ty)))
+  in
+  ignore z_id;
+  let call, _ =
+    mk "call" Vtype.Void
+      (Instr.Call
+         (Runtime.check_uniform_name, [ Instr.Reg (z.Instr.id, Vtype.i32) ]))
+  in
+  cast_instrs @ [ rot; diff; orred; ne; z; call ]
+
+(* Insert a checker after every broadcast in [m]; returns how many were
+   protected. *)
+let run (m : Vmodule.t) : int =
+  Vmodule.declare_extern m ~name:Runtime.check_uniform_name
+    ~arg_tys:[ Vtype.i32 ] ~ret:Vtype.Void;
+  let count = ref 0 in
+  List.iter
+    (fun f ->
+      let def_tbl = Func.def_table f in
+      List.iter
+        (fun b ->
+          (* Collect first: insertion invalidates the iteration. *)
+          let broadcasts =
+            List.filter_map
+              (fun (i : Instr.t) ->
+                if Instr.defines i && is_broadcast def_tbl i then
+                  Some (i.Instr.id, i.Instr.ty)
+                else None)
+              b.Block.instrs
+          in
+          List.iter
+            (fun (reg, ty) ->
+              let chain = build_check f reg ty in
+              Block.insert_after b ~after:reg chain;
+              incr count)
+            broadcasts)
+        f.Func.blocks)
+    m.Vmodule.funcs;
+  Verify.check_module m;
+  !count

@@ -1,0 +1,10 @@
+(** Protection of uniform broadcast values (paper §III-B, Fig 9),
+    implemented here although the paper defers it to future work.
+
+    After every [insertelement]+[shufflevector] broadcast the pass
+    emits a rotate/XOR/OR-reduce chain and a call to the uniform
+    checker, which flags any lane diverging from its neighbour. *)
+
+(** [run m] protects every broadcast in [m] (in place, re-verified);
+    returns how many were protected. *)
+val run : Vir.Vmodule.t -> int

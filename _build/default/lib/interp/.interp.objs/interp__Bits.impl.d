@@ -1,0 +1,1 @@
+lib/interp/bits.ml: Int32 Int64 Printf Vir

@@ -1,0 +1,1 @@
+lib/interp/compile.ml: Array Hashtbl List Option Printf Vir Vvalue

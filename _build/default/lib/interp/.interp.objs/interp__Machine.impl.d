@@ -1,0 +1,1 @@
+lib/interp/machine.ml: Array Bits Compile Float Hashtbl Int64 List Memory Option Printf Trap Vir Vvalue

@@ -1,0 +1,1 @@
+lib/interp/machine.mli: Compile Memory Vir Vvalue

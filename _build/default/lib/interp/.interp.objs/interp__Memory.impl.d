@@ -1,0 +1,1 @@
+lib/interp/memory.ml: Array Bytes Char Int32 Int64 Trap Vir Vvalue

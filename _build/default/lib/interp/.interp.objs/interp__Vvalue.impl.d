@@ -1,0 +1,1 @@
+lib/interp/vvalue.ml: Array Bits Int64 Printf String Vir

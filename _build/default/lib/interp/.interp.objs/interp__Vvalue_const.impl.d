@@ -1,0 +1,1 @@
+lib/interp/vvalue_const.ml: Array Vir Vvalue

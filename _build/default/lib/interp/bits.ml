@@ -1,0 +1,63 @@
+(** Bit-level manipulation shared by the VM and the fault injector.
+
+    All scalar values are ultimately bit patterns; a single-event upset
+    is a XOR with a one-hot mask. Floats are flipped through their IEEE
+    bit representation, matching how a CPU register fault manifests. *)
+
+(* Truncate an int64 to the value range of a scalar type, preserving the
+   two's-complement interpretation used by the VM (i1 -> 0/1, i8 signed
+   byte, i32 signed 32-bit, i64/ptr full width). *)
+let truncate (s : Vir.Vtype.scalar) (x : int64) =
+  match s with
+  | I1 -> Int64.logand x 1L
+  | I8 ->
+    (* sign-extend the low byte *)
+    Int64.shift_right (Int64.shift_left x 56) 56
+  | I32 -> Int64.of_int32 (Int64.to_int32 x)
+  | I64 | Ptr -> x
+  | F32 | F64 -> invalid_arg "Bits.truncate: float scalar"
+
+(* Two's-complement unsigned reinterpretation helpers for udiv/urem and
+   unsigned comparisons at narrow widths. *)
+let to_unsigned (s : Vir.Vtype.scalar) (x : int64) =
+  match s with
+  | I1 -> Int64.logand x 1L
+  | I8 -> Int64.logand x 0xFFL
+  | I32 -> Int64.logand x 0xFFFFFFFFL
+  | I64 | Ptr -> x
+  | F32 | F64 -> invalid_arg "Bits.to_unsigned: float scalar"
+
+let bits_of_float (s : Vir.Vtype.scalar) (x : float) =
+  match s with
+  | F32 -> Int64.of_int32 (Int32.bits_of_float x)
+  | F64 -> Int64.bits_of_float x
+  | _ -> invalid_arg "Bits.bits_of_float: int scalar"
+
+let float_of_bits (s : Vir.Vtype.scalar) (b : int64) =
+  match s with
+  | F32 -> Int32.float_of_bits (Int64.to_int32 b)
+  | F64 -> Int64.float_of_bits b
+  | _ -> invalid_arg "Bits.float_of_bits: int scalar"
+
+(* Round a float to the storage precision of [s]. *)
+let round_float (s : Vir.Vtype.scalar) (x : float) =
+  match s with
+  | F32 -> Int32.float_of_bits (Int32.bits_of_float x)
+  | _ -> x
+
+(* Flip bit [bit] (0 = LSB) of an integer scalar value. The result is
+   re-truncated so that e.g. flipping bit 31 of an i32 stays in range. *)
+let flip_int (s : Vir.Vtype.scalar) ~bit (x : int64) =
+  if bit < 0 || bit >= Vir.Vtype.scalar_bits s then
+    invalid_arg
+      (Printf.sprintf "Bits.flip_int: bit %d out of range for %s" bit
+         (Vir.Vtype.scalar_name s));
+  truncate s (Int64.logxor x (Int64.shift_left 1L bit))
+
+(* Flip bit [bit] of a float value through its IEEE representation. *)
+let flip_float (s : Vir.Vtype.scalar) ~bit (x : float) =
+  if bit < 0 || bit >= Vir.Vtype.scalar_bits s then
+    invalid_arg
+      (Printf.sprintf "Bits.flip_float: bit %d out of range for %s" bit
+         (Vir.Vtype.scalar_name s));
+  float_of_bits s (Int64.logxor (bits_of_float s x) (Int64.shift_left 1L bit))

@@ -1,0 +1,131 @@
+(** Lowering VIR functions into a dense register-VM form.
+
+    The interpreter executes millions of dynamic instructions per
+    campaign, so operand lookups must be O(1): register operands become
+    indices into a per-frame register file, constants become
+    pre-evaluated {!Vvalue.t}s, and block labels become indices. *)
+
+type coperand =
+  | Creg of int
+  | Cimm of Vvalue.t
+
+type cinstr = {
+  src : Vir.Instr.t;  (** original instruction, for dispatch/reporting *)
+  dst : int;          (** destination register slot; [-1] if void *)
+  ops : coperand array;
+  cvec : bool;        (** vector instruction (pre-computed for dynamic
+                          instruction-mix profiling) *)
+}
+
+type cphi = {
+  pdst : int;
+  (* incoming value per predecessor block index *)
+  incoming : (int * coperand) array;
+}
+
+type cterm =
+  | Tbr of int
+  | Tcondbr of coperand * int * int
+  | Tret of coperand option
+  | Tunreachable
+
+type cblock = {
+  clabel : string;
+  cphis : cphi array;
+  body : cinstr array;  (** non-phi, non-terminator instructions *)
+  term : cterm;
+  term_src : Vir.Instr.t;
+}
+
+type cfunc = {
+  cf : Vir.Func.t;
+  cblocks : cblock array;
+  nregs : int;
+}
+
+type cmodule = {
+  cm : Vir.Vmodule.t;
+  cfuncs : (string, cfunc) Hashtbl.t;
+}
+
+let compile_operand (o : Vir.Instr.operand) =
+  match o with
+  | Vir.Instr.Reg (r, _) -> Creg r
+  | Vir.Instr.Imm c -> Cimm (Vvalue.of_const c)
+
+let compile_func (f : Vir.Func.t) : cfunc =
+  let blocks = Array.of_list f.Vir.Func.blocks in
+  let index_of = Hashtbl.create (Array.length blocks) in
+  Array.iteri
+    (fun i b -> Hashtbl.replace index_of b.Vir.Block.label i)
+    blocks;
+  let block_index label =
+    match Hashtbl.find_opt index_of label with
+    | Some i -> i
+    | None -> invalid_arg ("Compile: unknown label %" ^ label)
+  in
+  let compile_block (b : Vir.Block.t) : cblock =
+    let phis = ref [] and body = ref [] and term = ref None in
+    List.iter
+      (fun (i : Vir.Instr.t) ->
+        match i.Vir.Instr.op with
+        | Vir.Instr.Phi incoming ->
+          phis :=
+            {
+              pdst = i.Vir.Instr.id;
+              incoming =
+                Array.of_list
+                  (List.map
+                     (fun (l, v) -> (block_index l, compile_operand v))
+                     incoming);
+            }
+            :: !phis
+        | Vir.Instr.Br l -> term := Some (Tbr (block_index l), i)
+        | Vir.Instr.Condbr (c, l1, l2) ->
+          term :=
+            Some
+              ( Tcondbr (compile_operand c, block_index l1, block_index l2),
+                i )
+        | Vir.Instr.Ret v ->
+          term := Some (Tret (Option.map compile_operand v), i)
+        | Vir.Instr.Unreachable -> term := Some (Tunreachable, i)
+        | _ ->
+          body :=
+            {
+              src = i;
+              dst = (if Vir.Instr.defines i then i.Vir.Instr.id else -1);
+              ops =
+                Array.of_list
+                  (List.map compile_operand (Vir.Instr.operands i));
+              cvec = Vir.Instr.is_vector_instr i;
+            }
+            :: !body)
+      b.Vir.Block.instrs;
+    let term, term_src =
+      match !term with
+      | Some (t, i) -> (t, i)
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Compile: block %%%s has no terminator"
+             b.Vir.Block.label)
+    in
+    {
+      clabel = b.Vir.Block.label;
+      cphis = Array.of_list (List.rev !phis);
+      body = Array.of_list (List.rev !body);
+      term;
+      term_src;
+    }
+  in
+  {
+    cf = f;
+    cblocks = Array.map compile_block blocks;
+    nregs = f.Vir.Func.next_reg;
+  }
+
+let compile_module (m : Vir.Vmodule.t) : cmodule =
+  let cfuncs = Hashtbl.create 16 in
+  List.iter
+    (fun f -> Hashtbl.replace cfuncs f.Vir.Func.fname (compile_func f))
+    m.Vir.Vmodule.funcs;
+  { cm = m; cfuncs }

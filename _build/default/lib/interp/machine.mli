@@ -1,0 +1,44 @@
+(** The VIR virtual machine: executes a compiled module with
+    bounds-checked memory, a dynamic-instruction budget (a fault-induced
+    endless loop becomes an observable hang trap), and a pluggable
+    extern mechanism through which the VULFI runtime and benchmark I/O
+    are wired in. *)
+
+type state
+
+(** Default budget: 200M dynamic instructions. *)
+val default_budget : int
+
+(** Fresh machine over compiled code. [budget] bounds dynamic
+    instructions (exceeding it raises {!Interp.Trap.Budget_exhausted});
+    [max_depth] bounds the call stack. *)
+val create : ?budget:int -> ?max_depth:int -> Compile.cmodule -> state
+
+(** Register (or replace) a handler for calls to an undefined function.
+    The handler returns [None] for void functions. *)
+val register_extern :
+  state -> string -> (state -> Vvalue.t list -> Vvalue.t option) -> unit
+
+(** The machine's memory, for setting up inputs / reading outputs. *)
+val memory : state -> Memory.t
+
+(** Dynamic instructions executed so far. *)
+val dyn_count : state -> int
+
+(** Executed vector instructions (at least one vector operand or
+    result) — the dynamic counterpart of the paper's Fig 10 census. *)
+val dyn_vector_count : state -> int
+
+(** Lane evaluators, exposed for reuse by constant folding and the
+    reference SPMD evaluator so semantics cannot drift. *)
+
+val eval_ibinop_lane : Vir.Instr.ibinop -> Vir.Vtype.scalar -> int64 -> int64 -> int64
+val eval_fbinop_lane : Vir.Instr.fbinop -> Vir.Vtype.scalar -> float -> float -> float
+val eval_icmp_lane : Vir.Instr.icmp_pred -> Vir.Vtype.scalar -> int64 -> int64 -> int64
+val eval_fcmp_lane : Vir.Instr.fcmp_pred -> float -> float -> int64
+val eval_cast : Vir.Instr.cast_op -> Vir.Vtype.t -> Vvalue.t -> Vvalue.t
+
+(** Run function [name] with the given arguments; returns its value
+    ([None] for void).
+    @raise Trap.Trap on crash (bounds, division, budget, ...). *)
+val run : state -> string -> Vvalue.t list -> Vvalue.t option

@@ -1,0 +1,195 @@
+(** Bounds-checked flat memory.
+
+    Each allocation lives at a distinct base address with large guard
+    gaps between allocations, so a bit flip in an address register most
+    often lands outside every allocation and traps — reproducing the
+    paper's observation that address-site faults predominantly crash.
+    Flips of low-order bits can stay inside the allocation and silently
+    corrupt data instead, which is equally faithful. *)
+
+type region = {
+  base : int64;
+  size : int;        (** bytes *)
+  data : Bytes.t;
+  rname : string;    (** for debugging *)
+}
+
+type t = {
+  mutable regions : region list;  (** most recent first *)
+  mutable next_base : int64;
+}
+
+(* Bases start high and advance by the allocation size rounded up to a
+   page plus a guard page, mimicking a sparse address space. *)
+let create () = { regions = []; next_base = 0x1000_0000L }
+
+let page = 4096
+
+let round_up n k = (n + k - 1) / k * k
+
+let alloc m ~name ~bytes =
+  if bytes < 0 then invalid_arg "Memory.alloc: negative size";
+  let size = max bytes 1 in
+  let base = m.next_base in
+  let region = { base; size; data = Bytes.make size '\000'; rname = name } in
+  m.regions <- region :: m.regions;
+  m.next_base <-
+    Int64.add base (Int64.of_int (round_up size page + page));
+  base
+
+let find m addr =
+  let rec go = function
+    | [] -> None
+    | r :: rest ->
+      if addr >= r.base && Int64.sub addr r.base < Int64.of_int r.size then
+        Some r
+      else go rest
+  in
+  go m.regions
+
+let region_for m addr ~bytes =
+  match find m addr with
+  | None -> Trap.raise_ (Trap.Out_of_bounds addr)
+  | Some r ->
+    let off = Int64.to_int (Int64.sub addr r.base) in
+    if off + bytes > r.size then Trap.raise_ (Trap.Out_of_bounds addr)
+    else (r, off)
+
+(* Scalar loads/stores by element kind. i1 occupies one byte. *)
+let load_scalar m (s : Vir.Vtype.scalar) addr : Vvalue.t =
+  let bytes = Vir.Vtype.scalar_bytes s in
+  let r, off = region_for m addr ~bytes in
+  match s with
+  | I1 ->
+    Vvalue.I (I1, [| (if Bytes.get r.data off = '\000' then 0L else 1L) |])
+  | I8 ->
+    Vvalue.I (I8, [| Int64.of_int (Char.code (Bytes.get r.data off) lsl 56 asr 56) |])
+  | I32 ->
+    Vvalue.I (I32, [| Int64.of_int32 (Bytes.get_int32_le r.data off) |])
+  | I64 -> Vvalue.I (I64, [| Bytes.get_int64_le r.data off |])
+  | Ptr -> Vvalue.I (Ptr, [| Bytes.get_int64_le r.data off |])
+  | F32 ->
+    Vvalue.F
+      (F32, [| Int32.float_of_bits (Bytes.get_int32_le r.data off) |])
+  | F64 ->
+    Vvalue.F (F64, [| Int64.float_of_bits (Bytes.get_int64_le r.data off) |])
+
+let store_scalar m (s : Vir.Vtype.scalar) addr (lane_int : int64)
+    (lane_float : float) =
+  let bytes = Vir.Vtype.scalar_bytes s in
+  let r, off = region_for m addr ~bytes in
+  match s with
+  | I1 -> Bytes.set r.data off (if lane_int = 0L then '\000' else '\001')
+  | I8 -> Bytes.set r.data off (Char.chr (Int64.to_int lane_int land 0xFF))
+  | I32 -> Bytes.set_int32_le r.data off (Int64.to_int32 lane_int)
+  | I64 | Ptr -> Bytes.set_int64_le r.data off lane_int
+  | F32 -> Bytes.set_int32_le r.data off (Int32.bits_of_float lane_float)
+  | F64 -> Bytes.set_int64_le r.data off (Int64.bits_of_float lane_float)
+
+(* Load a (possibly vector) value of type [ty] from contiguous memory. *)
+let load m (ty : Vir.Vtype.t) addr : Vvalue.t =
+  match ty with
+  | Vir.Vtype.Void -> invalid_arg "Memory.load: void"
+  | Vir.Vtype.Scalar s -> load_scalar m s addr
+  | Vir.Vtype.Vector (n, s) ->
+    let step = Int64.of_int (Vir.Vtype.scalar_bytes s) in
+    if Vir.Vtype.is_float_scalar s then
+      Vvalue.F
+        ( s,
+          Array.init n (fun i ->
+              match
+                load_scalar m s (Int64.add addr (Int64.mul step (Int64.of_int i)))
+              with
+              | Vvalue.F (_, [| x |]) -> x
+              | _ -> assert false) )
+    else
+      Vvalue.I
+        ( s,
+          Array.init n (fun i ->
+              match
+                load_scalar m s (Int64.add addr (Int64.mul step (Int64.of_int i)))
+              with
+              | Vvalue.I (_, [| x |]) -> x
+              | _ -> assert false) )
+
+(* Store a value to contiguous memory; [mask] (if given) disables lanes. *)
+let store ?mask m (v : Vvalue.t) addr =
+  let n = Vvalue.lanes v in
+  let s = Vvalue.scalar_kind v in
+  let step = Int64.of_int (Vir.Vtype.scalar_bytes s) in
+  for i = 0 to n - 1 do
+    let enabled =
+      match mask with None -> true | Some mk -> Vvalue.is_true_lane mk i
+    in
+    if enabled then
+      let a = Int64.add addr (Int64.mul step (Int64.of_int i)) in
+      match v with
+      | Vvalue.I (_, lanes) -> store_scalar m s a lanes.(i) 0.0
+      | Vvalue.F (_, lanes) -> store_scalar m s a 0L lanes.(i)
+  done
+
+(* Masked load: disabled lanes read as zero without touching memory
+   (matching AVX maskload semantics). *)
+let masked_load m (ty : Vir.Vtype.t) addr ~mask : Vvalue.t =
+  match ty with
+  | Vir.Vtype.Vector (n, s) ->
+    let step = Int64.of_int (Vir.Vtype.scalar_bytes s) in
+    let lane_addr i = Int64.add addr (Int64.mul step (Int64.of_int i)) in
+    if Vir.Vtype.is_float_scalar s then
+      Vvalue.F
+        ( s,
+          Array.init n (fun i ->
+              if Vvalue.is_true_lane mask i then
+                match load_scalar m s (lane_addr i) with
+                | Vvalue.F (_, [| x |]) -> x
+                | _ -> assert false
+              else 0.0) )
+    else
+      Vvalue.I
+        ( s,
+          Array.init n (fun i ->
+              if Vvalue.is_true_lane mask i then
+                match load_scalar m s (lane_addr i) with
+                | Vvalue.I (_, [| x |]) -> x
+                | _ -> assert false
+              else 0L) )
+  | _ -> invalid_arg "Memory.masked_load: scalar type"
+
+(* Typed bulk accessors used by the benchmark harness. *)
+
+let write_i32_array m base (xs : int array) =
+  Array.iteri
+    (fun i x ->
+      store_scalar m I32 (Int64.add base (Int64.of_int (4 * i)))
+        (Int64.of_int x) 0.0)
+    xs
+
+let read_i32_array m base n =
+  Array.init n (fun i ->
+      match load_scalar m I32 (Int64.add base (Int64.of_int (4 * i))) with
+      | Vvalue.I (_, [| x |]) -> Int64.to_int x
+      | _ -> assert false)
+
+let write_f32_array m base (xs : float array) =
+  Array.iteri
+    (fun i x ->
+      store_scalar m F32 (Int64.add base (Int64.of_int (4 * i))) 0L x)
+    xs
+
+let read_f32_array m base n =
+  Array.init n (fun i ->
+      match load_scalar m F32 (Int64.add base (Int64.of_int (4 * i))) with
+      | Vvalue.F (_, [| x |]) -> x
+      | _ -> assert false)
+
+let write_f64_array m base (xs : float array) =
+  Array.iteri
+    (fun i x ->
+      store_scalar m F64 (Int64.add base (Int64.of_int (8 * i))) 0L x)
+    xs
+
+let read_f64_array m base n =
+  Array.init n (fun i ->
+      match load_scalar m F64 (Int64.add base (Int64.of_int (8 * i))) with
+      | Vvalue.F (_, [| x |]) -> x
+      | _ -> assert false)

@@ -1,0 +1,35 @@
+(** Bounds-checked flat memory. Allocations live at distinct bases with
+    large guard gaps, so a bit flip in an address register most often
+    lands outside every allocation and traps — reproducing the paper's
+    observation that address-site faults predominantly crash, while
+    low-order flips stay in-bounds and silently corrupt. *)
+
+type t
+
+val create : unit -> t
+
+(** Allocate [bytes] (zero-initialised); returns the base address.
+    [name] is kept for debugging. *)
+val alloc : t -> name:string -> bytes:int -> int64
+
+(** Load a (possibly vector) value of [ty] from contiguous memory.
+    @raise Trap.Trap on out-of-bounds access. *)
+val load : t -> Vir.Vtype.t -> int64 -> Vvalue.t
+
+(** Store a value contiguously; [mask] (lane booleans) disables lanes,
+    matching AVX maskstore semantics. *)
+val store : ?mask:Vvalue.t -> t -> Vvalue.t -> int64 -> unit
+
+(** Masked vector load: disabled lanes read as zero without touching
+    memory (AVX maskload semantics — a masked-off lane may point out of
+    bounds without trapping). *)
+val masked_load : t -> Vir.Vtype.t -> int64 -> mask:Vvalue.t -> Vvalue.t
+
+(** Typed bulk accessors for benchmark harnesses. *)
+
+val write_i32_array : t -> int64 -> int array -> unit
+val read_i32_array : t -> int64 -> int -> int array
+val write_f32_array : t -> int64 -> float array -> unit
+val read_f32_array : t -> int64 -> int -> float array
+val write_f64_array : t -> int64 -> float array -> unit
+val read_f64_array : t -> int64 -> int -> float array

@@ -1,0 +1,28 @@
+(** Runtime traps. A trap during a fault-injection run is what the paper
+    classifies as a *crash*: "a system failure, a program crash, or any
+    other issue that could easily be detected by the end user" — we fold
+    hangs (exhausted execution budget) into the same bucket. *)
+
+type kind =
+  | Out_of_bounds of int64  (** memory access outside any allocation *)
+  | Misaligned of int64     (** access not aligned to element size *)
+  | Division_by_zero
+  | Budget_exhausted        (** dynamic instruction budget exceeded: hang *)
+  | Unreachable_executed
+  | Invalid_lane of int     (** extract/insert with out-of-range index *)
+  | Unknown_function of string
+  | Stack_overflow_vm       (** call depth limit *)
+
+exception Trap of kind
+
+let to_string = function
+  | Out_of_bounds a -> Printf.sprintf "out-of-bounds access at 0x%Lx" a
+  | Misaligned a -> Printf.sprintf "misaligned access at 0x%Lx" a
+  | Division_by_zero -> "division by zero"
+  | Budget_exhausted -> "execution budget exhausted (hang)"
+  | Unreachable_executed -> "unreachable executed"
+  | Invalid_lane i -> Printf.sprintf "vector lane %d out of range" i
+  | Unknown_function f -> "call to unknown function @" ^ f
+  | Stack_overflow_vm -> "VM call stack overflow"
+
+let raise_ k = raise (Trap k)

@@ -1,0 +1,20 @@
+(** Runtime traps. A trap during a fault-injection run is what the
+    paper classifies as a {e crash}; hangs become {!Budget_exhausted}
+    via the machine's execution budget. *)
+
+type kind =
+  | Out_of_bounds of int64  (** access outside any allocation *)
+  | Misaligned of int64
+  | Division_by_zero
+  | Budget_exhausted  (** dynamic instruction budget exceeded: hang *)
+  | Unreachable_executed
+  | Invalid_lane of int  (** extract/insert with out-of-range index *)
+  | Unknown_function of string
+  | Stack_overflow_vm  (** call-depth limit *)
+
+exception Trap of kind
+
+val to_string : kind -> string
+
+(** [raise_ k] raises {!Trap}. *)
+val raise_ : kind -> 'a

@@ -1,0 +1,172 @@
+(** Runtime values of the VM.
+
+    A value is a typed array of lanes: scalars are 1-lane values, vectors
+    are [Vl]-lane values. Integers (including booleans and pointers) are
+    stored as sign-normalised [int64]s; floats as OCaml floats, with F32
+    lanes kept rounded to single precision. *)
+
+type t =
+  | I of Vir.Vtype.scalar * int64 array  (** I1/I8/I32/I64/Ptr lanes *)
+  | F of Vir.Vtype.scalar * float array  (** F32/F64 lanes *)
+
+let ty = function
+  | I (s, a) -> Vir.Vtype.with_lanes (Array.length a) (Vir.Vtype.Scalar s)
+  | F (s, a) -> Vir.Vtype.with_lanes (Array.length a) (Vir.Vtype.Scalar s)
+
+let lanes = function I (_, a) -> Array.length a | F (_, a) -> Array.length a
+
+let scalar_kind = function I (s, _) -> s | F (s, _) -> s
+
+let int_scalar s x = I (s, [| Bits.truncate s x |])
+
+let of_bool b = I (I1, [| (if b then 1L else 0L) |])
+
+let of_i32 x = I (I32, [| Bits.truncate I32 (Int64.of_int x) |])
+
+let of_i64 x = I (I64, [| x |])
+
+let of_ptr x = I (Ptr, [| x |])
+
+let of_f32 x = F (F32, [| Bits.round_float F32 x |])
+
+let of_f64 x = F (F64, [| x |])
+
+(* Lane accessors; [lane] defaults to 0 for scalars. *)
+let int_lane v i =
+  match v with
+  | I (_, a) -> a.(i)
+  | F _ -> invalid_arg "Vvalue.int_lane: float value"
+
+let float_lane v i =
+  match v with
+  | F (_, a) -> a.(i)
+  | I _ -> invalid_arg "Vvalue.float_lane: int value"
+
+let as_int v =
+  match v with
+  | I (_, [| x |]) -> x
+  | I _ -> invalid_arg "Vvalue.as_int: vector"
+  | F _ -> invalid_arg "Vvalue.as_int: float"
+
+let as_float v =
+  match v with
+  | F (_, [| x |]) -> x
+  | F _ -> invalid_arg "Vvalue.as_float: vector"
+  | I _ -> invalid_arg "Vvalue.as_float: int"
+
+let as_bool v = as_int v <> 0L
+
+let is_true_lane v i =
+  match v with
+  | I (_, a) -> a.(i) <> 0L
+  | F (_, a) -> a.(i) <> 0.0
+
+(* Build from a VIR constant. [undef] becomes zeros, which is
+   deterministic and keeps fault-free runs reproducible. *)
+let rec of_const (c : Vir.Const.t) =
+  match c with
+  | Vir.Const.Cint (s, x) -> I (s, [| Bits.truncate s x |])
+  | Vir.Const.Cfloat (s, x) -> F (s, [| Bits.round_float s x |])
+  | Vir.Const.Cundef t -> zero_of_ty t
+  | Vir.Const.Cvec elems ->
+    let first = of_const elems.(0) in
+    let n = Array.length elems in
+    (match first with
+    | I (s, _) ->
+      I (s, Array.init n (fun i ->
+          match of_const elems.(i) with
+          | I (_, [| x |]) -> x
+          | _ -> invalid_arg "Vvalue.of_const: mixed vector"))
+    | F (s, _) ->
+      F (s, Array.init n (fun i ->
+          match of_const elems.(i) with
+          | F (_, [| x |]) -> x
+          | _ -> invalid_arg "Vvalue.of_const: mixed vector")))
+
+and zero_of_ty (t : Vir.Vtype.t) =
+  match t with
+  | Vir.Vtype.Void -> invalid_arg "Vvalue.zero_of_ty: void"
+  | Vir.Vtype.Scalar s | Vir.Vtype.Vector (_, s) ->
+    let n = Vir.Vtype.lanes t in
+    if Vir.Vtype.is_float_scalar s then F (s, Array.make n 0.0)
+    else I (s, Array.make n 0L)
+
+let splat t scalar_value =
+  let n = Vir.Vtype.lanes t in
+  match scalar_value with
+  | I (s, [| x |]) -> I (s, Array.make n x)
+  | F (s, [| x |]) -> F (s, Array.make n x)
+  | _ -> invalid_arg "Vvalue.splat: non-scalar seed"
+
+let extract v i =
+  match v with
+  | I (s, a) -> I (s, [| a.(i) |])
+  | F (s, a) -> F (s, [| a.(i) |])
+
+let insert v i e =
+  match (v, e) with
+  | I (s, a), I (_, [| x |]) ->
+    let a' = Array.copy a in
+    a'.(i) <- Bits.truncate s x;
+    I (s, a')
+  | F (s, a), F (_, [| x |]) ->
+    let a' = Array.copy a in
+    a'.(i) <- Bits.round_float s x;
+    F (s, a')
+  | _ -> invalid_arg "Vvalue.insert: kind mismatch"
+
+(* Raw bit pattern of a lane (floats via their IEEE encoding). *)
+let lane_bits v lane =
+  match v with
+  | I (s, a) -> Bits.to_unsigned s a.(lane)
+  | F (s, a) -> Bits.bits_of_float s a.(lane)
+
+(* Replace one lane with the value encoded by [bits]. *)
+let with_lane_bits v ~lane ~bits =
+  match v with
+  | I (s, a) ->
+    let a' = Array.copy a in
+    a'.(lane) <- Bits.truncate s bits;
+    I (s, a')
+  | F (s, a) ->
+    let a' = Array.copy a in
+    a'.(lane) <- Bits.float_of_bits s bits;
+    F (s, a')
+
+(* Flip one bit of one lane; the core fault-injection primitive. *)
+let flip_bit v ~lane ~bit =
+  match v with
+  | I (s, a) ->
+    let a' = Array.copy a in
+    a'.(lane) <- Bits.flip_int s ~bit a.(lane);
+    I (s, a')
+  | F (s, a) ->
+    let a' = Array.copy a in
+    a'.(lane) <- Bits.flip_float s ~bit a.(lane);
+    F (s, a')
+
+let equal a b =
+  match (a, b) with
+  | I (sa, xa), I (sb, xb) -> sa = sb && xa = xb
+  | F (sa, xa), F (sb, xb) ->
+    sa = sb
+    && Array.length xa = Array.length xb
+    && (let ok = ref true in
+        Array.iteri
+          (fun i x ->
+            if Int64.bits_of_float x <> Int64.bits_of_float xb.(i) then
+              ok := false)
+          xa;
+        !ok)
+  | I _, F _ | F _, I _ -> false
+
+let to_string v =
+  let body =
+    match v with
+    | I (_, a) ->
+      String.concat ", " (Array.to_list (Array.map Int64.to_string a))
+    | F (_, a) ->
+      String.concat ", "
+        (Array.to_list (Array.map (Printf.sprintf "%.6g") a))
+  in
+  if lanes v = 1 then body else "<" ^ body ^ ">"

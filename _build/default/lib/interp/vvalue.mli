@@ -1,0 +1,58 @@
+(** Runtime values of the VM: a typed array of lanes (scalars are
+    1-lane). Integers (booleans, pointers) are sign-normalised [int64]s;
+    floats are OCaml floats with F32 lanes kept rounded to single
+    precision. *)
+
+type t =
+  | I of Vir.Vtype.scalar * int64 array  (** I1/I8/I32/I64/Ptr lanes *)
+  | F of Vir.Vtype.scalar * float array  (** F32/F64 lanes *)
+
+val ty : t -> Vir.Vtype.t
+val lanes : t -> int
+val scalar_kind : t -> Vir.Vtype.scalar
+
+(** Scalar constructors. *)
+
+val int_scalar : Vir.Vtype.scalar -> int64 -> t
+val of_bool : bool -> t
+val of_i32 : int -> t
+val of_i64 : int64 -> t
+val of_ptr : int64 -> t
+val of_f32 : float -> t
+val of_f64 : float -> t
+
+(** Lane accessors. *)
+
+val int_lane : t -> int -> int64
+val float_lane : t -> int -> float
+val as_int : t -> int64
+val as_float : t -> float
+val as_bool : t -> bool
+val is_true_lane : t -> int -> bool
+
+(** Build from a VIR constant ([undef] becomes deterministic zeros). *)
+val of_const : Vir.Const.t -> t
+
+val zero_of_ty : Vir.Vtype.t -> t
+
+(** Vector with every lane equal to the given scalar. *)
+val splat : Vir.Vtype.t -> t -> t
+
+(** Non-destructive lane extraction / replacement. *)
+
+val extract : t -> int -> t
+val insert : t -> int -> t -> t
+
+(** Raw bit pattern of a lane (floats via their IEEE encoding). *)
+val lane_bits : t -> int -> int64
+
+(** Replace one lane with the value encoded by [bits]. *)
+val with_lane_bits : t -> lane:int -> bits:int64 -> t
+
+(** Flip one bit of one lane — the core fault-injection primitive. *)
+val flip_bit : t -> lane:int -> bit:int -> t
+
+(** Bitwise equality (NaN payloads compare equal to themselves). *)
+val equal : t -> t -> bool
+
+val to_string : t -> string

@@ -1,0 +1,17 @@
+(* Conversion from runtime values back to IR constants, used by the
+   constant-folding pass. Lives here (not in Vvalue) to keep the
+   dependency on Vir.Const construction in one place. *)
+
+let scalar_const (s : Vir.Vtype.scalar) ~(int_lane : int64)
+    ~(float_lane : float) : Vir.Const.t =
+  if Vir.Vtype.is_float_scalar s then Vir.Const.Cfloat (s, float_lane)
+  else Vir.Const.Cint (s, int_lane)
+
+let to_const (v : Vvalue.t) : Vir.Const.t =
+  match v with
+  | Vvalue.I (s, [| x |]) -> Vir.Const.Cint (s, x)
+  | Vvalue.F (s, [| x |]) -> Vir.Const.Cfloat (s, x)
+  | Vvalue.I (s, lanes) ->
+    Vir.Const.Cvec (Array.map (fun x -> Vir.Const.Cint (s, x)) lanes)
+  | Vvalue.F (s, lanes) ->
+    Vir.Const.Cvec (Array.map (fun x -> Vir.Const.Cfloat (s, x)) lanes)

@@ -1,0 +1,1 @@
+lib/minispc/ast.ml: List

@@ -1,0 +1,1 @@
+lib/minispc/codegen.ml: Ast Block Builder Const Func Instr Intrinsics List Map Printf String Target Vir Vmodule Vtype

@@ -1,0 +1,1 @@
+lib/minispc/driver.ml: Ast Codegen Lexer List Parser Printf String Typecheck Vir

@@ -1,0 +1,1 @@
+lib/minispc/driver.mli: Ast Vir

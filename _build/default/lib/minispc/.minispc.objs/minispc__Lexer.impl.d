@@ -1,0 +1,1 @@
+lib/minispc/lexer.ml: Ast Printf String

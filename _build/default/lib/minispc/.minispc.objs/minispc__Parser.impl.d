@@ -1,0 +1,1 @@
+lib/minispc/parser.ml: Ast Lexer List Option Printf

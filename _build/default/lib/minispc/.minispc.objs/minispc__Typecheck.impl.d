@@ -1,0 +1,1 @@
+lib/minispc/typecheck.ml: Ast List Printf

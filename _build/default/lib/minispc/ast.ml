@@ -1,0 +1,130 @@
+(** Abstract syntax of mini-ISPC.
+
+    The language is the subset of Intel ISPC that the paper's benchmarks
+    and detector study exercise: [uniform]/[varying] qualifiers,
+    [foreach] loops over one dimension variable, varying [if] lowered to
+    execution masks, uniform structured control flow, arrays passed as
+    [uniform T name[]] parameters, lane-wise math builtins and cross-lane
+    reductions. *)
+
+type pos = { line : int; col : int }
+
+let no_pos = { line = 0; col = 0 }
+
+type base_ty = Tint | Tfloat | Tbool
+
+type qual = Uniform | Varying
+
+type ty = { q : qual; base : base_ty }
+
+let uniform b = { q = Uniform; base = b }
+
+let varying b = { q = Varying; base = b }
+
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And_and | Or_or
+  | Band | Bor | Bxor | Shl | Shr
+
+type expr = { e : expr_kind; epos : pos }
+
+and expr_kind =
+  | Int_lit of int
+  | Float_lit of float
+  | Bool_lit of bool
+  | Var of string
+  | Index of string * expr          (** [a\[i\]] *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list      (** builtin or program function *)
+  | Cast of base_ty * expr          (** [(int)e], [(float)e] *)
+  | Select of expr * expr * expr    (** [select(c, a, b)] *)
+
+type stmt = { s : stmt_kind; spos : pos }
+
+and stmt_kind =
+  | Decl of ty * string * expr        (** [uniform int x = e;] *)
+  | Assign of string * expr           (** [x = e;] *)
+  | Store of string * expr * expr     (** [a\[i\] = e;] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt * expr * stmt * stmt list
+  | Foreach of string * expr * expr * stmt list
+      (** [foreach (i = e0 ... e1) body] *)
+  | Return of expr option
+  | Expr_stmt of expr                 (** call for effect *)
+  | Assert of expr
+      (** [assert(cond);] — a manually inserted source-level error
+          detector (cf. the paper's introduction); lowered to a call to
+          the detector runtime, flagging rather than aborting *)
+  | Break  (** exit the innermost uniform loop *)
+  | Continue  (** next iteration of the innermost uniform loop *)
+
+type param = {
+  p_name : string;
+  p_base : base_ty;
+  p_is_array : bool;  (** [uniform T name\[\]]: pointer to elements *)
+}
+
+type func = {
+  f_name : string;
+  f_export : bool;
+  f_ret : ty option;  (** None = void *)
+  f_params : param list;
+  f_body : stmt list;
+  f_pos : pos;
+}
+
+type program = func list
+
+(* Variables assigned in a statement list that are declared outside it:
+   the set that needs loop-carried phis when the list is a loop body.
+   Declarations shadow — an assignment to a name declared earlier in the
+   same list (or an enclosing nested list) does not escape. *)
+let escaping_assigned_vars (stmts : stmt list) : string list =
+  let rec of_stmts locals stmts =
+    let escaped, _ =
+      List.fold_left
+        (fun (acc, locals) st ->
+          match st.s with
+          | Decl (_, x, _) -> (acc, x :: locals)
+          | Assign (x, _) ->
+            ((if List.mem x locals then acc else x :: acc), locals)
+          | Store _ | Return _ | Expr_stmt _ | Assert _ | Break | Continue ->
+            (acc, locals)
+          | If (_, a, b) ->
+            (of_stmts locals a @ of_stmts locals b @ acc, locals)
+          | While (_, body) -> (of_stmts locals body @ acc, locals)
+          | For (init, _, step, body) ->
+            let locals', init_esc =
+              match init.s with
+              | Decl (_, x, _) -> (x :: locals, [])
+              | Assign (x, _) ->
+                (locals, if List.mem x locals then [] else [ x ])
+              | _ -> (locals, [])
+            in
+            let step_esc =
+              match step.s with
+              | Assign (x, _) when not (List.mem x locals') -> [ x ]
+              | _ -> []
+            in
+            (init_esc @ step_esc @ of_stmts locals' body @ acc, locals)
+          | Foreach (dim, _, _, body) ->
+            (of_stmts (dim :: locals) body @ acc, locals))
+        ([], locals) stmts
+    in
+    escaped
+  in
+  List.sort_uniq compare (of_stmts [] stmts)
+
+let base_ty_name = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tbool -> "bool"
+
+let qual_name = function Uniform -> "uniform" | Varying -> "varying"
+
+let ty_name t = qual_name t.q ^ " " ^ base_ty_name t.base

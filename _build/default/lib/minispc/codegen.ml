@@ -1,0 +1,1117 @@
+(** Lowering mini-ISPC to VIR.
+
+    The lowering reproduces the ISPC code-generation conventions that the
+    paper's detector synthesis depends on (§III, Figs 6-9):
+
+    - each [foreach] loop becomes the block structure of Fig 7: the entry
+      block computes [nextras = n % Vl] and [aligned_end = n - nextras];
+      [foreach_full_body] runs the aligned iterations with all lanes on,
+      carrying [counter]/[new_counter] through a phi; the leftover
+      [n % Vl] iterations run masked in [partial_inner_only];
+    - uniform values are broadcast with [insertelement] + [shufflevector]
+      (Fig 9);
+    - masked contiguous loads/stores use the AVX/SSE mask intrinsics
+      (Fig 5); non-contiguous varying accesses become per-lane
+      gather/scatter sequences;
+    - a varying [if] is compiled to execution masks: assignments blend
+      with [select], stores go through masked stores.
+
+    Every lowered [foreach] is recorded in {!Vir.Func.foreach_meta} so
+    the detector pass can cross-check its pattern matching. *)
+
+open Vir
+
+module SMap = Map.Make (String)
+
+type cval = {
+  op : Instr.operand;  (** scalar for uniform, Vl-lane vector for varying *)
+  cty : Ast.ty;
+  linear : Instr.operand option;
+      (** [Some base]: op = broadcast(base) + <0..Vl-1>; enables
+          contiguous vector load/store instead of gather/scatter *)
+}
+
+type array_binding = { base_ptr : Instr.operand; elem : Ast.base_ty }
+
+type binding =
+  | Val of cval
+  | Arr of array_binding
+
+(* An active uniform loop during lowering. break/continue record the
+   label and environment of the jumping block so the loop can build the
+   right phi incomings at its exit / continue-target blocks. *)
+type loop_frame = {
+  lf_break : string;     (** label break jumps to *)
+  lf_continue : string;  (** label continue jumps to *)
+  mutable lf_breaks : (string * binding SMap.t) list;
+  mutable lf_continues : (string * binding SMap.t) list;
+}
+
+type ctx = {
+  m : Vmodule.t;
+  b : Builder.t;
+  target : Target.t;
+  vl : int;
+  prog : Ast.program;  (** for callee signatures *)
+  mutable loops : loop_frame list;  (** innermost first *)
+}
+
+exception Codegen_error of string * Ast.pos
+
+let error pos fmt =
+  Printf.ksprintf (fun s -> raise (Codegen_error (s, pos))) fmt
+
+let scalar_of_base = function
+  | Ast.Tint -> Vtype.I32
+  | Ast.Tfloat -> Vtype.F32
+  | Ast.Tbool -> Vtype.I1
+
+let vir_ty ctx (t : Ast.ty) =
+  let s = scalar_of_base t.Ast.base in
+  match t.Ast.q with
+  | Ast.Uniform -> Vtype.Scalar s
+  | Ast.Varying -> Vtype.Vector (ctx.vl, s)
+
+let elem_bytes base = Vtype.scalar_bytes (scalar_of_base base)
+
+let current_label ctx = (Builder.current_block ctx.b).Block.label
+
+(* Has the current block already been sealed (e.g. by a break)? *)
+let block_terminated ctx =
+  Block.terminator (Builder.current_block ctx.b) <> None
+
+(* Keep [domain]'s variable set, taking the (possibly updated) bindings
+   from [src]. Locals declared inside a nested scope do not escape. *)
+let restrict_to ~domain src =
+  SMap.mapi
+    (fun name b ->
+      match SMap.find_opt name src with Some b' -> b' | None -> b)
+    domain
+
+(* Broadcast a uniform operand to Vl lanes. Immediates become splat
+   constants; registers go through the ISPC insert+shuffle idiom. *)
+let broadcast_op ctx (o : Instr.operand) =
+  match o with
+  | Instr.Imm c -> Instr.Imm (Const.splat ctx.vl c)
+  | Instr.Reg _ -> Builder.broadcast ctx.b o ctx.vl
+
+let to_varying ctx (v : cval) : cval =
+  match v.cty.Ast.q with
+  | Ast.Varying -> v
+  | Ast.Uniform ->
+    {
+      op = broadcast_op ctx v.op;
+      cty = { v.cty with Ast.q = Ast.Varying };
+      linear = None;
+    }
+
+let iota_imm ctx = Instr.Imm (Const.iota Vtype.I32 ctx.vl)
+
+(* Varying i32 whose lane L holds [base + L]. *)
+let linear_vector ctx (base : Instr.operand) : cval =
+  let bvec = broadcast_op ctx base in
+  let v = Builder.add ctx.b ~name:"lin" bvec (iota_imm ctx) in
+  { op = v; cty = Ast.varying Ast.Tint; linear = Some base }
+
+let all_true_mask ctx =
+  Instr.Imm (Const.splat ctx.vl (Const.i1 true))
+
+let lookup env pos name =
+  match SMap.find_opt name env with
+  | Some b -> b
+  | None -> error pos "codegen: unbound %s" name
+
+let lookup_val env pos name =
+  match lookup env pos name with
+  | Val v -> v
+  | Arr _ -> error pos "codegen: %s is an array" name
+
+let lookup_arr env pos name =
+  match lookup env pos name with
+  | Arr a -> a
+  | Val _ -> error pos "codegen: %s is not an array" name
+
+(* ------------------------------------------------------------------ *)
+(* Gather / scatter expansion                                          *)
+
+(* Per-lane gather: load one scalar per active lane of [index] from
+   [base_ptr], assembling a vector. Under a mask each lane gets a
+   branch diamond so disabled lanes never touch memory. *)
+let gen_gather ctx ~(mask : Instr.operand option) base_ptr ebytes result_ty
+    (index : cval) : Instr.operand =
+  let acc = ref (Instr.Imm (Const.zero_of_ty result_ty)) in
+  for lane = 0 to ctx.vl - 1 do
+    let lane_ix = Instr.Imm (Const.i32 lane) in
+    match mask with
+    | None ->
+      let idx = Builder.extractelement ctx.b ~name:"gix" index.op lane_ix in
+      let addr = Builder.gep ctx.b ~name:"gaddr" base_ptr idx ~elem_bytes:ebytes in
+      let v =
+        Builder.load ctx.b ~name:"gld" (Vtype.scalar_of result_ty) addr
+      in
+      acc := Builder.insertelement ctx.b ~name:"gins" !acc v lane_ix
+    | Some mk ->
+      let ml = Builder.extractelement ctx.b ~name:"gm" mk lane_ix in
+      let do_blk = Builder.fresh_block ctx.b "gather_do" in
+      let join_blk = Builder.fresh_block ctx.b "gather_join" in
+      let from_label = current_label ctx in
+      Builder.condbr ctx.b ml do_blk.Block.label join_blk.Block.label;
+      Builder.position_at_end ctx.b do_blk;
+      let idx = Builder.extractelement ctx.b ~name:"gix" index.op lane_ix in
+      let addr = Builder.gep ctx.b ~name:"gaddr" base_ptr idx ~elem_bytes:ebytes in
+      let v =
+        Builder.load ctx.b ~name:"gld" (Vtype.scalar_of result_ty) addr
+      in
+      let ins = Builder.insertelement ctx.b ~name:"gins" !acc v lane_ix in
+      Builder.br ctx.b join_blk.Block.label;
+      Builder.position_at_end ctx.b join_blk;
+      acc :=
+        Builder.phi ctx.b ~name:"gphi" result_ty
+          [ (from_label, !acc); (do_blk.Block.label, ins) ]
+  done;
+  !acc
+
+(* Per-lane scatter of [value] through [index]. *)
+let gen_scatter ctx ~(mask : Instr.operand option) base_ptr ebytes
+    (index : cval) (value : Instr.operand) =
+  for lane = 0 to ctx.vl - 1 do
+    let lane_ix = Instr.Imm (Const.i32 lane) in
+    match mask with
+    | None ->
+      let idx = Builder.extractelement ctx.b ~name:"six" index.op lane_ix in
+      let addr = Builder.gep ctx.b ~name:"saddr" base_ptr idx ~elem_bytes:ebytes in
+      let v = Builder.extractelement ctx.b ~name:"sval" value lane_ix in
+      Builder.store ctx.b v addr
+    | Some mk ->
+      let ml = Builder.extractelement ctx.b ~name:"sm" mk lane_ix in
+      let do_blk = Builder.fresh_block ctx.b "scatter_do" in
+      let join_blk = Builder.fresh_block ctx.b "scatter_join" in
+      Builder.condbr ctx.b ml do_blk.Block.label join_blk.Block.label;
+      Builder.position_at_end ctx.b do_blk;
+      let idx = Builder.extractelement ctx.b ~name:"six" index.op lane_ix in
+      let addr = Builder.gep ctx.b ~name:"saddr" base_ptr idx ~elem_bytes:ebytes in
+      let v = Builder.extractelement ctx.b ~name:"sval" value lane_ix in
+      Builder.store ctx.b v addr;
+      Builder.br ctx.b join_blk.Block.label;
+      Builder.position_at_end ctx.b join_blk
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+
+let ibinop_of = function
+  | Ast.Add -> Instr.Add
+  | Ast.Sub -> Instr.Sub
+  | Ast.Mul -> Instr.Mul
+  | Ast.Div -> Instr.Sdiv
+  | Ast.Mod -> Instr.Srem
+  | Ast.Band -> Instr.And
+  | Ast.Bor -> Instr.Or
+  | Ast.Bxor -> Instr.Xor
+  | Ast.Shl -> Instr.Shl
+  | Ast.Shr -> Instr.Ashr
+  | _ -> invalid_arg "ibinop_of"
+
+let fbinop_of = function
+  | Ast.Add -> Instr.Fadd
+  | Ast.Sub -> Instr.Fsub
+  | Ast.Mul -> Instr.Fmul
+  | Ast.Div -> Instr.Fdiv
+  | _ -> invalid_arg "fbinop_of"
+
+let icmp_of = function
+  | Ast.Lt -> Instr.Islt
+  | Ast.Le -> Instr.Isle
+  | Ast.Gt -> Instr.Isgt
+  | Ast.Ge -> Instr.Isge
+  | Ast.Eq -> Instr.Ieq
+  | Ast.Ne -> Instr.Ine
+  | _ -> invalid_arg "icmp_of"
+
+let fcmp_of = function
+  | Ast.Lt -> Instr.Folt
+  | Ast.Le -> Instr.Fole
+  | Ast.Gt -> Instr.Fogt
+  | Ast.Ge -> Instr.Foge
+  | Ast.Eq -> Instr.Foeq
+  | Ast.Ne -> Instr.Fone
+  | _ -> invalid_arg "fcmp_of"
+
+(* Mangled intrinsic name for a math builtin at type [ty]. *)
+let math_intrinsic_name base ctx (q : Ast.qual) =
+  let suffix =
+    match q with Ast.Uniform -> "f32" | Ast.Varying -> Printf.sprintf "v%df32" ctx.vl
+  in
+  Printf.sprintf "llvm.%s.%s" base suffix
+
+let rec gen_expr ctx env ~(mask : Instr.operand option) (e : Ast.expr) : cval
+    =
+  match e.Ast.e with
+  | Ast.Int_lit n ->
+    { op = Instr.Imm (Const.i32 n); cty = Ast.uniform Ast.Tint; linear = None }
+  | Ast.Float_lit x ->
+    {
+      op = Instr.Imm (Const.f32 x);
+      cty = Ast.uniform Ast.Tfloat;
+      linear = None;
+    }
+  | Ast.Bool_lit b ->
+    { op = Instr.Imm (Const.i1 b); cty = Ast.uniform Ast.Tbool; linear = None }
+  | Ast.Var x -> lookup_val env e.Ast.epos x
+  | Ast.Index (a, ix) -> gen_load ctx env ~mask e.Ast.epos a ix
+  | Ast.Unop (Ast.Neg, a) ->
+    let v = gen_expr ctx env ~mask a in
+    let zero =
+      match v.cty.Ast.base with
+      | Ast.Tint -> Instr.Imm (Const.i32 0)
+      | Ast.Tfloat -> Instr.Imm (Const.f32 (-0.0))
+      | Ast.Tbool -> error e.Ast.epos "negating bool"
+    in
+    let zero =
+      if v.cty.Ast.q = Ast.Varying then
+        match zero with
+        | Instr.Imm c -> Instr.Imm (Const.splat ctx.vl c)
+        | _ -> assert false
+      else zero
+    in
+    let op =
+      if v.cty.Ast.base = Ast.Tint then Builder.sub ctx.b zero v.op
+      else Builder.fsub ctx.b zero v.op
+    in
+    { op; cty = v.cty; linear = None }
+  | Ast.Unop (Ast.Not, a) ->
+    let v = gen_expr ctx env ~mask a in
+    let one =
+      if v.cty.Ast.q = Ast.Varying then
+        Instr.Imm (Const.splat ctx.vl (Const.i1 true))
+      else Instr.Imm (Const.i1 true)
+    in
+    { op = Builder.xor ctx.b v.op one; cty = v.cty; linear = None }
+  | Ast.Binop (op, a, b) -> gen_binop ctx env ~mask e.Ast.epos op a b
+  | Ast.Cast (base, a) ->
+    let v = gen_expr ctx env ~mask a in
+    if v.cty.Ast.base = base then { v with linear = v.linear }
+    else
+      let dst_ty = vir_ty ctx { v.cty with Ast.base } in
+      let op =
+        match (v.cty.Ast.base, base) with
+        | Ast.Tint, Ast.Tfloat -> Builder.cast ctx.b Instr.Sitofp v.op dst_ty
+        | Ast.Tfloat, Ast.Tint -> Builder.cast ctx.b Instr.Fptosi v.op dst_ty
+        | _ -> error e.Ast.epos "unsupported cast"
+      in
+      { op; cty = { v.cty with Ast.base }; linear = None }
+  | Ast.Select (c, a, b) ->
+    let vc = gen_expr ctx env ~mask c in
+    let va = gen_expr ctx env ~mask a in
+    let vb = gen_expr ctx env ~mask b in
+    let q =
+      if
+        vc.cty.Ast.q = Ast.Varying || va.cty.Ast.q = Ast.Varying
+        || vb.cty.Ast.q = Ast.Varying
+      then Ast.Varying
+      else Ast.Uniform
+    in
+    let vc = if q = Ast.Varying then to_varying ctx vc else vc in
+    let va = if q = Ast.Varying then to_varying ctx va else va in
+    let vb = if q = Ast.Varying then to_varying ctx vb else vb in
+    {
+      op = Builder.select ctx.b vc.op va.op vb.op;
+      cty = { va.cty with Ast.q = q };
+      linear = None;
+    }
+  | Ast.Call (name, args) -> gen_call ctx env ~mask e.Ast.epos name args
+
+and gen_binop ctx env ~mask pos op a b =
+  let va = gen_expr ctx env ~mask a in
+  let vb = gen_expr ctx env ~mask b in
+  let q =
+    if va.cty.Ast.q = Ast.Varying || vb.cty.Ast.q = Ast.Varying then
+      Ast.Varying
+    else Ast.Uniform
+  in
+  (* Linearity tracking for contiguous access detection. *)
+  let linear =
+    match (op, va.cty.Ast.q, vb.cty.Ast.q, va.linear, vb.linear) with
+    | Ast.Add, Ast.Varying, Ast.Uniform, Some base, _ ->
+      Some (`Off (base, vb.op, `Add))
+    | Ast.Add, Ast.Uniform, Ast.Varying, _, Some base ->
+      Some (`Off (base, va.op, `Add))
+    | Ast.Sub, Ast.Varying, Ast.Uniform, Some base, _ ->
+      Some (`Off (base, vb.op, `Sub))
+    | _ -> None
+  in
+  let va' = if q = Ast.Varying then to_varying ctx va else va in
+  let vb' = if q = Ast.Varying then to_varying ctx vb else vb in
+  let base = va.cty.Ast.base in
+  let mk_result op_res result_base linear_op =
+    { op = op_res; cty = { Ast.q; base = result_base }; linear = linear_op }
+  in
+  match op with
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div when base = Ast.Tfloat ->
+    mk_result (Builder.fbinop ctx.b (fbinop_of op) va'.op vb'.op) Ast.Tfloat
+      None
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Band | Ast.Bor
+  | Ast.Bxor | Ast.Shl | Ast.Shr ->
+    if base <> Ast.Tint && not (op = Ast.Band || op = Ast.Bor || op = Ast.Bxor)
+    then error pos "integer binop on non-int";
+    (* Protect masked-off lanes from trapping integer division. *)
+    let vb_op =
+      match (op, mask, q) with
+      | (Ast.Div | Ast.Mod), Some mk, Ast.Varying ->
+        Builder.select ctx.b ~name:"divguard" mk vb'.op
+          (Instr.Imm (Const.splat ctx.vl (Const.i32 1)))
+      | _ -> vb'.op
+    in
+    let res = Builder.ibinop ctx.b (ibinop_of op) va'.op vb_op in
+    let lin =
+      match linear with
+      | Some (`Off (lbase, off, dir)) when q = Ast.Varying ->
+        (* new base = lbase +/- off, computed as a scalar *)
+        let nb =
+          match dir with
+          | `Add -> Builder.add ctx.b ~name:"linbase" lbase off
+          | `Sub -> Builder.sub ctx.b ~name:"linbase" lbase off
+        in
+        Some nb
+      | _ -> None
+    in
+    mk_result res base lin
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+    let res =
+      if base = Ast.Tfloat then
+        Builder.fcmp ctx.b (fcmp_of op) va'.op vb'.op
+      else Builder.icmp ctx.b (icmp_of op) va'.op vb'.op
+    in
+    mk_result res Ast.Tbool None
+  | Ast.And_and ->
+    mk_result (Builder.and_ ctx.b va'.op vb'.op) Ast.Tbool None
+  | Ast.Or_or -> mk_result (Builder.or_ ctx.b va'.op vb'.op) Ast.Tbool None
+
+and gen_load ctx env ~mask pos a ix =
+  let arr = lookup_arr env pos a in
+  let vix = gen_expr ctx env ~mask ix in
+  let ebytes = elem_bytes arr.elem in
+  let s = scalar_of_base arr.elem in
+  match vix.cty.Ast.q with
+  | Ast.Uniform ->
+    let addr =
+      Builder.gep ctx.b ~name:"addr" arr.base_ptr vix.op ~elem_bytes:ebytes
+    in
+    let v = Builder.load ctx.b ~name:"ld" (Vtype.Scalar s) addr in
+    { op = v; cty = Ast.uniform arr.elem; linear = None }
+  | Ast.Varying -> (
+    let vty = Vtype.Vector (ctx.vl, s) in
+    match vix.linear with
+    | Some base -> (
+      let addr =
+        Builder.gep ctx.b ~name:"vaddr" arr.base_ptr base ~elem_bytes:ebytes
+      in
+      match mask with
+      | None ->
+        let v = Builder.load ctx.b ~name:"vld" vty addr in
+        { op = v; cty = Ast.varying arr.elem; linear = None }
+      | Some mk ->
+        if s = Vtype.I1 then
+          error pos "masked load of bool arrays is not supported";
+        let v =
+          Builder.call ctx.b ~name:"mld" ~ret:vty
+            (Intrinsics.maskload_name ctx.target s)
+            [ addr; mk ]
+        in
+        { op = v; cty = Ast.varying arr.elem; linear = None })
+    | None ->
+      let v = gen_gather ctx ~mask arr.base_ptr ebytes vty vix in
+      { op = v; cty = Ast.varying arr.elem; linear = None })
+
+and gen_call ctx env ~mask pos name args =
+  match gen_call_opt ctx env ~mask pos name args with
+  | Some v -> v
+  | None -> error pos "void call %s used as a value" name
+
+and gen_call_opt ctx env ~mask pos name args : cval option =
+  match (name, args) with
+  | ("sqrt" | "exp" | "log" | "sin" | "cos"), [ a ] ->
+    let v = gen_expr ctx env ~mask a in
+    let iname = math_intrinsic_name name ctx v.cty.Ast.q in
+    let ret = vir_ty ctx v.cty in
+    Some
+      { op = Builder.call ctx.b ~ret iname [ v.op ]; cty = v.cty; linear = None }
+  | "abs", [ a ] ->
+    let v = gen_expr ctx env ~mask a in
+    let iname = math_intrinsic_name "fabs" ctx v.cty.Ast.q in
+    let ret = vir_ty ctx v.cty in
+    Some
+      { op = Builder.call ctx.b ~ret iname [ v.op ]; cty = v.cty; linear = None }
+  | "floor", [ a ] ->
+    let v = gen_expr ctx env ~mask a in
+    let iname = math_intrinsic_name "floor" ctx v.cty.Ast.q in
+    let ret = vir_ty ctx v.cty in
+    Some
+      { op = Builder.call ctx.b ~ret iname [ v.op ]; cty = v.cty; linear = None }
+  | "rsqrt", [ a ] ->
+    let v = gen_expr ctx env ~mask a in
+    let iname = math_intrinsic_name "sqrt" ctx v.cty.Ast.q in
+    let ret = vir_ty ctx v.cty in
+    let s = Builder.call ctx.b ~ret iname [ v.op ] in
+    let one =
+      if v.cty.Ast.q = Ast.Varying then
+        Instr.Imm (Const.splat ctx.vl (Const.f32 1.0))
+      else Instr.Imm (Const.f32 1.0)
+    in
+    Some { op = Builder.fdiv ctx.b one s; cty = v.cty; linear = None }
+  | ("pow" | "min" | "max"), [ a; b ] ->
+    let va = gen_expr ctx env ~mask a in
+    let vb = gen_expr ctx env ~mask b in
+    let q =
+      if va.cty.Ast.q = Ast.Varying || vb.cty.Ast.q = Ast.Varying then
+        Ast.Varying
+      else Ast.Uniform
+    in
+    let va = if q = Ast.Varying then to_varying ctx va else va in
+    let vb = if q = Ast.Varying then to_varying ctx vb else vb in
+    let base = match name with "pow" -> "pow" | "min" -> "minnum" | _ -> "maxnum" in
+    let iname = math_intrinsic_name base ctx q in
+    let cty = { Ast.q; base = Ast.Tfloat } in
+    let ret = vir_ty ctx cty in
+    Some
+      {
+        op = Builder.call ctx.b ~ret iname [ va.op; vb.op ];
+        cty;
+        linear = None;
+      }
+  | ("reduce_add" | "reduce_min" | "reduce_max"), [ a ] ->
+    let v = to_varying ctx (gen_expr ctx env ~mask a) in
+    let is_float = v.cty.Ast.base = Ast.Tfloat in
+    let kind =
+      match name with
+      | "reduce_add" -> if is_float then "fadd" else "add"
+      | "reduce_min" -> if is_float then "fmin" else "min"
+      | _ -> if is_float then "fmax" else "max"
+    in
+    let suffix =
+      Printf.sprintf "v%d%s" ctx.vl (if is_float then "f32" else "i32")
+    in
+    let iname = Printf.sprintf "llvm.vector.reduce.%s.%s" kind suffix in
+    let cty = Ast.uniform v.cty.Ast.base in
+    Some
+      {
+        op = Builder.call ctx.b ~ret:(vir_ty ctx cty) iname [ v.op ];
+        cty;
+        linear = None;
+      }
+  | _ -> (
+    match List.find_opt (fun (f : Ast.func) -> f.Ast.f_name = name) ctx.prog with
+    | None -> error pos "codegen: unknown function %s" name
+    | Some callee ->
+      let vargs =
+        List.map2
+          (fun (prm : Ast.param) arg ->
+            if prm.Ast.p_is_array then
+              match arg.Ast.e with
+              | Ast.Var a -> (lookup_arr env pos a).base_ptr
+              | _ -> error pos "array argument must be a name"
+            else (gen_expr ctx env ~mask arg).op)
+          callee.Ast.f_params args
+      in
+      let ret_ty =
+        match callee.Ast.f_ret with
+        | None -> Vtype.Void
+        | Some t -> vir_ty ctx t
+      in
+      let r = Builder.call ctx.b ~ret:ret_ty name vargs in
+      (match callee.Ast.f_ret with
+      | None -> None
+      | Some t -> Some { op = r; cty = t; linear = None }))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+(* Merge two environments at a CFG join: any variable whose operand
+   differs gets a phi. Only names present in [domain] survive. *)
+let merge_envs ctx ~domain ~(from_a : string) env_a ~(from_b : string) env_b
+    =
+  SMap.mapi
+    (fun name binding ->
+      match binding with
+      | Arr _ -> binding
+      | Val _ -> (
+        match (SMap.find_opt name env_a, SMap.find_opt name env_b) with
+        | Some (Val va), Some (Val vb) ->
+          if va.op = vb.op then Val va
+          else
+            let ty = vir_ty ctx va.cty in
+            let p =
+              Builder.phi ctx.b ~name ty
+                [ (from_a, va.op); (from_b, vb.op) ]
+            in
+            Val { op = p; cty = va.cty; linear = None }
+        | _ -> binding))
+    domain
+
+let coerce_to ctx (target : Ast.ty) (v : cval) : cval =
+  if v.cty.Ast.q = target.Ast.q then v
+  else if target.Ast.q = Ast.Varying then to_varying ctx v
+  else
+    invalid_arg "Codegen.coerce_to: varying to uniform"
+
+let rec gen_stmts ctx env ~mask (stmts : Ast.stmt list) =
+  (* a break/continue seals the block; anything after is unreachable *)
+  List.fold_left
+    (fun env st ->
+      if block_terminated ctx then env else gen_stmt ctx env ~mask st)
+    env stmts
+
+and gen_stmt ctx env ~(mask : Instr.operand option) (st : Ast.stmt) =
+  match st.Ast.s with
+  | Ast.Decl (ty, x, e) ->
+    let v = coerce_to ctx ty (gen_expr ctx env ~mask e) in
+    SMap.add x (Val v) env
+  | Ast.Assign (x, e) ->
+    let old = lookup_val env st.Ast.spos x in
+    let v = coerce_to ctx old.cty (gen_expr ctx env ~mask e) in
+    let v =
+      match (mask, old.cty.Ast.q) with
+      | Some mk, Ast.Varying ->
+        (* Blend: lanes outside the mask keep their old value. *)
+        {
+          op = Builder.select ctx.b ~name:(x ^ "_blend") mk v.op old.op;
+          cty = old.cty;
+          linear = None;
+        }
+      | _ -> v
+    in
+    SMap.add x (Val v) env
+  | Ast.Store (a, ix, e) ->
+    let arr = lookup_arr env st.Ast.spos a in
+    let vix = gen_expr ctx env ~mask ix in
+    let v = gen_expr ctx env ~mask e in
+    let ebytes = elem_bytes arr.elem in
+    let s = scalar_of_base arr.elem in
+    (match vix.cty.Ast.q with
+    | Ast.Uniform ->
+      let addr =
+        Builder.gep ctx.b ~name:"addr" arr.base_ptr vix.op ~elem_bytes:ebytes
+      in
+      Builder.store ctx.b v.op addr
+    | Ast.Varying -> (
+      let v = to_varying ctx v in
+      match vix.linear with
+      | Some base -> (
+        let addr =
+          Builder.gep ctx.b ~name:"vaddr" arr.base_ptr base
+            ~elem_bytes:ebytes
+        in
+        match mask with
+        | None -> Builder.store ctx.b v.op addr
+        | Some mk ->
+          if s = Vtype.I1 then
+            error st.Ast.spos "masked store of bool arrays is not supported";
+          ignore
+            (Builder.call ctx.b ~ret:Vtype.Void
+               (Intrinsics.maskstore_name ctx.target s)
+               [ addr; mk; v.op ]))
+      | None -> gen_scatter ctx ~mask arr.base_ptr ebytes vix v.op));
+    env
+  | Ast.If (cond, then_body, else_body) ->
+    let vc = gen_expr ctx env ~mask cond in
+    if vc.cty.Ast.q = Ast.Uniform then
+      gen_uniform_if ctx env ~mask vc then_body else_body
+    else gen_varying_if ctx env ~mask vc then_body else_body
+  | Ast.While (cond, body) ->
+    gen_loop ctx env ~mask ~cond ~body ~step:None
+  | Ast.For (init, cond, step, body) ->
+    let env' = gen_stmt ctx env ~mask init in
+    let env_after = gen_loop ctx env' ~mask ~cond ~body ~step:(Some step) in
+    (* Bindings introduced by the init statement go out of scope. *)
+    restrict_to ~domain:env env_after
+  | Ast.Foreach (dim, start, stop, body) ->
+    gen_foreach ctx env dim start stop body
+  | Ast.Return _ ->
+    error st.Ast.spos "codegen: return must be handled at function level"
+  | Ast.Expr_stmt e -> (
+    match e.Ast.e with
+    | Ast.Call (name, args) ->
+      ignore (gen_call_opt ctx env ~mask e.Ast.epos name args);
+      env
+    | _ -> error st.Ast.spos "codegen: bad expression statement")
+  | Ast.Assert e ->
+    (* Lower to a call into the detector runtime: a false condition on
+       any active lane flags the run (it does not abort, so the fault
+       study can report detection and outcome independently). *)
+    let v = gen_expr ctx env ~mask e in
+    Vmodule.declare_extern ctx.m ~name:"__vulfi_assert"
+      ~arg_tys:[ Vtype.bool_ty ] ~ret:Vtype.Void;
+    let ok =
+      match v.cty.Ast.q with
+      | Ast.Uniform -> v.op
+      | Ast.Varying ->
+        let not_cond =
+          Builder.xor ctx.b ~name:"assert_not" v.op (all_true_mask ctx)
+        in
+        let violated_vec =
+          match mask with
+          | None -> not_cond
+          | Some m -> Builder.and_ ctx.b ~name:"assert_viol" m not_cond
+        in
+        let any = any_of_mask ctx violated_vec in
+        Builder.xor ctx.b ~name:"assert_ok" any
+          (Instr.Imm (Const.i1 true))
+    in
+    ignore (Builder.call ctx.b ~ret:Vtype.Void "__vulfi_assert" [ ok ]);
+    env
+  | Ast.Break -> (
+    match ctx.loops with
+    | frame :: _ ->
+      frame.lf_breaks <- (current_label ctx, env) :: frame.lf_breaks;
+      Builder.br ctx.b frame.lf_break;
+      env
+    | [] -> error st.Ast.spos "codegen: break outside a loop")
+  | Ast.Continue -> (
+    match ctx.loops with
+    | frame :: _ ->
+      frame.lf_continues <- (current_label ctx, env) :: frame.lf_continues;
+      Builder.br ctx.b frame.lf_continue;
+      env
+    | [] -> error st.Ast.spos "codegen: continue outside a loop")
+
+and gen_uniform_if ctx env ~mask vc then_body else_body =
+  let then_blk = Builder.fresh_block ctx.b "if_then" in
+  let else_blk = Builder.fresh_block ctx.b "if_else" in
+  let join_blk = Builder.fresh_block ctx.b "if_join" in
+  Builder.condbr ctx.b vc.op then_blk.Block.label else_blk.Block.label;
+  Builder.position_at_end ctx.b then_blk;
+  let env_t = gen_stmts ctx env ~mask then_body in
+  let end_t = current_label ctx in
+  let term_t = block_terminated ctx in
+  if not term_t then Builder.br ctx.b join_blk.Block.label;
+  Builder.position_at_end ctx.b else_blk;
+  let env_e = gen_stmts ctx env ~mask else_body in
+  let end_e = current_label ctx in
+  let term_e = block_terminated ctx in
+  if not term_e then Builder.br ctx.b join_blk.Block.label;
+  Builder.position_at_end ctx.b join_blk;
+  match (term_t, term_e) with
+  | false, false ->
+    merge_envs ctx ~domain:env ~from_a:end_t env_t ~from_b:end_e env_e
+  | false, true -> restrict_to ~domain:env env_t
+  | true, false -> restrict_to ~domain:env env_e
+  | true, true ->
+    (* both sides broke out: the join is unreachable *)
+    Builder.unreachable ctx.b;
+    env
+
+(* "any lane active?" — the IR-level equivalent of ISPC's movmsk test
+   that gates every masked region. This is what routes vector execution
+   masks into control-flow slices (making them control fault sites, as
+   in the paper's Fig 10 census). *)
+and any_of_mask ctx mask =
+  Builder.call ctx.b ~name:"anymask" ~ret:Vtype.bool_ty
+    (Printf.sprintf "llvm.vector.reduce.or.v%di1" ctx.vl)
+    [ mask ]
+
+(* Execute [body] under [region_mask], skipping it entirely when every
+   lane is off (ISPC's all-off fast path). Returns the merged env. *)
+and gen_masked_region ctx env ~(region_mask : Instr.operand) body =
+  if body = [] then env
+  else begin
+    let any = any_of_mask ctx region_mask in
+    let body_blk = Builder.fresh_block ctx.b "masked_body" in
+    let join_blk = Builder.fresh_block ctx.b "masked_join" in
+    let from_label = current_label ctx in
+    Builder.condbr ctx.b any body_blk.Block.label join_blk.Block.label;
+    Builder.position_at_end ctx.b body_blk;
+    let env_b = gen_stmts ctx env ~mask:(Some region_mask) body in
+    let end_b = current_label ctx in
+    Builder.br ctx.b join_blk.Block.label;
+    Builder.position_at_end ctx.b join_blk;
+    merge_envs ctx ~domain:env ~from_a:from_label env ~from_b:end_b env_b
+  end
+
+and gen_varying_if ctx env ~mask vc then_body else_body =
+  let vcond = vc.op in
+  let parent = mask in
+  let then_mask =
+    match parent with
+    | None -> vcond
+    | Some p -> Builder.and_ ctx.b ~name:"mask_then" p vcond
+  in
+  let not_cond =
+    Builder.xor ctx.b ~name:"mask_not" vcond (all_true_mask ctx)
+  in
+  let else_mask =
+    match parent with
+    | None -> not_cond
+    | Some p -> Builder.and_ ctx.b ~name:"mask_else" p not_cond
+  in
+  let env_t = gen_masked_region ctx env ~region_mask:then_mask then_body in
+  gen_masked_region ctx env_t ~region_mask:else_mask else_body
+
+(* Uniform-condition loop (while / for): a header block with phis for
+   every variable assigned in the body, a body, for [for]-loops a step
+   block (the target of [continue]), and an exit block that merges the
+   normal exit with any [break] edges. *)
+and gen_loop ctx env ~mask ~cond ~body ~(step : Ast.stmt option) =
+  let assigned =
+    Ast.escaping_assigned_vars
+      (body @ match step with Some s -> [ s ] | None -> [])
+  in
+  let assigned = List.filter (fun x -> SMap.mem x env) assigned in
+  let header = Builder.fresh_block ctx.b "loop_header" in
+  let body_blk = Builder.fresh_block ctx.b "loop_body" in
+  let step_blk =
+    match step with
+    | Some _ -> Some (Builder.fresh_block ctx.b "loop_step")
+    | None -> None
+  in
+  let exit_blk = Builder.fresh_block ctx.b "loop_exit" in
+  let continue_label =
+    match step_blk with
+    | Some blk -> blk.Block.label
+    | None -> header.Block.label
+  in
+  let pre_label = current_label ctx in
+  Builder.br ctx.b header.Block.label;
+  Builder.position_at_end ctx.b header;
+  let phi_regs =
+    List.map
+      (fun x ->
+        let v = lookup_val env Ast.no_pos x in
+        let p =
+          Builder.phi ctx.b ~name:x (vir_ty ctx v.cty) [ (pre_label, v.op) ]
+        in
+        (x, p, v.cty))
+      assigned
+  in
+  let env_header =
+    List.fold_left
+      (fun env (x, p, cty) ->
+        SMap.add x (Val { op = p; cty; linear = None }) env)
+      env phi_regs
+  in
+  let vcond = gen_expr ctx env_header ~mask cond in
+  let cond_end = current_label ctx in
+  Builder.condbr ctx.b vcond.op body_blk.Block.label exit_blk.Block.label;
+  (* body, with an active loop frame *)
+  let frame =
+    {
+      lf_break = exit_blk.Block.label;
+      lf_continue = continue_label;
+      lf_breaks = [];
+      lf_continues = [];
+    }
+  in
+  ctx.loops <- frame :: ctx.loops;
+  Builder.position_at_end ctx.b body_blk;
+  let env_body = gen_stmts ctx env_header ~mask body in
+  let body_fallthrough =
+    if block_terminated ctx then []
+    else begin
+      let l = current_label ctx in
+      Builder.br ctx.b continue_label;
+      [ (l, env_body) ]
+    end
+  in
+  ctx.loops <- List.tl ctx.loops;
+  (* edges reaching the continue target *)
+  let to_continue = frame.lf_continues @ body_fallthrough in
+  (* the backedge environments that feed the header phis *)
+  let to_header =
+    match (step, step_blk) with
+    | Some step_stmt, Some blk ->
+      (* step block: merge all continue-target edges with phis, run the
+         step, branch back to the header *)
+      Builder.position_at_end ctx.b blk;
+      if to_continue = [] then begin
+        (* body always breaks: the step is unreachable *)
+        Builder.unreachable ctx.b;
+        []
+      end
+      else begin
+        let env_step_in =
+          SMap.mapi
+            (fun name b ->
+              match b with
+              | Arr _ -> b
+              | Val v -> (
+                let values =
+                  List.map
+                    (fun (l, e) ->
+                      ( l,
+                        (match SMap.find_opt name e with
+                        | Some (Val v') -> v'.op
+                        | _ -> v.op) ))
+                    to_continue
+                in
+                match values with
+                | [ (_, single) ] -> Val { v with op = single; linear = None }
+                | _ ->
+                  let distinct =
+                    List.sort_uniq compare (List.map snd values)
+                  in
+                  if List.length distinct = 1 then
+                    Val { v with op = List.hd distinct; linear = None }
+                  else
+                    let p =
+                      Builder.phi ctx.b ~name (vir_ty ctx v.cty) values
+                    in
+                    Val { op = p; cty = v.cty; linear = None }))
+            env_header
+        in
+        let env_step_end = gen_stmt ctx env_step_in ~mask step_stmt in
+        let step_end = current_label ctx in
+        Builder.br ctx.b header.Block.label;
+        [ (step_end, env_step_end) ]
+      end
+    | _ -> to_continue
+  in
+  (* Patch the backedge values into the header phis. *)
+  Builder.position_at_end ctx.b header;
+  List.iter
+    (fun (x, p, _) ->
+      List.iter
+        (fun (from, envx) ->
+          let v = lookup_val envx Ast.no_pos x in
+          match p with
+          | Instr.Reg (r, _) ->
+            Builder.add_phi_incoming ctx.b r ~from ~value:v.op
+          | Instr.Imm _ -> assert false)
+        to_header)
+    phi_regs;
+  (* Exit block: merge the normal (condition-false) exit with breaks. *)
+  Builder.position_at_end ctx.b exit_blk;
+  let exit_edges = (cond_end, env_header) :: frame.lf_breaks in
+  if List.length exit_edges = 1 then env_header
+  else
+    SMap.mapi
+      (fun name b ->
+        match b with
+        | Arr _ -> b
+        | Val v -> (
+          let values =
+            List.map
+              (fun (l, e) ->
+                ( l,
+                  (match SMap.find_opt name e with
+                  | Some (Val v') -> v'.op
+                  | _ -> v.op) ))
+              exit_edges
+          in
+          let distinct = List.sort_uniq compare (List.map snd values) in
+          if List.length distinct = 1 then
+            Val { v with op = List.hd distinct; linear = None }
+          else
+            let p = Builder.phi ctx.b ~name (vir_ty ctx v.cty) values in
+            Val { op = p; cty = v.cty; linear = None }))
+      env_header
+
+(* The paper-faithful foreach lowering (Fig 7). *)
+and gen_foreach ctx env dim start stop body =
+  let vl = ctx.vl in
+  let vstart = gen_expr ctx env ~mask:None start in
+  let vstop = gen_expr ctx env ~mask:None stop in
+  let n = Builder.sub ctx.b ~name:"n" vstop.op vstart.op in
+  let nextras =
+    Builder.srem ctx.b ~name:"nextras" n (Instr.Imm (Const.i32 vl))
+  in
+  let aligned_end = Builder.sub ctx.b ~name:"aligned_end" n nextras in
+  let lr_ph = Builder.fresh_block ctx.b "foreach_full_body.lr.ph" in
+  let full = Builder.fresh_block ctx.b "foreach_full_body" in
+  let pia = Builder.fresh_block ctx.b "partial_inner_all_outer" in
+  let pio = Builder.fresh_block ctx.b "partial_inner_only" in
+  let reset = Builder.fresh_block ctx.b "foreach_reset" in
+  let assigned =
+    List.filter (fun x -> SMap.mem x env) (Ast.escaping_assigned_vars body)
+  in
+  let entry_label = current_label ctx in
+  let have_full =
+    Builder.icmp ctx.b ~name:"have_full" Instr.Isgt aligned_end
+      (Instr.Imm (Const.i32 0))
+  in
+  Builder.condbr ctx.b have_full lr_ph.Block.label pia.Block.label;
+  (* lr.ph: loop pre-header *)
+  Builder.position_at_end ctx.b lr_ph;
+  Builder.br ctx.b full.Block.label;
+  (* full body *)
+  Builder.position_at_end ctx.b full;
+  let counter =
+    Builder.phi ctx.b ~name:"counter" Vtype.i32
+      [ (lr_ph.Block.label, Instr.Imm (Const.i32 0)) ]
+  in
+  let acc_phis =
+    List.map
+      (fun x ->
+        let v = lookup_val env Ast.no_pos x in
+        let p =
+          Builder.phi ctx.b ~name:x (vir_ty ctx v.cty)
+            [ (lr_ph.Block.label, v.op) ]
+        in
+        (x, p, v.cty))
+      assigned
+  in
+  let env_full0 =
+    List.fold_left
+      (fun env (x, p, cty) ->
+        SMap.add x (Val { op = p; cty; linear = None }) env)
+      env acc_phis
+  in
+  let i_base = Builder.add ctx.b ~name:"i_base" vstart.op counter in
+  let dim_val = linear_vector ctx i_base in
+  let env_full = SMap.add dim (Val dim_val) env_full0 in
+  let env_full_end = gen_stmts ctx env_full ~mask:None body in
+  let full_end = current_label ctx in
+  let new_counter =
+    Builder.add ctx.b ~name:"new_counter" counter (Instr.Imm (Const.i32 vl))
+  in
+  let continue_full =
+    Builder.icmp ctx.b ~name:"continue_full" Instr.Islt new_counter
+      aligned_end
+  in
+  Builder.condbr ctx.b continue_full full.Block.label pia.Block.label;
+  (* Patch loop-carried phis. *)
+  Builder.position_at_end ctx.b full;
+  (match counter with
+  | Instr.Reg (r, _) ->
+    Builder.add_phi_incoming ctx.b r ~from:full_end ~value:new_counter
+  | Instr.Imm _ -> assert false);
+  List.iter
+    (fun (x, p, _) ->
+      let v = lookup_val env_full_end Ast.no_pos x in
+      match p with
+      | Instr.Reg (r, _) ->
+        Builder.add_phi_incoming ctx.b r ~from:full_end ~value:v.op
+      | Instr.Imm _ -> assert false)
+    acc_phis;
+  (* partial_inner_all_outer: merge accumulators from entry / full body *)
+  Builder.position_at_end ctx.b pia;
+  let env_pia =
+    List.fold_left
+      (fun envacc (x, p, cty) ->
+        let pre = lookup_val env Ast.no_pos x in
+        let post = lookup_val env_full_end Ast.no_pos x in
+        ignore p;
+        let merged =
+          Builder.phi ctx.b ~name:(x ^ "_m") (vir_ty ctx cty)
+            [ (entry_label, pre.op); (full_end, post.op) ]
+        in
+        SMap.add x (Val { op = merged; cty; linear = None }) envacc)
+      env acc_phis
+  in
+  let have_extras =
+    Builder.icmp ctx.b ~name:"have_extras" Instr.Ine nextras
+      (Instr.Imm (Const.i32 0))
+  in
+  Builder.condbr ctx.b have_extras pio.Block.label reset.Block.label;
+  (* partial_inner_only: the n % Vl leftover iterations, masked *)
+  Builder.position_at_end ctx.b pio;
+  let p_base = Builder.add ctx.b ~name:"p_base" vstart.op aligned_end in
+  let p_dim = linear_vector ctx p_base in
+  let stop_vec = broadcast_op ctx vstop.op in
+  let pmask =
+    Builder.icmp ctx.b ~name:"pmask" Instr.Islt p_dim.op stop_vec
+  in
+  let env_pio = SMap.add dim (Val p_dim) env_pia in
+  (* ISPC gates the masked leftover iterations on "any lane active". *)
+  let env_pio_end = gen_masked_region ctx env_pio ~region_mask:pmask body in
+  let pio_end = current_label ctx in
+  Builder.br ctx.b reset.Block.label;
+  (* foreach_reset: merge accumulators from pia / pio *)
+  Builder.position_at_end ctx.b reset;
+  let env_reset =
+    List.fold_left
+      (fun envacc (x, _, cty) ->
+        let via_pia = lookup_val env_pia Ast.no_pos x in
+        let via_pio = lookup_val env_pio_end Ast.no_pos x in
+        let merged =
+          if via_pia.op = via_pio.op then via_pia.op
+          else
+            Builder.phi ctx.b ~name:(x ^ "_r") (vir_ty ctx cty)
+              [ (pia.Block.label, via_pia.op); (pio_end, via_pio.op) ]
+        in
+        SMap.add x (Val { op = merged; cty; linear = None }) envacc)
+      env acc_phis
+  in
+  (* Record the lowering for the detector synthesis pass. *)
+  let func = Builder.func ctx.b in
+  (match (new_counter, aligned_end) with
+  | Instr.Reg (nc, _), Instr.Reg (ae, _) ->
+    func.Func.foreach_meta <-
+      func.Func.foreach_meta
+      @ [
+          {
+            Func.fm_full_body = full.Block.label;
+            fm_exit = pia.Block.label;
+            fm_new_counter = nc;
+            fm_aligned_end = ae;
+            fm_vl = vl;
+          };
+        ]
+  | _ -> ());
+  env_reset
+
+(* ------------------------------------------------------------------ *)
+(* Functions and programs                                              *)
+
+let gen_func ctx_proto (f : Ast.func) =
+  let params =
+    List.map
+      (fun (prm : Ast.param) ->
+        let ty =
+          if prm.Ast.p_is_array then Vtype.ptr
+          else Vtype.Scalar (scalar_of_base prm.Ast.p_base)
+        in
+        (prm.Ast.p_name, ty))
+      f.Ast.f_params
+  in
+  let ret_ty =
+    match f.Ast.f_ret with
+    | None -> Vtype.Void
+    | Some t -> vir_ty ctx_proto t
+  in
+  let b = Builder.define ctx_proto.m ~name:f.Ast.f_name ~params ~ret_ty in
+  let ctx = { ctx_proto with b; loops = [] } in
+  let entry = Builder.new_block ctx.b "allocas" in
+  Builder.position_at_end ctx.b entry;
+  let env =
+    List.fold_left
+      (fun env (prm : Ast.param) ->
+        let op = Builder.param ctx.b prm.Ast.p_name in
+        let binding =
+          if prm.Ast.p_is_array then
+            Arr { base_ptr = op; elem = prm.Ast.p_base }
+          else
+            Val
+              { op; cty = Ast.uniform prm.Ast.p_base; linear = None }
+        in
+        SMap.add prm.Ast.p_name binding env)
+      SMap.empty f.Ast.f_params
+  in
+  let body, final_return =
+    match List.rev f.Ast.f_body with
+    | { Ast.s = Ast.Return r; _ } :: rev_rest -> (List.rev rev_rest, r)
+    | _ -> (f.Ast.f_body, None)
+  in
+  let env_end = gen_stmts ctx env ~mask:None body in
+  (match (f.Ast.f_ret, final_return) with
+  | None, _ -> Builder.ret ctx.b None
+  | Some rt, Some e ->
+    let v = coerce_to ctx rt (gen_expr ctx env_end ~mask:None e) in
+    Builder.ret ctx.b (Some v.op)
+  | Some _, None ->
+    error f.Ast.f_pos "codegen: missing return in %s" f.Ast.f_name)
+
+(* Compile a checked program to a fresh VIR module for [target]. *)
+let gen_program ?(module_name = "minispc") (target : Target.t)
+    (prog : Ast.program) : Vmodule.t =
+  let m = Vmodule.create module_name in
+  let ctx_proto =
+    {
+      m;
+      b = Builder.create (Func.create ~name:"<proto>" ~params:[] ~ret_ty:Vtype.Void);
+      target;
+      vl = Target.vl target;
+      prog;
+      loops = [];
+    }
+  in
+  List.iter (gen_func ctx_proto) prog;
+  m

@@ -1,0 +1,254 @@
+(** Hand-written lexer for mini-ISPC. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  (* keywords *)
+  | KW_export | KW_void | KW_uniform | KW_varying
+  | KW_int | KW_float | KW_bool
+  | KW_true | KW_false
+  | KW_if | KW_else | KW_while | KW_for | KW_foreach | KW_return
+  | KW_assert | KW_break | KW_continue
+  (* punctuation / operators *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI
+  | ELLIPSIS                (* ... *)
+  | ASSIGN                  (* = *)
+  | PLUS_ASSIGN | MINUS_ASSIGN | STAR_ASSIGN | SLASH_ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQEQ | NEQ
+  | ANDAND | OROR | NOT
+  | AMP | PIPE | CARET | SHL | SHR
+  | EOF
+
+exception Lex_error of string * Ast.pos
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable peeked : (token * Ast.pos) option;
+}
+
+let create src = { src; pos = 0; line = 1; col = 1; peeked = None }
+
+let current_pos lx = { Ast.line = lx.line; Ast.col = lx.col }
+
+let is_eof lx = lx.pos >= String.length lx.src
+
+let peek_char lx = if is_eof lx then '\000' else lx.src.[lx.pos]
+
+let peek_char2 lx =
+  if lx.pos + 1 >= String.length lx.src then '\000' else lx.src.[lx.pos + 1]
+
+let advance lx =
+  if not (is_eof lx) then begin
+    if lx.src.[lx.pos] = '\n' then begin
+      lx.line <- lx.line + 1;
+      lx.col <- 1
+    end
+    else lx.col <- lx.col + 1;
+    lx.pos <- lx.pos + 1
+  end
+
+let rec skip_trivia lx =
+  match peek_char lx with
+  | ' ' | '\t' | '\r' | '\n' ->
+    advance lx;
+    skip_trivia lx
+  | '/' when peek_char2 lx = '/' ->
+    while (not (is_eof lx)) && peek_char lx <> '\n' do
+      advance lx
+    done;
+    skip_trivia lx
+  | '/' when peek_char2 lx = '*' ->
+    let start = current_pos lx in
+    advance lx;
+    advance lx;
+    let rec go () =
+      if is_eof lx then
+        raise (Lex_error ("unterminated block comment", start))
+      else if peek_char lx = '*' && peek_char2 lx = '/' then begin
+        advance lx;
+        advance lx
+      end
+      else begin
+        advance lx;
+        go ()
+      end
+    in
+    go ();
+    skip_trivia lx
+  | _ -> ()
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let keyword_of = function
+  | "export" -> Some KW_export
+  | "void" -> Some KW_void
+  | "uniform" -> Some KW_uniform
+  | "varying" -> Some KW_varying
+  | "int" -> Some KW_int
+  | "float" -> Some KW_float
+  | "bool" -> Some KW_bool
+  | "true" -> Some KW_true
+  | "false" -> Some KW_false
+  | "if" -> Some KW_if
+  | "else" -> Some KW_else
+  | "while" -> Some KW_while
+  | "for" -> Some KW_for
+  | "foreach" -> Some KW_foreach
+  | "return" -> Some KW_return
+  | "assert" -> Some KW_assert
+  | "break" -> Some KW_break
+  | "continue" -> Some KW_continue
+  | _ -> None
+
+let lex_number lx pos =
+  let start = lx.pos in
+  while is_digit (peek_char lx) do
+    advance lx
+  done;
+  let is_float = ref false in
+  if peek_char lx = '.' && peek_char2 lx <> '.' then begin
+    is_float := true;
+    advance lx;
+    while is_digit (peek_char lx) do
+      advance lx
+    done
+  end;
+  (match peek_char lx with
+  | 'e' | 'E' ->
+    is_float := true;
+    advance lx;
+    (match peek_char lx with '+' | '-' -> advance lx | _ -> ());
+    while is_digit (peek_char lx) do
+      advance lx
+    done
+  | _ -> ());
+  (match peek_char lx with 'f' | 'F' -> (is_float := true; advance lx) | _ -> ());
+  let text = String.sub lx.src start (lx.pos - start) in
+  let text =
+    if String.length text > 0 && (text.[String.length text - 1] = 'f' || text.[String.length text - 1] = 'F')
+    then String.sub text 0 (String.length text - 1)
+    else text
+  in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> FLOAT f
+    | None -> raise (Lex_error ("bad float literal " ^ text, pos))
+  else
+    match int_of_string_opt text with
+    | Some i -> INT i
+    | None -> raise (Lex_error ("bad int literal " ^ text, pos))
+
+let lex_token lx : token * Ast.pos =
+  skip_trivia lx;
+  let pos = current_pos lx in
+  if is_eof lx then (EOF, pos)
+  else
+    let c = peek_char lx in
+    if is_ident_start c then begin
+      let start = lx.pos in
+      while is_ident_char (peek_char lx) do
+        advance lx
+      done;
+      let text = String.sub lx.src start (lx.pos - start) in
+      match keyword_of text with
+      | Some kw -> (kw, pos)
+      | None -> (IDENT text, pos)
+    end
+    else if is_digit c then (lex_number lx pos, pos)
+    else begin
+      advance lx;
+      let two target result =
+        if peek_char lx = target then begin
+          advance lx;
+          Some result
+        end
+        else None
+      in
+      let tok =
+        match c with
+        | '(' -> LPAREN
+        | ')' -> RPAREN
+        | '{' -> LBRACE
+        | '}' -> RBRACE
+        | '[' -> LBRACKET
+        | ']' -> RBRACKET
+        | ',' -> COMMA
+        | ';' -> SEMI
+        | '.' ->
+          if peek_char lx = '.' && peek_char2 lx = '.' then begin
+            advance lx;
+            advance lx;
+            ELLIPSIS
+          end
+          else raise (Lex_error ("unexpected '.'", pos))
+        | '+' -> ( match two '=' PLUS_ASSIGN with Some t -> t | None -> PLUS)
+        | '-' -> ( match two '=' MINUS_ASSIGN with Some t -> t | None -> MINUS)
+        | '*' -> ( match two '=' STAR_ASSIGN with Some t -> t | None -> STAR)
+        | '/' -> ( match two '=' SLASH_ASSIGN with Some t -> t | None -> SLASH)
+        | '%' -> PERCENT
+        | '<' -> (
+          match two '=' LE with
+          | Some t -> t
+          | None -> ( match two '<' SHL with Some t -> t | None -> LT))
+        | '>' -> (
+          match two '=' GE with
+          | Some t -> t
+          | None -> ( match two '>' SHR with Some t -> t | None -> GT))
+        | '=' -> ( match two '=' EQEQ with Some t -> t | None -> ASSIGN)
+        | '!' -> ( match two '=' NEQ with Some t -> t | None -> NOT)
+        | '&' -> ( match two '&' ANDAND with Some t -> t | None -> AMP)
+        | '|' -> ( match two '|' OROR with Some t -> t | None -> PIPE)
+        | '^' -> CARET
+        | _ ->
+          raise (Lex_error (Printf.sprintf "unexpected character %C" c, pos))
+      in
+      (tok, pos)
+    end
+
+let next lx =
+  match lx.peeked with
+  | Some tp ->
+    lx.peeked <- None;
+    tp
+  | None -> lex_token lx
+
+let peek lx =
+  match lx.peeked with
+  | Some tp -> tp
+  | None ->
+    let tp = lex_token lx in
+    lx.peeked <- Some tp;
+    tp
+
+let token_name = function
+  | INT n -> Printf.sprintf "int literal %d" n
+  | FLOAT f -> Printf.sprintf "float literal %g" f
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | KW_export -> "'export'" | KW_void -> "'void'"
+  | KW_uniform -> "'uniform'" | KW_varying -> "'varying'"
+  | KW_int -> "'int'" | KW_float -> "'float'" | KW_bool -> "'bool'"
+  | KW_true -> "'true'" | KW_false -> "'false'"
+  | KW_if -> "'if'" | KW_else -> "'else'" | KW_while -> "'while'"
+  | KW_for -> "'for'" | KW_foreach -> "'foreach'" | KW_return -> "'return'"
+  | KW_assert -> "'assert'"
+  | KW_break -> "'break'" | KW_continue -> "'continue'"
+  | LPAREN -> "'('" | RPAREN -> "')'" | LBRACE -> "'{'" | RBRACE -> "'}'"
+  | LBRACKET -> "'['" | RBRACKET -> "']'" | COMMA -> "','" | SEMI -> "';'"
+  | ELLIPSIS -> "'...'" | ASSIGN -> "'='"
+  | PLUS_ASSIGN -> "'+='" | MINUS_ASSIGN -> "'-='"
+  | STAR_ASSIGN -> "'*='" | SLASH_ASSIGN -> "'/='"
+  | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'" | SLASH -> "'/'"
+  | PERCENT -> "'%'" | LT -> "'<'" | LE -> "'<='" | GT -> "'>'" | GE -> "'>='"
+  | EQEQ -> "'=='" | NEQ -> "'!='" | ANDAND -> "'&&'" | OROR -> "'||'"
+  | NOT -> "'!'" | AMP -> "'&'" | PIPE -> "'|'" | CARET -> "'^'"
+  | SHL -> "'<<'" | SHR -> "'>>'" | EOF -> "end of input"

@@ -1,0 +1,379 @@
+(** Recursive-descent parser for mini-ISPC with precedence climbing. *)
+
+exception Parse_error of string * Ast.pos
+
+let error pos fmt = Printf.ksprintf (fun s -> raise (Parse_error (s, pos))) fmt
+
+type t = { lx : Lexer.t }
+
+let create src = { lx = Lexer.create src }
+
+let peek p = Lexer.peek p.lx
+
+let next p = Lexer.next p.lx
+
+let expect p tok =
+  let got, pos = next p in
+  if got <> tok then
+    error pos "expected %s but found %s" (Lexer.token_name tok)
+      (Lexer.token_name got)
+
+let accept p tok =
+  let got, _ = peek p in
+  if got = tok then begin
+    ignore (next p);
+    true
+  end
+  else false
+
+let expect_ident p =
+  match next p with
+  | Lexer.IDENT s, _ -> s
+  | got, pos ->
+    error pos "expected identifier but found %s" (Lexer.token_name got)
+
+(* ---------------- types ---------------- *)
+
+let parse_base_ty p =
+  match next p with
+  | Lexer.KW_int, _ -> Ast.Tint
+  | Lexer.KW_float, _ -> Ast.Tfloat
+  | Lexer.KW_bool, _ -> Ast.Tbool
+  | got, pos -> error pos "expected a type but found %s" (Lexer.token_name got)
+
+(* Optional qualifier; ISPC's default for locals is varying. *)
+let parse_qual_opt p =
+  if accept p Lexer.KW_uniform then Some Ast.Uniform
+  else if accept p Lexer.KW_varying then Some Ast.Varying
+  else None
+
+let starts_type (tok : Lexer.token) =
+  match tok with
+  | Lexer.KW_uniform | Lexer.KW_varying | Lexer.KW_int | Lexer.KW_float
+  | Lexer.KW_bool -> true
+  | _ -> false
+
+(* ---------------- expressions ---------------- *)
+
+let binop_of_token (tok : Lexer.token) : (Ast.binop * int) option =
+  (* (operator, precedence); higher binds tighter *)
+  match tok with
+  | Lexer.STAR -> Some (Ast.Mul, 10)
+  | Lexer.SLASH -> Some (Ast.Div, 10)
+  | Lexer.PERCENT -> Some (Ast.Mod, 10)
+  | Lexer.PLUS -> Some (Ast.Add, 9)
+  | Lexer.MINUS -> Some (Ast.Sub, 9)
+  | Lexer.SHL -> Some (Ast.Shl, 8)
+  | Lexer.SHR -> Some (Ast.Shr, 8)
+  | Lexer.LT -> Some (Ast.Lt, 7)
+  | Lexer.LE -> Some (Ast.Le, 7)
+  | Lexer.GT -> Some (Ast.Gt, 7)
+  | Lexer.GE -> Some (Ast.Ge, 7)
+  | Lexer.EQEQ -> Some (Ast.Eq, 6)
+  | Lexer.NEQ -> Some (Ast.Ne, 6)
+  | Lexer.AMP -> Some (Ast.Band, 5)
+  | Lexer.CARET -> Some (Ast.Bxor, 4)
+  | Lexer.PIPE -> Some (Ast.Bor, 3)
+  | Lexer.ANDAND -> Some (Ast.And_and, 2)
+  | Lexer.OROR -> Some (Ast.Or_or, 1)
+  | _ -> None
+
+let rec parse_expr p = parse_binop p 0
+
+and parse_binop p min_prec =
+  let lhs = ref (parse_unary p) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token (fst (peek p)) with
+    | Some (op, prec) when prec >= min_prec ->
+      let _, pos = next p in
+      let rhs = parse_binop p (prec + 1) in
+      lhs := { Ast.e = Ast.Binop (op, !lhs, rhs); epos = pos }
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary p =
+  let tok, pos = peek p in
+  match tok with
+  | Lexer.MINUS ->
+    ignore (next p);
+    let e = parse_unary p in
+    { Ast.e = Ast.Unop (Ast.Neg, e); epos = pos }
+  | Lexer.NOT ->
+    ignore (next p);
+    let e = parse_unary p in
+    { Ast.e = Ast.Unop (Ast.Not, e); epos = pos }
+  | _ -> parse_postfix p
+
+and parse_postfix p = parse_primary p
+
+and parse_primary p =
+  let tok, pos = next p in
+  match tok with
+  | Lexer.INT n -> { Ast.e = Ast.Int_lit n; epos = pos }
+  | Lexer.FLOAT f -> { Ast.e = Ast.Float_lit f; epos = pos }
+  | Lexer.KW_true -> { Ast.e = Ast.Bool_lit true; epos = pos }
+  | Lexer.KW_false -> { Ast.e = Ast.Bool_lit false; epos = pos }
+  | Lexer.LPAREN -> (
+    (* either a cast "(int) e" or a parenthesised expression *)
+    match fst (peek p) with
+    | Lexer.KW_int | Lexer.KW_float | Lexer.KW_bool ->
+      let base = parse_base_ty p in
+      expect p Lexer.RPAREN;
+      let e = parse_unary p in
+      { Ast.e = Ast.Cast (base, e); epos = pos }
+    | _ ->
+      let e = parse_expr p in
+      expect p Lexer.RPAREN;
+      e)
+  | Lexer.IDENT name -> (
+    match fst (peek p) with
+    | Lexer.LPAREN ->
+      ignore (next p);
+      let args = parse_call_args p in
+      if name = "select" then
+        match args with
+        | [ c; a; b ] -> { Ast.e = Ast.Select (c, a, b); epos = pos }
+        | _ -> error pos "select expects exactly 3 arguments"
+      else { Ast.e = Ast.Call (name, args); epos = pos }
+    | Lexer.LBRACKET ->
+      ignore (next p);
+      let ix = parse_expr p in
+      expect p Lexer.RBRACKET;
+      { Ast.e = Ast.Index (name, ix); epos = pos }
+    | _ -> { Ast.e = Ast.Var name; epos = pos })
+  | got -> error pos "expected an expression but found %s" (Lexer.token_name got)
+
+and parse_call_args p =
+  if accept p Lexer.RPAREN then []
+  else
+    let rec go acc =
+      let e = parse_expr p in
+      if accept p Lexer.COMMA then go (e :: acc)
+      else begin
+        expect p Lexer.RPAREN;
+        List.rev (e :: acc)
+      end
+    in
+    go []
+
+(* ---------------- statements ---------------- *)
+
+let desugar_compound pos (target : [ `Var of string | `Idx of string * Ast.expr ])
+    (op : Ast.binop option) (rhs : Ast.expr) : Ast.stmt_kind =
+  let read =
+    match target with
+    | `Var x -> { Ast.e = Ast.Var x; epos = pos }
+    | `Idx (a, i) -> { Ast.e = Ast.Index (a, i); epos = pos }
+  in
+  let value =
+    match op with
+    | None -> rhs
+    | Some op -> { Ast.e = Ast.Binop (op, read, rhs); epos = pos }
+  in
+  match target with
+  | `Var x -> Ast.Assign (x, value)
+  | `Idx (a, i) -> Ast.Store (a, i, value)
+
+let rec parse_stmt p : Ast.stmt =
+  let tok, pos = peek p in
+  match tok with
+  | Lexer.KW_break ->
+    ignore (next p);
+    expect p Lexer.SEMI;
+    { Ast.s = Ast.Break; spos = pos }
+  | Lexer.KW_continue ->
+    ignore (next p);
+    expect p Lexer.SEMI;
+    { Ast.s = Ast.Continue; spos = pos }
+  | Lexer.KW_assert ->
+    ignore (next p);
+    expect p Lexer.LPAREN;
+    let e = parse_expr p in
+    expect p Lexer.RPAREN;
+    expect p Lexer.SEMI;
+    { Ast.s = Ast.Assert e; spos = pos }
+  | Lexer.KW_return ->
+    ignore (next p);
+    if accept p Lexer.SEMI then { Ast.s = Ast.Return None; spos = pos }
+    else
+      let e = parse_expr p in
+      expect p Lexer.SEMI;
+      { Ast.s = Ast.Return (Some e); spos = pos }
+  | Lexer.KW_if ->
+    ignore (next p);
+    expect p Lexer.LPAREN;
+    let cond = parse_expr p in
+    expect p Lexer.RPAREN;
+    let then_body = parse_block_or_stmt p in
+    let else_body =
+      if accept p Lexer.KW_else then parse_block_or_stmt p else []
+    in
+    { Ast.s = Ast.If (cond, then_body, else_body); spos = pos }
+  | Lexer.KW_while ->
+    ignore (next p);
+    expect p Lexer.LPAREN;
+    let cond = parse_expr p in
+    expect p Lexer.RPAREN;
+    let body = parse_block_or_stmt p in
+    { Ast.s = Ast.While (cond, body); spos = pos }
+  | Lexer.KW_for ->
+    ignore (next p);
+    expect p Lexer.LPAREN;
+    let init = parse_simple_stmt p in
+    expect p Lexer.SEMI;
+    let cond = parse_expr p in
+    expect p Lexer.SEMI;
+    let step = parse_simple_stmt p in
+    expect p Lexer.RPAREN;
+    let body = parse_block_or_stmt p in
+    { Ast.s = Ast.For (init, cond, step, body); spos = pos }
+  | Lexer.KW_foreach ->
+    ignore (next p);
+    expect p Lexer.LPAREN;
+    let dim = expect_ident p in
+    expect p Lexer.ASSIGN;
+    let start = parse_expr p in
+    expect p Lexer.ELLIPSIS;
+    let stop = parse_expr p in
+    expect p Lexer.RPAREN;
+    let body = parse_block_or_stmt p in
+    { Ast.s = Ast.Foreach (dim, start, stop, body); spos = pos }
+  | _ ->
+    let st = parse_simple_stmt p in
+    expect p Lexer.SEMI;
+    st
+
+(* Statements legal in a 'for' header: declaration, assignment, call. *)
+and parse_simple_stmt p : Ast.stmt =
+  let tok, pos = peek p in
+  if starts_type tok then begin
+    let q = parse_qual_opt p in
+    let base = parse_base_ty p in
+    let name = expect_ident p in
+    expect p Lexer.ASSIGN;
+    let e = parse_expr p in
+    let ty = { Ast.q = Option.value q ~default:Ast.Varying; base } in
+    { Ast.s = Ast.Decl (ty, name, e); spos = pos }
+  end
+  else
+    match tok with
+    | Lexer.IDENT name -> (
+      ignore (next p);
+      match fst (peek p) with
+      | Lexer.LBRACKET ->
+        ignore (next p);
+        let ix = parse_expr p in
+        expect p Lexer.RBRACKET;
+        let op_tok, _ = next p in
+        let op =
+          match op_tok with
+          | Lexer.ASSIGN -> None
+          | Lexer.PLUS_ASSIGN -> Some Ast.Add
+          | Lexer.MINUS_ASSIGN -> Some Ast.Sub
+          | Lexer.STAR_ASSIGN -> Some Ast.Mul
+          | Lexer.SLASH_ASSIGN -> Some Ast.Div
+          | got -> error pos "expected assignment, found %s" (Lexer.token_name got)
+        in
+        let rhs = parse_expr p in
+        { Ast.s = desugar_compound pos (`Idx (name, ix)) op rhs; spos = pos }
+      | Lexer.ASSIGN | Lexer.PLUS_ASSIGN | Lexer.MINUS_ASSIGN
+      | Lexer.STAR_ASSIGN | Lexer.SLASH_ASSIGN ->
+        let op_tok, _ = next p in
+        let op =
+          match op_tok with
+          | Lexer.ASSIGN -> None
+          | Lexer.PLUS_ASSIGN -> Some Ast.Add
+          | Lexer.MINUS_ASSIGN -> Some Ast.Sub
+          | Lexer.STAR_ASSIGN -> Some Ast.Mul
+          | Lexer.SLASH_ASSIGN -> Some Ast.Div
+          | _ -> assert false
+        in
+        let rhs = parse_expr p in
+        { Ast.s = desugar_compound pos (`Var name) op rhs; spos = pos }
+      | Lexer.LPAREN ->
+        ignore (next p);
+        let args = parse_call_args p in
+        {
+          Ast.s = Ast.Expr_stmt { Ast.e = Ast.Call (name, args); epos = pos };
+          spos = pos;
+        }
+      | got ->
+        error pos "expected assignment or call, found %s"
+          (Lexer.token_name got))
+    | got -> error pos "expected a statement but found %s" (Lexer.token_name got)
+
+and parse_block_or_stmt p : Ast.stmt list =
+  if accept p Lexer.LBRACE then begin
+    let rec go acc =
+      if accept p Lexer.RBRACE then List.rev acc else go (parse_stmt p :: acc)
+    in
+    go []
+  end
+  else [ parse_stmt p ]
+
+(* ---------------- functions and programs ---------------- *)
+
+let parse_param p : Ast.param =
+  (* "uniform T name[]" for arrays, "uniform T name" / "T name" for
+     scalars; scalar parameters are always uniform (ABI boundary). *)
+  let _ = accept p Lexer.KW_uniform in
+  let base = parse_base_ty p in
+  let name = expect_ident p in
+  let is_array =
+    if accept p Lexer.LBRACKET then begin
+      expect p Lexer.RBRACKET;
+      true
+    end
+    else false
+  in
+  { Ast.p_name = name; p_base = base; p_is_array = is_array }
+
+let parse_func p : Ast.func =
+  let _, pos = peek p in
+  let export = accept p Lexer.KW_export in
+  let ret =
+    if accept p Lexer.KW_void then None
+    else begin
+      let q = parse_qual_opt p in
+      let base = parse_base_ty p in
+      Some { Ast.q = Option.value q ~default:Ast.Uniform; base }
+    end
+  in
+  let name = expect_ident p in
+  expect p Lexer.LPAREN;
+  let params =
+    if accept p Lexer.RPAREN then []
+    else
+      let rec go acc =
+        let prm = parse_param p in
+        if accept p Lexer.COMMA then go (prm :: acc)
+        else begin
+          expect p Lexer.RPAREN;
+          List.rev (prm :: acc)
+        end
+      in
+      go []
+  in
+  expect p Lexer.LBRACE;
+  let rec go acc =
+    if accept p Lexer.RBRACE then List.rev acc else go (parse_stmt p :: acc)
+  in
+  let body = go [] in
+  {
+    Ast.f_name = name;
+    f_export = export;
+    f_ret = ret;
+    f_params = params;
+    f_body = body;
+    f_pos = pos;
+  }
+
+let parse_program src : Ast.program =
+  let p = create src in
+  let rec go acc =
+    if fst (peek p) = Lexer.EOF then List.rev acc
+    else go (parse_func p :: acc)
+  in
+  go []

@@ -1,0 +1,437 @@
+(** Static semantics of mini-ISPC.
+
+    Beyond ordinary typing, the checker enforces the SPMD restrictions
+    that make the mask-based lowering sound:
+    - [while]/[for] conditions and [foreach] bounds must be uniform;
+    - a varying [if] body is straight-line (declarations, assignments,
+      stores, calls, nested varying [if]s) — no loops or returns under a
+      divergent mask;
+    - uniform variables cannot be assigned under a varying mask or from
+      inside a [foreach] body (lanes would race);
+    - [foreach] must not nest inside another [foreach] (as in ISPC);
+    - [return] appears only as the final top-level statement. *)
+
+exception Type_error of string * Ast.pos
+
+let error pos fmt = Printf.ksprintf (fun s -> raise (Type_error (s, pos))) fmt
+
+type var_info =
+  | Scalar_var of Ast.ty
+  | Array_var of Ast.base_ty  (** array parameter *)
+
+type func_sig = {
+  sig_params : Ast.param list;
+  sig_ret : Ast.ty option;
+}
+
+type env = {
+  vars : (string * var_info) list;
+  funcs : (string * func_sig) list;
+  (* context flags *)
+  in_foreach : bool;
+  under_varying_mask : bool;
+  in_uniform_loop : bool;
+  (* names bound outside the innermost foreach body *)
+  outer_uniforms : string list;
+}
+
+let lookup_var env name = List.assoc_opt name env.vars
+
+let bind env name info = { env with vars = (name, info) :: env.vars }
+
+(* ---------------- builtins ---------------- *)
+
+type builtin =
+  | Math1  (** (float) -> float, qualifier-preserving *)
+  | Math2  (** (float, float) -> float, qualifier join *)
+  | Reduce (** (varying T) -> uniform T *)
+
+let builtin_of = function
+  | "sqrt" | "rsqrt" | "exp" | "log" | "sin" | "cos" | "abs" | "floor" ->
+    Some Math1
+  | "pow" | "min" | "max" -> Some Math2
+  | "reduce_add" | "reduce_min" | "reduce_max" -> Some Reduce
+  | _ -> None
+
+(* ---------------- expressions ---------------- *)
+
+let join_qual a b =
+  match (a, b) with
+  | Ast.Uniform, Ast.Uniform -> Ast.Uniform
+  | _ -> Ast.Varying
+
+let rec infer_expr env (e : Ast.expr) : Ast.ty =
+  match e.Ast.e with
+  | Ast.Int_lit _ -> Ast.uniform Ast.Tint
+  | Ast.Float_lit _ -> Ast.uniform Ast.Tfloat
+  | Ast.Bool_lit _ -> Ast.uniform Ast.Tbool
+  | Ast.Var x -> (
+    match lookup_var env x with
+    | Some (Scalar_var t) -> t
+    | Some (Array_var _) ->
+      error e.Ast.epos "array %s used as a scalar value" x
+    | None -> error e.Ast.epos "unbound variable %s" x)
+  | Ast.Index (a, ix) -> (
+    match lookup_var env a with
+    | Some (Array_var base) ->
+      let ixt = infer_expr env ix in
+      if ixt.Ast.base <> Ast.Tint then
+        error ix.Ast.epos "array index must be int, got %s" (Ast.ty_name ixt);
+      { Ast.q = ixt.Ast.q; base }
+    | Some (Scalar_var _) -> error e.Ast.epos "%s is not an array" a
+    | None -> error e.Ast.epos "unbound array %s" a)
+  | Ast.Unop (Ast.Neg, a) ->
+    let t = infer_expr env a in
+    if t.Ast.base = Ast.Tbool then
+      error e.Ast.epos "cannot negate a bool";
+    t
+  | Ast.Unop (Ast.Not, a) ->
+    let t = infer_expr env a in
+    if t.Ast.base <> Ast.Tbool then
+      error e.Ast.epos "'!' expects bool, got %s" (Ast.ty_name t);
+    t
+  | Ast.Binop (op, a, b) -> (
+    let ta = infer_expr env a and tb = infer_expr env b in
+    if ta.Ast.base <> tb.Ast.base then
+      error e.Ast.epos "operand type mismatch: %s vs %s (insert a cast)"
+        (Ast.ty_name ta) (Ast.ty_name tb);
+    let q = join_qual ta.Ast.q tb.Ast.q in
+    match op with
+    | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div ->
+      if ta.Ast.base = Ast.Tbool then
+        error e.Ast.epos "arithmetic on bool";
+      { Ast.q; base = ta.Ast.base }
+    | Ast.Mod | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr ->
+      if ta.Ast.base <> Ast.Tint then
+        error e.Ast.epos "integer operator on %s" (Ast.base_ty_name ta.Ast.base);
+      { Ast.q; base = Ast.Tint }
+    | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      if ta.Ast.base = Ast.Tbool then
+        error e.Ast.epos "ordering comparison on bool";
+      { Ast.q; base = Ast.Tbool }
+    | Ast.Eq | Ast.Ne -> { Ast.q; base = Ast.Tbool }
+    | Ast.And_and | Ast.Or_or ->
+      if ta.Ast.base <> Ast.Tbool then
+        error e.Ast.epos "logical operator on %s" (Ast.base_ty_name ta.Ast.base);
+      { Ast.q; base = Ast.Tbool })
+  | Ast.Cast (base, a) ->
+    let t = infer_expr env a in
+    if t.Ast.base = Ast.Tbool || base = Ast.Tbool then
+      error e.Ast.epos "casts between bool and numeric types are not supported";
+    { Ast.q = t.Ast.q; base }
+  | Ast.Select (c, a, b) ->
+    let tc = infer_expr env c in
+    if tc.Ast.base <> Ast.Tbool then
+      error c.Ast.epos "select condition must be bool";
+    let ta = infer_expr env a and tb = infer_expr env b in
+    if ta.Ast.base <> tb.Ast.base then
+      error e.Ast.epos "select arms differ: %s vs %s" (Ast.ty_name ta)
+        (Ast.ty_name tb);
+    { Ast.q = join_qual tc.Ast.q (join_qual ta.Ast.q tb.Ast.q);
+      base = ta.Ast.base }
+  | Ast.Call (name, args) -> infer_call env e.Ast.epos name args
+
+and infer_call env pos name args =
+  match infer_call_opt env pos name args with
+  | Some t -> t
+  | None -> error pos "void function %s used as a value" name
+
+(* Returns None for a well-typed call to a void function. *)
+and infer_call_opt env pos name args : Ast.ty option =
+  match builtin_of name with
+  | Some Math1 -> (
+    match args with
+    | [ a ] ->
+      let t = infer_expr env a in
+      if t.Ast.base <> Ast.Tfloat then
+        error pos "%s expects float, got %s" name (Ast.ty_name t);
+      Some t
+    | _ -> error pos "%s expects 1 argument" name)
+  | Some Math2 -> (
+    match args with
+    | [ a; b ] ->
+      let ta = infer_expr env a and tb = infer_expr env b in
+      if ta.Ast.base <> Ast.Tfloat || tb.Ast.base <> Ast.Tfloat then
+        error pos "%s expects floats" name;
+      Some { Ast.q = join_qual ta.Ast.q tb.Ast.q; base = Ast.Tfloat }
+    | _ -> error pos "%s expects 2 arguments" name)
+  | Some Reduce -> (
+    match args with
+    | [ a ] ->
+      let t = infer_expr env a in
+      if t.Ast.base = Ast.Tbool then error pos "%s on bool" name;
+      Some { Ast.q = Ast.Uniform; base = t.Ast.base }
+    | _ -> error pos "%s expects 1 argument" name)
+  | None -> (
+    match List.assoc_opt name env.funcs with
+    | None -> error pos "unknown function %s" name
+    | Some fsig ->
+      if List.length args <> List.length fsig.sig_params then
+        error pos "%s expects %d arguments, got %d" name
+          (List.length fsig.sig_params)
+          (List.length args);
+      List.iter2
+        (fun (prm : Ast.param) arg ->
+          if prm.Ast.p_is_array then begin
+            match arg.Ast.e with
+            | Ast.Var a -> (
+              match lookup_var env a with
+              | Some (Array_var b) when b = prm.Ast.p_base -> ()
+              | Some (Array_var _) ->
+                error arg.Ast.epos "array element type mismatch for %s"
+                  prm.Ast.p_name
+              | _ ->
+                error arg.Ast.epos "argument %s must be an array"
+                  prm.Ast.p_name)
+            | _ ->
+              error arg.Ast.epos "argument %s must be an array name"
+                prm.Ast.p_name
+          end
+          else begin
+            let t = infer_expr env arg in
+            if t.Ast.base <> prm.Ast.p_base || t.Ast.q <> Ast.Uniform then
+              error arg.Ast.epos
+                "argument %s must be uniform %s, got %s" prm.Ast.p_name
+                (Ast.base_ty_name prm.Ast.p_base)
+                (Ast.ty_name t)
+          end)
+        fsig.sig_params args;
+      fsig.sig_ret)
+
+(* ---------------- statements ---------------- *)
+
+(* Statements allowed under a divergent (varying-if) mask. *)
+let rec check_straight_line env (stmts : Ast.stmt list) =
+  ignore
+    (List.fold_left
+       (fun env st ->
+         match st.Ast.s with
+         | Ast.Decl _ | Ast.Assign _ | Ast.Store _ | Ast.Expr_stmt _
+         | Ast.Assert _ ->
+           check_stmt env st
+         | Ast.If (cond, _, _) ->
+           let t = infer_expr env cond in
+           if t.Ast.q = Ast.Uniform then
+             error st.Ast.spos
+               "uniform control flow under a varying mask is not supported";
+           check_stmt env st
+         | Ast.While _ | Ast.For _ | Ast.Foreach _ ->
+           error st.Ast.spos "loops are not allowed under a varying mask"
+         | Ast.Break | Ast.Continue ->
+           error st.Ast.spos
+             "break/continue are not allowed under a varying mask"
+         | Ast.Return _ ->
+           error st.Ast.spos "return is not allowed under a varying mask")
+       env stmts)
+
+and check_stmt env (st : Ast.stmt) : env =
+  match st.Ast.s with
+  | Ast.Decl (ty, name, e) ->
+    let te = infer_expr env e in
+    if te.Ast.base <> ty.Ast.base then
+      error st.Ast.spos "initialiser for %s has type %s, expected %s" name
+        (Ast.ty_name te) (Ast.ty_name ty);
+    if ty.Ast.q = Ast.Uniform && te.Ast.q = Ast.Varying then
+      error st.Ast.spos "cannot initialise uniform %s from a varying value"
+        name;
+    if ty.Ast.q = Ast.Uniform && env.under_varying_mask then
+      error st.Ast.spos
+        "cannot declare uniform %s under a varying mask" name;
+    bind env name (Scalar_var ty)
+  | Ast.Assign (name, e) -> (
+    match lookup_var env name with
+    | None -> error st.Ast.spos "assignment to unbound variable %s" name
+    | Some (Array_var _) ->
+      error st.Ast.spos "cannot assign to array %s" name
+    | Some (Scalar_var ty) ->
+      let te = infer_expr env e in
+      if te.Ast.base <> ty.Ast.base then
+        error st.Ast.spos "assigning %s to %s %s" (Ast.ty_name te)
+          (Ast.ty_name ty) name;
+      if ty.Ast.q = Ast.Uniform then begin
+        if te.Ast.q = Ast.Varying then
+          error st.Ast.spos "cannot assign varying value to uniform %s" name;
+        if env.under_varying_mask then
+          error st.Ast.spos "cannot assign uniform %s under a varying mask"
+            name;
+        if env.in_foreach && List.mem name env.outer_uniforms then
+          error st.Ast.spos
+            "cannot assign uniform %s from inside a foreach body" name
+      end;
+      env)
+  | Ast.Store (a, ix, e) -> (
+    match lookup_var env a with
+    | Some (Array_var base) ->
+      let ixt = infer_expr env ix in
+      if ixt.Ast.base <> Ast.Tint then
+        error ix.Ast.epos "array index must be int";
+      let te = infer_expr env e in
+      if te.Ast.base <> base then
+        error st.Ast.spos "storing %s into %s array" (Ast.ty_name te)
+          (Ast.base_ty_name base);
+      if ixt.Ast.q = Ast.Uniform && te.Ast.q = Ast.Varying then
+        error st.Ast.spos
+          "cannot store a varying value through a uniform index";
+      if ixt.Ast.q = Ast.Uniform && env.under_varying_mask then
+        error st.Ast.spos
+          "cannot store through a uniform index under a varying mask";
+      env
+    | Some (Scalar_var _) -> error st.Ast.spos "%s is not an array" a
+    | None -> error st.Ast.spos "unbound array %s" a)
+  | Ast.If (cond, then_body, else_body) ->
+    let tc = infer_expr env cond in
+    if tc.Ast.base <> Ast.Tbool then
+      error cond.Ast.epos "if condition must be bool";
+    if tc.Ast.q = Ast.Varying then begin
+      let env' = { env with under_varying_mask = true } in
+      check_straight_line env' then_body;
+      check_straight_line env' else_body;
+      env
+    end
+    else begin
+      check_body env then_body;
+      check_body env else_body;
+      env
+    end
+  | Ast.While (cond, body) ->
+    let tc = infer_expr env cond in
+    if tc.Ast.base <> Ast.Tbool || tc.Ast.q <> Ast.Uniform then
+      error cond.Ast.epos "while condition must be uniform bool";
+    check_body { env with in_uniform_loop = true } body;
+    env
+  | Ast.For (init, cond, step, body) ->
+    let env' = check_stmt env init in
+    let tc = infer_expr env' cond in
+    if tc.Ast.base <> Ast.Tbool || tc.Ast.q <> Ast.Uniform then
+      error cond.Ast.epos "for condition must be uniform bool";
+    (match step.Ast.s with
+    | Ast.Assign _ | Ast.Expr_stmt _ | Ast.Store _ -> ()
+    | _ -> error step.Ast.spos "for step must be an assignment");
+    check_body { env' with in_uniform_loop = true } (body @ [ step ]);
+    env
+  | Ast.Foreach (dim, start, stop, body) ->
+    if env.in_foreach then
+      error st.Ast.spos "nested foreach loops are not supported";
+    if env.under_varying_mask then
+      error st.Ast.spos "foreach under a varying mask is not supported";
+    let ts = infer_expr env start and te = infer_expr env stop in
+    if ts.Ast.base <> Ast.Tint || ts.Ast.q <> Ast.Uniform then
+      error start.Ast.epos "foreach start bound must be uniform int";
+    if te.Ast.base <> Ast.Tint || te.Ast.q <> Ast.Uniform then
+      error stop.Ast.epos "foreach end bound must be uniform int";
+    let outer_uniforms =
+      List.filter_map
+        (fun (name, info) ->
+          match info with
+          | Scalar_var { Ast.q = Ast.Uniform; _ } -> Some name
+          | _ -> None)
+        env.vars
+    in
+    let env' =
+      bind
+        (* a break/continue may not cross the foreach boundary: the
+           chunked iterations are parallel, not sequential *)
+        { env with in_foreach = true; outer_uniforms;
+          in_uniform_loop = false }
+        dim
+        (Scalar_var (Ast.varying Ast.Tint))
+    in
+    check_body env' body;
+    env
+  | Ast.Return _ ->
+    error st.Ast.spos
+      "return is only allowed as the final top-level statement"
+  | Ast.Expr_stmt e -> (
+    match e.Ast.e with
+    | Ast.Call (name, args) ->
+      ignore (infer_call_opt env e.Ast.epos name args);
+      env
+    | _ -> error st.Ast.spos "expression statement must be a call")
+  | Ast.Assert e ->
+    let t = infer_expr env e in
+    if t.Ast.base <> Ast.Tbool then
+      error e.Ast.epos "assert expects a bool condition, got %s"
+        (Ast.ty_name t);
+    env
+  | Ast.Break | Ast.Continue ->
+    if not env.in_uniform_loop then
+      error st.Ast.spos
+        "break/continue are only allowed inside a uniform while/for loop";
+    env
+
+(* break/continue (like return) must be the last statement of their
+   enclosing block: anything after them would be unreachable. *)
+and check_body env stmts =
+  let n = List.length stmts in
+  ignore
+    (List.fold_left
+       (fun (env, k) st ->
+         (match st.Ast.s with
+         | (Ast.Break | Ast.Continue) when k < n - 1 ->
+           error st.Ast.spos
+             "break/continue must be the last statement of its block"
+         | _ -> ());
+         (check_stmt env st, k + 1))
+       (env, 0) stmts)
+
+(* ---------------- functions ---------------- *)
+
+let check_func funcs (f : Ast.func) =
+  let env =
+    {
+      vars =
+        List.map
+          (fun (prm : Ast.param) ->
+            ( prm.Ast.p_name,
+              if prm.Ast.p_is_array then Array_var prm.Ast.p_base
+              else Scalar_var (Ast.uniform prm.Ast.p_base) ))
+          f.Ast.f_params;
+      funcs;
+      in_foreach = false;
+      under_varying_mask = false;
+      in_uniform_loop = false;
+      outer_uniforms = [];
+    }
+  in
+  (* Split the trailing return (if any) from the body proper. *)
+  let body, final_return =
+    match List.rev f.Ast.f_body with
+    | { Ast.s = Ast.Return r; spos } :: rev_rest ->
+      (List.rev rev_rest, Some (r, spos))
+    | _ -> (f.Ast.f_body, None)
+  in
+  let env' = List.fold_left check_stmt env body in
+  match (f.Ast.f_ret, final_return) with
+  | None, None -> ()
+  | None, Some (Some _, pos) ->
+    error pos "void function %s returns a value" f.Ast.f_name
+  | None, Some (None, _) -> ()
+  | Some _, (None | Some (None, _)) ->
+    error f.Ast.f_pos "function %s must end with 'return <expr>;'"
+      f.Ast.f_name
+  | Some rt, Some (Some e, pos) ->
+    let t = infer_expr env' e in
+    if t.Ast.base <> rt.Ast.base then
+      error pos "return type mismatch in %s: %s vs %s" f.Ast.f_name
+        (Ast.ty_name t) (Ast.ty_name rt);
+    if rt.Ast.q = Ast.Uniform && t.Ast.q = Ast.Varying then
+      error pos "function %s returns varying value but declares uniform"
+        f.Ast.f_name
+
+let check_program (prog : Ast.program) =
+  let sigs =
+    List.map
+      (fun (f : Ast.func) ->
+        (f.Ast.f_name, { sig_params = f.Ast.f_params; sig_ret = f.Ast.f_ret }))
+      prog
+  in
+  let names = List.map fst sigs in
+  let rec dup = function
+    | [] -> None
+    | x :: rest -> if List.mem x rest then Some x else dup rest
+  in
+  (match dup names with
+  | Some x ->
+    raise (Type_error ("duplicate function " ^ x, Ast.no_pos))
+  | None -> ());
+  List.iter (check_func sigs) prog

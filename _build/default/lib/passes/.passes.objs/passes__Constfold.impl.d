@@ -1,0 +1,1 @@
+lib/passes/constfold.ml: Array Block Const Dce Func Instr Int64 Interp List Machine Trap Verify Vir Vmodule Vtype Vvalue Vvalue_const

@@ -1,0 +1,177 @@
+(** Constant folding.
+
+    Folds pure instructions whose operands are all constants, reusing
+    the interpreter's lane evaluators so folding and execution cannot
+    disagree. Operations that would trap at run time (constant division
+    by zero) are left in place — the fault-injection study depends on
+    traps staying observable. Folding iterates to a fixpoint and
+    finishes with a DCE sweep. *)
+
+open Vir
+
+let value_of_operand = function
+  | Instr.Imm c -> Some (Interp.Vvalue.of_const c)
+  | Instr.Reg _ -> None
+
+let both a b =
+  match (value_of_operand a, value_of_operand b) with
+  | Some x, Some y -> Some (x, y)
+  | _ -> None
+
+let map2i f (a : int64 array) (b : int64 array) =
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+(* Evaluate one instruction if all operands are constant and the
+   operation cannot trap. Returns the folded constant. *)
+let eval_instr (i : Instr.t) : Const.t option =
+  let open Interp in
+  match i.Instr.op with
+  | Instr.Ibinop (k, a, b) -> (
+    match both a b with
+    | Some (Vvalue.I (s, xa), Vvalue.I (_, xb)) -> (
+      let trappy =
+        match k with
+        | Instr.Sdiv | Instr.Srem | Instr.Udiv | Instr.Urem ->
+          Array.exists (Int64.equal 0L) xb
+          || (s = Vtype.I64
+             && Array.exists (Int64.equal Int64.min_int) xa
+             && Array.exists (Int64.equal (-1L)) xb)
+        | _ -> false
+      in
+      if trappy then None
+      else
+        try
+          Some
+            (Vvalue_const.to_const
+               (Vvalue.I (s, map2i (Machine.eval_ibinop_lane k s) xa xb)))
+        with Trap.Trap _ -> None)
+    | _ -> None)
+  | Instr.Fbinop (k, a, b) -> (
+    match both a b with
+    | Some (Vvalue.F (s, xa), Vvalue.F (_, xb)) ->
+      Some
+        (Vvalue_const.to_const
+           (Vvalue.F
+              ( s,
+                Array.init (Array.length xa) (fun ix ->
+                    Machine.eval_fbinop_lane k s xa.(ix) xb.(ix)) )))
+    | _ -> None)
+  | Instr.Icmp (p, a, b) -> (
+    match both a b with
+    | Some (Vvalue.I (s, xa), Vvalue.I (_, xb)) ->
+      Some
+        (Vvalue_const.to_const
+           (Vvalue.I (Vtype.I1, map2i (Machine.eval_icmp_lane p s) xa xb)))
+    | _ -> None)
+  | Instr.Fcmp (p, a, b) -> (
+    match both a b with
+    | Some (Vvalue.F (_, xa), Vvalue.F (_, xb)) ->
+      Some
+        (Vvalue_const.to_const
+           (Vvalue.I
+              ( Vtype.I1,
+                Array.init (Array.length xa) (fun ix ->
+                    Machine.eval_fcmp_lane p xa.(ix) xb.(ix)) )))
+    | _ -> None)
+  | Instr.Select (c, a, b) -> (
+    match value_of_operand c with
+    | Some cv when Vvalue.lanes cv = 1 -> (
+      (* constant scalar condition: pick an arm even if non-constant *)
+      match if Vvalue.as_bool cv then a else b with
+      | Instr.Imm k -> Some k
+      | Instr.Reg _ -> None)
+    | _ -> None)
+  | Instr.Cast (k, a) -> (
+    match value_of_operand a with
+    | Some v -> (
+      try Some (Vvalue_const.to_const (Machine.eval_cast k i.Instr.ty v))
+      with Invalid_argument _ -> None)
+    | _ -> None)
+  | Instr.Extractelement (v, ix) -> (
+    match both v ix with
+    | Some (vv, iv) ->
+      let k = Int64.to_int (Vvalue.as_int iv) in
+      if k >= 0 && k < Vvalue.lanes vv then
+        Some (Vvalue_const.to_const (Vvalue.extract vv k))
+      else None
+    | None -> None)
+  | Instr.Insertelement (v, e, ix) -> (
+    match (value_of_operand v, value_of_operand e, value_of_operand ix) with
+    | Some vv, Some ev, Some iv ->
+      let k = Int64.to_int (Vvalue.as_int iv) in
+      if k >= 0 && k < Vvalue.lanes vv then
+        Some (Vvalue_const.to_const (Vvalue.insert vv k ev))
+      else None
+    | _ -> None)
+  | Instr.Shufflevector (a, b, mask) -> (
+    match both a b with
+    | Some (va, vb) ->
+      let n = Vvalue.lanes va in
+      let lane ix = if ix < n then Vvalue.extract va ix else Vvalue.extract vb (ix - n) in
+      let parts = Array.map lane mask in
+      (* reassemble *)
+      let folded =
+        match va with
+        | Vvalue.I (s, _) ->
+          Vvalue.I
+            ( s,
+              Array.map
+                (fun p ->
+                  match p with Vvalue.I (_, [| x |]) -> x | _ -> assert false)
+                parts )
+        | Vvalue.F (s, _) ->
+          Vvalue.F
+            ( s,
+              Array.map
+                (fun p ->
+                  match p with Vvalue.F (_, [| x |]) -> x | _ -> assert false)
+                parts )
+      in
+      Some (Vvalue_const.to_const folded)
+    | None -> None)
+  | _ -> None
+
+(* One folding sweep over a function; returns number of folds. Folded
+   instructions are deleted immediately (they are pure and all their
+   uses were redirected to the constant). *)
+let fold_func_once (f : Func.t) : int =
+  let folded = ref 0 in
+  List.iter
+    (fun b ->
+      let dead = ref [] in
+      List.iter
+        (fun (i : Instr.t) ->
+          if Instr.defines i then
+            match eval_instr i with
+            | Some c ->
+              incr folded;
+              Func.replace_uses f ~reg:i.Instr.id ~by:(Instr.Imm c);
+              dead := i.Instr.id :: !dead
+            | None -> ())
+        b.Block.instrs;
+      if !dead <> [] then
+        b.Block.instrs <-
+          List.filter
+            (fun (i : Instr.t) ->
+              not (Instr.defines i && List.mem i.Instr.id !dead))
+            b.Block.instrs)
+    f.Func.blocks;
+  !folded
+
+(* Fold to fixpoint, then sweep dead definitions. Returns the total
+   number of folds performed. *)
+let run_func (f : Func.t) : int =
+  let total = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let n = fold_func_once f in
+    total := !total + n;
+    if n = 0 then continue_ := false
+  done;
+  if !total > 0 then ignore (Dce.run_func f);
+  !total
+
+let run_module (m : Vmodule.t) : int =
+  let n = List.fold_left (fun acc f -> acc + run_func f) 0 m.Vmodule.funcs in
+  if n > 0 then Verify.check_module m;
+  n

@@ -1,0 +1,12 @@
+(** Constant folding: folds pure instructions with all-constant
+    operands, reusing the interpreter's lane evaluators so folding and
+    execution cannot disagree. Operations that would trap at run time
+    (constant division by zero) are deliberately left in place — the
+    fault-injection study depends on traps staying observable. *)
+
+(** Fold one function to fixpoint (with a final DCE sweep); returns the
+    number of folds performed. *)
+val run_func : Vir.Func.t -> int
+
+(** Fold every function; re-verifies if anything changed. *)
+val run_module : Vir.Vmodule.t -> int

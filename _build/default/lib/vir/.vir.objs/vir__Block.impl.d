@@ -1,0 +1,1 @@
+lib/vir/block.ml: Instr List

@@ -1,0 +1,1 @@
+lib/vir/builder.ml: Array Block Const Func Instr List Printf Vmodule Vtype

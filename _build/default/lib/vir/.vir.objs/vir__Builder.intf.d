@@ -1,0 +1,1 @@
+lib/vir/builder.mli: Block Func Instr Vmodule Vtype

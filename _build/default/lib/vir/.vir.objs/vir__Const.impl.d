@@ -1,0 +1,1 @@
+lib/vir/const.ml: Array Int32 Int64 Printf String Vtype

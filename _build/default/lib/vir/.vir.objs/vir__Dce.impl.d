@@ -1,0 +1,1 @@
+lib/vir/dce.ml: Block Func Hashtbl Instr Intrinsics List Vmodule

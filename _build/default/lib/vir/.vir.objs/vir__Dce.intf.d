@@ -1,0 +1,1 @@
+lib/vir/dce.mli: Func Vmodule

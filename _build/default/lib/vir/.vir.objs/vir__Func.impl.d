@@ -1,0 +1,1 @@
+lib/vir/func.ml: Block Hashtbl Instr List Printf Vtype

@@ -1,0 +1,1 @@
+lib/vir/instr.ml: Const List Vtype

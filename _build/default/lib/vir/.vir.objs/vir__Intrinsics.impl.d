@@ -1,0 +1,1 @@
+lib/vir/intrinsics.ml: List Printf String Target Vtype

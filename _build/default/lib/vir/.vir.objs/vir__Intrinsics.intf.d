@@ -1,0 +1,1 @@
+lib/vir/intrinsics.mli: Target Vtype

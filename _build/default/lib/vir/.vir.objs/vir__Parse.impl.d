@@ -1,0 +1,1 @@
+lib/vir/parse.ml: Array Block Const Float Func Instr Int64 List Option Printf String Vmodule Vtype

@@ -1,0 +1,1 @@
+lib/vir/parse.mli: Vmodule

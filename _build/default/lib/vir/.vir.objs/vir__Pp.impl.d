@@ -1,0 +1,1 @@
+lib/vir/pp.ml: Array Block Buffer Const Func Instr List Printf String Vmodule Vtype

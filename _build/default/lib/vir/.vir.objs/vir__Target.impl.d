@@ -1,0 +1,1 @@
+lib/vir/target.ml: String Vtype

@@ -1,0 +1,1 @@
+lib/vir/verify.ml: Array Block Func Hashtbl Instr Intrinsics List Pp Printf String Vmodule Vtype

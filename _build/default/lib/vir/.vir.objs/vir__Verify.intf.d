@@ -1,0 +1,1 @@
+lib/vir/verify.mli: Func Vmodule

@@ -1,0 +1,1 @@
+lib/vir/vmodule.ml: Func List Vtype

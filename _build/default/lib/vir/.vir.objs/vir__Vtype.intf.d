@@ -1,0 +1,1 @@
+lib/vir/vtype.mli: Format

@@ -1,0 +1,153 @@
+(** IRBuilder-style construction API.
+
+    A builder owns a function under construction and an insertion point
+    (the current block). Every [ins_*] helper allocates a fresh register,
+    appends the instruction, and returns the result operand. *)
+
+type t = {
+  func : Func.t;
+  mutable cur : Block.t option;
+}
+
+let create func = { func; cur = None }
+
+(* Create a function, register it in [m], and return a builder
+   positioned in a fresh entry block. *)
+let define m ~name ~params ~ret_ty =
+  let func = Func.create ~name ~params ~ret_ty in
+  Vmodule.add_func m func;
+  let b = { func; cur = None } in
+  b
+
+let func b = b.func
+
+let param b name =
+  match List.find_opt (fun p -> p.Func.pname = name) b.func.Func.params with
+  | Some p -> Instr.Reg (p.Func.preg, p.Func.pty)
+  | None -> invalid_arg ("Builder.param: " ^ name)
+
+let new_block b label =
+  let blk = Block.create label in
+  Func.add_block b.func blk;
+  blk
+
+let fresh_block b base = new_block b (Func.fresh_label b.func base)
+
+let position_at_end b blk = b.cur <- Some blk
+
+let current_block b =
+  match b.cur with
+  | Some blk -> blk
+  | None -> invalid_arg "Builder: no insertion point"
+
+let append b instr =
+  let blk = current_block b in
+  blk.Block.instrs <- blk.Block.instrs @ [ instr ]
+
+let emit b ?(name = "t") ty op =
+  if Vtype.is_void ty then (
+    append b { Instr.id = -1; name = ""; ty; op };
+    Instr.Imm (Const.Cundef Vtype.Void))
+  else
+    let id = Func.fresh_reg b.func in
+    let iname = Printf.sprintf "%s%d" name id in
+    append b { Instr.id = id; name = iname; ty; op };
+    Instr.Reg (id, ty)
+
+(* Arithmetic; result type follows the left operand. *)
+let ibinop b ?name k x y = emit b ?name (Instr.operand_ty x) (Instr.Ibinop (k, x, y))
+let fbinop b ?name k x y = emit b ?name (Instr.operand_ty x) (Instr.Fbinop (k, x, y))
+
+let add b ?name x y = ibinop b ?name Instr.Add x y
+let sub b ?name x y = ibinop b ?name Instr.Sub x y
+let mul b ?name x y = ibinop b ?name Instr.Mul x y
+let sdiv b ?name x y = ibinop b ?name Instr.Sdiv x y
+let srem b ?name x y = ibinop b ?name Instr.Srem x y
+let and_ b ?name x y = ibinop b ?name Instr.And x y
+let or_ b ?name x y = ibinop b ?name Instr.Or x y
+let xor b ?name x y = ibinop b ?name Instr.Xor x y
+let shl b ?name x y = ibinop b ?name Instr.Shl x y
+let lshr b ?name x y = ibinop b ?name Instr.Lshr x y
+let ashr b ?name x y = ibinop b ?name Instr.Ashr x y
+
+let fadd b ?name x y = fbinop b ?name Instr.Fadd x y
+let fsub b ?name x y = fbinop b ?name Instr.Fsub x y
+let fmul b ?name x y = fbinop b ?name Instr.Fmul x y
+let fdiv b ?name x y = fbinop b ?name Instr.Fdiv x y
+
+let cmp_result_ty x =
+  Vtype.with_lanes (Vtype.lanes (Instr.operand_ty x)) Vtype.bool_ty
+
+let icmp b ?name pred x y =
+  emit b ?name (cmp_result_ty x) (Instr.Icmp (pred, x, y))
+
+let fcmp b ?name pred x y =
+  emit b ?name (cmp_result_ty x) (Instr.Fcmp (pred, x, y))
+
+let select b ?name c x y =
+  emit b ?name (Instr.operand_ty x) (Instr.Select (c, x, y))
+
+let cast b ?name k x ty = emit b ?name ty (Instr.Cast (k, x))
+
+let alloca b ?name elt count =
+  emit b ?name Vtype.ptr (Instr.Alloca (elt, count))
+
+let load b ?name ty ptr = emit b ?name ty (Instr.Load ptr)
+
+let store b v ptr = ignore (emit b Vtype.Void (Instr.Store (v, ptr)))
+
+let gep b ?name base index ~elem_bytes =
+  emit b ?name Vtype.ptr (Instr.Gep (base, index, elem_bytes))
+
+let extractelement b ?name v ix =
+  let ty = Vtype.scalar_of (Instr.operand_ty v) in
+  emit b ?name ty (Instr.Extractelement (v, ix))
+
+let insertelement b ?name v e ix =
+  emit b ?name (Instr.operand_ty v) (Instr.Insertelement (v, e, ix))
+
+let shufflevector b ?name v1 v2 mask =
+  let ty =
+    Vtype.with_lanes (Array.length mask)
+      (Vtype.scalar_of (Instr.operand_ty v1))
+  in
+  emit b ?name ty (Instr.Shufflevector (v1, v2, mask))
+
+(* Broadcast a scalar to an [n]-lane vector the way ISPC does it:
+   insertelement into lane 0 of undef, then a zero shufflevector
+   (paper Fig 9). *)
+let broadcast b ?name scalar n =
+  let sty = Instr.operand_ty scalar in
+  let vty = Vtype.with_lanes n sty in
+  let init =
+    insertelement b ~name:"broadcast_init"
+      (Instr.Imm (Const.Cundef vty))
+      scalar
+      (Instr.Imm (Const.i32 0))
+  in
+  shufflevector b ?name init
+    (Instr.Imm (Const.Cundef vty))
+    (Array.make n 0)
+
+let call b ?name ~ret callee args =
+  emit b ?name ret (Instr.Call (callee, args))
+
+let phi b ?name ty incoming = emit b ?name ty (Instr.Phi incoming)
+
+(* Patch an extra incoming edge onto an existing phi instruction. *)
+let add_phi_incoming b reg ~from ~value =
+  let blk = current_block b in
+  Block.map_instrs blk (fun i ->
+      if i.Instr.id = reg then
+        match i.Instr.op with
+        | Instr.Phi inc -> { i with Instr.op = Instr.Phi (inc @ [ (from, value) ]) }
+        | _ -> invalid_arg "add_phi_incoming: not a phi"
+      else i)
+
+let br b label = ignore (emit b Vtype.Void (Instr.Br label))
+
+let condbr b c l1 l2 = ignore (emit b Vtype.Void (Instr.Condbr (c, l1, l2)))
+
+let ret b v = ignore (emit b Vtype.Void (Instr.Ret v))
+
+let unreachable b = ignore (emit b Vtype.Void Instr.Unreachable)

@@ -1,0 +1,102 @@
+(** IRBuilder-style construction API: a builder owns a function under
+    construction and an insertion point; every [ins] helper allocates a
+    fresh register, appends the instruction, and returns the result
+    operand. *)
+
+type t
+
+val create : Func.t -> t
+
+(** Create a function, register it in the module, and return a builder
+    for it (no entry block yet — create one with {!new_block}). *)
+val define :
+  Vmodule.t ->
+  name:string ->
+  params:(string * Vtype.t) list ->
+  ret_ty:Vtype.t ->
+  t
+
+val func : t -> Func.t
+
+(** Operand for a named parameter.
+    @raise Invalid_argument for unknown names. *)
+val param : t -> string -> Instr.operand
+
+(** Append a new block with the given label to the function. *)
+val new_block : t -> string -> Block.t
+
+(** Append a new block with a fresh label derived from [base]. *)
+val fresh_block : t -> string -> Block.t
+
+val position_at_end : t -> Block.t -> unit
+
+(** The insertion block.
+    @raise Invalid_argument if none was set. *)
+val current_block : t -> Block.t
+
+(** Low-level append of a pre-built instruction. *)
+val append : t -> Instr.t -> unit
+
+(** Emit an instruction with result type [ty]; returns the result
+    operand (an undef immediate for void). [name] prefixes the textual
+    register name. *)
+val emit : t -> ?name:string -> Vtype.t -> Instr.op -> Instr.operand
+
+(** Integer/float binary operations (result type follows the left
+    operand). *)
+
+val ibinop : t -> ?name:string -> Instr.ibinop -> Instr.operand -> Instr.operand -> Instr.operand
+val fbinop : t -> ?name:string -> Instr.fbinop -> Instr.operand -> Instr.operand -> Instr.operand
+val add : t -> ?name:string -> Instr.operand -> Instr.operand -> Instr.operand
+val sub : t -> ?name:string -> Instr.operand -> Instr.operand -> Instr.operand
+val mul : t -> ?name:string -> Instr.operand -> Instr.operand -> Instr.operand
+val sdiv : t -> ?name:string -> Instr.operand -> Instr.operand -> Instr.operand
+val srem : t -> ?name:string -> Instr.operand -> Instr.operand -> Instr.operand
+val and_ : t -> ?name:string -> Instr.operand -> Instr.operand -> Instr.operand
+val or_ : t -> ?name:string -> Instr.operand -> Instr.operand -> Instr.operand
+val xor : t -> ?name:string -> Instr.operand -> Instr.operand -> Instr.operand
+val shl : t -> ?name:string -> Instr.operand -> Instr.operand -> Instr.operand
+val lshr : t -> ?name:string -> Instr.operand -> Instr.operand -> Instr.operand
+val ashr : t -> ?name:string -> Instr.operand -> Instr.operand -> Instr.operand
+val fadd : t -> ?name:string -> Instr.operand -> Instr.operand -> Instr.operand
+val fsub : t -> ?name:string -> Instr.operand -> Instr.operand -> Instr.operand
+val fmul : t -> ?name:string -> Instr.operand -> Instr.operand -> Instr.operand
+val fdiv : t -> ?name:string -> Instr.operand -> Instr.operand -> Instr.operand
+
+(** Comparisons (result: i1 with the operands' lane count). *)
+
+val icmp : t -> ?name:string -> Instr.icmp_pred -> Instr.operand -> Instr.operand -> Instr.operand
+val fcmp : t -> ?name:string -> Instr.fcmp_pred -> Instr.operand -> Instr.operand -> Instr.operand
+
+val select : t -> ?name:string -> Instr.operand -> Instr.operand -> Instr.operand -> Instr.operand
+val cast : t -> ?name:string -> Instr.cast_op -> Instr.operand -> Vtype.t -> Instr.operand
+
+(** [alloca b elt count] reserves [count] elements of [elt]. *)
+val alloca : t -> ?name:string -> Vtype.t -> int -> Instr.operand
+
+val load : t -> ?name:string -> Vtype.t -> Instr.operand -> Instr.operand
+val store : t -> Instr.operand -> Instr.operand -> unit
+
+(** Address arithmetic: [base + index * elem_bytes]. *)
+val gep : t -> ?name:string -> Instr.operand -> Instr.operand -> elem_bytes:int -> Instr.operand
+
+val extractelement : t -> ?name:string -> Instr.operand -> Instr.operand -> Instr.operand
+val insertelement : t -> ?name:string -> Instr.operand -> Instr.operand -> Instr.operand -> Instr.operand
+val shufflevector : t -> ?name:string -> Instr.operand -> Instr.operand -> int array -> Instr.operand
+
+(** Broadcast a scalar to an n-lane vector the way ISPC does it:
+    [insertelement] into lane 0 of undef followed by a zero
+    [shufflevector] (paper Fig 9). *)
+val broadcast : t -> ?name:string -> Instr.operand -> int -> Instr.operand
+
+val call : t -> ?name:string -> ret:Vtype.t -> string -> Instr.operand list -> Instr.operand
+
+val phi : t -> ?name:string -> Vtype.t -> (string * Instr.operand) list -> Instr.operand
+
+(** Patch an extra incoming edge onto a phi in the current block. *)
+val add_phi_incoming : t -> Instr.reg -> from:string -> value:Instr.operand -> unit
+
+val br : t -> string -> unit
+val condbr : t -> Instr.operand -> string -> string -> unit
+val ret : t -> Instr.operand option -> unit
+val unreachable : t -> unit

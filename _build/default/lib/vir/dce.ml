@@ -1,0 +1,85 @@
+(** Dead-code elimination.
+
+    The mini-ISPC code generator, like any syntax-directed lowering,
+    emits values that turn out unused (e.g. the else-branch mask of a
+    one-armed varying [if], or the materialised dimension vector of a
+    [foreach] whose body only uses contiguous accesses). The paper's
+    toolchain compiles with [-O3], so dead definitions never reach
+    VULFI's site enumeration; this pass provides the same guarantee.
+
+    Classic mark-and-sweep over SSA: roots are side-effecting
+    instructions (stores, terminators, impure calls, allocas); every
+    register transitively reachable from a root operand is live; dead
+    pure definitions are deleted. *)
+
+let is_pure_call name =
+  match Intrinsics.lookup name with
+  | Some { Intrinsics.kind = Intrinsics.Math _ | Intrinsics.Reduce _; _ } ->
+    true
+  | Some { Intrinsics.kind = Intrinsics.Maskload; _ } ->
+    true (* a dead load would be removed by -O3 as well *)
+  | Some { Intrinsics.kind = Intrinsics.Maskstore; _ } -> false
+  | None -> false (* module functions and externs: assume effects *)
+
+let is_root (i : Instr.t) =
+  match i.Instr.op with
+  | Instr.Store _ | Instr.Br _ | Instr.Condbr _ | Instr.Ret _
+  | Instr.Unreachable | Instr.Alloca _ ->
+    true
+  | Instr.Call (name, _) -> not (is_pure_call name)
+  | _ -> false
+
+(* Is a dead definition of this kind deletable? *)
+let is_removable (i : Instr.t) =
+  Instr.defines i
+  &&
+  match i.Instr.op with
+  | Instr.Ibinop _ | Instr.Fbinop _ | Instr.Icmp _ | Instr.Fcmp _
+  | Instr.Select _ | Instr.Cast _ | Instr.Load _ | Instr.Gep _
+  | Instr.Extractelement _ | Instr.Insertelement _ | Instr.Shufflevector _
+  | Instr.Phi _ ->
+    true
+  | Instr.Call (name, _) -> is_pure_call name
+  | Instr.Store _ | Instr.Alloca _ | Instr.Br _ | Instr.Condbr _
+  | Instr.Ret _ | Instr.Unreachable ->
+    false
+
+(* Remove dead definitions from [f]; returns how many were deleted. *)
+let run_func (f : Func.t) : int =
+  let def_tbl = Func.def_table f in
+  let live = Hashtbl.create 64 in
+  let worklist = ref [] in
+  let mark r =
+    if not (Hashtbl.mem live r) then begin
+      Hashtbl.replace live r ();
+      worklist := r :: !worklist
+    end
+  in
+  Func.iter_instrs f (fun _ i -> if is_root i then List.iter mark (Instr.uses i));
+  let rec drain () =
+    match !worklist with
+    | [] -> ()
+    | r :: rest ->
+      worklist := rest;
+      (match Hashtbl.find_opt def_tbl r with
+      | Some i -> List.iter mark (Instr.uses i)
+      | None -> () (* parameter *));
+      drain ()
+  in
+  drain ();
+  let removed = ref 0 in
+  List.iter
+    (fun b ->
+      let keep, dead =
+        List.partition
+          (fun (i : Instr.t) ->
+            (not (is_removable i)) || Hashtbl.mem live i.Instr.id)
+          b.Block.instrs
+      in
+      removed := !removed + List.length dead;
+      b.Block.instrs <- keep)
+    f.Func.blocks;
+  !removed
+
+let run_module (m : Vmodule.t) : int =
+  List.fold_left (fun n f -> n + run_func f) 0 m.Vmodule.funcs

@@ -1,0 +1,14 @@
+(** Dead-code elimination: mark-and-sweep from side-effecting roots.
+    Run after code generation so that — as with the paper's [-O3]
+    toolchain — dead definitions never reach VULFI's fault-site
+    census. *)
+
+(** Is a call to this function free of observable effects (math and
+    reduction intrinsics, masked loads)? *)
+val is_pure_call : string -> bool
+
+(** Remove dead definitions from one function; returns the count. *)
+val run_func : Func.t -> int
+
+(** Remove dead definitions module-wide; returns the total count. *)
+val run_module : Vmodule.t -> int

@@ -1,0 +1,40 @@
+(** VULFI's inbuilt table of x86 vector intrinsics (paper §II-D): masked
+    load/store classification with mask-operand positions, plus the
+    generic math/reduction intrinsics the code generator emits. *)
+
+type kind =
+  | Maskload   (** masked vector load: [(ptr, mask) -> vec] *)
+  | Maskstore  (** masked vector store: [(ptr, mask, value) -> void] *)
+  | Math of string  (** pure lane-wise math, e.g. ["sqrt"] *)
+  | Reduce of string  (** cross-lane reduction: "add"/"or"/"min"/"max" *)
+
+type info = {
+  iname : string;
+  kind : kind;
+  mask_operand : int option;  (** operand index of the execution mask *)
+  value_operand : int option;  (** operand index of the stored value *)
+  target : Target.t option;  (** [None]: target-independent *)
+}
+
+(** The full table. *)
+val table : info list
+
+(** Does [name] start with ["llvm."]? *)
+val is_intrinsic_name : string -> bool
+
+(** Resolve by exact name or generic prefix (e.g. ["llvm.sqrt.v8f32"]
+    matches the ["llvm.sqrt"] entry). *)
+val lookup : string -> info option
+
+(** Does the named intrinsic carry an execution mask? *)
+val is_masked : string -> bool
+
+val mask_operand : string -> int option
+val value_operand : string -> int option
+
+(** Name of the masked load/store intrinsic for an element type on a
+    target, e.g. ["llvm.x86.avx.maskload.ps.256"].
+    @raise Invalid_argument for unsupported element types. *)
+val maskload_name : Target.t -> Vtype.scalar -> string
+
+val maskstore_name : Target.t -> Vtype.scalar -> string

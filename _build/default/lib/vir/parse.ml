@@ -1,0 +1,665 @@
+(** Textual VIR parser — the inverse of {!Pp}.
+
+    Accepts exactly the syntax the printer emits, so that
+    [parse (Pp.module_to_string m)] reconstructs [m] up to register
+    names. This enables opt-style tooling (dump, edit, re-ingest) and
+    powers the print/parse round-trip property tests. *)
+
+exception Parse_error of string * int  (** message, line *)
+
+(* ---------------- lexer ---------------- *)
+
+type token =
+  | Tint of int64
+  | Tfloat of float
+  | Tident of string   (* keywords, type names, labels *)
+  | Treg of int        (* %rN *)
+  | Tlabelref of string  (* %name (non-register) *)
+  | Tglobal of string  (* @name *)
+  | Tlparen | Trparen | Tlbrace | Trbrace | Tlangle | Trangle
+  | Tlbracket | Trbracket
+  | Tcomma | Tcolon | Teq
+  | Teof
+
+type lexer = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable peeked : token option;
+}
+
+let mk_lexer src = { src; pos = 0; line = 1; peeked = None }
+
+let error lx fmt =
+  Printf.ksprintf (fun m -> raise (Parse_error (m, lx.line))) fmt
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws lx =
+  if lx.pos < String.length lx.src then
+    match lx.src.[lx.pos] with
+    | ' ' | '\t' | '\r' ->
+      lx.pos <- lx.pos + 1;
+      skip_ws lx
+    | '\n' ->
+      lx.pos <- lx.pos + 1;
+      lx.line <- lx.line + 1;
+      skip_ws lx
+    | ';' ->
+      (* comment to end of line *)
+      while
+        lx.pos < String.length lx.src && lx.src.[lx.pos] <> '\n'
+      do
+        lx.pos <- lx.pos + 1
+      done;
+      skip_ws lx
+    | _ -> ()
+
+(* Scan a number starting at [lx.pos]; handles 0x hex floats ("%h"
+   output), decimal floats, and int64 decimals, with optional sign. *)
+let rec lex_number lx =
+  let start = lx.pos in
+  if lx.src.[lx.pos] = '-' then lx.pos <- lx.pos + 1;
+  (* negative specials: -infinity, -nan *)
+  if
+    lx.pos < String.length lx.src
+    && (lx.src.[lx.pos] = 'i' || lx.src.[lx.pos] = 'n')
+  then begin
+    while lx.pos < String.length lx.src && is_ident_char lx.src.[lx.pos] do
+      lx.pos <- lx.pos + 1
+    done;
+    match float_of_string_opt (String.sub lx.src start (lx.pos - start)) with
+    | Some f -> Tfloat f
+    | None -> error lx "bad numeric literal"
+  end
+  else lex_number_body lx start
+
+and lex_number_body lx start =
+  let is_hex =
+    lx.pos + 1 < String.length lx.src
+    && lx.src.[lx.pos] = '0'
+    && (lx.src.[lx.pos + 1] = 'x' || lx.src.[lx.pos + 1] = 'X')
+  in
+  let num_char c =
+    is_digit c
+    || (is_hex
+        && ((c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') || c = 'x'
+           || c = 'X'))
+    || c = '.' || c = 'p' || c = 'P'
+    || (not is_hex && (c = 'e' || c = 'E'))
+  in
+  let rec go () =
+    if lx.pos < String.length lx.src then begin
+      let c = lx.src.[lx.pos] in
+      if num_char c then begin
+        lx.pos <- lx.pos + 1;
+        (* exponent sign *)
+        (if
+           (c = 'p' || c = 'P' || ((not is_hex) && (c = 'e' || c = 'E')))
+           && lx.pos < String.length lx.src
+           && (lx.src.[lx.pos] = '+' || lx.src.[lx.pos] = '-')
+         then lx.pos <- lx.pos + 1);
+        go ()
+      end
+    end
+  in
+  go ();
+  let text = String.sub lx.src start (lx.pos - start) in
+  if
+    String.contains text '.'
+    || String.contains text 'p'
+    || String.contains text 'P'
+    || ((not is_hex) && (String.contains text 'e' || String.contains text 'E'))
+  then
+    match float_of_string_opt text with
+    | Some f -> Tfloat f
+    | None -> error lx "bad float literal %S" text
+  else
+    match Int64.of_string_opt text with
+    | Some n -> Tint n
+    | None -> error lx "bad int literal %S" text
+
+let lex_token lx =
+  skip_ws lx;
+  if lx.pos >= String.length lx.src then Teof
+  else
+    let c = lx.src.[lx.pos] in
+    match c with
+    | '(' -> lx.pos <- lx.pos + 1; Tlparen
+    | ')' -> lx.pos <- lx.pos + 1; Trparen
+    | '{' -> lx.pos <- lx.pos + 1; Tlbrace
+    | '}' -> lx.pos <- lx.pos + 1; Trbrace
+    | '<' -> lx.pos <- lx.pos + 1; Tlangle
+    | '>' -> lx.pos <- lx.pos + 1; Trangle
+    | '[' -> lx.pos <- lx.pos + 1; Tlbracket
+    | ']' -> lx.pos <- lx.pos + 1; Trbracket
+    | ',' -> lx.pos <- lx.pos + 1; Tcomma
+    | ':' -> lx.pos <- lx.pos + 1; Tcolon
+    | '=' -> lx.pos <- lx.pos + 1; Teq
+    | '%' ->
+      lx.pos <- lx.pos + 1;
+      let start = lx.pos in
+      while lx.pos < String.length lx.src && is_ident_char lx.src.[lx.pos] do
+        lx.pos <- lx.pos + 1
+      done;
+      let name = String.sub lx.src start (lx.pos - start) in
+      if
+        String.length name >= 2
+        && name.[0] = 'r'
+        && String.for_all is_digit (String.sub name 1 (String.length name - 1))
+      then Treg (int_of_string (String.sub name 1 (String.length name - 1)))
+      else Tlabelref name
+    | '@' ->
+      lx.pos <- lx.pos + 1;
+      let start = lx.pos in
+      while lx.pos < String.length lx.src && is_ident_char lx.src.[lx.pos] do
+        lx.pos <- lx.pos + 1
+      done;
+      Tglobal (String.sub lx.src start (lx.pos - start))
+    | '-' -> lex_number lx
+    | c when is_digit c -> lex_number lx
+    | c when is_ident_char c ->
+      let start = lx.pos in
+      while lx.pos < String.length lx.src && is_ident_char lx.src.[lx.pos] do
+        lx.pos <- lx.pos + 1
+      done;
+      Tident (String.sub lx.src start (lx.pos - start))
+    | c -> error lx "unexpected character %C" c
+
+let next lx =
+  match lx.peeked with
+  | Some t ->
+    lx.peeked <- None;
+    t
+  | None -> lex_token lx
+
+let peek lx =
+  match lx.peeked with
+  | Some t -> t
+  | None ->
+    let t = lex_token lx in
+    lx.peeked <- Some t;
+    t
+
+let token_name = function
+  | Tint n -> Printf.sprintf "int %Ld" n
+  | Tfloat f -> Printf.sprintf "float %h" f
+  | Tident s -> Printf.sprintf "%S" s
+  | Treg r -> Printf.sprintf "%%r%d" r
+  | Tlabelref l -> "%" ^ l
+  | Tglobal g -> "@" ^ g
+  | Tlparen -> "'('" | Trparen -> "')'" | Tlbrace -> "'{'"
+  | Trbrace -> "'}'" | Tlangle -> "'<'" | Trangle -> "'>'"
+  | Tlbracket -> "'['" | Trbracket -> "']'"
+  | Tcomma -> "','" | Tcolon -> "':'" | Teq -> "'='"
+  | Teof -> "end of input"
+
+let expect lx tok =
+  let got = next lx in
+  if got <> tok then
+    error lx "expected %s, found %s" (token_name tok) (token_name got)
+
+let expect_ident lx =
+  match next lx with
+  | Tident s -> s
+  | got -> error lx "expected identifier, found %s" (token_name got)
+
+let accept_ident lx kw =
+  match peek lx with
+  | Tident s when s = kw ->
+    ignore (next lx);
+    true
+  | _ -> false
+
+(* ---------------- types ---------------- *)
+
+let scalar_of_name lx = function
+  | "i1" -> Vtype.I1
+  | "i8" -> Vtype.I8
+  | "i32" -> Vtype.I32
+  | "i64" -> Vtype.I64
+  | "float" -> Vtype.F32
+  | "double" -> Vtype.F64
+  | "ptr" -> Vtype.Ptr
+  | other -> error lx "unknown scalar type %S" other
+
+(* Parse a type where a '<' unambiguously starts a vector type. *)
+let parse_ty lx =
+  match peek lx with
+  | Tident "void" ->
+    ignore (next lx);
+    Vtype.Void
+  | Tident name ->
+    ignore (next lx);
+    Vtype.Scalar (scalar_of_name lx name)
+  | Tlangle ->
+    ignore (next lx);
+    let n =
+      match next lx with
+      | Tint n -> Int64.to_int n
+      | got -> error lx "expected lane count, found %s" (token_name got)
+    in
+    if not (accept_ident lx "x") then error lx "expected 'x' in vector type";
+    let s = scalar_of_name lx (expect_ident lx) in
+    expect lx Trangle;
+    Vtype.Vector (n, s)
+  | got -> error lx "expected a type, found %s" (token_name got)
+
+(* ---------------- constants ---------------- *)
+
+(* A short (untyped) constant of known type [ty]. *)
+let rec parse_const lx (ty : Vtype.t) : Const.t =
+  match ty with
+  | Vtype.Void -> error lx "void constant"
+  | Vtype.Scalar s -> parse_scalar_const lx s
+  | Vtype.Vector (n, s) -> (
+    match peek lx with
+    | Tident "undef" ->
+      ignore (next lx);
+      Const.Cundef ty
+    | Tlangle ->
+      ignore (next lx);
+      let elems =
+        Array.init n (fun i ->
+            if i > 0 then expect lx Tcomma;
+            parse_scalar_const lx s)
+      in
+      expect lx Trangle;
+      Const.Cvec elems
+    | got -> error lx "expected vector constant, found %s" (token_name got))
+
+and parse_scalar_const lx (s : Vtype.scalar) : Const.t =
+  match next lx with
+  | Tident "undef" -> Const.Cundef (Vtype.Scalar s)
+  | Tident "true" -> Const.i1 true
+  | Tident "false" -> Const.i1 false
+  | Tint n ->
+    if Vtype.is_float_scalar s then Const.Cfloat (s, Int64.to_float n)
+    else Const.Cint (s, n)
+  | Tfloat f ->
+    if Vtype.is_float_scalar s then
+      Const.Cfloat (s, Const.round_float s f)
+    else error lx "float constant for integer type"
+  | Tident "nan" -> Const.Cfloat (s, Float.nan)
+  | Tident "infinity" -> Const.Cfloat (s, Float.infinity)
+  | got -> error lx "expected scalar constant, found %s" (token_name got)
+
+(* ---------------- operands ---------------- *)
+
+(* Typed operand: TYPE (reg | const). *)
+let parse_operand lx : Instr.operand =
+  let ty = parse_ty lx in
+  match peek lx with
+  | Treg r ->
+    ignore (next lx);
+    Instr.Reg (r, ty)
+  | _ -> Instr.Imm (parse_const lx ty)
+
+(* Short operand (no type): a register or constant of known type. *)
+let parse_short_operand lx (ty : Vtype.t) : Instr.operand =
+  match peek lx with
+  | Treg r ->
+    ignore (next lx);
+    Instr.Reg (r, ty)
+  | _ -> Instr.Imm (parse_const lx ty)
+
+(* ---------------- instructions ---------------- *)
+
+let ibinop_of_name = function
+  | "add" -> Some Instr.Add | "sub" -> Some Instr.Sub
+  | "mul" -> Some Instr.Mul | "sdiv" -> Some Instr.Sdiv
+  | "srem" -> Some Instr.Srem | "udiv" -> Some Instr.Udiv
+  | "urem" -> Some Instr.Urem | "and" -> Some Instr.And
+  | "or" -> Some Instr.Or | "xor" -> Some Instr.Xor
+  | "shl" -> Some Instr.Shl | "lshr" -> Some Instr.Lshr
+  | "ashr" -> Some Instr.Ashr
+  | _ -> None
+
+let fbinop_of_name = function
+  | "fadd" -> Some Instr.Fadd | "fsub" -> Some Instr.Fsub
+  | "fmul" -> Some Instr.Fmul | "fdiv" -> Some Instr.Fdiv
+  | "frem" -> Some Instr.Frem
+  | _ -> None
+
+let icmp_of_name lx = function
+  | "eq" -> Instr.Ieq | "ne" -> Instr.Ine | "slt" -> Instr.Islt
+  | "sle" -> Instr.Isle | "sgt" -> Instr.Isgt | "sge" -> Instr.Isge
+  | "ult" -> Instr.Iult | "ule" -> Instr.Iule | "ugt" -> Instr.Iugt
+  | "uge" -> Instr.Iuge
+  | other -> error lx "unknown icmp predicate %S" other
+
+let fcmp_of_name lx = function
+  | "oeq" -> Instr.Foeq | "one" -> Instr.Fone | "olt" -> Instr.Folt
+  | "ole" -> Instr.Fole | "ogt" -> Instr.Fogt | "oge" -> Instr.Foge
+  | "ord" -> Instr.Ford | "uno" -> Instr.Funo
+  | other -> error lx "unknown fcmp predicate %S" other
+
+let cast_of_name = function
+  | "trunc" -> Some Instr.Trunc | "zext" -> Some Instr.Zext
+  | "sext" -> Some Instr.Sext | "fptosi" -> Some Instr.Fptosi
+  | "sitofp" -> Some Instr.Sitofp | "fptrunc" -> Some Instr.Fptrunc
+  | "fpext" -> Some Instr.Fpext | "bitcast" -> Some Instr.Bitcast
+  | "ptrtoint" -> Some Instr.Ptrtoint | "inttoptr" -> Some Instr.Inttoptr
+  | _ -> None
+
+let parse_label_ref lx =
+  if not (accept_ident lx "label") then error lx "expected 'label'";
+  match next lx with
+  | Tlabelref l -> l
+  | Treg r -> Printf.sprintf "r%d" r  (* labels that look like registers *)
+  | got -> error lx "expected a label, found %s" (token_name got)
+
+(* Parse one instruction body; [dst] is Some (reg) for definitions. *)
+let parse_instr lx ~(dst : int option) : Instr.t =
+  let mk ty op =
+    match dst with
+    | Some id -> { Instr.id; name = Printf.sprintf "r%d" id; ty; op }
+    | None -> { Instr.id = -1; name = ""; ty; op }
+  in
+  let opcode = expect_ident lx in
+  match opcode with
+  | _ when ibinop_of_name opcode <> None ->
+    let k = Option.get (ibinop_of_name opcode) in
+    let a = parse_operand lx in
+    expect lx Tcomma;
+    let b = parse_short_operand lx (Instr.operand_ty a) in
+    mk (Instr.operand_ty a) (Instr.Ibinop (k, a, b))
+  | _ when fbinop_of_name opcode <> None ->
+    let k = Option.get (fbinop_of_name opcode) in
+    let a = parse_operand lx in
+    expect lx Tcomma;
+    let b = parse_short_operand lx (Instr.operand_ty a) in
+    mk (Instr.operand_ty a) (Instr.Fbinop (k, a, b))
+  | "icmp" ->
+    let pred = icmp_of_name lx (expect_ident lx) in
+    let a = parse_operand lx in
+    expect lx Tcomma;
+    let b = parse_short_operand lx (Instr.operand_ty a) in
+    mk
+      (Vtype.with_lanes (Vtype.lanes (Instr.operand_ty a)) Vtype.bool_ty)
+      (Instr.Icmp (pred, a, b))
+  | "fcmp" ->
+    let pred = fcmp_of_name lx (expect_ident lx) in
+    let a = parse_operand lx in
+    expect lx Tcomma;
+    let b = parse_short_operand lx (Instr.operand_ty a) in
+    mk
+      (Vtype.with_lanes (Vtype.lanes (Instr.operand_ty a)) Vtype.bool_ty)
+      (Instr.Fcmp (pred, a, b))
+  | "select" ->
+    let c = parse_operand lx in
+    expect lx Tcomma;
+    let a = parse_operand lx in
+    expect lx Tcomma;
+    let b = parse_operand lx in
+    mk (Instr.operand_ty a) (Instr.Select (c, a, b))
+  | _ when cast_of_name opcode <> None ->
+    let k = Option.get (cast_of_name opcode) in
+    let a = parse_operand lx in
+    if not (accept_ident lx "to") then error lx "expected 'to' in cast";
+    let ty = parse_ty lx in
+    mk ty (Instr.Cast (k, a))
+  | "alloca" ->
+    let ty = parse_ty lx in
+    expect lx Tcomma;
+    let n =
+      match next lx with
+      | Tint n -> Int64.to_int n
+      | got -> error lx "expected alloca count, found %s" (token_name got)
+    in
+    mk Vtype.ptr (Instr.Alloca (ty, n))
+  | "load" ->
+    let ty = parse_ty lx in
+    expect lx Tcomma;
+    let p = parse_operand lx in
+    mk ty (Instr.Load p)
+  | "store" ->
+    let v = parse_operand lx in
+    expect lx Tcomma;
+    let p = parse_operand lx in
+    mk Vtype.Void (Instr.Store (v, p))
+  | "getelementptr" ->
+    let base = parse_operand lx in
+    expect lx Tcomma;
+    let ix = parse_operand lx in
+    expect lx Tcomma;
+    if not (accept_ident lx "elem_bytes") then
+      error lx "expected 'elem_bytes'";
+    let sz =
+      match next lx with
+      | Tint n -> Int64.to_int n
+      | got -> error lx "expected element size, found %s" (token_name got)
+    in
+    mk Vtype.ptr (Instr.Gep (base, ix, sz))
+  | "extractelement" ->
+    let v = parse_operand lx in
+    expect lx Tcomma;
+    let ix = parse_operand lx in
+    mk (Vtype.scalar_of (Instr.operand_ty v)) (Instr.Extractelement (v, ix))
+  | "insertelement" ->
+    let v = parse_operand lx in
+    expect lx Tcomma;
+    let e = parse_operand lx in
+    expect lx Tcomma;
+    let ix = parse_operand lx in
+    mk (Instr.operand_ty v) (Instr.Insertelement (v, e, ix))
+  | "shufflevector" ->
+    let a = parse_operand lx in
+    expect lx Tcomma;
+    let b = parse_operand lx in
+    expect lx Tcomma;
+    expect lx Tlangle;
+    let mask = ref [] in
+    let rec go first =
+      match peek lx with
+      | Trangle -> ignore (next lx)
+      | _ ->
+        if not first then expect lx Tcomma;
+        (match next lx with
+        | Tint n -> mask := Int64.to_int n :: !mask
+        | got -> error lx "expected mask lane, found %s" (token_name got));
+        go false
+    in
+    go true;
+    let mask = Array.of_list (List.rev !mask) in
+    mk
+      (Vtype.with_lanes (Array.length mask)
+         (Vtype.scalar_of (Instr.operand_ty a)))
+      (Instr.Shufflevector (a, b, mask))
+  | "call" ->
+    let ret = parse_ty lx in
+    let callee =
+      match next lx with
+      | Tglobal g -> g
+      | got -> error lx "expected @callee, found %s" (token_name got)
+    in
+    expect lx Tlparen;
+    let args = ref [] in
+    let rec go first =
+      match peek lx with
+      | Trparen -> ignore (next lx)
+      | _ ->
+        if not first then expect lx Tcomma;
+        args := parse_operand lx :: !args;
+        go false
+    in
+    go true;
+    mk ret (Instr.Call (callee, List.rev !args))
+  | "phi" ->
+    let ty = parse_ty lx in
+    let incoming = ref [] in
+    let rec go first =
+      match peek lx with
+      | Tlbracket ->
+        if not first then () ;
+        ignore (next lx);
+        let v = parse_short_operand lx ty in
+        expect lx Tcomma;
+        let l =
+          match next lx with
+          | Tlabelref l -> l
+          | got -> error lx "expected %%label, found %s" (token_name got)
+        in
+        expect lx Trbracket;
+        incoming := (l, v) :: !incoming;
+        (match peek lx with
+        | Tcomma ->
+          ignore (next lx);
+          go false
+        | _ -> ())
+      | got -> error lx "expected phi incoming, found %s" (token_name got)
+    in
+    go true;
+    mk ty (Instr.Phi (List.rev !incoming))
+  | "br" -> (
+    match peek lx with
+    | Tident "label" ->
+      let l = parse_label_ref lx in
+      mk Vtype.Void (Instr.Br l)
+    | _ ->
+      let c = parse_operand lx in
+      expect lx Tcomma;
+      let l1 = parse_label_ref lx in
+      expect lx Tcomma;
+      let l2 = parse_label_ref lx in
+      mk Vtype.Void (Instr.Condbr (c, l1, l2)))
+  | "ret" -> (
+    match peek lx with
+    | Tident "void" ->
+      ignore (next lx);
+      mk Vtype.Void (Instr.Ret None)
+    | _ ->
+      let v = parse_operand lx in
+      mk Vtype.Void (Instr.Ret (Some v)))
+  | "unreachable" -> mk Vtype.Void Instr.Unreachable
+  | other -> error lx "unknown opcode %S" other
+
+(* ---------------- functions and modules ---------------- *)
+
+let parse_func lx : Func.t =
+  (* "define" consumed by the caller *)
+  let ret_ty = parse_ty lx in
+  let name =
+    match next lx with
+    | Tglobal g -> g
+    | got -> error lx "expected @name, found %s" (token_name got)
+  in
+  expect lx Tlparen;
+  let params = ref [] in
+  let rec go first =
+    match peek lx with
+    | Trparen -> ignore (next lx)
+    | _ ->
+      if not first then expect lx Tcomma;
+      let ty = parse_ty lx in
+      (match next lx with
+      | Treg r -> params := (Printf.sprintf "p%d" r, ty, r) :: !params
+      | got -> error lx "expected parameter register, found %s" (token_name got));
+      go false
+  in
+  go true;
+  let params = List.rev !params in
+  expect lx Tlbrace;
+  (* Blocks: LABEL ':' instr* *)
+  let blocks = ref [] in
+  let max_reg = ref (List.length params - 1) in
+  let rec parse_blocks () =
+    match peek lx with
+    | Trbrace -> ignore (next lx)
+    | Tident label ->
+      ignore (next lx);
+      expect lx Tcolon;
+      let instrs = ref [] in
+      let rec parse_body () =
+        match peek lx with
+        | Treg r ->
+          ignore (next lx);
+          expect lx Teq;
+          let i = parse_instr lx ~dst:(Some r) in
+          if r > !max_reg then max_reg := r;
+          instrs := i :: !instrs;
+          parse_body ()
+        | Tident _ ->
+          (* either an opcode or the next block label: look ahead *)
+          let save_pos = lx.pos and save_line = lx.line and save_peek = lx.peeked in
+          let id = expect_ident lx in
+          (match peek lx with
+          | Tcolon ->
+            (* next block: rewind *)
+            lx.pos <- save_pos;
+            lx.line <- save_line;
+            lx.peeked <- save_peek;
+            ()
+          | _ ->
+            (* opcode: rewind and parse as instruction *)
+            ignore id;
+            lx.pos <- save_pos;
+            lx.line <- save_line;
+            lx.peeked <- save_peek;
+            let i = parse_instr lx ~dst:None in
+            instrs := i :: !instrs;
+            parse_body ())
+        | _ -> ()
+      in
+      parse_body ();
+      blocks := Block.create ~instrs:(List.rev !instrs) label :: !blocks;
+      parse_blocks ()
+    | got -> error lx "expected block label or '}', found %s" (token_name got)
+  in
+  parse_blocks ();
+  let f =
+    Func.create ~name
+      ~params:(List.map (fun (n, t, _) -> (n, t)) params)
+      ~ret_ty
+  in
+  (* parameter registers are positional 0..n-1 in printed form *)
+  List.iteri
+    (fun i (_, _, r) ->
+      if r <> i then
+        error lx "parameter register %%r%d out of order (expected %%r%d)" r i)
+    params;
+  f.Func.blocks <- List.rev !blocks;
+  f.Func.next_reg <- !max_reg + 1;
+  f
+
+let parse_module ?(name = "parsed") (src : string) : Vmodule.t =
+  let lx = mk_lexer src in
+  let m = Vmodule.create name in
+  let rec go () =
+    match peek lx with
+    | Teof -> ()
+    | Tident "declare" ->
+      ignore (next lx);
+      let ret = parse_ty lx in
+      let ename =
+        match next lx with
+        | Tglobal g -> g
+        | got -> error lx "expected @name, found %s" (token_name got)
+      in
+      expect lx Tlparen;
+      let args = ref [] in
+      let rec args_go first =
+        match peek lx with
+        | Trparen -> ignore (next lx)
+        | _ ->
+          if not first then expect lx Tcomma;
+          args := parse_ty lx :: !args;
+          args_go false
+      in
+      args_go true;
+      Vmodule.declare_extern m ~name:ename ~arg_tys:(List.rev !args) ~ret;
+      go ()
+    | Tident "define" ->
+      ignore (next lx);
+      Vmodule.add_func m (parse_func lx);
+      go ()
+    | got -> error lx "expected 'define' or 'declare', found %s" (token_name got)
+  in
+  go ();
+  m

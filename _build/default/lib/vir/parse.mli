@@ -1,0 +1,10 @@
+(** Textual VIR parser — the inverse of {!Pp}. Accepts exactly the
+    syntax the printer emits, so [parse_module (Pp.module_to_string m)]
+    reconstructs [m] up to register names; used by the opt-style CLI
+    and the print/parse round-trip property tests. *)
+
+exception Parse_error of string * int  (** message, line number *)
+
+(** Parse a printed module. [name] defaults to ["parsed"].
+    @raise Parse_error on malformed input. *)
+val parse_module : ?name:string -> string -> Vmodule.t

@@ -1,0 +1,130 @@
+(** LLVM-flavoured textual printing of VIR. *)
+
+let operand_to_string = function
+  | Instr.Reg (r, ty) -> Printf.sprintf "%s %%r%d" (Vtype.to_string ty) r
+  | Instr.Imm c ->
+    Printf.sprintf "%s %s" (Vtype.to_string (Const.ty c)) (Const.to_string c)
+
+let short_operand = function
+  | Instr.Reg (r, _) -> Printf.sprintf "%%r%d" r
+  | Instr.Imm c -> Const.to_string c
+
+let instr_to_string (i : Instr.t) =
+  let lhs =
+    if Instr.defines i then Printf.sprintf "%%r%d = " i.Instr.id else ""
+  in
+  let body =
+    match i.Instr.op with
+    | Instr.Ibinop (k, a, b) ->
+      Printf.sprintf "%s %s, %s" (Instr.ibinop_name k) (operand_to_string a)
+        (short_operand b)
+    | Instr.Fbinop (k, a, b) ->
+      Printf.sprintf "%s %s, %s" (Instr.fbinop_name k) (operand_to_string a)
+        (short_operand b)
+    | Instr.Icmp (p, a, b) ->
+      Printf.sprintf "icmp %s %s, %s" (Instr.icmp_name p)
+        (operand_to_string a) (short_operand b)
+    | Instr.Fcmp (p, a, b) ->
+      Printf.sprintf "fcmp %s %s, %s" (Instr.fcmp_name p)
+        (operand_to_string a) (short_operand b)
+    | Instr.Select (c, a, b) ->
+      Printf.sprintf "select %s, %s, %s" (operand_to_string c)
+        (operand_to_string a) (operand_to_string b)
+    | Instr.Cast (k, a) ->
+      Printf.sprintf "%s %s to %s" (Instr.cast_name k) (operand_to_string a)
+        (Vtype.to_string i.Instr.ty)
+    | Instr.Alloca (t, n) ->
+      Printf.sprintf "alloca %s, %d" (Vtype.to_string t) n
+    | Instr.Load p ->
+      Printf.sprintf "load %s, %s" (Vtype.to_string i.Instr.ty)
+        (operand_to_string p)
+    | Instr.Store (v, p) ->
+      Printf.sprintf "store %s, %s" (operand_to_string v)
+        (operand_to_string p)
+    | Instr.Gep (b, ix, sz) ->
+      Printf.sprintf "getelementptr %s, %s, elem_bytes %d"
+        (operand_to_string b) (operand_to_string ix) sz
+    | Instr.Extractelement (v, ix) ->
+      Printf.sprintf "extractelement %s, %s" (operand_to_string v)
+        (operand_to_string ix)
+    | Instr.Insertelement (v, e, ix) ->
+      Printf.sprintf "insertelement %s, %s, %s" (operand_to_string v)
+        (operand_to_string e) (operand_to_string ix)
+    | Instr.Shufflevector (a, b, m) ->
+      let mask =
+        String.concat ", " (Array.to_list (Array.map string_of_int m))
+      in
+      Printf.sprintf "shufflevector %s, %s, <%s>" (operand_to_string a)
+        (operand_to_string b) mask
+    | Instr.Call (callee, args) ->
+      Printf.sprintf "call %s @%s(%s)"
+        (Vtype.to_string i.Instr.ty)
+        callee
+        (String.concat ", " (List.map operand_to_string args))
+    | Instr.Phi incoming ->
+      let inc =
+        List.map
+          (fun (l, v) -> Printf.sprintf "[ %s, %%%s ]" (short_operand v) l)
+          incoming
+      in
+      Printf.sprintf "phi %s %s"
+        (Vtype.to_string i.Instr.ty)
+        (String.concat ", " inc)
+    | Instr.Br l -> Printf.sprintf "br label %%%s" l
+    | Instr.Condbr (c, l1, l2) ->
+      Printf.sprintf "br %s, label %%%s, label %%%s" (operand_to_string c) l1
+        l2
+    | Instr.Ret None -> "ret void"
+    | Instr.Ret (Some v) -> Printf.sprintf "ret %s" (operand_to_string v)
+    | Instr.Unreachable -> "unreachable"
+  in
+  lhs ^ body
+
+let block_to_string (b : Block.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (b.Block.label ^ ":\n");
+  List.iter
+    (fun i ->
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf (instr_to_string i);
+      Buffer.add_char buf '\n')
+    b.Block.instrs;
+  Buffer.contents buf
+
+let func_to_string (f : Func.t) =
+  let buf = Buffer.create 1024 in
+  let params =
+    String.concat ", "
+      (List.map
+         (fun p ->
+           Printf.sprintf "%s %%r%d" (Vtype.to_string p.Func.pty) p.Func.preg)
+         f.Func.params)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "define %s @%s(%s) {\n"
+       (Vtype.to_string f.Func.ret_ty)
+       f.Func.fname params);
+  List.iter
+    (fun b -> Buffer.add_string buf (block_to_string b))
+    f.Func.blocks;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let module_to_string (m : Vmodule.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "; module %s\n" m.Vmodule.mname);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "declare %s @%s(%s)\n"
+           (Vtype.to_string e.Vmodule.ret)
+           e.Vmodule.ename
+           (String.concat ", "
+              (List.map Vtype.to_string e.Vmodule.arg_tys))))
+    m.Vmodule.externs;
+  List.iter
+    (fun f ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (func_to_string f))
+    m.Vmodule.funcs;
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Vector instruction-set targets.
+
+    The paper evaluates Intel AVX (256-bit) and SSE4 (128-bit). At IR
+    level the distinction VULFI cares about is the vector length for
+    32-bit lanes and which masked intrinsics the code generator emits. *)
+
+type t = Avx | Sse
+
+let all = [ Avx; Sse ]
+
+let name = function Avx -> "AVX" | Sse -> "SSE"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "avx" -> Some Avx
+  | "sse" | "sse4" -> Some Sse
+  | _ -> None
+
+(* Register width in bits. *)
+let bits = function Avx -> 256 | Sse -> 128
+
+(* Lanes for 32-bit elements (f32/i32), the unit the paper's benchmarks
+   are vectorized over. *)
+let vl = function Avx -> 8 | Sse -> 4
+
+(* Lanes for a given scalar element type. *)
+let vl_for t s = bits t / Vtype.scalar_bits s

@@ -1,0 +1,22 @@
+(** Vector instruction-set targets: Intel AVX (256-bit) and SSE4
+    (128-bit), the two ISAs of the paper's study. At IR level the
+    distinction VULFI cares about is the lane count for 32-bit elements
+    and which masked intrinsics the code generator emits. *)
+
+type t = Avx | Sse
+
+val all : t list
+
+val name : t -> string
+
+(** Parse ["avx"] / ["sse"] (case-insensitive, ["sse4"] accepted). *)
+val of_string : string -> t option
+
+(** Register width in bits: 256 / 128. *)
+val bits : t -> int
+
+(** Lanes for 32-bit elements (f32/i32): 8 / 4. *)
+val vl : t -> int
+
+(** Lanes for an arbitrary element type. *)
+val vl_for : t -> Vtype.scalar -> int

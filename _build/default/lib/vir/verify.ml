@@ -1,0 +1,383 @@
+(** Module verifier: structural SSA checks plus an instruction typing
+    pass. Passes run the verifier after rewriting IR; tests assert both
+    acceptance of well-formed IR and rejection of malformed IR. *)
+
+type error = { in_func : string; in_block : string; msg : string }
+
+let error_to_string e =
+  Printf.sprintf "%s/%%%s: %s" e.in_func e.in_block e.msg
+
+(* Immediate dominators by iterative dataflow over block indices;
+   returns dom.(i) = set of blocks dominating block i (as bool array). *)
+let dominators (f : Func.t) =
+  let blocks = Array.of_list f.Func.blocks in
+  let n = Array.length blocks in
+  let index_of = Hashtbl.create n in
+  Array.iteri (fun i b -> Hashtbl.replace index_of b.Block.label i) blocks;
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i b ->
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt index_of s with
+          | Some j -> preds.(j) <- i :: preds.(j)
+          | None -> ())
+        (Block.successors b))
+    blocks;
+  let dom = Array.init n (fun i -> Array.make n (i <> 0 || true)) in
+  (* entry dominated only by itself; others start as full set *)
+  Array.iteri (fun i row -> if i = 0 then Array.iteri (fun j _ -> row.(j) <- j = 0) row) dom;
+  for i = 1 to n - 1 do
+    Array.fill dom.(i) 0 n true
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to n - 1 do
+      let inter = Array.make n (preds.(i) <> []) in
+      List.iter
+        (fun p -> Array.iteri (fun j v -> inter.(j) <- v && dom.(p).(j)) inter)
+        preds.(i);
+      inter.(i) <- true;
+      if inter <> dom.(i) then (
+        dom.(i) <- inter;
+        changed := true)
+    done
+  done;
+  (dom, index_of)
+
+let verify_func (m : Vmodule.t) (f : Func.t) : error list =
+  let errors = ref [] in
+  let err block msg =
+    errors := { in_func = f.Func.fname; in_block = block; msg } :: !errors
+  in
+  if f.Func.blocks = [] then err "" "function has no blocks";
+  let labels = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      if Hashtbl.mem labels b.Block.label then
+        err b.Block.label "duplicate block label";
+      Hashtbl.replace labels b.Block.label ())
+    f.Func.blocks;
+  (* Definitions: params then instruction results, each exactly once. *)
+  let def_site = Hashtbl.create 64 in
+  List.iter
+    (fun p -> Hashtbl.replace def_site p.Func.preg ("<param>", p.Func.pty))
+    f.Func.params;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun (i : Instr.t) ->
+          if Instr.defines i then begin
+            if Hashtbl.mem def_site i.Instr.id then
+              err b.Block.label
+                (Printf.sprintf "register %%r%d defined twice" i.Instr.id);
+            Hashtbl.replace def_site i.Instr.id (b.Block.label, i.Instr.ty)
+          end)
+        b.Block.instrs)
+    f.Func.blocks;
+  (* Block shape: exactly one terminator, at the end; phis first. *)
+  List.iter
+    (fun b ->
+      (match List.rev b.Block.instrs with
+      | [] -> err b.Block.label "empty block"
+      | last :: rest ->
+        if not (Instr.is_terminator last) then
+          err b.Block.label "block does not end in a terminator";
+        List.iter
+          (fun i ->
+            if Instr.is_terminator i then
+              err b.Block.label "terminator in the middle of a block")
+          rest);
+      let seen_non_phi = ref false in
+      List.iter
+        (fun i ->
+          if Instr.is_phi i then begin
+            if !seen_non_phi then
+              err b.Block.label "phi after non-phi instruction"
+          end
+          else seen_non_phi := true)
+        b.Block.instrs)
+    f.Func.blocks;
+  (* Branch targets exist. *)
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          if not (Hashtbl.mem labels s) then
+            err b.Block.label ("branch to unknown label %" ^ s))
+        (Block.successors b))
+    f.Func.blocks;
+  (* Operand typing: register operands must match their definition. *)
+  List.iter
+    (fun b ->
+      List.iter
+        (fun (i : Instr.t) ->
+          List.iter
+            (fun o ->
+              match o with
+              | Instr.Reg (r, ty) -> (
+                match Hashtbl.find_opt def_site r with
+                | None ->
+                  err b.Block.label
+                    (Printf.sprintf "use of undefined register %%r%d" r)
+                | Some (_, dty) ->
+                  if not (Vtype.equal dty ty) then
+                    err b.Block.label
+                      (Printf.sprintf
+                         "register %%r%d used at type %s but defined at %s" r
+                         (Vtype.to_string ty) (Vtype.to_string dty)))
+              | Instr.Imm _ -> ())
+            (Instr.operands i))
+        b.Block.instrs)
+    f.Func.blocks;
+  (* Instruction-specific typing rules. *)
+  let check_instr b (i : Instr.t) =
+    let ity = i.Instr.ty in
+    let e msg = err b.Block.label (Pp.instr_to_string i ^ ": " ^ msg) in
+    let ty_of = Instr.operand_ty in
+    match i.Instr.op with
+    | Instr.Ibinop (_, a, bb) ->
+      if not (Vtype.is_int (ty_of a)) then e "integer binop on non-int";
+      if not (Vtype.equal (ty_of a) (ty_of bb)) then e "operand type mismatch";
+      if not (Vtype.equal ity (ty_of a)) then e "result type mismatch"
+    | Instr.Fbinop (_, a, bb) ->
+      if not (Vtype.is_float (ty_of a)) then e "float binop on non-float";
+      if not (Vtype.equal (ty_of a) (ty_of bb)) then e "operand type mismatch";
+      if not (Vtype.equal ity (ty_of a)) then e "result type mismatch"
+    | Instr.Icmp (_, a, bb) ->
+      if not (Vtype.is_int (ty_of a) || Vtype.is_ptr (ty_of a)) then
+        e "icmp on non-int";
+      if not (Vtype.equal (ty_of a) (ty_of bb)) then e "operand type mismatch";
+      if not
+           (Vtype.equal ity
+              (Vtype.with_lanes (Vtype.lanes (ty_of a)) Vtype.bool_ty))
+      then e "icmp result must be i1 with matching lanes"
+    | Instr.Fcmp (_, a, bb) ->
+      if not (Vtype.is_float (ty_of a)) then e "fcmp on non-float";
+      if not (Vtype.equal (ty_of a) (ty_of bb)) then e "operand type mismatch";
+      if not
+           (Vtype.equal ity
+              (Vtype.with_lanes (Vtype.lanes (ty_of a)) Vtype.bool_ty))
+      then e "fcmp result must be i1 with matching lanes"
+    | Instr.Select (c, a, bb) ->
+      let cty = ty_of c in
+      if Vtype.elem cty <> Vtype.I1 then e "select condition must be i1";
+      if
+        Vtype.is_vector cty
+        && Vtype.lanes cty <> Vtype.lanes (ty_of a)
+      then e "select mask lane mismatch";
+      if not (Vtype.equal (ty_of a) (ty_of bb)) then e "select arm mismatch";
+      if not (Vtype.equal ity (ty_of a)) then e "select result mismatch"
+    | Instr.Cast (k, a) -> (
+      let aty = ty_of a in
+      if Vtype.lanes aty <> Vtype.lanes ity then e "cast changes lane count";
+      match k with
+      | Instr.Trunc | Instr.Zext | Instr.Sext ->
+        if not (Vtype.is_int aty && Vtype.is_int ity) then
+          e "int cast on non-int"
+      | Instr.Fptosi ->
+        if not (Vtype.is_float aty && Vtype.is_int ity) then
+          e "fptosi type error"
+      | Instr.Sitofp ->
+        if not (Vtype.is_int aty && Vtype.is_float ity) then
+          e "sitofp type error"
+      | Instr.Fptrunc | Instr.Fpext ->
+        if not (Vtype.is_float aty && Vtype.is_float ity) then
+          e "float cast on non-float"
+      | Instr.Ptrtoint ->
+        if not (Vtype.is_ptr aty && Vtype.is_int ity) then
+          e "ptrtoint type error"
+      | Instr.Inttoptr ->
+        if not (Vtype.is_int aty && Vtype.is_ptr ity) then
+          e "inttoptr type error"
+      | Instr.Bitcast ->
+        if
+          Vtype.size_bytes aty <> Vtype.size_bytes ity
+          || Vtype.is_void aty || Vtype.is_void ity
+        then e "bitcast size mismatch")
+    | Instr.Alloca _ ->
+      if not (Vtype.is_ptr ity) then e "alloca must yield ptr"
+    | Instr.Load p ->
+      if not (Vtype.is_ptr (ty_of p)) then e "load from non-ptr";
+      if Vtype.is_void ity then e "load of void"
+    | Instr.Store (v, p) ->
+      if not (Vtype.is_ptr (ty_of p)) then e "store to non-ptr";
+      if Vtype.is_void (ty_of v) then e "store of void";
+      if not (Vtype.is_void ity) then e "store has a result"
+    | Instr.Gep (base, ix, sz) ->
+      if not (Vtype.is_ptr (ty_of base)) then e "gep base must be ptr";
+      if not (Vtype.is_int (ty_of ix)) then e "gep index must be int";
+      if Vtype.is_vector (ty_of ix) then e "gep index must be scalar";
+      if sz <= 0 then e "gep element size must be positive";
+      if not (Vtype.is_ptr ity) then e "gep must yield ptr"
+    | Instr.Extractelement (v, ix) ->
+      if not (Vtype.is_vector (ty_of v)) then e "extractelement on scalar";
+      if not (Vtype.is_int (ty_of ix)) then e "lane index must be int";
+      if not (Vtype.equal ity (Vtype.scalar_of (ty_of v))) then
+        e "extractelement result type mismatch"
+    | Instr.Insertelement (v, el, ix) ->
+      if not (Vtype.is_vector (ty_of v)) then e "insertelement on scalar";
+      if not (Vtype.is_int (ty_of ix)) then e "lane index must be int";
+      if not (Vtype.equal (ty_of el) (Vtype.scalar_of (ty_of v))) then
+        e "inserted element type mismatch";
+      if not (Vtype.equal ity (ty_of v)) then
+        e "insertelement result type mismatch"
+    | Instr.Shufflevector (a, bb, mask) ->
+      if not (Vtype.is_vector (ty_of a)) then e "shuffle of scalar";
+      if not (Vtype.equal (ty_of a) (ty_of bb)) then
+        e "shuffle operand mismatch";
+      let lanes = Vtype.lanes (ty_of a) in
+      Array.iter
+        (fun ix ->
+          if ix < 0 || ix >= 2 * lanes then e "shuffle mask out of range")
+        mask;
+      if
+        not
+          (Vtype.equal ity
+             (Vtype.with_lanes (Array.length mask)
+                (Vtype.scalar_of (ty_of a))))
+      then e "shuffle result type mismatch"
+    | Instr.Call (callee, args) -> (
+      let check_sig arg_tys ret =
+        if List.length arg_tys <> List.length args then
+          e "call arity mismatch"
+        else
+          List.iter2
+            (fun want got ->
+              if not (Vtype.equal want (Instr.operand_ty got)) then
+                e
+                  (Printf.sprintf "call argument type mismatch (%s vs %s)"
+                     (Vtype.to_string want)
+                     (Vtype.to_string (Instr.operand_ty got))))
+            arg_tys args;
+        if not (Vtype.equal ret ity) then e "call result type mismatch"
+      in
+      match Vmodule.find_func m callee with
+      | Some g ->
+        check_sig (List.map (fun p -> p.Func.pty) g.Func.params) g.Func.ret_ty
+      | None -> (
+        match Vmodule.find_extern m callee with
+        | Some ext -> check_sig ext.Vmodule.arg_tys ext.Vmodule.ret
+        | None ->
+          if not (Intrinsics.is_intrinsic_name callee) then
+            e ("call to unknown function @" ^ callee)))
+    | Instr.Phi incoming ->
+      List.iter
+        (fun (_, v) ->
+          if not (Vtype.equal (Instr.operand_ty v) ity) then
+            e "phi incoming type mismatch")
+        incoming
+    | Instr.Condbr (c, _, _) ->
+      if not (Vtype.equal (ty_of c) Vtype.bool_ty) then
+        e "condbr condition must be scalar i1"
+    | Instr.Ret v -> (
+      match (v, f.Func.ret_ty) with
+      | None, rt when Vtype.is_void rt -> ()
+      | None, _ -> e "ret void in non-void function"
+      | Some _, rt when Vtype.is_void rt -> e "ret value in void function"
+      | Some v, rt ->
+        if not (Vtype.equal (Instr.operand_ty v) rt) then
+          e "ret type mismatch")
+    | Instr.Br _ | Instr.Unreachable -> ()
+  in
+  List.iter
+    (fun b -> List.iter (check_instr b) b.Block.instrs)
+    f.Func.blocks;
+  (* Phi incoming labels must exactly cover the block's predecessors. *)
+  let preds = Func.predecessors f in
+  List.iter
+    (fun b ->
+      let ps =
+        try List.sort_uniq compare (Hashtbl.find preds b.Block.label)
+        with Not_found -> []
+      in
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.Instr.op with
+          | Instr.Phi incoming ->
+            let labels = List.sort_uniq compare (List.map fst incoming) in
+            if labels <> ps then
+              err b.Block.label
+                (Printf.sprintf "phi %%r%d incoming {%s} != preds {%s}"
+                   i.Instr.id (String.concat "," labels)
+                   (String.concat "," ps))
+          | _ -> ())
+        b.Block.instrs)
+    f.Func.blocks;
+  (* Dominance: every use is dominated by its definition. Uses in phi
+     operands are checked at the end of the incoming block instead. *)
+  if f.Func.blocks <> [] && !errors = [] then begin
+    let dom, index_of = dominators f in
+    let block_index label = Hashtbl.find_opt index_of label in
+    let def_block = Hashtbl.create 64 in
+    List.iter
+      (fun p -> Hashtbl.replace def_block p.Func.preg "<entry>")
+      f.Func.params;
+    List.iter
+      (fun b ->
+        List.iter
+          (fun (i : Instr.t) ->
+            if Instr.defines i then
+              Hashtbl.replace def_block i.Instr.id b.Block.label)
+          b.Block.instrs)
+      f.Func.blocks;
+    let dominates dlabel ulabel =
+      if dlabel = "<entry>" then true
+      else
+        match (block_index dlabel, block_index ulabel) with
+        | Some di, Some ui -> dom.(ui).(di)
+        | _ -> false
+    in
+    List.iter
+      (fun b ->
+        let seen_here = Hashtbl.create 16 in
+        List.iter
+          (fun (i : Instr.t) ->
+            (match i.Instr.op with
+            | Instr.Phi incoming ->
+              List.iter
+                (fun (from, v) ->
+                  match v with
+                  | Instr.Reg (r, _) -> (
+                    match Hashtbl.find_opt def_block r with
+                    | Some dl ->
+                      if not (dominates dl from) then
+                        err b.Block.label
+                          (Printf.sprintf
+                             "phi use of %%r%d not dominated via %%%s" r from)
+                    | None -> ())
+                  | Instr.Imm _ -> ())
+                incoming
+            | _ ->
+              List.iter
+                (fun r ->
+                  match Hashtbl.find_opt def_block r with
+                  | Some dl ->
+                    let ok =
+                      if dl = b.Block.label then Hashtbl.mem seen_here r
+                      else dominates dl b.Block.label
+                    in
+                    if not ok then
+                      err b.Block.label
+                        (Printf.sprintf
+                           "use of %%r%d not dominated by its definition" r)
+                  | None -> ())
+                (Instr.uses i));
+            if Instr.defines i then Hashtbl.replace seen_here i.Instr.id ())
+          b.Block.instrs)
+      f.Func.blocks
+  end;
+  List.rev !errors
+
+let verify_module (m : Vmodule.t) : error list =
+  List.concat_map (verify_func m) m.Vmodule.funcs
+
+(* Raise [Invalid_argument] with a readable report if verification
+   fails; convenience for pass pipelines. *)
+let check_module m =
+  match verify_module m with
+  | [] -> ()
+  | errs ->
+    let report = String.concat "\n" (List.map error_to_string errs) in
+    invalid_arg ("Verify.check_module:\n" ^ report)

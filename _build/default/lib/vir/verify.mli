@@ -1,0 +1,17 @@
+(** Module verifier: structural SSA checks (single definitions, block
+    shape, phi/predecessor agreement, dominance of uses) plus a full
+    instruction-typing pass. Every IR-rewriting pass in the repository
+    re-verifies its output. *)
+
+type error = { in_func : string; in_block : string; msg : string }
+
+val error_to_string : error -> string
+
+(** All verification errors of one function (empty = well-formed). *)
+val verify_func : Vmodule.t -> Func.t -> error list
+
+(** All verification errors of a module. *)
+val verify_module : Vmodule.t -> error list
+
+(** @raise Invalid_argument with a readable report on any error. *)
+val check_module : Vmodule.t -> unit

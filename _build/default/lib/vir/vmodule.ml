@@ -1,0 +1,36 @@
+(** VIR modules: a set of functions plus declared externals.
+
+    Externals cover the VULFI runtime API ([__vulfi_inject_*],
+    [__vulfi_check_foreach], ...) and are resolved by the interpreter's
+    extern mechanism at run time. *)
+
+type extern_decl = {
+  ename : string;
+  arg_tys : Vtype.t list;
+  ret : Vtype.t;
+}
+
+type t = {
+  mname : string;
+  mutable funcs : Func.t list;
+  mutable externs : extern_decl list;
+}
+
+let create name = { mname = name; funcs = []; externs = [] }
+
+let add_func m f = m.funcs <- m.funcs @ [ f ]
+
+let find_func m name =
+  List.find_opt (fun f -> f.Func.fname = name) m.funcs
+
+let find_func_exn m name =
+  match find_func m name with
+  | Some f -> f
+  | None -> invalid_arg ("Vmodule.find_func_exn: @" ^ name)
+
+let declare_extern m ~name ~arg_tys ~ret =
+  if not (List.exists (fun e -> e.ename = name) m.externs) then
+    m.externs <- m.externs @ [ { ename = name; arg_tys; ret } ]
+
+let find_extern m name =
+  List.find_opt (fun e -> e.ename = name) m.externs

@@ -1,0 +1,1 @@
+lib/vulfi/campaign.ml: Analysis Experiment Hashtbl Instrument List Outcome Random Stats Vir Workload

@@ -1,0 +1,1 @@
+lib/vulfi/campaign.mli: Analysis Experiment Runtime Vir Workload

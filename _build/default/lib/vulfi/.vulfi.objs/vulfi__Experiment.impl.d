@@ -1,0 +1,1 @@
+lib/vulfi/experiment.ml: Analysis Instrument Interp Outcome Printf Runtime Vir Workload

@@ -1,0 +1,1 @@
+lib/vulfi/experiment.mli: Analysis Instrument Interp Outcome Runtime Vir Workload

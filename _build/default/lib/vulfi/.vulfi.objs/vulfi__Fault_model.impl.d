@@ -1,0 +1,1 @@
+lib/vulfi/fault_model.ml: List Vir

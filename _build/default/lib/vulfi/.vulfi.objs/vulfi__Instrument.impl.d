@@ -1,0 +1,1 @@
+lib/vulfi/instrument.ml: Analysis Array Block Const Fault_model Func Instr Intrinsics List Option Printf Verify Vir Vmodule Vtype

@@ -1,0 +1,1 @@
+lib/vulfi/instrument.mli: Analysis Vir

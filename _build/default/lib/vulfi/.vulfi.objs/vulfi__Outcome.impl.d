@@ -1,0 +1,1 @@
+lib/vulfi/outcome.ml: Array Int64 Interp List Printf

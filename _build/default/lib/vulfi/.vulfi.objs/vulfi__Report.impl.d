@@ -1,0 +1,1 @@
+lib/vulfi/report.ml: Analysis Campaign List Printf String Vir

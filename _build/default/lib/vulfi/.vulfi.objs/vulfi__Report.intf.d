@@ -1,0 +1,1 @@
+lib/vulfi/report.mli: Analysis Campaign Vir

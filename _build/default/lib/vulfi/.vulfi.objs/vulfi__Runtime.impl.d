@@ -1,0 +1,1 @@
+lib/vulfi/runtime.ml: Fault_model Hashtbl Int64 Interp List Printf Random Vir

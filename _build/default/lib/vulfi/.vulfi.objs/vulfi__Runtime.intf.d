@@ -1,0 +1,1 @@
+lib/vulfi/runtime.mli: Interp

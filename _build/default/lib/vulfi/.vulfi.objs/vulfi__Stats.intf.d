@@ -1,0 +1,1 @@
+lib/vulfi/stats.mli:

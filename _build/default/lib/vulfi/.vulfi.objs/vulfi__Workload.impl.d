@@ -1,0 +1,1 @@
+lib/vulfi/workload.ml: Interp Outcome Vir

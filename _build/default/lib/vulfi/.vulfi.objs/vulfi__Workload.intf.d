@@ -1,0 +1,1 @@
+lib/vulfi/workload.mli: Interp Outcome Vir

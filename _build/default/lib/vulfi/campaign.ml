@@ -1,0 +1,177 @@
+(** Fault-injection campaigns (paper §IV-D).
+
+    A campaign is [experiments_per_campaign] independent experiments
+    (100 in the paper); its SDC rate is one statistical sample.
+    Campaigns repeat until the sample distribution is near normal and
+    the 95% margin of error drops below the target (±3%), bounded by
+    [min_campaigns]/[max_campaigns]. *)
+
+type config = {
+  experiments_per_campaign : int;
+  min_campaigns : int;
+  max_campaigns : int;
+  margin_target : float;  (** e.g. 0.03 *)
+  seed : int;
+}
+
+(* The paper's configuration: 100-experiment campaigns, at least 20 of
+   them, ±3% margin at 95% confidence. *)
+let paper_config =
+  {
+    experiments_per_campaign = 100;
+    min_campaigns = 20;
+    max_campaigns = 40;
+    margin_target = 0.03;
+    seed = 0xC0FFEE;
+  }
+
+(* A scaled-down configuration for quick runs of the harness. *)
+let quick_config =
+  {
+    experiments_per_campaign = 25;
+    min_campaigns = 4;
+    max_campaigns = 8;
+    margin_target = 0.10;
+    seed = 0xC0FFEE;
+  }
+
+type totals = {
+  n_experiments : int;
+  n_sdc : int;
+  n_benign : int;
+  n_crash : int;
+  n_detected : int;      (** runs flagged by a detector *)
+  n_detected_sdc : int;  (** SDC runs flagged by a detector *)
+}
+
+let empty_totals =
+  {
+    n_experiments = 0;
+    n_sdc = 0;
+    n_benign = 0;
+    n_crash = 0;
+    n_detected = 0;
+    n_detected_sdc = 0;
+  }
+
+let add_outcome t (r : Experiment.run_result) =
+  {
+    n_experiments = t.n_experiments + 1;
+    n_sdc = (t.n_sdc + match r.Experiment.r_outcome with Outcome.Sdc -> 1 | _ -> 0);
+    n_benign =
+      (t.n_benign + match r.Experiment.r_outcome with Outcome.Benign -> 1 | _ -> 0);
+    n_crash =
+      (t.n_crash + match r.Experiment.r_outcome with Outcome.Crash _ -> 1 | _ -> 0);
+    n_detected = (t.n_detected + if r.Experiment.r_detected then 1 else 0);
+    n_detected_sdc =
+      (t.n_detected_sdc
+      +
+      if r.Experiment.r_detected && r.Experiment.r_outcome = Outcome.Sdc then 1
+      else 0);
+  }
+
+type result = {
+  c_workload : string;
+  c_target : Vir.Target.t;
+  c_category : Analysis.Sites.category;
+  c_campaigns : int;
+  c_sdc_rates : float list;  (** one sample per campaign *)
+  c_totals : totals;
+  c_margin : float;
+  c_near_normal : bool;
+  c_static_sites : int;
+  c_avg_dynamic_sites : float;
+  c_avg_dynamic_instrs : float;
+}
+
+let rate part total =
+  if total = 0 then 0.0 else float_of_int part /. float_of_int total
+
+let sdc_rate r = rate r.c_totals.n_sdc r.c_totals.n_experiments
+let benign_rate r = rate r.c_totals.n_benign r.c_totals.n_experiments
+let crash_rate r = rate r.c_totals.n_crash r.c_totals.n_experiments
+
+(* Fraction of SDC-producing experiments that a detector flagged —
+   the paper's "SDC detection rate" (Fig 12). *)
+let sdc_detection_rate r = rate r.c_totals.n_detected_sdc r.c_totals.n_sdc
+
+(* Run the full campaign protocol for one
+   (workload, target, site-category) cell.
+   [transform] pre-processes the module (e.g. detector insertion);
+   [hooks] attaches extra runtime (e.g. the detector API). *)
+let run ?transform ?hooks ?(respect_masks = true) ?fault_kind (cfg : config)
+    (w : Workload.t) (target : Vir.Target.t)
+    (category : Analysis.Sites.category) : result =
+  let prepared = Experiment.prepare ?transform w target category in
+  let rng = Random.State.make [| cfg.seed; Hashtbl.hash w.Workload.w_name |] in
+  (* Golden runs are deterministic per input: cache them. *)
+  let golden_cache = Hashtbl.create 8 in
+  let golden input =
+    match Hashtbl.find_opt golden_cache input with
+    | Some g -> g
+    | None ->
+      let g = Experiment.golden_run ?hooks ~respect_masks prepared ~input in
+      Hashtbl.add golden_cache input g;
+      g
+  in
+  let totals = ref empty_totals in
+  let sdc_rates = ref [] in
+  let campaigns = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let campaign_totals = ref empty_totals in
+    for _ = 1 to cfg.experiments_per_campaign do
+      let input = Random.State.int rng w.Workload.w_inputs in
+      let g = golden input in
+      let r =
+        if g.Experiment.g_dyn_sites = 0 then
+          (* no live fault site: vacuously benign *)
+          {
+            Experiment.r_outcome = Outcome.Benign;
+            r_injection = None;
+            r_detected = false;
+          }
+        else
+          let dynamic_site =
+            1 + Random.State.int rng g.Experiment.g_dyn_sites
+          in
+          Experiment.faulty_run ?hooks ~respect_masks ?fault_kind prepared
+            ~golden:g ~dynamic_site ~seed:(Random.State.bits rng)
+      in
+      campaign_totals := add_outcome !campaign_totals r;
+      totals := add_outcome !totals r
+    done;
+    incr campaigns;
+    sdc_rates :=
+      rate !campaign_totals.n_sdc !campaign_totals.n_experiments
+      :: !sdc_rates;
+    let margin = Stats.margin_of_error !sdc_rates in
+    let normal = Stats.near_normal !sdc_rates in
+    if
+      !campaigns >= cfg.max_campaigns
+      || (!campaigns >= cfg.min_campaigns
+         && margin <= cfg.margin_target
+         && normal)
+    then continue_ := false
+  done;
+  let goldens = Hashtbl.fold (fun _ g acc -> g :: acc) golden_cache [] in
+  let avg f =
+    match goldens with
+    | [] -> 0.0
+    | _ ->
+      List.fold_left (fun a g -> a +. float_of_int (f g)) 0.0 goldens
+      /. float_of_int (List.length goldens)
+  in
+  {
+    c_workload = w.Workload.w_name;
+    c_target = target;
+    c_category = category;
+    c_campaigns = !campaigns;
+    c_sdc_rates = List.rev !sdc_rates;
+    c_totals = !totals;
+    c_margin = Stats.margin_of_error !sdc_rates;
+    c_near_normal = Stats.near_normal !sdc_rates;
+    c_static_sites = Instrument.static_site_count prepared.Experiment.p_instr;
+    c_avg_dynamic_sites = avg (fun g -> g.Experiment.g_dyn_sites);
+    c_avg_dynamic_instrs = avg (fun g -> g.Experiment.g_dyn_instrs);
+  }

@@ -1,0 +1,63 @@
+(** Fault-injection campaigns (paper §IV-D): repeated batches of
+    experiments with t-based convergence of the SDC-rate estimate. *)
+
+type config = {
+  experiments_per_campaign : int;  (** 100 in the paper *)
+  min_campaigns : int;
+  max_campaigns : int;
+  margin_target : float;  (** stop when the 95% margin falls below *)
+  seed : int;  (** master seed: campaigns are fully reproducible *)
+}
+
+(** The paper's protocol: 100-experiment campaigns, at least 20, ±3%
+    margin at 95% confidence. *)
+val paper_config : config
+
+(** A scaled-down configuration for quick harness runs. *)
+val quick_config : config
+
+type totals = {
+  n_experiments : int;
+  n_sdc : int;
+  n_benign : int;
+  n_crash : int;
+  n_detected : int;  (** runs flagged by a detector *)
+  n_detected_sdc : int;  (** SDC runs flagged by a detector *)
+}
+
+type result = {
+  c_workload : string;
+  c_target : Vir.Target.t;
+  c_category : Analysis.Sites.category;
+  c_campaigns : int;
+  c_sdc_rates : float list;  (** one sample per campaign *)
+  c_totals : totals;
+  c_margin : float;  (** final 95% margin of error on the SDC rate *)
+  c_near_normal : bool;  (** sample distribution near normal? *)
+  c_static_sites : int;
+  c_avg_dynamic_sites : float;
+  c_avg_dynamic_instrs : float;
+}
+
+val sdc_rate : result -> float
+val benign_rate : result -> float
+val crash_rate : result -> float
+
+(** Fraction of SDC-producing experiments that a detector flagged — the
+    paper's "SDC detection rate" (Fig 12). *)
+val sdc_detection_rate : result -> float
+
+(** [run cfg w target category] executes the campaign protocol for one
+    (workload, ISA, site-category) cell. [transform] pre-processes the
+    module (e.g. detector insertion); [hooks] attaches extra runtime;
+    [respect_masks]/[fault_kind] select ablation variants. *)
+val run :
+  ?transform:(Vir.Vmodule.t -> Vir.Vmodule.t) ->
+  ?hooks:Experiment.hooks ->
+  ?respect_masks:bool ->
+  ?fault_kind:Runtime.fault_kind ->
+  config ->
+  Workload.t ->
+  Vir.Target.t ->
+  Analysis.Sites.category ->
+  result

@@ -1,0 +1,118 @@
+(** One fault-injection experiment = two executions of the instrumented
+    program on the same input (paper §IV-B): a fault-free profiling run
+    that records the output and the number of dynamic fault sites, and a
+    faulty run that flips one bit at a uniformly chosen dynamic site. *)
+
+(* Extra runtime surface (e.g. error detectors) to attach to machines. *)
+type hooks = {
+  h_attach : Interp.Machine.state -> unit;
+  h_flagged : unit -> bool;  (** did a detector fire during the run? *)
+  h_reset : unit -> unit;
+}
+
+let no_hooks =
+  {
+    h_attach = (fun _ -> ());
+    h_flagged = (fun () -> false);
+    h_reset = (fun () -> ());
+  }
+
+type prepared = {
+  p_workload : Workload.t;
+  p_target : Vir.Target.t;
+  p_category : Analysis.Sites.category;
+  p_code : Interp.Compile.cmodule;
+  p_instr : Instrument.t;
+}
+
+(* Build, select fault sites for [category], instrument, verify and
+   compile a workload. [transform] optionally rewrites the module
+   before instrumentation (used to insert error detectors). *)
+let prepare ?(transform = fun (m : Vir.Vmodule.t) -> m)
+    (w : Workload.t) (target : Vir.Target.t)
+    (category : Analysis.Sites.category) : prepared =
+  let m = transform (w.Workload.w_build target) in
+  let targets =
+    Analysis.Sites.select (Analysis.Sites.targets_of_module m) category
+  in
+  let instr = Instrument.run m targets in
+  {
+    p_workload = w;
+    p_target = target;
+    p_category = category;
+    p_code = Interp.Compile.compile_module instr.Instrument.instrumented;
+    p_instr = instr;
+  }
+
+type golden = {
+  g_input : int;
+  g_output : Outcome.output;
+  g_dyn_sites : int;   (** dynamic fault sites N *)
+  g_dyn_instrs : int;  (** dynamic instructions, for budget + Table I *)
+}
+
+exception Golden_run_failed of string
+
+(* Fault-free profiling run. [respect_masks:false] reproduces a
+   mask-oblivious injector for the ablation study. *)
+let golden_run ?(hooks = no_hooks) ?(respect_masks = true) (p : prepared)
+    ~input : golden =
+  let rt = Runtime.create ~respect_masks Runtime.Profile in
+  let st = Interp.Machine.create p.p_code in
+  Runtime.attach rt st;
+  hooks.h_reset ();
+  hooks.h_attach st;
+  let args, read_output =
+    p.p_workload.Workload.w_setup ~input st
+  in
+  (match Interp.Machine.run st p.p_workload.Workload.w_fn args with
+  | _ -> ()
+  | exception Interp.Trap.Trap k ->
+    raise
+      (Golden_run_failed
+         (Printf.sprintf "%s input %d: %s" p.p_workload.Workload.w_name
+            input (Interp.Trap.to_string k))));
+  {
+    g_input = input;
+    g_output = read_output ();
+    g_dyn_sites = Runtime.dynamic_sites rt;
+    g_dyn_instrs = Interp.Machine.dyn_count st;
+  }
+
+type run_result = {
+  r_outcome : Outcome.t;
+  r_injection : Runtime.injection_record option;
+  r_detected : bool;  (** a detector flagged the run *)
+}
+
+(* Faulty run at 1-based [dynamic_site]; [seed] fixes the bit choice. *)
+let faulty_run ?(hooks = no_hooks) ?(respect_masks = true) ?fault_kind
+    (p : prepared) ~(golden : golden) ~dynamic_site ~seed : run_result =
+  let rt =
+    Runtime.create ~seed ~respect_masks ?fault_kind
+      (Runtime.Inject { dynamic_site })
+  in
+  (* A fault-induced loop must terminate as an observable hang: a run
+     exceeding ten times the fault-free execution (plus slack for tiny
+     kernels) is classified as budget-exhausted. *)
+  let budget = (golden.g_dyn_instrs * 10) + 10_000 in
+  let st = Interp.Machine.create ~budget p.p_code in
+  Runtime.attach rt st;
+  hooks.h_reset ();
+  hooks.h_attach st;
+  let args, read_output =
+    p.p_workload.Workload.w_setup ~input:golden.g_input st
+  in
+  let faulty =
+    match Interp.Machine.run st p.p_workload.Workload.w_fn args with
+    | _ -> Ok (read_output ())
+    | exception Interp.Trap.Trap k -> Error k
+  in
+  {
+    r_outcome =
+      Outcome.classify
+        ~tol:p.p_workload.Workload.w_out_tolerance
+        ~golden:golden.g_output ~faulty ();
+    r_injection = Runtime.injected rt;
+    r_detected = hooks.h_flagged ();
+  }

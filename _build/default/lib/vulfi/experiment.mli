@@ -1,0 +1,67 @@
+(** One fault-injection experiment = two executions of the instrumented
+    program on the same input (paper §IV-B): a fault-free profiling run
+    and a faulty run with a single corruption at a chosen dynamic site. *)
+
+(** Extra runtime surface (e.g. error detectors) attached to machines. *)
+type hooks = {
+  h_attach : Interp.Machine.state -> unit;
+  h_flagged : unit -> bool;  (** did a detector fire during the run? *)
+  h_reset : unit -> unit;
+}
+
+(** Hooks that do nothing and never flag. *)
+val no_hooks : hooks
+
+(** A workload built, instrumented for one site category, verified and
+    compiled; ready for experiments. *)
+type prepared = {
+  p_workload : Workload.t;
+  p_target : Vir.Target.t;
+  p_category : Analysis.Sites.category;
+  p_code : Interp.Compile.cmodule;
+  p_instr : Instrument.t;
+}
+
+(** [prepare ?transform w target category] builds the workload module,
+    applies [transform] (e.g. detector insertion), selects the fault
+    sites of [category], instruments and compiles. *)
+val prepare :
+  ?transform:(Vir.Vmodule.t -> Vir.Vmodule.t) ->
+  Workload.t ->
+  Vir.Target.t ->
+  Analysis.Sites.category ->
+  prepared
+
+(** Result of the fault-free profiling run. *)
+type golden = {
+  g_input : int;
+  g_output : Outcome.output;
+  g_dyn_sites : int;  (** dynamic fault sites N *)
+  g_dyn_instrs : int;  (** dynamic instructions, for budget + Table I *)
+}
+
+(** Raised when the fault-free run itself traps (a workload bug). *)
+exception Golden_run_failed of string
+
+(** Fault-free profiling run on input [input]. [respect_masks:false]
+    reproduces a mask-oblivious injector for the ablation study. *)
+val golden_run :
+  ?hooks:hooks -> ?respect_masks:bool -> prepared -> input:int -> golden
+
+type run_result = {
+  r_outcome : Outcome.t;
+  r_injection : Runtime.injection_record option;
+  r_detected : bool;  (** a detector flagged the run *)
+}
+
+(** Faulty run corrupting the value at 1-based [dynamic_site]; [seed]
+    fixes the bit/pattern choice, making experiments reproducible. *)
+val faulty_run :
+  ?hooks:hooks ->
+  ?respect_masks:bool ->
+  ?fault_kind:Runtime.fault_kind ->
+  prepared ->
+  golden:golden ->
+  dynamic_site:int ->
+  seed:int ->
+  run_result

@@ -1,0 +1,34 @@
+(** The paper's fault model (§II-B): exactly one single-bit flip per
+    program execution, at a uniformly chosen dynamic fault site, in a
+    uniformly chosen bit of the affected scalar register. *)
+
+type t = {
+  (* 1-based index into the dynamic fault-site sequence of the run. *)
+  dynamic_site : int;
+  (* Bit position is drawn lazily at injection time because the bit
+     width depends on the register the chosen site turns out to be. *)
+  seed : int;
+}
+
+(* Names of the runtime injection API, one per scalar register class.
+   These are the functions the instrumentor splices calls to — the
+   OCaml counterparts of the paper's injectFaultFloatTy() etc. *)
+let inject_fn_name (s : Vir.Vtype.scalar) =
+  match s with
+  | Vir.Vtype.I1 -> "__vulfi_inject_i1"
+  | Vir.Vtype.I8 -> "__vulfi_inject_i8"
+  | Vir.Vtype.I32 -> "__vulfi_inject_i32"
+  | Vir.Vtype.I64 -> "__vulfi_inject_i64"
+  | Vir.Vtype.Ptr -> "__vulfi_inject_ptr"
+  | Vir.Vtype.F32 -> "__vulfi_inject_f32"
+  | Vir.Vtype.F64 -> "__vulfi_inject_f64"
+
+let all_inject_fns =
+  List.map
+    (fun s -> (inject_fn_name s, s))
+    [
+      Vir.Vtype.I1; Vir.Vtype.I8; Vir.Vtype.I32; Vir.Vtype.I64;
+      Vir.Vtype.Ptr; Vir.Vtype.F32; Vir.Vtype.F64;
+    ]
+
+let is_inject_fn name = List.mem_assoc name all_inject_fns

@@ -1,0 +1,18 @@
+(** The paper's fault model (§II-B) and the runtime API surface the
+    instrumentor targets. *)
+
+(** Specification of one planned fault. *)
+type t = {
+  dynamic_site : int;  (** 1-based index into the dynamic site stream *)
+  seed : int;  (** fixes the (lazily drawn) bit position *)
+}
+
+(** Name of the runtime injection function for one scalar register
+    class — the OCaml counterpart of the paper's [injectFaultFloatTy]. *)
+val inject_fn_name : Vir.Vtype.scalar -> string
+
+(** All (name, scalar class) pairs of the injection API. *)
+val all_inject_fns : (string * Vir.Vtype.scalar) list
+
+(** Is [name] one of the runtime injection functions? *)
+val is_inject_fn : string -> bool

@@ -1,0 +1,224 @@
+(** The VULFI instrumentor (paper §II-D, Figs 4 and 5).
+
+    For every selected fault target the pass splices calls to the
+    runtime injection API into the IR:
+
+    - a scalar Lvalue [%r] becomes
+      [%c = call @__vulfi_inject_T(%r, mask, site_id)] with every other
+      use of [%r] redirected to [%c];
+    - a vector Lvalue is processed lane by lane exactly as in Fig 4:
+      extract the scalar element, pass it (with its execution-mask lane,
+      if the producing instruction is a masked intrinsic) to the runtime
+      API, insert the result back, and finally redirect all users of the
+      original register to the fully instrumented clone;
+    - a store's value operand is instrumented immediately before the
+      store; a masked store's value operand receives the store's
+      execution-mask lanes (Fig 5 lines L5-L8).
+
+    Each (target, lane) pair receives a unique static site id, passed to
+    the runtime as a constant third argument. *)
+
+open Vir
+
+type site_info = {
+  si_id : int;
+  si_target : Analysis.Sites.target;
+  si_lane : int;
+}
+
+type t = {
+  instrumented : Vmodule.t;     (** same module value, rewritten in place *)
+  site_table : site_info array; (** indexed by static site id *)
+}
+
+let true_imm = Instr.Imm (Const.i1 true)
+
+let site_imm id = Instr.Imm (Const.i32 id)
+
+(* Declare the runtime API in the module. *)
+let declare_runtime (m : Vmodule.t) =
+  List.iter
+    (fun (name, s) ->
+      Vmodule.declare_extern m ~name
+        ~arg_tys:[ Vtype.Scalar s; Vtype.bool_ty; Vtype.i32 ]
+        ~ret:(Vtype.Scalar s))
+    Fault_model.all_inject_fns
+
+(* The execution mask operand governing a target's lanes, if any. *)
+let mask_operand_of (t : Analysis.Sites.target) : Instr.operand option =
+  match t.Analysis.Sites.t_instr.Instr.op with
+  | Instr.Call (name, args) -> (
+    match Intrinsics.mask_operand name with
+    | Some ix -> Some (List.nth args ix)
+    | None -> None)
+  | _ -> None
+
+(* Build the per-lane instrumentation chain for a value [src] of type
+   [ty]. Returns (new instructions, final operand). Fresh registers come
+   from [f]. [mask] is the vector execution mask, if any. *)
+let build_chain (f : Func.t) ~next_site ~(sites : site_info list ref)
+    ~(target : Analysis.Sites.target) ~(mask : Instr.operand option)
+    (src : Instr.operand) (ty : Vtype.t) :
+    Instr.t list * Instr.operand =
+  let mk id name ty op = { Instr.id; name; ty; op } in
+  match ty with
+  | Vtype.Void -> invalid_arg "Instrument.build_chain: void"
+  | Vtype.Scalar s ->
+    let site = !next_site () in
+    sites := { si_id = site; si_target = target; si_lane = 0 } :: !sites;
+    let id = Func.fresh_reg f in
+    let call =
+      mk id
+        (Printf.sprintf "inj%d" id)
+        ty
+        (Instr.Call
+           (Fault_model.inject_fn_name s, [ src; true_imm; site_imm site ]))
+    in
+    ([ call ], Instr.Reg (id, ty))
+  | Vtype.Vector (n, s) ->
+    let instrs = ref [] in
+    let cur = ref src in
+    for lane = 0 to n - 1 do
+      let lane_imm = Instr.Imm (Const.i32 lane) in
+      let site = !next_site () in
+      sites := { si_id = site; si_target = target; si_lane = lane } :: !sites;
+      (* L1/L5: extract the scalar element *)
+      let ext_id = Func.fresh_reg f in
+      let ext =
+        mk ext_id
+          (Printf.sprintf "ext%d" ext_id)
+          (Vtype.Scalar s)
+          (Instr.Extractelement (!cur, lane_imm))
+      in
+      (* L2/L6: extract the execution-mask lane, if masked *)
+      let mask_op, mask_instr =
+        match mask with
+        | None -> (true_imm, [])
+        | Some mvec ->
+          let mid = Func.fresh_reg f in
+          let mi =
+            mk mid
+              (Printf.sprintf "extmask%d" mid)
+              Vtype.bool_ty
+              (Instr.Extractelement (mvec, lane_imm))
+          in
+          (Instr.Reg (mid, Vtype.bool_ty), [ mi ])
+      in
+      (* L3/L7: the runtime injection call *)
+      let call_id = Func.fresh_reg f in
+      let call =
+        mk call_id
+          (Printf.sprintf "inj%d" call_id)
+          (Vtype.Scalar s)
+          (Instr.Call
+             ( Fault_model.inject_fn_name s,
+               [
+                 Instr.Reg (ext_id, Vtype.Scalar s); mask_op; site_imm site;
+               ] ))
+      in
+      (* L4/L8: insert the (possibly corrupted) element back *)
+      let ins_id = Func.fresh_reg f in
+      let ins =
+        mk ins_id
+          (Printf.sprintf "ins%d" ins_id)
+          ty
+          (Instr.Insertelement
+             (!cur, Instr.Reg (call_id, Vtype.Scalar s), lane_imm))
+      in
+      instrs := !instrs @ [ ext ] @ mask_instr @ [ call; ins ];
+      cur := Instr.Reg (ins_id, ty)
+    done;
+    (!instrs, !cur)
+
+(* Instrument one Lvalue target in place. *)
+let instrument_lvalue (f : Func.t) ~next_site ~sites
+    (target : Analysis.Sites.target) =
+  let i = target.Analysis.Sites.t_instr in
+  let block = Func.find_block f target.Analysis.Sites.t_block in
+  let reg = i.Instr.id in
+  let ty = i.Instr.ty in
+  let mask = mask_operand_of target in
+  let chain, final =
+    build_chain f ~next_site ~sites ~target ~mask (Instr.Reg (reg, ty)) ty
+  in
+  if Instr.is_phi i then Block.insert_after_phis block chain
+  else Block.insert_after block ~after:reg chain;
+  let chain_ids = List.map (fun (c : Instr.t) -> c.Instr.id) chain in
+  Func.replace_uses f ~except:chain_ids ~reg ~by:final
+
+(* Instrument the value operand of a (masked) store, just before it. *)
+let instrument_store_value (f : Func.t) ~next_site ~sites
+    (target : Analysis.Sites.target) =
+  let i = target.Analysis.Sites.t_instr in
+  let block = Func.find_block f target.Analysis.Sites.t_block in
+  match target.Analysis.Sites.t_kind with
+  | Analysis.Sites.Store_value ->
+    (match i.Instr.op with
+    | Instr.Store (v, p) ->
+      let ty = Instr.operand_ty v in
+      let chain, final =
+        build_chain f ~next_site ~sites ~target ~mask:None v ty
+      in
+      Block.insert_before_phys block ~before:i chain;
+      Block.replace_phys block ~old_i:i
+        ~new_i:{ i with Instr.op = Instr.Store (final, p) }
+    | _ -> assert false)
+  | Analysis.Sites.Maskstore_value ->
+    (match i.Instr.op with
+    | Instr.Call (name, args) ->
+      let vix = Option.get (Intrinsics.value_operand name) in
+      let v = List.nth args vix in
+      let mask =
+        Option.map (List.nth args) (Intrinsics.mask_operand name)
+      in
+      let ty = Instr.operand_ty v in
+      let chain, final =
+        build_chain f ~next_site ~sites ~target ~mask v ty
+      in
+      Block.insert_before_phys block ~before:i chain;
+      let args' = List.mapi (fun k a -> if k = vix then final else a) args in
+      Block.replace_phys block ~old_i:i
+        ~new_i:{ i with Instr.op = Instr.Call (name, args') }
+    | _ -> assert false)
+  | Analysis.Sites.Lvalue -> assert false
+
+(* Instrument [m] in place for the given fault targets. The target list
+   normally comes from {!Analysis.Sites.select} for one site category.
+   Returns the static site table mapping site ids back to targets. *)
+let run (m : Vmodule.t) (targets : Analysis.Sites.target list) : t =
+  declare_runtime m;
+  let counter = ref 0 in
+  let next_site =
+    ref (fun () ->
+        let s = !counter in
+        counter := s + 1;
+        s)
+  in
+  let sites = ref [] in
+  (* Store-value targets are located by physical identity, which Lvalue
+     instrumentation invalidates (redirecting uses rebuilds instruction
+     records); Lvalue targets are located by their stable register id.
+     Hence stores are instrumented first. *)
+  let stores, lvalues =
+    List.partition
+      (fun (t : Analysis.Sites.target) ->
+        t.Analysis.Sites.t_kind <> Analysis.Sites.Lvalue)
+      targets
+  in
+  List.iter
+    (fun (target : Analysis.Sites.target) ->
+      let f = Vmodule.find_func_exn m target.Analysis.Sites.t_func in
+      instrument_store_value f ~next_site ~sites target)
+    stores;
+  List.iter
+    (fun (target : Analysis.Sites.target) ->
+      let f = Vmodule.find_func_exn m target.Analysis.Sites.t_func in
+      instrument_lvalue f ~next_site ~sites target)
+    lvalues;
+  Verify.check_module m;
+  let table = Array.of_list (List.rev !sites) in
+  Array.iteri (fun k si -> assert (si.si_id = k)) table;
+  { instrumented = m; site_table = table }
+
+(* Count of static scalar fault sites created. *)
+let static_site_count t = Array.length t.site_table

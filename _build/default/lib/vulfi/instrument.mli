@@ -1,0 +1,27 @@
+(** The VULFI instrumentor (paper §II-D, Figs 4 and 5): splices calls to
+    the runtime injection API into the IR, one per (fault target, lane),
+    exactly following the clone / extract / inject / insert / redirect
+    workflow of Fig 4, with execution-mask lanes threaded through for
+    masked intrinsics as in Fig 5. *)
+
+(** One static scalar fault site. *)
+type site_info = {
+  si_id : int;  (** static site id, as passed to the runtime *)
+  si_target : Analysis.Sites.target;
+  si_lane : int;  (** lane within the target's (vector) value *)
+}
+
+type t = {
+  instrumented : Vir.Vmodule.t;
+      (** the same module value, rewritten in place and re-verified *)
+  site_table : site_info array;  (** indexed by static site id *)
+}
+
+(** [run m targets] instruments [m] in place for the given fault
+    targets (normally {!Analysis.Sites.select}'s output for one
+    category) and returns the site table.
+    @raise Invalid_argument if the rewritten module fails verification. *)
+val run : Vir.Vmodule.t -> Analysis.Sites.target list -> t
+
+(** Number of static scalar fault sites created. *)
+val static_site_count : t -> int

@@ -1,0 +1,58 @@
+(** Outcome classification of a fault-injection experiment (§IV-B):
+    SDC when the faulty output differs from the fault-free output,
+    Benign when they match, Crash on any trap (including hangs, which
+    the execution budget converts into traps). *)
+
+type output = {
+  o_f32 : float array list;
+  o_i32 : int array list;
+  o_ret : Interp.Vvalue.t option;
+}
+
+let empty_output = { o_f32 = []; o_i32 = []; o_ret = None }
+
+(* Whole-output comparison. With [tol = 0.] (the default) floats compare
+   bit-exactly; a positive [tol] treats float elements within that
+   relative distance as equal, modelling comparison of printed outputs
+   rounded to a few significant digits. Integer outputs always compare
+   exactly. *)
+let output_equal ?(tol = 0.0) (a : output) (b : output) =
+  let lane_eq v w =
+    if tol = 0.0 then Int64.bits_of_float v = Int64.bits_of_float w
+    else if Int64.bits_of_float v = Int64.bits_of_float w then true
+    else abs_float (v -. w) <= tol *. max (abs_float v) (abs_float w)
+  in
+  let f32_eq x y =
+    Array.length x = Array.length y
+    && (let ok = ref true in
+        Array.iteri (fun i v -> if not (lane_eq v y.(i)) then ok := false) x;
+        !ok)
+  in
+  List.length a.o_f32 = List.length b.o_f32
+  && List.for_all2 f32_eq a.o_f32 b.o_f32
+  && a.o_i32 = b.o_i32
+  && (match (a.o_ret, b.o_ret) with
+     | None, None -> true
+     | Some x, Some y -> Interp.Vvalue.equal x y
+     | _ -> false)
+
+type t =
+  | Sdc
+  | Benign
+  | Crash of Interp.Trap.kind
+
+let name = function
+  | Sdc -> "SDC"
+  | Benign -> "benign"
+  | Crash _ -> "crash"
+
+let to_string = function
+  | Sdc -> "SDC"
+  | Benign -> "benign"
+  | Crash k -> Printf.sprintf "crash (%s)" (Interp.Trap.to_string k)
+
+let classify ?(tol = 0.0) ~golden
+    ~(faulty : (output, Interp.Trap.kind) result) () : t =
+  match faulty with
+  | Error k -> Crash k
+  | Ok out -> if output_equal ~tol golden out then Benign else Sdc

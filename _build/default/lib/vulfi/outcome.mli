@@ -1,0 +1,40 @@
+(** Outcome classification of a fault-injection experiment (paper §IV-B). *)
+
+(** Observable output of a run: the contents of the arrays designated as
+    program output plus the entry function's return value. *)
+type output = {
+  o_f32 : float array list;
+  o_i32 : int array list;
+  o_ret : Interp.Vvalue.t option;
+}
+
+val empty_output : output
+
+(** [output_equal ?tol a b] compares two outputs. With [tol = 0.] (the
+    default) float arrays compare bit-exactly; a positive [tol] treats
+    float elements within that relative distance as equal, modelling
+    comparison of printed outputs rounded to a few significant digits.
+    Integer outputs always compare exactly. *)
+val output_equal : ?tol:float -> output -> output -> bool
+
+(** The paper's three outcome classes. *)
+type t =
+  | Sdc  (** silent data corruption: outputs differ *)
+  | Benign  (** outputs identical *)
+  | Crash of Interp.Trap.kind
+      (** trap, including hangs via the execution budget *)
+
+(** Short class name: ["SDC"], ["benign"] or ["crash"]. *)
+val name : t -> string
+
+(** Full description, including the trap kind for crashes. *)
+val to_string : t -> string
+
+(** [classify ?tol ~golden ~faulty ()] classifies a faulty run against
+    the fault-free output. *)
+val classify :
+  ?tol:float ->
+  golden:output ->
+  faulty:(output, Interp.Trap.kind) result ->
+  unit ->
+  t

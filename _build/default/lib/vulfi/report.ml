@@ -1,0 +1,44 @@
+(** Plain-text rendering of campaign results in the shape of the
+    paper's tables and figures. *)
+
+let pct x = Printf.sprintf "%5.1f%%" (100.0 *. x)
+
+(* One Fig 11-style row: SDC / Benign / Crash per campaign cell. *)
+let fig11_row (r : Campaign.result) =
+  Printf.sprintf "%-16s %-4s %-9s  SDC %s  Benign %s  Crash %s  (±%.1f%%, %d campaigns)"
+    r.Campaign.c_workload
+    (Vir.Target.name r.Campaign.c_target)
+    (Analysis.Sites.category_name r.Campaign.c_category)
+    (pct (Campaign.sdc_rate r))
+    (pct (Campaign.benign_rate r))
+    (pct (Campaign.crash_rate r))
+    (100.0 *. r.Campaign.c_margin)
+    r.Campaign.c_campaigns
+
+(* One Fig 12-style row: SDC rate and detection rate. *)
+let fig12_row (r : Campaign.result) =
+  Printf.sprintf "%-16s %-9s  SDC %s  SDC-detection %s  (detected %d / sdc %d)"
+    r.Campaign.c_workload
+    (Analysis.Sites.category_name r.Campaign.c_category)
+    (pct (Campaign.sdc_rate r))
+    (pct (Campaign.sdc_detection_rate r))
+    r.Campaign.c_totals.Campaign.n_detected_sdc
+    r.Campaign.c_totals.Campaign.n_sdc
+
+(* One Fig 10-style row: scalar/vector composition per category. *)
+let fig10_row ~workload ~target (census : (Analysis.Sites.category * Analysis.Instmix.mix) list) =
+  let cell (cat, mix) =
+    Printf.sprintf "%s: %s vector (%d/%d)"
+      (Analysis.Sites.category_name cat)
+      (pct (Analysis.Instmix.vector_fraction mix))
+      mix.Analysis.Instmix.vector_count
+      (Analysis.Instmix.total mix)
+  in
+  Printf.sprintf "%-16s %-4s  %s" workload (Vir.Target.name target)
+    (String.concat "  " (List.map cell census))
+
+(* One Table I-style row. *)
+let table1_row ~workload ~language ~input ~target ~dyn_instrs =
+  Printf.sprintf "%-16s %-6s %-28s %-4s %12.3f M" workload language input
+    (Vir.Target.name target)
+    (float_of_int dyn_instrs /. 1.0e6)

@@ -1,0 +1,28 @@
+(** Plain-text rendering of campaign results in the shape of the paper's
+    tables and figures. *)
+
+(** ["42.0%"]-style percentage. *)
+val pct : float -> string
+
+(** One Fig 11-style row: SDC / Benign / Crash rates with the margin of
+    error and campaign count. *)
+val fig11_row : Campaign.result -> string
+
+(** One Fig 12-style row: SDC rate and SDC-detection rate. *)
+val fig12_row : Campaign.result -> string
+
+(** One Fig 10-style row: scalar/vector composition per category. *)
+val fig10_row :
+  workload:string ->
+  target:Vir.Target.t ->
+  (Analysis.Sites.category * Analysis.Instmix.mix) list ->
+  string
+
+(** One Table I-style row. *)
+val table1_row :
+  workload:string ->
+  language:string ->
+  input:string ->
+  target:Vir.Target.t ->
+  dyn_instrs:int ->
+  string

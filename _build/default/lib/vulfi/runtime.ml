@@ -1,0 +1,136 @@
+(** The VULFI runtime injection API.
+
+    Instrumented programs call [__vulfi_inject_T(value, mask, site_id)]
+    once per scalar fault site per dynamic execution. The runtime:
+
+    - in [Profile] mode counts dynamic fault sites (a site is live only
+      when its execution-mask lane is on — the paper's central point
+      about masked vector instructions) and passes values through;
+    - in [Inject] mode flips one uniformly chosen bit of the value at
+      the configured dynamic site index. *)
+
+(* How the chosen register is corrupted. The paper's study uses
+   [Single_bit_flip]; the other kinds reproduce the wider fault-model
+   menu of the released VULFI tool. *)
+type fault_kind =
+  | Single_bit_flip
+  | Multi_bit_flip of int  (** flip k distinct uniformly chosen bits *)
+  | Random_value           (** replace all bits with a random pattern *)
+  | Stuck_at_zero          (** clear the register *)
+
+let fault_kind_name = function
+  | Single_bit_flip -> "single-bit-flip"
+  | Multi_bit_flip k -> Printf.sprintf "%d-bit-flip" k
+  | Random_value -> "random-value"
+  | Stuck_at_zero -> "stuck-at-zero"
+
+type mode =
+  | Profile
+  | Inject of { dynamic_site : int }  (** 1-based index of the hit *)
+
+type injection_record = {
+  inj_static_site : int;
+  inj_dynamic_site : int;
+  inj_bit : int;
+  inj_before : Interp.Vvalue.t;
+  inj_after : Interp.Vvalue.t;
+}
+
+type t = {
+  mutable mode : mode;
+  mutable counter : int;         (** dynamic sites seen so far *)
+  mutable injection : injection_record option;
+  rng : Random.State.t;
+  (* VULFI's defining behaviour is to skip masked-off lanes; setting
+     [respect_masks = false] reproduces a mask-oblivious injector for
+     the ablation study (it counts and corrupts dead lanes, inflating
+     benign outcomes). *)
+  respect_masks : bool;
+  fault_kind : fault_kind;
+}
+
+let create ?(seed = 0) ?(respect_masks = true)
+    ?(fault_kind = Single_bit_flip) mode =
+  {
+    mode;
+    counter = 0;
+    injection = None;
+    rng = Random.State.make [| seed |];
+    respect_masks;
+    fault_kind;
+  }
+
+(* Corrupt a scalar runtime value per the configured fault kind;
+   returns (corrupted value, representative bit index for the record:
+   the first flipped bit, or -1 for whole-register kinds). *)
+let corrupt t (value : Interp.Vvalue.t) : Interp.Vvalue.t * int =
+  let width = Vir.Vtype.scalar_bits (Interp.Vvalue.scalar_kind value) in
+  match t.fault_kind with
+  | Single_bit_flip ->
+    let bit = Random.State.int t.rng width in
+    (Interp.Vvalue.flip_bit value ~lane:0 ~bit, bit)
+  | Multi_bit_flip k ->
+    let k = min k width in
+    (* choose k distinct bit positions *)
+    let chosen = Hashtbl.create k in
+    while Hashtbl.length chosen < k do
+      Hashtbl.replace chosen (Random.State.int t.rng width) ()
+    done;
+    let v =
+      Hashtbl.fold
+        (fun bit () v -> Interp.Vvalue.flip_bit v ~lane:0 ~bit)
+        chosen value
+    in
+    let first = Hashtbl.fold (fun b () acc -> min b acc) chosen max_int in
+    (v, first)
+  | Random_value ->
+    let bits = Random.State.int64 t.rng Int64.max_int in
+    let bits = if Random.State.bool t.rng then Int64.lognot bits else bits in
+    let v = Interp.Vvalue.with_lane_bits value ~lane:0 ~bits in
+    (* guarantee an actual change *)
+    if Interp.Vvalue.equal v value then
+      let bit = Random.State.int t.rng width in
+      (Interp.Vvalue.flip_bit value ~lane:0 ~bit, bit)
+    else (v, -1)
+  | Stuck_at_zero ->
+    (Interp.Vvalue.with_lane_bits value ~lane:0 ~bits:0L, -1)
+
+let dynamic_sites t = t.counter
+
+let injected t = t.injection
+
+(* The handler shared by all __vulfi_inject_* externs. *)
+let handle t (_st : Interp.Machine.state) (args : Interp.Vvalue.t list) :
+    Interp.Vvalue.t option =
+  match args with
+  | [ value; mask; site ] ->
+    if t.respect_masks && not (Interp.Vvalue.as_bool mask) then
+      (* Masked-off lane: not a live fault site. *)
+      Some value
+    else begin
+      t.counter <- t.counter + 1;
+      match t.mode with
+      | Profile -> Some value
+      | Inject { dynamic_site } ->
+        if t.counter = dynamic_site then begin
+          let corrupted, bit = corrupt t value in
+          t.injection <-
+            Some
+              {
+                inj_static_site = Int64.to_int (Interp.Vvalue.as_int site);
+                inj_dynamic_site = dynamic_site;
+                inj_bit = bit;
+                inj_before = value;
+                inj_after = corrupted;
+              };
+          Some corrupted
+        end
+        else Some value
+    end
+  | _ -> invalid_arg "__vulfi_inject: bad arity"
+
+(* Register the injection API on a machine. *)
+let attach t (st : Interp.Machine.state) =
+  List.iter
+    (fun (name, _) -> Interp.Machine.register_extern st name (handle t))
+    Fault_model.all_inject_fns

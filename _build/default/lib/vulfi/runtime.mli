@@ -1,0 +1,55 @@
+(** The VULFI runtime injection API.
+
+    Instrumented programs call [__vulfi_inject_T(value, mask, site_id)]
+    once per scalar fault site per dynamic execution; this module
+    provides the handlers behind those externs. *)
+
+(** How the chosen register is corrupted. The paper's study uses
+    {!Single_bit_flip}; the other kinds reproduce the wider fault-model
+    menu of the released VULFI tool. *)
+type fault_kind =
+  | Single_bit_flip
+  | Multi_bit_flip of int  (** flip k distinct uniformly chosen bits *)
+  | Random_value  (** replace all bits with a random pattern *)
+  | Stuck_at_zero  (** clear the register *)
+
+val fault_kind_name : fault_kind -> string
+
+type mode =
+  | Profile  (** count dynamic fault sites, pass values through *)
+  | Inject of { dynamic_site : int }
+      (** corrupt the value at the 1-based dynamic site index *)
+
+(** What an injection did, for reporting. *)
+type injection_record = {
+  inj_static_site : int;  (** index into the instrumentor's site table *)
+  inj_dynamic_site : int;
+  inj_bit : int;  (** flipped bit (lowest for multi-bit; -1 for
+                      whole-register kinds) *)
+  inj_before : Interp.Vvalue.t;
+  inj_after : Interp.Vvalue.t;
+}
+
+type t
+
+(** [create ?seed ?respect_masks ?fault_kind mode] builds a runtime.
+    [respect_masks] (default [true]) is VULFI's defining behaviour of
+    skipping masked-off vector lanes; [false] reproduces a
+    mask-oblivious injector for ablation. *)
+val create :
+  ?seed:int -> ?respect_masks:bool -> ?fault_kind:fault_kind -> mode -> t
+
+(** Dynamic fault sites observed so far (live lanes only, unless
+    mask-oblivious). *)
+val dynamic_sites : t -> int
+
+(** The injection performed during the run, if any. *)
+val injected : t -> injection_record option
+
+(** The extern handler shared by all [__vulfi_inject_*] functions. *)
+val handle :
+  t -> Interp.Machine.state -> Interp.Vvalue.t list ->
+  Interp.Vvalue.t option
+
+(** Register the injection API on a machine. *)
+val attach : t -> Interp.Machine.state -> unit

@@ -1,0 +1,72 @@
+(** Campaign statistics (paper §IV-D): each campaign's SDC rate is one
+    random sample; campaigns are run until the sample distribution is
+    near normal and the 95% t-based margin of error falls below ±3%. *)
+
+let mean xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* Sample standard deviation (n-1 denominator). *)
+let stddev xs =
+  let n = List.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let ss =
+      List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+    in
+    sqrt (ss /. float_of_int (n - 1))
+
+(* Two-sided 95% critical values of Student's t distribution. *)
+let t95 ~df =
+  let table =
+    [|
+      12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262;
+      2.228; 2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101;
+      2.093; 2.086; 2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052;
+      2.048; 2.045; 2.042;
+    |]
+  in
+  if df <= 0 then infinity
+  else if df <= 30 then table.(df - 1)
+  else if df <= 40 then 2.021
+  else if df <= 60 then 2.000
+  else if df <= 120 then 1.980
+  else 1.960
+
+(* Margin of error of the sample mean at 95% confidence:
+   t * s / sqrt(n) — the standard formula the paper cites from
+   elementary statistics. *)
+let margin_of_error xs =
+  let n = List.length xs in
+  if n < 2 then infinity
+  else t95 ~df:(n - 1) *. stddev xs /. sqrt (float_of_int n)
+
+(* Sample skewness (g1). *)
+let skewness xs =
+  let n = float_of_int (List.length xs) in
+  if n < 3.0 then 0.0
+  else
+    let m = mean xs in
+    let m2 = List.fold_left (fun a x -> a +. ((x -. m) ** 2.0)) 0.0 xs /. n in
+    let m3 = List.fold_left (fun a x -> a +. ((x -. m) ** 3.0)) 0.0 xs /. n in
+    if m2 = 0.0 then 0.0 else m3 /. (m2 ** 1.5)
+
+(* Excess kurtosis (g2). *)
+let excess_kurtosis xs =
+  let n = float_of_int (List.length xs) in
+  if n < 4.0 then 0.0
+  else
+    let m = mean xs in
+    let m2 = List.fold_left (fun a x -> a +. ((x -. m) ** 2.0)) 0.0 xs /. n in
+    let m4 = List.fold_left (fun a x -> a +. ((x -. m) ** 4.0)) 0.0 xs /. n in
+    if m2 = 0.0 then 0.0 else (m4 /. (m2 *. m2)) -. 3.0
+
+(* Crude "normal or near normal" test on the campaign samples: small
+   skew and small excess kurtosis. A constant sample (stddev 0) counts
+   as degenerate-normal. *)
+let near_normal xs =
+  List.length xs >= 3
+  && abs_float (skewness xs) <= 1.0
+  && abs_float (excess_kurtosis xs) <= 2.0

@@ -1,0 +1,26 @@
+(** Campaign statistics (paper §IV-D): sample mean/deviation, Student-t
+    95% margins, and a crude normality screen. *)
+
+(** Arithmetic mean; 0 for the empty list. *)
+val mean : float list -> float
+
+(** Sample standard deviation (n-1 denominator); 0 for n < 2. *)
+val stddev : float list -> float
+
+(** Two-sided 95% critical value of Student's t with [df] degrees of
+    freedom (tabulated to 30, stepped beyond, 1.96 asymptote). *)
+val t95 : df:int -> float
+
+(** 95% margin of error of the sample mean: t * s / sqrt(n).
+    [infinity] for fewer than two samples. *)
+val margin_of_error : float list -> float
+
+(** Sample skewness (g1). *)
+val skewness : float list -> float
+
+(** Sample excess kurtosis (g2). *)
+val excess_kurtosis : float list -> float
+
+(** "Normal or near normal" screen used by the campaign stop rule:
+    at least 3 samples, |skewness| <= 1, |excess kurtosis| <= 2. *)
+val near_normal : float list -> bool

@@ -1,0 +1,24 @@
+(** A fault-injection workload: a program, an entry point, and a family
+    of predefined inputs (Table I's "Test Input" column). The setup
+    function materialises one input in a fresh machine and returns the
+    entry arguments plus a closure that reads the observable output
+    back after the run. *)
+
+type t = {
+  w_name : string;
+  w_fn : string;  (** entry function to execute *)
+  w_inputs : int;  (** number of predefined inputs; experiments draw
+                       uniformly from [0 .. w_inputs-1] *)
+  w_build : Vir.Target.t -> Vir.Vmodule.t;
+      (** fresh uninstrumented module; called per campaign setup *)
+  w_setup :
+    input:int ->
+    Interp.Machine.state ->
+    Interp.Vvalue.t list * (unit -> Outcome.output);
+  w_out_tolerance : float;
+      (** relative tolerance for float-output comparison; [0.0] =
+          bit-exact. The paper compares recorded (printed) program
+          outputs, which rounds to a few significant digits — a small
+          tolerance models that for the application benchmarks, while
+          the micro study stays bit-exact. *)
+}

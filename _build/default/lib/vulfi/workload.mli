@@ -1,0 +1,23 @@
+(** A fault-injection workload: a program, an entry point, and a family
+    of predefined inputs (Table I's "Test Input" column). *)
+
+type t = {
+  w_name : string;  (** display name *)
+  w_fn : string;  (** entry function to execute *)
+  w_inputs : int;
+      (** number of predefined inputs; experiments draw uniformly from
+          [0 .. w_inputs-1] *)
+  w_build : Vir.Target.t -> Vir.Vmodule.t;
+      (** fresh uninstrumented module; called once per campaign setup
+          (passes mutate modules in place, so this must not cache) *)
+  w_setup :
+    input:int ->
+    Interp.Machine.state ->
+    Interp.Vvalue.t list * (unit -> Outcome.output);
+      (** materialise input [input] in the machine's memory; returns the
+          entry arguments and a closure reading the observable output
+          back after the run *)
+  w_out_tolerance : float;
+      (** relative tolerance for float-output comparison; [0.0] =
+          bit-exact (see {!Outcome.output_equal}) *)
+}

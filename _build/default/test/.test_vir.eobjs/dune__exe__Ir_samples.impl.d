@@ -1,0 +1,1 @@
+test/ir_samples.ml: Builder Const Instr Intrinsics Target Vir Vmodule Vtype

@@ -1,0 +1,1 @@
+test/spc_run.ml: Alcotest Array Compile Int64 Interp List Machine Memory Minispc Vir Vvalue

@@ -1,0 +1,1 @@
+test/spmd_ref.ml: Array Ast Fun Hashtbl Int64 Interp List Minispc Vir

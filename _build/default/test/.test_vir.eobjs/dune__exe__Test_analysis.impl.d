@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Defuse Instmix Ir_samples List Minispc Option Printf QCheck QCheck_alcotest Sites Slice Vir

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Analysis Array Benchmarks Buffer Gen Int64 Interp List Minispc Passes Printf QCheck QCheck_alcotest Spmd_ref Test Vir Vulfi

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Analysis Benchmarks Detectors List Printf Vir Vulfi

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Bits Builder Compile Const Float Int32 Int64 Interp Ir_samples List Machine Memory Printf QCheck QCheck_alcotest Target Trap Verify Vir Vmodule Vtype Vvalue

@@ -1,0 +1,1 @@
+test/test_minispc.ml: Alcotest Array Ast Astring_contains Driver Interp Lexer List Minispc Option Parser Printf QCheck QCheck_alcotest Spc_run String Typecheck Vir

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Analysis Array Benchmarks Builder Const Dce Func Instr Interp Intrinsics Ir_samples List Minispc Passes QCheck QCheck_alcotest Target Verify Vir Vmodule Vtype Vulfi

@@ -1,0 +1,1 @@
+test/test_vir.ml: Alcotest Astring_contains Block Builder Const Func Instr Int32 Intrinsics Ir_samples List Option Pp Printf QCheck QCheck_alcotest String Target Verify Vir Vmodule Vtype

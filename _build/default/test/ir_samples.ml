@@ -1,0 +1,140 @@
+(* Shared IR construction helpers for the test suites. *)
+
+open Vir
+
+let imm_i32 n = Instr.Imm (Const.i32 n)
+let imm_f32 x = Instr.Imm (Const.f32 x)
+let imm_bool b = Instr.Imm (Const.i1 b)
+
+(* @scale_add(ptr a, ptr out, i32 n, f32 s):
+   for i in 0..n-1: out[i] = a[i] * s + i   (scalar loop) *)
+let scale_add_module () =
+  let m = Vmodule.create "scale_add" in
+  let b =
+    Builder.define m ~name:"scale_add"
+      ~params:
+        [ ("a", Vtype.ptr); ("out", Vtype.ptr); ("n", Vtype.i32);
+          ("s", Vtype.f32) ]
+      ~ret_ty:Vtype.Void
+  in
+  let entry = Builder.new_block b "entry" in
+  let loop = Builder.new_block b "loop" in
+  let body = Builder.new_block b "body" in
+  let exit = Builder.new_block b "exit" in
+  Builder.position_at_end b entry;
+  Builder.br b "loop";
+  Builder.position_at_end b loop;
+  let i = Builder.phi b Vtype.i32 [ ("entry", imm_i32 0) ] in
+  let cond = Builder.icmp b Instr.Islt i (Builder.param b "n") in
+  Builder.condbr b cond "body" "exit";
+  Builder.position_at_end b body;
+  let addr_a = Builder.gep b (Builder.param b "a") i ~elem_bytes:4 in
+  let av = Builder.load b Vtype.f32 addr_a in
+  let prod = Builder.fmul b av (Builder.param b "s") in
+  let fi = Builder.cast b Instr.Sitofp i Vtype.f32 in
+  let sum = Builder.fadd b prod fi in
+  let addr_o = Builder.gep b (Builder.param b "out") i ~elem_bytes:4 in
+  Builder.store b sum addr_o;
+  let inext = Builder.add b i (imm_i32 1) in
+  Builder.br b "loop";
+  Builder.position_at_end b loop;
+  (match (i, inext) with
+  | Instr.Reg (r, _), _ ->
+    Builder.add_phi_incoming b r ~from:"body" ~value:inext
+  | _ -> assert false);
+  Builder.position_at_end b exit;
+  Builder.ret b None;
+  m
+
+(* @vadd8(ptr a, ptr b, ptr out): one 8-wide vector add. *)
+let vadd8_module () =
+  let m = Vmodule.create "vadd8" in
+  let vty = Vtype.vector 8 Vtype.F32 in
+  let b =
+    Builder.define m ~name:"vadd8"
+      ~params:[ ("a", Vtype.ptr); ("b", Vtype.ptr); ("out", Vtype.ptr) ]
+      ~ret_ty:Vtype.Void
+  in
+  let entry = Builder.new_block b "entry" in
+  Builder.position_at_end b entry;
+  let va = Builder.load b vty (Builder.param b "a") in
+  let vb = Builder.load b vty (Builder.param b "b") in
+  let sum = Builder.fadd b va vb in
+  Builder.store b sum (Builder.param b "out");
+  Builder.ret b None;
+  m
+
+(* Masked vector copy through AVX maskload/maskstore intrinsics,
+   mirroring the paper's Fig 5 example. *)
+let masked_copy_module target =
+  let m = Vmodule.create "masked_copy" in
+  let vl = Target.vl target in
+  let vty = Vtype.vector vl Vtype.F32 in
+  let mty = Vtype.vector vl Vtype.I1 in
+  let b =
+    Builder.define m ~name:"masked_copy"
+      ~params:[ ("src", Vtype.ptr); ("dst", Vtype.ptr); ("mask", mty) ]
+      ~ret_ty:Vtype.Void
+  in
+  let entry = Builder.new_block b "entry" in
+  Builder.position_at_end b entry;
+  let loaded =
+    Builder.call b ~ret:vty
+      (Intrinsics.maskload_name target Vtype.F32)
+      [ Builder.param b "src"; Builder.param b "mask" ]
+  in
+  ignore
+    (Builder.call b ~ret:Vtype.Void
+       (Intrinsics.maskstore_name target Vtype.F32)
+       [ Builder.param b "dst"; Builder.param b "mask"; loaded ]);
+  Builder.ret b None;
+  m
+
+(* The paper's Fig 3 function:
+     void foo(int a[], int n, int x) {
+       int s = x;
+       for (int i = 0; i < n; i++) { a[i] = a[i] * s; s = s + i; }
+     }
+   Used to validate the fault-site taxonomy: i is control+address,
+   s is pure-data. Returns (module, i_reg, s_reg). *)
+let fig3_foo_module () =
+  let m = Vmodule.create "fig3" in
+  let b =
+    Builder.define m ~name:"foo"
+      ~params:[ ("a", Vtype.ptr); ("n", Vtype.i32); ("x", Vtype.i32) ]
+      ~ret_ty:Vtype.Void
+  in
+  let entry = Builder.new_block b "entry" in
+  let loop = Builder.new_block b "loop" in
+  let body = Builder.new_block b "body" in
+  let exit = Builder.new_block b "exit" in
+  Builder.position_at_end b entry;
+  Builder.br b "loop";
+  Builder.position_at_end b loop;
+  let i = Builder.phi b ~name:"i" Vtype.i32 [ ("entry", imm_i32 0) ] in
+  let s =
+    Builder.phi b ~name:"s" Vtype.i32 [ ("entry", Builder.param b "x") ]
+  in
+  let cond = Builder.icmp b Instr.Islt i (Builder.param b "n") in
+  Builder.condbr b cond "body" "exit";
+  Builder.position_at_end b body;
+  let addr = Builder.gep b (Builder.param b "a") i ~elem_bytes:4 in
+  let av = Builder.load b Vtype.i32 addr in
+  let prod = Builder.mul b av s in
+  Builder.store b prod addr;
+  let snext = Builder.add b s i in
+  let inext = Builder.add b i (imm_i32 1) in
+  Builder.br b "loop";
+  Builder.position_at_end b exit;
+  Builder.ret b None;
+  Builder.position_at_end b loop;
+  (match (i, s) with
+  | Instr.Reg (ri, _), Instr.Reg (rs, _) ->
+    Builder.add_phi_incoming b ri ~from:"body" ~value:inext;
+    Builder.add_phi_incoming b rs ~from:"body" ~value:snext;
+    (m, ri, rs, inext, snext)
+  | _ -> assert false)
+
+let reg_of = function
+  | Instr.Reg (r, _) -> r
+  | Instr.Imm _ -> invalid_arg "reg_of: immediate"

@@ -1,0 +1,68 @@
+(* End-to-end helper: compile mini-ISPC source and execute an exported
+   function in the VM. Used by the minispc, vulfi and detector suites. *)
+
+open Interp
+
+type arg =
+  | Arr_f32 of float array
+  | Arr_i32 of int array
+  | Int of int
+  | Float of float
+
+type result = {
+  ret : Vvalue.t option;
+  arrays_f32 : float array list;  (* post-run contents, in arg order *)
+  arrays_i32 : int array list;
+  dyn : int;
+}
+
+let run ?budget ~(target : Vir.Target.t) ~fn src (args : arg list) : result =
+  let m = Minispc.Driver.compile target src in
+  let st = Machine.create ?budget (Compile.compile_module m) in
+  let mem = Machine.memory st in
+  let prepared =
+    List.map
+      (fun a ->
+        match a with
+        | Arr_f32 xs ->
+          let base =
+            Memory.alloc mem ~name:"arr" ~bytes:(4 * Array.length xs)
+          in
+          Memory.write_f32_array mem base xs;
+          (Vvalue.of_ptr base, Some (`F32 (base, Array.length xs)))
+        | Arr_i32 xs ->
+          let base =
+            Memory.alloc mem ~name:"arr" ~bytes:(4 * Array.length xs)
+          in
+          Memory.write_i32_array mem base xs;
+          (Vvalue.of_ptr base, Some (`I32 (base, Array.length xs)))
+        | Int n -> (Vvalue.of_i32 n, None)
+        | Float x -> (Vvalue.of_f32 x, None))
+      args
+  in
+  let ret = Machine.run st fn (List.map fst prepared) in
+  let arrays_f32 =
+    List.filter_map
+      (function
+        | _, Some (`F32 (base, n)) -> Some (Memory.read_f32_array mem base n)
+        | _ -> None)
+      prepared
+  in
+  let arrays_i32 =
+    List.filter_map
+      (function
+        | _, Some (`I32 (base, n)) -> Some (Memory.read_i32_array mem base n)
+        | _ -> None)
+      prepared
+  in
+  { ret; arrays_f32; arrays_i32; dyn = Machine.dyn_count st }
+
+let ret_f32 r =
+  match r.ret with
+  | Some v -> Vvalue.as_float v
+  | None -> Alcotest.fail "expected a float return value"
+
+let ret_i32 r =
+  match r.ret with
+  | Some v -> Int64.to_int (Vvalue.as_int v)
+  | None -> Alcotest.fail "expected an int return value"

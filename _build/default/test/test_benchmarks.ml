@@ -1,0 +1,316 @@
+(* Validation of the nine Table I benchmarks and three micro-benchmarks:
+   each vectorized kernel is executed on both targets and compared with
+   an independent OCaml reference; every benchmark must also survive
+   instrumentation and a golden run in every fault-site category. *)
+
+open Benchmarks
+
+let check = Alcotest.check
+
+let run_bench (b : Harness.benchmark) ~target ~input =
+  let w = b.Harness.bench in
+  let m = w.Vulfi.Workload.w_build target in
+  let st = Interp.Machine.create (Interp.Compile.compile_module m) in
+  let args, read = w.Vulfi.Workload.w_setup ~input st in
+  ignore (Interp.Machine.run st w.Vulfi.Workload.w_fn args);
+  (read (), Interp.Machine.dyn_count st)
+
+let close ?(atol = 1e-3) ?(rtol = 1e-3) msg expected actual =
+  if Array.length expected <> Array.length actual then
+    Alcotest.failf "%s: length %d vs %d" msg (Array.length expected)
+      (Array.length actual);
+  Array.iteri
+    (fun i e ->
+      let a = actual.(i) in
+      let tol = atol +. (rtol *. abs_float e) in
+      if abs_float (e -. a) > tol then
+        Alcotest.failf "%s[%d]: expected %.6g, got %.6g (tol %.2g)" msg i e a
+          tol)
+    expected
+
+let each_target_input inputs f =
+  List.iter
+    (fun target ->
+      for input = 0 to inputs - 1 do
+        f target input
+      done)
+    Vir.Target.all
+
+let ctx target input = Printf.sprintf "%s input %d" (Vir.Target.name target) input
+
+(* ---------------- per-benchmark correctness ---------------- *)
+
+let test_blackscholes () =
+  each_target_input 3 (fun target input ->
+      let out, _ = run_bench Blackscholes.benchmark ~target ~input in
+      match out.Vulfi.Outcome.o_f32 with
+      | [ result ] ->
+        close ~atol:1e-2 ~rtol:1e-3
+          ("blackscholes " ^ ctx target input)
+          (Blackscholes.reference ~input)
+          result
+      | _ -> Alcotest.fail "output shape")
+
+let test_sorting () =
+  each_target_input 3 (fun target input ->
+      let out, _ = run_bench Sorting.benchmark ~target ~input in
+      match out.Vulfi.Outcome.o_i32 with
+      | [ result ] ->
+        check
+          Alcotest.(array int)
+          ("sorting " ^ ctx target input)
+          (Sorting.reference ~input)
+          result
+      | _ -> Alcotest.fail "output shape")
+
+let test_stencil () =
+  each_target_input 3 (fun target input ->
+      let out, _ = run_bench Stencil.benchmark ~target ~input in
+      match out.Vulfi.Outcome.o_f32 with
+      | [ a_final ] ->
+        close ~atol:1e-4 ~rtol:1e-4
+          ("stencil " ^ ctx target input)
+          (Stencil.reference ~input)
+          a_final
+      | _ -> Alcotest.fail "output shape")
+
+let test_jacobi () =
+  each_target_input 3 (fun target input ->
+      let out, _ = run_bench Jacobi.benchmark ~target ~input in
+      match out.Vulfi.Outcome.o_f32 with
+      | [ u_final ] ->
+        close ~atol:1e-4 ~rtol:1e-4
+          ("jacobi " ^ ctx target input)
+          (Jacobi.reference ~input)
+          u_final
+      | _ -> Alcotest.fail "output shape")
+
+let test_chebyshev () =
+  each_target_input 4 (fun target input ->
+      let out, _ = run_bench Chebyshev.benchmark ~target ~input in
+      match out.Vulfi.Outcome.o_f32 with
+      | [ c ] ->
+        close ~atol:2e-3 ~rtol:1e-3
+          ("chebyshev " ^ ctx target input)
+          (Chebyshev.reference ~input)
+          c
+      | _ -> Alcotest.fail "output shape")
+
+let test_conjugate_gradient () =
+  each_target_input 3 (fun target input ->
+      let out, _ = run_bench Conjugate_gradient.benchmark ~target ~input in
+      match out.Vulfi.Outcome.o_f32 with
+      | [ x ] ->
+        close ~atol:5e-3 ~rtol:5e-3
+          ("cg " ^ ctx target input)
+          (Conjugate_gradient.reference ~input)
+          x
+      | _ -> Alcotest.fail "output shape")
+
+let test_raytracing () =
+  each_target_input 3 (fun target input ->
+      let out, _ = run_bench Raytracing.benchmark ~target ~input in
+      match out.Vulfi.Outcome.o_f32 with
+      | [ img ] ->
+        close ~atol:2e-3 ~rtol:1e-3
+          ("raytracing " ^ ctx target input)
+          (Raytracing.reference ~input)
+          img
+      | _ -> Alcotest.fail "output shape")
+
+let test_raytracing_hits_something () =
+  (* sanity: the synthetic scenes actually produce non-trivial images *)
+  for input = 0 to 2 do
+    let img = Raytracing.reference ~input in
+    let nonzero = Array.fold_left (fun n x -> if x > 0.0 then n + 1 else n) 0 img in
+    Alcotest.(check bool)
+      (Printf.sprintf "scene %d has hits and misses" input)
+      true
+      (nonzero > 0 && nonzero < Array.length img)
+  done
+
+let test_fluidanimate () =
+  each_target_input 2 (fun target input ->
+      let out, _ = run_bench Fluidanimate.benchmark ~target ~input in
+      match out.Vulfi.Outcome.o_f32 with
+      | [ px; py; pz; density ] ->
+        let epx, epy, epz, edens = Fluidanimate.reference ~input in
+        close ~atol:1e-3 ~rtol:1e-3 ("fluid px " ^ ctx target input) epx px;
+        close ~atol:1e-3 ~rtol:1e-3 ("fluid py " ^ ctx target input) epy py;
+        close ~atol:1e-3 ~rtol:1e-3 ("fluid pz " ^ ctx target input) epz pz;
+        close ~atol:1e-2 ~rtol:1e-2
+          ("fluid density " ^ ctx target input)
+          edens density
+      | _ -> Alcotest.fail "output shape")
+
+let test_swaptions () =
+  each_target_input 2 (fun target input ->
+      let out, _ = run_bench Swaptions.benchmark ~target ~input in
+      match out.Vulfi.Outcome.o_f32 with
+      | [ prices ] ->
+        close ~atol:1e-4 ~rtol:1e-3
+          ("swaptions " ^ ctx target input)
+          (Swaptions.reference ~input)
+          prices
+      | _ -> Alcotest.fail "output shape")
+
+let test_micro () =
+  each_target_input 2 (fun target input ->
+      let out, _ = run_bench Micro.vcopy ~target ~input in
+      (match out.Vulfi.Outcome.o_i32 with
+      | [ a2 ] ->
+        check
+          Alcotest.(array int)
+          ("vcopy " ^ ctx target input)
+          (Micro.vcopy_reference ~input)
+          a2
+      | _ -> Alcotest.fail "vcopy shape");
+      let out, _ = run_bench Micro.dot_product ~target ~input in
+      (match out.Vulfi.Outcome.o_f32 with
+      | [ [| d |] ] ->
+        let expected = Micro.dot_reference ~input in
+        Alcotest.(check bool)
+          ("dot " ^ ctx target input)
+          true
+          (abs_float (d -. expected) < 1e-2 +. (1e-3 *. abs_float expected))
+      | _ -> Alcotest.fail "dot shape");
+      let out, _ = run_bench Micro.vsum ~target ~input in
+      match out.Vulfi.Outcome.o_f32 with
+      | [ [| s |] ] ->
+        let expected = Micro.vsum_reference ~input in
+        Alcotest.(check bool)
+          ("vsum " ^ ctx target input)
+          true
+          (abs_float (s -. expected) < 1e-2 +. (1e-3 *. abs_float expected))
+      | _ -> Alcotest.fail "vsum shape")
+
+(* ---------------- registry ---------------- *)
+
+let test_registry () =
+  check Alcotest.int "nine paper benchmarks" 9
+    (List.length Registry.paper_benchmarks);
+  check Alcotest.int "three micro-benchmarks" 3
+    (List.length Registry.micro_benchmarks);
+  check Alcotest.int "twelve total" 12 (List.length Registry.all);
+  Alcotest.(check bool) "find by name" true
+    (Option.is_some (Registry.find "blackscholes"));
+  Alcotest.(check bool) "find is case-insensitive" true
+    (Option.is_some (Registry.find "SORTING"));
+  Alcotest.(check bool) "unknown name" true (Registry.find "nope" = None);
+  (* Table I metadata present *)
+  List.iter
+    (fun (b : Harness.benchmark) ->
+      Alcotest.(check bool)
+        (b.Harness.bench.Vulfi.Workload.w_name ^ " has metadata")
+        true
+        (String.length b.Harness.language > 0
+        && String.length b.Harness.input_desc > 0))
+    Registry.all
+
+(* ---------------- instrumentation compatibility ---------------- *)
+
+(* Every benchmark must survive site selection, instrumentation,
+   verification and a golden profiling run in every category. *)
+let test_all_benchmarks_instrument_and_profile () =
+  List.iter
+    (fun (b : Harness.benchmark) ->
+      List.iter
+        (fun target ->
+          List.iter
+            (fun cat ->
+              let p =
+                Vulfi.Experiment.prepare b.Harness.bench target cat
+              in
+              let g = Vulfi.Experiment.golden_run p ~input:0 in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s %s %s has dynamic sites"
+                   b.Harness.bench.Vulfi.Workload.w_name
+                   (Vir.Target.name target)
+                   (Analysis.Sites.category_name cat))
+                true
+                (g.Vulfi.Experiment.g_dyn_sites > 0))
+            Analysis.Sites.all_categories)
+        Vir.Target.all)
+    Registry.all
+
+(* A small end-to-end injection smoke per paper benchmark. *)
+let test_benchmark_injection_smoke () =
+  List.iter
+    (fun (b : Harness.benchmark) ->
+      let p =
+        Vulfi.Experiment.prepare b.Harness.bench Vir.Target.Avx
+          Analysis.Sites.Pure_data
+      in
+      let g = Vulfi.Experiment.golden_run p ~input:0 in
+      let r =
+        Vulfi.Experiment.faulty_run p ~golden:g
+          ~dynamic_site:(1 + (g.Vulfi.Experiment.g_dyn_sites / 2))
+          ~seed:31337
+      in
+      Alcotest.(check bool)
+        (b.Harness.bench.Vulfi.Workload.w_name ^ " injection ran")
+        true
+        (r.Vulfi.Experiment.r_injection <> None))
+    Registry.paper_benchmarks
+
+(* Dynamic instruction counts vary across benchmarks and grow with
+   input size (Table I pattern). *)
+let test_dynamic_counts () =
+  let counts =
+    List.map
+      (fun (b : Harness.benchmark) ->
+        let _, dyn = run_bench b ~target:Vir.Target.Avx ~input:0 in
+        (b.Harness.bench.Vulfi.Workload.w_name, dyn))
+      Registry.paper_benchmarks
+  in
+  List.iter
+    (fun (name, dyn) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s executes >100 instructions (%d)" name dyn)
+        true (dyn > 100))
+    counts;
+  (* larger inputs execute more instructions *)
+  let _, d0 = run_bench Sorting.benchmark ~target:Vir.Target.Avx ~input:0 in
+  let _, d2 = run_bench Sorting.benchmark ~target:Vir.Target.Avx ~input:2 in
+  Alcotest.(check bool) "sorting count grows" true (d2 > d0)
+
+(* AVX runs fewer-or-similar dynamic vector iterations than SSE for the
+   same work (wider lanes), visible on a big contiguous kernel. *)
+let test_avx_vs_sse_dynamic () =
+  let _, avx = run_bench Stencil.benchmark ~target:Vir.Target.Avx ~input:2 in
+  let _, sse = run_bench Stencil.benchmark ~target:Vir.Target.Sse ~input:2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "avx (%d) < sse (%d)" avx sse)
+    true (avx < sse)
+
+let () =
+  Alcotest.run "benchmarks"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "blackscholes" `Quick test_blackscholes;
+          Alcotest.test_case "sorting" `Quick test_sorting;
+          Alcotest.test_case "stencil" `Quick test_stencil;
+          Alcotest.test_case "jacobi" `Quick test_jacobi;
+          Alcotest.test_case "chebyshev" `Quick test_chebyshev;
+          Alcotest.test_case "conjugate gradient" `Quick
+            test_conjugate_gradient;
+          Alcotest.test_case "raytracing" `Quick test_raytracing;
+          Alcotest.test_case "raytracing scene sanity" `Quick
+            test_raytracing_hits_something;
+          Alcotest.test_case "fluidanimate" `Quick test_fluidanimate;
+          Alcotest.test_case "swaptions" `Quick test_swaptions;
+          Alcotest.test_case "micro-benchmarks" `Quick test_micro;
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "paper inventory" `Quick test_registry ] );
+      ( "fault-injection-compat",
+        [
+          Alcotest.test_case "instrument + profile all" `Slow
+            test_all_benchmarks_instrument_and_profile;
+          Alcotest.test_case "injection smoke" `Slow
+            test_benchmark_injection_smoke;
+          Alcotest.test_case "dynamic counts" `Quick test_dynamic_counts;
+          Alcotest.test_case "AVX vs SSE" `Quick test_avx_vs_sse_dynamic;
+        ] );
+    ]

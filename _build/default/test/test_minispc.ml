@@ -1,0 +1,864 @@
+(* Tests for the mini-ISPC compiler: lexer, parser, typechecker, and
+   end-to-end codegen semantics on both vector targets. *)
+
+open Minispc
+
+let check = Alcotest.check
+
+let both_targets f = List.iter f Vir.Target.all
+
+(* ---------------- Lexer ---------------- *)
+
+let lex_all src =
+  let lx = Lexer.create src in
+  let rec go acc =
+    match Lexer.next lx with
+    | Lexer.EOF, _ -> List.rev acc
+    | tok, _ -> go (tok :: acc)
+  in
+  go []
+
+let test_lexer_basic () =
+  check Alcotest.int "token count" 6 (List.length (lex_all "x = a + 1;"));
+  (match lex_all "foreach (i = 0 ... n)" with
+  | [ Lexer.KW_foreach; Lexer.LPAREN; Lexer.IDENT "i"; Lexer.ASSIGN;
+      Lexer.INT 0; Lexer.ELLIPSIS; Lexer.IDENT "n"; Lexer.RPAREN ] -> ()
+  | _ -> Alcotest.fail "foreach token stream");
+  match lex_all "a <= b << 2 >= c >> 1" with
+  | [ Lexer.IDENT "a"; Lexer.LE; Lexer.IDENT "b"; Lexer.SHL; Lexer.INT 2;
+      Lexer.GE; Lexer.IDENT "c"; Lexer.SHR; Lexer.INT 1 ] -> ()
+  | _ -> Alcotest.fail "shift/compare disambiguation"
+
+let test_lexer_numbers () =
+  (match lex_all "42 3.5 1e3 2.5e-2 7f" with
+  | [ Lexer.INT 42; Lexer.FLOAT 3.5; Lexer.FLOAT 1000.0; Lexer.FLOAT 0.025;
+      Lexer.FLOAT 7.0 ] -> ()
+  | toks ->
+    Alcotest.failf "numbers: got %s"
+      (String.concat " " (List.map Lexer.token_name toks)))
+
+let test_lexer_comments () =
+  check Alcotest.int "line comment" 2
+    (List.length (lex_all "a // comment ;;;\nb"));
+  check Alcotest.int "block comment" 2
+    (List.length (lex_all "a /* x\ny */ b"))
+
+let test_lexer_errors () =
+  Alcotest.(check bool) "unterminated comment" true
+    (try
+       ignore (lex_all "/* never ends");
+       false
+     with Lexer.Lex_error _ -> true);
+  Alcotest.(check bool) "bad char" true
+    (try
+       ignore (lex_all "a $ b");
+       false
+     with Lexer.Lex_error _ -> true)
+
+let test_lexer_positions () =
+  let lx = Lexer.create "a\n  b" in
+  let _, p1 = Lexer.next lx in
+  let _, p2 = Lexer.next lx in
+  check Alcotest.int "line 1" 1 p1.Ast.line;
+  check Alcotest.int "line 2" 2 p2.Ast.line;
+  check Alcotest.int "col 3" 3 p2.Ast.col
+
+(* ---------------- Parser ---------------- *)
+
+let parse src = Parser.parse_program src
+
+let test_parse_function_shape () =
+  let prog =
+    parse
+      "export void f(uniform float a[], uniform int n) { foreach (i = 0 \
+       ... n) { a[i] = a[i] + 1.0; } }"
+  in
+  match prog with
+  | [ f ] ->
+    Alcotest.(check bool) "export" true f.Ast.f_export;
+    check Alcotest.(option string) "void return" None
+      (Option.map Ast.ty_name f.Ast.f_ret);
+    check Alcotest.int "2 params" 2 (List.length f.Ast.f_params);
+    Alcotest.(check bool) "first param is array" true
+      (List.hd f.Ast.f_params).Ast.p_is_array
+  | _ -> Alcotest.fail "expected one function"
+
+let test_parse_precedence () =
+  let prog = parse "int f() { uniform int x = 1 + 2 * 3; return x; }" in
+  match prog with
+  | [ { Ast.f_body = [ { Ast.s = Ast.Decl (_, _, e); _ }; _ ]; _ } ] -> (
+    match e.Ast.e with
+    | Ast.Binop (Ast.Add, { Ast.e = Ast.Int_lit 1; _ },
+                 { Ast.e = Ast.Binop (Ast.Mul, _, _); _ }) -> ()
+    | _ -> Alcotest.fail "precedence: * binds tighter than +")
+  | _ -> Alcotest.fail "unexpected program shape"
+
+let test_parse_compound_assign () =
+  let prog = parse "void f(uniform float a[]) { a[0] += 2.0; }" in
+  match prog with
+  | [ { Ast.f_body = [ { Ast.s = Ast.Store (_, _, e); _ } ]; _ } ] -> (
+    match e.Ast.e with
+    | Ast.Binop (Ast.Add, { Ast.e = Ast.Index _; _ }, _) -> ()
+    | _ -> Alcotest.fail "compound store desugaring")
+  | _ -> Alcotest.fail "unexpected program shape"
+
+let test_parse_cast_vs_paren () =
+  let prog = parse "int f() { uniform int x = (int) 3.5; uniform int y = (x); return y; }" in
+  match prog with
+  | [ { Ast.f_body =
+          [ { Ast.s = Ast.Decl (_, _, e1); _ }; { Ast.s = Ast.Decl (_, _, e2); _ }; _ ]; _ } ] ->
+    (match e1.Ast.e with
+    | Ast.Cast (Ast.Tint, _) -> ()
+    | _ -> Alcotest.fail "cast parsed");
+    (match e2.Ast.e with
+    | Ast.Var "x" -> ()
+    | _ -> Alcotest.fail "paren expr parsed")
+  | _ -> Alcotest.fail "unexpected program shape"
+
+let test_parse_if_else_chain () =
+  let prog =
+    parse
+      "void f(uniform int n) { uniform int x = 0; if (n > 0) { x = 1; } \
+       else if (n < 0) { x = 2; } else { x = 3; } }"
+  in
+  match prog with
+  | [ { Ast.f_body = [ _; { Ast.s = Ast.If (_, _, [ { Ast.s = Ast.If (_, _, _); _ } ]); _ } ]; _ } ]
+    -> ()
+  | _ -> Alcotest.fail "else-if chains"
+
+let test_parse_errors () =
+  let bad srcs =
+    List.iter
+      (fun src ->
+        Alcotest.(check bool)
+          ("rejects: " ^ src)
+          true
+          (try
+             ignore (parse src);
+             false
+           with Parser.Parse_error _ | Lexer.Lex_error _ -> true))
+      srcs
+  in
+  bad
+    [
+      "void f( {";
+      "void f() { return }";
+      "void f() { foreach (i = 0 .. n) {} }";
+      "void f() { x +; }";
+      "void";
+    ]
+
+(* ---------------- Typecheck ---------------- *)
+
+let typecheck src = Typecheck.check_program (parse src)
+
+let expect_type_error src needle =
+  match typecheck src with
+  | () -> Alcotest.failf "expected type error (%s) for: %s" needle src
+  | exception Typecheck.Type_error (msg, _) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error %S mentions %S" msg needle)
+      true
+      (Astring_contains.contains msg needle)
+
+let test_typecheck_accepts_vcopy () =
+  typecheck
+    "export void vcopy(uniform int a1[], uniform int a2[], uniform int n) \
+     { foreach (i = 0 ... n) { a2[i] = a1[i]; } }"
+
+let test_typecheck_rejects_mixed_arith () =
+  expect_type_error "void f() { uniform int x = 1 + 1.5; }" "cast"
+
+let test_typecheck_rejects_varying_to_uniform () =
+  expect_type_error
+    "void f(uniform int a[], uniform int n) { foreach (i = 0 ... n) { \
+     uniform int x = i; } }"
+    "varying"
+
+let test_typecheck_rejects_varying_while () =
+  expect_type_error
+    "void f(uniform int a[], uniform int n) { foreach (i = 0 ... n) { \
+     while (i < 4) { i = i + 1; } } }"
+    "uniform bool"
+
+let test_typecheck_rejects_nested_foreach () =
+  expect_type_error
+    "void f(uniform int n) { foreach (i = 0 ... n) { foreach (j = 0 ... \
+     n) { } } }"
+    "nested foreach"
+
+let test_typecheck_rejects_uniform_assign_in_foreach () =
+  expect_type_error
+    "void f(uniform int n) { uniform int s = 0; foreach (i = 0 ... n) { s \
+     = s + 1; } }"
+    "foreach"
+
+let test_typecheck_rejects_loop_under_varying_mask () =
+  expect_type_error
+    "void f(uniform int n) { foreach (i = 0 ... n) { if (i > 2) { while \
+     (true) { } } } }"
+    "varying mask"
+
+let test_typecheck_rejects_return_mid_body () =
+  expect_type_error
+    "int f(uniform int n) { if (n > 0) { return 1; } return 0; }"
+    "return"
+
+let test_typecheck_rejects_unknown_var () =
+  expect_type_error "void f() { uniform int x = y; }" "unbound"
+
+let test_typecheck_rejects_bad_call () =
+  expect_type_error "void f() { uniform float x = sqrt(1); }" "float";
+  expect_type_error "void f() { uniform float x = sqrt(1.0, 2.0); }"
+    "1 argument";
+  expect_type_error "void f() { g(); }" "unknown function"
+
+let test_typecheck_reduce_type () =
+  typecheck
+    "float f(uniform float a[], uniform int n) { varying float s = 0.0; \
+     foreach (i = 0 ... n) { s += a[i]; } return reduce_add(s); }"
+
+let test_typecheck_rejects_array_as_scalar () =
+  expect_type_error
+    "void f(uniform float a[]) { uniform float x = a + 1.0; }" "array"
+
+let test_typecheck_rejects_duplicate_funcs () =
+  expect_type_error "void f() { } void f() { }" "duplicate"
+
+let test_typecheck_rejects_varying_store_uniform_index () =
+  expect_type_error
+    "void f(uniform float a[], uniform int n) { foreach (i = 0 ... n) { \
+     a[0] = (float) i; } }"
+    "uniform index"
+
+
+let test_parse_assert () =
+  let prog = parse "void f(uniform int n) { assert(n > 0); }" in
+  match prog with
+  | [ { Ast.f_body = [ { Ast.s = Ast.Assert _; _ } ]; _ } ] -> ()
+  | _ -> Alcotest.fail "assert statement parsed"
+
+let test_typecheck_assert () =
+  typecheck
+    "void f(uniform int a[], uniform int n) { foreach (i = 0 ... n) { \
+     assert(a[i] >= 0); } }";
+  expect_type_error "void f() { assert(1 + 1); }" "bool"
+
+let test_e2e_assert_codegen () =
+  (* assert lowers to a call to the detector runtime and does not
+     change program results *)
+  both_targets (fun target ->
+      let m =
+        Driver.compile target
+          "export void f(uniform int a[], uniform int n) { foreach (i = 0 \
+           ... n) { assert(a[i] == a[i]); a[i] = a[i] + 1; } }"
+      in
+      let s = Vir.Pp.module_to_string m in
+      Alcotest.(check bool) "calls __vulfi_assert" true
+        (Astring_contains.contains s "__vulfi_assert"))
+
+
+let test_e2e_break () =
+  let src =
+    "export int first_negative(uniform int a[], uniform int n) { uniform \
+     int found = 0 - 1; for (uniform int i = 0; i < n; i += 1) { if (a[i] \
+     < 0) { found = i; break; } } return found; }"
+  in
+  both_targets (fun target ->
+      let a = [| 3; 7; 2; -5; 9; -1 |] in
+      let r =
+        Spc_run.run ~target ~fn:"first_negative" src
+          [ Spc_run.Arr_i32 a; Spc_run.Int 6 ]
+      in
+      check Alcotest.int (Vir.Target.name target) 3 (Spc_run.ret_i32 r));
+  (* no negative element: loop runs to completion *)
+  let r =
+    Spc_run.run ~target:Vir.Target.Avx ~fn:"first_negative" src
+      [ Spc_run.Arr_i32 [| 1; 2; 3 |]; Spc_run.Int 3 ]
+  in
+  check Alcotest.int "not found" (-1) (Spc_run.ret_i32 r)
+
+let test_e2e_continue () =
+  let src =
+    "export int sum_odds(uniform int a[], uniform int n) { uniform int s \
+     = 0; for (uniform int i = 0; i < n; i += 1) { if (a[i] % 2 == 0) { \
+     continue; } s = s + a[i]; } return s; }"
+  in
+  both_targets (fun target ->
+      let a = [| 1; 2; 3; 4; 5; 6; 7 |] in
+      let r =
+        Spc_run.run ~target ~fn:"sum_odds" src
+          [ Spc_run.Arr_i32 a; Spc_run.Int 7 ]
+      in
+      check Alcotest.int (Vir.Target.name target) 16 (Spc_run.ret_i32 r))
+
+let test_e2e_while_break () =
+  let src =
+    "export int collatz_capped(uniform int start, uniform int cap) { \
+     uniform int x = start; uniform int steps = 0; while (true) { if (x \
+     == 1) { break; } if (steps >= cap) { break; } if (x % 2 == 0) { x = \
+     x / 2; } else { x = 3 * x + 1; } steps = steps + 1; } return steps; \
+     }"
+  in
+  both_targets (fun target ->
+      let r =
+        Spc_run.run ~target ~fn:"collatz_capped" src
+          [ Spc_run.Int 6; Spc_run.Int 100 ]
+      in
+      check Alcotest.int "collatz(6)" 8 (Spc_run.ret_i32 r);
+      let r =
+        Spc_run.run ~target ~fn:"collatz_capped" src
+          [ Spc_run.Int 27; Spc_run.Int 5 ]
+      in
+      check Alcotest.int "capped" 5 (Spc_run.ret_i32 r))
+
+let test_e2e_break_in_foreach_inner_loop () =
+  (* a uniform loop with break INSIDE a foreach body *)
+  let src =
+    "export void count_below(uniform int limit[], uniform int out[], \
+     uniform int n, uniform int m) { foreach (i = 0 ... n) { int c = 0; \
+     for (uniform int j = 0; j < m; j += 1) { if (j >= 4) { break; } c = \
+     c + 1; } out[i] = c; } }"
+  in
+  both_targets (fun target ->
+      let n = 11 in
+      let r =
+        Spc_run.run ~target ~fn:"count_below" src
+          [ Spc_run.Arr_i32 (Array.make n 0);
+            Spc_run.Arr_i32 (Array.make n 0); Spc_run.Int n; Spc_run.Int 9 ]
+      in
+      match r.Spc_run.arrays_i32 with
+      | [ _; out ] ->
+        check Alcotest.(array int) (Vir.Target.name target)
+          (Array.make n 4) out
+      | _ -> Alcotest.fail "arrays")
+
+let test_typecheck_break_restrictions () =
+  expect_type_error "void f() { break; }" "uniform while/for";
+  expect_type_error
+    "void f(uniform int n) { foreach (i = 0 ... n) { break; } }"
+    "uniform while/for";
+  expect_type_error
+    "void f(uniform int n) { while (n > 0) { break; n = n - 1; } }"
+    "last statement";
+  expect_type_error
+    "void f(uniform int a[], uniform int n) { while (n > 0) { foreach (i \
+     = 0 ... n) { if (i > 2) { continue; } } n = n - 1; } }"
+    "varying mask"
+
+(* ---------------- Codegen: structure ---------------- *)
+
+let vcopy_src =
+  "export void vcopy_ispc(uniform int a1[], uniform int a2[], uniform int \
+   n) { foreach (i = 0 ... n) { a2[i] = a1[i]; } }"
+
+let test_codegen_foreach_blocks () =
+  both_targets (fun tgt ->
+      let m = Driver.compile tgt vcopy_src in
+      let f = Vir.Vmodule.find_func_exn m "vcopy_ispc" in
+      let labels = List.map (fun b -> b.Vir.Block.label) f.Vir.Func.blocks in
+      let has prefix =
+        List.exists
+          (fun l ->
+            String.length l >= String.length prefix
+            && String.sub l 0 (String.length prefix) = prefix)
+          labels
+      in
+      Alcotest.(check bool) "allocas entry" true (List.hd labels = "allocas");
+      Alcotest.(check bool) "lr.ph block" true (has "foreach_full_body.lr.ph");
+      Alcotest.(check bool) "full body block" true (has "foreach_full_body");
+      Alcotest.(check bool) "partial_inner_all_outer" true
+        (has "partial_inner_all_outer");
+      Alcotest.(check bool) "partial_inner_only" true
+        (has "partial_inner_only");
+      Alcotest.(check bool) "foreach_reset" true (has "foreach_reset"))
+
+let test_codegen_foreach_meta () =
+  both_targets (fun tgt ->
+      let m = Driver.compile tgt vcopy_src in
+      let f = Vir.Vmodule.find_func_exn m "vcopy_ispc" in
+      match f.Vir.Func.foreach_meta with
+      | [ meta ] ->
+        check Alcotest.int "vl" (Vir.Target.vl tgt) meta.Vir.Func.fm_vl;
+        Alcotest.(check bool) "full body label" true
+          (String.length meta.Vir.Func.fm_full_body >= 17);
+        (* the recorded registers must exist with type i32 *)
+        (match Vir.Func.reg_ty f meta.Vir.Func.fm_new_counter with
+        | Some t -> check Alcotest.string "new_counter ty" "i32" (Vir.Vtype.to_string t)
+        | None -> Alcotest.fail "new_counter register missing");
+        (match Vir.Func.reg_ty f meta.Vir.Func.fm_aligned_end with
+        | Some t -> check Alcotest.string "aligned_end ty" "i32" (Vir.Vtype.to_string t)
+        | None -> Alcotest.fail "aligned_end register missing")
+      | l -> Alcotest.failf "expected 1 foreach_meta, got %d" (List.length l))
+
+let test_codegen_nextras_shape () =
+  (* The entry block computes nextras = srem n, Vl and
+     aligned_end = sub n, nextras — the invariant source of §III-A. *)
+  both_targets (fun tgt ->
+      let m = Driver.compile tgt vcopy_src in
+      let f = Vir.Vmodule.find_func_exn m "vcopy_ispc" in
+      let entry = Vir.Func.entry f in
+      let srems =
+        List.filter
+          (fun (i : Vir.Instr.t) ->
+            match i.Vir.Instr.op with
+            | Vir.Instr.Ibinop (Vir.Instr.Srem, _, Vir.Instr.Imm c) ->
+              Vir.Const.equal c (Vir.Const.i32 (Vir.Target.vl tgt))
+            | _ -> false)
+          entry.Vir.Block.instrs
+      in
+      check Alcotest.int "one srem by Vl" 1 (List.length srems))
+
+let test_codegen_masked_intrinsics_in_partial () =
+  both_targets (fun tgt ->
+      let m = Driver.compile tgt vcopy_src in
+      let s = Vir.Pp.module_to_string m in
+      let expect_load = Vir.Intrinsics.maskload_name tgt Vir.Vtype.I32 in
+      let expect_store = Vir.Intrinsics.maskstore_name tgt Vir.Vtype.I32 in
+      Alcotest.(check bool) ("maskload used " ^ Vir.Target.name tgt) true
+        (Astring_contains.contains s expect_load);
+      Alcotest.(check bool) ("maskstore used " ^ Vir.Target.name tgt) true
+        (Astring_contains.contains s expect_store))
+
+let test_codegen_verified () =
+  (* Driver.compile runs the verifier; also check a program that uses
+     every statement form. *)
+  both_targets (fun tgt ->
+      ignore
+        (Driver.compile tgt
+           "float kitchen(uniform float a[], uniform int n) {\n\
+            varying float acc = 0.0;\n\
+            uniform int outer = 0;\n\
+            while (outer < 2) {\n\
+            foreach (i = 0 ... n) {\n\
+            float x = a[i];\n\
+            if (x > 0.5) { acc += x * 2.0; } else { acc += x; }\n\
+            }\n\
+            outer = outer + 1;\n\
+            }\n\
+            for (uniform int k = 0; k < 3; k += 1) { outer = outer + k; }\n\
+            return reduce_add(acc) + (float) outer;\n\
+            }"))
+
+(* ---------------- Codegen: end-to-end semantics ---------------- *)
+
+let test_e2e_vcopy () =
+  both_targets (fun target ->
+      (* n chosen to exercise both the full body and the partial block *)
+      List.iter
+        (fun n ->
+          let input = Array.init n (fun i -> i * 3 - 7) in
+          let r =
+            Spc_run.run ~target ~fn:"vcopy_ispc" vcopy_src
+              [ Spc_run.Arr_i32 input; Spc_run.Arr_i32 (Array.make n 0);
+                Spc_run.Int n ]
+          in
+          match r.Spc_run.arrays_i32 with
+          | [ _; out ] ->
+            check Alcotest.(array int)
+              (Printf.sprintf "%s n=%d" (Vir.Target.name target) n)
+              input out
+          | _ -> Alcotest.fail "arrays")
+        [ 0; 1; 7; 8; 16; 19 ])
+
+let test_e2e_saxpy () =
+  let src =
+    "export void saxpy(uniform float x[], uniform float y[], uniform \
+     float a, uniform int n) { foreach (i = 0 ... n) { y[i] = a * x[i] + \
+     y[i]; } }"
+  in
+  both_targets (fun target ->
+      let n = 13 in
+      let x = Array.init n (fun i -> float_of_int i) in
+      let y = Array.make n 1.0 in
+      let r =
+        Spc_run.run ~target ~fn:"saxpy" src
+          [ Spc_run.Arr_f32 x; Spc_run.Arr_f32 y; Spc_run.Float 2.0;
+            Spc_run.Int n ]
+      in
+      match r.Spc_run.arrays_f32 with
+      | [ _; out ] ->
+        Array.iteri
+          (fun i v ->
+            check (Alcotest.float 1e-6)
+              (Printf.sprintf "y[%d]" i)
+              ((2.0 *. float_of_int i) +. 1.0)
+              v)
+          out
+      | _ -> Alcotest.fail "arrays")
+
+let test_e2e_dot_product () =
+  let src =
+    "export float dot(uniform float a[], uniform float b[], uniform int \
+     n) { varying float partial = 0.0; foreach (i = 0 ... n) { partial += \
+     a[i] * b[i]; } return reduce_add(partial); }"
+  in
+  both_targets (fun target ->
+      List.iter
+        (fun n ->
+          let a = Array.init n (fun i -> float_of_int (i + 1)) in
+          let b = Array.make n 2.0 in
+          let expected = 2.0 *. float_of_int (n * (n + 1) / 2) in
+          let r =
+            Spc_run.run ~target ~fn:"dot" src
+              [ Spc_run.Arr_f32 a; Spc_run.Arr_f32 b; Spc_run.Int n ]
+          in
+          check (Alcotest.float 1e-3)
+            (Printf.sprintf "%s dot n=%d" (Vir.Target.name target) n)
+            expected (Spc_run.ret_f32 r))
+        [ 1; 4; 8; 9; 31 ])
+
+let test_e2e_varying_if () =
+  let src =
+    "export void clamp_neg(uniform float a[], uniform int n) { foreach (i \
+     = 0 ... n) { float x = a[i]; if (x < 0.0) { x = 0.0; } a[i] = x; } }"
+  in
+  both_targets (fun target ->
+      let n = 11 in
+      let input = Array.init n (fun i -> float_of_int (i - 5)) in
+      let r =
+        Spc_run.run ~target ~fn:"clamp_neg" src
+          [ Spc_run.Arr_f32 input; Spc_run.Int n ]
+      in
+      match r.Spc_run.arrays_f32 with
+      | [ out ] ->
+        Array.iteri
+          (fun i v ->
+            check (Alcotest.float 0.0)
+              (Printf.sprintf "a[%d]" i)
+              (max 0.0 (float_of_int (i - 5)))
+              v)
+          out
+      | _ -> Alcotest.fail "arrays")
+
+let test_e2e_varying_if_else_nested () =
+  let src =
+    "export void tri(uniform int a[], uniform int n) { foreach (i = 0 ... \
+     n) { int x = a[i]; int y = 0; if (x > 0) { if (x > 10) { y = 2; } \
+     else { y = 1; } } else { y = -1; } a[i] = y; } }"
+  in
+  both_targets (fun target ->
+      let n = 9 in
+      let input = [| -3; 0; 1; 5; 10; 11; 20; -1; 7 |] in
+      let expected = [| -1; -1; 1; 1; 1; 2; 2; -1; 1 |] in
+      let r =
+        Spc_run.run ~target ~fn:"tri" src
+          [ Spc_run.Arr_i32 (Array.copy input); Spc_run.Int n ]
+      in
+      match r.Spc_run.arrays_i32 with
+      | [ out ] ->
+        check Alcotest.(array int) (Vir.Target.name target) expected out
+      | _ -> Alcotest.fail "arrays")
+
+let test_e2e_gather () =
+  let src =
+    "export void permute(uniform int idx[], uniform float src[], uniform \
+     float dst[], uniform int n) { foreach (i = 0 ... n) { dst[i] = \
+     src[idx[i]]; } }"
+  in
+  both_targets (fun target ->
+      let n = 10 in
+      let idx = Array.init n (fun i -> (i * 3) mod n) in
+      let src_arr = Array.init n (fun i -> float_of_int (100 + i)) in
+      let r =
+        Spc_run.run ~target ~fn:"permute" src
+          [ Spc_run.Arr_i32 idx; Spc_run.Arr_f32 src_arr;
+            Spc_run.Arr_f32 (Array.make n 0.0); Spc_run.Int n ]
+      in
+      match r.Spc_run.arrays_f32 with
+      | [ _; dst ] ->
+        Array.iteri
+          (fun i v ->
+            check (Alcotest.float 0.0)
+              (Printf.sprintf "dst[%d]" i)
+              (float_of_int (100 + ((i * 3) mod n)))
+              v)
+          dst
+      | _ -> Alcotest.fail "arrays")
+
+let test_e2e_scatter () =
+  let src =
+    "export void scatter(uniform int idx[], uniform int src[], uniform \
+     int dst[], uniform int n) { foreach (i = 0 ... n) { dst[idx[i]] = \
+     src[i]; } }"
+  in
+  both_targets (fun target ->
+      let n = 9 in
+      let idx = Array.init n (fun i -> n - 1 - i) in
+      let src_arr = Array.init n (fun i -> i * 7) in
+      let r =
+        Spc_run.run ~target ~fn:"scatter" src
+          [ Spc_run.Arr_i32 idx; Spc_run.Arr_i32 src_arr;
+            Spc_run.Arr_i32 (Array.make n 0); Spc_run.Int n ]
+      in
+      match r.Spc_run.arrays_i32 with
+      | [ _; _; dst ] ->
+        check Alcotest.(array int) (Vir.Target.name target)
+          (Array.init n (fun i -> (n - 1 - i) * 7))
+          dst
+      | _ -> Alcotest.fail "arrays")
+
+let test_e2e_uniform_control_flow () =
+  let src =
+    "export int collatz_steps(uniform int start) { uniform int x = start; \
+     uniform int steps = 0; while (x != 1) { if (x % 2 == 0) { x = x / 2; \
+     } else { x = 3 * x + 1; } steps = steps + 1; } return steps; }"
+  in
+  both_targets (fun target ->
+      let r = Spc_run.run ~target ~fn:"collatz_steps" src [ Spc_run.Int 6 ] in
+      check Alcotest.int (Vir.Target.name target) 8 (Spc_run.ret_i32 r))
+
+let test_e2e_for_loop () =
+  let src =
+    "export int sum_to(uniform int n) { uniform int s = 0; for (uniform \
+     int i = 1; i <= n; i += 1) { s = s + i; } return s; }"
+  in
+  both_targets (fun target ->
+      let r = Spc_run.run ~target ~fn:"sum_to" src [ Spc_run.Int 10 ] in
+      check Alcotest.int "1+..+10" 55 (Spc_run.ret_i32 r))
+
+let test_e2e_math_builtins () =
+  let src =
+    "export void m(uniform float a[], uniform int n) { foreach (i = 0 ... \
+     n) { a[i] = sqrt(a[i]) + min(a[i], 2.0) + abs(0.0 - 1.0); } }"
+  in
+  both_targets (fun target ->
+      let n = 5 in
+      let input = [| 0.0; 1.0; 4.0; 9.0; 16.0 |] in
+      let r =
+        Spc_run.run ~target ~fn:"m" src
+          [ Spc_run.Arr_f32 (Array.copy input); Spc_run.Int n ]
+      in
+      match r.Spc_run.arrays_f32 with
+      | [ out ] ->
+        Array.iteri
+          (fun i v ->
+            check (Alcotest.float 1e-5)
+              (Printf.sprintf "a[%d]" i)
+              (sqrt input.(i) +. min input.(i) 2.0 +. 1.0)
+              v)
+          out
+      | _ -> Alcotest.fail "arrays")
+
+let test_e2e_function_calls () =
+  let src =
+    "float helper(uniform float x) { return x * x; }\n\
+     export float sum_squares(uniform float a[], uniform int n) { uniform \
+     float s = 0.0; for (uniform int i = 0; i < n; i += 1) { s = s + \
+     helper(a[i]); } return s; }"
+  in
+  both_targets (fun target ->
+      let a = [| 1.0; 2.0; 3.0 |] in
+      let r =
+        Spc_run.run ~target ~fn:"sum_squares" src
+          [ Spc_run.Arr_f32 a; Spc_run.Int 3 ]
+      in
+      check (Alcotest.float 1e-5) "1+4+9" 14.0 (Spc_run.ret_f32 r))
+
+let test_e2e_select () =
+  let src =
+    "export void s(uniform int a[], uniform int n) { foreach (i = 0 ... \
+     n) { a[i] = select(a[i] > 0, a[i], 0 - a[i]); } }"
+  in
+  both_targets (fun target ->
+      let n = 7 in
+      let input = [| -3; 5; -1; 0; 2; -8; 9 |] in
+      let r =
+        Spc_run.run ~target ~fn:"s" src
+          [ Spc_run.Arr_i32 (Array.copy input); Spc_run.Int n ]
+      in
+      match r.Spc_run.arrays_i32 with
+      | [ out ] ->
+        check Alcotest.(array int) "abs via select"
+          (Array.map abs input) out
+      | _ -> Alcotest.fail "arrays")
+
+let test_e2e_foreach_nonzero_start () =
+  let src =
+    "export void fill(uniform int a[], uniform int lo, uniform int hi) { \
+     foreach (i = lo ... hi) { a[i] = i; } }"
+  in
+  both_targets (fun target ->
+      let n = 20 in
+      let r =
+        Spc_run.run ~target ~fn:"fill" src
+          [ Spc_run.Arr_i32 (Array.make n (-1)); Spc_run.Int 3;
+            Spc_run.Int 17 ]
+      in
+      match r.Spc_run.arrays_i32 with
+      | [ out ] ->
+        Array.iteri
+          (fun i v ->
+            check Alcotest.int
+              (Printf.sprintf "a[%d]" i)
+              (if i >= 3 && i < 17 then i else -1)
+              v)
+          out
+      | _ -> Alcotest.fail "arrays")
+
+(* Masked integer division must not trap on lanes that are off. *)
+let test_e2e_masked_division_guard () =
+  let src =
+    "export void divide(uniform int a[], uniform int b[], uniform int \
+     n) { foreach (i = 0 ... n) { if (b[i] != 0) { a[i] = a[i] / b[i]; } \
+     } }"
+  in
+  both_targets (fun target ->
+      let n = 8 in
+      let a = [| 10; 20; 30; 40; 50; 60; 70; 80 |] in
+      let b = [| 2; 0; 3; 0; 5; 0; 7; 0 |] in
+      let r =
+        Spc_run.run ~target ~fn:"divide" src
+          [ Spc_run.Arr_i32 (Array.copy a); Spc_run.Arr_i32 b; Spc_run.Int n ]
+      in
+      match r.Spc_run.arrays_i32 with
+      | [ out; _ ] ->
+        check Alcotest.(array int) "guarded division"
+          [| 5; 20; 10; 40; 10; 60; 10; 80 |]
+          out
+      | _ -> Alcotest.fail "arrays")
+
+(* AVX and SSE must produce identical results on the same program. *)
+let prop_targets_agree =
+  QCheck.Test.make ~name:"AVX and SSE agree on saxpy" ~count:50
+    QCheck.(pair (int_range 0 40) (list_of_size (QCheck.Gen.return 40) (float_range (-100.) 100.)))
+    (fun (n, xs) ->
+      let src =
+        "export void saxpy(uniform float x[], uniform float y[], uniform \
+         float a, uniform int n) { foreach (i = 0 ... n) { y[i] = a * \
+         x[i] + y[i]; } }"
+      in
+      let xs = Array.of_list xs in
+      let run target =
+        let r =
+          Spc_run.run ~target ~fn:"saxpy" src
+            [ Spc_run.Arr_f32 (Array.copy xs);
+              Spc_run.Arr_f32 (Array.make 40 1.0); Spc_run.Float 3.0;
+              Spc_run.Int n ]
+        in
+        List.nth r.Spc_run.arrays_f32 1
+      in
+      run Vir.Target.Avx = run Vir.Target.Sse)
+
+let prop_foreach_matches_scalar_loop =
+  QCheck.Test.make ~name:"foreach sum matches OCaml reference" ~count:50
+    QCheck.(int_range 0 50)
+    (fun n ->
+      let src =
+        "export float vsum(uniform float a[], uniform int n) { varying \
+         float s = 0.0; foreach (i = 0 ... n) { s += a[i]; } return \
+         reduce_add(s); }"
+      in
+      let a =
+        Array.init 50 (fun i ->
+            Interp.Bits.round_float Vir.Vtype.F32 (float_of_int (i mod 7) *. 0.5))
+      in
+      let r =
+        Spc_run.run ~target:Vir.Target.Avx ~fn:"vsum" src
+          [ Spc_run.Arr_f32 a; Spc_run.Int n ]
+      in
+      let expected = ref 0.0 in
+      for i = 0 to n - 1 do
+        expected := !expected +. a.(i)
+      done;
+      abs_float (Spc_run.ret_f32 r -. !expected) < 1e-3)
+
+let () =
+  Alcotest.run "minispc"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basic tokens" `Quick test_lexer_basic;
+          Alcotest.test_case "numbers" `Quick test_lexer_numbers;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "function shape" `Quick test_parse_function_shape;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "compound assignment" `Quick
+            test_parse_compound_assign;
+          Alcotest.test_case "cast vs paren" `Quick test_parse_cast_vs_paren;
+          Alcotest.test_case "else-if chain" `Quick test_parse_if_else_chain;
+          Alcotest.test_case "rejects bad input" `Quick test_parse_errors;
+          Alcotest.test_case "assert statement" `Quick test_parse_assert;
+        ] );
+      ( "typecheck",
+        [
+          Alcotest.test_case "accepts vcopy" `Quick test_typecheck_accepts_vcopy;
+          Alcotest.test_case "rejects mixed arithmetic" `Quick
+            test_typecheck_rejects_mixed_arith;
+          Alcotest.test_case "rejects varying->uniform" `Quick
+            test_typecheck_rejects_varying_to_uniform;
+          Alcotest.test_case "rejects varying while" `Quick
+            test_typecheck_rejects_varying_while;
+          Alcotest.test_case "rejects nested foreach" `Quick
+            test_typecheck_rejects_nested_foreach;
+          Alcotest.test_case "rejects uniform assign in foreach" `Quick
+            test_typecheck_rejects_uniform_assign_in_foreach;
+          Alcotest.test_case "rejects loop under varying mask" `Quick
+            test_typecheck_rejects_loop_under_varying_mask;
+          Alcotest.test_case "rejects early return" `Quick
+            test_typecheck_rejects_return_mid_body;
+          Alcotest.test_case "rejects unknown variable" `Quick
+            test_typecheck_rejects_unknown_var;
+          Alcotest.test_case "rejects bad calls" `Quick
+            test_typecheck_rejects_bad_call;
+          Alcotest.test_case "reduce returns uniform" `Quick
+            test_typecheck_reduce_type;
+          Alcotest.test_case "rejects array as scalar" `Quick
+            test_typecheck_rejects_array_as_scalar;
+          Alcotest.test_case "rejects duplicate functions" `Quick
+            test_typecheck_rejects_duplicate_funcs;
+          Alcotest.test_case "rejects varying store via uniform index" `Quick
+            test_typecheck_rejects_varying_store_uniform_index;
+          Alcotest.test_case "assert typing" `Quick test_typecheck_assert;
+          Alcotest.test_case "break/continue restrictions" `Quick
+            test_typecheck_break_restrictions;
+        ] );
+      ( "codegen-structure",
+        [
+          Alcotest.test_case "foreach block names (Fig 7)" `Quick
+            test_codegen_foreach_blocks;
+          Alcotest.test_case "foreach metadata" `Quick test_codegen_foreach_meta;
+          Alcotest.test_case "nextras/aligned_end shape" `Quick
+            test_codegen_nextras_shape;
+          Alcotest.test_case "masked intrinsics in partial block" `Quick
+            test_codegen_masked_intrinsics_in_partial;
+          Alcotest.test_case "kitchen sink verifies" `Quick
+            test_codegen_verified;
+          Alcotest.test_case "assert lowering" `Quick test_e2e_assert_codegen;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "vcopy" `Quick test_e2e_vcopy;
+          Alcotest.test_case "saxpy" `Quick test_e2e_saxpy;
+          Alcotest.test_case "dot product" `Quick test_e2e_dot_product;
+          Alcotest.test_case "varying if" `Quick test_e2e_varying_if;
+          Alcotest.test_case "nested varying if/else" `Quick
+            test_e2e_varying_if_else_nested;
+          Alcotest.test_case "gather" `Quick test_e2e_gather;
+          Alcotest.test_case "scatter" `Quick test_e2e_scatter;
+          Alcotest.test_case "uniform control flow" `Quick
+            test_e2e_uniform_control_flow;
+          Alcotest.test_case "for loop" `Quick test_e2e_for_loop;
+          Alcotest.test_case "math builtins" `Quick test_e2e_math_builtins;
+          Alcotest.test_case "function calls" `Quick test_e2e_function_calls;
+          Alcotest.test_case "select" `Quick test_e2e_select;
+          Alcotest.test_case "foreach nonzero start" `Quick
+            test_e2e_foreach_nonzero_start;
+          Alcotest.test_case "masked division guard" `Quick
+            test_e2e_masked_division_guard;
+          Alcotest.test_case "break in for" `Quick test_e2e_break;
+          Alcotest.test_case "continue in for" `Quick test_e2e_continue;
+          Alcotest.test_case "break in while(true)" `Quick
+            test_e2e_while_break;
+          Alcotest.test_case "break inside foreach inner loop" `Quick
+            test_e2e_break_in_foreach_inner_loop;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_targets_agree; prop_foreach_matches_scalar_loop ] );
+    ]

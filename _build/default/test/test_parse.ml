@@ -1,0 +1,193 @@
+(* Round-trip tests for the textual VIR parser: for representative
+   modules (hand-built and compiler-generated), print -> parse -> print
+   must reach a fixpoint, the re-parsed module must verify, and it must
+   execute identically. *)
+
+open Vir
+
+let check = Alcotest.check
+
+let roundtrip name m =
+  let s1 = Pp.module_to_string m in
+  let m2 =
+    try Parse.parse_module s1
+    with Parse.Parse_error (msg, line) ->
+      Alcotest.failf "%s: parse error at line %d: %s\n%s" name line msg s1
+  in
+  let s2 = Pp.module_to_string m2 in
+  (* module name is not preserved; compare past the header line *)
+  let body s =
+    match String.index_opt s '\n' with
+    | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+    | None -> s
+  in
+  check Alcotest.string (name ^ " fixpoint") (body s1) (body s2);
+  (match Verify.verify_module m2 with
+  | [] -> ()
+  | errs ->
+    Alcotest.failf "%s: reparsed module fails verification: %s" name
+      (String.concat "; " (List.map Verify.error_to_string errs)));
+  m2
+
+let test_roundtrip_samples () =
+  ignore (roundtrip "scale_add" (Ir_samples.scale_add_module ()));
+  ignore (roundtrip "vadd8" (Ir_samples.vadd8_module ()));
+  List.iter
+    (fun t ->
+      ignore
+        (roundtrip
+           ("masked_copy " ^ Target.name t)
+           (Ir_samples.masked_copy_module t)))
+    Target.all;
+  let m, _, _, _, _ = Ir_samples.fig3_foo_module () in
+  ignore (roundtrip "fig3" m)
+
+let test_roundtrip_compiled () =
+  (* every benchmark kernel, both targets: the printer/parser must cope
+     with foreach lowering, masked intrinsics, phis, vector constants *)
+  List.iter
+    (fun (b : Benchmarks.Harness.benchmark) ->
+      List.iter
+        (fun target ->
+          let w = b.Benchmarks.Harness.bench in
+          let m = w.Vulfi.Workload.w_build target in
+          ignore
+            (roundtrip
+               (Printf.sprintf "%s/%s" w.Vulfi.Workload.w_name
+                  (Target.name target))
+               m))
+        Target.all)
+    Benchmarks.Registry.all
+
+let test_roundtrip_instrumented () =
+  (* instrumented + detector-equipped modules round-trip too *)
+  let b = List.hd Benchmarks.Registry.micro_benchmarks in
+  let m = b.Benchmarks.Harness.bench.Vulfi.Workload.w_build Target.Avx in
+  ignore (Detectors.Foreach_invariants.run m);
+  let targets = Analysis.Sites.targets_of_module m in
+  ignore (Vulfi.Instrument.run m targets);
+  ignore (roundtrip "instrumented vcopy" m)
+
+let test_reparsed_executes_identically () =
+  let src =
+    "export float dot(uniform float a[], uniform float b[], uniform int \
+     n) { varying float s = 0.0; foreach (i = 0 ... n) { s += a[i] * \
+     b[i]; } return reduce_add(s); }"
+  in
+  let m = Minispc.Driver.compile Target.Avx src in
+  let m2 = Parse.parse_module (Pp.module_to_string m) in
+  let run m =
+    let st = Interp.Machine.create (Interp.Compile.compile_module m) in
+    let mem = Interp.Machine.memory st in
+    let n = 13 in
+    let a = Interp.Memory.alloc mem ~name:"a" ~bytes:(4 * n) in
+    let b = Interp.Memory.alloc mem ~name:"b" ~bytes:(4 * n) in
+    Interp.Memory.write_f32_array mem a (Array.init n float_of_int);
+    Interp.Memory.write_f32_array mem b (Array.make n 0.5);
+    match
+      Interp.Machine.run st "dot"
+        [ Interp.Vvalue.of_ptr a; Interp.Vvalue.of_ptr b;
+          Interp.Vvalue.of_i32 n ]
+    with
+    | Some v -> Interp.Vvalue.as_float v
+    | None -> Alcotest.fail "no result"
+  in
+  check (Alcotest.float 0.0) "identical result" (run m) (run m2)
+
+let test_parse_errors () =
+  let bad snippets =
+    List.iter
+      (fun (snippet, needle) ->
+        match Parse.parse_module snippet with
+        | _ -> Alcotest.failf "expected parse error for %S" snippet
+        | exception Parse.Parse_error (msg, _) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error %S mentions %S" msg needle)
+            true
+            (Astring_contains.contains msg needle))
+      snippets
+  in
+  bad
+    [
+      ("definee void @f() { }", "define");
+      ("define void @f( { }", "type");
+      ("define void @f() { entry: frobnicate }", "opcode");
+      ("define void @f() { entry: br nowhere }", "unknown");
+      ("declare bogus @g()", "unknown scalar type");
+    ]
+
+let test_parse_constants () =
+  (* scalar and vector constants of each kind survive the trip *)
+  let m = Vmodule.create "consts" in
+  let b = Builder.define m ~name:"f" ~params:[] ~ret_ty:Vtype.f64 in
+  let entry = Builder.new_block b "entry" in
+  Builder.position_at_end b entry;
+  let v =
+    Builder.fadd b
+      (Instr.Imm (Const.f64 (-3.25)))
+      (Instr.Imm (Const.f64 1.0e-30))
+  in
+  let iv =
+    Builder.add b
+      (Instr.Imm (Const.splat 4 (Const.i32 (-7))))
+      (Instr.Imm (Const.iota Vtype.I32 4))
+  in
+  let first = Builder.extractelement b iv (Instr.Imm (Const.i32 0)) in
+  let fcast = Builder.cast b Instr.Sitofp first Vtype.f64 in
+  let sum = Builder.fadd b v fcast in
+  Builder.ret b (Some sum);
+  Verify.check_module m;
+  let m2 = Parse.parse_module (Pp.module_to_string m) in
+  let run m =
+    let st = Interp.Machine.create (Interp.Compile.compile_module m) in
+    match Interp.Machine.run st "f" [] with
+    | Some v -> Interp.Vvalue.as_float v
+    | None -> Alcotest.fail "no result"
+  in
+  check (Alcotest.float 0.0) "constant round trip" (run m) (run m2)
+
+let prop_roundtrip_fixpoint =
+  QCheck.Test.make ~name:"pp/parse fixpoint on random kernels" ~count:30
+    QCheck.(pair (int_range 2 5) (int_range 0 1))
+    (fun (terms, tgt) ->
+      (* build a random straight-line float kernel *)
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf
+        "export void k(uniform float a[], uniform int n) { foreach (i = 0 \
+         ... n) { float x = a[i];";
+      for t = 1 to terms do
+        Buffer.add_string buf
+          (Printf.sprintf " x = x * %d.5 + %d.0;" t (t * 3))
+      done;
+      Buffer.add_string buf " a[i] = x; } }";
+      let target = if tgt = 0 then Target.Avx else Target.Sse in
+      let m = Minispc.Driver.compile target (Buffer.contents buf) in
+      let s1 = Pp.module_to_string m in
+      let s2 = Pp.module_to_string (Parse.parse_module s1) in
+      let body s =
+        match String.index_opt s '\n' with
+        | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+        | None -> s
+      in
+      body s1 = body s2)
+
+let () =
+  Alcotest.run "parse"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "hand-built samples" `Quick
+            test_roundtrip_samples;
+          Alcotest.test_case "all compiled benchmarks" `Quick
+            test_roundtrip_compiled;
+          Alcotest.test_case "instrumented module" `Quick
+            test_roundtrip_instrumented;
+          Alcotest.test_case "re-parsed module executes identically" `Quick
+            test_reparsed_executes_identically;
+          Alcotest.test_case "constants" `Quick test_parse_constants;
+        ] );
+      ( "errors",
+        [ Alcotest.test_case "rejects bad input" `Quick test_parse_errors ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip_fixpoint ] );
+    ]

@@ -1,0 +1,297 @@
+(* Tests for the optimisation passes: DCE (mark/sweep correctness) and
+   constant folding (semantic preservation, fold coverage), plus the
+   dominator-tree and natural-loop analyses they lean on. *)
+
+open Vir
+
+let check = Alcotest.check
+
+(* ---------------- DCE ---------------- *)
+
+let test_dce_removes_dead_chain () =
+  let m = Vmodule.create "dce" in
+  let b = Builder.define m ~name:"f" ~params:[ ("x", Vtype.i32) ] ~ret_ty:Vtype.i32 in
+  let entry = Builder.new_block b "entry" in
+  Builder.position_at_end b entry;
+  (* dead chain: d1 -> d2, never used *)
+  let d1 = Builder.add b (Builder.param b "x") (Ir_samples.imm_i32 1) in
+  let _d2 = Builder.mul b d1 (Ir_samples.imm_i32 2) in
+  (* live value *)
+  let live = Builder.add b (Builder.param b "x") (Ir_samples.imm_i32 10) in
+  Builder.ret b (Some live);
+  let removed = Dce.run_module m in
+  check Alcotest.int "two dead instructions removed" 2 removed;
+  Verify.check_module m;
+  let f = Vmodule.find_func_exn m "f" in
+  check Alcotest.int "two instructions left" 2
+    (List.length (Func.all_instrs f))
+
+let test_dce_keeps_effects () =
+  let m = Ir_samples.vadd8_module () in
+  let before = List.length (Func.all_instrs (Vmodule.find_func_exn m "vadd8")) in
+  let removed = Dce.run_module m in
+  check Alcotest.int "nothing removed from live code" 0 removed;
+  check Alcotest.int "instruction count unchanged" before
+    (List.length (Func.all_instrs (Vmodule.find_func_exn m "vadd8")))
+
+let test_dce_removes_dead_phi_cycle () =
+  (* A phi that only feeds its own backedge increment is dead. *)
+  let m = Vmodule.create "cycle" in
+  let b = Builder.define m ~name:"f" ~params:[ ("n", Vtype.i32) ] ~ret_ty:Vtype.Void in
+  let entry = Builder.new_block b "entry" in
+  let loop = Builder.new_block b "loop" in
+  let exit = Builder.new_block b "exit" in
+  ignore exit;
+  Builder.position_at_end b entry;
+  Builder.br b "loop";
+  Builder.position_at_end b loop;
+  let i = Builder.phi b Vtype.i32 [ ("entry", Ir_samples.imm_i32 0) ] in
+  let dead = Builder.phi b Vtype.i32 [ ("entry", Ir_samples.imm_i32 0) ] in
+  let inext = Builder.add b i (Ir_samples.imm_i32 1) in
+  let deadnext = Builder.add b dead (Ir_samples.imm_i32 7) in
+  let cond = Builder.icmp b Instr.Islt inext (Builder.param b "n") in
+  Builder.condbr b cond "loop" "exit";
+  Builder.add_phi_incoming b (Ir_samples.reg_of i) ~from:"loop" ~value:inext;
+  Builder.add_phi_incoming b (Ir_samples.reg_of dead) ~from:"loop"
+    ~value:deadnext;
+  Builder.position_at_end b exit;
+  Builder.ret b None;
+  Verify.check_module m;
+  let removed = Dce.run_module m in
+  check Alcotest.int "dead phi cycle removed" 2 removed;
+  Verify.check_module m
+
+let test_dce_removes_dead_maskload () =
+  let m = Vmodule.create "deadload" in
+  let vty = Vtype.vector 8 Vtype.F32 in
+  let b = Builder.define m ~name:"f" ~params:[ ("p", Vtype.ptr) ] ~ret_ty:Vtype.Void in
+  let entry = Builder.new_block b "entry" in
+  Builder.position_at_end b entry;
+  let _dead_load = Builder.load b vty (Builder.param b "p") in
+  let _dead_masked =
+    Builder.call b ~ret:vty
+      (Intrinsics.maskload_name Target.Avx Vtype.F32)
+      [ Builder.param b "p";
+        Instr.Imm (Const.splat 8 (Const.i1 true)) ]
+  in
+  Builder.ret b None;
+  check Alcotest.int "dead loads removed" 2 (Dce.run_module m)
+
+(* ---------------- Constfold ---------------- *)
+
+let run_f m fn args =
+  let st = Interp.Machine.create (Interp.Compile.compile_module m) in
+  match Interp.Machine.run st fn args with
+  | Some v -> v
+  | None -> Alcotest.fail "expected a value"
+
+let test_constfold_arith () =
+  let m = Vmodule.create "cf" in
+  let b = Builder.define m ~name:"f" ~params:[] ~ret_ty:Vtype.i32 in
+  let entry = Builder.new_block b "entry" in
+  Builder.position_at_end b entry;
+  let x = Builder.add b (Ir_samples.imm_i32 20) (Ir_samples.imm_i32 22) in
+  let y = Builder.mul b x (Ir_samples.imm_i32 2) in
+  Builder.ret b (Some y);
+  let before = Interp.Vvalue.as_int (run_f m "f" []) in
+  let folds = Passes.Constfold.run_module m in
+  Alcotest.(check bool) "folded something" true (folds >= 2);
+  let f = Vmodule.find_func_exn m "f" in
+  check Alcotest.int "only ret remains" 1 (List.length (Func.all_instrs f));
+  check Alcotest.int64 "same result" before
+    (Interp.Vvalue.as_int (run_f m "f" []))
+
+let test_constfold_skips_trapping_div () =
+  let m = Vmodule.create "cf" in
+  let b = Builder.define m ~name:"f" ~params:[] ~ret_ty:Vtype.i32 in
+  let entry = Builder.new_block b "entry" in
+  Builder.position_at_end b entry;
+  let x = Builder.sdiv b (Ir_samples.imm_i32 1) (Ir_samples.imm_i32 0) in
+  Builder.ret b (Some x);
+  check Alcotest.int "div by zero not folded" 0 (Passes.Constfold.run_module m);
+  (* the trap must still happen at run time *)
+  Alcotest.(check bool) "still traps" true
+    (try
+       ignore (run_f m "f" []);
+       false
+     with Interp.Trap.Trap Interp.Trap.Division_by_zero -> true)
+
+let test_constfold_vector_ops () =
+  let m = Vmodule.create "cf" in
+  let b = Builder.define m ~name:"f" ~params:[] ~ret_ty:Vtype.i32 in
+  let entry = Builder.new_block b "entry" in
+  Builder.position_at_end b entry;
+  let v =
+    Builder.add b
+      (Instr.Imm (Const.iota Vtype.I32 4))
+      (Instr.Imm (Const.splat 4 (Const.i32 10)))
+  in
+  let e = Builder.extractelement b v (Ir_samples.imm_i32 2) in
+  Builder.ret b (Some e);
+  let before = Interp.Vvalue.as_int (run_f m "f" []) in
+  check Alcotest.int64 "sanity" 12L before;
+  Alcotest.(check bool) "folded" true (Passes.Constfold.run_module m > 0);
+  check Alcotest.int64 "same result" 12L (Interp.Vvalue.as_int (run_f m "f" []))
+
+let test_constfold_preserves_benchmarks () =
+  (* Folding must never change observable behaviour of real kernels. *)
+  List.iter
+    (fun (bch : Benchmarks.Harness.benchmark) ->
+      let w = bch.Benchmarks.Harness.bench in
+      let plain = w.Vulfi.Workload.w_build Target.Avx in
+      let folded = w.Vulfi.Workload.w_build Target.Avx in
+      ignore (Passes.Constfold.run_module folded);
+      let outputs m =
+        let st = Interp.Machine.create (Interp.Compile.compile_module m) in
+        let args, read = w.Vulfi.Workload.w_setup ~input:0 st in
+        ignore (Interp.Machine.run st w.Vulfi.Workload.w_fn args);
+        read ()
+      in
+      Alcotest.(check bool)
+        (w.Vulfi.Workload.w_name ^ " unchanged by folding")
+        true
+        (Vulfi.Outcome.output_equal (outputs plain) (outputs folded)))
+    Benchmarks.Registry.all
+
+let prop_constfold_equivalent =
+  QCheck.Test.make ~name:"folding preserves saxpy outputs" ~count:25
+    QCheck.(pair (int_range 0 24) (float_range (-10.) 10.))
+    (fun (n, a) ->
+      let src =
+        "export void saxpy(uniform float x[], uniform float y[], uniform \
+         float a, uniform int n) { foreach (i = 0 ... n) { y[i] = (2.0 * \
+         3.0) * a * x[i] + y[i] * (1.0 + 0.0); } }"
+      in
+      let run fold =
+        let m = Minispc.Driver.compile Target.Avx src in
+        if fold then ignore (Passes.Constfold.run_module m);
+        let st = Interp.Machine.create (Interp.Compile.compile_module m) in
+        let mem = Interp.Machine.memory st in
+        let x = Interp.Memory.alloc mem ~name:"x" ~bytes:(4 * 24) in
+        let y = Interp.Memory.alloc mem ~name:"y" ~bytes:(4 * 24) in
+        Interp.Memory.write_f32_array mem x (Array.init 24 float_of_int);
+        Interp.Memory.write_f32_array mem y (Array.make 24 1.0);
+        ignore
+          (Interp.Machine.run st "saxpy"
+             [ Interp.Vvalue.of_ptr x; Interp.Vvalue.of_ptr y;
+               Interp.Vvalue.of_f32 (Interp.Bits.round_float Vtype.F32 a);
+               Interp.Vvalue.of_i32 n ]);
+        Interp.Memory.read_f32_array mem y 24
+      in
+      run false = run true)
+
+(* ---------------- Domtree ---------------- *)
+
+let test_domtree_diamond () =
+  let m = Vmodule.create "d" in
+  let b = Builder.define m ~name:"f" ~params:[ ("c", Vtype.bool_ty) ] ~ret_ty:Vtype.Void in
+  let entry = Builder.new_block b "entry" in
+  let l = Builder.new_block b "l" in
+  let r = Builder.new_block b "r" in
+  let join = Builder.new_block b "join" in
+  ignore (l, r, join);
+  Builder.position_at_end b entry;
+  Builder.condbr b (Builder.param b "c") "l" "r";
+  Builder.position_at_end b l;
+  Builder.br b "join";
+  Builder.position_at_end b r;
+  Builder.br b "join";
+  Builder.position_at_end b join;
+  Builder.ret b None;
+  let f = Vmodule.find_func_exn m "f" in
+  let dt = Analysis.Domtree.compute f in
+  Alcotest.(check bool) "entry dominates all" true
+    (List.for_all
+       (fun x -> Analysis.Domtree.dominates dt "entry" x)
+       [ "entry"; "l"; "r"; "join" ]);
+  Alcotest.(check bool) "l does not dominate join" false
+    (Analysis.Domtree.dominates dt "l" "join");
+  check Alcotest.(option string) "idom(join) = entry" (Some "entry")
+    (Analysis.Domtree.idom_of dt "join");
+  check Alcotest.(option string) "idom(l) = entry" (Some "entry")
+    (Analysis.Domtree.idom_of dt "l");
+  (* dominance frontier: DF(l) = DF(r) = {join} *)
+  let df = Analysis.Domtree.dominance_frontier dt in
+  check Alcotest.(list string) "DF(l)" [ "join" ] (List.assoc "l" df);
+  check Alcotest.(list string) "DF(r)" [ "join" ] (List.assoc "r" df)
+
+let test_domtree_back_edges () =
+  let m = Ir_samples.scale_add_module () in
+  let f = Vmodule.find_func_exn m "scale_add" in
+  let dt = Analysis.Domtree.compute f in
+  check
+    Alcotest.(list (pair string string))
+    "one back edge to the loop header"
+    [ ("body", "loop") ]
+    (Analysis.Domtree.back_edges dt)
+
+(* ---------------- Loops ---------------- *)
+
+let test_loops_scale_add () =
+  let m = Ir_samples.scale_add_module () in
+  let f = Vmodule.find_func_exn m "scale_add" in
+  match Analysis.Loops.find f with
+  | [ l ] ->
+    check Alcotest.string "header" "loop" l.Analysis.Loops.l_header;
+    check Alcotest.string "latch" "body" l.Analysis.Loops.l_latch;
+    Alcotest.(check bool) "blocks include header and latch" true
+      (List.mem "loop" l.Analysis.Loops.l_blocks
+      && List.mem "body" l.Analysis.Loops.l_blocks);
+    check Alcotest.int "depth 1" 1 l.Analysis.Loops.l_depth
+  | ls -> Alcotest.failf "expected one loop, got %d" (List.length ls)
+
+let test_loops_foreach_detection () =
+  let src =
+    "export void f(uniform float a[], uniform int n) { for (uniform int \
+     t = 0; t < 3; t += 1) { foreach (i = 0 ... n) { a[i] = a[i] + 1.0; \
+     } } }"
+  in
+  let m = Minispc.Driver.compile Target.Avx src in
+  let f = Vmodule.find_func_exn m "f" in
+  let all = Analysis.Loops.find f in
+  let fe = Analysis.Loops.foreach_loops f in
+  check Alcotest.int "two loops total" 2 (List.length all);
+  check Alcotest.int "one foreach loop" 1 (List.length fe);
+  (* foreach is nested inside the uniform for: depth 2 *)
+  check Alcotest.int "foreach depth" 2
+    (List.hd fe).Analysis.Loops.l_depth
+
+let () =
+  Alcotest.run "passes"
+    [
+      ( "dce",
+        [
+          Alcotest.test_case "removes dead chain" `Quick
+            test_dce_removes_dead_chain;
+          Alcotest.test_case "keeps effectful code" `Quick
+            test_dce_keeps_effects;
+          Alcotest.test_case "removes dead phi cycle" `Quick
+            test_dce_removes_dead_phi_cycle;
+          Alcotest.test_case "removes dead loads" `Quick
+            test_dce_removes_dead_maskload;
+        ] );
+      ( "constfold",
+        [
+          Alcotest.test_case "folds arithmetic chains" `Quick
+            test_constfold_arith;
+          Alcotest.test_case "keeps trapping division" `Quick
+            test_constfold_skips_trapping_div;
+          Alcotest.test_case "folds vector ops" `Quick
+            test_constfold_vector_ops;
+          Alcotest.test_case "preserves all benchmarks" `Slow
+            test_constfold_preserves_benchmarks;
+        ] );
+      ( "domtree",
+        [
+          Alcotest.test_case "diamond" `Quick test_domtree_diamond;
+          Alcotest.test_case "back edges" `Quick test_domtree_back_edges;
+        ] );
+      ( "loops",
+        [
+          Alcotest.test_case "scale_add" `Quick test_loops_scale_add;
+          Alcotest.test_case "foreach + nesting" `Quick
+            test_loops_foreach_detection;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_constfold_equivalent ] );
+    ]
