@@ -6,9 +6,12 @@
      fig11    Fig 11   — SDC/Benign/Crash rates per benchmark/ISA/category
      fig12    Fig 12   — detector SDC-detection rates + overhead (micro)
      ablation          — design-choice ablations from DESIGN.md
+     speedup           — sequential vs parallel campaign wall-clock
      timing            — Bechamel wall-clock benches
 
-   Default (no argument): everything at "quick" scale. Environment:
+   Default (no argument): everything at "quick" scale. Flags:
+     -j N                     run campaigns on N domains (default 1)
+   Environment:
      VULFI_SCALE=paper        paper-scale campaigns (hours)
      VULFI_EXPERIMENTS=N      experiments per campaign override
      VULFI_CAMPAIGNS=N        max campaigns override *)
@@ -43,6 +46,16 @@ let campaign_config () =
    default bench run completes in minutes. *)
 let scale_workload (w : Vulfi.Workload.t) =
   if scale_is_paper then w else { w with Vulfi.Workload.w_inputs = 1 }
+
+(* Worker-domain count (-j N); the seed schedule makes the parallel
+   results bit-identical to the sequential ones. *)
+let jobs = ref 1
+
+let campaign_run ?transform ?hooks cfg w target category =
+  if !jobs > 1 then
+    Vulfi.Campaign.run_parallel ?transform ?hooks ~jobs:!jobs cfg w target
+      category
+  else Vulfi.Campaign.run ?transform ?hooks cfg w target category
 
 let header title =
   let line = String.make 72 '=' in
@@ -166,18 +179,23 @@ let fig11 () =
        cfg.Vulfi.Campaign.experiments_per_campaign
        cfg.Vulfi.Campaign.max_campaigns
        (if scale_is_paper then ", paper scale" else ", quick scale"));
-  List.iter
-    (fun (b : Benchmarks.Harness.benchmark) ->
-      let w = scale_workload b.Benchmarks.Harness.bench in
-      List.iter
-        (fun target ->
-          List.iter
-            (fun cat ->
-              let r = Vulfi.Campaign.run cfg w target cat in
-              print_endline (Vulfi.Report.fig11_row r))
-            Analysis.Sites.all_categories)
-        Vir.Target.all)
-    Benchmarks.Registry.paper_benchmarks
+  let cells =
+    List.concat_map
+      (fun (b : Benchmarks.Harness.benchmark) ->
+        let w = scale_workload b.Benchmarks.Harness.bench in
+        List.concat_map
+          (fun target ->
+            List.map (fun cat -> (w, target, cat))
+              Analysis.Sites.all_categories)
+          Vir.Target.all)
+      Benchmarks.Registry.paper_benchmarks
+  in
+  let emit r = print_endline (Vulfi.Report.fig11_row r) in
+  if !jobs > 1 then
+    (* cell-level parallel driver: one shared domain pool *)
+    List.iter emit (Vulfi.Campaign.run_cells ~jobs:!jobs cfg cells)
+  else
+    List.iter (fun (w, t, c) -> emit (Vulfi.Campaign.run cfg w t c)) cells
 
 (* ------------------------------------------------------------------ *)
 (* Fig 12                                                              *)
@@ -202,10 +220,10 @@ let fig12 () =
       List.iter
         (fun cat ->
           let r =
-            Vulfi.Campaign.run
+            campaign_run
               ~transform:
                 (Detectors.Overhead.transform Detectors.Overhead.paper_detectors)
-              ~hooks:(Detectors.Runtime.hooks ()) cfg w Vir.Target.Avx cat
+              ~hooks:Detectors.Runtime.hooks cfg w Vir.Target.Avx cat
           in
           print_endline ("  " ^ Vulfi.Report.fig12_row r))
         Analysis.Sites.all_categories)
@@ -227,9 +245,9 @@ let ablation () =
               Vir.Target.Avx ~input:0
           in
           let r =
-            Vulfi.Campaign.run
+            campaign_run
               ~transform:(Detectors.Overhead.transform set)
-              ~hooks:(Detectors.Runtime.hooks ()) cfg w Vir.Target.Avx
+              ~hooks:Detectors.Runtime.hooks cfg w Vir.Target.Avx
               Analysis.Sites.Control
           in
           Printf.printf
@@ -329,9 +347,9 @@ let ablation () =
   List.iter
     (fun (label, set) ->
       let r =
-        Vulfi.Campaign.run
+        campaign_run
           ~transform:(Detectors.Overhead.transform set)
-          ~hooks:(Detectors.Runtime.hooks ()) cfg scale_w Vir.Target.Avx
+          ~hooks:Detectors.Runtime.hooks cfg scale_w Vir.Target.Avx
           Analysis.Sites.Pure_data
       in
       Printf.printf
@@ -375,9 +393,9 @@ let ablation () =
       List.iter
         (fun (label, set) ->
           let r =
-            Vulfi.Campaign.run
+            campaign_run
               ~transform:(Detectors.Overhead.transform set)
-              ~hooks:(Detectors.Runtime.hooks ()) cfg w Vir.Target.Avx
+              ~hooks:Detectors.Runtime.hooks cfg w Vir.Target.Avx
               Analysis.Sites.Control
           in
           Printf.printf "%-16s %-22s SDC-detection %5.1f%% (%d / %d)\n"
@@ -430,7 +448,7 @@ let ablation () =
   List.iter
     (fun (label, src) ->
       let r =
-        Vulfi.Campaign.run ~hooks:(Detectors.Runtime.hooks ()) cfg
+        campaign_run ~hooks:Detectors.Runtime.hooks cfg
           (mk_workload src) Vir.Target.Avx Analysis.Sites.Pure_data
       in
       Printf.printf "%-24s SDC %5.1f%%  SDC-detection %5.1f%% (%d / %d)\n"
@@ -440,6 +458,43 @@ let ablation () =
         r.Vulfi.Campaign.c_totals.Vulfi.Campaign.n_detected_sdc
         r.Vulfi.Campaign.c_totals.Vulfi.Campaign.n_sdc)
     [ ("with asserts", checked_src); ("without asserts", plain_src) ]
+
+(* ------------------------------------------------------------------ *)
+(* Sequential vs parallel campaign wall-clock                          *)
+
+let speedup () =
+  let cfg = campaign_config () in
+  let par_jobs = max 4 !jobs in
+  header
+    (Printf.sprintf
+       "Campaign speedup: sequential vs -j %d on %d domain(s) of hardware \
+        (blackscholes, AVX, pure-data)"
+       par_jobs
+       (Domain.recommended_domain_count ()));
+  let bs = List.nth Benchmarks.Registry.paper_benchmarks 2 in
+  let w = scale_workload bs.Benchmarks.Harness.bench in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let r_seq, t_seq =
+    time (fun () ->
+        Vulfi.Campaign.run cfg w Vir.Target.Avx Analysis.Sites.Pure_data)
+  in
+  let r_par, t_par =
+    time (fun () ->
+        Vulfi.Campaign.run_parallel ~jobs:par_jobs cfg w Vir.Target.Avx
+          Analysis.Sites.Pure_data)
+  in
+  Printf.printf "sequential: %7.2f s   (%d campaigns, SDC %5.1f%%)\n" t_seq
+    r_seq.Vulfi.Campaign.c_campaigns
+    (100.0 *. Vulfi.Campaign.sdc_rate r_seq);
+  Printf.printf "-j %-2d     : %7.2f s   (%d campaigns, SDC %5.1f%%)\n"
+    par_jobs t_par r_par.Vulfi.Campaign.c_campaigns
+    (100.0 *. Vulfi.Campaign.sdc_rate r_par);
+  Printf.printf "speedup   : %6.2fx   results bit-identical: %b\n"
+    (t_seq /. t_par) (r_seq = r_par)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock timing                                          *)
@@ -534,10 +589,29 @@ let timing () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  (* peel "-j N" off the argument list; the rest are experiment names *)
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | "-j" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        jobs := n;
+        parse_args acc rest
+      | _ ->
+        Printf.eprintf "-j expects a positive integer, got %S\n" n;
+        exit 2)
+    | "-j" :: [] ->
+      Printf.eprintf "-j expects a worker count\n";
+      exit 2
+    | cmd :: rest -> parse_args (cmd :: acc) rest
+  in
   let what =
-    if Array.length Sys.argv > 1 then
-      Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1))
-    else [ "table1"; "fig10"; "fig11"; "fig12"; "ablation"; "timing" ]
+    match
+      parse_args []
+        (Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1)))
+    with
+    | [] -> [ "table1"; "fig10"; "fig11"; "fig12"; "ablation"; "timing" ]
+    | cmds -> cmds
   in
   let t0 = Unix.gettimeofday () in
   List.iter
@@ -548,11 +622,12 @@ let () =
       | "fig11" -> fig11 ()
       | "fig12" -> fig12 ()
       | "ablation" -> ablation ()
+      | "speedup" -> speedup ()
       | "timing" -> timing ()
       | other ->
         Printf.eprintf
           "unknown experiment %S (try table1 fig10 fig11 fig12 ablation \
-           timing)\n"
+           speedup timing)\n"
           other;
         exit 2)
     what;

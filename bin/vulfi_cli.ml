@@ -263,7 +263,7 @@ let fault_kind_conv =
 
 let campaign_cmd =
   let run target category name experiments campaigns with_detectors
-      fault_kind =
+      fault_kind jobs =
     let b = find_bench name in
     let cfg =
       {
@@ -274,16 +274,23 @@ let campaign_cmd =
         seed = 0xC0FFEE;
       }
     in
+    (* The seed schedule makes -j N bit-identical to a sequential run. *)
+    let campaign_run ?transform ?hooks cfg w target category =
+      if jobs > 1 then
+        Vulfi.Campaign.run_parallel ?transform ?hooks ~fault_kind ~jobs cfg
+          w target category
+      else
+        Vulfi.Campaign.run ?transform ?hooks ~fault_kind cfg w target
+          category
+    in
     let r =
       if with_detectors then
-        Vulfi.Campaign.run ~fault_kind
+        campaign_run
           ~transform:
             (Detectors.Overhead.transform Detectors.Overhead.paper_detectors)
-          ~hooks:(Detectors.Runtime.hooks ()) cfg
+          ~hooks:Detectors.Runtime.hooks cfg
           b.Benchmarks.Harness.bench target category
-      else
-        Vulfi.Campaign.run ~fault_kind cfg b.Benchmarks.Harness.bench target
-          category
+      else campaign_run cfg b.Benchmarks.Harness.bench target category
     in
     print_endline (Vulfi.Report.fig11_row r);
     if with_detectors then print_endline (Vulfi.Report.fig12_row r);
@@ -309,12 +316,17 @@ let campaign_cmd =
          & info [ "fault-kind" ] ~docv:"KIND"
              ~doc:"Fault model: single (paper), Nbit, random, zero.")
   in
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Fan experiments out across $(docv) domains \
+                 (deterministic: results are identical to -j 1).")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run a statistically sized fault-injection campaign")
     Term.(const run $ target_arg $ category_arg $ bench_arg
           $ experiments_arg $ campaigns_arg $ detectors_arg
-          $ fault_kind_arg)
+          $ fault_kind_arg $ jobs_arg)
 
 (* ---------------- detect ---------------- *)
 

@@ -4,7 +4,15 @@
     (100 in the paper); its SDC rate is one statistical sample.
     Campaigns repeat until the sample distribution is near normal and
     the 95% margin of error drops below the target (±3%), bounded by
-    [min_campaigns]/[max_campaigns]. *)
+    [min_campaigns]/[max_campaigns].
+
+    All randomness follows the pure {!Seed} schedule: an experiment's
+    input, fault site and bit choice are functions of
+    (seed, workload, target, category, campaign, experiment) alone, so
+
+    - distinct cells of the same workload draw independent streams
+      (the paper's per-cell samples are statistically independent), and
+    - [run_parallel] produces results bit-identical to [run]. *)
 
 type config = {
   experiments_per_campaign : int;
@@ -95,56 +103,56 @@ let crash_rate r = rate r.c_totals.n_crash r.c_totals.n_experiments
    the paper's "SDC detection rate" (Fig 12). *)
 let sdc_detection_rate r = rate r.c_totals.n_detected_sdc r.c_totals.n_sdc
 
-(* Run the full campaign protocol for one
-   (workload, target, site-category) cell.
-   [transform] pre-processes the module (e.g. detector insertion);
-   [hooks] attaches extra runtime (e.g. the detector API). *)
-let run ?transform ?hooks ?(respect_masks = true) ?fault_kind (cfg : config)
-    (w : Workload.t) (target : Vir.Target.t)
-    (category : Analysis.Sites.category) : result =
-  let prepared = Experiment.prepare ?transform w target category in
-  let rng = Random.State.make [| cfg.seed; Hashtbl.hash w.Workload.w_name |] in
-  (* Golden runs are deterministic per input: cache them. *)
-  let golden_cache = Hashtbl.create 8 in
-  let golden input =
-    match Hashtbl.find_opt golden_cache input with
-    | Some g -> g
-    | None ->
-      let g = Experiment.golden_run ?hooks ~respect_masks prepared ~input in
-      Hashtbl.add golden_cache input g;
-      g
-  in
+(* Detector hooks are stateful, so the campaign machinery takes a
+   factory and builds a fresh record per run — experiments never share
+   detector state, sequentially or across domains. *)
+type hooks_factory = unit -> Experiment.hooks
+
+let no_hooks_factory : hooks_factory = fun () -> Experiment.no_hooks
+
+let cell_of cfg (w : Workload.t) target category =
+  Seed.cell ~seed:cfg.seed ~workload:w.Workload.w_name ~target ~category
+
+let input_of (w : Workload.t) (ex : Seed.exp) =
+  Seed.uniform ex.Seed.input_key w.Workload.w_inputs
+
+let vacuous_benign =
+  {
+    Experiment.r_outcome = Outcome.Benign;
+    r_injection = None;
+    r_detected = false;
+  }
+
+(* One experiment, given its resolved golden run and schedule entry. *)
+let run_experiment ~(hooks : hooks_factory) ~respect_masks ?fault_kind
+    (prepared : Experiment.prepared) ~(golden : Experiment.golden)
+    (ex : Seed.exp) : Experiment.run_result =
+  if golden.Experiment.g_dyn_sites = 0 then
+    (* no live fault site: vacuously benign *)
+    vacuous_benign
+  else
+    let dynamic_site =
+      1 + Seed.uniform ex.Seed.site_key golden.Experiment.g_dyn_sites
+    in
+    Experiment.faulty_run ~hooks:(hooks ()) ~respect_masks ?fault_kind
+      prepared ~golden ~dynamic_site ~seed:ex.Seed.bit_seed
+
+(* The stopping protocol, shared by the sequential and parallel
+   drivers. [run_campaign c] returns campaign [c]'s run results in
+   experiment order; both drivers honour that order, so every decision
+   below — and hence the whole schedule — is identical between them. *)
+let protocol cfg ~run_campaign =
   let totals = ref empty_totals in
   let sdc_rates = ref [] in
   let campaigns = ref 0 in
   let continue_ = ref true in
   while !continue_ do
-    let campaign_totals = ref empty_totals in
-    for _ = 1 to cfg.experiments_per_campaign do
-      let input = Random.State.int rng w.Workload.w_inputs in
-      let g = golden input in
-      let r =
-        if g.Experiment.g_dyn_sites = 0 then
-          (* no live fault site: vacuously benign *)
-          {
-            Experiment.r_outcome = Outcome.Benign;
-            r_injection = None;
-            r_detected = false;
-          }
-        else
-          let dynamic_site =
-            1 + Random.State.int rng g.Experiment.g_dyn_sites
-          in
-          Experiment.faulty_run ?hooks ~respect_masks ?fault_kind prepared
-            ~golden:g ~dynamic_site ~seed:(Random.State.bits rng)
-      in
-      campaign_totals := add_outcome !campaign_totals r;
-      totals := add_outcome !totals r
-    done;
+    let results = run_campaign !campaigns in
+    let campaign_totals = Array.fold_left add_outcome empty_totals results in
+    Array.iter (fun r -> totals := add_outcome !totals r) results;
     incr campaigns;
     sdc_rates :=
-      rate !campaign_totals.n_sdc !campaign_totals.n_experiments
-      :: !sdc_rates;
+      rate campaign_totals.n_sdc campaign_totals.n_experiments :: !sdc_rates;
     let margin = Stats.margin_of_error !sdc_rates in
     let normal = Stats.near_normal !sdc_rates in
     if
@@ -154,7 +162,17 @@ let run ?transform ?hooks ?(respect_masks = true) ?fault_kind (cfg : config)
          && normal)
     then continue_ := false
   done;
-  let goldens = Hashtbl.fold (fun _ g acc -> g :: acc) golden_cache [] in
+  (!campaigns, !sdc_rates, !totals)
+
+let finalize (prepared : Experiment.prepared) (w : Workload.t) target category
+    (campaigns, sdc_rates, totals) golden_cache : result =
+  (* Sort goldens by input so the float accumulation order does not
+     depend on hash-table layout (and hence on execution order). *)
+  let goldens =
+    List.sort
+      (fun a b -> compare a.Experiment.g_input b.Experiment.g_input)
+      (Hashtbl.fold (fun _ g acc -> g :: acc) golden_cache [])
+  in
   let avg f =
     match goldens with
     | [] -> 0.0
@@ -166,12 +184,114 @@ let run ?transform ?hooks ?(respect_masks = true) ?fault_kind (cfg : config)
     c_workload = w.Workload.w_name;
     c_target = target;
     c_category = category;
-    c_campaigns = !campaigns;
-    c_sdc_rates = List.rev !sdc_rates;
-    c_totals = !totals;
-    c_margin = Stats.margin_of_error !sdc_rates;
-    c_near_normal = Stats.near_normal !sdc_rates;
+    c_campaigns = campaigns;
+    c_sdc_rates = List.rev sdc_rates;
+    c_totals = totals;
+    c_margin = Stats.margin_of_error sdc_rates;
+    c_near_normal = Stats.near_normal sdc_rates;
     c_static_sites = Instrument.static_site_count prepared.Experiment.p_instr;
     c_avg_dynamic_sites = avg (fun g -> g.Experiment.g_dyn_sites);
     c_avg_dynamic_instrs = avg (fun g -> g.Experiment.g_dyn_instrs);
   }
+
+(* Run the full campaign protocol for one
+   (workload, target, site-category) cell, sequentially.
+   [transform] pre-processes the module (e.g. detector insertion);
+   [hooks] builds per-run extra runtime (e.g. the detector API). *)
+let run ?transform ?(hooks = no_hooks_factory) ?(respect_masks = true)
+    ?fault_kind (cfg : config) (w : Workload.t) (target : Vir.Target.t)
+    (category : Analysis.Sites.category) : result =
+  let prepared = Experiment.prepare ?transform w target category in
+  let cell = cell_of cfg w target category in
+  (* Golden runs are deterministic per input: cache them. *)
+  let golden_cache = Hashtbl.create 8 in
+  let golden input =
+    match Hashtbl.find_opt golden_cache input with
+    | Some g -> g
+    | None ->
+      let g =
+        Experiment.golden_run ~hooks:(hooks ()) ~respect_masks prepared
+          ~input
+      in
+      Hashtbl.add golden_cache input g;
+      g
+  in
+  let run_campaign c =
+    Array.init cfg.experiments_per_campaign (fun e ->
+        let ex = Seed.experiment cell ~campaign:c ~experiment:e in
+        run_experiment ~hooks ~respect_masks ?fault_kind prepared
+          ~golden:(golden (input_of w ex)) ex)
+  in
+  finalize prepared w target category (protocol cfg ~run_campaign)
+    golden_cache
+
+(* Parallel driver: fans each campaign's experiments out across a
+   domain pool. Because the seed schedule fixes every random choice up
+   front, the only coordination needed is resolving each campaign's
+   golden runs before the fan-out; results are gathered in experiment
+   order, making the outcome bit-identical to [run]. *)
+let run_parallel ?transform ?(hooks = no_hooks_factory)
+    ?(respect_masks = true) ?fault_kind ?pool ~jobs (cfg : config)
+    (w : Workload.t) (target : Vir.Target.t)
+    (category : Analysis.Sites.category) : result =
+  let with_pool_ f =
+    match pool with
+    | Some p -> f p
+    | None -> Pool.with_pool ~jobs f
+  in
+  with_pool_ (fun pool ->
+      let prepared = Experiment.prepare ?transform w target category in
+      let cell = cell_of cfg w target category in
+      let golden_cache = Hashtbl.create 8 in
+      let run_campaign c =
+        let exps =
+          Array.init cfg.experiments_per_campaign (fun e ->
+              Seed.experiment cell ~campaign:c ~experiment:e)
+        in
+        let inputs = Array.map (input_of w) exps in
+        (* Resolve this round's missing goldens (in parallel), keeping
+           first-appearance order for cache insertion. *)
+        let seen = Hashtbl.create 8 in
+        let fresh = ref [] in
+        Array.iter
+          (fun input ->
+            if
+              (not (Hashtbl.mem golden_cache input))
+              && not (Hashtbl.mem seen input)
+            then begin
+              Hashtbl.add seen input ();
+              fresh := input :: !fresh
+            end)
+          inputs;
+        let fresh = Array.of_list (List.rev !fresh) in
+        let goldens =
+          Pool.map pool
+            (fun input ->
+              Experiment.golden_run ~hooks:(hooks ()) ~respect_masks
+                prepared ~input)
+            fresh
+        in
+        Array.iteri (fun k g -> Hashtbl.add golden_cache fresh.(k) g) goldens;
+        (* The cache is read-only during the fan-out below. *)
+        Pool.map pool
+          (fun e ->
+            run_experiment ~hooks ~respect_masks ?fault_kind prepared
+              ~golden:(Hashtbl.find golden_cache inputs.(e))
+              exps.(e))
+          (Array.init cfg.experiments_per_campaign Fun.id)
+      in
+      finalize prepared w target category (protocol cfg ~run_campaign)
+        golden_cache)
+
+(* Cell-level driver: run many (workload, target, category) cells over
+   one shared pool — the shape of a Fig 11/Table II sweep. *)
+let run_cells ?transform ?hooks ?respect_masks ?fault_kind ~jobs
+    (cfg : config)
+    (cells : (Workload.t * Vir.Target.t * Analysis.Sites.category) list) :
+    result list =
+  Pool.with_pool ~jobs (fun pool ->
+      List.map
+        (fun (w, target, category) ->
+          run_parallel ?transform ?hooks ?respect_masks ?fault_kind ~pool
+            ~jobs cfg w target category)
+        cells)

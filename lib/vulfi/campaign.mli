@@ -47,13 +47,21 @@ val crash_rate : result -> float
     paper's "SDC detection rate" (Fig 12). *)
 val sdc_detection_rate : result -> float
 
+(** Detector hooks are stateful, so the campaign machinery takes a
+    factory and builds a fresh record for every run — experiments never
+    share detector state, sequentially or across domains. *)
+type hooks_factory = unit -> Experiment.hooks
+
 (** [run cfg w target category] executes the campaign protocol for one
-    (workload, ISA, site-category) cell. [transform] pre-processes the
-    module (e.g. detector insertion); [hooks] attaches extra runtime;
-    [respect_masks]/[fault_kind] select ablation variants. *)
+    (workload, ISA, site-category) cell, sequentially. [transform]
+    pre-processes the module (e.g. detector insertion); [hooks] builds
+    per-run extra runtime; [respect_masks]/[fault_kind] select ablation
+    variants. All randomness follows the pure {!Seed} schedule: each
+    experiment's input, fault site and flipped bit are functions of
+    (cfg.seed, workload, target, category, campaign, experiment). *)
 val run :
   ?transform:(Vir.Vmodule.t -> Vir.Vmodule.t) ->
-  ?hooks:Experiment.hooks ->
+  ?hooks:hooks_factory ->
   ?respect_masks:bool ->
   ?fault_kind:Runtime.fault_kind ->
   config ->
@@ -61,3 +69,35 @@ val run :
   Vir.Target.t ->
   Analysis.Sites.category ->
   result
+
+(** [run_parallel ~jobs cfg w target category] is [run] with each
+    campaign's experiments fanned out across a domain pool; the seed
+    schedule makes the result bit-identical to [run]'s. An existing
+    [pool] can be supplied to amortise domain spawning across cells
+    (in which case [jobs] is only used if [pool] is absent). *)
+val run_parallel :
+  ?transform:(Vir.Vmodule.t -> Vir.Vmodule.t) ->
+  ?hooks:hooks_factory ->
+  ?respect_masks:bool ->
+  ?fault_kind:Runtime.fault_kind ->
+  ?pool:Pool.t ->
+  jobs:int ->
+  config ->
+  Workload.t ->
+  Vir.Target.t ->
+  Analysis.Sites.category ->
+  result
+
+(** [run_cells ~jobs cfg cells] runs a list of
+    (workload, target, category) cells over one shared domain pool —
+    the shape of a Fig 11 / Table II sweep — returning results in cell
+    order, each bit-identical to a sequential [run] of that cell. *)
+val run_cells :
+  ?transform:(Vir.Vmodule.t -> Vir.Vmodule.t) ->
+  ?hooks:hooks_factory ->
+  ?respect_masks:bool ->
+  ?fault_kind:Runtime.fault_kind ->
+  jobs:int ->
+  config ->
+  (Workload.t * Vir.Target.t * Analysis.Sites.category) list ->
+  result list

@@ -14,13 +14,19 @@ let empty_output = { o_f32 = []; o_i32 = []; o_ret = None }
 (* Whole-output comparison. With [tol = 0.] (the default) floats compare
    bit-exactly; a positive [tol] treats float elements within that
    relative distance as equal, modelling comparison of printed outputs
-   rounded to a few significant digits. Integer outputs always compare
-   exactly. *)
-let output_equal ?(tol = 0.0) (a : output) (b : output) =
+   rounded to a few significant digits. A purely relative test breaks
+   down around zero (golden 0.0 vs faulty 1e-30 fails at any [tol]), so
+   a positive [tol] also carries an absolute floor [abs_tol]: lanes
+   closer than it are equal regardless of magnitude — a printed
+   "0.000000" is indistinguishable from 1e-30. Integer outputs always
+   compare exactly. *)
+let output_equal ?(tol = 0.0) ?(abs_tol = 1e-12) (a : output) (b : output) =
   let lane_eq v w =
     if tol = 0.0 then Int64.bits_of_float v = Int64.bits_of_float w
     else if Int64.bits_of_float v = Int64.bits_of_float w then true
-    else abs_float (v -. w) <= tol *. max (abs_float v) (abs_float w)
+    else
+      let diff = abs_float (v -. w) in
+      diff <= abs_tol || diff <= tol *. max (abs_float v) (abs_float w)
   in
   let f32_eq x y =
     Array.length x = Array.length y
@@ -51,8 +57,8 @@ let to_string = function
   | Benign -> "benign"
   | Crash k -> Printf.sprintf "crash (%s)" (Interp.Trap.to_string k)
 
-let classify ?(tol = 0.0) ~golden
+let classify ?(tol = 0.0) ?abs_tol ~golden
     ~(faulty : (output, Interp.Trap.kind) result) () : t =
   match faulty with
   | Error k -> Crash k
-  | Ok out -> if output_equal ~tol golden out then Benign else Sdc
+  | Ok out -> if output_equal ~tol ?abs_tol golden out then Benign else Sdc

@@ -10,12 +10,16 @@ type output = {
 
 val empty_output : output
 
-(** [output_equal ?tol a b] compares two outputs. With [tol = 0.] (the
-    default) float arrays compare bit-exactly; a positive [tol] treats
-    float elements within that relative distance as equal, modelling
-    comparison of printed outputs rounded to a few significant digits.
-    Integer outputs always compare exactly. *)
-val output_equal : ?tol:float -> output -> output -> bool
+(** [output_equal ?tol ?abs_tol a b] compares two outputs. With
+    [tol = 0.] (the default) float arrays compare bit-exactly; a
+    positive [tol] treats float elements within that relative distance
+    as equal, modelling comparison of printed outputs rounded to a few
+    significant digits. A purely relative test can never accept a
+    near-zero perturbation of a zero golden value, so a positive [tol]
+    also applies an absolute floor [abs_tol] (default [1e-12]): lanes
+    closer than it compare equal regardless of magnitude. Integer
+    outputs always compare exactly. *)
+val output_equal : ?tol:float -> ?abs_tol:float -> output -> output -> bool
 
 (** The paper's three outcome classes. *)
 type t =
@@ -30,10 +34,11 @@ val name : t -> string
 (** Full description, including the trap kind for crashes. *)
 val to_string : t -> string
 
-(** [classify ?tol ~golden ~faulty ()] classifies a faulty run against
-    the fault-free output. *)
+(** [classify ?tol ?abs_tol ~golden ~faulty ()] classifies a faulty run
+    against the fault-free output. *)
 val classify :
   ?tol:float ->
+  ?abs_tol:float ->
   golden:output ->
   faulty:(output, Interp.Trap.kind) result ->
   unit ->

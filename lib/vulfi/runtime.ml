@@ -71,18 +71,22 @@ let corrupt t (value : Interp.Vvalue.t) : Interp.Vvalue.t * int =
     (Interp.Vvalue.flip_bit value ~lane:0 ~bit, bit)
   | Multi_bit_flip k ->
     let k = min k width in
-    (* choose k distinct bit positions *)
-    let chosen = Hashtbl.create k in
-    while Hashtbl.length chosen < k do
-      Hashtbl.replace chosen (Random.State.int t.rng width) ()
-    done;
-    let v =
-      Hashtbl.fold
-        (fun bit () v -> Interp.Vvalue.flip_bit v ~lane:0 ~bit)
-        chosen value
+    (* choose k distinct bit positions, kept in draw order so the
+       recorded bit really is the first one flipped *)
+    let rec draw chosen remaining =
+      if remaining = 0 then List.rev chosen
+      else
+        let bit = Random.State.int t.rng width in
+        if List.mem bit chosen then draw chosen remaining
+        else draw (bit :: chosen) (remaining - 1)
     in
-    let first = Hashtbl.fold (fun b () acc -> min b acc) chosen max_int in
-    (v, first)
+    let chosen = draw [] k in
+    let v =
+      List.fold_left
+        (fun v bit -> Interp.Vvalue.flip_bit v ~lane:0 ~bit)
+        value chosen
+    in
+    (v, List.hd chosen)
   | Random_value ->
     let bits = Random.State.int64 t.rng Int64.max_int in
     let bits = if Random.State.bool t.rng then Int64.lognot bits else bits in

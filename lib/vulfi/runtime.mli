@@ -24,8 +24,8 @@ type mode =
 type injection_record = {
   inj_static_site : int;  (** index into the instrumentor's site table *)
   inj_dynamic_site : int;
-  inj_bit : int;  (** flipped bit (lowest for multi-bit; -1 for
-                      whole-register kinds) *)
+  inj_bit : int;  (** flipped bit (the first one flipped for multi-bit;
+                      -1 for whole-register kinds) *)
   inj_before : Interp.Vvalue.t;
   inj_after : Interp.Vvalue.t;
 }
@@ -38,6 +38,12 @@ type t
     mask-oblivious injector for ablation. *)
 val create :
   ?seed:int -> ?respect_masks:bool -> ?fault_kind:fault_kind -> mode -> t
+
+(** [corrupt t v] corrupts a scalar runtime value per the configured
+    fault kind; returns the corrupted value and the representative bit
+    for the record: the first flipped bit (in draw order), or -1 for
+    whole-register kinds. *)
+val corrupt : t -> Interp.Vvalue.t -> Interp.Vvalue.t * int
 
 (** Dynamic fault sites observed so far (live lanes only, unless
     mask-oblivious). *)

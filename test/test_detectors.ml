@@ -162,7 +162,7 @@ let detector_campaign category =
   in
   Vulfi.Campaign.run
     ~transform:(Overhead.transform Overhead.paper_detectors)
-    ~hooks:(Runtime.hooks ()) cfg
+    ~hooks:Runtime.hooks cfg
     (vcopy_workload [ 19; 37 ])
     Vir.Target.Avx category
 
@@ -199,7 +199,7 @@ let test_strengthened_detector_catches_more () =
   let run set =
     Vulfi.Campaign.run
       ~transform:(Overhead.transform set)
-      ~hooks:(Runtime.hooks ()) cfg
+      ~hooks:Runtime.hooks cfg
       (vcopy_workload [ 19; 37 ])
       Vir.Target.Avx Analysis.Sites.Control
   in

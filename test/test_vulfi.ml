@@ -396,6 +396,38 @@ let test_fault_kind_random_value_changes () =
     | None -> Alcotest.fail "no injection"
   done
 
+(* The injection record's bit must be the FIRST flipped bit in draw
+   order (it used to be the minimum, which is order-nondeterministic in
+   spirit and wrong for k > 1 whenever the first draw isn't the
+   smallest). Pin it against an oracle replaying the same RNG. *)
+let test_multi_bit_records_first_flipped () =
+  let width = 32 in
+  let expected_first seed k =
+    let rng = Random.State.make [| seed |] in
+    let rec draw chosen n =
+      if n = 0 then List.rev chosen
+      else
+        let b = Random.State.int rng width in
+        if List.mem b chosen then draw chosen n
+        else draw (b :: chosen) (n - 1)
+    in
+    List.hd (draw [] k)
+  in
+  List.iter
+    (fun seed ->
+      let t =
+        Runtime.create ~seed ~fault_kind:(Runtime.Multi_bit_flip 3)
+          (Runtime.Inject { dynamic_site = 1 })
+      in
+      let v, bit = Runtime.corrupt t (Interp.Vvalue.of_i32 0) in
+      check Alcotest.int
+        (Printf.sprintf "seed %d records first drawn bit" seed)
+        (expected_first seed 3) bit;
+      let bits = Interp.Vvalue.lane_bits v 0 in
+      Alcotest.(check bool) "recorded bit is flipped" true
+        (Int64.logand (Int64.shift_right_logical bits bit) 1L = 1L))
+    [ 1; 2; 3; 42; 12345 ]
+
 let test_fault_kind_names () =
   Alcotest.(check string) "single" "single-bit-flip"
     (Runtime.fault_kind_name Runtime.Single_bit_flip);
@@ -449,6 +481,142 @@ let test_campaign_deterministic () =
   check
     Alcotest.(list (float 0.0))
     "same per-campaign rates" r1.Campaign.c_sdc_rates r2.Campaign.c_sdc_rates
+
+(* ---------------- seed schedule ---------------- *)
+
+(* Regression: all cells of one workload used to share one random
+   stream (the RNG was seeded from (seed, workload) only), correlating
+   the AVX/SSE and category columns of Tables II/III. Every cell must
+   now draw its own input sequence. *)
+let test_seed_cells_uncorrelated () =
+  let inputs cell =
+    List.init 50 (fun e ->
+        let ex = Seed.experiment cell ~campaign:0 ~experiment:e in
+        Seed.uniform ex.Seed.input_key 1000)
+  in
+  let cell target category =
+    Seed.cell ~seed:Campaign.quick_config.Campaign.seed ~workload:"vcopy"
+      ~target ~category
+  in
+  let avx_data = inputs (cell Vir.Target.Avx Analysis.Sites.Pure_data) in
+  let sse_data = inputs (cell Vir.Target.Sse Analysis.Sites.Pure_data) in
+  let avx_ctrl = inputs (cell Vir.Target.Avx Analysis.Sites.Control) in
+  Alcotest.(check bool) "target decorrelates the stream" false
+    (avx_data = sse_data);
+  Alcotest.(check bool) "category decorrelates the stream" false
+    (avx_data = avx_ctrl)
+
+let test_seed_injective_grid () =
+  (* paper-scale grid: 40 campaigns x 100 experiments *)
+  let cell =
+    Seed.cell ~seed:0xC0FFEE ~workload:"blackscholes" ~target:Vir.Target.Avx
+      ~category:Analysis.Sites.Pure_data
+  in
+  let seen = Hashtbl.create 4096 in
+  for c = 0 to 39 do
+    for e = 0 to 99 do
+      let k = Seed.experiment_key cell ~campaign:c ~experiment:e in
+      (match Hashtbl.find_opt seen k with
+      | Some (c', e') ->
+        Alcotest.failf "key collision: (%d,%d) vs (%d,%d)" c e c' e'
+      | None -> ());
+      Hashtbl.add seen k (c, e)
+    done
+  done;
+  check Alcotest.int "4000 distinct keys" 4000 (Hashtbl.length seen)
+
+(* ---------------- parallel campaigns ---------------- *)
+
+let result_t : Campaign.result Alcotest.testable =
+  Alcotest.testable
+    (fun fmt (r : Campaign.result) ->
+      Format.fprintf fmt "%s: %d campaigns, %d exps, margin %f"
+        r.Campaign.c_workload r.Campaign.c_campaigns
+        r.Campaign.c_totals.Campaign.n_experiments r.Campaign.c_margin)
+    ( = )
+
+(* The acceptance bar of the seed schedule: fanning experiments across
+   4 domains yields a result record equal (totals, per-campaign rates,
+   margin, averages) to the sequential run. *)
+let test_parallel_matches_sequential () =
+  List.iter
+    (fun name ->
+      let b =
+        match Benchmarks.Registry.find name with
+        | Some b -> b
+        | None -> Alcotest.failf "no benchmark %S" name
+      in
+      let w = b.Benchmarks.Harness.bench in
+      let seq =
+        Campaign.run Campaign.quick_config w Vir.Target.Avx
+          Analysis.Sites.Pure_data
+      in
+      let par =
+        Campaign.run_parallel ~jobs:4 Campaign.quick_config w Vir.Target.Avx
+          Analysis.Sites.Pure_data
+      in
+      check result_t (name ^ ": parallel == sequential") seq par)
+    [ "vector copy"; "dot product" ]
+
+(* Same determinism bar with stateful detector hooks attached: the
+   hooks factory must isolate detector state per experiment. *)
+let test_parallel_matches_sequential_with_detectors () =
+  let w = vcopy_workload [ 8; 16; 19 ] in
+  let transform =
+    Detectors.Overhead.transform Detectors.Overhead.paper_detectors
+  in
+  let seq =
+    Campaign.run ~transform ~hooks:Detectors.Runtime.hooks tiny_config w
+      Vir.Target.Avx Analysis.Sites.Control
+  in
+  let par =
+    Campaign.run_parallel ~transform ~hooks:Detectors.Runtime.hooks ~jobs:4
+      tiny_config w Vir.Target.Avx Analysis.Sites.Control
+  in
+  check result_t "detector campaign parallel == sequential" seq par
+
+let test_run_cells_matches_run () =
+  let w = vcopy_workload [ 8; 16 ] in
+  let cells =
+    [
+      (w, Vir.Target.Avx, Analysis.Sites.Pure_data);
+      (w, Vir.Target.Sse, Analysis.Sites.Control);
+    ]
+  in
+  let rs = Campaign.run_cells ~jobs:3 tiny_config cells in
+  List.iter2
+    (fun (w, t, c) r ->
+      check result_t "cell driver == sequential" (Campaign.run tiny_config w t c) r)
+    cells rs
+
+(* ---------------- pool ---------------- *)
+
+let test_pool_map_order_and_reuse () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let arr = Array.init 100 Fun.id in
+      let out = Pool.map pool (fun i -> (i * i) - 7) arr in
+      check
+        Alcotest.(array int)
+        "order preserved" (Array.map (fun i -> (i * i) - 7) arr) out;
+      (* the pool survives across batches *)
+      let out2 = Pool.map pool string_of_int (Array.init 17 Fun.id) in
+      check
+        Alcotest.(array string)
+        "second batch" (Array.init 17 string_of_int) out2;
+      check
+        Alcotest.(array int)
+        "empty batch" [||]
+        (Pool.map pool (fun i -> i) [||]))
+
+let test_pool_map_propagates_exceptions () =
+  match
+    Pool.with_pool ~jobs:3 (fun pool ->
+        Pool.map pool
+          (fun i -> if i = 5 then failwith "boom" else i)
+          (Array.init 10 Fun.id))
+  with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Failure msg -> check Alcotest.string "exn surfaced" "boom" msg
 
 (* ---------------- Stats ---------------- *)
 
@@ -504,6 +672,26 @@ let test_outcome_classify () =
        (Outcome.classify ~golden
           ~faulty:(Error Interp.Trap.Division_by_zero) ()))
 
+(* Regression: a purely relative tolerance classified golden 0.0 vs a
+   faulty denormal-sized 1e-30 as SDC at any [tol]; the absolute floor
+   must treat them as equal while keeping real differences SDC. *)
+let test_outcome_abs_tolerance_near_zero () =
+  let out v = { Outcome.o_f32 = [ [| v |] ]; o_i32 = []; o_ret = None } in
+  Alcotest.(check bool) "0.0 vs 1e-30 equal under tol" true
+    (Outcome.output_equal ~tol:0.01 (out 0.0) (out 1e-30));
+  Alcotest.(check bool) "bit-exact default stays strict" false
+    (Outcome.output_equal (out 0.0) (out 1e-30));
+  check Alcotest.string "benign near zero" "benign"
+    (Outcome.name
+       (Outcome.classify ~tol:0.01 ~golden:(out 0.0)
+          ~faulty:(Ok (out 1e-30)) ()));
+  check Alcotest.string "real difference still SDC" "SDC"
+    (Outcome.name
+       (Outcome.classify ~tol:0.01 ~golden:(out 0.0) ~faulty:(Ok (out 1.0))
+          ()));
+  Alcotest.(check bool) "custom floor is honoured" true
+    (Outcome.output_equal ~tol:0.01 ~abs_tol:0.5 (out 0.0) (out 0.4))
+
 let test_outcome_nan_bit_compare () =
   (* NaN == NaN bitwise: a NaN-producing fault that yields the same NaN
      pattern is benign, different patterns are SDC. *)
@@ -541,16 +729,39 @@ let prop_single_injection =
       | None -> false)
 
 
-let prop_margin_shrinks_with_n =
-  QCheck.Test.make ~name:"margin of error shrinks with sample count"
-    ~count:50
-    QCheck.(pair (int_range 4 15) (float_range 0.01 0.2))
-    (fun (n, spread) ->
+(* Margin of error is monotone-decreasing in the sample count when the
+   sample variance is held constant (alternating +/-spread, even sizes:
+   m of each sign). *)
+let prop_margin_monotone_in_n =
+  QCheck.Test.make
+    ~name:"margin of error monotone-decreasing in n (constant variance)"
+    ~count:100
+    QCheck.(triple (int_range 2 40) (int_range 1 40) (float_range 0.01 0.2))
+    (fun (n, extra, spread) ->
       let mk m =
-        List.init m (fun i ->
+        List.init (2 * m) (fun i ->
             0.5 +. (if i mod 2 = 0 then spread else -.spread))
       in
-      Stats.margin_of_error (mk (2 * n)) < Stats.margin_of_error (mk n))
+      Stats.margin_of_error (mk (n + extra)) < Stats.margin_of_error (mk n))
+
+(* Seed derivation is injective across (campaign, experiment) pairs
+   within a cell. *)
+let prop_seed_injective =
+  QCheck.Test.make
+    ~name:"seed schedule injective across (campaign, experiment)"
+    ~count:300
+    QCheck.(
+      pair
+        (pair (int_range 0 200) (int_range 0 1000))
+        (pair (int_range 0 200) (int_range 0 1000)))
+    (fun (((c1, e1) as p1), ((c2, e2) as p2)) ->
+      QCheck.assume (p1 <> p2);
+      let cell =
+        Seed.cell ~seed:7 ~workload:"w" ~target:Vir.Target.Sse
+          ~category:Analysis.Sites.Control
+      in
+      Seed.experiment_key cell ~campaign:c1 ~experiment:e1
+      <> Seed.experiment_key cell ~campaign:c2 ~experiment:e2)
 
 let prop_mean_bounds =
   QCheck.Test.make ~name:"mean lies within the sample range" ~count:100
@@ -596,17 +807,39 @@ let () =
       ( "fault-models",
         [
           Alcotest.test_case "multi-bit flip" `Quick test_fault_kind_multi_bit;
+          Alcotest.test_case "multi-bit records first flipped bit" `Quick
+            test_multi_bit_records_first_flipped;
           Alcotest.test_case "stuck-at-zero" `Quick
             test_fault_kind_stuck_at_zero;
           Alcotest.test_case "random value" `Quick
             test_fault_kind_random_value_changes;
           Alcotest.test_case "names" `Quick test_fault_kind_names;
         ] );
+      ( "seed-schedule",
+        [
+          Alcotest.test_case "cells draw uncorrelated streams" `Quick
+            test_seed_cells_uncorrelated;
+          Alcotest.test_case "injective over the paper grid" `Quick
+            test_seed_injective_grid;
+        ] );
       ( "campaign",
         [
           Alcotest.test_case "protocol" `Quick test_campaign_runs;
           Alcotest.test_case "deterministic" `Quick
             test_campaign_deterministic;
+          Alcotest.test_case "parallel == sequential" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "parallel == sequential (detectors)" `Quick
+            test_parallel_matches_sequential_with_detectors;
+          Alcotest.test_case "cell driver == sequential" `Quick
+            test_run_cells_matches_run;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map order + reuse" `Quick
+            test_pool_map_order_and_reuse;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_map_propagates_exceptions;
         ] );
       ( "stats",
         [
@@ -618,6 +851,8 @@ let () =
       ( "outcome",
         [
           Alcotest.test_case "classification" `Quick test_outcome_classify;
+          Alcotest.test_case "absolute tolerance near zero" `Quick
+            test_outcome_abs_tolerance_near_zero;
           Alcotest.test_case "NaN bitwise compare" `Quick
             test_outcome_nan_bit_compare;
         ] );
@@ -626,7 +861,8 @@ let () =
           [
             prop_profile_transparent;
             prop_single_injection;
-            prop_margin_shrinks_with_n;
+            prop_margin_monotone_in_n;
+            prop_seed_injective;
             prop_mean_bounds;
           ] );
     ]
