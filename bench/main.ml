@@ -497,6 +497,89 @@ let speedup () =
     (t_seq /. t_par) (r_seq = r_par)
 
 (* ------------------------------------------------------------------ *)
+(* VM throughput: dynamic instructions per second                      *)
+
+(* Measures raw interpreter throughput per benchmark (uninstrumented,
+   input 0, AVX) and writes BENCH_interp.json so successive PRs can
+   track the perf trajectory. VULFI_INTERP_REPS overrides the
+   repetition count (CI smoke runs use 1). *)
+let interp_bench () =
+  header
+    "VM throughput: dynamic instructions / second per benchmark \
+     (uninstrumented, input 0, AVX)";
+  let reps = getenv_int "VULFI_INTERP_REPS" 5 in
+  let benches = Benchmarks.Registry.all in
+  let rows =
+    List.map
+      (fun (b : Benchmarks.Harness.benchmark) ->
+        let w = (scale_workload b.Benchmarks.Harness.bench) in
+        let m = w.Vulfi.Workload.w_build Vir.Target.Avx in
+        let code = Interp.Compile.compile_module m in
+        (* Timed region = Machine.run only: the metric is VM execution
+           throughput; per-experiment state construction and input
+           generation are excluded (identically for every interpreter
+           under comparison). Each run still gets a fresh state, like a
+           campaign experiment does. *)
+        let prepare () =
+          let st = Interp.Machine.create code in
+          let args, _ = w.Vulfi.Workload.w_setup ~input:0 st in
+          (st, args)
+        in
+        let dyn =
+          let st, args = prepare () in
+          ignore (Interp.Machine.run st w.Vulfi.Workload.w_fn args);
+          Interp.Machine.dyn_count st
+        in
+        (* Warm-up done. Tiny kernels are batched so a measurement spans
+           well above timer resolution; the *fastest* batch is kept: on
+           a shared/noisy host the minimum is the only robust estimator
+           of the true cost (preemption only ever adds time). *)
+        let batch =
+          max 1 (min 512 (1 + (20_000 / max 1 dyn)))
+        in
+        let fn = w.Vulfi.Workload.w_fn in
+        let best = ref infinity in
+        for _ = 1 to reps do
+          let prepared = Array.init batch (fun _ -> prepare ()) in
+          let t0 = Unix.gettimeofday () in
+          Array.iter
+            (fun (st, args) -> ignore (Interp.Machine.run st fn args))
+            prepared;
+          let dt = (Unix.gettimeofday () -. t0) /. float_of_int batch in
+          if dt < !best then best := dt
+        done;
+        let mips =
+          if !best > 0.0 then float_of_int dyn /. !best /. 1.0e6 else 0.0
+        in
+        Printf.printf "%-18s %10d dyn instrs  %8.3f ms/run  %8.2f M instr/s\n"
+          w.Vulfi.Workload.w_name dyn (!best *. 1000.0) mips;
+        (w.Vulfi.Workload.w_name, dyn, reps, !best, mips))
+      benches
+  in
+  let total_dyn = List.fold_left (fun acc (_, d, _, _, _) -> acc + d) 0 rows in
+  let total_dt = List.fold_left (fun acc (_, _, _, t, _) -> acc +. t) 0.0 rows in
+  let agg_mips =
+    if total_dt > 0.0 then float_of_int total_dyn /. total_dt /. 1.0e6 else 0.0
+  in
+  Printf.printf "%-18s %33s  %8.2f M instr/s\n" "AGGREGATE" "" agg_mips;
+  let oc = open_out "BENCH_interp.json" in
+  Printf.fprintf oc "{\n  \"schema\": \"vulfi-interp-bench-v1\",\n";
+  Printf.fprintf oc "  \"reps\": %d,\n" reps;
+  Printf.fprintf oc "  \"aggregate_minstr_per_s\": %.3f,\n" agg_mips;
+  Printf.fprintf oc "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, dyn, r, dt, mips) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"dyn_instrs\": %d, \"reps\": %d, \
+         \"best_seconds_per_run\": %.9f, \"minstr_per_s\": %.3f}%s\n"
+        name dyn r dt mips
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote BENCH_interp.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock timing                                          *)
 
 let timing () =
@@ -624,10 +707,11 @@ let () =
       | "ablation" -> ablation ()
       | "speedup" -> speedup ()
       | "timing" -> timing ()
+      | "interp" -> interp_bench ()
       | other ->
         Printf.eprintf
           "unknown experiment %S (try table1 fig10 fig11 fig12 ablation \
-           speedup timing)\n"
+           speedup timing interp)\n"
           other;
         exit 2)
     what;

@@ -1,16 +1,28 @@
-(** Lowering VIR functions into a dense register-VM form.
+(** Two-stage lowering of VIR for the interpreter.
 
-    The interpreter executes millions of dynamic instructions per
-    campaign, so operand lookups must be O(1): register operands become
-    indices into a per-frame register file, constants become
-    pre-evaluated {!Vvalue.t}s, and block labels become indices. *)
+    Stage 1 (register form): operand lookups become O(1) — register
+    operands become indices into a per-frame register file, constants
+    become pre-evaluated {!Vvalue.t}s, block labels become indices.
+
+    Stage 2 (closure threading): every instruction is lowered once, at
+    [compile_module] time, into a pre-specialized
+    [state -> Vvalue.t array -> unit] closure that has already matched
+    on the opcode, the scalar kind, and the operand shape (register vs
+    immediate). The per-dynamic-instruction work is then: bump the fuel
+    accounting, jump through one closure, touch the register file.
+    Calls are pre-resolved into direct calls (the callee's compiled
+    function captured), specialized intrinsic closures, or extern
+    *slots* — so the string-keyed hash lookups of the old interpreter
+    happen once per module instead of once per dynamic call. The
+    campaign semantics (fuel, dyn_count/dyn_vector accounting, traps,
+    extern hook surface) are preserved exactly. *)
 
 type coperand =
   | Creg of int
   | Cimm of Vvalue.t
 
 type cinstr = {
-  src : Vir.Instr.t;  (** original instruction, for dispatch/reporting *)
+  src : Vir.Instr.t;  (** original instruction, for reporting *)
   dst : int;          (** destination register slot; [-1] if void *)
   ops : coperand array;
   cvec : bool;        (** vector instruction (pre-computed for dynamic
@@ -37,16 +49,83 @@ type cblock = {
   term_src : Vir.Instr.t;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Stage-2 (threaded) representation and the machine state it runs in.
+   The types are mutually recursive: threaded closures take the state,
+   the state holds the compiled module, the module holds the threaded
+   functions. *)
+
 type cfunc = {
   cf : Vir.Func.t;
   cblocks : cblock array;
   nregs : int;
+  nparams : int;
+  alloca_name : string;  (** "<fname>.alloca", precomputed *)
+  mutable tblocks : tblock array;  (** threaded code; filled by stage 2 *)
 }
 
-type cmodule = {
+and tblock = {
+  (* Per-predecessor parallel phi move, indexed by [pred_index + 1]
+     (entry comes in as predecessor -1). Empty array = block has no
+     phis. *)
+  t_phis : texec array;
+  (* The whole straight-line body as one composed closure (see
+     [compose_body]): every indirect call site inside it has a single
+     target, so the branch predictor resolves the dispatch that a
+     closure-per-slot loop would mispredict. *)
+  t_body : texec;
+  t_term : tterm;
+}
+
+and texec = state -> unit
+
+and tgetter = Vvalue.t array -> Vvalue.t
+
+and tterm =
+  | Ct_br of int
+  | Ct_condbr_reg of int * int * int  (** condition straight from a register *)
+  | Ct_condbr of tgetter * int * int
+  | Ct_ret of tgetter
+  | Ct_ret_void
+  | Ct_unreachable
+
+and cmodule = {
   cm : Vir.Vmodule.t;
   cfuncs : (string, cfunc) Hashtbl.t;
+  (* Callee names that resolve neither to a module function nor to an
+     intrinsic, mapped to a dense slot index; the per-state extern
+     handler table is indexed by these slots. *)
+  extern_index : (string, int) Hashtbl.t;
+  n_extern_slots : int;
 }
+
+and state = {
+  code : cmodule;
+  mem : Memory.t;
+  budget0 : int;  (** initial budget; executed = budget0 - fuel *)
+  mutable fuel : int;  (** remaining dynamic instructions; <0 = trap *)
+  mutable dyn_vector : int;  (** executed vector instructions *)
+  mutable depth : int;  (** current call depth; reset per [run] *)
+  mutable regs : Vvalue.t array;
+      (** register frame of the running activation. Threaded closures
+          take only [state] (a one-argument application is a direct
+          code-pointer call, where two arguments would go through the
+          runtime's generic apply); [exec_cfunc] points this at the
+          frame on entry and call sites restore it on return. *)
+  frames : Vvalue.t array array;
+      (** per-depth register-frame pool for direct calls (grown on
+          demand). Reuse without clearing is sound: the IR is verified
+          SSA, so every register read is dominated by a write in the
+          same activation — stale values from a finished call are never
+          observable. *)
+  extern_slots : extern_fn option array;
+  max_depth : int;
+}
+
+and extern_fn = state -> Vvalue.t list -> Vvalue.t option
+
+(* ------------------------------------------------------------------ *)
+(* Stage 1: register form                                              *)
 
 let compile_operand (o : Vir.Instr.operand) =
   match o with
@@ -121,11 +200,961 @@ let compile_func (f : Vir.Func.t) : cfunc =
     cf = f;
     cblocks = Array.map compile_block blocks;
     nregs = f.Vir.Func.next_reg;
+    nparams = List.length f.Vir.Func.params;
+    alloca_name = f.Vir.Func.fname ^ ".alloca";
+    tblocks = [||];
   }
+
+(* ------------------------------------------------------------------ *)
+(* Execution engine                                                    *)
+
+(* Shared register filler and i1 results. Vvalue payloads are never
+   mutated in place (insert/with_lane_bits/flip_bit all copy), so
+   sharing these across frames and domains is safe. *)
+let default_value = Vvalue.I (Vir.Vtype.I32, [| 0L |])
+
+let v_true = Vvalue.I (Vir.Vtype.I1, [| 1L |])
+
+let v_false = Vvalue.I (Vir.Vtype.I1, [| 0L |])
+
+(* The executed-instruction count is derived ([budget0 - fuel]) so the
+   per-instruction prologue is a single decrement + branch. *)
+let charge st =
+  st.fuel <- st.fuel - 1;
+  if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted
+
+let charge_vec st =
+  st.fuel <- st.fuel - 1;
+  if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+  st.dyn_vector <- st.dyn_vector + 1
+
+(* Run one threaded function body over a prepared register file. *)
+let exec_cfunc (st : state) (cf : cfunc) (regs : Vvalue.t array) :
+    Vvalue.t option =
+  st.regs <- regs;
+  let blocks = cf.tblocks in
+  let rec go prev cur =
+    let b = Array.unsafe_get blocks cur in
+    if Array.length b.t_phis <> 0 then b.t_phis.(prev + 1) st;
+    b.t_body st;
+    charge st;
+    match b.t_term with
+    | Ct_br next -> go cur next
+    | Ct_condbr_reg (r, l1, l2) -> (
+      match Array.unsafe_get regs r with
+      | Vvalue.I (_, [| x |]) -> if x <> 0L then go cur l1 else go cur l2
+      | v -> if Vvalue.as_bool v then go cur l1 else go cur l2)
+    | Ct_condbr (c, l1, l2) ->
+      if Vvalue.as_bool (c regs) then go cur l1 else go cur l2
+    | Ct_ret g -> Some (g regs)
+    | Ct_ret_void -> None
+    | Ct_unreachable -> Trap.raise_ Trap.Unreachable_executed
+  in
+  go (-1) 0
+
+(* ------------------------------------------------------------------ *)
+(* Stage 2: closure threading                                          *)
+
+let getter : coperand -> tgetter = function
+  | Creg r -> fun regs -> Array.unsafe_get regs r
+  | Cimm v -> fun _ -> v
+
+(* Hand-rolled lane maps: no closure capture or Array.init dispatch on
+   the dynamic path, and float outputs go straight into an unboxed
+   float array. *)
+let map2_int (f : int64 -> int64 -> int64) (a : int64 array)
+    (b : int64 array) : int64 array =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n 0L in
+    for i = 0 to n - 1 do
+      Array.unsafe_set out i
+        (f (Array.unsafe_get a i) (Array.unsafe_get b i))
+    done;
+    out
+  end
+
+let map2_float (f : float -> float -> float) (a : float array)
+    (b : float array) : float array =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      Array.unsafe_set out i
+        (f (Array.unsafe_get a i) (Array.unsafe_get b i))
+    done;
+    out
+  end
+
+let map2_float_int (f : float -> float -> int64) (a : float array)
+    (b : float array) : int64 array =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n 0L in
+    for i = 0 to n - 1 do
+      Array.unsafe_set out i
+        (f (Array.unsafe_get a i) (Array.unsafe_get b i))
+    done;
+    out
+  end
+
+(* Width-specialized variants of the maps above, chosen at threading
+   time from the static lane count: the result array is allocated
+   inline by the literal instead of through caml_make_vect. Safe
+   indexing keeps the original failure mode on a shape-confused
+   value. *)
+let lit2_int (f : int64 -> int64 -> int64) a b : int64 array =
+  [| f a.(0) b.(0); f a.(1) b.(1) |]
+
+let lit4_int (f : int64 -> int64 -> int64) a b : int64 array =
+  [| f a.(0) b.(0); f a.(1) b.(1); f a.(2) b.(2); f a.(3) b.(3) |]
+
+let lit8_int (f : int64 -> int64 -> int64) a b : int64 array =
+  [|
+    f a.(0) b.(0); f a.(1) b.(1); f a.(2) b.(2); f a.(3) b.(3);
+    f a.(4) b.(4); f a.(5) b.(5); f a.(6) b.(6); f a.(7) b.(7);
+  |]
+
+let lit2_float (f : float -> float -> float) a b : float array =
+  [| f a.(0) b.(0); f a.(1) b.(1) |]
+
+let lit4_float (f : float -> float -> float) a b : float array =
+  [| f a.(0) b.(0); f a.(1) b.(1); f a.(2) b.(2); f a.(3) b.(3) |]
+
+let lit8_float (f : float -> float -> float) a b : float array =
+  [|
+    f a.(0) b.(0); f a.(1) b.(1); f a.(2) b.(2); f a.(3) b.(3);
+    f a.(4) b.(4); f a.(5) b.(5); f a.(6) b.(6); f a.(7) b.(7);
+  |]
+
+let lit2_float_int (f : float -> float -> int64) a b : int64 array =
+  [| f a.(0) b.(0); f a.(1) b.(1) |]
+
+let lit4_float_int (f : float -> float -> int64) a b : int64 array =
+  [| f a.(0) b.(0); f a.(1) b.(1); f a.(2) b.(2); f a.(3) b.(3) |]
+
+let lit8_float_int (f : float -> float -> int64) a b : int64 array =
+  [|
+    f a.(0) b.(0); f a.(1) b.(1); f a.(2) b.(2); f a.(3) b.(3);
+    f a.(4) b.(4); f a.(5) b.(5); f a.(6) b.(6); f a.(7) b.(7);
+  |]
+
+(* Static element kind of an operand, for pre-specialization. The
+   verifier guarantees runtime values match their static types; the
+   threaded closures still match the value constructor so a
+   kind-confused extern result fails loudly instead of corrupting. *)
+let op_scalar (i : Vir.Instr.t) n =
+  Vir.Vtype.elem (Vir.Instr.operand_ty (List.nth (Vir.Instr.operands i) n))
+
+let store_i _st regs dst (v : Vvalue.t) = Array.unsafe_set regs dst v
+
+(* Threading of one non-phi, non-terminator instruction. [chg] is the
+   fuel-accounting prologue (scalar or vector variant), pre-selected. *)
+let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
+  let i = ci.src in
+  let ops = ci.ops in
+  let dst = ci.dst in
+  let chg = if ci.cvec then charge_vec else charge in
+  match i.Vir.Instr.op with
+  | Vir.Instr.Ibinop (k, _, _) -> (
+    let s = Vir.Vtype.elem i.Vir.Instr.ty in
+    let f = Eval.ibinop_fn k s in
+    let bad () = invalid_arg "Machine: ibinop on floats" in
+    if Vir.Vtype.lanes i.Vir.Instr.ty = 1 then
+      (* Scalar loop arithmetic is the single hottest instruction class;
+         specialize on operand shape (register vs pre-extracted
+         immediate payload) to drop the getter indirection. *)
+      match (ops.(0), ops.(1)) with
+      | Creg ra, Creg rb ->
+        fun st ->
+        let regs = st.regs in
+          st.fuel <- st.fuel - 1;
+          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+          (match (Array.unsafe_get regs ra, Array.unsafe_get regs rb) with
+          | Vvalue.I (_, a), Vvalue.I (_, b) ->
+            Array.unsafe_set regs dst
+              (Vvalue.I (s, [| f (Array.unsafe_get a 0) (Array.unsafe_get b 0) |]))
+          | _ -> bad ())
+      | Creg ra, Cimm (Vvalue.I (_, [| bv |])) ->
+        fun st ->
+        let regs = st.regs in
+          st.fuel <- st.fuel - 1;
+          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+          (match Array.unsafe_get regs ra with
+          | Vvalue.I (_, a) ->
+            Array.unsafe_set regs dst
+              (Vvalue.I (s, [| f (Array.unsafe_get a 0) bv |]))
+          | _ -> bad ())
+      | Cimm (Vvalue.I (_, [| av |])), Creg rb ->
+        fun st ->
+        let regs = st.regs in
+          st.fuel <- st.fuel - 1;
+          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+          (match Array.unsafe_get regs rb with
+          | Vvalue.I (_, b) ->
+            Array.unsafe_set regs dst
+              (Vvalue.I (s, [| f av (Array.unsafe_get b 0) |]))
+          | _ -> bad ())
+      | o1, o2 ->
+        let ga = getter o1 and gb = getter o2 in
+        fun st ->
+        let regs = st.regs in
+          st.fuel <- st.fuel - 1;
+          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+          (match (ga regs, gb regs) with
+          | Vvalue.I (_, a), Vvalue.I (_, b) ->
+            store_i st regs dst (Vvalue.I (s, [| f a.(0) b.(0) |]))
+          | _ -> bad ())
+    else
+      let ga = getter ops.(0) and gb = getter ops.(1) in
+      let vmap =
+        match Vir.Vtype.lanes i.Vir.Instr.ty with
+        | 2 -> lit2_int f
+        | 4 -> lit4_int f
+        | 8 -> lit8_int f
+        | _ -> map2_int f
+      in
+      fun st ->
+        let regs = st.regs in
+        st.fuel <- st.fuel - 1;
+          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+          st.dyn_vector <- st.dyn_vector + 1;
+        (match (ga regs, gb regs) with
+        | Vvalue.I (_, a), Vvalue.I (_, b) ->
+          store_i st regs dst (Vvalue.I (s, vmap a b))
+        | _ -> bad ()))
+  | Vir.Instr.Fbinop (k, _, _) -> (
+    let s = Vir.Vtype.elem i.Vir.Instr.ty in
+    let f = Eval.fbinop_fn k s in
+    let bad () = invalid_arg "Machine: fbinop on ints" in
+    if Vir.Vtype.lanes i.Vir.Instr.ty = 1 then
+      match (ops.(0), ops.(1)) with
+      | Creg ra, Creg rb ->
+        fun st ->
+        let regs = st.regs in
+          st.fuel <- st.fuel - 1;
+          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+          (match (Array.unsafe_get regs ra, Array.unsafe_get regs rb) with
+          | Vvalue.F (_, a), Vvalue.F (_, b) ->
+            Array.unsafe_set regs dst
+              (Vvalue.F (s, [| f (Array.unsafe_get a 0) (Array.unsafe_get b 0) |]))
+          | _ -> bad ())
+      | Creg ra, Cimm (Vvalue.F (_, [| bv |])) ->
+        fun st ->
+        let regs = st.regs in
+          st.fuel <- st.fuel - 1;
+          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+          (match Array.unsafe_get regs ra with
+          | Vvalue.F (_, a) ->
+            Array.unsafe_set regs dst
+              (Vvalue.F (s, [| f (Array.unsafe_get a 0) bv |]))
+          | _ -> bad ())
+      | Cimm (Vvalue.F (_, [| av |])), Creg rb ->
+        fun st ->
+        let regs = st.regs in
+          st.fuel <- st.fuel - 1;
+          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+          (match Array.unsafe_get regs rb with
+          | Vvalue.F (_, b) ->
+            Array.unsafe_set regs dst
+              (Vvalue.F (s, [| f av (Array.unsafe_get b 0) |]))
+          | _ -> bad ())
+      | o1, o2 ->
+        let ga = getter o1 and gb = getter o2 in
+        fun st ->
+        let regs = st.regs in
+          st.fuel <- st.fuel - 1;
+          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+          (match (ga regs, gb regs) with
+          | Vvalue.F (_, a), Vvalue.F (_, b) ->
+            store_i st regs dst (Vvalue.F (s, [| f a.(0) b.(0) |]))
+          | _ -> bad ())
+    else
+      let ga = getter ops.(0) and gb = getter ops.(1) in
+      let vmap =
+        match Eval.fbinop_vec_fn k s (Vir.Vtype.lanes i.Vir.Instr.ty) with
+        | Some vf -> vf
+        | None -> (
+          match Vir.Vtype.lanes i.Vir.Instr.ty with
+          | 2 -> lit2_float f
+          | 4 -> lit4_float f
+          | 8 -> lit8_float f
+          | _ -> map2_float f)
+      in
+      fun st ->
+        let regs = st.regs in
+        st.fuel <- st.fuel - 1;
+          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+          st.dyn_vector <- st.dyn_vector + 1;
+        (match (ga regs, gb regs) with
+        | Vvalue.F (_, a), Vvalue.F (_, b) ->
+          store_i st regs dst (Vvalue.F (s, vmap a b))
+        | _ -> bad ()))
+  | Vir.Instr.Icmp (p, _, _) -> (
+    let s = op_scalar i 0 in
+    let f = Eval.icmp_fn p s in
+    let bad () = invalid_arg "Machine: icmp on floats" in
+    let lanes =
+      Vir.Vtype.lanes
+        (Vir.Instr.operand_ty (List.hd (Vir.Instr.operands i)))
+    in
+    if lanes = 1 then
+      (* Scalar compares return the shared i1 constants: no allocation
+         on the loop back-edge test. *)
+      match (ops.(0), ops.(1)) with
+      | Creg ra, Creg rb ->
+        fun st ->
+        let regs = st.regs in
+          st.fuel <- st.fuel - 1;
+          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+          (match (Array.unsafe_get regs ra, Array.unsafe_get regs rb) with
+          | Vvalue.I (_, a), Vvalue.I (_, b) ->
+            Array.unsafe_set regs dst
+              (if f (Array.unsafe_get a 0) (Array.unsafe_get b 0) = 1L then
+                 v_true
+               else v_false)
+          | _ -> bad ())
+      | Creg ra, Cimm (Vvalue.I (_, [| bv |])) ->
+        fun st ->
+        let regs = st.regs in
+          st.fuel <- st.fuel - 1;
+          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+          (match Array.unsafe_get regs ra with
+          | Vvalue.I (_, a) ->
+            Array.unsafe_set regs dst
+              (if f (Array.unsafe_get a 0) bv = 1L then v_true else v_false)
+          | _ -> bad ())
+      | o1, o2 ->
+        let ga = getter o1 and gb = getter o2 in
+        fun st ->
+        let regs = st.regs in
+          st.fuel <- st.fuel - 1;
+          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+          (match (ga regs, gb regs) with
+          | Vvalue.I (_, a), Vvalue.I (_, b) ->
+            Array.unsafe_set regs dst
+              (if f a.(0) b.(0) = 1L then v_true else v_false)
+          | _ -> bad ())
+    else
+      let ga = getter ops.(0) and gb = getter ops.(1) in
+      let vmap =
+        match lanes with
+        | 2 -> lit2_int f
+        | 4 -> lit4_int f
+        | 8 -> lit8_int f
+        | _ -> map2_int f
+      in
+      fun st ->
+        let regs = st.regs in
+        st.fuel <- st.fuel - 1;
+          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+          st.dyn_vector <- st.dyn_vector + 1;
+        (match (ga regs, gb regs) with
+        | Vvalue.I (_, a), Vvalue.I (_, b) ->
+          store_i st regs dst (Vvalue.I (Vir.Vtype.I1, vmap a b))
+        | _ -> bad ()))
+  | Vir.Instr.Fcmp (p, _, _) -> (
+    let f = Eval.fcmp_fn p in
+    let bad () = invalid_arg "Machine: fcmp on ints" in
+    let lanes =
+      Vir.Vtype.lanes
+        (Vir.Instr.operand_ty (List.hd (Vir.Instr.operands i)))
+    in
+    if lanes = 1 then
+      let ga = getter ops.(0) and gb = getter ops.(1) in
+      fun st ->
+        let regs = st.regs in
+        st.fuel <- st.fuel - 1;
+          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+        (match (ga regs, gb regs) with
+        | Vvalue.F (_, a), Vvalue.F (_, b) ->
+          Array.unsafe_set regs dst
+            (if f a.(0) b.(0) = 1L then v_true else v_false)
+        | _ -> bad ())
+    else
+      let ga = getter ops.(0) and gb = getter ops.(1) in
+      let vmap =
+        match lanes with
+        | 2 -> lit2_float_int f
+        | 4 -> lit4_float_int f
+        | 8 -> lit8_float_int f
+        | _ -> map2_float_int f
+      in
+      fun st ->
+        let regs = st.regs in
+        st.fuel <- st.fuel - 1;
+          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+          st.dyn_vector <- st.dyn_vector + 1;
+        (match (ga regs, gb regs) with
+        | Vvalue.F (_, a), Vvalue.F (_, b) ->
+          store_i st regs dst (Vvalue.I (Vir.Vtype.I1, vmap a b))
+        | _ -> bad ()))
+  | Vir.Instr.Select _ ->
+    let gc = getter ops.(0)
+    and gx = getter ops.(1)
+    and gy = getter ops.(2) in
+    let cond_lanes =
+      Vir.Vtype.lanes
+        (Vir.Instr.operand_ty (List.hd (Vir.Instr.operands i)))
+    in
+    if cond_lanes = 1 then
+      fun st ->
+        let regs = st.regs in
+        chg st;
+        store_i st regs dst (if Vvalue.as_bool (gc regs) then gx regs else gy regs)
+    else
+      fun st ->
+        let regs = st.regs in
+        chg st;
+        let c = gc regs in
+        (match (gx regs, gy regs) with
+        | Vvalue.I (s, a), Vvalue.I (_, b) ->
+          store_i st regs dst
+            (Vvalue.I
+               ( s,
+                 Array.init (Array.length a) (fun ix ->
+                     if Vvalue.is_true_lane c ix then a.(ix) else b.(ix)) ))
+        | Vvalue.F (s, a), Vvalue.F (_, b) ->
+          store_i st regs dst
+            (Vvalue.F
+               ( s,
+                 Array.init (Array.length a) (fun ix ->
+                     if Vvalue.is_true_lane c ix then a.(ix) else b.(ix)) ))
+        | _ -> invalid_arg "Machine: select arm kind mismatch")
+  | Vir.Instr.Cast (k, _) ->
+    let f = Eval.cast_fn k ~src:(op_scalar i 0) ~dst_ty:i.Vir.Instr.ty in
+    let g = getter ops.(0) in
+    fun st ->
+        let regs = st.regs in
+      chg st;
+      store_i st regs dst (f (g regs))
+  | Vir.Instr.Alloca (elt, count) ->
+    let bytes = Vir.Vtype.size_bytes elt * count in
+    let name = cf.alloca_name in
+    fun st ->
+        let regs = st.regs in
+      chg st;
+      store_i st regs dst
+        (Vvalue.I (Vir.Vtype.Ptr, [| Memory.alloc st.mem ~name ~bytes |]))
+  | Vir.Instr.Load _ -> (
+    let ld = Memory.loader i.Vir.Instr.ty in
+    match ops.(0) with
+    | Creg rp ->
+      fun st ->
+        let regs = st.regs in
+        chg st;
+        let addr =
+          match Array.unsafe_get regs rp with
+          | Vvalue.I (_, [| x |]) -> x
+          | v -> Vvalue.as_int v
+        in
+        Array.unsafe_set regs dst (ld st.mem addr)
+    | o ->
+      let g = getter o in
+      fun st ->
+        let regs = st.regs in
+        chg st;
+        store_i st regs dst (ld st.mem (Vvalue.as_int (g regs))))
+  | Vir.Instr.Store _ -> (
+    let stv =
+      Memory.storer
+        (Vir.Instr.operand_ty (List.hd (Vir.Instr.operands i)))
+    in
+    match (ops.(0), ops.(1)) with
+    | Creg rv, Creg rp ->
+      fun st ->
+        let regs = st.regs in
+        chg st;
+        let addr =
+          match Array.unsafe_get regs rp with
+          | Vvalue.I (_, [| x |]) -> x
+          | v -> Vvalue.as_int v
+        in
+        stv st.mem (Array.unsafe_get regs rv) addr
+    | o1, o2 ->
+      let gv = getter o1 and gp = getter o2 in
+      fun st ->
+        let regs = st.regs in
+        chg st;
+        stv st.mem (gv regs) (Vvalue.as_int (gp regs)))
+  | Vir.Instr.Gep (_, _, elem_bytes) -> (
+    let eb = Int64.of_int elem_bytes in
+    match (ops.(0), ops.(1)) with
+    | Creg rb, Creg ri ->
+      fun st ->
+        let regs = st.regs in
+        chg st;
+        let base =
+          match Array.unsafe_get regs rb with
+          | Vvalue.I (_, [| x |]) -> x
+          | v -> Vvalue.as_int v
+        and idx =
+          match Array.unsafe_get regs ri with
+          | Vvalue.I (_, [| x |]) -> x
+          | v -> Vvalue.as_int v
+        in
+        Array.unsafe_set regs dst
+          (Vvalue.I (Vir.Vtype.Ptr, [| Int64.add base (Int64.mul idx eb) |]))
+    | Creg rb, Cimm iv ->
+      let off = Int64.mul (Vvalue.as_int iv) eb in
+      fun st ->
+        let regs = st.regs in
+        chg st;
+        let base =
+          match Array.unsafe_get regs rb with
+          | Vvalue.I (_, [| x |]) -> x
+          | v -> Vvalue.as_int v
+        in
+        Array.unsafe_set regs dst
+          (Vvalue.I (Vir.Vtype.Ptr, [| Int64.add base off |]))
+    | o1, o2 ->
+      let gb = getter o1 and gi = getter o2 in
+      fun st ->
+        let regs = st.regs in
+        chg st;
+        store_i st regs dst
+          (Vvalue.of_ptr
+             (Int64.add (Vvalue.as_int (gb regs))
+                (Int64.mul (Vvalue.as_int (gi regs)) eb))))
+  | Vir.Instr.Extractelement _ ->
+    let gv = getter ops.(0) and gi = getter ops.(1) in
+    fun st ->
+        let regs = st.regs in
+      chg st;
+      let v = gv regs in
+      let ix = Int64.to_int (Vvalue.as_int (gi regs)) in
+      if ix < 0 || ix >= Vvalue.lanes v then Trap.raise_ (Trap.Invalid_lane ix)
+      else store_i st regs dst (Vvalue.extract v ix)
+  | Vir.Instr.Insertelement _ ->
+    let gv = getter ops.(0) and ge = getter ops.(1) and gi = getter ops.(2) in
+    fun st ->
+        let regs = st.regs in
+      chg st;
+      let v = gv regs in
+      let e = ge regs in
+      let ix = Int64.to_int (Vvalue.as_int (gi regs)) in
+      if ix < 0 || ix >= Vvalue.lanes v then Trap.raise_ (Trap.Invalid_lane ix)
+      else store_i st regs dst (Vvalue.insert v ix e)
+  | Vir.Instr.Shufflevector (_, _, mask) ->
+    let ga = getter ops.(0) and gb = getter ops.(1) in
+    fun st ->
+        let regs = st.regs in
+      chg st;
+      (match (ga regs, gb regs) with
+      | Vvalue.I (s, xa), Vvalue.I (_, xb) ->
+        let n = Array.length xa in
+        store_i st regs dst
+          (Vvalue.I
+             ( s,
+               Array.map
+                 (fun ix -> if ix < n then xa.(ix) else xb.(ix - n))
+                 mask ))
+      | Vvalue.F (s, xa), Vvalue.F (_, xb) ->
+        let n = Array.length xa in
+        store_i st regs dst
+          (Vvalue.F
+             ( s,
+               Array.map
+                 (fun ix -> if ix < n then xa.(ix) else xb.(ix - n))
+                 mask ))
+      | _ -> assert false)
+  | Vir.Instr.Call (callee, _) -> thread_call cm ci callee chg
+  | Vir.Instr.Phi _ | Vir.Instr.Br _ | Vir.Instr.Condbr _ | Vir.Instr.Ret _
+  | Vir.Instr.Unreachable ->
+    assert false (* handled by the block structure *)
+
+(* Pre-resolve a call site: module function (direct), intrinsic
+   (specialized closure) or extern (slot). Resolution order matches the
+   old per-dynamic-call lookup chain exactly. *)
+and thread_call (cm : cmodule) (ci : cinstr) (callee : string)
+    (chg : state -> unit) : texec =
+  let i = ci.src in
+  let ops = ci.ops in
+  let dst = ci.dst in
+  let gs = Array.map getter ops in
+  let nargs = Array.length gs in
+  (* Shared arg-list builder for list-based callees (externs). *)
+  let mk_args : Vvalue.t array -> Vvalue.t list =
+    match gs with
+    | [||] -> fun _ -> []
+    | [| g0 |] -> fun regs -> [ g0 regs ]
+    | [| g0; g1 |] -> fun regs -> [ g0 regs; g1 regs ]
+    | [| g0; g1; g2 |] -> fun regs -> [ g0 regs; g1 regs; g2 regs ]
+    | gs -> fun regs -> Array.to_list (Array.map (fun g -> g regs) gs)
+  in
+  let store_ret st regs (r : Vvalue.t option) =
+    match r with
+    | Some v when dst >= 0 -> store_i st regs dst v
+    | Some _ | None -> ()
+  in
+  match Hashtbl.find_opt cm.cfuncs callee with
+  | Some target ->
+    if nargs <> target.nparams then
+      fun st ->
+        chg st;
+        invalid_arg
+          (Printf.sprintf
+             "Machine: call to @%s with %d argument(s), expects %d" callee
+             nargs target.nparams)
+    else
+      let size = if target.nregs > 0 then target.nregs else 1 in
+      fun st ->
+        let regs = st.regs in
+        chg st;
+        st.depth <- st.depth + 1;
+        if st.depth > st.max_depth then Trap.raise_ Trap.Stack_overflow_vm;
+        let cached = Array.unsafe_get st.frames st.depth in
+        let regs' =
+          if Array.length cached >= size then cached
+          else begin
+            let fresh = Array.make size default_value in
+            Array.unsafe_set st.frames st.depth fresh;
+            fresh
+          end
+        in
+        for a = 0 to nargs - 1 do
+          regs'.(a) <- (Array.unsafe_get gs a) regs
+        done;
+        let r = exec_cfunc st target regs' in
+        st.regs <- regs;
+        st.depth <- st.depth - 1;
+        store_ret st regs r
+  | None -> (
+    match Vir.Intrinsics.lookup callee with
+    | Some { Vir.Intrinsics.kind = Vir.Intrinsics.Math m; _ } -> (
+      let bad () =
+        invalid_arg ("Machine: bad math intrinsic args for " ^ m)
+      in
+      (* An unknown math name keeps raising at run time, like the old
+         per-call dispatch did. *)
+      let fn = try Some (Eval.math_fn m) with Invalid_argument _ -> None in
+      match (fn, gs) with
+      | None, _ ->
+        fun st ->
+          chg st;
+          invalid_arg ("Machine: unknown math intrinsic " ^ m)
+      | Some (Eval.Unary f), [| g0 |] ->
+        fun st ->
+        let regs = st.regs in
+          chg st;
+          (match g0 regs with
+          | Vvalue.F (s, lanes) ->
+            store_i st regs dst
+              (Vvalue.F
+                 (s, Array.map (fun x -> Bits.round_float s (f x)) lanes))
+          | _ -> bad ())
+      | Some (Eval.Binary f), [| g0; g1 |] ->
+        fun st ->
+        let regs = st.regs in
+          chg st;
+          (match (g0 regs, g1 regs) with
+          | Vvalue.F (s, a), Vvalue.F (_, b) ->
+            store_i st regs dst
+              (Vvalue.F
+                 ( s,
+                   Array.init (Array.length a) (fun ix ->
+                       Bits.round_float s (f a.(ix) b.(ix))) ))
+          | _ -> bad ())
+      | _ ->
+        fun st ->
+          chg st;
+          bad ())
+    | Some { Vir.Intrinsics.kind = Vir.Intrinsics.Reduce r; _ } -> (
+      let bad () = invalid_arg ("Machine: bad reduce intrinsic " ^ r) in
+      let is_float =
+        nargs = 1
+        && Vir.Vtype.is_float_scalar (op_scalar i 0)
+      in
+      match (r, gs) with
+      | "add", [| g0 |] when is_float ->
+        fun st ->
+        let regs = st.regs in
+          chg st;
+          (match g0 regs with
+          | Vvalue.F (s, lanes) ->
+            store_i st regs dst (Vvalue.F (s, [| Eval.reduce_fadd s lanes |]))
+          | _ -> bad ())
+      | "add", [| g0 |] ->
+        fun st ->
+        let regs = st.regs in
+          chg st;
+          (match g0 regs with
+          | Vvalue.I (s, lanes) ->
+            store_i st regs dst (Vvalue.I (s, [| Eval.reduce_iadd s lanes |]))
+          | _ -> bad ())
+      | "or", [| g0 |] when not is_float ->
+        fun st ->
+        let regs = st.regs in
+          chg st;
+          (match g0 regs with
+          | Vvalue.I (s, lanes) ->
+            store_i st regs dst (Vvalue.I (s, [| Eval.reduce_or lanes |]))
+          | _ -> bad ())
+      | "min", [| g0 |] when is_float ->
+        fun st ->
+        let regs = st.regs in
+          chg st;
+          (match g0 regs with
+          | Vvalue.F (s, lanes) ->
+            store_i st regs dst (Vvalue.F (s, [| Eval.reduce_fmin lanes |]))
+          | _ -> bad ())
+      | "max", [| g0 |] when is_float ->
+        fun st ->
+        let regs = st.regs in
+          chg st;
+          (match g0 regs with
+          | Vvalue.F (s, lanes) ->
+            store_i st regs dst (Vvalue.F (s, [| Eval.reduce_fmax lanes |]))
+          | _ -> bad ())
+      | "min", [| g0 |] ->
+        fun st ->
+        let regs = st.regs in
+          chg st;
+          (match g0 regs with
+          | Vvalue.I (s, lanes) ->
+            store_i st regs dst (Vvalue.I (s, [| Eval.reduce_imin lanes |]))
+          | _ -> bad ())
+      | "max", [| g0 |] ->
+        fun st ->
+        let regs = st.regs in
+          chg st;
+          (match g0 regs with
+          | Vvalue.I (s, lanes) ->
+            store_i st regs dst (Vvalue.I (s, [| Eval.reduce_imax lanes |]))
+          | _ -> bad ())
+      | _ ->
+        fun st ->
+          chg st;
+          bad ())
+    | Some { Vir.Intrinsics.kind = Vir.Intrinsics.Maskload; _ } ->
+      if nargs <> 2 then
+        fun st ->
+          chg st;
+          invalid_arg ("Machine: maskload arity @" ^ callee)
+      else
+        let ty = i.Vir.Instr.ty in
+        let gp = gs.(0) and gm = gs.(1) in
+        fun st ->
+        let regs = st.regs in
+          chg st;
+          store_i st regs dst
+            (Memory.masked_load st.mem ty (Vvalue.as_int (gp regs))
+               ~mask:(gm regs))
+    | Some { Vir.Intrinsics.kind = Vir.Intrinsics.Maskstore; _ } ->
+      if nargs <> 3 then
+        fun st ->
+          chg st;
+          invalid_arg ("Machine: maskstore arity @" ^ callee)
+      else
+        let gp = gs.(0) and gm = gs.(1) and gv = gs.(2) in
+        fun st ->
+        let regs = st.regs in
+          chg st;
+          Memory.store ~mask:(gm regs) st.mem (gv regs)
+            (Vvalue.as_int (gp regs))
+    | None ->
+      let slot = Hashtbl.find cm.extern_index callee in
+      fun st ->
+        let regs = st.regs in
+        chg st;
+        (match Array.unsafe_get st.extern_slots slot with
+        | Some handler -> store_ret st regs (handler st (mk_args regs))
+        | None -> Trap.raise_ (Trap.Unknown_function callee)))
+
+(* Per-predecessor parallel phi evaluation: each phi charges one dynamic
+   instruction during its read (like the old interpreter), all reads
+   complete before any write. A predecessor with no incoming edge for a
+   phi raises when (and only when) that phi's read is reached. *)
+let thread_phis (blk : cblock) (nblocks : int) : texec array =
+  let phis = blk.cphis in
+  let n = Array.length phis in
+  if n = 0 then [||]
+  else
+    Array.init (nblocks + 1) (fun pi ->
+        let prev = pi - 1 in
+        (* first-match semantics of the old List.find *)
+        let read_of (p : cphi) : tgetter =
+          match Array.find_opt (fun (pred, _) -> pred = prev) p.incoming with
+          | Some (_, v) -> getter v
+          | None ->
+            fun _ ->
+              invalid_arg
+                (Printf.sprintf "Machine: phi in %%%s has no edge from #%d"
+                   blk.clabel prev)
+        in
+        let reads = Array.map read_of phis in
+        let dsts = Array.map (fun p -> p.pdst) phis in
+        if n = 1 then
+          let g = reads.(0) and d = dsts.(0) in
+          fun st ->
+        let regs = st.regs in
+            charge st;
+            Array.unsafe_set regs d (g regs)
+        else
+          fun st ->
+        let regs = st.regs in
+            let tmp = Array.make n default_value in
+            for k = 0 to n - 1 do
+              charge st;
+              tmp.(k) <- reads.(k) regs
+            done;
+            for k = 0 to n - 1 do
+              Array.unsafe_set regs dsts.(k) tmp.(k)
+            done)
+
+let nop_exec : texec = fun _ -> ()
+
+(* Compose a block body into one closure. Runs of up to 8 instructions
+   become a single closure with one *dedicated* (hence predictable)
+   indirect call site per instruction; longer bodies become a balanced
+   tree of such runs. *)
+let rec compose_body (body : texec array) lo hi : texec =
+  match hi - lo with
+  | 0 -> nop_exec
+  | 1 -> body.(lo)
+  | 2 ->
+    let f0 = body.(lo) and f1 = body.(lo + 1) in
+    fun st ->
+      f0 st;
+      f1 st
+  | 3 ->
+    let f0 = body.(lo) and f1 = body.(lo + 1) and f2 = body.(lo + 2) in
+    fun st ->
+      f0 st;
+      f1 st;
+      f2 st
+  | 4 ->
+    let f0 = body.(lo)
+    and f1 = body.(lo + 1)
+    and f2 = body.(lo + 2)
+    and f3 = body.(lo + 3) in
+    fun st ->
+      f0 st;
+      f1 st;
+      f2 st;
+      f3 st
+  | 5 ->
+    let f0 = body.(lo)
+    and f1 = body.(lo + 1)
+    and f2 = body.(lo + 2)
+    and f3 = body.(lo + 3)
+    and f4 = body.(lo + 4) in
+    fun st ->
+      f0 st;
+      f1 st;
+      f2 st;
+      f3 st;
+      f4 st
+  | 6 ->
+    let f0 = body.(lo)
+    and f1 = body.(lo + 1)
+    and f2 = body.(lo + 2)
+    and f3 = body.(lo + 3)
+    and f4 = body.(lo + 4)
+    and f5 = body.(lo + 5) in
+    fun st ->
+      f0 st;
+      f1 st;
+      f2 st;
+      f3 st;
+      f4 st;
+      f5 st
+  | 7 ->
+    let f0 = body.(lo)
+    and f1 = body.(lo + 1)
+    and f2 = body.(lo + 2)
+    and f3 = body.(lo + 3)
+    and f4 = body.(lo + 4)
+    and f5 = body.(lo + 5)
+    and f6 = body.(lo + 6) in
+    fun st ->
+      f0 st;
+      f1 st;
+      f2 st;
+      f3 st;
+      f4 st;
+      f5 st;
+      f6 st
+  | 8 ->
+    let f0 = body.(lo)
+    and f1 = body.(lo + 1)
+    and f2 = body.(lo + 2)
+    and f3 = body.(lo + 3)
+    and f4 = body.(lo + 4)
+    and f5 = body.(lo + 5)
+    and f6 = body.(lo + 6)
+    and f7 = body.(lo + 7) in
+    fun st ->
+      f0 st;
+      f1 st;
+      f2 st;
+      f3 st;
+      f4 st;
+      f5 st;
+      f6 st;
+      f7 st
+  | n ->
+    let mid = lo + (n / 2) in
+    let a = compose_body body lo mid and b = compose_body body mid hi in
+    fun st ->
+      a st;
+      b st
+
+let thread_term (t : cterm) : tterm =
+  match t with
+  | Tbr n -> Ct_br n
+  | Tcondbr (Creg r, l1, l2) -> Ct_condbr_reg (r, l1, l2)
+  | Tcondbr (c, l1, l2) -> Ct_condbr (getter c, l1, l2)
+  | Tret (Some v) -> Ct_ret (getter v)
+  | Tret None -> Ct_ret_void
+  | Tunreachable -> Ct_unreachable
+
+let thread_func (cm : cmodule) (cf : cfunc) : unit =
+  let nblocks = Array.length cf.cblocks in
+  cf.tblocks <-
+    Array.map
+      (fun (blk : cblock) ->
+        let body = Array.map (thread_instr cm cf) blk.body in
+        {
+          t_phis = thread_phis blk nblocks;
+          t_body = compose_body body 0 (Array.length body);
+          t_term = thread_term blk.term;
+        })
+      cf.cblocks
+
+(* ------------------------------------------------------------------ *)
 
 let compile_module (m : Vir.Vmodule.t) : cmodule =
   let cfuncs = Hashtbl.create 16 in
   List.iter
     (fun f -> Hashtbl.replace cfuncs f.Vir.Func.fname (compile_func f))
     m.Vir.Vmodule.funcs;
-  { cm = m; cfuncs }
+  (* Collect extern call targets (neither module functions nor
+     intrinsics) into dense slots. *)
+  let extern_index = Hashtbl.create 8 in
+  let n_extern_slots = ref 0 in
+  List.iter
+    (fun (f : Vir.Func.t) ->
+      List.iter
+        (fun (b : Vir.Block.t) ->
+          List.iter
+            (fun (ins : Vir.Instr.t) ->
+              match ins.Vir.Instr.op with
+              | Vir.Instr.Call (callee, _)
+                when (not (Hashtbl.mem cfuncs callee))
+                     && Vir.Intrinsics.lookup callee = None
+                     && not (Hashtbl.mem extern_index callee) ->
+                Hashtbl.replace extern_index callee !n_extern_slots;
+                incr n_extern_slots
+              | _ -> ())
+            b.Vir.Block.instrs)
+        f.Vir.Func.blocks)
+    m.Vir.Vmodule.funcs;
+  let cm =
+    { cm = m; cfuncs; extern_index; n_extern_slots = !n_extern_slots }
+  in
+  Hashtbl.iter (fun _ cf -> thread_func cm cf) cfuncs;
+  cm

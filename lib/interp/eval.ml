@@ -1,0 +1,516 @@
+(** Lane-level arithmetic of the VIR VM.
+
+    Every operation comes as a *factory*: [ibinop_fn k s] matches the
+    opcode and scalar kind once and returns a monomorphic per-lane
+    closure, so the closure-threaded back end ({!Compile}) can hoist all
+    dispatch out of the dynamic path. The legacy curried entry points
+    ([eval_ibinop_lane] & co., re-exported through {!Machine} for the
+    constant folder and the reference SPMD evaluator) are thin wrappers
+    over the factories, so the semantics live in exactly one place. *)
+
+(* ------------------------------------------------------------------ *)
+(* Integer binary operations                                           *)
+
+(* The truncation to the scalar's width is pre-selected per factory
+   call: full-width (i64/ptr) operations skip it entirely and i32 gets
+   the inline unboxed int32 round-trip, so the per-lane closure does no
+   width dispatch. Semantics identical to [Bits.truncate]. *)
+let ibinop_fn (k : Vir.Instr.ibinop) (s : Vir.Vtype.scalar) :
+    int64 -> int64 -> int64 =
+  let bits = Vir.Vtype.scalar_bits s in
+  let shift_mask = bits - 1 in
+  (* x86 idiv overflow (min_int / -1 at full width) raises #DE: a crash.
+     At narrower widths the truncation absorbs the overflow. *)
+  let div_overflows = s = Vir.Vtype.I64 in
+  let full_width = match s with
+    | Vir.Vtype.I64 | Vir.Vtype.Ptr -> true
+    | _ -> false
+  in
+  if full_width then
+    match k with
+    | Vir.Instr.Add -> Int64.add
+    | Vir.Instr.Sub -> Int64.sub
+    | Vir.Instr.Mul -> Int64.mul
+    | Vir.Instr.Sdiv ->
+      fun a b ->
+        if b = 0L then Trap.raise_ Trap.Division_by_zero
+        else if div_overflows && a = Int64.min_int && b = -1L then
+          Trap.raise_ Trap.Division_by_zero
+        else Int64.div a b
+    | Vir.Instr.Srem ->
+      fun a b ->
+        if b = 0L then Trap.raise_ Trap.Division_by_zero
+        else if div_overflows && a = Int64.min_int && b = -1L then
+          Trap.raise_ Trap.Division_by_zero
+        else Int64.rem a b
+    | Vir.Instr.Udiv ->
+      fun a b ->
+        if b = 0L then Trap.raise_ Trap.Division_by_zero
+        else Int64.unsigned_div a b
+    | Vir.Instr.Urem ->
+      fun a b ->
+        if b = 0L then Trap.raise_ Trap.Division_by_zero
+        else Int64.unsigned_rem a b
+    | Vir.Instr.And -> Int64.logand
+    | Vir.Instr.Or -> Int64.logor
+    | Vir.Instr.Xor -> Int64.logxor
+    | Vir.Instr.Shl ->
+      fun a b -> Int64.shift_left a (Int64.to_int b land 63)
+    | Vir.Instr.Lshr ->
+      fun a b -> Int64.shift_right_logical a (Int64.to_int b land 63)
+    | Vir.Instr.Ashr ->
+      fun a b -> Int64.shift_right a (Int64.to_int b land 63)
+  else if s = Vir.Vtype.I32 then
+    let t x = Int64.of_int32 (Int64.to_int32 x) in
+    let u x = Int64.logand x 0xFFFFFFFFL in
+    match k with
+    | Vir.Instr.Add -> fun a b -> t (Int64.add a b)
+    | Vir.Instr.Sub -> fun a b -> t (Int64.sub a b)
+    | Vir.Instr.Mul -> fun a b -> t (Int64.mul a b)
+    | Vir.Instr.Sdiv ->
+      fun a b ->
+        if b = 0L then Trap.raise_ Trap.Division_by_zero
+        else t (Int64.div a b)
+    | Vir.Instr.Srem ->
+      fun a b ->
+        if b = 0L then Trap.raise_ Trap.Division_by_zero
+        else t (Int64.rem a b)
+    | Vir.Instr.Udiv ->
+      fun a b ->
+        if b = 0L then Trap.raise_ Trap.Division_by_zero
+        else t (Int64.unsigned_div (u a) (u b))
+    | Vir.Instr.Urem ->
+      fun a b ->
+        if b = 0L then Trap.raise_ Trap.Division_by_zero
+        else t (Int64.unsigned_rem (u a) (u b))
+    | Vir.Instr.And -> fun a b -> Int64.logand a b
+    | Vir.Instr.Or -> fun a b -> Int64.logor a b
+    | Vir.Instr.Xor -> fun a b -> Int64.logxor a b
+    | Vir.Instr.Shl ->
+      fun a b -> t (Int64.shift_left a (Int64.to_int b land 31))
+    | Vir.Instr.Lshr ->
+      fun a b -> Int64.shift_right_logical (u a) (Int64.to_int b land 31)
+    | Vir.Instr.Ashr -> fun a b -> Int64.shift_right a (Int64.to_int b land 31)
+  else
+    let t x = Bits.truncate s x in
+    match k with
+    | Vir.Instr.Add -> fun a b -> t (Int64.add a b)
+    | Vir.Instr.Sub -> fun a b -> t (Int64.sub a b)
+    | Vir.Instr.Mul -> fun a b -> t (Int64.mul a b)
+    | Vir.Instr.Sdiv ->
+      fun a b ->
+        if b = 0L then Trap.raise_ Trap.Division_by_zero
+        else t (Int64.div a b)
+    | Vir.Instr.Srem ->
+      fun a b ->
+        if b = 0L then Trap.raise_ Trap.Division_by_zero
+        else t (Int64.rem a b)
+    | Vir.Instr.Udiv ->
+      fun a b ->
+        if b = 0L then Trap.raise_ Trap.Division_by_zero
+        else
+          t (Int64.unsigned_div (Bits.to_unsigned s a) (Bits.to_unsigned s b))
+    | Vir.Instr.Urem ->
+      fun a b ->
+        if b = 0L then Trap.raise_ Trap.Division_by_zero
+        else
+          t (Int64.unsigned_rem (Bits.to_unsigned s a) (Bits.to_unsigned s b))
+    | Vir.Instr.And -> fun a b -> t (Int64.logand a b)
+    | Vir.Instr.Or -> fun a b -> t (Int64.logor a b)
+    | Vir.Instr.Xor -> fun a b -> t (Int64.logxor a b)
+    | Vir.Instr.Shl ->
+      (* x86 semantics: shift amount masked to the operand width. *)
+      fun a b -> t (Int64.shift_left a (Int64.to_int b land shift_mask))
+    | Vir.Instr.Lshr ->
+      fun a b ->
+        t
+          (Int64.shift_right_logical (Bits.to_unsigned s a)
+             (Int64.to_int b land shift_mask))
+    | Vir.Instr.Ashr ->
+      fun a b -> t (Int64.shift_right a (Int64.to_int b land shift_mask))
+
+let eval_ibinop_lane k s a b = (ibinop_fn k s) a b
+
+(* ------------------------------------------------------------------ *)
+(* Float binary operations                                             *)
+
+(* F32 rounding inlined (unboxed, noalloc externals); F64 needs none.
+   Semantics identical to [Bits.round_float], minus a call + match per
+   lane on the hot path. *)
+let fbinop_fn (k : Vir.Instr.fbinop) (s : Vir.Vtype.scalar) :
+    float -> float -> float =
+  if s = Vir.Vtype.F32 then
+    match k with
+    | Vir.Instr.Fadd ->
+      fun a b -> Int32.float_of_bits (Int32.bits_of_float (a +. b))
+    | Vir.Instr.Fsub ->
+      fun a b -> Int32.float_of_bits (Int32.bits_of_float (a -. b))
+    | Vir.Instr.Fmul ->
+      fun a b -> Int32.float_of_bits (Int32.bits_of_float (a *. b))
+    | Vir.Instr.Fdiv ->
+      fun a b -> Int32.float_of_bits (Int32.bits_of_float (a /. b))
+    | Vir.Instr.Frem ->
+      fun a b -> Int32.float_of_bits (Int32.bits_of_float (Float.rem a b))
+  else
+    match k with
+    | Vir.Instr.Fadd -> fun a b -> a +. b
+    | Vir.Instr.Fsub -> fun a b -> a -. b
+    | Vir.Instr.Fmul -> fun a b -> a *. b
+    | Vir.Instr.Fdiv -> fun a b -> a /. b (* IEEE: yields inf/nan *)
+    | Vir.Instr.Frem -> fun a b -> Float.rem a b
+
+let eval_fbinop_lane k s a b = (fbinop_fn k s) a b
+
+(* Lane- and op-specialized vector float arithmetic. At a threaded call
+   site the op, element kind and width are all static, so each lane is
+   an unboxed primitive and the result array is allocated inline: no
+   generic map, no per-lane closure application or result boxing, no
+   caml_make_vect. The f32 arms write the binary32 rounding round-trip
+   inline because a call would re-box the float. Widths outside
+   {2,4,8} (and frem) fall back to the generic path ([None]). *)
+let fbinop_vec_fn (k : Vir.Instr.fbinop) (s : Vir.Vtype.scalar) (n : int) :
+    (float array -> float array -> float array) option =
+  match (s, n, k) with
+  (* -------- f64: bare IEEE ops -------- *)
+  | Vir.Vtype.F64, 2, Vir.Instr.Fadd ->
+    Some (fun a b -> [| a.(0) +. b.(0); a.(1) +. b.(1) |])
+  | Vir.Vtype.F64, 2, Vir.Instr.Fsub ->
+    Some (fun a b -> [| a.(0) -. b.(0); a.(1) -. b.(1) |])
+  | Vir.Vtype.F64, 2, Vir.Instr.Fmul ->
+    Some (fun a b -> [| a.(0) *. b.(0); a.(1) *. b.(1) |])
+  | Vir.Vtype.F64, 2, Vir.Instr.Fdiv ->
+    Some (fun a b -> [| a.(0) /. b.(0); a.(1) /. b.(1) |])
+  | Vir.Vtype.F64, 4, Vir.Instr.Fadd ->
+    Some
+      (fun a b ->
+        [| a.(0) +. b.(0); a.(1) +. b.(1); a.(2) +. b.(2); a.(3) +. b.(3) |])
+  | Vir.Vtype.F64, 4, Vir.Instr.Fsub ->
+    Some
+      (fun a b ->
+        [| a.(0) -. b.(0); a.(1) -. b.(1); a.(2) -. b.(2); a.(3) -. b.(3) |])
+  | Vir.Vtype.F64, 4, Vir.Instr.Fmul ->
+    Some
+      (fun a b ->
+        [| a.(0) *. b.(0); a.(1) *. b.(1); a.(2) *. b.(2); a.(3) *. b.(3) |])
+  | Vir.Vtype.F64, 4, Vir.Instr.Fdiv ->
+    Some
+      (fun a b ->
+        [| a.(0) /. b.(0); a.(1) /. b.(1); a.(2) /. b.(2); a.(3) /. b.(3) |])
+  | Vir.Vtype.F64, 8, Vir.Instr.Fadd ->
+    Some
+      (fun a b ->
+        [|
+          a.(0) +. b.(0); a.(1) +. b.(1); a.(2) +. b.(2); a.(3) +. b.(3);
+          a.(4) +. b.(4); a.(5) +. b.(5); a.(6) +. b.(6); a.(7) +. b.(7);
+        |])
+  | Vir.Vtype.F64, 8, Vir.Instr.Fsub ->
+    Some
+      (fun a b ->
+        [|
+          a.(0) -. b.(0); a.(1) -. b.(1); a.(2) -. b.(2); a.(3) -. b.(3);
+          a.(4) -. b.(4); a.(5) -. b.(5); a.(6) -. b.(6); a.(7) -. b.(7);
+        |])
+  | Vir.Vtype.F64, 8, Vir.Instr.Fmul ->
+    Some
+      (fun a b ->
+        [|
+          a.(0) *. b.(0); a.(1) *. b.(1); a.(2) *. b.(2); a.(3) *. b.(3);
+          a.(4) *. b.(4); a.(5) *. b.(5); a.(6) *. b.(6); a.(7) *. b.(7);
+        |])
+  | Vir.Vtype.F64, 8, Vir.Instr.Fdiv ->
+    Some
+      (fun a b ->
+        [|
+          a.(0) /. b.(0); a.(1) /. b.(1); a.(2) /. b.(2); a.(3) /. b.(3);
+          a.(4) /. b.(4); a.(5) /. b.(5); a.(6) /. b.(6); a.(7) /. b.(7);
+        |])
+  (* -------- f32: op then inline binary32 rounding -------- *)
+  | Vir.Vtype.F32, 2, Vir.Instr.Fadd ->
+    Some
+      (fun a b ->
+        [|
+          Int32.float_of_bits (Int32.bits_of_float (a.(0) +. b.(0)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(1) +. b.(1)));
+        |])
+  | Vir.Vtype.F32, 2, Vir.Instr.Fsub ->
+    Some
+      (fun a b ->
+        [|
+          Int32.float_of_bits (Int32.bits_of_float (a.(0) -. b.(0)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(1) -. b.(1)));
+        |])
+  | Vir.Vtype.F32, 2, Vir.Instr.Fmul ->
+    Some
+      (fun a b ->
+        [|
+          Int32.float_of_bits (Int32.bits_of_float (a.(0) *. b.(0)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(1) *. b.(1)));
+        |])
+  | Vir.Vtype.F32, 2, Vir.Instr.Fdiv ->
+    Some
+      (fun a b ->
+        [|
+          Int32.float_of_bits (Int32.bits_of_float (a.(0) /. b.(0)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(1) /. b.(1)));
+        |])
+  | Vir.Vtype.F32, 4, Vir.Instr.Fadd ->
+    Some
+      (fun a b ->
+        [|
+          Int32.float_of_bits (Int32.bits_of_float (a.(0) +. b.(0)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(1) +. b.(1)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(2) +. b.(2)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(3) +. b.(3)));
+        |])
+  | Vir.Vtype.F32, 4, Vir.Instr.Fsub ->
+    Some
+      (fun a b ->
+        [|
+          Int32.float_of_bits (Int32.bits_of_float (a.(0) -. b.(0)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(1) -. b.(1)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(2) -. b.(2)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(3) -. b.(3)));
+        |])
+  | Vir.Vtype.F32, 4, Vir.Instr.Fmul ->
+    Some
+      (fun a b ->
+        [|
+          Int32.float_of_bits (Int32.bits_of_float (a.(0) *. b.(0)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(1) *. b.(1)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(2) *. b.(2)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(3) *. b.(3)));
+        |])
+  | Vir.Vtype.F32, 4, Vir.Instr.Fdiv ->
+    Some
+      (fun a b ->
+        [|
+          Int32.float_of_bits (Int32.bits_of_float (a.(0) /. b.(0)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(1) /. b.(1)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(2) /. b.(2)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(3) /. b.(3)));
+        |])
+  | Vir.Vtype.F32, 8, Vir.Instr.Fadd ->
+    Some
+      (fun a b ->
+        [|
+          Int32.float_of_bits (Int32.bits_of_float (a.(0) +. b.(0)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(1) +. b.(1)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(2) +. b.(2)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(3) +. b.(3)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(4) +. b.(4)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(5) +. b.(5)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(6) +. b.(6)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(7) +. b.(7)));
+        |])
+  | Vir.Vtype.F32, 8, Vir.Instr.Fsub ->
+    Some
+      (fun a b ->
+        [|
+          Int32.float_of_bits (Int32.bits_of_float (a.(0) -. b.(0)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(1) -. b.(1)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(2) -. b.(2)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(3) -. b.(3)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(4) -. b.(4)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(5) -. b.(5)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(6) -. b.(6)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(7) -. b.(7)));
+        |])
+  | Vir.Vtype.F32, 8, Vir.Instr.Fmul ->
+    Some
+      (fun a b ->
+        [|
+          Int32.float_of_bits (Int32.bits_of_float (a.(0) *. b.(0)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(1) *. b.(1)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(2) *. b.(2)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(3) *. b.(3)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(4) *. b.(4)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(5) *. b.(5)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(6) *. b.(6)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(7) *. b.(7)));
+        |])
+  | Vir.Vtype.F32, 8, Vir.Instr.Fdiv ->
+    Some
+      (fun a b ->
+        [|
+          Int32.float_of_bits (Int32.bits_of_float (a.(0) /. b.(0)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(1) /. b.(1)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(2) /. b.(2)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(3) /. b.(3)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(4) /. b.(4)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(5) /. b.(5)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(6) /. b.(6)));
+          Int32.float_of_bits (Int32.bits_of_float (a.(7) /. b.(7)));
+        |])
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Comparisons                                                         *)
+
+let icmp_fn (p : Vir.Instr.icmp_pred) (s : Vir.Vtype.scalar) :
+    int64 -> int64 -> int64 =
+  let u x = Bits.to_unsigned s x in
+  let b r = if r then 1L else 0L in
+  match p with
+  | Vir.Instr.Ieq -> fun a b' -> b (Int64.equal a b')
+  | Vir.Instr.Ine -> fun a b' -> b (not (Int64.equal a b'))
+  | Vir.Instr.Islt -> fun a b' -> b (Int64.compare a b' < 0)
+  | Vir.Instr.Isle -> fun a b' -> b (Int64.compare a b' <= 0)
+  | Vir.Instr.Isgt -> fun a b' -> b (Int64.compare a b' > 0)
+  | Vir.Instr.Isge -> fun a b' -> b (Int64.compare a b' >= 0)
+  | Vir.Instr.Iult -> fun a b' -> b (Int64.unsigned_compare (u a) (u b') < 0)
+  | Vir.Instr.Iule -> fun a b' -> b (Int64.unsigned_compare (u a) (u b') <= 0)
+  | Vir.Instr.Iugt -> fun a b' -> b (Int64.unsigned_compare (u a) (u b') > 0)
+  | Vir.Instr.Iuge -> fun a b' -> b (Int64.unsigned_compare (u a) (u b') >= 0)
+
+let eval_icmp_lane p s a b = (icmp_fn p s) a b
+
+let fcmp_fn (p : Vir.Instr.fcmp_pred) : float -> float -> int64 =
+  let ord a b = not (Float.is_nan a || Float.is_nan b) in
+  let b r = if r then 1L else 0L in
+  match p with
+  | Vir.Instr.Foeq -> fun x y -> b (ord x y && x = y)
+  | Vir.Instr.Fone -> fun x y -> b (ord x y && x <> y)
+  | Vir.Instr.Folt -> fun x y -> b (ord x y && x < y)
+  | Vir.Instr.Fole -> fun x y -> b (ord x y && x <= y)
+  | Vir.Instr.Fogt -> fun x y -> b (ord x y && x > y)
+  | Vir.Instr.Foge -> fun x y -> b (ord x y && x >= y)
+  | Vir.Instr.Ford -> fun x y -> b (ord x y)
+  | Vir.Instr.Funo -> fun x y -> b (not (ord x y))
+
+let eval_fcmp_lane p a b = (fcmp_fn p) a b
+
+(* ------------------------------------------------------------------ *)
+(* Casts                                                               *)
+
+(* Specialized cast: the cast opcode, source scalar kind and destination
+   type are matched once. The returned closure still checks the value
+   constructor so a kind-confused extern result fails loudly rather than
+   silently reinterpreting. *)
+let cast_fn (k : Vir.Instr.cast_op) ~(src : Vir.Vtype.scalar)
+    ~(dst_ty : Vir.Vtype.t) : Vvalue.t -> Vvalue.t =
+  let ds = Vir.Vtype.elem dst_ty in
+  let fail () =
+    invalid_arg
+      (Printf.sprintf "Machine: unsupported cast %s" (Vir.Instr.cast_name k))
+  in
+  let int_arg f v =
+    match (v : Vvalue.t) with Vvalue.I (_, lanes) -> f lanes | _ -> fail ()
+  in
+  let float_arg f v =
+    match (v : Vvalue.t) with Vvalue.F (_, lanes) -> f lanes | _ -> fail ()
+  in
+  match k with
+  | Vir.Instr.Trunc | Vir.Instr.Sext | Vir.Instr.Ptrtoint
+  | Vir.Instr.Inttoptr ->
+    int_arg (fun lanes -> Vvalue.I (ds, Array.map (Bits.truncate ds) lanes))
+  | Vir.Instr.Zext ->
+    int_arg (fun lanes ->
+        Vvalue.I
+          ( ds,
+            Array.map
+              (fun x -> Bits.truncate ds (Bits.to_unsigned src x))
+              lanes ))
+  | Vir.Instr.Fptosi ->
+    (* Out-of-range/NaN produce the x86 "integer indefinite" value. *)
+    let bits = Vir.Vtype.scalar_bits ds in
+    let indefinite = Int64.shift_left 1L (bits - 1) in
+    let conv x =
+      if Float.is_nan x then Bits.truncate ds indefinite
+      else
+        let lo = Int64.to_float Int64.min_int
+        and hi = Int64.to_float Int64.max_int in
+        if x < lo || x > hi then Bits.truncate ds indefinite
+        else
+          let i = Int64.of_float x in
+          let tr = Bits.truncate ds i in
+          if bits < 64 && tr <> i then Bits.truncate ds indefinite else tr
+    in
+    float_arg (fun lanes -> Vvalue.I (ds, Array.map conv lanes))
+  | Vir.Instr.Sitofp ->
+    int_arg (fun lanes ->
+        Vvalue.F
+          (ds, Array.map (fun x -> Bits.round_float ds (Int64.to_float x)) lanes))
+  | Vir.Instr.Fptrunc | Vir.Instr.Fpext ->
+    float_arg (fun lanes ->
+        Vvalue.F (ds, Array.map (Bits.round_float ds) lanes))
+  | Vir.Instr.Bitcast ->
+    if
+      Vir.Vtype.is_float_scalar ds
+      && Vir.Vtype.is_int_scalar src
+      && Vir.Vtype.scalar_bits src = Vir.Vtype.scalar_bits ds
+    then
+      int_arg (fun lanes ->
+          Vvalue.F (ds, Array.map (Bits.float_of_bits ds) lanes))
+    else if
+      Vir.Vtype.is_int_scalar ds
+      && Vir.Vtype.is_float_scalar src
+      && Vir.Vtype.scalar_bits src = Vir.Vtype.scalar_bits ds
+    then
+      float_arg (fun lanes ->
+          Vvalue.I (ds, Array.map (Bits.bits_of_float src) lanes))
+    else if
+      Vir.Vtype.is_int_scalar ds
+      && Vir.Vtype.is_int_scalar src
+      && Vir.Vtype.scalar_bits src = Vir.Vtype.scalar_bits ds
+    then int_arg (fun lanes -> Vvalue.I (ds, Array.map (Bits.truncate ds) lanes))
+    else fun _ -> fail ()
+
+(* The legacy entry point dispatches on the runtime value, exactly like
+   the pre-threading interpreter did. *)
+let eval_cast (k : Vir.Instr.cast_op) (dst_ty : Vir.Vtype.t) (v : Vvalue.t) =
+  (cast_fn k ~src:(Vvalue.scalar_kind v) ~dst_ty) v
+
+(* ------------------------------------------------------------------ *)
+(* Math intrinsics (lane-wise llvm.sqrt & co.)                         *)
+
+type math = Unary of (float -> float) | Binary of (float -> float -> float)
+
+(* Monomorphic float min/max with the *total-order* semantics of OCaml's
+   polymorphic [min]/[max] (which the interpreter has always used), so
+   campaign outputs stay bit-identical:
+   - NaN sorts below every other float and is equal to itself,
+   - hence a lane-wise or reduced [min] yields NaN as soon as any
+     operand is NaN, while [max] yields NaN only if all operands are
+     NaN. (IEEE minNum/maxNum would instead *ignore* quiet NaNs.)
+   Documented & pinned by tests in test_threaded.ml. *)
+let fmin (a : float) b = if Float.compare a b <= 0 then a else b
+
+let fmax (a : float) b = if Float.compare a b >= 0 then a else b
+
+let imin (a : int64) b = if Int64.compare a b <= 0 then a else b
+
+let imax (a : int64) b = if Int64.compare a b >= 0 then a else b
+
+let math_fn = function
+  | "sqrt" -> Unary sqrt
+  | "exp" -> Unary exp
+  | "log" -> Unary log
+  | "sin" -> Unary sin
+  | "cos" -> Unary cos
+  | "fabs" -> Unary abs_float
+  | "floor" -> Unary floor
+  | "pow" -> Binary ( ** )
+  | "min" -> Binary fmin
+  | "max" -> Binary fmax
+  | name -> invalid_arg ("Machine: unknown math intrinsic " ^ name)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-lane reductions                                               *)
+
+let reduce_fadd (s : Vir.Vtype.scalar) (lanes : float array) =
+  Array.fold_left (fun acc x -> Bits.round_float s (acc +. x)) 0.0 lanes
+
+let reduce_iadd (s : Vir.Vtype.scalar) (lanes : int64 array) =
+  Array.fold_left (fun acc x -> Bits.truncate s (Int64.add acc x)) 0L lanes
+
+let reduce_or (lanes : int64 array) = Array.fold_left Int64.logor 0L lanes
+
+(* Reductions fold from lanes.(0) over the whole array (re-visiting lane
+   0 is harmless for min/max), mirroring the historical implementation. *)
+let reduce_fmin (lanes : float array) = Array.fold_left fmin lanes.(0) lanes
+
+let reduce_fmax (lanes : float array) = Array.fold_left fmax lanes.(0) lanes
+
+let reduce_imin (lanes : int64 array) = Array.fold_left imin lanes.(0) lanes
+
+let reduce_imax (lanes : int64 array) = Array.fold_left imax lanes.(0) lanes

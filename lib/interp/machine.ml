@@ -4,428 +4,80 @@
     instruction budget (so a fault-induced endless loop is observed as a
     hang-crash rather than hanging the host), and a pluggable extern
     mechanism through which the VULFI runtime (fault injection, error
-    detectors) and benchmark I/O are wired in. *)
+    detectors) and benchmark I/O are wired in.
 
-type state = {
-  code : Compile.cmodule;
-  mem : Memory.t;
-  mutable fuel : int;  (** remaining dynamic instructions; <0 = trap *)
-  mutable dyn_count : int;  (** executed dynamic instructions *)
-  mutable dyn_vector : int;  (** executed vector instructions *)
-  externs : (string, state -> Vvalue.t list -> Vvalue.t option) Hashtbl.t;
-  max_depth : int;
-}
+    Since the closure-threading rewrite the execution engine itself
+    lives in {!Compile} (the threaded closures are built at
+    [compile_module] time and need the state type); this module is the
+    public driver: state construction, extern registration, accounting
+    accessors, and the [run] entry point. *)
+
+type state = Compile.state
 
 let default_budget = 200_000_000
 
-let create ?(budget = default_budget) ?(max_depth = 512) code =
+let create ?(budget = default_budget) ?(max_depth = 512)
+    (code : Compile.cmodule) : state =
   {
-    code;
+    Compile.code;
     mem = Memory.create ();
+    budget0 = budget;
     fuel = budget;
-    dyn_count = 0;
     dyn_vector = 0;
-    externs = Hashtbl.create 16;
+    depth = 0;
+    regs = [||];
+    frames = Array.make (max_depth + 1) [||];
+    extern_slots = Array.make (max code.Compile.n_extern_slots 1) None;
     max_depth;
   }
 
-let register_extern st name handler = Hashtbl.replace st.externs name handler
+(* Register (or replace) a handler for calls to an undefined function.
+   Call sites were pre-resolved to extern slots at compile time, so a
+   name no call site references has no slot — registering it is a no-op
+   (it could never have been invoked anyway). *)
+let register_extern (st : state) name handler =
+  match Hashtbl.find_opt st.Compile.code.Compile.extern_index name with
+  | Some slot -> st.Compile.extern_slots.(slot) <- Some handler
+  | None -> ()
 
-let memory st = st.mem
+let memory (st : state) = st.Compile.mem
 
-let dyn_count st = st.dyn_count
+let dyn_count (st : state) = st.Compile.budget0 - st.Compile.fuel
 
 (* Executed vector instructions (per the paper's definition: at least
    one vector operand or result); the dynamic counterpart of Fig 10. *)
-let dyn_vector_count st = st.dyn_vector
+let dyn_vector_count (st : state) = st.Compile.dyn_vector
 
-(* ------------------------------------------------------------------ *)
-(* Scalar/lane arithmetic                                              *)
+(* Lane evaluators re-exported for the constant folder and the reference
+   SPMD evaluator; the semantics live in {!Eval}. *)
+let eval_ibinop_lane = Eval.eval_ibinop_lane
 
-let eval_ibinop_lane (k : Vir.Instr.ibinop) (s : Vir.Vtype.scalar) a b =
-  let bits = Vir.Vtype.scalar_bits s in
-  let shift_mask = bits - 1 in
-  let t x = Bits.truncate s x in
-  match k with
-  | Vir.Instr.Add -> t (Int64.add a b)
-  | Vir.Instr.Sub -> t (Int64.sub a b)
-  | Vir.Instr.Mul -> t (Int64.mul a b)
-  | Vir.Instr.Sdiv ->
-    if b = 0L then Trap.raise_ Trap.Division_by_zero
-    else if s = Vir.Vtype.I64 && a = Int64.min_int && b = -1L then
-      (* x86 idiv overflow raises #DE: a crash. *)
-      Trap.raise_ Trap.Division_by_zero
-    else t (Int64.div a b)
-  | Vir.Instr.Srem ->
-    if b = 0L then Trap.raise_ Trap.Division_by_zero
-    else if s = Vir.Vtype.I64 && a = Int64.min_int && b = -1L then
-      Trap.raise_ Trap.Division_by_zero
-    else t (Int64.rem a b)
-  | Vir.Instr.Udiv ->
-    if b = 0L then Trap.raise_ Trap.Division_by_zero
-    else t (Int64.unsigned_div (Bits.to_unsigned s a) (Bits.to_unsigned s b))
-  | Vir.Instr.Urem ->
-    if b = 0L then Trap.raise_ Trap.Division_by_zero
-    else t (Int64.unsigned_rem (Bits.to_unsigned s a) (Bits.to_unsigned s b))
-  | Vir.Instr.And -> t (Int64.logand a b)
-  | Vir.Instr.Or -> t (Int64.logor a b)
-  | Vir.Instr.Xor -> t (Int64.logxor a b)
-  | Vir.Instr.Shl ->
-    (* x86 semantics: shift amount masked to the operand width. *)
-    t (Int64.shift_left a (Int64.to_int b land shift_mask))
-  | Vir.Instr.Lshr ->
-    t
-      (Int64.shift_right_logical (Bits.to_unsigned s a)
-         (Int64.to_int b land shift_mask))
-  | Vir.Instr.Ashr -> t (Int64.shift_right a (Int64.to_int b land shift_mask))
+let eval_fbinop_lane = Eval.eval_fbinop_lane
 
-let eval_fbinop_lane (k : Vir.Instr.fbinop) (s : Vir.Vtype.scalar) a b =
-  let r =
-    match k with
-    | Vir.Instr.Fadd -> a +. b
-    | Vir.Instr.Fsub -> a -. b
-    | Vir.Instr.Fmul -> a *. b
-    | Vir.Instr.Fdiv -> a /. b  (* IEEE: yields inf/nan, no trap *)
-    | Vir.Instr.Frem -> Float.rem a b
-  in
-  Bits.round_float s r
+let eval_icmp_lane = Eval.eval_icmp_lane
 
-let eval_icmp_lane (p : Vir.Instr.icmp_pred) (s : Vir.Vtype.scalar) a b =
-  let u x = Bits.to_unsigned s x in
-  let r =
-    match p with
-    | Vir.Instr.Ieq -> Int64.equal a b
-    | Vir.Instr.Ine -> not (Int64.equal a b)
-    | Vir.Instr.Islt -> Int64.compare a b < 0
-    | Vir.Instr.Isle -> Int64.compare a b <= 0
-    | Vir.Instr.Isgt -> Int64.compare a b > 0
-    | Vir.Instr.Isge -> Int64.compare a b >= 0
-    | Vir.Instr.Iult -> Int64.unsigned_compare (u a) (u b) < 0
-    | Vir.Instr.Iule -> Int64.unsigned_compare (u a) (u b) <= 0
-    | Vir.Instr.Iugt -> Int64.unsigned_compare (u a) (u b) > 0
-    | Vir.Instr.Iuge -> Int64.unsigned_compare (u a) (u b) >= 0
-  in
-  if r then 1L else 0L
+let eval_fcmp_lane = Eval.eval_fcmp_lane
 
-let eval_fcmp_lane (p : Vir.Instr.fcmp_pred) a b =
-  let ord = not (Float.is_nan a || Float.is_nan b) in
-  let r =
-    match p with
-    | Vir.Instr.Foeq -> ord && a = b
-    | Vir.Instr.Fone -> ord && a <> b
-    | Vir.Instr.Folt -> ord && a < b
-    | Vir.Instr.Fole -> ord && a <= b
-    | Vir.Instr.Fogt -> ord && a > b
-    | Vir.Instr.Foge -> ord && a >= b
-    | Vir.Instr.Ford -> ord
-    | Vir.Instr.Funo -> not ord
-  in
-  if r then 1L else 0L
-
-let map2_int f a b = Array.init (Array.length a) (fun i -> f a.(i) b.(i))
-
-let eval_cast (k : Vir.Instr.cast_op) (dst_ty : Vir.Vtype.t) (v : Vvalue.t) =
-  let ds = Vir.Vtype.elem dst_ty in
-  let n = Vvalue.lanes v in
-  let fail () =
-    invalid_arg
-      (Printf.sprintf "Machine: unsupported cast %s" (Vir.Instr.cast_name k))
-  in
-  match (k, v) with
-  | (Vir.Instr.Trunc | Vir.Instr.Sext | Vir.Instr.Ptrtoint
-    | Vir.Instr.Inttoptr), Vvalue.I (_, lanes) ->
-    Vvalue.I (ds, Array.map (Bits.truncate ds) lanes)
-  | Vir.Instr.Zext, Vvalue.I (ss, lanes) ->
-    Vvalue.I (ds, Array.map (fun x -> Bits.truncate ds (Bits.to_unsigned ss x)) lanes)
-  | Vir.Instr.Fptosi, Vvalue.F (_, lanes) ->
-    (* Out-of-range/NaN produce the x86 "integer indefinite" value. *)
-    let bits = Vir.Vtype.scalar_bits ds in
-    let indefinite = Int64.shift_left 1L (bits - 1) in
-    Vvalue.I
-      ( ds,
-        Array.map
-          (fun x ->
-            if Float.is_nan x then Bits.truncate ds indefinite
-            else
-              let lo = Int64.to_float Int64.min_int
-              and hi = Int64.to_float Int64.max_int in
-              if x < lo || x > hi then Bits.truncate ds indefinite
-              else
-                let i = Int64.of_float x in
-                let tr = Bits.truncate ds i in
-                if bits < 64 && tr <> i then Bits.truncate ds indefinite
-                else tr)
-          lanes )
-  | Vir.Instr.Sitofp, Vvalue.I (_, lanes) ->
-    Vvalue.F
-      (ds, Array.map (fun x -> Bits.round_float ds (Int64.to_float x)) lanes)
-  | (Vir.Instr.Fptrunc | Vir.Instr.Fpext), Vvalue.F (_, lanes) ->
-    Vvalue.F (ds, Array.map (Bits.round_float ds) lanes)
-  | Vir.Instr.Bitcast, Vvalue.I (ss, lanes)
-    when Vir.Vtype.is_float_scalar ds
-         && Vir.Vtype.scalar_bits ss = Vir.Vtype.scalar_bits ds ->
-    Vvalue.F (ds, Array.map (Bits.float_of_bits ds) lanes)
-  | Vir.Instr.Bitcast, Vvalue.F (ss, lanes)
-    when Vir.Vtype.is_int_scalar ds
-         && Vir.Vtype.scalar_bits ss = Vir.Vtype.scalar_bits ds ->
-    Vvalue.I (ds, Array.map (Bits.bits_of_float ss) lanes)
-  | Vir.Instr.Bitcast, Vvalue.I (ss, lanes)
-    when Vir.Vtype.is_int_scalar ds
-         && Vir.Vtype.scalar_bits ss = Vir.Vtype.scalar_bits ds ->
-    Vvalue.I (ds, Array.map (Bits.truncate ds) lanes)
-  | _ ->
-    ignore n;
-    fail ()
-
-let eval_math name (args : Vvalue.t list) =
-  let unary f =
-    match args with
-    | [ Vvalue.F (s, lanes) ] ->
-      Vvalue.F (s, Array.map (fun x -> Bits.round_float s (f x)) lanes)
-    | _ -> invalid_arg ("Machine: bad math intrinsic args for " ^ name)
-  in
-  let binary f =
-    match args with
-    | [ Vvalue.F (s, a); Vvalue.F (_, b) ] ->
-      Vvalue.F (s, Array.init (Array.length a) (fun i -> Bits.round_float s (f a.(i) b.(i))))
-    | _ -> invalid_arg ("Machine: bad math intrinsic args for " ^ name)
-  in
-  match name with
-  | "sqrt" -> unary sqrt
-  | "exp" -> unary exp
-  | "log" -> unary log
-  | "sin" -> unary sin
-  | "cos" -> unary cos
-  | "fabs" -> unary abs_float
-  | "floor" -> unary floor
-  | "pow" -> binary ( ** )
-  | "min" -> binary min
-  | "max" -> binary max
-  | _ -> invalid_arg ("Machine: unknown math intrinsic " ^ name)
-
-let eval_reduce name (args : Vvalue.t list) =
-  match (name, args) with
-  | "add", [ Vvalue.F (s, lanes) ] ->
-    Vvalue.F (s, [| Array.fold_left (fun acc x -> Bits.round_float s (acc +. x)) 0.0 lanes |])
-  | "add", [ Vvalue.I (s, lanes) ] ->
-    Vvalue.I (s, [| Array.fold_left (fun acc x -> Bits.truncate s (Int64.add acc x)) 0L lanes |])
-  | "or", [ Vvalue.I (s, lanes) ] ->
-    Vvalue.I (s, [| Array.fold_left Int64.logor 0L lanes |])
-  | "min", [ Vvalue.F (s, lanes) ] ->
-    Vvalue.F (s, [| Array.fold_left min lanes.(0) lanes |])
-  | "max", [ Vvalue.F (s, lanes) ] ->
-    Vvalue.F (s, [| Array.fold_left max lanes.(0) lanes |])
-  | "min", [ Vvalue.I (s, lanes) ] ->
-    Vvalue.I (s, [| Array.fold_left min lanes.(0) lanes |])
-  | "max", [ Vvalue.I (s, lanes) ] ->
-    Vvalue.I (s, [| Array.fold_left max lanes.(0) lanes |])
-  | _ -> invalid_arg ("Machine: bad reduce intrinsic " ^ name)
-
-(* ------------------------------------------------------------------ *)
-(* Execution                                                           *)
-
-let charge st =
-  st.dyn_count <- st.dyn_count + 1;
-  st.fuel <- st.fuel - 1;
-  if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted
-
-let rec call_function st depth (cf : Compile.cfunc) (args : Vvalue.t list) :
-    Vvalue.t option =
-  if depth > st.max_depth then Trap.raise_ Trap.Stack_overflow_vm;
-  let regs = Array.make (max cf.Compile.nregs 1) (Vvalue.of_i32 0) in
-  List.iteri (fun i v -> if i < Array.length regs then regs.(i) <- v) args;
-  let operand = function
-    | Compile.Creg r -> regs.(r)
-    | Compile.Cimm v -> v
-  in
-  let exec_instr (ci : Compile.cinstr) =
-    charge st;
-    if ci.Compile.cvec then st.dyn_vector <- st.dyn_vector + 1;
-    let i = ci.Compile.src in
-    let ops = ci.Compile.ops in
-    let result =
-      match i.Vir.Instr.op with
-      | Vir.Instr.Ibinop (k, _, _) -> (
-        match (operand ops.(0), operand ops.(1)) with
-        | Vvalue.I (s, a), Vvalue.I (_, b) ->
-          Some (Vvalue.I (s, map2_int (eval_ibinop_lane k s) a b))
-        | _ -> invalid_arg "Machine: ibinop on floats")
-      | Vir.Instr.Fbinop (k, _, _) -> (
-        match (operand ops.(0), operand ops.(1)) with
-        | Vvalue.F (s, a), Vvalue.F (_, b) ->
-          Some (Vvalue.F (s, map2_int (eval_fbinop_lane k s) a b))
-        | _ -> invalid_arg "Machine: fbinop on ints")
-      | Vir.Instr.Icmp (p, _, _) -> (
-        match (operand ops.(0), operand ops.(1)) with
-        | Vvalue.I (s, a), Vvalue.I (_, b) ->
-          Some (Vvalue.I (Vir.Vtype.I1, map2_int (eval_icmp_lane p s) a b))
-        | _ -> invalid_arg "Machine: icmp on floats")
-      | Vir.Instr.Fcmp (p, _, _) -> (
-        match (operand ops.(0), operand ops.(1)) with
-        | Vvalue.F (_, a), Vvalue.F (_, b) ->
-          Some
-            (Vvalue.I
-               ( Vir.Vtype.I1,
-                 Array.init (Array.length a) (fun ix ->
-                     eval_fcmp_lane p a.(ix) b.(ix)) ))
-        | _ -> invalid_arg "Machine: fcmp on ints")
-      | Vir.Instr.Select _ -> (
-        let c = operand ops.(0)
-        and x = operand ops.(1)
-        and y = operand ops.(2) in
-        if Vvalue.lanes c = 1 then
-          Some (if Vvalue.as_bool c then x else y)
-        else
-          match (x, y) with
-          | Vvalue.I (s, a), Vvalue.I (_, b) ->
-            Some
-              (Vvalue.I
-                 ( s,
-                   Array.init (Array.length a) (fun ix ->
-                       if Vvalue.is_true_lane c ix then a.(ix) else b.(ix)) ))
-          | Vvalue.F (s, a), Vvalue.F (_, b) ->
-            Some
-              (Vvalue.F
-                 ( s,
-                   Array.init (Array.length a) (fun ix ->
-                       if Vvalue.is_true_lane c ix then a.(ix) else b.(ix)) ))
-          | _ -> invalid_arg "Machine: select arm kind mismatch")
-      | Vir.Instr.Cast (k, _) ->
-        Some (eval_cast k i.Vir.Instr.ty (operand ops.(0)))
-      | Vir.Instr.Alloca (elt, count) ->
-        let bytes = Vir.Vtype.size_bytes elt * count in
-        let base =
-          Memory.alloc st.mem ~name:(cf.Compile.cf.Vir.Func.fname ^ ".alloca")
-            ~bytes
-        in
-        Some (Vvalue.of_ptr base)
-      | Vir.Instr.Load _ ->
-        let addr = Vvalue.as_int (operand ops.(0)) in
-        Some (Memory.load st.mem i.Vir.Instr.ty addr)
-      | Vir.Instr.Store _ ->
-        let v = operand ops.(0) in
-        let addr = Vvalue.as_int (operand ops.(1)) in
-        Memory.store st.mem v addr;
-        None
-      | Vir.Instr.Gep (_, _, elem_bytes) ->
-        let base = Vvalue.as_int (operand ops.(0)) in
-        let index = Vvalue.as_int (operand ops.(1)) in
-        Some
-          (Vvalue.of_ptr
-             (Int64.add base (Int64.mul index (Int64.of_int elem_bytes))))
-      | Vir.Instr.Extractelement _ ->
-        let v = operand ops.(0) in
-        let ix = Int64.to_int (Vvalue.as_int (operand ops.(1))) in
-        if ix < 0 || ix >= Vvalue.lanes v then
-          Trap.raise_ (Trap.Invalid_lane ix)
-        else Some (Vvalue.extract v ix)
-      | Vir.Instr.Insertelement _ ->
-        let v = operand ops.(0) in
-        let e = operand ops.(1) in
-        let ix = Int64.to_int (Vvalue.as_int (operand ops.(2))) in
-        if ix < 0 || ix >= Vvalue.lanes v then
-          Trap.raise_ (Trap.Invalid_lane ix)
-        else Some (Vvalue.insert v ix e)
-      | Vir.Instr.Shufflevector (_, _, mask) -> (
-        let a = operand ops.(0) and b = operand ops.(1) in
-        let n = Vvalue.lanes a in
-        let pick ix = if ix < n then Vvalue.extract a ix else Vvalue.extract b (ix - n) in
-        match a with
-        | Vvalue.I (s, _) ->
-          Some
-            (Vvalue.I
-               ( s,
-                 Array.map
-                   (fun ix ->
-                     match pick ix with
-                     | Vvalue.I (_, [| x |]) -> x
-                     | _ -> assert false)
-                   mask ))
-        | Vvalue.F (s, _) ->
-          Some
-            (Vvalue.F
-               ( s,
-                 Array.map
-                   (fun ix ->
-                     match pick ix with
-                     | Vvalue.F (_, [| x |]) -> x
-                     | _ -> assert false)
-                   mask )))
-      | Vir.Instr.Call (callee, _) ->
-        let args = Array.to_list (Array.map operand ops) in
-        exec_call st depth callee args i.Vir.Instr.ty
-      | Vir.Instr.Phi _ | Vir.Instr.Br _ | Vir.Instr.Condbr _
-      | Vir.Instr.Ret _ | Vir.Instr.Unreachable ->
-        assert false (* handled by the block loop *)
-    in
-    match result with
-    | Some v when ci.Compile.dst >= 0 -> regs.(ci.Compile.dst) <- v
-    | Some _ | None -> ()
-  in
-  (* Block interpretation loop with standard parallel phi evaluation. *)
-  let rec run_block prev_idx cur_idx =
-    let blk = cf.Compile.cblocks.(cur_idx) in
-    let phi_vals =
-      Array.map
-        (fun (p : Compile.cphi) ->
-          charge st;
-          let _, v =
-            try
-              Array.to_list p.Compile.incoming
-              |> List.find (fun (pred, _) -> pred = prev_idx)
-            with Not_found ->
-              invalid_arg
-                (Printf.sprintf "Machine: phi in %%%s has no edge from #%d"
-                   blk.Compile.clabel prev_idx)
-          in
-          operand v)
-        blk.Compile.cphis
-    in
-    Array.iteri
-      (fun k (p : Compile.cphi) -> regs.(p.Compile.pdst) <- phi_vals.(k))
-      blk.Compile.cphis;
-    Array.iter exec_instr blk.Compile.body;
-    charge st;
-    match blk.Compile.term with
-    | Compile.Tbr next -> run_block cur_idx next
-    | Compile.Tcondbr (c, l1, l2) ->
-      if Vvalue.as_bool (operand c) then run_block cur_idx l1
-      else run_block cur_idx l2
-    | Compile.Tret v -> Option.map operand v
-    | Compile.Tunreachable -> Trap.raise_ Trap.Unreachable_executed
-  in
-  run_block (-1) 0
-
-and exec_call st depth callee (args : Vvalue.t list) ret_ty :
-    Vvalue.t option =
-  match Hashtbl.find_opt st.code.Compile.cfuncs callee with
-  | Some cf -> call_function st (depth + 1) cf args
-  | None -> (
-    match Vir.Intrinsics.lookup callee with
-    | Some { Vir.Intrinsics.kind = Vir.Intrinsics.Math m; _ } ->
-      Some (eval_math m args)
-    | Some { Vir.Intrinsics.kind = Vir.Intrinsics.Reduce r; _ } ->
-      Some (eval_reduce r args)
-    | Some { Vir.Intrinsics.kind = Vir.Intrinsics.Maskload; _ } -> (
-      match args with
-      | [ ptr; mask ] ->
-        Some
-          (Memory.masked_load st.mem ret_ty (Vvalue.as_int ptr) ~mask)
-      | _ -> invalid_arg ("Machine: maskload arity @" ^ callee))
-    | Some { Vir.Intrinsics.kind = Vir.Intrinsics.Maskstore; _ } -> (
-      match args with
-      | [ ptr; mask; v ] ->
-        Memory.store ~mask st.mem v (Vvalue.as_int ptr);
-        None
-      | _ -> invalid_arg ("Machine: maskstore arity @" ^ callee))
-    | None -> (
-      match Hashtbl.find_opt st.externs callee with
-      | Some handler -> handler st args
-      | None -> Trap.raise_ (Trap.Unknown_function callee)))
+let eval_cast = Eval.eval_cast
 
 (* Run function [name] with [args]; returns its value (None for void).
-   Raises {!Trap.Trap} on a crash. *)
-let run st name (args : Vvalue.t list) : Vvalue.t option =
-  match Hashtbl.find_opt st.code.Compile.cfuncs name with
-  | Some cf -> call_function st 0 cf args
+   Raises {!Trap.Trap} on a crash, [Invalid_argument] on an arity
+   mismatch (previously extra arguments were silently dropped and
+   missing ones defaulted to i32 0). *)
+let run (st : state) name (args : Vvalue.t list) : Vvalue.t option =
+  match Hashtbl.find_opt st.Compile.code.Compile.cfuncs name with
+  | Some cf ->
+    let nargs = List.length args in
+    if nargs <> cf.Compile.nparams then
+      invalid_arg
+        (Printf.sprintf
+           "Machine: call to @%s with %d argument(s), expects %d" name nargs
+           cf.Compile.nparams);
+    (* A previous run may have unwound through a trap mid-call-stack;
+       the depth counter restarts with the fresh activation. *)
+    st.Compile.depth <- 0;
+    let size = if cf.Compile.nregs > 0 then cf.Compile.nregs else 1 in
+    let regs = Array.make size Compile.default_value in
+    List.iteri (fun i v -> regs.(i) <- v) args;
+    Compile.exec_cfunc st cf regs
   | None -> Trap.raise_ (Trap.Unknown_function name)

@@ -40,5 +40,7 @@ val eval_cast : Vir.Instr.cast_op -> Vir.Vtype.t -> Vvalue.t -> Vvalue.t
 
 (** Run function [name] with the given arguments; returns its value
     ([None] for void).
-    @raise Trap.Trap on crash (bounds, division, budget, ...). *)
+    @raise Trap.Trap on crash (bounds, division, budget, ...).
+    @raise Invalid_argument if the argument count does not match the
+      function's parameter count. *)
 val run : state -> string -> Vvalue.t list -> Vvalue.t option

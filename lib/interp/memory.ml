@@ -17,11 +17,15 @@ type region = {
 type t = {
   mutable regions : region list;  (** most recent first *)
   mutable next_base : int64;
+  mutable last : region option;
+      (** one-entry lookup cache: consecutive accesses overwhelmingly
+          hit the same region. Purely an accelerator — hit or miss, the
+          result of [find] is unchanged. *)
 }
 
 (* Bases start high and advance by the allocation size rounded up to a
    page plus a guard page, mimicking a sparse address space. *)
-let create () = { regions = []; next_base = 0x1000_0000L }
+let create () = { regions = []; next_base = 0x1000_0000L; last = None }
 
 let page = 4096
 
@@ -37,15 +41,20 @@ let alloc m ~name ~bytes =
     Int64.add base (Int64.of_int (round_up size page + page));
   base
 
+let in_region r addr =
+  addr >= r.base && Int64.sub addr r.base < Int64.of_int r.size
+
 let find m addr =
-  let rec go = function
-    | [] -> None
-    | r :: rest ->
-      if addr >= r.base && Int64.sub addr r.base < Int64.of_int r.size then
-        Some r
-      else go rest
-  in
-  go m.regions
+  match m.last with
+  | Some r when in_region r addr -> m.last
+  | _ ->
+    let rec go = function
+      | [] -> None
+      | r :: rest -> if in_region r addr then Some r else go rest
+    in
+    let res = go m.regions in
+    (match res with Some _ -> m.last <- res | None -> ());
+    res
 
 let region_for m addr ~bytes =
   match find m addr with
@@ -86,47 +95,449 @@ let store_scalar m (s : Vir.Vtype.scalar) addr (lane_int : int64)
   | F32 -> Bytes.set_int32_le r.data off (Int32.bits_of_float lane_float)
   | F64 -> Bytes.set_int64_le r.data off (Int64.bits_of_float lane_float)
 
+(* Raw lane readers/writers against an already-resolved region; the
+   fast vector paths below use them to avoid one region walk and one
+   intermediate 1-lane value per lane. Byte-level encodings match
+   [load_scalar]/[store_scalar] exactly. *)
+let read_lane_int (s : Vir.Vtype.scalar) data off : int64 =
+  match s with
+  | Vir.Vtype.I1 -> if Bytes.get data off = '\000' then 0L else 1L
+  | Vir.Vtype.I8 ->
+    Int64.of_int (Char.code (Bytes.get data off) lsl 56 asr 56)
+  | Vir.Vtype.I32 -> Int64.of_int32 (Bytes.get_int32_le data off)
+  | Vir.Vtype.I64 | Vir.Vtype.Ptr -> Bytes.get_int64_le data off
+  | Vir.Vtype.F32 | Vir.Vtype.F64 -> assert false
+
+let read_lane_float (s : Vir.Vtype.scalar) data off : float =
+  match s with
+  | Vir.Vtype.F32 -> Int32.float_of_bits (Bytes.get_int32_le data off)
+  | Vir.Vtype.F64 -> Int64.float_of_bits (Bytes.get_int64_le data off)
+  | _ -> assert false
+
+let write_lane_int (s : Vir.Vtype.scalar) data off (x : int64) =
+  match s with
+  | Vir.Vtype.I1 -> Bytes.set data off (if x = 0L then '\000' else '\001')
+  | Vir.Vtype.I8 -> Bytes.set data off (Char.chr (Int64.to_int x land 0xFF))
+  | Vir.Vtype.I32 -> Bytes.set_int32_le data off (Int64.to_int32 x)
+  | Vir.Vtype.I64 | Vir.Vtype.Ptr -> Bytes.set_int64_le data off x
+  | Vir.Vtype.F32 | Vir.Vtype.F64 -> assert false
+
+let write_lane_float (s : Vir.Vtype.scalar) data off (x : float) =
+  match s with
+  | Vir.Vtype.F32 -> Bytes.set_int32_le data off (Int32.bits_of_float x)
+  | Vir.Vtype.F64 -> Bytes.set_int64_le data off (Int64.bits_of_float x)
+  | _ -> assert false
+
+(* The whole range [addr, addr + bytes) inside one region, or None (the
+   caller falls back to the per-lane path, which reproduces the exact
+   per-lane trap address). *)
+let range_in_region m addr ~bytes =
+  match find m addr with
+  | Some r when Int64.to_int (Int64.sub addr r.base) + bytes <= r.size ->
+    Some (r, Int64.to_int (Int64.sub addr r.base))
+  | _ -> None
+
 (* Load a (possibly vector) value of type [ty] from contiguous memory. *)
 let load m (ty : Vir.Vtype.t) addr : Vvalue.t =
   match ty with
   | Vir.Vtype.Void -> invalid_arg "Memory.load: void"
   | Vir.Vtype.Scalar s -> load_scalar m s addr
   | Vir.Vtype.Vector (n, s) ->
-    let step = Int64.of_int (Vir.Vtype.scalar_bytes s) in
-    if Vir.Vtype.is_float_scalar s then
-      Vvalue.F
-        ( s,
-          Array.init n (fun i ->
-              match
-                load_scalar m s (Int64.add addr (Int64.mul step (Int64.of_int i)))
-              with
-              | Vvalue.F (_, [| x |]) -> x
-              | _ -> assert false) )
-    else
-      Vvalue.I
-        ( s,
-          Array.init n (fun i ->
-              match
-                load_scalar m s (Int64.add addr (Int64.mul step (Int64.of_int i)))
-              with
-              | Vvalue.I (_, [| x |]) -> x
-              | _ -> assert false) )
+    let sb = Vir.Vtype.scalar_bytes s in
+    let step = Int64.of_int sb in
+    (match range_in_region m addr ~bytes:(n * sb) with
+    | Some (r, off) ->
+      if Vir.Vtype.is_float_scalar s then begin
+        let out = Array.make n 0.0 in
+        for i = 0 to n - 1 do
+          Array.unsafe_set out i (read_lane_float s r.data (off + (i * sb)))
+        done;
+        Vvalue.F (s, out)
+      end
+      else begin
+        let out = Array.make n 0L in
+        for i = 0 to n - 1 do
+          Array.unsafe_set out i (read_lane_int s r.data (off + (i * sb)))
+        done;
+        Vvalue.I (s, out)
+      end
+    | None ->
+      if Vir.Vtype.is_float_scalar s then
+        Vvalue.F
+          ( s,
+            Array.init n (fun i ->
+                match
+                  load_scalar m s
+                    (Int64.add addr (Int64.mul step (Int64.of_int i)))
+                with
+                | Vvalue.F (_, [| x |]) -> x
+                | _ -> assert false) )
+      else
+        Vvalue.I
+          ( s,
+            Array.init n (fun i ->
+                match
+                  load_scalar m s
+                    (Int64.add addr (Int64.mul step (Int64.of_int i)))
+                with
+                | Vvalue.I (_, [| x |]) -> x
+                | _ -> assert false) ))
 
 (* Store a value to contiguous memory; [mask] (if given) disables lanes. *)
 let store ?mask m (v : Vvalue.t) addr =
   let n = Vvalue.lanes v in
   let s = Vvalue.scalar_kind v in
-  let step = Int64.of_int (Vir.Vtype.scalar_bytes s) in
-  for i = 0 to n - 1 do
-    let enabled =
-      match mask with None -> true | Some mk -> Vvalue.is_true_lane mk i
-    in
-    if enabled then
-      let a = Int64.add addr (Int64.mul step (Int64.of_int i)) in
-      match v with
-      | Vvalue.I (_, lanes) -> store_scalar m s a lanes.(i) 0.0
-      | Vvalue.F (_, lanes) -> store_scalar m s a 0L lanes.(i)
-  done
+  let sb = Vir.Vtype.scalar_bytes s in
+  let fast =
+    match mask with
+    | Some _ -> None  (* disabled lanes must not be bounds-checked *)
+    | None -> range_in_region m addr ~bytes:(n * sb)
+  in
+  match fast with
+  | Some (r, off) -> (
+    match v with
+    | Vvalue.I (_, lanes) ->
+      for i = 0 to n - 1 do
+        write_lane_int s r.data (off + (i * sb)) lanes.(i)
+      done
+    | Vvalue.F (_, lanes) ->
+      for i = 0 to n - 1 do
+        write_lane_float s r.data (off + (i * sb)) lanes.(i)
+      done)
+  | None ->
+    let step = Int64.of_int sb in
+    for i = 0 to n - 1 do
+      let enabled =
+        match mask with None -> true | Some mk -> Vvalue.is_true_lane mk i
+      in
+      if enabled then
+        let a = Int64.add addr (Int64.mul step (Int64.of_int i)) in
+        match v with
+        | Vvalue.I (_, lanes) -> store_scalar m s a lanes.(i) 0.0
+        | Vvalue.F (_, lanes) -> store_scalar m s a 0L lanes.(i)
+    done
+
+(* Pre-specialized load routine for a statically known access type: the
+   threading stage builds one per load site, so the per-access work is
+   region lookup + raw byte moves with no type dispatch. Semantics
+   (including per-lane trap addresses on region-straddling vector
+   accesses) are identical to [load]. *)
+let loader (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t =
+  match ty with
+  | Vir.Vtype.Void -> invalid_arg "Memory.load: void"
+  | Vir.Vtype.Scalar s -> (
+    match s with
+    | I1 ->
+      fun m addr ->
+        let r, off = region_for m addr ~bytes:1 in
+        Vvalue.I
+          (I1, [| (if Bytes.get r.data off = '\000' then 0L else 1L) |])
+    | I8 ->
+      fun m addr ->
+        let r, off = region_for m addr ~bytes:1 in
+        Vvalue.I
+          ( I8,
+            [| Int64.of_int (Char.code (Bytes.get r.data off) lsl 56 asr 56) |]
+          )
+    | I32 ->
+      fun m addr ->
+        let r, off = region_for m addr ~bytes:4 in
+        Vvalue.I (I32, [| Int64.of_int32 (Bytes.get_int32_le r.data off) |])
+    | I64 ->
+      fun m addr ->
+        let r, off = region_for m addr ~bytes:8 in
+        Vvalue.I (I64, [| Bytes.get_int64_le r.data off |])
+    | Ptr ->
+      fun m addr ->
+        let r, off = region_for m addr ~bytes:8 in
+        Vvalue.I (Ptr, [| Bytes.get_int64_le r.data off |])
+    | F32 ->
+      fun m addr ->
+        let r, off = region_for m addr ~bytes:4 in
+        Vvalue.F
+          (F32, [| Int32.float_of_bits (Bytes.get_int32_le r.data off) |])
+    | F64 ->
+      fun m addr ->
+        let r, off = region_for m addr ~bytes:8 in
+        Vvalue.F
+          (F64, [| Int64.float_of_bits (Bytes.get_int64_le r.data off) |]))
+  | Vir.Vtype.Vector (n, s) -> (
+    let sb = Vir.Vtype.scalar_bytes s in
+    let bytes = n * sb in
+    (* Common (kind, width) pairs get fully unrolled bodies with the
+       result array allocated inline by the literal. *)
+    match (s, n) with
+    | Vir.Vtype.F32, 4 ->
+      fun m addr ->
+        (match range_in_region m addr ~bytes with
+        | Some (r, off) ->
+          Vvalue.F
+            ( F32,
+              [|
+                Int32.float_of_bits (Bytes.get_int32_le r.data off);
+                Int32.float_of_bits (Bytes.get_int32_le r.data (off + 4));
+                Int32.float_of_bits (Bytes.get_int32_le r.data (off + 8));
+                Int32.float_of_bits (Bytes.get_int32_le r.data (off + 12));
+              |] )
+        | None -> load m ty addr)
+    | Vir.Vtype.F32, 8 ->
+      fun m addr ->
+        (match range_in_region m addr ~bytes with
+        | Some (r, off) ->
+          Vvalue.F
+            ( F32,
+              [|
+                Int32.float_of_bits (Bytes.get_int32_le r.data off);
+                Int32.float_of_bits (Bytes.get_int32_le r.data (off + 4));
+                Int32.float_of_bits (Bytes.get_int32_le r.data (off + 8));
+                Int32.float_of_bits (Bytes.get_int32_le r.data (off + 12));
+                Int32.float_of_bits (Bytes.get_int32_le r.data (off + 16));
+                Int32.float_of_bits (Bytes.get_int32_le r.data (off + 20));
+                Int32.float_of_bits (Bytes.get_int32_le r.data (off + 24));
+                Int32.float_of_bits (Bytes.get_int32_le r.data (off + 28));
+              |] )
+        | None -> load m ty addr)
+    | Vir.Vtype.F64, 2 ->
+      fun m addr ->
+        (match range_in_region m addr ~bytes with
+        | Some (r, off) ->
+          Vvalue.F
+            ( F64,
+              [|
+                Int64.float_of_bits (Bytes.get_int64_le r.data off);
+                Int64.float_of_bits (Bytes.get_int64_le r.data (off + 8));
+              |] )
+        | None -> load m ty addr)
+    | Vir.Vtype.F64, 4 ->
+      fun m addr ->
+        (match range_in_region m addr ~bytes with
+        | Some (r, off) ->
+          Vvalue.F
+            ( F64,
+              [|
+                Int64.float_of_bits (Bytes.get_int64_le r.data off);
+                Int64.float_of_bits (Bytes.get_int64_le r.data (off + 8));
+                Int64.float_of_bits (Bytes.get_int64_le r.data (off + 16));
+                Int64.float_of_bits (Bytes.get_int64_le r.data (off + 24));
+              |] )
+        | None -> load m ty addr)
+    | Vir.Vtype.I32, 4 ->
+      fun m addr ->
+        (match range_in_region m addr ~bytes with
+        | Some (r, off) ->
+          Vvalue.I
+            ( I32,
+              [|
+                Int64.of_int32 (Bytes.get_int32_le r.data off);
+                Int64.of_int32 (Bytes.get_int32_le r.data (off + 4));
+                Int64.of_int32 (Bytes.get_int32_le r.data (off + 8));
+                Int64.of_int32 (Bytes.get_int32_le r.data (off + 12));
+              |] )
+        | None -> load m ty addr)
+    | Vir.Vtype.I32, 8 ->
+      fun m addr ->
+        (match range_in_region m addr ~bytes with
+        | Some (r, off) ->
+          Vvalue.I
+            ( I32,
+              [|
+                Int64.of_int32 (Bytes.get_int32_le r.data off);
+                Int64.of_int32 (Bytes.get_int32_le r.data (off + 4));
+                Int64.of_int32 (Bytes.get_int32_le r.data (off + 8));
+                Int64.of_int32 (Bytes.get_int32_le r.data (off + 12));
+                Int64.of_int32 (Bytes.get_int32_le r.data (off + 16));
+                Int64.of_int32 (Bytes.get_int32_le r.data (off + 20));
+                Int64.of_int32 (Bytes.get_int32_le r.data (off + 24));
+                Int64.of_int32 (Bytes.get_int32_le r.data (off + 28));
+              |] )
+        | None -> load m ty addr)
+    | Vir.Vtype.I64, 2 ->
+      fun m addr ->
+        (match range_in_region m addr ~bytes with
+        | Some (r, off) ->
+          Vvalue.I
+            ( I64,
+              [|
+                Bytes.get_int64_le r.data off;
+                Bytes.get_int64_le r.data (off + 8);
+              |] )
+        | None -> load m ty addr)
+    | Vir.Vtype.I64, 4 ->
+      fun m addr ->
+        (match range_in_region m addr ~bytes with
+        | Some (r, off) ->
+          Vvalue.I
+            ( I64,
+              [|
+                Bytes.get_int64_le r.data off;
+                Bytes.get_int64_le r.data (off + 8);
+                Bytes.get_int64_le r.data (off + 16);
+                Bytes.get_int64_le r.data (off + 24);
+              |] )
+        | None -> load m ty addr)
+    | _ ->
+      if Vir.Vtype.is_float_scalar s then
+        fun m addr ->
+          (match range_in_region m addr ~bytes with
+          | Some (r, off) ->
+            let out = Array.make n 0.0 in
+            for i = 0 to n - 1 do
+              Array.unsafe_set out i
+                (read_lane_float s r.data (off + (i * sb)))
+            done;
+            Vvalue.F (s, out)
+          | None -> load m ty addr)
+      else
+        fun m addr ->
+          (match range_in_region m addr ~bytes with
+          | Some (r, off) ->
+            let out = Array.make n 0L in
+            for i = 0 to n - 1 do
+              Array.unsafe_set out i (read_lane_int s r.data (off + (i * sb)))
+            done;
+            Vvalue.I (s, out)
+          | None -> load m ty addr))
+
+(* Pre-specialized unmasked store for a statically known operand type
+   (the VIR verifier guarantees the stored value has that type; masked
+   stores go through [store ~mask]). Identical semantics to [store]. *)
+let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
+  match ty with
+  | Vir.Vtype.Void -> invalid_arg "Memory.storer: void"
+  | Vir.Vtype.Scalar s -> (
+    match s with
+    | I32 ->
+      fun m v addr ->
+        let r, off = region_for m addr ~bytes:4 in
+        (match v with
+        | Vvalue.I (_, [| x |]) ->
+          Bytes.set_int32_le r.data off (Int64.to_int32 x)
+        | _ -> store_scalar m I32 addr (Vvalue.as_int v) 0.0)
+    | I64 ->
+      fun m v addr ->
+        let r, off = region_for m addr ~bytes:8 in
+        (match v with
+        | Vvalue.I (_, [| x |]) -> Bytes.set_int64_le r.data off x
+        | _ -> store_scalar m I64 addr (Vvalue.as_int v) 0.0)
+    | Ptr ->
+      fun m v addr ->
+        let r, off = region_for m addr ~bytes:8 in
+        (match v with
+        | Vvalue.I (_, [| x |]) -> Bytes.set_int64_le r.data off x
+        | _ -> store_scalar m Ptr addr (Vvalue.as_int v) 0.0)
+    | F32 ->
+      fun m v addr ->
+        let r, off = region_for m addr ~bytes:4 in
+        (match v with
+        | Vvalue.F (_, [| x |]) ->
+          Bytes.set_int32_le r.data off (Int32.bits_of_float x)
+        | _ -> store_scalar m F32 addr 0L (Vvalue.as_float v))
+    | F64 ->
+      fun m v addr ->
+        let r, off = region_for m addr ~bytes:8 in
+        (match v with
+        | Vvalue.F (_, [| x |]) ->
+          Bytes.set_int64_le r.data off (Int64.bits_of_float x)
+        | _ -> store_scalar m F64 addr 0L (Vvalue.as_float v))
+    | I1 | I8 ->
+      fun m v addr ->
+        (match v with
+        | Vvalue.I (_, [| x |]) -> store_scalar m s addr x 0.0
+        | _ -> store_scalar m s addr (Vvalue.as_int v) 0.0))
+  | Vir.Vtype.Vector (n, s) -> (
+    let sb = Vir.Vtype.scalar_bytes s in
+    let bytes = n * sb in
+    match (s, n) with
+    | Vir.Vtype.F32, 4 ->
+      fun m v addr ->
+        (match (range_in_region m addr ~bytes, v) with
+        | Some (r, off), Vvalue.F (_, l) when Array.length l = 4 ->
+          Bytes.set_int32_le r.data off (Int32.bits_of_float l.(0));
+          Bytes.set_int32_le r.data (off + 4) (Int32.bits_of_float l.(1));
+          Bytes.set_int32_le r.data (off + 8) (Int32.bits_of_float l.(2));
+          Bytes.set_int32_le r.data (off + 12) (Int32.bits_of_float l.(3))
+        | _ -> store m v addr)
+    | Vir.Vtype.F32, 8 ->
+      fun m v addr ->
+        (match (range_in_region m addr ~bytes, v) with
+        | Some (r, off), Vvalue.F (_, l) when Array.length l = 8 ->
+          Bytes.set_int32_le r.data off (Int32.bits_of_float l.(0));
+          Bytes.set_int32_le r.data (off + 4) (Int32.bits_of_float l.(1));
+          Bytes.set_int32_le r.data (off + 8) (Int32.bits_of_float l.(2));
+          Bytes.set_int32_le r.data (off + 12) (Int32.bits_of_float l.(3));
+          Bytes.set_int32_le r.data (off + 16) (Int32.bits_of_float l.(4));
+          Bytes.set_int32_le r.data (off + 20) (Int32.bits_of_float l.(5));
+          Bytes.set_int32_le r.data (off + 24) (Int32.bits_of_float l.(6));
+          Bytes.set_int32_le r.data (off + 28) (Int32.bits_of_float l.(7))
+        | _ -> store m v addr)
+    | Vir.Vtype.F64, 2 ->
+      fun m v addr ->
+        (match (range_in_region m addr ~bytes, v) with
+        | Some (r, off), Vvalue.F (_, l) when Array.length l = 2 ->
+          Bytes.set_int64_le r.data off (Int64.bits_of_float l.(0));
+          Bytes.set_int64_le r.data (off + 8) (Int64.bits_of_float l.(1))
+        | _ -> store m v addr)
+    | Vir.Vtype.F64, 4 ->
+      fun m v addr ->
+        (match (range_in_region m addr ~bytes, v) with
+        | Some (r, off), Vvalue.F (_, l) when Array.length l = 4 ->
+          Bytes.set_int64_le r.data off (Int64.bits_of_float l.(0));
+          Bytes.set_int64_le r.data (off + 8) (Int64.bits_of_float l.(1));
+          Bytes.set_int64_le r.data (off + 16) (Int64.bits_of_float l.(2));
+          Bytes.set_int64_le r.data (off + 24) (Int64.bits_of_float l.(3))
+        | _ -> store m v addr)
+    | Vir.Vtype.I32, 4 ->
+      fun m v addr ->
+        (match (range_in_region m addr ~bytes, v) with
+        | Some (r, off), Vvalue.I (_, l) when Array.length l = 4 ->
+          Bytes.set_int32_le r.data off (Int64.to_int32 l.(0));
+          Bytes.set_int32_le r.data (off + 4) (Int64.to_int32 l.(1));
+          Bytes.set_int32_le r.data (off + 8) (Int64.to_int32 l.(2));
+          Bytes.set_int32_le r.data (off + 12) (Int64.to_int32 l.(3))
+        | _ -> store m v addr)
+    | Vir.Vtype.I32, 8 ->
+      fun m v addr ->
+        (match (range_in_region m addr ~bytes, v) with
+        | Some (r, off), Vvalue.I (_, l) when Array.length l = 8 ->
+          Bytes.set_int32_le r.data off (Int64.to_int32 l.(0));
+          Bytes.set_int32_le r.data (off + 4) (Int64.to_int32 l.(1));
+          Bytes.set_int32_le r.data (off + 8) (Int64.to_int32 l.(2));
+          Bytes.set_int32_le r.data (off + 12) (Int64.to_int32 l.(3));
+          Bytes.set_int32_le r.data (off + 16) (Int64.to_int32 l.(4));
+          Bytes.set_int32_le r.data (off + 20) (Int64.to_int32 l.(5));
+          Bytes.set_int32_le r.data (off + 24) (Int64.to_int32 l.(6));
+          Bytes.set_int32_le r.data (off + 28) (Int64.to_int32 l.(7))
+        | _ -> store m v addr)
+    | Vir.Vtype.I64, 2 ->
+      fun m v addr ->
+        (match (range_in_region m addr ~bytes, v) with
+        | Some (r, off), Vvalue.I (_, l) when Array.length l = 2 ->
+          Bytes.set_int64_le r.data off l.(0);
+          Bytes.set_int64_le r.data (off + 8) l.(1)
+        | _ -> store m v addr)
+    | Vir.Vtype.I64, 4 ->
+      fun m v addr ->
+        (match (range_in_region m addr ~bytes, v) with
+        | Some (r, off), Vvalue.I (_, l) when Array.length l = 4 ->
+          Bytes.set_int64_le r.data off l.(0);
+          Bytes.set_int64_le r.data (off + 8) l.(1);
+          Bytes.set_int64_le r.data (off + 16) l.(2);
+          Bytes.set_int64_le r.data (off + 24) l.(3)
+        | _ -> store m v addr)
+    | _ ->
+      fun m v addr ->
+        (match range_in_region m addr ~bytes with
+        | Some (r, off) -> (
+          match v with
+          | Vvalue.I (_, lanes) ->
+            for i = 0 to n - 1 do
+              write_lane_int s r.data (off + (i * sb)) lanes.(i)
+            done
+          | Vvalue.F (_, lanes) ->
+            for i = 0 to n - 1 do
+              write_lane_float s r.data (off + (i * sb)) lanes.(i)
+            done)
+        | None -> store m v addr))
 
 (* Masked load: disabled lanes read as zero without touching memory
    (matching AVX maskload semantics). *)
@@ -155,41 +566,78 @@ let masked_load m (ty : Vir.Vtype.t) addr ~mask : Vvalue.t =
               else 0L) )
   | _ -> invalid_arg "Memory.masked_load: scalar type"
 
-(* Typed bulk accessors used by the benchmark harness. *)
+(* Typed bulk accessors used by the benchmark harness. Each resolves
+   the region once when the whole range is in bounds (the usual case);
+   otherwise the per-element path reproduces the per-element trap. *)
 
 let write_i32_array m base (xs : int array) =
-  Array.iteri
-    (fun i x ->
-      store_scalar m I32 (Int64.add base (Int64.of_int (4 * i)))
-        (Int64.of_int x) 0.0)
-    xs
+  match range_in_region m base ~bytes:(4 * Array.length xs) with
+  | Some (r, off) ->
+    Array.iteri
+      (fun i x -> Bytes.set_int32_le r.data (off + (4 * i)) (Int32.of_int x))
+      xs
+  | None ->
+    Array.iteri
+      (fun i x ->
+        store_scalar m I32 (Int64.add base (Int64.of_int (4 * i)))
+          (Int64.of_int x) 0.0)
+      xs
 
 let read_i32_array m base n =
-  Array.init n (fun i ->
-      match load_scalar m I32 (Int64.add base (Int64.of_int (4 * i))) with
-      | Vvalue.I (_, [| x |]) -> Int64.to_int x
-      | _ -> assert false)
+  match range_in_region m base ~bytes:(4 * n) with
+  | Some (r, off) ->
+    Array.init n (fun i ->
+        Int32.to_int (Bytes.get_int32_le r.data (off + (4 * i))))
+  | None ->
+    Array.init n (fun i ->
+        match load_scalar m I32 (Int64.add base (Int64.of_int (4 * i))) with
+        | Vvalue.I (_, [| x |]) -> Int64.to_int x
+        | _ -> assert false)
 
 let write_f32_array m base (xs : float array) =
-  Array.iteri
-    (fun i x ->
-      store_scalar m F32 (Int64.add base (Int64.of_int (4 * i))) 0L x)
-    xs
+  match range_in_region m base ~bytes:(4 * Array.length xs) with
+  | Some (r, off) ->
+    Array.iteri
+      (fun i x ->
+        Bytes.set_int32_le r.data (off + (4 * i)) (Int32.bits_of_float x))
+      xs
+  | None ->
+    Array.iteri
+      (fun i x ->
+        store_scalar m F32 (Int64.add base (Int64.of_int (4 * i))) 0L x)
+      xs
 
 let read_f32_array m base n =
-  Array.init n (fun i ->
-      match load_scalar m F32 (Int64.add base (Int64.of_int (4 * i))) with
-      | Vvalue.F (_, [| x |]) -> x
-      | _ -> assert false)
+  match range_in_region m base ~bytes:(4 * n) with
+  | Some (r, off) ->
+    Array.init n (fun i ->
+        Int32.float_of_bits (Bytes.get_int32_le r.data (off + (4 * i))))
+  | None ->
+    Array.init n (fun i ->
+        match load_scalar m F32 (Int64.add base (Int64.of_int (4 * i))) with
+        | Vvalue.F (_, [| x |]) -> x
+        | _ -> assert false)
 
 let write_f64_array m base (xs : float array) =
-  Array.iteri
-    (fun i x ->
-      store_scalar m F64 (Int64.add base (Int64.of_int (8 * i))) 0L x)
-    xs
+  match range_in_region m base ~bytes:(8 * Array.length xs) with
+  | Some (r, off) ->
+    Array.iteri
+      (fun i x ->
+        Bytes.set_int64_le r.data (off + (8 * i)) (Int64.bits_of_float x))
+      xs
+  | None ->
+    Array.iteri
+      (fun i x ->
+        store_scalar m F64 (Int64.add base (Int64.of_int (8 * i))) 0L x)
+      xs
 
 let read_f64_array m base n =
-  Array.init n (fun i ->
-      match load_scalar m F64 (Int64.add base (Int64.of_int (8 * i))) with
-      | Vvalue.F (_, [| x |]) -> x
-      | _ -> assert false)
+  match range_in_region m base ~bytes:(8 * n) with
+  | Some (r, off) ->
+    Array.init n (fun i ->
+        Int64.float_of_bits (Bytes.get_int64_le r.data (off + (8 * i))))
+  | None ->
+    Array.init n (fun i ->
+        match load_scalar m F64 (Int64.add base (Int64.of_int (8 * i))) with
+        | Vvalue.F (_, [| x |]) -> x
+        | _ -> assert false)

@@ -20,6 +20,15 @@ val load : t -> Vir.Vtype.t -> int64 -> Vvalue.t
     matching AVX maskstore semantics. *)
 val store : ?mask:Vvalue.t -> t -> Vvalue.t -> int64 -> unit
 
+(** Pre-specialized access routines for a statically known access type;
+    the closure-threading stage builds one per load/store site so the
+    per-access work is region lookup plus raw byte moves, with the type
+    dispatch done once at compile time. Semantics identical to [load]
+    and unmasked [store]. *)
+
+val loader : Vir.Vtype.t -> t -> int64 -> Vvalue.t
+val storer : Vir.Vtype.t -> t -> Vvalue.t -> int64 -> unit
+
 (** Masked vector load: disabled lanes read as zero without touching
     memory (AVX maskload semantics — a masked-off lane may point out of
     bounds without trapping). *)

@@ -1,0 +1,115 @@
+(* Golden-output regression: a 64-bit digest of every benchmark's
+   fault-free output (all nine Table I programs plus the three micro
+   benchmarks) at a fixed input, on both targets, together with the
+   dynamic instruction and vector-instruction counts. Any semantic
+   drift in the interpreter — evaluation order, rounding, lane
+   handling, fuel accounting — shows up here as a changed digest.
+
+   The expected values were produced by the closure-threaded
+   interpreter and cross-checked bit-identical against the pre-threading
+   interpretive dispatcher, so they pin the shared semantics, not one
+   implementation. If a digest changes, that is a semantics change and
+   needs the same before/after cross-check — do not just refresh the
+   number. *)
+
+open Benchmarks
+
+(* FNV-1a-style 64-bit fold; mixes array lengths so layout changes
+   cannot alias with content changes. *)
+let mix h x = Int64.mul (Int64.logxor h x) 0x100000001b3L
+
+let digest (out : Vulfi.Outcome.output) ~dyn ~dynv =
+  let h = ref 0xcbf29ce484222325L in
+  let add x = h := mix !h x in
+  List.iter
+    (fun a ->
+      add (Int64.of_int (Array.length a));
+      Array.iter (fun f -> add (Int64.bits_of_float f)) a)
+    out.Vulfi.Outcome.o_f32;
+  List.iter
+    (fun a ->
+      add (Int64.of_int (Array.length a));
+      Array.iter (fun i -> add (Int64.of_int i)) a)
+    out.Vulfi.Outcome.o_i32;
+  (match out.Vulfi.Outcome.o_ret with
+  | None -> add 1L
+  | Some (Interp.Vvalue.I (_, l)) -> Array.iter add l
+  | Some (Interp.Vvalue.F (_, l)) ->
+    Array.iter (fun f -> add (Int64.bits_of_float f)) l);
+  add (Int64.of_int dyn);
+  add (Int64.of_int dynv);
+  !h
+
+let golden_run (b : Harness.benchmark) ~target ~input =
+  let w = b.Harness.bench in
+  let m = w.Vulfi.Workload.w_build target in
+  let st = Interp.Machine.create (Interp.Compile.compile_module m) in
+  let args, read = w.Vulfi.Workload.w_setup ~input st in
+  ignore (Interp.Machine.run st w.Vulfi.Workload.w_fn args);
+  digest (read ()) ~dyn:(Interp.Machine.dyn_count st)
+    ~dynv:(Interp.Machine.dyn_vector_count st)
+
+(* (name, target, digest) at input 0. Regenerate with
+   GOLDEN_PRINT=1 dune exec test/test_golden.exe — but see the header:
+   a changed digest is a semantics change, not a refresh. *)
+let expected : (string * string * int64) list =
+  [
+    ("Fluidanimate", "AVX", 0x3529b08bd517a969L);
+    ("Fluidanimate", "SSE", 0x79d7fc8c0f935bd3L);
+    ("Swaptions", "AVX", 0x279b79b608036dbaL);
+    ("Swaptions", "SSE", 0xe2f8a070c02fb97bL);
+    ("Blackscholes", "AVX", 0x3cde1bf618aeba1bL);
+    ("Blackscholes", "SSE", 0x25a34bf604efc1c8L);
+    ("Sorting", "AVX", 0x78e26a1ec228fd08L);
+    ("Sorting", "SSE", 0x190d461e70c35459L);
+    ("Stencil", "AVX", 0x3002547bc05f3137L);
+    ("Stencil", "SSE", 0x2cac47b99f9d957L);
+    ("Raytracing", "AVX", 0x397d118d8a81373aL);
+    ("Raytracing", "SSE", 0x6227f88cd3a08d9aL);
+    ("Chebyshev", "AVX", 0xd9d9ebcef10fe207L);
+    ("Chebyshev", "SSE", 0xdbd46ecef2be57c3L);
+    ("Jacobi", "AVX", 0xfd426d2aed973687L);
+    ("Jacobi", "SSE", 0xba4de52ab4c103e7L);
+    ("ConjugateGradient", "AVX", 0x597e422a9528e405L);
+    ("ConjugateGradient", "SSE", 0x577995c3558f259L);
+    ("vector copy", "AVX", 0xd724ff5d332a286dL);
+    ("vector copy", "SSE", 0xd856ec5d342e21baL);
+    ("dot product", "AVX", 0x1c06caa00ac5bab5L);
+    ("dot product", "SSE", 0x2100a2a00eff83aeL);
+    ("vector sum", "AVX", 0x7c19c7824b363ac4L);
+    ("vector sum", "SSE", 0x71ae87f02b83b259L);
+  ]
+
+let print_mode = Sys.getenv_opt "GOLDEN_PRINT" = Some "1"
+
+let test_digests () =
+  List.iter
+    (fun (b : Harness.benchmark) ->
+      List.iter
+        (fun target ->
+          let name = b.Harness.bench.Vulfi.Workload.w_name in
+          let tname = Vir.Target.name target in
+          let d = golden_run b ~target ~input:0 in
+          if print_mode then
+            Printf.eprintf "    (%S, %S, 0x%LxL);\n" name tname d
+          else
+            match
+              List.find_opt
+                (fun (n, t, _) -> n = name && t = tname)
+                expected
+            with
+            | Some (_, _, e) ->
+              Alcotest.check Alcotest.int64
+                (Printf.sprintf "%s on %s" name tname)
+                e d
+            | None ->
+              Alcotest.failf "no golden digest recorded for %s on %s" name
+                tname)
+        Vir.Target.all)
+    Registry.all
+
+let () =
+  if print_mode then test_digests ()
+  else
+    Alcotest.run "golden"
+      [ ("digests", [ Alcotest.test_case "all benchmarks" `Quick test_digests ]) ]
