@@ -11,10 +11,14 @@
 
    Default (no argument): everything at "quick" scale. Flags:
      -j N                     run campaigns on N domains (default 1)
+     --trace FILE             JSONL telemetry for every campaign run
    Environment:
      VULFI_SCALE=paper        paper-scale campaigns (hours)
      VULFI_EXPERIMENTS=N      experiments per campaign override
-     VULFI_CAMPAIGNS=N        max campaigns override *)
+     VULFI_CAMPAIGNS=N        max campaigns override
+
+   fig11 and fig12 also export their cells to RESULTS_fig11.json /
+   RESULTS_fig12.json for machine consumption. *)
 
 let scale_is_paper =
   match Sys.getenv_opt "VULFI_SCALE" with
@@ -51,11 +55,54 @@ let scale_workload (w : Vulfi.Workload.t) =
    results bit-identical to the sequential ones. *)
 let jobs = ref 1
 
+(* Shared telemetry sink (--trace FILE), threaded through every
+   campaign the harness runs. *)
+let the_sink : Vulfi.Trace.sink option ref = ref None
+
 let campaign_run ?transform ?hooks cfg w target category =
   if !jobs > 1 then
-    Vulfi.Campaign.run_parallel ?transform ?hooks ~jobs:!jobs cfg w target
+    Vulfi.Campaign.run_parallel ?transform ?hooks ?sink:!the_sink
+      ~jobs:!jobs cfg w target category
+  else
+    Vulfi.Campaign.run ?transform ?hooks ?sink:!the_sink cfg w target
       category
-  else Vulfi.Campaign.run ?transform ?hooks cfg w target category
+
+(* Machine-readable export of a figure's campaign cells. *)
+let write_results_json path ~figure (cfg : Vulfi.Campaign.config)
+    (cells : (bool * Vulfi.Campaign.result) list) =
+  let json =
+    Vulfi.Json.Obj
+      [
+        ("schema", Vulfi.Json.String "vulfi-results-v1");
+        ("figure", Vulfi.Json.String figure);
+        ( "config",
+          Vulfi.Json.Obj
+            [
+              ( "experiments_per_campaign",
+                Vulfi.Json.Int cfg.Vulfi.Campaign.experiments_per_campaign );
+              ("min_campaigns", Vulfi.Json.Int cfg.Vulfi.Campaign.min_campaigns);
+              ("max_campaigns", Vulfi.Json.Int cfg.Vulfi.Campaign.max_campaigns);
+              ( "margin_target",
+                Vulfi.Json.Float cfg.Vulfi.Campaign.margin_target );
+              ("seed", Vulfi.Json.Int cfg.Vulfi.Campaign.seed);
+              ( "scale",
+                Vulfi.Json.String (if scale_is_paper then "paper" else "quick")
+              );
+              ("jobs", Vulfi.Json.Int !jobs);
+            ] );
+        ( "cells",
+          Vulfi.Json.List
+            (List.map
+               (fun (detectors, r) ->
+                 Vulfi.Campaign.result_json ~detectors r)
+               cells) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Vulfi.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 let header title =
   let line = String.make 72 '=' in
@@ -190,12 +237,45 @@ let fig11 () =
           Vir.Target.all)
       Benchmarks.Registry.paper_benchmarks
   in
-  let emit r = print_endline (Vulfi.Report.fig11_row r) in
-  if !jobs > 1 then
-    (* cell-level parallel driver: one shared domain pool *)
-    List.iter emit (Vulfi.Campaign.run_cells ~jobs:!jobs cfg cells)
-  else
-    List.iter (fun (w, t, c) -> emit (Vulfi.Campaign.run cfg w t c)) cells
+  (* Live progress on stderr; the table itself still goes to stdout one
+     row per finished cell, so sequential and -j N outputs diff clean. *)
+  let total = List.length cells in
+  let t0 = Unix.gettimeofday () in
+  let done_cells = ref 0 in
+  let done_exps = ref 0 in
+  let progress (r : Vulfi.Campaign.result) =
+    incr done_cells;
+    done_exps :=
+      !done_exps + r.Vulfi.Campaign.c_totals.Vulfi.Campaign.n_experiments;
+    let dt = Unix.gettimeofday () -. t0 in
+    let rate = if dt > 0.0 then float_of_int !done_exps /. dt else 0.0 in
+    let eta =
+      dt /. float_of_int !done_cells *. float_of_int (total - !done_cells)
+    in
+    Printf.eprintf "fig11: %d/%d cells done, %.0f experiments/s, ETA %.0f s\n%!"
+      !done_cells total rate eta
+  in
+  let run_cell pool (w, t, c) =
+    let r =
+      match pool with
+      | Some pool ->
+        (* cell-level parallel driver: one shared domain pool *)
+        Vulfi.Campaign.run_parallel ?sink:!the_sink ~pool ~jobs:!jobs cfg w
+          t c
+      | None -> Vulfi.Campaign.run ?sink:!the_sink cfg w t c
+    in
+    print_endline (Vulfi.Report.fig11_row r);
+    progress r;
+    r
+  in
+  let results =
+    if !jobs > 1 then
+      Vulfi.Pool.with_pool ~jobs:!jobs (fun pool ->
+          List.map (run_cell (Some pool)) cells)
+    else List.map (run_cell None) cells
+  in
+  write_results_json "RESULTS_fig11.json" ~figure:"fig11" cfg
+    (List.map (fun r -> (false, r)) results)
 
 (* ------------------------------------------------------------------ *)
 (* Fig 12                                                              *)
@@ -205,6 +285,7 @@ let fig12 () =
   header
     "Fig 12: detector efficacy + overhead on the micro-benchmarks \
      (foreach loop-invariant detectors, checked on loop exit)";
+  let results = ref [] in
   List.iter
     (fun (b : Benchmarks.Harness.benchmark) ->
       let w = scale_workload b.Benchmarks.Harness.bench in
@@ -225,9 +306,12 @@ let fig12 () =
                 (Detectors.Overhead.transform Detectors.Overhead.paper_detectors)
               ~hooks:Detectors.Runtime.hooks cfg w Vir.Target.Avx cat
           in
+          results := r :: !results;
           print_endline ("  " ^ Vulfi.Report.fig12_row r))
         Analysis.Sites.all_categories)
-    Benchmarks.Registry.micro_benchmarks
+    Benchmarks.Registry.micro_benchmarks;
+  write_results_json "RESULTS_fig12.json" ~figure:"fig12" cfg
+    (List.map (fun r -> (true, r)) (List.rev !results))
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -672,7 +756,9 @@ let timing () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  (* peel "-j N" off the argument list; the rest are experiment names *)
+  (* peel "-j N" / "--trace FILE" off the argument list; the rest are
+     experiment names *)
+  let trace_path = ref None in
   let rec parse_args acc = function
     | [] -> List.rev acc
     | "-j" :: n :: rest -> (
@@ -686,6 +772,12 @@ let () =
     | "-j" :: [] ->
       Printf.eprintf "-j expects a worker count\n";
       exit 2
+    | "--trace" :: f :: rest ->
+      trace_path := Some f;
+      parse_args acc rest
+    | "--trace" :: [] ->
+      Printf.eprintf "--trace expects a file name\n";
+      exit 2
     | cmd :: rest -> parse_args (cmd :: acc) rest
   in
   let what =
@@ -696,23 +788,27 @@ let () =
     | [] -> [ "table1"; "fig10"; "fig11"; "fig12"; "ablation"; "timing" ]
     | cmds -> cmds
   in
+  the_sink := Option.map Vulfi.Trace.to_file !trace_path;
   let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun cmd ->
-      match cmd with
-      | "table1" -> table1 ()
-      | "fig10" -> fig10 ()
-      | "fig11" -> fig11 ()
-      | "fig12" -> fig12 ()
-      | "ablation" -> ablation ()
-      | "speedup" -> speedup ()
-      | "timing" -> timing ()
-      | "interp" -> interp_bench ()
-      | other ->
-        Printf.eprintf
-          "unknown experiment %S (try table1 fig10 fig11 fig12 ablation \
-           speedup timing interp)\n"
-          other;
-        exit 2)
-    what;
+  Fun.protect
+    ~finally:(fun () -> Option.iter Vulfi.Trace.close !the_sink)
+    (fun () ->
+      List.iter
+        (fun cmd ->
+          match cmd with
+          | "table1" -> table1 ()
+          | "fig10" -> fig10 ()
+          | "fig11" -> fig11 ()
+          | "fig12" -> fig12 ()
+          | "ablation" -> ablation ()
+          | "speedup" -> speedup ()
+          | "timing" -> timing ()
+          | "interp" -> interp_bench ()
+          | other ->
+            Printf.eprintf
+              "unknown experiment %S (try table1 fig10 fig11 fig12 ablation \
+               speedup timing interp)\n"
+              other;
+            exit 2)
+        what);
   Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -7,6 +7,7 @@
      mix        Fig 10-style instruction composition
      inject     run one fault-injection experiment
      campaign   run a full campaign for one benchmark cell
+     report     re-aggregate a --trace JSONL file into the tables
      detect     insert error detectors into a file and print the VIR *)
 
 open Cmdliner
@@ -261,9 +262,19 @@ let fault_kind_conv =
       fun fmt k ->
         Format.pp_print_string fmt (Vulfi.Runtime.fault_kind_name k) )
 
+(* Print one campaign cell the way `campaign` does; `report` replays the
+   same lines from a trace, so the two outputs diff clean. *)
+let print_cell ~detectors (r : Vulfi.Campaign.result) =
+  print_endline (Vulfi.Report.fig11_row r);
+  if detectors then print_endline (Vulfi.Report.fig12_row r);
+  Printf.printf
+    "static sites: %d; avg dynamic sites: %.0f; avg dynamic instrs: %.0f\n"
+    r.Vulfi.Campaign.c_static_sites r.Vulfi.Campaign.c_avg_dynamic_sites
+    r.Vulfi.Campaign.c_avg_dynamic_instrs
+
 let campaign_cmd =
   let run target category name experiments campaigns with_detectors
-      fault_kind jobs =
+      fault_kind jobs trace trace_timings =
     let b = find_bench name in
     let cfg =
       {
@@ -274,30 +285,34 @@ let campaign_cmd =
         seed = 0xC0FFEE;
       }
     in
-    (* The seed schedule makes -j N bit-identical to a sequential run. *)
-    let campaign_run ?transform ?hooks cfg w target category =
-      if jobs > 1 then
-        Vulfi.Campaign.run_parallel ?transform ?hooks ~fault_kind ~jobs cfg
-          w target category
-      else
-        Vulfi.Campaign.run ?transform ?hooks ~fault_kind cfg w target
-          category
+    let sink =
+      Option.map
+        (fun f -> Vulfi.Trace.to_file ~timings:trace_timings f)
+        trace
     in
-    let r =
-      if with_detectors then
-        campaign_run
-          ~transform:
-            (Detectors.Overhead.transform Detectors.Overhead.paper_detectors)
-          ~hooks:Detectors.Runtime.hooks cfg
-          b.Benchmarks.Harness.bench target category
-      else campaign_run cfg b.Benchmarks.Harness.bench target category
-    in
-    print_endline (Vulfi.Report.fig11_row r);
-    if with_detectors then print_endline (Vulfi.Report.fig12_row r);
-    Printf.printf
-      "static sites: %d; avg dynamic sites: %.0f; avg dynamic instrs: %.0f\n"
-      r.Vulfi.Campaign.c_static_sites r.Vulfi.Campaign.c_avg_dynamic_sites
-      r.Vulfi.Campaign.c_avg_dynamic_instrs
+    Fun.protect
+      ~finally:(fun () -> Option.iter Vulfi.Trace.close sink)
+      (fun () ->
+        (* The seed schedule makes -j N bit-identical to a sequential run. *)
+        let campaign_run ?transform ?hooks cfg w target category =
+          if jobs > 1 then
+            Vulfi.Campaign.run_parallel ?transform ?hooks ~fault_kind ?sink
+              ~jobs cfg w target category
+          else
+            Vulfi.Campaign.run ?transform ?hooks ~fault_kind ?sink cfg w
+              target category
+        in
+        let r =
+          if with_detectors then
+            campaign_run
+              ~transform:
+                (Detectors.Overhead.transform
+                   Detectors.Overhead.paper_detectors)
+              ~hooks:Detectors.Runtime.hooks cfg
+              b.Benchmarks.Harness.bench target category
+          else campaign_run cfg b.Benchmarks.Harness.bench target category
+        in
+        print_cell ~detectors:with_detectors r)
   in
   let experiments_arg =
     Arg.(value & opt int 100 & info [ "n"; "experiments" ] ~docv:"N"
@@ -321,12 +336,81 @@ let campaign_cmd =
            ~doc:"Fan experiments out across $(docv) domains \
                  (deterministic: results are identical to -j 1).")
   in
+  let trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write one JSONL telemetry record per experiment (plus a \
+                 per-cell summary) to $(docv); replay with \
+                 $(b,vulfi report).")
+  in
+  let trace_timings_arg =
+    Arg.(value & flag & info [ "trace-timings" ]
+           ~doc:"Record per-experiment wall times in the trace (makes the \
+                 trace machine-dependent, so sequential and -j N traces \
+                 no longer compare byte-for-byte).")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run a statistically sized fault-injection campaign")
     Term.(const run $ target_arg $ category_arg $ bench_arg
           $ experiments_arg $ campaigns_arg $ detectors_arg
-          $ fault_kind_arg $ jobs_arg)
+          $ fault_kind_arg $ jobs_arg $ trace_arg $ trace_timings_arg)
+
+(* ---------------- report ---------------- *)
+
+let report_cmd =
+  let run file =
+    let records =
+      let ic = open_in file in
+      let rec go acc lineno =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | "" -> go acc (lineno + 1)
+        | line -> (
+          match Vulfi.Json.of_string line with
+          | j -> go (j :: acc) (lineno + 1)
+          | exception Vulfi.Json.Parse_error msg ->
+            close_in ic;
+            Printf.eprintf "%s:%d: %s\n" file lineno msg;
+            exit 1)
+      in
+      let r = go [] 1 in
+      close_in ic;
+      r
+    in
+    match Vulfi.Report.replay_of_trace records with
+    | Error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      exit 1
+    | Ok replays ->
+      let ok = ref true in
+      List.iter
+        (fun (rp : Vulfi.Report.replay) ->
+          let r = rp.Vulfi.Report.rp_result in
+          print_cell ~detectors:rp.Vulfi.Report.rp_detectors r;
+          match rp.Vulfi.Report.rp_summary with
+          | `Match -> ()
+          | `Missing ->
+            Printf.eprintf "%s: cell %s has no summary record\n" file
+              r.Vulfi.Campaign.c_workload;
+            ok := false
+          | `Mismatch fields ->
+            Printf.eprintf
+              "%s: cell %s summary disagrees with the replay on: %s\n" file
+              r.Vulfi.Campaign.c_workload fields;
+            ok := false)
+        replays;
+      if not !ok then exit 1
+  in
+  let trace_file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
+           ~doc:"JSONL trace written by $(b,--trace).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Re-aggregate a JSONL telemetry trace into the Fig 11/12 tables \
+          (byte-identical to the live campaign output)")
+    Term.(const run $ trace_file_arg)
 
 (* ---------------- detect ---------------- *)
 
@@ -419,4 +503,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; compile_cmd; sites_cmd; mix_cmd; inject_cmd;
-            campaign_cmd; detect_cmd; opt_cmd ]))
+            campaign_cmd; report_cmd; detect_cmd; opt_cmd ]))

@@ -12,14 +12,18 @@
    address-site fault even before the address is consumed. *)
 let forward_slice (du : Defuse.t) (r : Vir.Instr.reg) : Vir.Instr.t list =
   let seen_regs = Hashtbl.create 16 in
-  let result = Hashtbl.create 16 in
+  (* Dedup by physical identity: instruction records are shared with
+     the def-use index, and all void instructions carry id = -1, so a
+     structural key would make two identical stores (or branches) in
+     different blocks collide and drop one from the slice. Slices are
+     small; a linear [memq] scan is fine. *)
+  let result = ref [] in
   let add_instr (i : Vir.Instr.t) =
-    let key = (i.Vir.Instr.id, i.Vir.Instr.op) in
-    if not (Hashtbl.mem result key) then begin
-      Hashtbl.replace result key i;
+    if List.memq i !result then false
+    else begin
+      result := i :: !result;
       true
     end
-    else false
   in
   let rec visit_reg r =
     if not (Hashtbl.mem seen_regs r) then begin
@@ -36,7 +40,7 @@ let forward_slice (du : Defuse.t) (r : Vir.Instr.reg) : Vir.Instr.t list =
     end
   in
   visit_reg r;
-  Hashtbl.fold (fun _ i acc -> i :: acc) result []
+  !result
 
 (* Forward slice seeded at an instruction: for defining instructions the
    slice of their Lvalue; for stores, just the store itself (the value

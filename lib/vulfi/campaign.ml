@@ -121,6 +121,7 @@ let vacuous_benign =
     Experiment.r_outcome = Outcome.Benign;
     r_injection = None;
     r_detected = false;
+    r_dyn_instrs = 0;
   }
 
 (* One experiment, given its resolved golden run and schedule entry. *)
@@ -136,6 +137,41 @@ let run_experiment ~(hooks : hooks_factory) ~respect_masks ?fault_kind
     in
     Experiment.faulty_run ~hooks:(hooks ()) ~respect_masks ?fault_kind
       prepared ~golden ~dynamic_site ~seed:ex.Seed.bit_seed
+
+(* Run one experiment, timing it only when the sink asked for wall
+   times; the clock syscall is skipped entirely on the deterministic
+   (default) path. *)
+let timed_experiment ~hooks ~respect_masks ?fault_kind ~timings prepared
+    ~golden ex : Experiment.run_result * float =
+  if timings then begin
+    let t0 = Unix.gettimeofday () in
+    let r =
+      run_experiment ~hooks ~respect_masks ?fault_kind prepared ~golden ex
+    in
+    (r, Unix.gettimeofday () -. t0)
+  end
+  else
+    (run_experiment ~hooks ~respect_masks ?fault_kind prepared ~golden ex, 0.0)
+
+(* Emit campaign [campaign]'s experiment records in experiment order.
+   Both drivers call this from the (sequential) protocol loop after the
+   whole batch is resolved — in the parallel driver the workers only
+   buffer results — so the trace is ordered, and byte-identical between
+   [run] and [run_parallel], at any -j. *)
+let emit_experiments sink (w : Workload.t) target category ~campaign ~inputs
+    ~site_counts ~(results : (Experiment.run_result * float) array) =
+  match sink with
+  | None -> ()
+  | Some s ->
+    let timings = Trace.timings s in
+    Array.iteri
+      (fun e (r, wall) ->
+        Trace.emit s
+          (Trace.experiment_record ~workload:w.Workload.w_name ~target
+             ~category ~campaign ~experiment:e ~input:inputs.(e)
+             ~golden_sites:site_counts.(e) ~result:r
+             ?wall_s:(if timings then Some wall else None) ()))
+      results
 
 (* The stopping protocol, shared by the sequential and parallel
    drivers. [run_campaign c] returns campaign [c]'s run results in
@@ -194,13 +230,29 @@ let finalize (prepared : Experiment.prepared) (w : Workload.t) target category
     c_avg_dynamic_instrs = avg (fun g -> g.Experiment.g_dyn_instrs);
   }
 
+(* JSON view of a result — the per-cell summary record of a trace, and
+   the cell entry of the RESULTS_*.json exports. [detectors] records
+   whether detector hooks were attached during the campaign. *)
+let result_json ?(detectors = false) (r : result) : Json.t =
+  Trace.summary_record ~workload:r.c_workload ~target:r.c_target
+    ~category:r.c_category ~detectors ~campaigns:r.c_campaigns
+    ~sdc_rates:r.c_sdc_rates ~n_experiments:r.c_totals.n_experiments
+    ~n_sdc:r.c_totals.n_sdc ~n_benign:r.c_totals.n_benign
+    ~n_crash:r.c_totals.n_crash ~n_detected:r.c_totals.n_detected
+    ~n_detected_sdc:r.c_totals.n_detected_sdc ~margin:r.c_margin
+    ~near_normal:r.c_near_normal ~static_sites:r.c_static_sites
+    ~avg_dyn_sites:r.c_avg_dynamic_sites
+    ~avg_dyn_instrs:r.c_avg_dynamic_instrs
+
 (* Run the full campaign protocol for one
    (workload, target, site-category) cell, sequentially.
    [transform] pre-processes the module (e.g. detector insertion);
    [hooks] builds per-run extra runtime (e.g. the detector API). *)
-let run ?transform ?(hooks = no_hooks_factory) ?(respect_masks = true)
-    ?fault_kind (cfg : config) (w : Workload.t) (target : Vir.Target.t)
-    (category : Analysis.Sites.category) : result =
+let run ?transform ?hooks ?(respect_masks = true)
+    ?fault_kind ?sink (cfg : config) (w : Workload.t)
+    (target : Vir.Target.t) (category : Analysis.Sites.category) : result =
+  let detectors = Option.is_some hooks in
+  let hooks = Option.value hooks ~default:no_hooks_factory in
   let prepared = Experiment.prepare ?transform w target category in
   let cell = cell_of cfg w target category in
   (* Golden runs are deterministic per input: cache them. *)
@@ -216,24 +268,51 @@ let run ?transform ?(hooks = no_hooks_factory) ?(respect_masks = true)
       Hashtbl.add golden_cache input g;
       g
   in
-  let run_campaign c =
-    Array.init cfg.experiments_per_campaign (fun e ->
-        let ex = Seed.experiment cell ~campaign:c ~experiment:e in
-        run_experiment ~hooks ~respect_masks ?fault_kind prepared
-          ~golden:(golden (input_of w ex)) ex)
+  let timings =
+    match sink with Some s -> Trace.timings s | None -> false
   in
-  finalize prepared w target category (protocol cfg ~run_campaign)
-    golden_cache
+  let run_campaign c =
+    let exps =
+      Array.init cfg.experiments_per_campaign (fun e ->
+          Seed.experiment cell ~campaign:c ~experiment:e)
+    in
+    let inputs = Array.map (input_of w) exps in
+    let results =
+      Array.mapi
+        (fun e ex ->
+          timed_experiment ~hooks ~respect_masks ?fault_kind ~timings
+            prepared ~golden:(golden inputs.(e)) ex)
+        exps
+    in
+    let site_counts =
+      Array.map
+        (fun i -> (Hashtbl.find golden_cache i).Experiment.g_dyn_sites)
+        inputs
+    in
+    emit_experiments sink w target category ~campaign:c ~inputs
+      ~site_counts ~results;
+    Array.map fst results
+  in
+  let r =
+    finalize prepared w target category (protocol cfg ~run_campaign)
+      golden_cache
+  in
+  (match sink with
+  | None -> ()
+  | Some s -> Trace.emit s (result_json ~detectors r));
+  r
 
 (* Parallel driver: fans each campaign's experiments out across a
    domain pool. Because the seed schedule fixes every random choice up
    front, the only coordination needed is resolving each campaign's
    golden runs before the fan-out; results are gathered in experiment
    order, making the outcome bit-identical to [run]. *)
-let run_parallel ?transform ?(hooks = no_hooks_factory)
-    ?(respect_masks = true) ?fault_kind ?pool ~jobs (cfg : config)
+let run_parallel ?transform ?hooks
+    ?(respect_masks = true) ?fault_kind ?pool ?sink ~jobs (cfg : config)
     (w : Workload.t) (target : Vir.Target.t)
     (category : Analysis.Sites.category) : result =
+  let detectors = Option.is_some hooks in
+  let hooks = Option.value hooks ~default:no_hooks_factory in
   let with_pool_ f =
     match pool with
     | Some p -> f p
@@ -243,6 +322,9 @@ let run_parallel ?transform ?(hooks = no_hooks_factory)
       let prepared = Experiment.prepare ?transform w target category in
       let cell = cell_of cfg w target category in
       let golden_cache = Hashtbl.create 8 in
+      let timings =
+        match sink with Some s -> Trace.timings s | None -> false
+      in
       let run_campaign c =
         let exps =
           Array.init cfg.experiments_per_campaign (fun e ->
@@ -272,20 +354,40 @@ let run_parallel ?transform ?(hooks = no_hooks_factory)
             fresh
         in
         Array.iteri (fun k g -> Hashtbl.add golden_cache fresh.(k) g) goldens;
-        (* The cache is read-only during the fan-out below. *)
-        Pool.map pool
-          (fun e ->
-            run_experiment ~hooks ~respect_masks ?fault_kind prepared
-              ~golden:(Hashtbl.find golden_cache inputs.(e))
-              exps.(e))
-          (Array.init cfg.experiments_per_campaign Fun.id)
+        (* The cache is read-only during the fan-out below. Workers
+           only buffer (result, wall) pairs; Pool.map returns them in
+           experiment order, and the sink is written from this
+           (sequential) protocol loop. *)
+        let results =
+          Pool.map pool
+            (fun e ->
+              timed_experiment ~hooks ~respect_masks ?fault_kind ~timings
+                prepared
+                ~golden:(Hashtbl.find golden_cache inputs.(e))
+                exps.(e))
+            (Array.init cfg.experiments_per_campaign Fun.id)
+        in
+        let site_counts =
+          Array.map
+            (fun i -> (Hashtbl.find golden_cache i).Experiment.g_dyn_sites)
+            inputs
+        in
+        emit_experiments sink w target category ~campaign:c ~inputs
+          ~site_counts ~results;
+        Array.map fst results
       in
-      finalize prepared w target category (protocol cfg ~run_campaign)
-        golden_cache)
+      let r =
+        finalize prepared w target category (protocol cfg ~run_campaign)
+          golden_cache
+      in
+      (match sink with
+      | None -> ()
+      | Some s -> Trace.emit s (result_json ~detectors r));
+      r)
 
 (* Cell-level driver: run many (workload, target, category) cells over
    one shared pool — the shape of a Fig 11/Table II sweep. *)
-let run_cells ?transform ?hooks ?respect_masks ?fault_kind ~jobs
+let run_cells ?transform ?hooks ?respect_masks ?fault_kind ?sink ~jobs
     (cfg : config)
     (cells : (Workload.t * Vir.Target.t * Analysis.Sites.category) list) :
     result list =
@@ -293,5 +395,5 @@ let run_cells ?transform ?hooks ?respect_masks ?fault_kind ~jobs
       List.map
         (fun (w, target, category) ->
           run_parallel ?transform ?hooks ?respect_masks ?fault_kind ~pool
-            ~jobs cfg w target category)
+            ?sink ~jobs cfg w target category)
         cells)

@@ -39,6 +39,12 @@ type result = {
   c_avg_dynamic_instrs : float;
 }
 
+(** JSON view of a result: the per-cell summary record of a trace, and
+    the cell entry of the RESULTS_*.json exports (see {!Trace}).
+    [detectors] (default false) records whether detector hooks were
+    attached during the campaign. *)
+val result_json : ?detectors:bool -> result -> Json.t
+
 val sdc_rate : result -> float
 val benign_rate : result -> float
 val crash_rate : result -> float
@@ -58,12 +64,18 @@ type hooks_factory = unit -> Experiment.hooks
     per-run extra runtime; [respect_masks]/[fault_kind] select ablation
     variants. All randomness follows the pure {!Seed} schedule: each
     experiment's input, fault site and flipped bit are functions of
-    (cfg.seed, workload, target, category, campaign, experiment). *)
+    (cfg.seed, workload, target, category, campaign, experiment).
+
+    [sink] receives one telemetry record per experiment — in
+    (campaign, experiment) order — plus the cell's summary record; with
+    a default (no-timings) sink the trace is byte-identical between
+    [run] and [run_parallel]. *)
 val run :
   ?transform:(Vir.Vmodule.t -> Vir.Vmodule.t) ->
   ?hooks:hooks_factory ->
   ?respect_masks:bool ->
   ?fault_kind:Runtime.fault_kind ->
+  ?sink:Trace.sink ->
   config ->
   Workload.t ->
   Vir.Target.t ->
@@ -74,13 +86,17 @@ val run :
     campaign's experiments fanned out across a domain pool; the seed
     schedule makes the result bit-identical to [run]'s. An existing
     [pool] can be supplied to amortise domain spawning across cells
-    (in which case [jobs] is only used if [pool] is absent). *)
+    (in which case [jobs] is only used if [pool] is absent). [sink]
+    records are emitted in experiment order from the protocol loop
+    (workers only buffer), so the trace too is bit-identical to a
+    sequential run's unless the sink asked for wall times. *)
 val run_parallel :
   ?transform:(Vir.Vmodule.t -> Vir.Vmodule.t) ->
   ?hooks:hooks_factory ->
   ?respect_masks:bool ->
   ?fault_kind:Runtime.fault_kind ->
   ?pool:Pool.t ->
+  ?sink:Trace.sink ->
   jobs:int ->
   config ->
   Workload.t ->
@@ -97,6 +113,7 @@ val run_cells :
   ?hooks:hooks_factory ->
   ?respect_masks:bool ->
   ?fault_kind:Runtime.fault_kind ->
+  ?sink:Trace.sink ->
   jobs:int ->
   config ->
   (Workload.t * Vir.Target.t * Analysis.Sites.category) list ->

@@ -83,6 +83,7 @@ type run_result = {
   r_outcome : Outcome.t;
   r_injection : Runtime.injection_record option;
   r_detected : bool;  (** a detector flagged the run *)
+  r_dyn_instrs : int;  (** dynamic instructions of the faulty run *)
 }
 
 (* Faulty run at 1-based [dynamic_site]; [seed] fixes the bit choice. *)
@@ -115,4 +116,5 @@ let faulty_run ?(hooks = no_hooks) ?(respect_masks = true) ?fault_kind
         ~golden:golden.g_output ~faulty ();
     r_injection = Runtime.injected rt;
     r_detected = hooks.h_flagged ();
+    r_dyn_instrs = Interp.Machine.dyn_count st;
   }

@@ -52,6 +52,7 @@ type run_result = {
   r_outcome : Outcome.t;
   r_injection : Runtime.injection_record option;
   r_detected : bool;  (** a detector flagged the run *)
+  r_dyn_instrs : int;  (** dynamic instructions of the faulty run *)
 }
 
 (** Faulty run corrupting the value at 1-based [dynamic_site]; [seed]

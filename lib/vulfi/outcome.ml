@@ -29,10 +29,13 @@ let output_equal ?(tol = 0.0) ?(abs_tol = 1e-12) (a : output) (b : output) =
       diff <= abs_tol || diff <= tol *. max (abs_float v) (abs_float w)
   in
   let f32_eq x y =
-    Array.length x = Array.length y
-    && (let ok = ref true in
-        Array.iteri (fun i v -> if not (lane_eq v y.(i)) then ok := false) x;
-        !ok)
+    let n = Array.length x in
+    n = Array.length y
+    &&
+    (* short-circuit on the first mismatching lane: this runs once per
+       experiment on every output array *)
+    let rec go i = i >= n || (lane_eq x.(i) y.(i) && go (i + 1)) in
+    go 0
   in
   List.length a.o_f32 = List.length b.o_f32
   && List.for_all2 f32_eq a.o_f32 b.o_f32

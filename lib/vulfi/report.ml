@@ -42,3 +42,278 @@ let table1_row ~workload ~language ~input ~target ~dyn_instrs =
   Printf.sprintf "%-16s %-6s %-28s %-4s %12.3f M" workload language input
     (Vir.Target.name target)
     (float_of_int dyn_instrs /. 1.0e6)
+
+(* ------------------------------------------------------------------ *)
+(* Trace re-aggregation: rebuild Campaign.result values from the
+   per-experiment records of a JSONL trace (the `vulfi report`
+   subcommand), validating the schema along the way and
+   cross-checking the recomputed aggregates against the trace's own
+   summary records. The float pipelines (per-campaign rates, margin,
+   averages) replicate the campaign drivers' accumulation order
+   exactly, so a replayed table is byte-identical to the live one. *)
+
+type replay = {
+  rp_result : Campaign.result;
+  rp_detectors : bool;
+  rp_summary : [ `Match | `Mismatch of string | `Missing ];
+}
+
+exception Bad_trace of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_trace m)) fmt
+
+(* one parsed experiment record *)
+type exp_rec = {
+  er_campaign : int;
+  er_experiment : int;
+  er_input : int;
+  er_golden_sites : int;
+  er_outcome : string;
+  er_detected : bool;
+}
+
+type cell_acc = {
+  mutable ca_exps : exp_rec list;  (* reversed arrival order *)
+  mutable ca_summary : Json.t option;
+}
+
+let check_header = function
+  | [] -> bad "empty trace (no header record)"
+  | header :: rest ->
+    (match (Json.member "type" header, Json.member "schema" header) with
+    | Some (Json.String "header"), Some (Json.String s) ->
+      if s <> Trace.schema then
+        bad "unsupported trace schema %S (expected %S)" s Trace.schema
+    | _ -> bad "first record is not a trace header");
+    rest
+
+let replay_cell ((workload, target_s, category_s) as _key) (c : cell_acc) :
+    replay =
+  let cell_name = Printf.sprintf "%s/%s/%s" workload target_s category_s in
+  let target =
+    match Vir.Target.of_string target_s with
+    | Some t -> t
+    | None -> bad "%s: unknown target" cell_name
+  in
+  let category =
+    match Analysis.Sites.category_of_string category_s with
+    | Some c -> c
+    | None -> bad "%s: unknown category" cell_name
+  in
+  let exps = List.rev c.ca_exps in
+  let campaigns =
+    1 + List.fold_left (fun m e -> max m e.er_campaign) (-1) exps
+  in
+  if campaigns = 0 then bad "%s: no experiment records" cell_name;
+  let per_n = Array.make campaigns 0 in
+  let per_sdc = Array.make campaigns 0 in
+  let count p = List.length (List.filter p exps) in
+  List.iter
+    (fun e ->
+      if e.er_campaign < 0 || e.er_experiment < 0 then
+        bad "%s: negative campaign/experiment index" cell_name;
+      per_n.(e.er_campaign) <- per_n.(e.er_campaign) + 1;
+      if e.er_outcome = "SDC" then
+        per_sdc.(e.er_campaign) <- per_sdc.(e.er_campaign) + 1)
+    exps;
+  Array.iteri
+    (fun i n -> if n = 0 then bad "%s: campaign %d has no records" cell_name i)
+    per_n;
+  (* per-campaign SDC rates in campaign order; the protocol accumulates
+     them newest-first, and finalize computes the margin on that
+     reversed list — mirror both. *)
+  let rates_asc =
+    Array.to_list
+      (Array.init campaigns (fun i ->
+           float_of_int per_sdc.(i) /. float_of_int per_n.(i)))
+  in
+  let rates_rev = List.rev rates_asc in
+  let margin = Stats.margin_of_error rates_rev in
+  let near_normal = Stats.near_normal rates_rev in
+  let totals =
+    {
+      Campaign.n_experiments = List.length exps;
+      n_sdc = count (fun e -> e.er_outcome = "SDC");
+      n_benign = count (fun e -> e.er_outcome = "benign");
+      n_crash = count (fun e -> e.er_outcome = "crash");
+      n_detected = count (fun e -> e.er_detected);
+      n_detected_sdc =
+        count (fun e -> e.er_detected && e.er_outcome = "SDC");
+    }
+  in
+  (* distinct inputs, ascending — the order finalize averages goldens
+     in — with a consistency check on the recorded site counts *)
+  let by_input = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt by_input e.er_input with
+      | None -> Hashtbl.add by_input e.er_input e.er_golden_sites
+      | Some s ->
+        if s <> e.er_golden_sites then
+          bad "%s: input %d has inconsistent golden_sites" cell_name
+            e.er_input)
+    exps;
+  let goldens =
+    List.sort compare
+      (Hashtbl.fold (fun i s acc -> (i, s) :: acc) by_input [])
+  in
+  let avg_dyn_sites =
+    match goldens with
+    | [] -> 0.0
+    | _ ->
+      List.fold_left (fun a (_, s) -> a +. float_of_int s) 0.0 goldens
+      /. float_of_int (List.length goldens)
+  in
+  (* static_sites, avg_dyn_instrs and the detectors flag describe the
+     campaign setup and golden runs only and are not recomputable from
+     experiment records: adopt them from the summary record, and
+     cross-check everything that is recomputable. *)
+  let static_sites, avg_dyn_instrs, detectors, summary_status =
+    match c.ca_summary with
+    | None -> (0, 0.0, totals.Campaign.n_detected > 0, `Missing)
+    | Some s ->
+      let int_field name =
+        match Json.member name s with
+        | Some (Json.Int n) -> n
+        | _ -> bad "%s: summary missing integer %S" cell_name name
+      in
+      let float_field name =
+        match Option.bind (Json.member name s) Json.get_float with
+        | Some f -> f
+        | None -> bad "%s: summary missing number %S" cell_name name
+      in
+      let mismatches = ref [] in
+      let chk name ok = if not ok then mismatches := name :: !mismatches in
+      chk "campaigns" (int_field "campaigns" = campaigns);
+      chk "experiments" (int_field "experiments" = totals.Campaign.n_experiments);
+      chk "sdc" (int_field "sdc" = totals.Campaign.n_sdc);
+      chk "benign" (int_field "benign" = totals.Campaign.n_benign);
+      chk "crash" (int_field "crash" = totals.Campaign.n_crash);
+      chk "detected" (int_field "detected" = totals.Campaign.n_detected);
+      chk "detected_sdc"
+        (int_field "detected_sdc" = totals.Campaign.n_detected_sdc);
+      chk "sdc_rates"
+        (match Json.member "sdc_rates" s with
+        | Some (Json.List l) -> (
+          try List.for_all2 (fun j r -> Json.get_float j = Some r) l rates_asc
+          with Invalid_argument _ -> false)
+        | _ -> false);
+      chk "margin"
+        (match Json.member "margin" s with
+        | Some Json.Null -> not (Float.is_finite margin)
+        | Some j -> Json.get_float j = Some margin
+        | None -> false);
+      chk "near_normal"
+        (Json.member "near_normal" s = Some (Json.Bool near_normal));
+      chk "avg_dyn_sites" (float_field "avg_dyn_sites" = avg_dyn_sites);
+      let status =
+        match !mismatches with
+        | [] -> `Match
+        | ms -> `Mismatch (String.concat ", " (List.rev ms))
+      in
+      let detectors =
+        match Json.member "detectors" s with
+        | Some (Json.Bool b) -> b
+        | _ -> bad "%s: summary missing boolean \"detectors\"" cell_name
+      in
+      (int_field "static_sites", float_field "avg_dyn_instrs", detectors,
+       status)
+  in
+  {
+    rp_result =
+      {
+        Campaign.c_workload = workload;
+        c_target = target;
+        c_category = category;
+        c_campaigns = campaigns;
+        c_sdc_rates = rates_asc;
+        c_totals = totals;
+        c_margin = margin;
+        c_near_normal = near_normal;
+        c_static_sites = static_sites;
+        c_avg_dynamic_sites = avg_dyn_sites;
+        c_avg_dynamic_instrs = avg_dyn_instrs;
+      };
+    rp_detectors = detectors;
+    rp_summary = summary_status;
+  }
+
+let replay_of_trace (records : Json.t list) : (replay list, string) result =
+  try
+    let rest = check_header records in
+    let cells = Hashtbl.create 8 in
+    let order = ref [] in
+    let get_cell key =
+      match Hashtbl.find_opt cells key with
+      | Some c -> c
+      | None ->
+        let c = { ca_exps = []; ca_summary = None } in
+        Hashtbl.add cells key c;
+        order := key :: !order;
+        c
+    in
+    List.iteri
+      (fun idx j ->
+        let at = idx + 2 in
+        (* 1-based record number, counting the header *)
+        let str name =
+          match Json.member name j with
+          | Some (Json.String s) -> s
+          | _ -> bad "record %d: missing string field %S" at name
+        in
+        let int_ name =
+          match Json.member name j with
+          | Some (Json.Int n) -> n
+          | _ -> bad "record %d: missing integer field %S" at name
+        in
+        let bool_ name =
+          match Json.member name j with
+          | Some (Json.Bool b) -> b
+          | _ -> bad "record %d: missing boolean field %S" at name
+        in
+        match Json.member "type" j with
+        | Some (Json.String "experiment") ->
+          let key = (str "workload", str "target", str "category") in
+          (match
+             ( Json.member "static_site" j,
+               Json.member "dynamic_site" j,
+               Json.member "bit" j )
+           with
+          | ( Some (Json.Int _ | Json.Null),
+              Some (Json.Int _ | Json.Null),
+              Some (Json.Int _ | Json.Null) ) ->
+            ()
+          | _ -> bad "record %d: missing injection fields" at);
+          let outcome = str "outcome" in
+          (match outcome with
+          | "SDC" | "benign" -> ()
+          | "crash" -> ignore (str "trap")
+          | o -> bad "record %d: unknown outcome %S" at o);
+          ignore (int_ "dyn_instrs");
+          let c = get_cell key in
+          c.ca_exps <-
+            {
+              er_campaign = int_ "campaign";
+              er_experiment = int_ "experiment";
+              er_input = int_ "input";
+              er_golden_sites = int_ "golden_sites";
+              er_outcome = outcome;
+              er_detected = bool_ "detected";
+            }
+            :: c.ca_exps
+        | Some (Json.String "summary") ->
+          let key = (str "workload", str "target", str "category") in
+          let c = get_cell key in
+          (match c.ca_summary with
+          | Some _ ->
+            bad "record %d: duplicate summary for %s/%s/%s" at (str "workload")
+              (str "target") (str "category")
+          | None -> c.ca_summary <- Some j)
+        | Some (Json.String "header") -> bad "record %d: duplicate header" at
+        | Some (Json.String t) -> bad "record %d: unknown record type %S" at t
+        | _ -> bad "record %d: missing \"type\" field" at)
+      rest;
+    Ok
+      (List.rev_map (fun key -> replay_cell key (Hashtbl.find cells key))
+         !order)
+  with Bad_trace m -> Error m

@@ -26,3 +26,22 @@ val table1_row :
   target:Vir.Target.t ->
   dyn_instrs:int ->
   string
+
+(** One campaign cell rebuilt from a trace. [rp_result] is re-aggregated
+    from the per-experiment records alone (except [c_static_sites] and
+    [c_avg_dynamic_instrs], which only the summary record carries);
+    [rp_detectors] is the summary's record of whether detector hooks
+    were attached; [rp_summary] says whether the trace's own summary
+    record agreed with the recomputation. *)
+type replay = {
+  rp_result : Campaign.result;
+  rp_detectors : bool;
+  rp_summary : [ `Match | `Mismatch of string | `Missing ];
+}
+
+(** [replay_of_trace records] re-aggregates a parsed JSONL trace (header
+    first) into one {!replay} per cell, in first-appearance order. The
+    float arithmetic mirrors the campaign drivers' accumulation order
+    exactly, so a replayed Fig 11/12 table is byte-identical to the live
+    one. Returns [Error msg] on any schema violation. *)
+val replay_of_trace : Json.t list -> (replay list, string) result

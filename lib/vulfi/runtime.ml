@@ -88,8 +88,14 @@ let corrupt t (value : Interp.Vvalue.t) : Interp.Vvalue.t * int =
     in
     (v, List.hd chosen)
   | Random_value ->
-    let bits = Random.State.int64 t.rng Int64.max_int in
-    let bits = if Random.State.bool t.rng then Int64.lognot bits else bits in
+    (* [width] independent uniform bits: every pattern of the scalar's
+       width is equally likely. (The old draw took a 63-bit int64 plus
+       a complement coin — bit 63 was reachable only with the low bits
+       complemented — and never truncated to the scalar's width.) *)
+    let mask =
+      if width >= 64 then -1L else Int64.sub (Int64.shift_left 1L width) 1L
+    in
+    let bits = Int64.logand (Random.State.bits64 t.rng) mask in
     let v = Interp.Vvalue.with_lane_bits value ~lane:0 ~bits in
     (* guarantee an actual change *)
     if Interp.Vvalue.equal v value then

@@ -30,10 +30,16 @@ let t95 ~df =
   in
   if df <= 0 then infinity
   else if df <= 30 then table.(df - 1)
-  else if df <= 40 then 2.021
-  else if df <= 60 then 2.000
-  else if df <= 120 then 1.980
-  else 1.960
+    (* Above the exact table each bucket uses the critical value at its
+       SMALLEST df — the largest value in the bucket — so the margin of
+       error is never understated and the §IV-D stopping rule can only
+       err conservative. (Using the bucket's largest-df value, e.g.
+       t(40) = 2.021 for df 31–40 where t(31) ≈ 2.040, let campaigns
+       terminate early.) *)
+  else if df <= 40 then 2.040 (* t(31) *)
+  else if df <= 60 then 2.020 (* t(41) *)
+  else if df <= 120 then 2.000 (* t(61) *)
+  else 1.980 (* t(121) *)
 
 (* Margin of error of the sample mean at 95% confidence:
    t * s / sqrt(n) — the standard formula the paper cites from

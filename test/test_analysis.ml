@@ -126,6 +126,42 @@ let test_slice_store_is_terminal () =
   let slice = Slice.forward_slice_of_instr du store in
   check Alcotest.int "store slice is only itself" 1 (List.length slice)
 
+(* Regression: the slice visited-set keyed instructions by (id, op).
+   Void instructions all share id = -1, so two structurally identical
+   stores in different blocks collided and the second one silently
+   dropped out of the slice. Dedup must be by physical identity. *)
+let test_slice_identical_stores_both_kept () =
+  let m = Vir.Vmodule.create "twin_stores" in
+  let b =
+    Vir.Builder.define m ~name:"f"
+      ~params:[ ("p", Vir.Vtype.ptr); ("c", Vir.Vtype.bool_ty) ]
+      ~ret_ty:Vir.Vtype.Void
+  in
+  let entry = Vir.Builder.new_block b "entry" in
+  let bthen = Vir.Builder.new_block b "then" in
+  let belse = Vir.Builder.new_block b "else" in
+  Vir.Builder.position_at_end b entry;
+  let v = Vir.Builder.add b (Ir_samples.imm_i32 1) (Ir_samples.imm_i32 2) in
+  Vir.Builder.condbr b (Vir.Builder.param b "c") "then" "else";
+  Vir.Builder.position_at_end b bthen;
+  Vir.Builder.store b v (Vir.Builder.param b "p");
+  Vir.Builder.ret b None;
+  Vir.Builder.position_at_end b belse;
+  (* identical in every structural field to the store in "then" *)
+  Vir.Builder.store b v (Vir.Builder.param b "p");
+  Vir.Builder.ret b None;
+  let f = Vir.Vmodule.find_func_exn m "f" in
+  let du = Defuse.build f in
+  let slice = Slice.forward_slice du (Ir_samples.reg_of v) in
+  check Alcotest.int "slice holds v and both stores" 3 (List.length slice);
+  let stores =
+    List.filter
+      (fun (i : Vir.Instr.t) ->
+        match i.Vir.Instr.op with Vir.Instr.Store _ -> true | _ -> false)
+      slice
+  in
+  check Alcotest.int "both stores present" 2 (List.length stores)
+
 (* ---------------- Sites ---------------- *)
 
 let test_sites_fig2_relationship () =
@@ -298,6 +334,8 @@ let () =
             test_slice_includes_self_gep;
           Alcotest.test_case "store slice is terminal" `Quick
             test_slice_store_is_terminal;
+          Alcotest.test_case "identical stores both kept" `Quick
+            test_slice_identical_stores_both_kept;
         ] );
       ( "sites",
         [

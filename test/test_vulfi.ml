@@ -428,6 +428,69 @@ let test_multi_bit_records_first_flipped () =
         (Int64.logand (Int64.shift_right_logical bits bit) 1L = 1L))
     [ 1; 2; 3; 42; 12345 ]
 
+(* Regression: Random_value drew [Random.State.int64 rng Int64.max_int]
+   (63 uniform bits, bit 63 never set) plus a complement coin, and never
+   truncated the pattern to the scalar's width. It must instead draw
+   [width] independent uniform bits. Pin the exact pattern against an
+   oracle replaying the same RNG — the old draw consumed the RNG
+   differently, so this fails on it. *)
+let test_random_value_draws_width_bits () =
+  List.iter
+    (fun seed ->
+      let t =
+        Runtime.create ~seed ~fault_kind:Runtime.Random_value
+          (Runtime.Inject { dynamic_site = 1 })
+      in
+      let v, bit = Runtime.corrupt t (Interp.Vvalue.of_i32 0) in
+      let expected =
+        Int64.logand
+          (Random.State.bits64 (Random.State.make [| seed |]))
+          0xFFFF_FFFFL
+      in
+      (* all chosen seeds draw a nonzero pattern, so no fallback *)
+      Alcotest.(check bool) "oracle pattern is nonzero" true (expected <> 0L);
+      check Alcotest.int64
+        (Printf.sprintf "seed %d: pattern = masked bits64" seed)
+        expected
+        (Interp.Vvalue.lane_bits v 0);
+      check Alcotest.int "whole-register marker" (-1) bit)
+    [ 1; 2; 3; 42; 12345 ]
+
+(* Bit 63 of a 64-bit scalar must come up with frequency ~ 1/2 (the old
+   63-bit draw reached it only through the complement coin). *)
+let test_random_value_bit63_frequency () =
+  let n = 2000 in
+  let hits = ref 0 in
+  for seed = 0 to n - 1 do
+    let t =
+      Runtime.create ~seed ~fault_kind:Runtime.Random_value
+        (Runtime.Inject { dynamic_site = 1 })
+    in
+    let v, _ = Runtime.corrupt t (Interp.Vvalue.of_i64 0L) in
+    if Int64.shift_right_logical (Interp.Vvalue.lane_bits v 0) 63 = 1L then
+      incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "bit-63 frequency %.3f in [0.45, 0.55]" freq)
+    true
+    (freq > 0.45 && freq < 0.55)
+
+(* Narrow scalars must never gain bits above their width. *)
+let test_random_value_narrow_width () =
+  for seed = 0 to 49 do
+    let t =
+      Runtime.create ~seed ~fault_kind:Runtime.Random_value
+        (Runtime.Inject { dynamic_site = 1 })
+    in
+    let v, _ = Runtime.corrupt t (Interp.Vvalue.of_bool false) in
+    let bits = Interp.Vvalue.lane_bits v 0 in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: only the low bit may be set" seed)
+      true
+      (Int64.logand bits (Int64.lognot 1L) = 0L)
+  done
+
 let test_fault_kind_names () =
   Alcotest.(check string) "single" "single-bit-flip"
     (Runtime.fault_kind_name Runtime.Single_bit_flip);
@@ -630,10 +693,35 @@ let test_stats_basics () =
 let test_stats_t_table () =
   check (Alcotest.float 1e-3) "t df=1" 12.706 (Stats.t95 ~df:1);
   check (Alcotest.float 1e-3) "t df=19" 2.093 (Stats.t95 ~df:19);
-  check (Alcotest.float 1e-3) "t df=1000" 1.960 (Stats.t95 ~df:1000);
+  check (Alcotest.float 1e-3) "t df=1000" 1.980 (Stats.t95 ~df:1000);
   (* t decreases with df *)
   Alcotest.(check bool) "monotone" true
     (Stats.t95 ~df:5 > Stats.t95 ~df:10 && Stats.t95 ~df:10 > Stats.t95 ~df:30)
+
+(* Regression: the coarse buckets above the exact table used the t
+   value of their LARGEST df (e.g. 31-40 -> t(40) = 2.021), understating
+   the critical value — and hence the margin of error — for every other
+   df in the bucket. Each bucket must use its smallest df's t value. *)
+let test_stats_t_conservative_buckets () =
+  check (Alcotest.float 1e-3) "df=31 bucket" 2.040 (Stats.t95 ~df:31);
+  check (Alcotest.float 1e-3) "df=41 bucket" 2.020 (Stats.t95 ~df:41);
+  check (Alcotest.float 1e-3) "df=61 bucket" 2.000 (Stats.t95 ~df:61);
+  check (Alcotest.float 1e-3) "df=121 bucket" 1.980 (Stats.t95 ~df:121);
+  (* never below the true critical value: reference t(40)=2.021,
+     t(60)=2.000, t(120)=1.980 at the bucket ends *)
+  Alcotest.(check bool) "df=40 not understated" true
+    (Stats.t95 ~df:40 >= 2.021);
+  Alcotest.(check bool) "df=60 not understated" true
+    (Stats.t95 ~df:60 >= 2.000);
+  Alcotest.(check bool) "df=120 not understated" true
+    (Stats.t95 ~df:120 >= 1.980);
+  (* monotone non-increasing across table and buckets *)
+  for df = 1 to 299 do
+    Alcotest.(check bool)
+      (Printf.sprintf "t95 non-increasing at df=%d" df)
+      true
+      (Stats.t95 ~df >= Stats.t95 ~df:(df + 1))
+  done
 
 let test_stats_margin_known () =
   (* n=20 samples, all equal -> margin 0 *)
@@ -813,6 +901,12 @@ let () =
             test_fault_kind_stuck_at_zero;
           Alcotest.test_case "random value" `Quick
             test_fault_kind_random_value_changes;
+          Alcotest.test_case "random value draws width bits" `Quick
+            test_random_value_draws_width_bits;
+          Alcotest.test_case "random value bit-63 frequency" `Quick
+            test_random_value_bit63_frequency;
+          Alcotest.test_case "random value narrow width" `Quick
+            test_random_value_narrow_width;
           Alcotest.test_case "names" `Quick test_fault_kind_names;
         ] );
       ( "seed-schedule",
@@ -845,6 +939,8 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_stats_basics;
           Alcotest.test_case "t table" `Quick test_stats_t_table;
+          Alcotest.test_case "t buckets conservative" `Quick
+            test_stats_t_conservative_buckets;
           Alcotest.test_case "margin" `Quick test_stats_margin_known;
           Alcotest.test_case "normality" `Quick test_stats_normality;
         ] );
