@@ -9,9 +9,12 @@
      speedup           — sequential vs parallel campaign wall-clock
      timing            — Bechamel wall-clock benches
 
+     campaign          legacy vs checkpointed executor throughput
+
    Default (no argument): everything at "quick" scale. Flags:
      -j N                     run campaigns on N domains (default 1)
      --trace FILE             JSONL telemetry for every campaign run
+     --legacy-executor        paper-literal two-runs-per-experiment protocol
    Environment:
      VULFI_SCALE=paper        paper-scale campaigns (hours)
      VULFI_EXPERIMENTS=N      experiments per campaign override
@@ -55,17 +58,25 @@ let scale_workload (w : Vulfi.Workload.t) =
    results bit-identical to the sequential ones. *)
 let jobs = ref 1
 
+(* --legacy-executor: the paper's literal two-runs-per-experiment
+   protocol (fresh profiling run + machine before every faulty run)
+   instead of the checkpointed executor. Output is bit-identical either
+   way; the flag exists for cross-checks and the `campaign` throughput
+   comparison. *)
+let legacy = ref false
+
 (* Shared telemetry sink (--trace FILE), threaded through every
    campaign the harness runs. *)
 let the_sink : Vulfi.Trace.sink option ref = ref None
 
 let campaign_run ?transform ?hooks cfg w target category =
+  let checkpoint = not !legacy in
   if !jobs > 1 then
     Vulfi.Campaign.run_parallel ?transform ?hooks ?sink:!the_sink
-      ~jobs:!jobs cfg w target category
+      ~checkpoint ~jobs:!jobs cfg w target category
   else
-    Vulfi.Campaign.run ?transform ?hooks ?sink:!the_sink cfg w target
-      category
+    Vulfi.Campaign.run ?transform ?hooks ?sink:!the_sink ~checkpoint cfg w
+      target category
 
 (* Machine-readable export of a figure's campaign cells. *)
 let write_results_json path ~figure (cfg : Vulfi.Campaign.config)
@@ -256,13 +267,14 @@ let fig11 () =
       !done_cells total rate eta
   in
   let run_cell pool (w, t, c) =
+    let checkpoint = not !legacy in
     let r =
       match pool with
       | Some pool ->
         (* cell-level parallel driver: one shared domain pool *)
-        Vulfi.Campaign.run_parallel ?sink:!the_sink ~pool ~jobs:!jobs cfg w
-          t c
-      | None -> Vulfi.Campaign.run ?sink:!the_sink cfg w t c
+        Vulfi.Campaign.run_parallel ?sink:!the_sink ~checkpoint ~pool
+          ~jobs:!jobs cfg w t c
+      | None -> Vulfi.Campaign.run ?sink:!the_sink ~checkpoint cfg w t c
     in
     print_endline (Vulfi.Report.fig11_row r);
     progress r;
@@ -625,6 +637,9 @@ let interp_bench () =
         let best = ref infinity in
         for _ = 1 to reps do
           let prepared = Array.init batch (fun _ -> prepare ()) in
+          (* drain the allocation debt of the untimed construction above
+             so its minor-GC work cannot land inside the timed window *)
+          Gc.minor ();
           let t0 = Unix.gettimeofday () in
           Array.iter
             (fun (st, args) -> ignore (Interp.Machine.run st fn args))
@@ -662,6 +677,103 @@ let interp_bench () =
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
   Printf.printf "\nwrote BENCH_interp.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* Campaign throughput: legacy vs checkpointed executor                *)
+
+(* Runs the fig11 cell sweep twice — once per executor — over the same
+   shared pool settings, cross-checks that results and traces are
+   byte-identical, and writes BENCH_campaign.json so successive PRs can
+   track end-to-end campaign throughput the way BENCH_interp.json
+   tracks raw VM throughput. *)
+let campaign_bench () =
+  let cfg = campaign_config () in
+  header
+    (Printf.sprintf
+       "Campaign throughput: legacy vs checkpointed executor over the \
+        fig11 cell sweep (-j %d)"
+       !jobs);
+  let cells =
+    List.concat_map
+      (fun (b : Benchmarks.Harness.benchmark) ->
+        let w = scale_workload b.Benchmarks.Harness.bench in
+        List.concat_map
+          (fun target ->
+            List.map (fun cat -> (w, target, cat))
+              Analysis.Sites.all_categories)
+          Vir.Target.all)
+      Benchmarks.Registry.paper_benchmarks
+  in
+  let sweep ~checkpoint =
+    let buf = Buffer.create (1 lsl 16) in
+    let sink = Vulfi.Trace.to_buffer buf in
+    let t0 = Unix.gettimeofday () in
+    let results =
+      Vulfi.Campaign.run_cells ~sink ~checkpoint ~jobs:!jobs cfg cells
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Vulfi.Trace.close sink;
+    (results, Buffer.contents buf, dt)
+  in
+  let r_leg, tr_leg, t_leg = sweep ~checkpoint:false in
+  let r_ckpt, tr_ckpt, t_ckpt = sweep ~checkpoint:true in
+  let n_exps =
+    List.fold_left
+      (fun a (r : Vulfi.Campaign.result) ->
+        a + r.Vulfi.Campaign.c_totals.Vulfi.Campaign.n_experiments)
+      0 r_ckpt
+  in
+  let golden_runs =
+    List.fold_left
+      (fun a (r : Vulfi.Campaign.result) ->
+        a + r.Vulfi.Campaign.c_golden_runs)
+      0 r_ckpt
+  in
+  let golden_reused =
+    List.fold_left
+      (fun a (r : Vulfi.Campaign.result) ->
+        a + r.Vulfi.Campaign.c_golden_reused)
+      0 r_ckpt
+  in
+  let rate dt = if dt > 0.0 then float_of_int n_exps /. dt else 0.0 in
+  let speedup = if t_ckpt > 0.0 then t_leg /. t_ckpt else 0.0 in
+  let results_identical = r_leg = r_ckpt in
+  let traces_identical = String.equal tr_leg tr_ckpt in
+  Printf.printf "cells: %d   experiments: %d\n" (List.length cells) n_exps;
+  Printf.printf "legacy      : %7.2f s  %8.1f experiments/s\n" t_leg
+    (rate t_leg);
+  Printf.printf "checkpointed: %7.2f s  %8.1f experiments/s\n" t_ckpt
+    (rate t_ckpt);
+  Printf.printf
+    "speedup     : %6.2fx   golden runs %d (reused %d)   results \
+     identical: %b   traces identical: %b\n"
+    speedup golden_runs golden_reused results_identical traces_identical;
+  let oc = open_out "BENCH_campaign.json" in
+  Printf.fprintf oc "{\n  \"schema\": \"vulfi-campaign-bench-v1\",\n";
+  Printf.fprintf oc "  \"scale\": %S,\n"
+    (if scale_is_paper then "paper" else "quick");
+  Printf.fprintf oc "  \"jobs\": %d,\n" !jobs;
+  Printf.fprintf oc "  \"cells\": %d,\n" (List.length cells);
+  Printf.fprintf oc "  \"experiments\": %d,\n" n_exps;
+  Printf.fprintf oc "  \"golden_runs\": %d,\n" golden_runs;
+  Printf.fprintf oc "  \"golden_runs_eliminated\": %d,\n" golden_reused;
+  Printf.fprintf oc "  \"legacy_seconds\": %.3f,\n" t_leg;
+  Printf.fprintf oc "  \"checkpointed_seconds\": %.3f,\n" t_ckpt;
+  Printf.fprintf oc "  \"legacy_experiments_per_s\": %.1f,\n" (rate t_leg);
+  Printf.fprintf oc "  \"checkpointed_experiments_per_s\": %.1f,\n"
+    (rate t_ckpt);
+  Printf.fprintf oc "  \"speedup\": %.3f,\n" speedup;
+  Printf.fprintf oc "  \"results_identical\": %b,\n" results_identical;
+  Printf.fprintf oc "  \"traces_identical\": %b\n" traces_identical;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "\nwrote BENCH_campaign.json\n";
+  if not (results_identical && traces_identical) then begin
+    Printf.eprintf
+      "campaign bench: executor outputs diverge (results %b, traces %b)\n"
+      results_identical traces_identical;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock timing                                          *)
@@ -778,6 +890,9 @@ let () =
     | "--trace" :: [] ->
       Printf.eprintf "--trace expects a file name\n";
       exit 2
+    | "--legacy-executor" :: rest ->
+      legacy := true;
+      parse_args acc rest
     | cmd :: rest -> parse_args (cmd :: acc) rest
   in
   let what =
@@ -804,10 +919,11 @@ let () =
           | "speedup" -> speedup ()
           | "timing" -> timing ()
           | "interp" -> interp_bench ()
+          | "campaign" -> campaign_bench ()
           | other ->
             Printf.eprintf
               "unknown experiment %S (try table1 fig10 fig11 fig12 ablation \
-               speedup timing interp)\n"
+               speedup timing interp campaign)\n"
               other;
             exit 2)
         what);

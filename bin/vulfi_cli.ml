@@ -274,7 +274,7 @@ let print_cell ~detectors (r : Vulfi.Campaign.result) =
 
 let campaign_cmd =
   let run target category name experiments campaigns with_detectors
-      fault_kind jobs trace trace_timings =
+      fault_kind jobs trace trace_timings legacy =
     let b = find_bench name in
     let cfg =
       {
@@ -294,13 +294,14 @@ let campaign_cmd =
       ~finally:(fun () -> Option.iter Vulfi.Trace.close sink)
       (fun () ->
         (* The seed schedule makes -j N bit-identical to a sequential run. *)
+        let checkpoint = not legacy in
         let campaign_run ?transform ?hooks cfg w target category =
           if jobs > 1 then
             Vulfi.Campaign.run_parallel ?transform ?hooks ~fault_kind ?sink
-              ~jobs cfg w target category
+              ~checkpoint ~jobs cfg w target category
           else
-            Vulfi.Campaign.run ?transform ?hooks ~fault_kind ?sink cfg w
-              target category
+            Vulfi.Campaign.run ?transform ?hooks ~fault_kind ?sink
+              ~checkpoint cfg w target category
         in
         let r =
           if with_detectors then
@@ -348,12 +349,22 @@ let campaign_cmd =
                  trace machine-dependent, so sequential and -j N traces \
                  no longer compare byte-for-byte).")
   in
+  let legacy_arg =
+    Arg.(value & flag & info [ "legacy-executor" ]
+           ~doc:"Run the paper's literal two-runs-per-experiment \
+                 protocol (a fresh profiling run and machine before \
+                 every faulty run) instead of the checkpointed executor \
+                 (memoized golden runs + post-setup memory snapshots). \
+                 Bit-identical output; exists for cross-checking and \
+                 timing comparisons.")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run a statistically sized fault-injection campaign")
     Term.(const run $ target_arg $ category_arg $ bench_arg
           $ experiments_arg $ campaigns_arg $ detectors_arg
-          $ fault_kind_arg $ jobs_arg $ trace_arg $ trace_timings_arg)
+          $ fault_kind_arg $ jobs_arg $ trace_arg $ trace_timings_arg
+          $ legacy_arg)
 
 (* ---------------- report ---------------- *)
 

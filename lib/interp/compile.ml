@@ -102,7 +102,9 @@ and cmodule = {
 and state = {
   code : cmodule;
   mem : Memory.t;
-  budget0 : int;  (** initial budget; executed = budget0 - fuel *)
+  mutable budget0 : int;
+      (** initial budget; executed = budget0 - fuel. Mutable only so
+          [Machine.reset] can re-arm a reused machine. *)
   mutable fuel : int;  (** remaining dynamic instructions; <0 = trap *)
   mutable dyn_vector : int;  (** executed vector instructions *)
   mutable depth : int;  (** current call depth; reset per [run] *)

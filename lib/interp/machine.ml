@@ -31,6 +31,18 @@ let create ?(budget = default_budget) ?(max_depth = 512)
     max_depth;
   }
 
+(* Re-arm an existing machine for another run: counters and budget come
+   back to their just-created values while the expensive structures
+   (memory image, frame pool, extern slots) are kept. Memory contents
+   are NOT touched — pair with [Memory.restore] to roll those back. *)
+let reset ?budget (st : state) =
+  let b = match budget with Some b -> b | None -> st.Compile.budget0 in
+  st.Compile.budget0 <- b;
+  st.Compile.fuel <- b;
+  st.Compile.dyn_vector <- 0;
+  st.Compile.depth <- 0;
+  st.Compile.regs <- [||]
+
 (* Register (or replace) a handler for calls to an undefined function.
    Call sites were pre-resolved to extern slots at compile time, so a
    name no call site references has no slot — registering it is a no-op

@@ -14,6 +14,13 @@ val default_budget : int
     [max_depth] bounds the call stack. *)
 val create : ?budget:int -> ?max_depth:int -> Compile.cmodule -> state
 
+(** Re-arm an existing machine for another run: resets the fuel budget
+    (to [budget] when given, else to the machine's current budget) and
+    the dynamic counters, while keeping the compiled code, memory,
+    frame pool and extern registrations. Memory {e contents} are not
+    touched — pair with {!Memory.restore} to roll those back. *)
+val reset : ?budget:int -> state -> unit
+
 (** Register (or replace) a handler for calls to an undefined function.
     The handler returns [None] for void functions. *)
 val register_extern :

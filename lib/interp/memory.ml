@@ -12,6 +12,12 @@ type region = {
   size : int;        (** bytes *)
   data : Bytes.t;
   rname : string;    (** for debugging *)
+  mutable dlo : int;
+  mutable dhi : int;
+      (** dirty span [dlo, dhi): bytes written since the last
+          snapshot/restore point (empty when [dlo >= dhi]). Every store
+          path widens it, so [restore] only copies back what a run
+          actually touched. *)
 }
 
 type t = {
@@ -21,11 +27,16 @@ type t = {
       (** one-entry lookup cache: consecutive accesses overwhelmingly
           hit the same region. Purely an accelerator — hit or miss, the
           result of [find] is unchanged. *)
+  mutable cur_gen : int;
+      (** generation of the snapshot the dirty spans are relative to *)
+  mutable next_gen : int;  (** monotonic snapshot-id source *)
 }
 
 (* Bases start high and advance by the allocation size rounded up to a
    page plus a guard page, mimicking a sparse address space. *)
-let create () = { regions = []; next_base = 0x1000_0000L; last = None }
+let create () =
+  { regions = []; next_base = 0x1000_0000L; last = None;
+    cur_gen = 0; next_gen = 0 }
 
 let page = 4096
 
@@ -35,11 +46,85 @@ let alloc m ~name ~bytes =
   if bytes < 0 then invalid_arg "Memory.alloc: negative size";
   let size = max bytes 1 in
   let base = m.next_base in
-  let region = { base; size; data = Bytes.make size '\000'; rname = name } in
+  let region =
+    { base; size; data = Bytes.make size '\000'; rname = name;
+      dlo = max_int; dhi = 0 }
+  in
   m.regions <- region :: m.regions;
   m.next_base <-
     Int64.add base (Int64.of_int (round_up size page + page));
   base
+
+(* Widen a region's dirty span over [off, off + bytes). On the store
+   hot path this is two compares and at most two int stores. *)
+let[@inline] touch r off bytes =
+  if off < r.dlo then r.dlo <- off;
+  let e = off + bytes in
+  if e > r.dhi then r.dhi <- e
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing. A snapshot captures the allocation state (region
+   list, bump pointer) plus a full copy of every region's bytes; the
+   copy is paid once per snapshot. Restoring the *current* snapshot
+   copies back only each region's dirty span — cost proportional to the
+   bytes written since the snapshot — and drops regions allocated after
+   it (so in-run [alloca]s replay at identical addresses). Restoring an
+   older snapshot falls back to a full copy, because the spans are
+   relative to the latest snapshot only. *)
+
+type snapshot = {
+  snap_gen : int;
+  snap_next_base : int64;
+  snap_regions : region list;
+  snap_saved : (region * Bytes.t) array;
+}
+
+let snapshot m =
+  let saved =
+    Array.of_list
+      (List.map
+         (fun r ->
+           r.dlo <- max_int;
+           r.dhi <- 0;
+           (r, Bytes.copy r.data))
+         m.regions)
+  in
+  m.next_gen <- m.next_gen + 1;
+  m.cur_gen <- m.next_gen;
+  {
+    snap_gen = m.cur_gen;
+    snap_next_base = m.next_base;
+    snap_regions = m.regions;
+    snap_saved = saved;
+  }
+
+let restore m snap =
+  if snap.snap_gen = m.cur_gen then
+    (* Latest snapshot: the dirty spans say exactly which bytes differ
+       from the saved image. *)
+    Array.iter
+      (fun (r, saved) ->
+        if r.dlo < r.dhi then begin
+          let lo = r.dlo and hi = min r.dhi r.size in
+          Bytes.blit saved lo r.data lo (hi - lo);
+          r.dlo <- max_int;
+          r.dhi <- 0
+        end)
+      snap.snap_saved
+  else begin
+    (* Stale snapshot: spans track a different baseline; copy whole
+       regions and make this snapshot the span baseline. *)
+    Array.iter
+      (fun (r, saved) ->
+        Bytes.blit saved 0 r.data 0 r.size;
+        r.dlo <- max_int;
+        r.dhi <- 0)
+      snap.snap_saved;
+    m.cur_gen <- snap.snap_gen
+  end;
+  m.regions <- snap.snap_regions;
+  m.next_base <- snap.snap_next_base;
+  m.last <- None
 
 let in_region r addr =
   addr >= r.base && Int64.sub addr r.base < Int64.of_int r.size
@@ -87,6 +172,7 @@ let store_scalar m (s : Vir.Vtype.scalar) addr (lane_int : int64)
     (lane_float : float) =
   let bytes = Vir.Vtype.scalar_bytes s in
   let r, off = region_for m addr ~bytes in
+  touch r off bytes;
   match s with
   | I1 -> Bytes.set r.data off (if lane_int = 0L then '\000' else '\001')
   | I8 -> Bytes.set r.data off (Char.chr (Int64.to_int lane_int land 0xFF))
@@ -195,6 +281,7 @@ let store ?mask m (v : Vvalue.t) addr =
   in
   match fast with
   | Some (r, off) -> (
+    touch r off (n * sb);
     match v with
     | Vvalue.I (_, lanes) ->
       for i = 0 to n - 1 do
@@ -411,25 +498,31 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
         let r, off = region_for m addr ~bytes:4 in
         (match v with
         | Vvalue.I (_, [| x |]) ->
+          touch r off 4;
           Bytes.set_int32_le r.data off (Int64.to_int32 x)
         | _ -> store_scalar m I32 addr (Vvalue.as_int v) 0.0)
     | I64 ->
       fun m v addr ->
         let r, off = region_for m addr ~bytes:8 in
         (match v with
-        | Vvalue.I (_, [| x |]) -> Bytes.set_int64_le r.data off x
+        | Vvalue.I (_, [| x |]) ->
+          touch r off 8;
+          Bytes.set_int64_le r.data off x
         | _ -> store_scalar m I64 addr (Vvalue.as_int v) 0.0)
     | Ptr ->
       fun m v addr ->
         let r, off = region_for m addr ~bytes:8 in
         (match v with
-        | Vvalue.I (_, [| x |]) -> Bytes.set_int64_le r.data off x
+        | Vvalue.I (_, [| x |]) ->
+          touch r off 8;
+          Bytes.set_int64_le r.data off x
         | _ -> store_scalar m Ptr addr (Vvalue.as_int v) 0.0)
     | F32 ->
       fun m v addr ->
         let r, off = region_for m addr ~bytes:4 in
         (match v with
         | Vvalue.F (_, [| x |]) ->
+          touch r off 4;
           Bytes.set_int32_le r.data off (Int32.bits_of_float x)
         | _ -> store_scalar m F32 addr 0L (Vvalue.as_float v))
     | F64 ->
@@ -437,6 +530,7 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
         let r, off = region_for m addr ~bytes:8 in
         (match v with
         | Vvalue.F (_, [| x |]) ->
+          touch r off 8;
           Bytes.set_int64_le r.data off (Int64.bits_of_float x)
         | _ -> store_scalar m F64 addr 0L (Vvalue.as_float v))
     | I1 | I8 ->
@@ -452,6 +546,7 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
       fun m v addr ->
         (match (range_in_region m addr ~bytes, v) with
         | Some (r, off), Vvalue.F (_, l) when Array.length l = 4 ->
+          touch r off bytes;
           Bytes.set_int32_le r.data off (Int32.bits_of_float l.(0));
           Bytes.set_int32_le r.data (off + 4) (Int32.bits_of_float l.(1));
           Bytes.set_int32_le r.data (off + 8) (Int32.bits_of_float l.(2));
@@ -461,6 +556,7 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
       fun m v addr ->
         (match (range_in_region m addr ~bytes, v) with
         | Some (r, off), Vvalue.F (_, l) when Array.length l = 8 ->
+          touch r off bytes;
           Bytes.set_int32_le r.data off (Int32.bits_of_float l.(0));
           Bytes.set_int32_le r.data (off + 4) (Int32.bits_of_float l.(1));
           Bytes.set_int32_le r.data (off + 8) (Int32.bits_of_float l.(2));
@@ -474,6 +570,7 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
       fun m v addr ->
         (match (range_in_region m addr ~bytes, v) with
         | Some (r, off), Vvalue.F (_, l) when Array.length l = 2 ->
+          touch r off bytes;
           Bytes.set_int64_le r.data off (Int64.bits_of_float l.(0));
           Bytes.set_int64_le r.data (off + 8) (Int64.bits_of_float l.(1))
         | _ -> store m v addr)
@@ -481,6 +578,7 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
       fun m v addr ->
         (match (range_in_region m addr ~bytes, v) with
         | Some (r, off), Vvalue.F (_, l) when Array.length l = 4 ->
+          touch r off bytes;
           Bytes.set_int64_le r.data off (Int64.bits_of_float l.(0));
           Bytes.set_int64_le r.data (off + 8) (Int64.bits_of_float l.(1));
           Bytes.set_int64_le r.data (off + 16) (Int64.bits_of_float l.(2));
@@ -490,6 +588,7 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
       fun m v addr ->
         (match (range_in_region m addr ~bytes, v) with
         | Some (r, off), Vvalue.I (_, l) when Array.length l = 4 ->
+          touch r off bytes;
           Bytes.set_int32_le r.data off (Int64.to_int32 l.(0));
           Bytes.set_int32_le r.data (off + 4) (Int64.to_int32 l.(1));
           Bytes.set_int32_le r.data (off + 8) (Int64.to_int32 l.(2));
@@ -499,6 +598,7 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
       fun m v addr ->
         (match (range_in_region m addr ~bytes, v) with
         | Some (r, off), Vvalue.I (_, l) when Array.length l = 8 ->
+          touch r off bytes;
           Bytes.set_int32_le r.data off (Int64.to_int32 l.(0));
           Bytes.set_int32_le r.data (off + 4) (Int64.to_int32 l.(1));
           Bytes.set_int32_le r.data (off + 8) (Int64.to_int32 l.(2));
@@ -512,6 +612,7 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
       fun m v addr ->
         (match (range_in_region m addr ~bytes, v) with
         | Some (r, off), Vvalue.I (_, l) when Array.length l = 2 ->
+          touch r off bytes;
           Bytes.set_int64_le r.data off l.(0);
           Bytes.set_int64_le r.data (off + 8) l.(1)
         | _ -> store m v addr)
@@ -519,6 +620,7 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
       fun m v addr ->
         (match (range_in_region m addr ~bytes, v) with
         | Some (r, off), Vvalue.I (_, l) when Array.length l = 4 ->
+          touch r off bytes;
           Bytes.set_int64_le r.data off l.(0);
           Bytes.set_int64_le r.data (off + 8) l.(1);
           Bytes.set_int64_le r.data (off + 16) l.(2);
@@ -528,6 +630,7 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
       fun m v addr ->
         (match range_in_region m addr ~bytes with
         | Some (r, off) -> (
+          touch r off bytes;
           match v with
           | Vvalue.I (_, lanes) ->
             for i = 0 to n - 1 do
@@ -573,6 +676,7 @@ let masked_load m (ty : Vir.Vtype.t) addr ~mask : Vvalue.t =
 let write_i32_array m base (xs : int array) =
   match range_in_region m base ~bytes:(4 * Array.length xs) with
   | Some (r, off) ->
+    touch r off (4 * Array.length xs);
     Array.iteri
       (fun i x -> Bytes.set_int32_le r.data (off + (4 * i)) (Int32.of_int x))
       xs
@@ -597,6 +701,7 @@ let read_i32_array m base n =
 let write_f32_array m base (xs : float array) =
   match range_in_region m base ~bytes:(4 * Array.length xs) with
   | Some (r, off) ->
+    touch r off (4 * Array.length xs);
     Array.iteri
       (fun i x ->
         Bytes.set_int32_le r.data (off + (4 * i)) (Int32.bits_of_float x))
@@ -621,6 +726,7 @@ let read_f32_array m base n =
 let write_f64_array m base (xs : float array) =
   match range_in_region m base ~bytes:(8 * Array.length xs) with
   | Some (r, off) ->
+    touch r off (8 * Array.length xs);
     Array.iteri
       (fun i x ->
         Bytes.set_int64_le r.data (off + (8 * i)) (Int64.bits_of_float x))

@@ -12,6 +12,19 @@ val create : unit -> t
     [name] is kept for debugging. *)
 val alloc : t -> name:string -> bytes:int -> int64
 
+(** Checkpointing. [snapshot] captures the allocation state (region
+    list, bump pointer) plus the contents of every region; [restore]
+    rolls all of it back, so allocations made after the snapshot are
+    dropped and replay at identical addresses. Dirty-span tracking makes
+    restoring the {e most recent} snapshot cost proportional to the
+    bytes written since it was taken; restoring an older snapshot falls
+    back to a full copy. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
 (** Load a (possibly vector) value of [ty] from contiguous memory.
     @raise Trap.Trap on out-of-bounds access. *)
 val load : t -> Vir.Vtype.t -> int64 -> Vvalue.t

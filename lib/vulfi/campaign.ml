@@ -90,6 +90,14 @@ type result = {
   c_static_sites : int;
   c_avg_dynamic_sites : float;
   c_avg_dynamic_instrs : float;
+  c_golden_runs : int;
+      (** distinct inputs the schedule drew — the golden runs any
+          executor must perform at least once *)
+  c_golden_reused : int;
+      (** experiments that reused a cached golden run. Both counters
+          are functions of the seed schedule alone (never of physical
+          cache behaviour), so they are identical between the legacy
+          and checkpointed executors, sequential or [-j N]. *)
 }
 
 let rate part total =
@@ -124,34 +132,73 @@ let vacuous_benign =
     r_dyn_instrs = 0;
   }
 
-(* One experiment, given its resolved golden run and schedule entry. *)
+(* How an experiment executes its runs.
+
+   [Paper_protocol] is §IV-B taken literally: every experiment is two
+   full executions — a fault-free profiling run, then the faulty run —
+   each on a freshly built machine with [w_setup] re-applied.
+
+   [Checkpointed] replaces the profiling half with a memoized golden
+   run and the rebuild with a post-setup snapshot restore. Golden runs
+   are deterministic per (cell, input), so the two executors produce
+   bit-identical results; the checkpointed one just stops paying for
+   the redundancy. [None] carries the vacuous case (a cell with no
+   live fault site never runs a faulty half). *)
+type exec =
+  | Paper_protocol
+  | Checkpointed of Experiment.prepared_input option
+
+(* One experiment, given its schedule entry and the accounting golden
+   (the cached one; on the paper path the profiling run re-derives the
+   same values — that recomputation is exactly what it measures). *)
 let run_experiment ~(hooks : hooks_factory) ~respect_masks ?fault_kind
-    (prepared : Experiment.prepared) ~(golden : Experiment.golden)
-    (ex : Seed.exp) : Experiment.run_result =
-  if golden.Experiment.g_dyn_sites = 0 then
-    (* no live fault site: vacuously benign *)
-    vacuous_benign
-  else
-    let dynamic_site =
-      1 + Seed.uniform ex.Seed.site_key golden.Experiment.g_dyn_sites
+    ~(exec : exec) (prepared : Experiment.prepared)
+    ~(golden : Experiment.golden) (ex : Seed.exp) : Experiment.run_result =
+  match exec with
+  | Checkpointed pi ->
+    if golden.Experiment.g_dyn_sites = 0 then
+      (* no live fault site: vacuously benign *)
+      vacuous_benign
+    else
+      let pi =
+        match pi with Some pi -> pi | None -> assert false
+        (* drivers always prepare an input that has live sites *)
+      in
+      let dynamic_site =
+        1 + Seed.uniform ex.Seed.site_key golden.Experiment.g_dyn_sites
+      in
+      Experiment.faulty_run_checkpointed ~hooks:(hooks ()) ~respect_masks
+        ?fault_kind prepared ~pi ~dynamic_site ~seed:ex.Seed.bit_seed
+  | Paper_protocol ->
+    let golden =
+      Experiment.golden_run ~hooks:(hooks ()) ~respect_masks prepared
+        ~input:golden.Experiment.g_input
     in
-    Experiment.faulty_run ~hooks:(hooks ()) ~respect_masks ?fault_kind
-      prepared ~golden ~dynamic_site ~seed:ex.Seed.bit_seed
+    if golden.Experiment.g_dyn_sites = 0 then vacuous_benign
+    else
+      let dynamic_site =
+        1 + Seed.uniform ex.Seed.site_key golden.Experiment.g_dyn_sites
+      in
+      Experiment.faulty_run ~hooks:(hooks ()) ~respect_masks ?fault_kind
+        prepared ~golden ~dynamic_site ~seed:ex.Seed.bit_seed
 
 (* Run one experiment, timing it only when the sink asked for wall
    times; the clock syscall is skipped entirely on the deterministic
    (default) path. *)
-let timed_experiment ~hooks ~respect_masks ?fault_kind ~timings prepared
-    ~golden ex : Experiment.run_result * float =
+let timed_experiment ~hooks ~respect_masks ?fault_kind ~exec ~timings
+    prepared ~golden ex : Experiment.run_result * float =
   if timings then begin
     let t0 = Unix.gettimeofday () in
     let r =
-      run_experiment ~hooks ~respect_masks ?fault_kind prepared ~golden ex
+      run_experiment ~hooks ~respect_masks ?fault_kind ~exec prepared
+        ~golden ex
     in
     (r, Unix.gettimeofday () -. t0)
   end
   else
-    (run_experiment ~hooks ~respect_masks ?fault_kind prepared ~golden ex, 0.0)
+    ( run_experiment ~hooks ~respect_masks ?fault_kind ~exec prepared
+        ~golden ex,
+      0.0 )
 
 (* Emit campaign [campaign]'s experiment records in experiment order.
    Both drivers call this from the (sequential) protocol loop after the
@@ -216,6 +263,7 @@ let finalize (prepared : Experiment.prepared) (w : Workload.t) target category
       List.fold_left (fun a g -> a +. float_of_int (f g)) 0.0 goldens
       /. float_of_int (List.length goldens)
   in
+  let golden_runs = List.length goldens in
   {
     c_workload = w.Workload.w_name;
     c_target = target;
@@ -228,6 +276,8 @@ let finalize (prepared : Experiment.prepared) (w : Workload.t) target category
     c_static_sites = Instrument.static_site_count prepared.Experiment.p_instr;
     c_avg_dynamic_sites = avg (fun g -> g.Experiment.g_dyn_sites);
     c_avg_dynamic_instrs = avg (fun g -> g.Experiment.g_dyn_instrs);
+    c_golden_runs = golden_runs;
+    c_golden_reused = totals.n_experiments - golden_runs;
   }
 
 (* JSON view of a result — the per-cell summary record of a trace, and
@@ -242,28 +292,46 @@ let result_json ?(detectors = false) (r : result) : Json.t =
     ~n_detected_sdc:r.c_totals.n_detected_sdc ~margin:r.c_margin
     ~near_normal:r.c_near_normal ~static_sites:r.c_static_sites
     ~avg_dyn_sites:r.c_avg_dynamic_sites
-    ~avg_dyn_instrs:r.c_avg_dynamic_instrs
+    ~avg_dyn_instrs:r.c_avg_dynamic_instrs ~golden_runs:r.c_golden_runs
+    ~golden_reused:r.c_golden_reused
 
 (* Run the full campaign protocol for one
    (workload, target, site-category) cell, sequentially.
    [transform] pre-processes the module (e.g. detector insertion);
    [hooks] builds per-run extra runtime (e.g. the detector API). *)
 let run ?transform ?hooks ?(respect_masks = true)
-    ?fault_kind ?sink (cfg : config) (w : Workload.t)
+    ?fault_kind ?sink ?(checkpoint = true) (cfg : config) (w : Workload.t)
     (target : Vir.Target.t) (category : Analysis.Sites.category) : result =
   let detectors = Option.is_some hooks in
   let hooks = Option.value hooks ~default:no_hooks_factory in
   let prepared = Experiment.prepare ?transform w target category in
   let cell = cell_of cfg w target category in
-  (* Golden runs are deterministic per input: cache them. *)
+  (* Golden runs are deterministic per input: resolve each distinct
+     input once for scheduling and accounting (site counts, averages).
+     On the checkpointed path the entry also carries the whole prepared
+     input (machine + post-setup snapshot), so faulty runs skip machine
+     construction, [w_setup] and the golden run; on the paper-protocol
+     path every experiment still performs its own profiling run. *)
   let golden_cache = Hashtbl.create 8 in
+  let pi_cache : (int, Experiment.prepared_input) Hashtbl.t =
+    Hashtbl.create 8
+  in
   let golden input =
     match Hashtbl.find_opt golden_cache input with
     | Some g -> g
     | None ->
       let g =
-        Experiment.golden_run ~hooks:(hooks ()) ~respect_masks prepared
-          ~input
+        if checkpoint then begin
+          let pi =
+            Experiment.prepare_input ~hooks:(hooks ()) ~respect_masks
+              prepared ~input
+          in
+          Hashtbl.add pi_cache input pi;
+          pi.Experiment.pi_golden
+        end
+        else
+          Experiment.golden_run ~hooks:(hooks ()) ~respect_masks prepared
+            ~input
       in
       Hashtbl.add golden_cache input g;
       g
@@ -280,8 +348,14 @@ let run ?transform ?hooks ?(respect_masks = true)
     let results =
       Array.mapi
         (fun e ex ->
-          timed_experiment ~hooks ~respect_masks ?fault_kind ~timings
-            prepared ~golden:(golden inputs.(e)) ex)
+          let golden = golden inputs.(e) in
+          let exec =
+            if checkpoint then
+              Checkpointed (Hashtbl.find_opt pi_cache inputs.(e))
+            else Paper_protocol
+          in
+          timed_experiment ~hooks ~respect_masks ?fault_kind ~exec
+            ~timings prepared ~golden ex)
         exps
     in
     let site_counts =
@@ -308,7 +382,8 @@ let run ?transform ?hooks ?(respect_masks = true)
    golden runs before the fan-out; results are gathered in experiment
    order, making the outcome bit-identical to [run]. *)
 let run_parallel ?transform ?hooks
-    ?(respect_masks = true) ?fault_kind ?pool ?sink ~jobs (cfg : config)
+    ?(respect_masks = true) ?fault_kind ?pool ?sink ?(checkpoint = true)
+    ~jobs (cfg : config)
     (w : Workload.t) (target : Vir.Target.t)
     (category : Analysis.Sites.category) : result =
   let detectors = Option.is_some hooks in
@@ -322,6 +397,34 @@ let run_parallel ?transform ?hooks
       let prepared = Experiment.prepare ?transform w target category in
       let cell = cell_of cfg w target category in
       let golden_cache = Hashtbl.create 8 in
+      (* Machines cannot be shared across domains, so the checkpointed
+         path keeps one prepared-input cache per pool worker (worker
+         ids are stable and never run two items at once — no locking).
+         A worker that first meets an input re-runs setup + golden for
+         its own cache; the numbers are deterministic, so this only
+         costs time, never changes results. Per-cell lifetime: the
+         caches (and their machines) die with this call. *)
+      let pi_caches : (int, Experiment.prepared_input) Hashtbl.t array =
+        Array.init
+          (if checkpoint then Pool.size pool else 0)
+          (fun _ -> Hashtbl.create 8)
+      in
+      let pi_for wid input (golden : Experiment.golden) =
+        if not checkpoint then None
+        else if golden.Experiment.g_dyn_sites = 0 then
+          (* vacuously benign: no faulty run will happen *)
+          None
+        else
+          match Hashtbl.find_opt pi_caches.(wid) input with
+          | Some pi -> Some pi
+          | None ->
+            let pi =
+              Experiment.prepare_input ~hooks:(hooks ()) ~respect_masks
+                prepared ~input
+            in
+            Hashtbl.replace pi_caches.(wid) input pi;
+            Some pi
+      in
       let timings =
         match sink with Some s -> Trace.timings s | None -> false
       in
@@ -347,10 +450,19 @@ let run_parallel ?transform ?hooks
           inputs;
         let fresh = Array.of_list (List.rev !fresh) in
         let goldens =
-          Pool.map pool
-            (fun input ->
-              Experiment.golden_run ~hooks:(hooks ()) ~respect_masks
-                prepared ~input)
+          Pool.map_with_worker pool
+            (fun wid input ->
+              if checkpoint then begin
+                let pi =
+                  Experiment.prepare_input ~hooks:(hooks ())
+                    ~respect_masks prepared ~input
+                in
+                Hashtbl.replace pi_caches.(wid) input pi;
+                pi.Experiment.pi_golden
+              end
+              else
+                Experiment.golden_run ~hooks:(hooks ()) ~respect_masks
+                  prepared ~input)
             fresh
         in
         Array.iteri (fun k g -> Hashtbl.add golden_cache fresh.(k) g) goldens;
@@ -359,12 +471,16 @@ let run_parallel ?transform ?hooks
            experiment order, and the sink is written from this
            (sequential) protocol loop. *)
         let results =
-          Pool.map pool
-            (fun e ->
-              timed_experiment ~hooks ~respect_masks ?fault_kind ~timings
-                prepared
-                ~golden:(Hashtbl.find golden_cache inputs.(e))
-                exps.(e))
+          Pool.map_with_worker pool
+            (fun wid e ->
+              let input = inputs.(e) in
+              let golden = Hashtbl.find golden_cache input in
+              let exec =
+                if checkpoint then Checkpointed (pi_for wid input golden)
+                else Paper_protocol
+              in
+              timed_experiment ~hooks ~respect_masks ?fault_kind ~exec
+                ~timings prepared ~golden exps.(e))
             (Array.init cfg.experiments_per_campaign Fun.id)
         in
         let site_counts =
@@ -387,13 +503,13 @@ let run_parallel ?transform ?hooks
 
 (* Cell-level driver: run many (workload, target, category) cells over
    one shared pool — the shape of a Fig 11/Table II sweep. *)
-let run_cells ?transform ?hooks ?respect_masks ?fault_kind ?sink ~jobs
-    (cfg : config)
+let run_cells ?transform ?hooks ?respect_masks ?fault_kind ?sink
+    ?checkpoint ~jobs (cfg : config)
     (cells : (Workload.t * Vir.Target.t * Analysis.Sites.category) list) :
     result list =
   Pool.with_pool ~jobs (fun pool ->
       List.map
         (fun (w, target, category) ->
           run_parallel ?transform ?hooks ?respect_masks ?fault_kind ~pool
-            ?sink ~jobs cfg w target category)
+            ?sink ?checkpoint ~jobs cfg w target category)
         cells)

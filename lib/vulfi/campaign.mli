@@ -37,6 +37,14 @@ type result = {
   c_static_sites : int;
   c_avg_dynamic_sites : float;
   c_avg_dynamic_instrs : float;
+  c_golden_runs : int;
+      (** distinct inputs the schedule drew — the golden runs any
+          executor must perform at least once *)
+  c_golden_reused : int;
+      (** experiments that reused a cached golden run. Both counters
+          are functions of the seed schedule alone, so they are
+          identical between the legacy and checkpointed executors,
+          sequential or [-j N]. *)
 }
 
 (** JSON view of a result: the per-cell summary record of a trace, and
@@ -69,13 +77,24 @@ type hooks_factory = unit -> Experiment.hooks
     [sink] receives one telemetry record per experiment — in
     (campaign, experiment) order — plus the cell's summary record; with
     a default (no-timings) sink the trace is byte-identical between
-    [run] and [run_parallel]. *)
+    [run] and [run_parallel].
+
+    [checkpoint] (default [true]) selects the checkpointed executor:
+    per (cell, input), [w_setup] runs once, the post-setup memory image
+    is snapshotted and the golden run executes once; every further
+    experiment on that input restores the snapshot and reuses the
+    machine. [checkpoint:false] is the paper's §IV-B protocol taken
+    literally — every experiment performs its own fault-free profiling
+    run on a freshly built machine before the faulty run. The two are
+    bit-identical — results, digests and traces — because golden runs
+    are deterministic per (cell, input). *)
 val run :
   ?transform:(Vir.Vmodule.t -> Vir.Vmodule.t) ->
   ?hooks:hooks_factory ->
   ?respect_masks:bool ->
   ?fault_kind:Runtime.fault_kind ->
   ?sink:Trace.sink ->
+  ?checkpoint:bool ->
   config ->
   Workload.t ->
   Vir.Target.t ->
@@ -89,7 +108,10 @@ val run :
     (in which case [jobs] is only used if [pool] is absent). [sink]
     records are emitted in experiment order from the protocol loop
     (workers only buffer), so the trace too is bit-identical to a
-    sequential run's unless the sink asked for wall times. *)
+    sequential run's unless the sink asked for wall times. With
+    [checkpoint] (the default) each worker keeps its own prepared-input
+    cache — machines cannot cross domains — while the shared golden
+    table stays schedule-deterministic. *)
 val run_parallel :
   ?transform:(Vir.Vmodule.t -> Vir.Vmodule.t) ->
   ?hooks:hooks_factory ->
@@ -97,6 +119,7 @@ val run_parallel :
   ?fault_kind:Runtime.fault_kind ->
   ?pool:Pool.t ->
   ?sink:Trace.sink ->
+  ?checkpoint:bool ->
   jobs:int ->
   config ->
   Workload.t ->
@@ -114,6 +137,7 @@ val run_cells :
   ?respect_masks:bool ->
   ?fault_kind:Runtime.fault_kind ->
   ?sink:Trace.sink ->
+  ?checkpoint:bool ->
   jobs:int ->
   config ->
   (Workload.t * Vir.Target.t * Analysis.Sites.category) list ->

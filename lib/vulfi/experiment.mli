@@ -48,6 +48,30 @@ exception Golden_run_failed of string
 val golden_run :
   ?hooks:hooks -> ?respect_masks:bool -> prepared -> input:int -> golden
 
+(** A (cell, input) pair prepared for checkpointed execution: a machine
+    with [w_setup] already applied, a snapshot of the post-setup memory
+    image, and the golden-run results. Faulty runs restore the snapshot
+    and re-arm the machine instead of rebuilding both — eliminating the
+    golden half of every experiment after the first on each input. *)
+type prepared_input = {
+  pi_golden : golden;
+  pi_machine : Interp.Machine.state;
+  pi_snapshot : Interp.Memory.snapshot;  (** post-setup memory image *)
+  pi_args : Interp.Vvalue.t list;
+  pi_read_output : unit -> Outcome.output;
+}
+
+(** One-time per (cell, input) stage: build a machine, run [w_setup],
+    snapshot, execute the golden run. The golden numbers are computed
+    exactly as {!golden_run} computes them.
+    @raise Golden_run_failed when the fault-free run traps. *)
+val prepare_input :
+  ?hooks:hooks ->
+  ?respect_masks:bool ->
+  prepared ->
+  input:int ->
+  prepared_input
+
 type run_result = {
   r_outcome : Outcome.t;
   r_injection : Runtime.injection_record option;
@@ -63,6 +87,20 @@ val faulty_run :
   ?fault_kind:Runtime.fault_kind ->
   prepared ->
   golden:golden ->
+  dynamic_site:int ->
+  seed:int ->
+  run_result
+
+(** Checkpointed variant of {!faulty_run}: restores [pi]'s post-setup
+    snapshot and re-arms its machine instead of rebuilding them. The
+    result is bit-identical to {!faulty_run} on the same (input,
+    dynamic_site, seed). *)
+val faulty_run_checkpointed :
+  ?hooks:hooks ->
+  ?respect_masks:bool ->
+  ?fault_kind:Runtime.fault_kind ->
+  prepared ->
+  pi:prepared_input ->
   dynamic_site:int ->
   seed:int ->
   run_result

@@ -15,7 +15,8 @@
     drains. *)
 
 type job = {
-  run : int -> unit;  (** executes item [i]; never raises *)
+  run : int -> int -> unit;
+      (** [run wid i] executes item [i] on worker [wid]; never raises *)
   n : int;
   next : int Atomic.t;       (** work cursor *)
   completed : int Atomic.t;  (** items fully executed *)
@@ -34,14 +35,15 @@ type t = {
 
 let size t = t.size
 
-(* Pull items until the batch cursor is exhausted. *)
-let drain t job =
+(* Pull items until the batch cursor is exhausted. [wid] identifies
+   the draining worker (0 = submitting thread, 1.. = pool domains). *)
+let drain t job wid =
   let continue_ = ref true in
   while !continue_ do
     let i = Atomic.fetch_and_add job.next 1 in
     if i >= job.n then continue_ := false
     else begin
-      job.run i;
+      job.run wid i;
       if 1 + Atomic.fetch_and_add job.completed 1 = job.n then begin
         Mutex.lock t.mutex;
         Condition.broadcast t.finished;
@@ -50,7 +52,7 @@ let drain t job =
     end
   done
 
-let rec worker t last_gen =
+let rec worker t wid last_gen =
   Mutex.lock t.mutex;
   let has_fresh_job () =
     t.generation <> last_gen && Option.is_some t.job
@@ -63,8 +65,8 @@ let rec worker t last_gen =
     let gen = t.generation in
     let job = Option.get t.job in
     Mutex.unlock t.mutex;
-    drain t job;
-    worker t gen
+    drain t job wid;
+    worker t wid gen
   end
 
 let create ~jobs =
@@ -81,7 +83,9 @@ let create ~jobs =
       domains = [];
     }
   in
-  t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+  t.domains <-
+    List.init (size - 1)
+      (fun k -> Domain.spawn (fun () -> worker t (k + 1) 0));
   t
 
 let shutdown t =
@@ -96,14 +100,14 @@ let with_pool ~jobs f =
   let t = create ~jobs in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let map t f arr =
+let map_with_worker t f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
     let results = Array.make n None in
     let error = Atomic.make None in
-    let run i =
-      match f arr.(i) with
+    let run wid i =
+      match f wid arr.(i) with
       | v -> results.(i) <- Some v
       | exception e ->
         let bt = Printexc.get_raw_backtrace () in
@@ -115,8 +119,8 @@ let map t f arr =
     t.generation <- t.generation + 1;
     Condition.broadcast t.work;
     Mutex.unlock t.mutex;
-    (* the submitting thread is a worker too *)
-    drain t job;
+    (* the submitting thread is worker 0 *)
+    drain t job 0;
     Mutex.lock t.mutex;
     while Atomic.get job.completed < n do
       Condition.wait t.finished t.mutex
@@ -128,3 +132,5 @@ let map t f arr =
     | None -> ());
     Array.map (function Some v -> v | None -> assert false) results
   end
+
+let map t f arr = map_with_worker t (fun _wid x -> f x) arr

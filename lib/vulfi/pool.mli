@@ -20,6 +20,13 @@ val size : t -> int
     not call [map] from within [f]. *)
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 
+(** Like {!map}, but [f] also receives the stable id of the worker
+    executing the item: 0 for the submitting thread, 1..[size]-1 for
+    the pool domains. Lets callers keep per-worker caches (e.g. of
+    machines, which cannot be shared across domains) without any
+    locking: a given id never runs two items concurrently. *)
+val map_with_worker : t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
 (** Terminate and join the worker domains. *)
 val shutdown : t -> unit
 

@@ -77,18 +77,27 @@ type cell_acc = {
   mutable ca_summary : Json.t option;
 }
 
+(* Returns the remaining records plus the trace's schema version: both
+   v1 and v2 are replayable (v2 merely adds the golden counters, which
+   are recomputable anyway — the version only decides whether the
+   summary cross-check may expect them). *)
 let check_header = function
   | [] -> bad "empty trace (no header record)"
   | header :: rest ->
-    (match (Json.member "type" header, Json.member "schema" header) with
-    | Some (Json.String "header"), Some (Json.String s) ->
-      if s <> Trace.schema then
-        bad "unsupported trace schema %S (expected %S)" s Trace.schema
-    | _ -> bad "first record is not a trace header");
-    rest
+    let version =
+      match (Json.member "type" header, Json.member "schema" header) with
+      | Some (Json.String "header"), Some (Json.String s) ->
+        if s = Trace.schema then `V2
+        else if s = Trace.schema_v1 then `V1
+        else
+          bad "unsupported trace schema %S (expected %S or %S)" s
+            Trace.schema Trace.schema_v1
+      | _ -> bad "first record is not a trace header"
+    in
+    (rest, version)
 
-let replay_cell ((workload, target_s, category_s) as _key) (c : cell_acc) :
-    replay =
+let replay_cell ~version ((workload, target_s, category_s) as _key)
+    (c : cell_acc) : replay =
   let cell_name = Printf.sprintf "%s/%s/%s" workload target_s category_s in
   let target =
     match Vir.Target.of_string target_s with
@@ -164,6 +173,10 @@ let replay_cell ((workload, target_s, category_s) as _key) (c : cell_acc) :
       List.fold_left (fun a (_, s) -> a +. float_of_int s) 0.0 goldens
       /. float_of_int (List.length goldens)
   in
+  (* the checkpointing counters are pure functions of the schedule:
+     distinct inputs drawn, and experiments beyond the first per input *)
+  let golden_runs = List.length goldens in
+  let golden_reused = totals.Campaign.n_experiments - golden_runs in
   (* static_sites, avg_dyn_instrs and the detectors flag describe the
      campaign setup and golden runs only and are not recomputable from
      experiment records: adopt them from the summary record, and
@@ -206,6 +219,11 @@ let replay_cell ((workload, target_s, category_s) as _key) (c : cell_acc) :
       chk "near_normal"
         (Json.member "near_normal" s = Some (Json.Bool near_normal));
       chk "avg_dyn_sites" (float_field "avg_dyn_sites" = avg_dyn_sites);
+      (match version with
+      | `V1 -> ()  (* v1 summaries have no golden counters *)
+      | `V2 ->
+        chk "golden_runs" (int_field "golden_runs" = golden_runs);
+        chk "golden_reused" (int_field "golden_reused" = golden_reused));
       let status =
         match !mismatches with
         | [] -> `Match
@@ -233,6 +251,8 @@ let replay_cell ((workload, target_s, category_s) as _key) (c : cell_acc) :
         c_static_sites = static_sites;
         c_avg_dynamic_sites = avg_dyn_sites;
         c_avg_dynamic_instrs = avg_dyn_instrs;
+        c_golden_runs = golden_runs;
+        c_golden_reused = golden_reused;
       };
     rp_detectors = detectors;
     rp_summary = summary_status;
@@ -240,7 +260,7 @@ let replay_cell ((workload, target_s, category_s) as _key) (c : cell_acc) :
 
 let replay_of_trace (records : Json.t list) : (replay list, string) result =
   try
-    let rest = check_header records in
+    let rest, version = check_header records in
     let cells = Hashtbl.create 8 in
     let order = ref [] in
     let get_cell key =
@@ -314,6 +334,7 @@ let replay_of_trace (records : Json.t list) : (replay list, string) result =
         | _ -> bad "record %d: missing \"type\" field" at)
       rest;
     Ok
-      (List.rev_map (fun key -> replay_cell key (Hashtbl.find cells key))
+      (List.rev_map
+         (fun key -> replay_cell ~version key (Hashtbl.find cells key))
          !order)
   with Bad_trace m -> Error m

@@ -10,7 +10,14 @@
     experiment wall time is inherently nondeterministic, so it is an
     opt-in sink feature ([timings:true]) rather than a default field. *)
 
-let schema = "vulfi-trace-v1"
+(* v2 adds the checkpointing counters [golden_runs]/[golden_reused] to
+   the summary record. Both counters are derived from the seed schedule
+   (distinct inputs drawn), not from physical cache behaviour, so the
+   legacy and checkpointed executors write identical traces. [report]
+   accepts v1 and v2. *)
+let schema = "vulfi-trace-v2"
+
+let schema_v1 = "vulfi-trace-v1"
 
 type sink = {
   s_emit : Json.t -> unit;
@@ -108,7 +115,7 @@ let experiment_record ~workload ~target ~category ~campaign ~experiment
 let summary_record ~workload ~target ~category ~detectors ~campaigns
     ~sdc_rates ~n_experiments ~n_sdc ~n_benign ~n_crash ~n_detected
     ~n_detected_sdc ~margin ~near_normal ~static_sites ~avg_dyn_sites
-    ~avg_dyn_instrs : Json.t =
+    ~avg_dyn_instrs ~golden_runs ~golden_reused : Json.t =
   Json.Obj
     [
       ("type", Json.String "summary");
@@ -131,4 +138,8 @@ let summary_record ~workload ~target ~category ~detectors ~campaigns
       ("static_sites", Json.Int static_sites);
       ("avg_dyn_sites", Json.Float avg_dyn_sites);
       ("avg_dyn_instrs", Json.Float avg_dyn_instrs);
+      (* distinct inputs the schedule drew (= golden runs any executor
+         must perform) and experiments that reused a cached golden *)
+      ("golden_runs", Json.Int golden_runs);
+      ("golden_reused", Json.Int golden_reused);
     ]

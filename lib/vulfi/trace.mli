@@ -9,8 +9,12 @@
     experiment record. *)
 
 (** Schema identifier stamped into the header record
-    (["vulfi-trace-v1"]). *)
+    (["vulfi-trace-v2"]; v2 adds schedule-derived [golden_runs] /
+    [golden_reused] counters to the summary record). *)
 val schema : string
+
+(** The previous schema identifier, still accepted by [vulfi report]. *)
+val schema_v1 : string
 
 type sink
 
@@ -75,4 +79,6 @@ val summary_record :
   static_sites:int ->
   avg_dyn_sites:float ->
   avg_dyn_instrs:float ->
+  golden_runs:int ->
+  golden_reused:int ->
   Json.t

@@ -1,0 +1,455 @@
+(* Tests for the checkpointed execution layer: Memory snapshot/restore
+   (differential against a fresh replay), Machine.reset, masked access
+   at region edges, and legacy == checkpointed campaign equivalence
+   down to trace bytes. *)
+
+open QCheck
+
+let check = Alcotest.check
+
+(* ---------------- snapshot/restore: differential model ---------------- *)
+
+(* A random program over the memory API. Region/offset picks are raw
+   ints reduced modulo the live state at interpretation time, so every
+   generated program is valid by construction. *)
+type op =
+  | Alloc of int  (** words *)
+  | Store of int * int * int  (** region pick, word-offset pick, value *)
+
+let op_gen =
+  Gen.oneof
+    [
+      Gen.map (fun w -> Alloc w) (Gen.int_range 1 64);
+      Gen.map
+        (fun ((r, o), v) -> Store (r, o, v))
+        Gen.(pair (pair (int_range 0 1000) (int_range 0 1000)) int);
+    ]
+
+let ops_gen = Gen.(pair (list_size (int_range 1 25) op_gen) (list_size (int_range 0 25) op_gen))
+
+let print_op = function
+  | Alloc w -> Printf.sprintf "Alloc %d" w
+  | Store (r, o, v) -> Printf.sprintf "Store (%d, %d, %d)" r o v
+
+let print_ops (pre, post) =
+  Printf.sprintf "pre=[%s] post=[%s]"
+    (String.concat "; " (List.map print_op pre))
+    (String.concat "; " (List.map print_op post))
+
+(* Interpret [ops] against [mem], appending each allocation's
+   (base, words) to [regions]. *)
+let apply mem regions ops =
+  List.iter
+    (fun op ->
+      match op with
+      | Alloc words ->
+        let base =
+          Interp.Memory.alloc mem
+            ~name:(Printf.sprintf "r%d" (List.length !regions))
+            ~bytes:(4 * words)
+        in
+        regions := !regions @ [ (base, words) ]
+      | Store (r, o, v) -> (
+        match !regions with
+        | [] -> ()
+        | rs ->
+          let base, words = List.nth rs (r mod List.length rs) in
+          let addr = Int64.add base (Int64.of_int (4 * (o mod words))) in
+          Interp.Memory.store mem (Interp.Vvalue.of_i32 v) addr))
+    ops
+
+let observe mem regions =
+  List.map
+    (fun (base, words) -> Interp.Memory.read_i32_array mem base words)
+    regions
+
+(* restore(snapshot) after arbitrary further stores and allocations must
+   be observationally equal to a fresh memory that only ran the prefix —
+   same contents, and the same base for the next allocation (the bump
+   pointer rolls back, so post-restore allocs replay at fresh-run
+   addresses). *)
+let prop_restore_equals_fresh_replay =
+  Test.make ~name:"restore == fresh replay of the prefix" ~count:200
+    (make ops_gen ~print:print_ops)
+    (fun (pre, post) ->
+      let m1 = Interp.Memory.create () in
+      let rs1 = ref [] in
+      apply m1 rs1 pre;
+      let snap = Interp.Memory.snapshot m1 in
+      apply m1 rs1 post;
+      Interp.Memory.restore m1 snap;
+      let m2 = Interp.Memory.create () in
+      let rs2 = ref [] in
+      apply m2 rs2 pre;
+      let pre_regions = !rs2 in
+      (* contents of every prefix region match the fresh replay *)
+      observe m1 pre_regions = observe m2 pre_regions
+      (* the bump pointer rolled back: the next alloc lands where the
+         fresh replay's does *)
+      && Interp.Memory.alloc m1 ~name:"probe" ~bytes:16
+         = Interp.Memory.alloc m2 ~name:"probe" ~bytes:16)
+
+(* Restoring the same snapshot repeatedly keeps working: the dirty-span
+   fast path must re-arm after each restore. *)
+let prop_double_restore =
+  Test.make ~name:"restore is idempotent across faulty epochs" ~count:100
+    (make ops_gen ~print:print_ops)
+    (fun (pre, post) ->
+      let m1 = Interp.Memory.create () in
+      let rs1 = ref [] in
+      apply m1 rs1 pre;
+      let snap = Interp.Memory.snapshot m1 in
+      let pre_regions = !rs1 in
+      let obs0 = observe m1 pre_regions in
+      (* two epochs of post-snapshot damage, each rolled back; each
+         epoch starts from the snapshot's region list because restore
+         drops the previous epoch's allocations *)
+      apply m1 (ref pre_regions) post;
+      Interp.Memory.restore m1 snap;
+      apply m1 (ref pre_regions) (List.rev post);
+      Interp.Memory.restore m1 snap;
+      observe m1 pre_regions = obs0)
+
+(* An older snapshot must still restore correctly after a newer one has
+   been taken and used (the stale-generation full-copy path). *)
+let test_stale_snapshot_restores () =
+  let mem = Interp.Memory.create () in
+  let a = Interp.Memory.alloc mem ~name:"a" ~bytes:64 in
+  Interp.Memory.write_i32_array mem a (Array.init 16 (fun i -> i));
+  let snap1 = Interp.Memory.snapshot mem in
+  Interp.Memory.write_i32_array mem a (Array.make 16 111);
+  let snap2 = Interp.Memory.snapshot mem in
+  Interp.Memory.write_i32_array mem a (Array.make 16 222);
+  Interp.Memory.restore mem snap2;
+  check
+    Alcotest.(array int)
+    "newest snapshot restores" (Array.make 16 111)
+    (Interp.Memory.read_i32_array mem a 16);
+  (* snap1 is now a stale generation: full-copy fallback *)
+  Interp.Memory.restore mem snap1;
+  check
+    Alcotest.(array int)
+    "stale snapshot restores"
+    (Array.init 16 (fun i -> i))
+    (Interp.Memory.read_i32_array mem a 16);
+  (* and the rolled-back state is fully functional again *)
+  Interp.Memory.write_i32_array mem a (Array.make 16 7);
+  Interp.Memory.restore mem snap1;
+  check
+    Alcotest.(array int)
+    "re-restore after new damage"
+    (Array.init 16 (fun i -> i))
+    (Interp.Memory.read_i32_array mem a 16)
+
+(* ---------------- masked access at region edges ---------------- *)
+
+(* AVX maskload/maskstore semantics: a masked-off lane may point out of
+   bounds without trapping. Generate an 8-lane access straddling the end
+   of a region with exactly the out-of-bounds lanes masked off. *)
+let prop_masked_oob_lanes_never_trap =
+  Test.make
+    ~name:"masked load/store: OOB masked-off lanes never trap" ~count:200
+    (make
+       Gen.(pair (int_range 8 32) (int_range 0 8))
+       ~print:(fun (words, live) ->
+         Printf.sprintf "words=%d live=%d" words live))
+    (fun (words, live) ->
+      let mem = Interp.Memory.create () in
+      let base = Interp.Memory.alloc mem ~name:"edge" ~bytes:(4 * words) in
+      Interp.Memory.write_f32_array mem base
+        (Array.init words (fun i -> float_of_int i));
+      (* the access starts [live] words before the end: lanes >= live
+         point past the region and must be masked off *)
+      let addr = Int64.add base (Int64.of_int (4 * (words - live))) in
+      let mask =
+        Interp.Vvalue.I
+          (Vir.Vtype.I1, Array.init 8 (fun i -> if i < live then 1L else 0L))
+      in
+      let loaded =
+        Interp.Memory.masked_load mem (Vir.Vtype.vector 8 Vir.Vtype.F32) addr
+          ~mask
+      in
+      let load_ok =
+        Array.for_all Fun.id
+          (Array.init 8 (fun i ->
+               let got = Interp.Vvalue.float_lane loaded i in
+               if i < live then got = float_of_int (words - live + i)
+               else got = 0.0))
+      in
+      (* masked store through the same edge: enabled lanes written,
+         disabled (OOB) lanes untouched and unchecked *)
+      let v =
+        Interp.Vvalue.F (Vir.Vtype.F32, Array.make 8 (-1.0))
+      in
+      Interp.Memory.store ~mask mem v addr;
+      let back = Interp.Memory.read_f32_array mem base words in
+      let store_ok =
+        Array.for_all Fun.id
+          (Array.init words (fun i ->
+               if i >= words - live then back.(i) = -1.0
+               else back.(i) = float_of_int i))
+      in
+      load_ok && store_ok)
+
+(* ---------------- Machine.reset ---------------- *)
+
+let reset_src =
+  "export void scale(uniform float a[], uniform int n) { foreach (i = 0 \
+   ... n) { a[i] = a[i] * 2.0 + 1.0; } }"
+
+(* snapshot + reset turns one machine into many fresh runs: each rerun
+   must reproduce the first run's output and dynamic counters. *)
+let test_reset_rerun_equals_fresh () =
+  let n = 19 in
+  let m = Minispc.Driver.compile Vir.Target.Avx reset_src in
+  let st = Interp.Machine.create (Interp.Compile.compile_module m) in
+  let mem = Interp.Machine.memory st in
+  let a = Interp.Memory.alloc mem ~name:"a" ~bytes:(4 * n) in
+  Interp.Memory.write_f32_array mem a
+    (Array.init n (fun i -> float_of_int i *. 0.5));
+  let snap = Interp.Memory.snapshot mem in
+  let args = [ Interp.Vvalue.of_ptr a; Interp.Vvalue.of_i32 n ] in
+  ignore (Interp.Machine.run st "scale" args);
+  let out1 = Interp.Memory.read_f32_array mem a n in
+  let dyn1 = Interp.Machine.dyn_count st in
+  let vec1 = Interp.Machine.dyn_vector_count st in
+  for _epoch = 1 to 3 do
+    Interp.Memory.restore mem snap;
+    Interp.Machine.reset st;
+    ignore (Interp.Machine.run st "scale" args);
+    check
+      Alcotest.(array (float 0.0))
+      "rerun output identical" out1
+      (Interp.Memory.read_f32_array mem a n);
+    check Alcotest.int "dyn count restarts" dyn1 (Interp.Machine.dyn_count st);
+    check Alcotest.int "vector count restarts" vec1
+      (Interp.Machine.dyn_vector_count st)
+  done
+
+(* reset ~budget re-arms the fuel: a budget generous on the first run
+   but exhausted mid-rerun would otherwise leak across epochs. *)
+let test_reset_rearms_budget () =
+  let n = 16 in
+  let build () =
+    let m = Minispc.Driver.compile Vir.Target.Avx reset_src in
+    let st = Interp.Machine.create (Interp.Compile.compile_module m) in
+    let mem = Interp.Machine.memory st in
+    let a = Interp.Memory.alloc mem ~name:"a" ~bytes:(4 * n) in
+    Interp.Memory.write_f32_array mem a (Array.make n 1.0);
+    (st, [ Interp.Vvalue.of_ptr a; Interp.Vvalue.of_i32 n ])
+  in
+  let st, args = build () in
+  ignore (Interp.Machine.run st "scale" args);
+  let cost = Interp.Machine.dyn_count st in
+  (* a fresh machine with budget < cost traps... *)
+  let st2, args2 = build () in
+  Interp.Machine.reset ~budget:(cost - 1) st2;
+  (match Interp.Machine.run st2 "scale" args2 with
+  | _ -> Alcotest.fail "expected budget trap"
+  | exception Interp.Trap.Trap Interp.Trap.Budget_exhausted -> ());
+  (* ...and reset ~budget back above cost makes it run again *)
+  Interp.Machine.reset ~budget:(cost + 1) st2;
+  ignore (Interp.Machine.run st2 "scale" args2);
+  check Alcotest.int "rerun cost" cost (Interp.Machine.dyn_count st2)
+
+(* ---------------- faulty_run == faulty_run_checkpointed -------------- *)
+
+let vcopy_src =
+  "export void vcopy_ispc(uniform int a1[], uniform int a2[], uniform int \
+   n) { foreach (i = 0 ... n) { a2[i] = a1[i]; } }"
+
+let vcopy_workload lengths =
+  {
+    Vulfi.Workload.w_name = "vcopy";
+    w_fn = "vcopy_ispc";
+    w_out_tolerance = 0.0;
+    w_inputs = List.length lengths;
+    w_build = (fun target -> Minispc.Driver.compile target vcopy_src);
+    w_setup =
+      (fun ~input st ->
+        let n = List.nth lengths input in
+        let mem = Interp.Machine.memory st in
+        let a1 = Interp.Memory.alloc mem ~name:"a1" ~bytes:(4 * max n 1) in
+        let a2 = Interp.Memory.alloc mem ~name:"a2" ~bytes:(4 * max n 1) in
+        Interp.Memory.write_i32_array mem a1
+          (Array.init n (fun i -> (i * 37) - 11));
+        ( [ Interp.Vvalue.of_ptr a1; Interp.Vvalue.of_ptr a2;
+            Interp.Vvalue.of_i32 n ],
+          fun () ->
+            {
+              Vulfi.Outcome.empty_output with
+              Vulfi.Outcome.o_i32 = [ Interp.Memory.read_i32_array mem a2 n ];
+            } ));
+  }
+
+(* Site-by-site: a prepared input, its machine reused across every
+   (site, seed) pair, must reproduce the two-runs-per-experiment
+   protocol exactly — outcome, injection record, dynamic instructions.
+   Address faults make some epochs crash mid-run, so the next epoch also
+   proves restore-after-trap. *)
+let test_checkpointed_faulty_runs_match () =
+  List.iter
+    (fun category ->
+      let w = vcopy_workload [ 24 ] in
+      let p = Vulfi.Experiment.prepare w Vir.Target.Avx category in
+      let g = Vulfi.Experiment.golden_run p ~input:0 in
+      let pi = Vulfi.Experiment.prepare_input p ~input:0 in
+      check Alcotest.int "golden dyn sites agree"
+        g.Vulfi.Experiment.g_dyn_sites
+        pi.Vulfi.Experiment.pi_golden.Vulfi.Experiment.g_dyn_sites;
+      for k = 1 to min 25 g.Vulfi.Experiment.g_dyn_sites do
+        let seed = 4000 + k in
+        let legacy =
+          Vulfi.Experiment.faulty_run p ~golden:g ~dynamic_site:k ~seed
+        in
+        let ckpt =
+          Vulfi.Experiment.faulty_run_checkpointed p ~pi ~dynamic_site:k
+            ~seed
+        in
+        let label fmt =
+          Printf.sprintf "%s site %d: %s"
+            (Analysis.Sites.category_name category)
+            k fmt
+        in
+        check Alcotest.string (label "outcome")
+          (Vulfi.Outcome.to_string legacy.Vulfi.Experiment.r_outcome)
+          (Vulfi.Outcome.to_string ckpt.Vulfi.Experiment.r_outcome);
+        check Alcotest.int (label "dyn instrs")
+          legacy.Vulfi.Experiment.r_dyn_instrs
+          ckpt.Vulfi.Experiment.r_dyn_instrs;
+        match
+          ( legacy.Vulfi.Experiment.r_injection,
+            ckpt.Vulfi.Experiment.r_injection )
+        with
+        | Some a, Some b ->
+          check Alcotest.int (label "bit") a.Vulfi.Runtime.inj_bit
+            b.Vulfi.Runtime.inj_bit;
+          Alcotest.(check bool)
+            (label "corrupted value") true
+            (Interp.Vvalue.equal a.Vulfi.Runtime.inj_after
+               b.Vulfi.Runtime.inj_after)
+        | None, None -> ()
+        | _ -> Alcotest.failf "%s: injection records diverge" (label "")
+      done)
+    Analysis.Sites.all_categories
+
+(* ---------------- legacy == checkpointed campaigns ---------------- *)
+
+let result_t : Vulfi.Campaign.result Alcotest.testable =
+  Alcotest.testable
+    (fun fmt (r : Vulfi.Campaign.result) ->
+      Format.fprintf fmt "%s: %d campaigns, %d exps, margin %f"
+        r.Vulfi.Campaign.c_workload r.Vulfi.Campaign.c_campaigns
+        r.Vulfi.Campaign.c_totals.Vulfi.Campaign.n_experiments
+        r.Vulfi.Campaign.c_margin)
+    ( = )
+
+let tiny_config =
+  {
+    Vulfi.Campaign.experiments_per_campaign = 10;
+    min_campaigns = 3;
+    max_campaigns = 4;
+    margin_target = 1.0;
+    seed = 99;
+  }
+
+(* The acceptance bar of the PR: the checkpointed executor is
+   bit-identical to the paper-literal protocol — result record and trace
+   bytes — sequentially and across a domain pool. *)
+let test_campaign_checkpoint_matches_legacy () =
+  let w = vcopy_workload [ 8; 16; 19 ] in
+  List.iter
+    (fun category ->
+      let run_with ~checkpoint =
+        let buf = Buffer.create 4096 in
+        let sink = Vulfi.Trace.to_buffer buf in
+        let r =
+          Vulfi.Campaign.run ~sink ~checkpoint tiny_config w Vir.Target.Avx
+            category
+        in
+        Vulfi.Trace.close sink;
+        (r, Buffer.contents buf)
+      in
+      let r_legacy, tr_legacy = run_with ~checkpoint:false in
+      let r_ckpt, tr_ckpt = run_with ~checkpoint:true in
+      let name = Analysis.Sites.category_name category in
+      check result_t (name ^ ": results equal") r_legacy r_ckpt;
+      check Alcotest.string (name ^ ": traces byte-identical") tr_legacy
+        tr_ckpt;
+      (* the golden accounting is schedule-derived on both paths *)
+      check Alcotest.int (name ^ ": golden runs + reused = experiments")
+        r_ckpt.Vulfi.Campaign.c_totals.Vulfi.Campaign.n_experiments
+        (r_ckpt.Vulfi.Campaign.c_golden_runs
+        + r_ckpt.Vulfi.Campaign.c_golden_reused))
+    Analysis.Sites.all_categories
+
+let test_campaign_checkpoint_parallel_matches_legacy () =
+  let w = vcopy_workload [ 8; 16; 19 ] in
+  let buf_seq = Buffer.create 4096 and buf_par = Buffer.create 4096 in
+  let sink_seq = Vulfi.Trace.to_buffer buf_seq in
+  let r_legacy =
+    Vulfi.Campaign.run ~sink:sink_seq ~checkpoint:false tiny_config w
+      Vir.Target.Sse Analysis.Sites.Address
+  in
+  Vulfi.Trace.close sink_seq;
+  let sink_par = Vulfi.Trace.to_buffer buf_par in
+  let r_par =
+    Vulfi.Campaign.run_parallel ~sink:sink_par ~checkpoint:true ~jobs:4
+      tiny_config w Vir.Target.Sse Analysis.Sites.Address
+  in
+  Vulfi.Trace.close sink_par;
+  check result_t "checkpointed -j4 == legacy sequential" r_legacy r_par;
+  check Alcotest.string "traces byte-identical" (Buffer.contents buf_seq)
+    (Buffer.contents buf_par)
+
+(* Stateful detector hooks ride the cached machines: h_reset/h_attach
+   run per experiment on both executors, so Fig 12 numbers agree too. *)
+let test_campaign_checkpoint_matches_legacy_with_detectors () =
+  let w = vcopy_workload [ 8; 16; 19 ] in
+  let transform =
+    Detectors.Overhead.transform Detectors.Overhead.paper_detectors
+  in
+  let legacy =
+    Vulfi.Campaign.run ~transform ~hooks:Detectors.Runtime.hooks
+      ~checkpoint:false tiny_config w Vir.Target.Avx Analysis.Sites.Control
+  in
+  let ckpt =
+    Vulfi.Campaign.run ~transform ~hooks:Detectors.Runtime.hooks
+      ~checkpoint:true tiny_config w Vir.Target.Avx Analysis.Sites.Control
+  in
+  check result_t "detector campaign: checkpointed == legacy" legacy ckpt
+
+let () =
+  Alcotest.run "checkpoint"
+    [
+      ( "memory",
+        Alcotest.test_case "stale snapshot restores" `Quick
+          test_stale_snapshot_restores
+        :: List.map QCheck_alcotest.to_alcotest
+             [
+               prop_restore_equals_fresh_replay;
+               prop_double_restore;
+               prop_masked_oob_lanes_never_trap;
+             ] );
+      ( "machine",
+        [
+          Alcotest.test_case "reset rerun == fresh" `Quick
+            test_reset_rerun_equals_fresh;
+          Alcotest.test_case "reset re-arms budget" `Quick
+            test_reset_rearms_budget;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "checkpointed faulty runs match" `Quick
+            test_checkpointed_faulty_runs_match;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "checkpointed == legacy (all categories)"
+            `Quick test_campaign_checkpoint_matches_legacy;
+          Alcotest.test_case "checkpointed -j4 == legacy" `Quick
+            test_campaign_checkpoint_parallel_matches_legacy;
+          Alcotest.test_case "checkpointed == legacy (detectors)" `Quick
+            test_campaign_checkpoint_matches_legacy_with_detectors;
+        ] );
+    ]
