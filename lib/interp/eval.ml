@@ -161,186 +161,68 @@ let fbinop_fn (k : Vir.Instr.fbinop) (s : Vir.Vtype.scalar) :
 
 let eval_fbinop_lane k s a b = (fbinop_fn k s) a b
 
-(* Lane- and op-specialized vector float arithmetic. At a threaded call
-   site the op, element kind and width are all static, so each lane is
-   an unboxed primitive and the result array is allocated inline: no
-   generic map, no per-lane closure application or result boxing, no
-   caml_make_vect. The f32 arms write the binary32 rounding round-trip
-   inline because a call would re-box the float. Widths outside
-   {2,4,8} (and frem) fall back to the generic path ([None]). *)
-let fbinop_vec_fn (k : Vir.Instr.fbinop) (s : Vir.Vtype.scalar) (n : int) :
-    (float array -> float array -> float array) option =
-  match (s, n, k) with
-  (* -------- f64: bare IEEE ops -------- *)
-  | Vir.Vtype.F64, 2, Vir.Instr.Fadd ->
-    Some (fun a b -> [| a.(0) +. b.(0); a.(1) +. b.(1) |])
-  | Vir.Vtype.F64, 2, Vir.Instr.Fsub ->
-    Some (fun a b -> [| a.(0) -. b.(0); a.(1) -. b.(1) |])
-  | Vir.Vtype.F64, 2, Vir.Instr.Fmul ->
-    Some (fun a b -> [| a.(0) *. b.(0); a.(1) *. b.(1) |])
-  | Vir.Vtype.F64, 2, Vir.Instr.Fdiv ->
-    Some (fun a b -> [| a.(0) /. b.(0); a.(1) /. b.(1) |])
-  | Vir.Vtype.F64, 4, Vir.Instr.Fadd ->
+(* Lane- and op-specialized vector float arithmetic in destination-
+   passing style: the kernel writes each lane straight into the
+   destination register's pinned buffer, so the loop body is unboxed
+   primitives with no per-lane closure application and no result
+   allocation at all. The f32 arms write the binary32 rounding
+   round-trip inline because a call would re-box the float. [frem]
+   falls back to the generic per-lane-closure path ([None]). *)
+let fbinop_vec_into_fn (k : Vir.Instr.fbinop) (s : Vir.Vtype.scalar) :
+    (float array -> float array -> float array -> unit) option =
+  match (s, k) with
+  | Vir.Vtype.F64, Vir.Instr.Fadd ->
     Some
-      (fun a b ->
-        [| a.(0) +. b.(0); a.(1) +. b.(1); a.(2) +. b.(2); a.(3) +. b.(3) |])
-  | Vir.Vtype.F64, 4, Vir.Instr.Fsub ->
+      (fun a b o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i (a.(i) +. b.(i))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fsub ->
     Some
-      (fun a b ->
-        [| a.(0) -. b.(0); a.(1) -. b.(1); a.(2) -. b.(2); a.(3) -. b.(3) |])
-  | Vir.Vtype.F64, 4, Vir.Instr.Fmul ->
+      (fun a b o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i (a.(i) -. b.(i))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fmul ->
     Some
-      (fun a b ->
-        [| a.(0) *. b.(0); a.(1) *. b.(1); a.(2) *. b.(2); a.(3) *. b.(3) |])
-  | Vir.Vtype.F64, 4, Vir.Instr.Fdiv ->
+      (fun a b o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i (a.(i) *. b.(i))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fdiv ->
     Some
-      (fun a b ->
-        [| a.(0) /. b.(0); a.(1) /. b.(1); a.(2) /. b.(2); a.(3) /. b.(3) |])
-  | Vir.Vtype.F64, 8, Vir.Instr.Fadd ->
+      (fun a b o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i (a.(i) /. b.(i))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fadd ->
     Some
-      (fun a b ->
-        [|
-          a.(0) +. b.(0); a.(1) +. b.(1); a.(2) +. b.(2); a.(3) +. b.(3);
-          a.(4) +. b.(4); a.(5) +. b.(5); a.(6) +. b.(6); a.(7) +. b.(7);
-        |])
-  | Vir.Vtype.F64, 8, Vir.Instr.Fsub ->
+      (fun a b o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float (a.(i) +. b.(i))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fsub ->
     Some
-      (fun a b ->
-        [|
-          a.(0) -. b.(0); a.(1) -. b.(1); a.(2) -. b.(2); a.(3) -. b.(3);
-          a.(4) -. b.(4); a.(5) -. b.(5); a.(6) -. b.(6); a.(7) -. b.(7);
-        |])
-  | Vir.Vtype.F64, 8, Vir.Instr.Fmul ->
+      (fun a b o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float (a.(i) -. b.(i))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fmul ->
     Some
-      (fun a b ->
-        [|
-          a.(0) *. b.(0); a.(1) *. b.(1); a.(2) *. b.(2); a.(3) *. b.(3);
-          a.(4) *. b.(4); a.(5) *. b.(5); a.(6) *. b.(6); a.(7) *. b.(7);
-        |])
-  | Vir.Vtype.F64, 8, Vir.Instr.Fdiv ->
+      (fun a b o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float (a.(i) *. b.(i))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fdiv ->
     Some
-      (fun a b ->
-        [|
-          a.(0) /. b.(0); a.(1) /. b.(1); a.(2) /. b.(2); a.(3) /. b.(3);
-          a.(4) /. b.(4); a.(5) /. b.(5); a.(6) /. b.(6); a.(7) /. b.(7);
-        |])
-  (* -------- f32: op then inline binary32 rounding -------- *)
-  | Vir.Vtype.F32, 2, Vir.Instr.Fadd ->
-    Some
-      (fun a b ->
-        [|
-          Int32.float_of_bits (Int32.bits_of_float (a.(0) +. b.(0)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(1) +. b.(1)));
-        |])
-  | Vir.Vtype.F32, 2, Vir.Instr.Fsub ->
-    Some
-      (fun a b ->
-        [|
-          Int32.float_of_bits (Int32.bits_of_float (a.(0) -. b.(0)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(1) -. b.(1)));
-        |])
-  | Vir.Vtype.F32, 2, Vir.Instr.Fmul ->
-    Some
-      (fun a b ->
-        [|
-          Int32.float_of_bits (Int32.bits_of_float (a.(0) *. b.(0)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(1) *. b.(1)));
-        |])
-  | Vir.Vtype.F32, 2, Vir.Instr.Fdiv ->
-    Some
-      (fun a b ->
-        [|
-          Int32.float_of_bits (Int32.bits_of_float (a.(0) /. b.(0)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(1) /. b.(1)));
-        |])
-  | Vir.Vtype.F32, 4, Vir.Instr.Fadd ->
-    Some
-      (fun a b ->
-        [|
-          Int32.float_of_bits (Int32.bits_of_float (a.(0) +. b.(0)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(1) +. b.(1)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(2) +. b.(2)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(3) +. b.(3)));
-        |])
-  | Vir.Vtype.F32, 4, Vir.Instr.Fsub ->
-    Some
-      (fun a b ->
-        [|
-          Int32.float_of_bits (Int32.bits_of_float (a.(0) -. b.(0)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(1) -. b.(1)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(2) -. b.(2)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(3) -. b.(3)));
-        |])
-  | Vir.Vtype.F32, 4, Vir.Instr.Fmul ->
-    Some
-      (fun a b ->
-        [|
-          Int32.float_of_bits (Int32.bits_of_float (a.(0) *. b.(0)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(1) *. b.(1)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(2) *. b.(2)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(3) *. b.(3)));
-        |])
-  | Vir.Vtype.F32, 4, Vir.Instr.Fdiv ->
-    Some
-      (fun a b ->
-        [|
-          Int32.float_of_bits (Int32.bits_of_float (a.(0) /. b.(0)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(1) /. b.(1)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(2) /. b.(2)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(3) /. b.(3)));
-        |])
-  | Vir.Vtype.F32, 8, Vir.Instr.Fadd ->
-    Some
-      (fun a b ->
-        [|
-          Int32.float_of_bits (Int32.bits_of_float (a.(0) +. b.(0)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(1) +. b.(1)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(2) +. b.(2)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(3) +. b.(3)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(4) +. b.(4)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(5) +. b.(5)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(6) +. b.(6)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(7) +. b.(7)));
-        |])
-  | Vir.Vtype.F32, 8, Vir.Instr.Fsub ->
-    Some
-      (fun a b ->
-        [|
-          Int32.float_of_bits (Int32.bits_of_float (a.(0) -. b.(0)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(1) -. b.(1)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(2) -. b.(2)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(3) -. b.(3)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(4) -. b.(4)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(5) -. b.(5)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(6) -. b.(6)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(7) -. b.(7)));
-        |])
-  | Vir.Vtype.F32, 8, Vir.Instr.Fmul ->
-    Some
-      (fun a b ->
-        [|
-          Int32.float_of_bits (Int32.bits_of_float (a.(0) *. b.(0)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(1) *. b.(1)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(2) *. b.(2)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(3) *. b.(3)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(4) *. b.(4)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(5) *. b.(5)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(6) *. b.(6)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(7) *. b.(7)));
-        |])
-  | Vir.Vtype.F32, 8, Vir.Instr.Fdiv ->
-    Some
-      (fun a b ->
-        [|
-          Int32.float_of_bits (Int32.bits_of_float (a.(0) /. b.(0)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(1) /. b.(1)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(2) /. b.(2)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(3) /. b.(3)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(4) /. b.(4)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(5) /. b.(5)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(6) /. b.(6)));
-          Int32.float_of_bits (Int32.bits_of_float (a.(7) /. b.(7)));
-        |])
+      (fun a b o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float (a.(i) /. b.(i))))
+        done)
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -382,34 +264,56 @@ let eval_fcmp_lane p a b = (fcmp_fn p) a b
 (* ------------------------------------------------------------------ *)
 (* Casts                                                               *)
 
-(* Specialized cast: the cast opcode, source scalar kind and destination
-   type are matched once. The returned closure still checks the value
-   constructor so a kind-confused extern result fails loudly rather than
-   silently reinterpreting. *)
-let cast_fn (k : Vir.Instr.cast_op) ~(src : Vir.Vtype.scalar)
-    ~(dst_ty : Vir.Vtype.t) : Vvalue.t -> Vvalue.t =
+(* Specialized destination-passing cast: the cast opcode, source scalar
+   kind and destination type are matched once; the returned kernel
+   writes converted lanes into the destination value's own buffer. The
+   kernel still checks both value constructors so a kind-confused
+   extern result fails loudly rather than silently reinterpreting. *)
+let cast_into_fn (k : Vir.Instr.cast_op) ~(src : Vir.Vtype.scalar)
+    ~(dst_ty : Vir.Vtype.t) : Vvalue.t -> Vvalue.t -> unit =
   let ds = Vir.Vtype.elem dst_ty in
   let fail () =
     invalid_arg
       (Printf.sprintf "Machine: unsupported cast %s" (Vir.Instr.cast_name k))
   in
-  let int_arg f v =
-    match (v : Vvalue.t) with Vvalue.I (_, lanes) -> f lanes | _ -> fail ()
+  let int_to_int (f : int64 -> int64) (v : Vvalue.t) (out : Vvalue.t) =
+    match (v, out) with
+    | Vvalue.I (_, a), Vvalue.I (_, o) ->
+      for i = 0 to Array.length o - 1 do
+        o.(i) <- f a.(i)
+      done
+    | _ -> fail ()
   in
-  let float_arg f v =
-    match (v : Vvalue.t) with Vvalue.F (_, lanes) -> f lanes | _ -> fail ()
+  let float_to_int (f : float -> int64) (v : Vvalue.t) (out : Vvalue.t) =
+    match (v, out) with
+    | Vvalue.F (_, a), Vvalue.I (_, o) ->
+      for i = 0 to Array.length o - 1 do
+        o.(i) <- f a.(i)
+      done
+    | _ -> fail ()
+  in
+  let int_to_float (f : int64 -> float) (v : Vvalue.t) (out : Vvalue.t) =
+    match (v, out) with
+    | Vvalue.I (_, a), Vvalue.F (_, o) ->
+      for i = 0 to Array.length o - 1 do
+        o.(i) <- f a.(i)
+      done
+    | _ -> fail ()
+  in
+  let float_to_float (f : float -> float) (v : Vvalue.t) (out : Vvalue.t) =
+    match (v, out) with
+    | Vvalue.F (_, a), Vvalue.F (_, o) ->
+      for i = 0 to Array.length o - 1 do
+        o.(i) <- f a.(i)
+      done
+    | _ -> fail ()
   in
   match k with
   | Vir.Instr.Trunc | Vir.Instr.Sext | Vir.Instr.Ptrtoint
   | Vir.Instr.Inttoptr ->
-    int_arg (fun lanes -> Vvalue.I (ds, Array.map (Bits.truncate ds) lanes))
+    int_to_int (Bits.truncate ds)
   | Vir.Instr.Zext ->
-    int_arg (fun lanes ->
-        Vvalue.I
-          ( ds,
-            Array.map
-              (fun x -> Bits.truncate ds (Bits.to_unsigned src x))
-              lanes ))
+    int_to_int (fun x -> Bits.truncate ds (Bits.to_unsigned src x))
   | Vir.Instr.Fptosi ->
     (* Out-of-range/NaN produce the x86 "integer indefinite" value. *)
     let bits = Vir.Vtype.scalar_bits ds in
@@ -425,35 +329,52 @@ let cast_fn (k : Vir.Instr.cast_op) ~(src : Vir.Vtype.scalar)
           let tr = Bits.truncate ds i in
           if bits < 64 && tr <> i then Bits.truncate ds indefinite else tr
     in
-    float_arg (fun lanes -> Vvalue.I (ds, Array.map conv lanes))
+    float_to_int conv
   | Vir.Instr.Sitofp ->
-    int_arg (fun lanes ->
-        Vvalue.F
-          (ds, Array.map (fun x -> Bits.round_float ds (Int64.to_float x)) lanes))
-  | Vir.Instr.Fptrunc | Vir.Instr.Fpext ->
-    float_arg (fun lanes ->
-        Vvalue.F (ds, Array.map (Bits.round_float ds) lanes))
+    int_to_float (fun x -> Bits.round_float ds (Int64.to_float x))
+  | Vir.Instr.Fptrunc | Vir.Instr.Fpext -> float_to_float (Bits.round_float ds)
   | Vir.Instr.Bitcast ->
     if
       Vir.Vtype.is_float_scalar ds
       && Vir.Vtype.is_int_scalar src
       && Vir.Vtype.scalar_bits src = Vir.Vtype.scalar_bits ds
-    then
-      int_arg (fun lanes ->
-          Vvalue.F (ds, Array.map (Bits.float_of_bits ds) lanes))
+    then int_to_float (Bits.float_of_bits ds)
     else if
       Vir.Vtype.is_int_scalar ds
       && Vir.Vtype.is_float_scalar src
       && Vir.Vtype.scalar_bits src = Vir.Vtype.scalar_bits ds
-    then
-      float_arg (fun lanes ->
-          Vvalue.I (ds, Array.map (Bits.bits_of_float src) lanes))
+    then float_to_int (Bits.bits_of_float src)
     else if
       Vir.Vtype.is_int_scalar ds
       && Vir.Vtype.is_int_scalar src
       && Vir.Vtype.scalar_bits src = Vir.Vtype.scalar_bits ds
-    then int_arg (fun lanes -> Vvalue.I (ds, Array.map (Bits.truncate ds) lanes))
-    else fun _ -> fail ()
+    then int_to_int (Bits.truncate ds)
+    else fun _ _ -> fail ()
+
+(* Allocating wrapper over the destination-passing kernel, for the
+   constant folder and the reference evaluator: one implementation of
+   the conversion semantics. The result has the lane count of the
+   input, exactly like the historical cast. *)
+let cast_fn (k : Vir.Instr.cast_op) ~(src : Vir.Vtype.scalar)
+    ~(dst_ty : Vir.Vtype.t) : Vvalue.t -> Vvalue.t =
+  let into = cast_into_fn k ~src ~dst_ty in
+  let ds = Vir.Vtype.elem dst_ty in
+  let float_out =
+    match k with
+    | Vir.Instr.Trunc | Vir.Instr.Sext | Vir.Instr.Zext
+    | Vir.Instr.Ptrtoint | Vir.Instr.Inttoptr | Vir.Instr.Fptosi ->
+      false
+    | Vir.Instr.Sitofp | Vir.Instr.Fptrunc | Vir.Instr.Fpext -> true
+    | Vir.Instr.Bitcast -> Vir.Vtype.is_float_scalar ds
+  in
+  fun v ->
+    let n = Vvalue.lanes v in
+    let out =
+      if float_out then Vvalue.F (ds, Array.make n 0.0)
+      else Vvalue.I (ds, Array.make n 0L)
+    in
+    into v out;
+    out
 
 (* The legacy entry point dispatches on the runtime value, exactly like
    the pre-threading interpreter did. *)

@@ -75,7 +75,13 @@ let eval_cast = Eval.eval_cast
 (* Run function [name] with [args]; returns its value (None for void).
    Raises {!Trap.Trap} on a crash, [Invalid_argument] on an arity
    mismatch (previously extra arguments were silently dropped and
-   missing ones defaulted to i32 0). *)
+   missing ones defaulted to i32 0).
+
+   Buffer discipline at the host boundary: argument lanes are copied
+   into the entry frame's pinned buffers (callers may reuse their arg
+   values across runs — the campaign driver does), and the result is a
+   deep copy, never an alias of a frame buffer the next run would
+   overwrite. *)
 let run (st : state) name (args : Vvalue.t list) : Vvalue.t option =
   match Hashtbl.find_opt st.Compile.code.Compile.cfuncs name with
   | Some cf ->
@@ -88,8 +94,9 @@ let run (st : state) name (args : Vvalue.t list) : Vvalue.t option =
     (* A previous run may have unwound through a trap mid-call-stack;
        the depth counter restarts with the fresh activation. *)
     st.Compile.depth <- 0;
-    let size = if cf.Compile.nregs > 0 then cf.Compile.nregs else 1 in
-    let regs = Array.make size Compile.default_value in
-    List.iteri (fun i v -> regs.(i) <- v) args;
-    Compile.exec_cfunc st cf regs
+    let regs = Compile.frame_for st cf in
+    List.iteri
+      (fun i v -> Vvalue.copy_into ~dst:regs.(i) v)
+      args;
+    Option.map Vvalue.copy (Compile.exec_cfunc st cf regs)
   | None -> Trap.raise_ (Trap.Unknown_function name)

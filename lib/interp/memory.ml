@@ -485,6 +485,116 @@ let loader (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t =
             Vvalue.I (s, out)
           | None -> load m ty addr))
 
+(* Destination-passing variant of [loader]: writes the loaded lanes
+   straight into the destination register's pinned buffer instead of
+   allocating a fresh value. The bounds check happens before the first
+   write (and the region-straddling fallback goes through [load], which
+   traps before the copy), so a trapping load leaves the destination
+   untouched. A shape-mismatched destination — only reachable through a
+   kind-confused extern result — raises. *)
+let bad_into () = invalid_arg "Memory.loader_into: shape mismatch"
+
+let loader_into (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t -> unit =
+  match ty with
+  | Vir.Vtype.Void -> invalid_arg "Memory.load: void"
+  | Vir.Vtype.Scalar s -> (
+    match s with
+    | I1 ->
+      fun m addr out ->
+        let r, off = region_for m addr ~bytes:1 in
+        (match out with
+        | Vvalue.I (_, o) ->
+          o.(0) <- (if Bytes.get r.data off = '\000' then 0L else 1L)
+        | _ -> bad_into ())
+    | I8 ->
+      fun m addr out ->
+        let r, off = region_for m addr ~bytes:1 in
+        (match out with
+        | Vvalue.I (_, o) ->
+          o.(0) <-
+            Int64.of_int (Char.code (Bytes.get r.data off) lsl 56 asr 56)
+        | _ -> bad_into ())
+    | I32 ->
+      fun m addr out ->
+        let r, off = region_for m addr ~bytes:4 in
+        (match out with
+        | Vvalue.I (_, o) ->
+          o.(0) <- Int64.of_int32 (Bytes.get_int32_le r.data off)
+        | _ -> bad_into ())
+    | I64 | Ptr ->
+      fun m addr out ->
+        let r, off = region_for m addr ~bytes:8 in
+        (match out with
+        | Vvalue.I (_, o) -> o.(0) <- Bytes.get_int64_le r.data off
+        | _ -> bad_into ())
+    | F32 ->
+      fun m addr out ->
+        let r, off = region_for m addr ~bytes:4 in
+        (match out with
+        | Vvalue.F (_, o) ->
+          o.(0) <- Int32.float_of_bits (Bytes.get_int32_le r.data off)
+        | _ -> bad_into ())
+    | F64 ->
+      fun m addr out ->
+        let r, off = region_for m addr ~bytes:8 in
+        (match out with
+        | Vvalue.F (_, o) ->
+          o.(0) <- Int64.float_of_bits (Bytes.get_int64_le r.data off)
+        | _ -> bad_into ()))
+  | Vir.Vtype.Vector (n, s) -> (
+    let sb = Vir.Vtype.scalar_bytes s in
+    let bytes = n * sb in
+    (* Monomorphic per-kind lane loops: the byte decode is inlined, so
+       the in-region fast path is region lookup plus raw byte moves. *)
+    match s with
+    | Vir.Vtype.F32 ->
+      fun m addr out ->
+        (match (range_in_region m addr ~bytes, out) with
+        | Some (r, off), Vvalue.F (_, o) ->
+          for i = 0 to n - 1 do
+            o.(i) <-
+              Int32.float_of_bits (Bytes.get_int32_le r.data (off + (i * 4)))
+          done
+        | None, _ -> Vvalue.copy_into ~dst:out (load m ty addr)
+        | Some _, _ -> bad_into ())
+    | Vir.Vtype.F64 ->
+      fun m addr out ->
+        (match (range_in_region m addr ~bytes, out) with
+        | Some (r, off), Vvalue.F (_, o) ->
+          for i = 0 to n - 1 do
+            o.(i) <-
+              Int64.float_of_bits (Bytes.get_int64_le r.data (off + (i * 8)))
+          done
+        | None, _ -> Vvalue.copy_into ~dst:out (load m ty addr)
+        | Some _, _ -> bad_into ())
+    | Vir.Vtype.I32 ->
+      fun m addr out ->
+        (match (range_in_region m addr ~bytes, out) with
+        | Some (r, off), Vvalue.I (_, o) ->
+          for i = 0 to n - 1 do
+            o.(i) <- Int64.of_int32 (Bytes.get_int32_le r.data (off + (i * 4)))
+          done
+        | None, _ -> Vvalue.copy_into ~dst:out (load m ty addr)
+        | Some _, _ -> bad_into ())
+    | Vir.Vtype.I64 | Vir.Vtype.Ptr ->
+      fun m addr out ->
+        (match (range_in_region m addr ~bytes, out) with
+        | Some (r, off), Vvalue.I (_, o) ->
+          for i = 0 to n - 1 do
+            o.(i) <- Bytes.get_int64_le r.data (off + (i * 8))
+          done
+        | None, _ -> Vvalue.copy_into ~dst:out (load m ty addr)
+        | Some _, _ -> bad_into ())
+    | Vir.Vtype.I1 | Vir.Vtype.I8 ->
+      fun m addr out ->
+        (match (range_in_region m addr ~bytes, out) with
+        | Some (r, off), Vvalue.I (_, o) ->
+          for i = 0 to n - 1 do
+            o.(i) <- read_lane_int s r.data (off + (i * sb))
+          done
+        | None, _ -> Vvalue.copy_into ~dst:out (load m ty addr)
+        | Some _, _ -> bad_into ()))
+
 (* Pre-specialized unmasked store for a statically known operand type
    (the VIR verifier guarantees the stored value has that type; masked
    stores go through [store ~mask]). Identical semantics to [store]. *)
@@ -667,6 +777,42 @@ let masked_load m (ty : Vir.Vtype.t) addr ~mask : Vvalue.t =
                 | Vvalue.I (_, [| x |]) -> x
                 | _ -> assert false
               else 0L) )
+  | _ -> invalid_arg "Memory.masked_load: scalar type"
+
+(* Destination-passing masked load: every lane of the destination is
+   written (disabled lanes as zero, per AVX maskload), so no stale lane
+   survives in the pinned buffer. Enabled lanes that point out of
+   bounds trap exactly like [masked_load]. *)
+let masked_load_into m (ty : Vir.Vtype.t) addr ~mask (out : Vvalue.t) =
+  match (ty, out) with
+  | Vir.Vtype.Vector (n, s), Vvalue.F (_, o)
+    when Vir.Vtype.is_float_scalar s ->
+    let step = Int64.of_int (Vir.Vtype.scalar_bytes s) in
+    for i = 0 to n - 1 do
+      o.(i) <-
+        (if Vvalue.is_true_lane mask i then
+           match
+             load_scalar m s (Int64.add addr (Int64.mul step (Int64.of_int i)))
+           with
+           | Vvalue.F (_, [| x |]) -> x
+           | _ -> assert false
+         else 0.0)
+    done
+  | Vir.Vtype.Vector (n, s), Vvalue.I (_, o)
+    when not (Vir.Vtype.is_float_scalar s) ->
+    let step = Int64.of_int (Vir.Vtype.scalar_bytes s) in
+    for i = 0 to n - 1 do
+      o.(i) <-
+        (if Vvalue.is_true_lane mask i then
+           match
+             load_scalar m s (Int64.add addr (Int64.mul step (Int64.of_int i)))
+           with
+           | Vvalue.I (_, [| x |]) -> x
+           | _ -> assert false
+         else 0L)
+    done
+  | Vir.Vtype.Vector _, _ ->
+    invalid_arg "Memory.masked_load_into: shape mismatch"
   | _ -> invalid_arg "Memory.masked_load: scalar type"
 
 (* Typed bulk accessors used by the benchmark harness. Each resolves

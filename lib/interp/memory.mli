@@ -42,10 +42,21 @@ val store : ?mask:Vvalue.t -> t -> Vvalue.t -> int64 -> unit
 val loader : Vir.Vtype.t -> t -> int64 -> Vvalue.t
 val storer : Vir.Vtype.t -> t -> Vvalue.t -> int64 -> unit
 
+(** Destination-passing load: writes the loaded lanes into the given
+    value's own buffer (the destination register's pinned buffer). A
+    trapping access leaves the destination untouched.
+    @raise Invalid_argument if the destination shape does not match. *)
+val loader_into : Vir.Vtype.t -> t -> int64 -> Vvalue.t -> unit
+
 (** Masked vector load: disabled lanes read as zero without touching
     memory (AVX maskload semantics — a masked-off lane may point out of
     bounds without trapping). *)
 val masked_load : t -> Vir.Vtype.t -> int64 -> mask:Vvalue.t -> Vvalue.t
+
+(** Destination-passing {!masked_load}: every destination lane is
+    written (disabled lanes as zero), so no stale lane survives. *)
+val masked_load_into :
+  t -> Vir.Vtype.t -> int64 -> mask:Vvalue.t -> Vvalue.t -> unit
 
 (** Typed bulk accessors for benchmark harnesses. *)
 

@@ -145,9 +145,55 @@ let flip_bit v ~lane ~bit =
     a'.(lane) <- Bits.flip_float s ~bit a.(lane);
     F (s, a')
 
+(* ------------------------------------------------------------------ *)
+(* Buffer discipline (destination-passing interpreter back end).
+
+   The threaded interpreter pins one mutable value per register slot
+   and lets kernels write lanes in place. Everything that leaves the
+   register file must go through [copy] (fresh buffers) or [copy_into]
+   (lane blit into a buffer the caller owns); see DESIGN.md. *)
+
+(* Deep copy: fresh lane buffer, same kind and contents. *)
+let copy = function
+  | I (s, a) -> I (s, Array.copy a)
+  | F (s, a) -> F (s, Array.copy a)
+
+(* Blit [src]'s lanes into [dst]'s buffer. The destination keeps its
+   own constructor; only the payload moves. Shape mismatches (lane
+   count or int/float kind) raise rather than silently reinterpreting —
+   they can only come from a kind-confused extern result. *)
+let copy_into ~(dst : t) (src : t) =
+  match (dst, src) with
+  | I (_, d), I (_, s) when Array.length d = Array.length s ->
+    Array.blit s 0 d 0 (Array.length d)
+  | F (_, d), F (_, s) when Array.length d = Array.length s ->
+    Array.blit s 0 d 0 (Array.length d)
+  | _ -> invalid_arg "Vvalue.copy_into: shape mismatch"
+
+(* In-place fault-injection primitives: mutate one lane of a buffer the
+   caller owns (the VULFI runtime applies them to a private [copy], so
+   multi-bit fault kinds pay one allocation total instead of one per
+   flipped bit). *)
+let flip_bit_inplace v ~lane ~bit =
+  match v with
+  | I (s, a) -> a.(lane) <- Bits.flip_int s ~bit a.(lane)
+  | F (s, a) -> a.(lane) <- Bits.flip_float s ~bit a.(lane)
+
+let set_lane_bits_inplace v ~lane ~bits =
+  match v with
+  | I (s, a) -> a.(lane) <- Bits.truncate s bits
+  | F (s, a) -> a.(lane) <- Bits.float_of_bits s bits
+
 let equal a b =
   match (a, b) with
-  | I (sa, xa), I (sb, xb) -> sa = sb && xa = xb
+  | I (sa, xa), I (sb, xb) ->
+    sa = sb
+    && Array.length xa = Array.length xb
+    && (let ok = ref true in
+        Array.iteri
+          (fun i x -> if not (Int64.equal x xb.(i)) then ok := false)
+          xa;
+        !ok)
   | F (sa, xa), F (sb, xb) ->
     sa = sb
     && Array.length xa = Array.length xb

@@ -52,6 +52,24 @@ val with_lane_bits : t -> lane:int -> bits:int64 -> t
 (** Flip one bit of one lane — the core fault-injection primitive. *)
 val flip_bit : t -> lane:int -> bit:int -> t
 
+(** Buffer discipline of the destination-passing interpreter: register
+    slots hold pinned mutable values whose lane buffers kernels rewrite
+    in place. A value escaping the register file must be copied. *)
+
+(** Deep copy: fresh lane buffer, same kind and contents. *)
+val copy : t -> t
+
+(** Blit [src]'s lanes into [dst]'s own buffer (the destination keeps
+    its constructor; only the payload moves).
+    @raise Invalid_argument on a lane-count or int/float mismatch. *)
+val copy_into : dst:t -> t -> unit
+
+(** In-place single-lane mutation, for buffers the caller owns (the
+    fault-injection runtime applies these to a private {!copy}). *)
+
+val flip_bit_inplace : t -> lane:int -> bit:int -> unit
+val set_lane_bits_inplace : t -> lane:int -> bits:int64 -> unit
+
 (** Bitwise equality (NaN payloads compare equal to themselves). *)
 val equal : t -> t -> bool
 

@@ -96,6 +96,9 @@ type prepared_input = {
   pi_machine : Interp.Machine.state;
   pi_snapshot : Interp.Memory.snapshot;  (** post-setup memory image *)
   pi_args : Interp.Vvalue.t list;
+      (** owned by this record and reused across every faulty run;
+          sound because [Machine.run] copies argument lanes into the
+          entry frame's pinned buffers rather than aliasing them *)
   pi_read_output : unit -> Outcome.output;
 }
 

@@ -62,13 +62,18 @@ let create ?(seed = 0) ?(respect_masks = true)
 
 (* Corrupt a scalar runtime value per the configured fault kind;
    returns (corrupted value, representative bit index for the record:
-   the first flipped bit, or -1 for whole-register kinds). *)
+   the first flipped bit, or -1 for whole-register kinds). [value] is a
+   borrowed register-buffer alias (destination-passing interpreter), so
+   the mutation is applied to a private copy; the RNG draw order is
+   identical to the old copy-per-flip implementation. *)
 let corrupt t (value : Interp.Vvalue.t) : Interp.Vvalue.t * int =
   let width = Vir.Vtype.scalar_bits (Interp.Vvalue.scalar_kind value) in
   match t.fault_kind with
   | Single_bit_flip ->
     let bit = Random.State.int t.rng width in
-    (Interp.Vvalue.flip_bit value ~lane:0 ~bit, bit)
+    let v = Interp.Vvalue.copy value in
+    Interp.Vvalue.flip_bit_inplace v ~lane:0 ~bit;
+    (v, bit)
   | Multi_bit_flip k ->
     let k = min k width in
     (* choose k distinct bit positions, kept in draw order so the
@@ -81,11 +86,8 @@ let corrupt t (value : Interp.Vvalue.t) : Interp.Vvalue.t * int =
         else draw (bit :: chosen) (remaining - 1)
     in
     let chosen = draw [] k in
-    let v =
-      List.fold_left
-        (fun v bit -> Interp.Vvalue.flip_bit v ~lane:0 ~bit)
-        value chosen
-    in
+    let v = Interp.Vvalue.copy value in
+    List.iter (fun bit -> Interp.Vvalue.flip_bit_inplace v ~lane:0 ~bit) chosen;
     (v, List.hd chosen)
   | Random_value ->
     (* [width] independent uniform bits: every pattern of the scalar's
@@ -96,14 +98,20 @@ let corrupt t (value : Interp.Vvalue.t) : Interp.Vvalue.t * int =
       if width >= 64 then -1L else Int64.sub (Int64.shift_left 1L width) 1L
     in
     let bits = Int64.logand (Random.State.bits64 t.rng) mask in
-    let v = Interp.Vvalue.with_lane_bits value ~lane:0 ~bits in
+    let v = Interp.Vvalue.copy value in
+    Interp.Vvalue.set_lane_bits_inplace v ~lane:0 ~bits;
     (* guarantee an actual change *)
-    if Interp.Vvalue.equal v value then
+    if Interp.Vvalue.equal v value then begin
       let bit = Random.State.int t.rng width in
-      (Interp.Vvalue.flip_bit value ~lane:0 ~bit, bit)
+      Interp.Vvalue.copy_into ~dst:v value;
+      Interp.Vvalue.flip_bit_inplace v ~lane:0 ~bit;
+      (v, bit)
+    end
     else (v, -1)
   | Stuck_at_zero ->
-    (Interp.Vvalue.with_lane_bits value ~lane:0 ~bits:0L, -1)
+    let v = Interp.Vvalue.copy value in
+    Interp.Vvalue.set_lane_bits_inplace v ~lane:0 ~bits:0L;
+    (v, -1)
 
 let dynamic_sites t = t.counter
 
@@ -124,13 +132,16 @@ let handle t (_st : Interp.Machine.state) (args : Interp.Vvalue.t list) :
       | Inject { dynamic_site } ->
         if t.counter = dynamic_site then begin
           let corrupted, bit = corrupt t value in
+          (* [value] aliases a register buffer the interpreter will keep
+             rewriting; the record must capture a snapshot, not the
+             alias. [corrupted] is already a private copy. *)
           t.injection <-
             Some
               {
                 inj_static_site = Int64.to_int (Interp.Vvalue.as_int site);
                 inj_dynamic_site = dynamic_site;
                 inj_bit = bit;
-                inj_before = value;
+                inj_before = Interp.Vvalue.copy value;
                 inj_after = corrupted;
               };
           Some corrupted
