@@ -9,12 +9,13 @@
      speedup           — sequential vs parallel campaign wall-clock
      timing            — Bechamel wall-clock benches
 
-     campaign          legacy vs checkpointed executor throughput
+     campaign          legacy vs checkpointed vs fast-forward throughput
 
    Default (no argument): everything at "quick" scale. Flags:
      -j N                     run campaigns on N domains (default 1)
      --trace FILE             JSONL telemetry for every campaign run
      --legacy-executor        paper-literal two-runs-per-experiment protocol
+     --ff-executor            fast-forward executor (checkpoint + resume)
    Environment:
      VULFI_SCALE=paper        paper-scale campaigns (hours)
      VULFI_EXPERIMENTS=N      experiments per campaign override
@@ -58,25 +59,26 @@ let scale_workload (w : Vulfi.Workload.t) =
    results bit-identical to the sequential ones. *)
 let jobs = ref 1
 
-(* --legacy-executor: the paper's literal two-runs-per-experiment
-   protocol (fresh profiling run + machine before every faulty run)
-   instead of the checkpointed executor. Output is bit-identical either
-   way; the flag exists for cross-checks and the `campaign` throughput
-   comparison. *)
-let legacy = ref false
+(* Executor selection: --legacy-executor is the paper's literal
+   two-runs-per-experiment protocol (fresh profiling run + machine
+   before every faulty run); --ff-executor resumes each faulty run from
+   a full machine-state checkpoint at its injection site; the default
+   is the checkpointed executor. Output is bit-identical across all
+   three; the flags exist for cross-checks and the `campaign`
+   throughput comparison. *)
+let executor = ref Vulfi.Campaign.Checkpointed
 
 (* Shared telemetry sink (--trace FILE), threaded through every
    campaign the harness runs. *)
 let the_sink : Vulfi.Trace.sink option ref = ref None
 
 let campaign_run ?transform ?hooks cfg w target category =
-  let checkpoint = not !legacy in
   if !jobs > 1 then
     Vulfi.Campaign.run_parallel ?transform ?hooks ?sink:!the_sink
-      ~checkpoint ~jobs:!jobs cfg w target category
+      ~executor:!executor ~jobs:!jobs cfg w target category
   else
-    Vulfi.Campaign.run ?transform ?hooks ?sink:!the_sink ~checkpoint cfg w
-      target category
+    Vulfi.Campaign.run ?transform ?hooks ?sink:!the_sink
+      ~executor:!executor cfg w target category
 
 (* Machine-readable export of a figure's campaign cells. *)
 let write_results_json path ~figure (cfg : Vulfi.Campaign.config)
@@ -259,22 +261,21 @@ let fig11 () =
     done_exps :=
       !done_exps + r.Vulfi.Campaign.c_totals.Vulfi.Campaign.n_experiments;
     let dt = Unix.gettimeofday () -. t0 in
-    let rate = if dt > 0.0 then float_of_int !done_exps /. dt else 0.0 in
-    let eta =
-      dt /. float_of_int !done_cells *. float_of_int (total - !done_cells)
-    in
-    Printf.eprintf "fig11: %d/%d cells done, %.0f experiments/s, ETA %.0f s\n%!"
-      !done_cells total rate eta
+    (* Report.progress_line clamps the degenerate ticks (zero cells
+       done, zero elapsed) instead of printing inf/nan. *)
+    Printf.eprintf "%s\n%!"
+      (Vulfi.Report.progress_line ~label:"fig11" ~done_cells:!done_cells
+         ~total_cells:total ~done_exps:!done_exps ~elapsed_s:dt)
   in
   let run_cell pool (w, t, c) =
-    let checkpoint = not !legacy in
     let r =
       match pool with
       | Some pool ->
         (* cell-level parallel driver: one shared domain pool *)
-        Vulfi.Campaign.run_parallel ?sink:!the_sink ~checkpoint ~pool
-          ~jobs:!jobs cfg w t c
-      | None -> Vulfi.Campaign.run ?sink:!the_sink ~checkpoint cfg w t c
+        Vulfi.Campaign.run_parallel ?sink:!the_sink ~executor:!executor
+          ~pool ~jobs:!jobs cfg w t c
+      | None ->
+        Vulfi.Campaign.run ?sink:!the_sink ~executor:!executor cfg w t c
     in
     print_endline (Vulfi.Report.fig11_row r);
     progress r;
@@ -718,19 +719,19 @@ let interp_bench () =
   Printf.printf "\nwrote BENCH_interp.json\n"
 
 (* ------------------------------------------------------------------ *)
-(* Campaign throughput: legacy vs checkpointed executor                *)
+(* Campaign throughput: legacy vs checkpointed vs fast-forward         *)
 
-(* Runs the fig11 cell sweep twice — once per executor — over the same
-   shared pool settings, cross-checks that results and traces are
-   byte-identical, and writes BENCH_campaign.json so successive PRs can
-   track end-to-end campaign throughput the way BENCH_interp.json
-   tracks raw VM throughput. *)
+(* Runs the fig11 cell sweep three times — once per executor — over the
+   same shared pool settings, cross-checks that results and traces are
+   byte-identical across all three, and writes BENCH_campaign.json so
+   successive PRs can track end-to-end campaign throughput the way
+   BENCH_interp.json tracks raw VM throughput. *)
 let campaign_bench () =
   let cfg = campaign_config () in
   header
     (Printf.sprintf
-       "Campaign throughput: legacy vs checkpointed executor over the \
-        fig11 cell sweep (-j %d)"
+       "Campaign throughput: legacy vs checkpointed vs fast-forward \
+        executor over the fig11 cell sweep (-j %d)"
        !jobs);
   let cells =
     List.concat_map
@@ -743,52 +744,59 @@ let campaign_bench () =
           Vir.Target.all)
       Benchmarks.Registry.paper_benchmarks
   in
-  let sweep ~checkpoint =
+  let sweep executor =
     let buf = Buffer.create (1 lsl 16) in
     let sink = Vulfi.Trace.to_buffer buf in
     let t0 = Unix.gettimeofday () in
     let results =
-      Vulfi.Campaign.run_cells ~sink ~checkpoint ~jobs:!jobs cfg cells
+      Vulfi.Campaign.run_cells ~sink ~executor ~jobs:!jobs cfg cells
     in
     let dt = Unix.gettimeofday () -. t0 in
     Vulfi.Trace.close sink;
     (results, Buffer.contents buf, dt)
   in
-  let r_leg, tr_leg, t_leg = sweep ~checkpoint:false in
-  let r_ckpt, tr_ckpt, t_ckpt = sweep ~checkpoint:true in
+  let r_leg, tr_leg, t_leg = sweep Vulfi.Campaign.Legacy in
+  let r_ckpt, tr_ckpt, t_ckpt = sweep Vulfi.Campaign.Checkpointed in
+  let r_ff, tr_ff, t_ff = sweep Vulfi.Campaign.Fast_forward in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 r_ckpt in
   let n_exps =
-    List.fold_left
-      (fun a (r : Vulfi.Campaign.result) ->
-        a + r.Vulfi.Campaign.c_totals.Vulfi.Campaign.n_experiments)
-      0 r_ckpt
+    sum (fun (r : Vulfi.Campaign.result) ->
+        r.Vulfi.Campaign.c_totals.Vulfi.Campaign.n_experiments)
   in
   let golden_runs =
-    List.fold_left
-      (fun a (r : Vulfi.Campaign.result) ->
-        a + r.Vulfi.Campaign.c_golden_runs)
-      0 r_ckpt
+    sum (fun (r : Vulfi.Campaign.result) -> r.Vulfi.Campaign.c_golden_runs)
   in
   let golden_reused =
-    List.fold_left
-      (fun a (r : Vulfi.Campaign.result) ->
-        a + r.Vulfi.Campaign.c_golden_reused)
-      0 r_ckpt
+    sum (fun (r : Vulfi.Campaign.result) -> r.Vulfi.Campaign.c_golden_reused)
+  in
+  let checkpoints =
+    sum (fun (r : Vulfi.Campaign.result) -> r.Vulfi.Campaign.c_checkpoints)
+  in
+  let ff_resumed =
+    sum (fun (r : Vulfi.Campaign.result) -> r.Vulfi.Campaign.c_ff_resumed)
   in
   let rate dt = if dt > 0.0 then float_of_int n_exps /. dt else 0.0 in
   let speedup = if t_ckpt > 0.0 then t_leg /. t_ckpt else 0.0 in
-  let results_identical = r_leg = r_ckpt in
-  let traces_identical = String.equal tr_leg tr_ckpt in
+  let speedup_ff = if t_ff > 0.0 then t_ckpt /. t_ff else 0.0 in
+  let results_identical = r_leg = r_ckpt && r_ckpt = r_ff in
+  let traces_identical =
+    String.equal tr_leg tr_ckpt && String.equal tr_ckpt tr_ff
+  in
   Printf.printf "cells: %d   experiments: %d\n" (List.length cells) n_exps;
   Printf.printf "legacy      : %7.2f s  %8.1f experiments/s\n" t_leg
     (rate t_leg);
   Printf.printf "checkpointed: %7.2f s  %8.1f experiments/s\n" t_ckpt
     (rate t_ckpt);
+  Printf.printf "fast-forward: %7.2f s  %8.1f experiments/s\n" t_ff
+    (rate t_ff);
   Printf.printf
-    "speedup     : %6.2fx   golden runs %d (reused %d)   results \
-     identical: %b   traces identical: %b\n"
-    speedup golden_runs golden_reused results_identical traces_identical;
+    "speedup     : %6.2fx (ckpt/legacy)  %6.2fx (ff/ckpt)   golden runs \
+     %d (reused %d)   checkpoints %d (resumed %d)\n"
+    speedup speedup_ff golden_runs golden_reused checkpoints ff_resumed;
+  Printf.printf "results identical: %b   traces identical: %b\n"
+    results_identical traces_identical;
   let oc = open_out "BENCH_campaign.json" in
-  Printf.fprintf oc "{\n  \"schema\": \"vulfi-campaign-bench-v1\",\n";
+  Printf.fprintf oc "{\n  \"schema\": \"vulfi-campaign-bench-v2\",\n";
   Printf.fprintf oc "  \"scale\": %S,\n"
     (if scale_is_paper then "paper" else "quick");
   Printf.fprintf oc "  \"jobs\": %d,\n" !jobs;
@@ -796,12 +804,18 @@ let campaign_bench () =
   Printf.fprintf oc "  \"experiments\": %d,\n" n_exps;
   Printf.fprintf oc "  \"golden_runs\": %d,\n" golden_runs;
   Printf.fprintf oc "  \"golden_runs_eliminated\": %d,\n" golden_reused;
+  Printf.fprintf oc "  \"checkpoints\": %d,\n" checkpoints;
+  Printf.fprintf oc "  \"ff_resumed\": %d,\n" ff_resumed;
   Printf.fprintf oc "  \"legacy_seconds\": %.3f,\n" t_leg;
   Printf.fprintf oc "  \"checkpointed_seconds\": %.3f,\n" t_ckpt;
+  Printf.fprintf oc "  \"fastforward_seconds\": %.3f,\n" t_ff;
   Printf.fprintf oc "  \"legacy_experiments_per_s\": %.1f,\n" (rate t_leg);
   Printf.fprintf oc "  \"checkpointed_experiments_per_s\": %.1f,\n"
     (rate t_ckpt);
+  Printf.fprintf oc "  \"fastforward_experiments_per_s\": %.1f,\n"
+    (rate t_ff);
   Printf.fprintf oc "  \"speedup\": %.3f,\n" speedup;
+  Printf.fprintf oc "  \"speedup_fastforward\": %.3f,\n" speedup_ff;
   Printf.fprintf oc "  \"results_identical\": %b,\n" results_identical;
   Printf.fprintf oc "  \"traces_identical\": %b\n" traces_identical;
   Printf.fprintf oc "}\n";
@@ -930,7 +944,10 @@ let () =
       Printf.eprintf "--trace expects a file name\n";
       exit 2
     | "--legacy-executor" :: rest ->
-      legacy := true;
+      executor := Vulfi.Campaign.Legacy;
+      parse_args acc rest
+    | "--ff-executor" :: rest ->
+      executor := Vulfi.Campaign.Fast_forward;
       parse_args acc rest
     | cmd :: rest -> parse_args (cmd :: acc) rest
   in

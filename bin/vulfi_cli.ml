@@ -274,7 +274,13 @@ let print_cell ~detectors (r : Vulfi.Campaign.result) =
 
 let campaign_cmd =
   let run target category name experiments campaigns with_detectors
-      fault_kind jobs trace trace_timings legacy =
+      fault_kind jobs trace trace_timings legacy ff =
+    if legacy && ff then begin
+      prerr_endline
+        "vulfi campaign: --legacy-executor and --ff-executor are mutually \
+         exclusive";
+      exit 2
+    end;
     let b = find_bench name in
     let cfg =
       {
@@ -294,14 +300,18 @@ let campaign_cmd =
       ~finally:(fun () -> Option.iter Vulfi.Trace.close sink)
       (fun () ->
         (* The seed schedule makes -j N bit-identical to a sequential run. *)
-        let checkpoint = not legacy in
+        let executor =
+          if legacy then Vulfi.Campaign.Legacy
+          else if ff then Vulfi.Campaign.Fast_forward
+          else Vulfi.Campaign.Checkpointed
+        in
         let campaign_run ?transform ?hooks cfg w target category =
           if jobs > 1 then
             Vulfi.Campaign.run_parallel ?transform ?hooks ~fault_kind ?sink
-              ~checkpoint ~jobs cfg w target category
+              ~executor ~jobs cfg w target category
           else
             Vulfi.Campaign.run ?transform ?hooks ~fault_kind ?sink
-              ~checkpoint cfg w target category
+              ~executor cfg w target category
         in
         let r =
           if with_detectors then
@@ -358,13 +368,24 @@ let campaign_cmd =
                  Bit-identical output; exists for cross-checking and \
                  timing comparisons.")
   in
+  let ff_arg =
+    Arg.(value & flag & info [ "ff-executor" ]
+           ~doc:"Run the fast-forward executor: full machine-state \
+                 checkpoints (memory, register frames, call stack, \
+                 counters) laid at the scheduled injection sites during \
+                 one golden replay per input; each faulty run resumes \
+                 from the nearest checkpoint at or before its site and \
+                 executes only the suffix. Bit-identical output; with \
+                 --detectors it silently degrades to the checkpointed \
+                 executor (detector state lives outside the machine).")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run a statistically sized fault-injection campaign")
     Term.(const run $ target_arg $ category_arg $ bench_arg
           $ experiments_arg $ campaigns_arg $ detectors_arg
           $ fault_kind_arg $ jobs_arg $ trace_arg $ trace_timings_arg
-          $ legacy_arg)
+          $ legacy_arg $ ff_arg)
 
 (* ---------------- report ---------------- *)
 

@@ -101,7 +101,30 @@ and tblock = {
      closure-per-slot loop would mispredict. *)
   t_body : texec;
   t_term : tterm;
+  (* The same body closures, one per instruction, annotated with the
+     call structure ([skind]). Only the tracked executor and the
+     resume path walk this array; the hot path ([t_body]) never does. *)
+  t_steps : tstep array;
 }
+
+and tstep = { s_exec : texec; s_kind : skind }
+
+(* What a body instruction does to the call structure. [Kplain] covers
+   everything that stays within the current activation (including
+   intrinsics and arity-mismatched direct calls, which raise without
+   entering the callee); [Kcall] is a resolved direct call, carrying
+   enough of the call-site shape to re-enter the callee under position
+   tracking; [Kextern] is an extern-slot call, the only place a fault
+   can be injected and hence the only checkpoint site. *)
+and skind =
+  | Kplain
+  | Kcall of {
+      k_target : cfunc;
+      k_gs : tgetter array;
+      k_dst : int;
+      k_chg : state -> unit;
+    }
+  | Kextern of { x_slot : int; x_gs : tgetter array }
 
 and texec = state -> unit
 
@@ -332,6 +355,244 @@ let exec_cfunc (st : state) (cf : cfunc) (regs : Vvalue.t array) :
     | Ct_unreachable -> Trap.raise_ Trap.Unreachable_executed
   in
   go (-1) 0
+
+(* ------------------------------------------------------------------ *)
+(* Tracked execution and full-machine checkpoints.
+
+   [exec_tracked] runs the same threaded closures as [exec_cfunc] but
+   walks [t_steps] one instruction at a time, maintaining a shadow call
+   stack of (function, block, instruction) positions. At every extern
+   call it offers the pending argument list to a caller-supplied probe;
+   when the probe answers [true] it captures a [checkpoint]: the memory
+   image (through {!Memory.snapshot}'s dirty-span machinery), a deep
+   copy of every live register frame, the call-stack positions, and the
+   dynamic counters. The capture happens *before* the extern call
+   executes, so a resumed run re-executes that call — an injection
+   planted at the probed site happens naturally on resume.
+
+   [exec_resume] is the inverse: restore memory and counters, copy the
+   saved registers back into the (machine-owned) pool frames, then
+   unwind the recorded stack innermost-first, finishing each partial
+   block from its saved instruction index and re-entering each caller
+   just after its pending call instruction. Both functions are off the
+   hot path: [t_body] and [exec_cfunc] are untouched. *)
+
+type tracked_frame = {
+  tf_func : cfunc;
+  tf_regs : Vvalue.t array;
+  mutable tf_block : int;
+  mutable tf_instr : int;
+}
+
+type frame_ckpt = {
+  fc_func : cfunc;
+  fc_block : int;
+  fc_instr : int;  (** index into [t_steps]; the step has NOT executed *)
+  fc_frame : Vvalue.t array;
+      (** the live pool frame, aliased — a checkpoint is bound to the
+          machine that captured it *)
+  fc_saved : Vvalue.t array;
+      (** deep copies of the registers; gap slots physically share
+          [default_value] and are skipped on restore *)
+}
+
+type checkpoint = {
+  ck_mem : Memory.snapshot;
+  ck_stack : frame_ckpt array;  (** outermost activation first *)
+  ck_spent : int;  (** [budget0 - fuel] at capture *)
+  ck_vec : int;  (** [dyn_vector] at capture *)
+}
+
+let checkpoint_spent (ck : checkpoint) = ck.ck_spent
+
+let exec_tracked (st : state) (cf : cfunc) (regs : Vvalue.t array)
+    ~(probe : state -> slot:int -> Vvalue.t list -> bool)
+    ~(on_capture : checkpoint -> unit) : Vvalue.t option =
+  let stack : tracked_frame list ref = ref [] in
+  let capture () =
+    let frames =
+      Array.of_list
+        (List.rev_map
+           (fun tf ->
+             {
+               fc_func = tf.tf_func;
+               fc_block = tf.tf_block;
+               fc_instr = tf.tf_instr;
+               fc_frame = tf.tf_regs;
+               fc_saved =
+                 Array.map
+                   (fun v ->
+                     if v == default_value then v else Vvalue.copy v)
+                   tf.tf_regs;
+             })
+           !stack)
+    in
+    on_capture
+      {
+        ck_mem = Memory.snapshot st.mem;
+        ck_stack = frames;
+        ck_spent = st.budget0 - st.fuel;
+        ck_vec = st.dyn_vector;
+      }
+  in
+  let rec exec_tf (tf : tracked_frame) : Vvalue.t option =
+    let blocks = tf.tf_func.tblocks in
+    st.regs <- tf.tf_regs;
+    let rec go prev cur =
+      let b = Array.unsafe_get blocks cur in
+      if Array.length b.t_phis <> 0 then b.t_phis.(prev + 1) st;
+      tf.tf_block <- cur;
+      let steps = b.t_steps in
+      for k = 0 to Array.length steps - 1 do
+        tf.tf_instr <- k;
+        let s = Array.unsafe_get steps k in
+        match s.s_kind with
+        | Kplain -> s.s_exec st
+        | Kextern { x_slot; x_gs } ->
+          let args =
+            Array.to_list (Array.map (fun g -> g tf.tf_regs) x_gs)
+          in
+          if probe st ~slot:x_slot args then capture ();
+          s.s_exec st
+        | Kcall { k_target; k_gs; k_dst; k_chg } ->
+          (* Mirrors the direct-call closure built by [thread_call]
+             step for step, with the callee run under tracking. *)
+          k_chg st;
+          st.depth <- st.depth + 1;
+          if st.depth > st.max_depth then
+            Trap.raise_ Trap.Stack_overflow_vm;
+          let regs' = frame_for st k_target in
+          for a = 0 to Array.length k_gs - 1 do
+            Vvalue.copy_into
+              ~dst:(Array.unsafe_get regs' a)
+              ((Array.unsafe_get k_gs a) tf.tf_regs)
+          done;
+          let callee =
+            { tf_func = k_target; tf_regs = regs'; tf_block = 0;
+              tf_instr = 0 }
+          in
+          stack := callee :: !stack;
+          let r = exec_tf callee in
+          stack := List.tl !stack;
+          st.regs <- tf.tf_regs;
+          st.depth <- st.depth - 1;
+          (match r with
+          | Some v when k_dst >= 0 ->
+            Vvalue.copy_into ~dst:(Array.unsafe_get tf.tf_regs k_dst) v
+          | Some _ | None -> ())
+      done;
+      charge st;
+      match b.t_term with
+      | Ct_br next -> go cur next
+      | Ct_condbr_reg (r, l1, l2) -> (
+        match Array.unsafe_get tf.tf_regs r with
+        | Vvalue.I (_, [| x |]) -> if x <> 0L then go cur l1 else go cur l2
+        | v -> if Vvalue.as_bool v then go cur l1 else go cur l2)
+      | Ct_condbr (c, l1, l2) ->
+        if Vvalue.as_bool (c tf.tf_regs) then go cur l1 else go cur l2
+      | Ct_ret g -> Some (g tf.tf_regs)
+      | Ct_ret_void -> None
+      | Ct_unreachable -> Trap.raise_ Trap.Unreachable_executed
+    in
+    go (-1) 0
+  in
+  let tf0 = { tf_func = cf; tf_regs = regs; tf_block = 0; tf_instr = 0 } in
+  stack := [ tf0 ];
+  exec_tf tf0
+
+(* Finish one activation from a saved position: run the remainder of
+   the interrupted block step-by-step, then fall back to the composed
+   [t_body] closures for every subsequent block (full speed — the
+   resumed suffix pays the per-step walk only once). *)
+let exec_cfunc_resume (st : state) (cf : cfunc) (regs : Vvalue.t array)
+    ~(block : int) ~(instr : int) : Vvalue.t option =
+  st.regs <- regs;
+  let blocks = cf.tblocks in
+  let rec go prev cur =
+    let b = Array.unsafe_get blocks cur in
+    if Array.length b.t_phis <> 0 then b.t_phis.(prev + 1) st;
+    b.t_body st;
+    charge st;
+    match b.t_term with
+    | Ct_br next -> go cur next
+    | Ct_condbr_reg (r, l1, l2) -> (
+      match Array.unsafe_get regs r with
+      | Vvalue.I (_, [| x |]) -> if x <> 0L then go cur l1 else go cur l2
+      | v -> if Vvalue.as_bool v then go cur l1 else go cur l2)
+    | Ct_condbr (c, l1, l2) ->
+      if Vvalue.as_bool (c regs) then go cur l1 else go cur l2
+    | Ct_ret g -> Some (g regs)
+    | Ct_ret_void -> None
+    | Ct_unreachable -> Trap.raise_ Trap.Unreachable_executed
+  in
+  let b = Array.unsafe_get blocks block in
+  let steps = b.t_steps in
+  for k = instr to Array.length steps - 1 do
+    (Array.unsafe_get steps k).s_exec st
+  done;
+  charge st;
+  match b.t_term with
+  | Ct_br next -> go block next
+  | Ct_condbr_reg (r, l1, l2) -> (
+    match Array.unsafe_get regs r with
+    | Vvalue.I (_, [| x |]) -> if x <> 0L then go block l1 else go block l2
+    | v -> if Vvalue.as_bool v then go block l1 else go block l2)
+  | Ct_condbr (c, l1, l2) ->
+    if Vvalue.as_bool (c regs) then go block l1 else go block l2
+  | Ct_ret g -> Some (g regs)
+  | Ct_ret_void -> None
+  | Ct_unreachable -> Trap.raise_ Trap.Unreachable_executed
+
+(* Resume a machine from a checkpoint it captured earlier: memory,
+   counters and register frames roll back, then the recorded call stack
+   unwinds innermost-first — the innermost frame restarts at its saved
+   step (the probed extern call, which therefore re-executes), each
+   outer frame consumes its callee's return value and continues just
+   past its pending call instruction. [budget] re-arms the fuel epoch
+   exactly like [Machine.reset ~budget] before a fresh run would:
+   [dyn_count] after resume equals prefix + suffix. Traps unwind out of
+   the resumed suffix exactly as they do out of a fresh run. *)
+let exec_resume (st : state) ~(budget : int) (ck : checkpoint) :
+    Vvalue.t option =
+  Memory.restore st.mem ck.ck_mem;
+  st.budget0 <- budget;
+  st.fuel <- budget - ck.ck_spent;
+  st.dyn_vector <- ck.ck_vec;
+  Array.iter
+    (fun fr ->
+      let dst = fr.fc_frame and src = fr.fc_saved in
+      for k = 0 to Array.length dst - 1 do
+        let d = Array.unsafe_get dst k in
+        if d != default_value then
+          Vvalue.copy_into ~dst:d (Array.unsafe_get src k)
+      done)
+    ck.ck_stack;
+  let n = Array.length ck.ck_stack in
+  if n = 0 then invalid_arg "Compile.exec_resume: empty checkpoint stack";
+  let rec unwind level ret =
+    let fr = ck.ck_stack.(level) in
+    st.depth <- level;
+    let r =
+      if level = n - 1 then
+        exec_cfunc_resume st fr.fc_func fr.fc_frame ~block:fr.fc_block
+          ~instr:fr.fc_instr
+      else begin
+        (match
+           fr.fc_func.tblocks.(fr.fc_block).t_steps.(fr.fc_instr).s_kind
+         with
+        | Kcall { k_dst; _ } -> (
+          match ret with
+          | Some v when k_dst >= 0 ->
+            Vvalue.copy_into ~dst:fr.fc_frame.(k_dst) v
+          | _ -> ())
+        | _ -> assert false);
+        exec_cfunc_resume st fr.fc_func fr.fc_frame ~block:fr.fc_block
+          ~instr:(fr.fc_instr + 1)
+      end
+    in
+    if level = 0 then r else unwind (level - 1) r
+  in
+  unwind (n - 1) None
 
 (* ------------------------------------------------------------------ *)
 (* Stage 2: closure threading                                          *)
@@ -975,6 +1236,37 @@ and thread_call (cm : cmodule) (ci : cinstr) (callee : string)
         | Some handler -> store_ret regs (handler st (mk_args regs))
         | None -> Trap.raise_ (Trap.Unknown_function callee)))
 
+(* Call-structure annotation for [t_steps], resolved with exactly the
+   same chain as [thread_call] (module functions, then intrinsics, then
+   extern slots) so the tracked executor enters precisely the calls the
+   fast closures enter. Arity-mismatched direct calls and intrinsics
+   stay [Kplain]: their closures never run callee code under a deeper
+   frame, so position tracking has nothing to record. *)
+let step_kind (cm : cmodule) (ci : cinstr) : skind =
+  match ci.src.Vir.Instr.op with
+  | Vir.Instr.Call (callee, _) -> (
+    match Hashtbl.find_opt cm.cfuncs callee with
+    | Some target ->
+      if Array.length ci.ops <> target.nparams then Kplain
+      else
+        Kcall
+          {
+            k_target = target;
+            k_gs = Array.map getter ci.ops;
+            k_dst = ci.dst;
+            k_chg = (if ci.cvec then charge_vec else charge);
+          }
+    | None -> (
+      match Vir.Intrinsics.lookup callee with
+      | Some _ -> Kplain
+      | None ->
+        Kextern
+          {
+            x_slot = Hashtbl.find cm.extern_index callee;
+            x_gs = Array.map getter ci.ops;
+          }))
+  | _ -> Kplain
+
 (* Per-predecessor parallel phi move: each phi charges one dynamic
    instruction during its read (like the old interpreter). With pinned
    buffers the move is a lane copy into each phi register's own buffer.
@@ -1177,6 +1469,11 @@ let thread_func (cm : cmodule) (cf : cfunc) : unit =
           t_phis = thread_phis cf blk nblocks;
           t_body = compose_body body 0 (Array.length body);
           t_term = thread_term blk.term;
+          t_steps =
+            Array.mapi
+              (fun k ex ->
+                { s_exec = ex; s_kind = step_kind cm blk.body.(k) })
+              body;
         })
       cf.cblocks
 

@@ -34,11 +34,18 @@ let create ?(budget = default_budget) ?(max_depth = 512)
 (* Re-arm an existing machine for another run: counters and budget come
    back to their just-created values while the expensive structures
    (memory image, frame pool, extern slots) are kept. Memory contents
-   are NOT touched — pair with [Memory.restore] to roll those back. *)
-let reset ?budget (st : state) =
+   are NOT touched — pair with [Memory.restore] to roll those back.
+
+   [spent] pre-charges the epoch: [dyn_count] right after the reset
+   reads [spent] instead of 0. The executed count is derived
+   ([budget0 - fuel]), so a mid-epoch [reset ~budget] used to silently
+   rebase it to 0 — callers that re-arm the budget while crediting an
+   already-executed prefix (the fast-forward resume path) pass the
+   prefix length here and [dyn_count] stays an honest total. *)
+let reset ?budget ?(spent = 0) (st : state) =
   let b = match budget with Some b -> b | None -> st.Compile.budget0 in
   st.Compile.budget0 <- b;
-  st.Compile.fuel <- b;
+  st.Compile.fuel <- b - spent;
   st.Compile.dyn_vector <- 0;
   st.Compile.depth <- 0;
   st.Compile.regs <- [||]
@@ -100,3 +107,51 @@ let run (st : state) name (args : Vvalue.t list) : Vvalue.t option =
       args;
     Option.map Vvalue.copy (Compile.exec_cfunc st cf regs)
   | None -> Trap.raise_ (Trap.Unknown_function name)
+
+(* ------------------------------------------------------------------ *)
+(* Full-machine checkpoints (fast-forward executor support).           *)
+
+type checkpoint = Compile.checkpoint
+
+let checkpoint_spent = Compile.checkpoint_spent
+
+(* The extern slot a callee name was compiled to, if any call site
+   references it. Lets checkpoint probes compare slots (ints) instead
+   of names on the tracked path. *)
+let extern_slot (st : state) name =
+  Hashtbl.find_opt st.Compile.code.Compile.extern_index name
+
+(* [run] with position tracking: same entry discipline, but every
+   extern call is offered to [probe] first, and each [true] answer
+   captures a full-machine checkpoint at that point (before the extern
+   executes) and hands it to [on_capture]. Noticeably slower than
+   [run] — meant for the one instrumented replay that lays a cell's
+   checkpoints, never for the per-experiment path. *)
+let run_tracked (st : state) name (args : Vvalue.t list)
+    ~(probe : state -> slot:int -> Vvalue.t list -> bool)
+    ~(on_capture : checkpoint -> unit) : Vvalue.t option =
+  match Hashtbl.find_opt st.Compile.code.Compile.cfuncs name with
+  | Some cf ->
+    let nargs = List.length args in
+    if nargs <> cf.Compile.nparams then
+      invalid_arg
+        (Printf.sprintf
+           "Machine: call to @%s with %d argument(s), expects %d" name nargs
+           cf.Compile.nparams);
+    st.Compile.depth <- 0;
+    let regs = Compile.frame_for st cf in
+    List.iteri
+      (fun i v -> Vvalue.copy_into ~dst:regs.(i) v)
+      args;
+    Option.map Vvalue.copy
+      (Compile.exec_tracked st cf regs ~probe ~on_capture)
+  | None -> Trap.raise_ (Trap.Unknown_function name)
+
+(* Resume the machine from a checkpoint it captured earlier (the
+   checkpoint's register frames alias this machine's frame pool, so
+   cross-machine resume is meaningless). Memory, counters and frames
+   roll back; [budget] re-arms the epoch like [reset ~budget] would, so
+   [dyn_count] afterwards reads prefix + suffix. The result is a deep
+   copy, exactly as [run] returns one. *)
+let resume ~budget (st : state) (ck : checkpoint) : Vvalue.t option =
+  Option.map Vvalue.copy (Compile.exec_resume st ~budget ck)

@@ -18,8 +18,14 @@ val create : ?budget:int -> ?max_depth:int -> Compile.cmodule -> state
     (to [budget] when given, else to the machine's current budget) and
     the dynamic counters, while keeping the compiled code, memory,
     frame pool and extern registrations. Memory {e contents} are not
-    touched — pair with {!Memory.restore} to roll those back. *)
-val reset : ?budget:int -> state -> unit
+    touched — pair with {!Memory.restore} to roll those back.
+
+    [spent] (default 0) pre-charges the new epoch: {!dyn_count}
+    immediately after the reset reads [spent]. Pass the length of an
+    already-executed prefix when re-arming the budget mid-run, so a
+    mid-epoch [reset ~budget] cannot silently rebase the executed
+    count to zero. *)
+val reset : ?budget:int -> ?spent:int -> state -> unit
 
 (** Register (or replace) a handler for calls to an undefined function.
     The handler returns [None] for void functions. *)
@@ -51,3 +57,49 @@ val eval_cast : Vir.Instr.cast_op -> Vir.Vtype.t -> Vvalue.t -> Vvalue.t
     @raise Invalid_argument if the argument count does not match the
       function's parameter count. *)
 val run : state -> string -> Vvalue.t list -> Vvalue.t option
+
+(** {1 Full-machine checkpoints}
+
+    Support for the fault-point fast-forward executor: capture the
+    complete machine state (memory image, live register frames, call
+    stack positions, dynamic counters) at an extern-call boundary
+    during one tracked replay, then resume faulty runs from the nearest
+    checkpoint at or before their injection site so only the
+    post-injection suffix executes. *)
+
+(** An opaque full-machine checkpoint. It aliases the frame pool of the
+    machine that captured it: resume it only on that machine. *)
+type checkpoint
+
+(** Dynamic instructions executed when the checkpoint was captured
+    (the prefix length a resume skips). *)
+val checkpoint_spent : checkpoint -> int
+
+(** The extern slot index a callee name was compiled to, or [None] if
+    no call site references it. Checkpoint probes compare these dense
+    ints instead of names. *)
+val extern_slot : state -> string -> int option
+
+(** [run] with position tracking: before each extern call executes,
+    [probe] sees the machine, the callee's extern slot and the
+    argument values (register-buffer aliases — copy to retain);
+    answering [true] captures a checkpoint at that point (the extern
+    call itself re-executes on resume) and passes it to [on_capture].
+    Slower than [run]; meant for the single instrumented replay that
+    lays a cell's checkpoints.
+    @raise Trap.Trap and [Invalid_argument] as {!run} does. *)
+val run_tracked :
+  state -> string -> Vvalue.t list ->
+  probe:(state -> slot:int -> Vvalue.t list -> bool) ->
+  on_capture:(checkpoint -> unit) ->
+  Vvalue.t option
+
+(** Resume from a checkpoint captured by this machine: memory,
+    counters and register frames roll back, the recorded call stack is
+    re-entered, and execution continues from the checkpointed extern
+    call. [budget] re-arms the fuel epoch as [reset ~budget] would;
+    {!dyn_count} afterwards reads prefix + suffix, exactly what a
+    fresh run to the same point would report. Returns a deep copy of
+    the function result, like {!run}.
+    @raise Trap.Trap on a crash in the resumed suffix. *)
+val resume : budget:int -> state -> checkpoint -> Vvalue.t option

@@ -98,6 +98,16 @@ type result = {
           are functions of the seed schedule alone (never of physical
           cache behaviour), so they are identical between the legacy
           and checkpointed executors, sequential or [-j N]. *)
+  c_checkpoints : int;
+      (** machine-state checkpoints the fast-forward executor lays for
+          this cell (summed plan length over its distinct inputs) *)
+  c_ff_resumed : int;
+      (** experiments whose injection site is at or past the first
+          checkpoint of its input's plan — the runs the fast-forward
+          executor resumes rather than replays. Like the golden
+          counters, both are pure functions of the seed schedule, so
+          every executor reports the same values and traces stay
+          byte-identical across executors. *)
 }
 
 let rate part total =
@@ -132,21 +142,60 @@ let vacuous_benign =
     r_dyn_instrs = 0;
   }
 
-(* How an experiment executes its runs.
+(* Every injection site the full schedule (all [max_campaigns]) draws
+   for [input], in schedule order. A pure function of the seed
+   schedule and the input's (deterministic) dynamic-site count: the
+   sequential and parallel drivers — and the trace replayer — derive
+   the identical list, which is what makes checkpoint placement
+   deterministic. *)
+let schedule_sites cfg cell (w : Workload.t) ~input ~dyn_sites : int list =
+  if dyn_sites <= 0 then []
+  else begin
+    let sites = ref [] in
+    for c = 0 to cfg.max_campaigns - 1 do
+      for e = 0 to cfg.experiments_per_campaign - 1 do
+        let ex = Seed.experiment cell ~campaign:c ~experiment:e in
+        if input_of w ex = input then
+          sites := (1 + Seed.uniform ex.Seed.site_key dyn_sites) :: !sites
+      done
+    done;
+    List.rev !sites
+  end
 
-   [Paper_protocol] is §IV-B taken literally: every experiment is two
-   full executions — a fault-free profiling run, then the faulty run —
-   each on a freshly built machine with [w_setup] re-applied.
+(* The fast-forward checkpoint plan for one input: distinct scheduled
+   sites, ascending, thinned to the executor's cap. *)
+let plan_for cfg cell w ~input ~dyn_sites : int array =
+  Experiment.checkpoint_plan (schedule_sites cfg cell w ~input ~dyn_sites)
 
-   [Checkpointed] replaces the profiling half with a memoized golden
-   run and the rebuild with a post-setup snapshot restore. Golden runs
-   are deterministic per (cell, input), so the two executors produce
-   bit-identical results; the checkpointed one just stops paying for
-   the redundancy. [None] carries the vacuous case (a cell with no
+(* The three executors a campaign can run on. All produce bit-identical
+   results, digests and traces; they differ only in how much redundant
+   prefix work they re-execute per experiment.
+
+   [Legacy] is §IV-B taken literally: every experiment is two full
+   executions — a fault-free profiling run, then the faulty run — each
+   on a freshly built machine with [w_setup] re-applied.
+
+   [Checkpointed] memoizes the golden run per (cell, input) and
+   replaces the rebuild with a post-setup memory-snapshot restore; the
+   faulty run still replays the whole prefix up to its injection site.
+
+   [Fast_forward] additionally lays full machine-state checkpoints at
+   the cell's scheduled injection sites during one instrumented golden
+   replay, executes each campaign's experiments in injection order and
+   resumes every faulty run from the nearest checkpoint at or before
+   its site — only the post-injection suffix executes. Detector hooks
+   keep their state outside the machine, so cells with detectors fall
+   back to [Checkpointed] (a resumed run would skip the prefix's
+   detector activity). *)
+type executor = Legacy | Checkpointed | Fast_forward
+
+(* How an experiment executes its runs (the per-experiment view of
+   [executor]; the [option] carries the vacuous case — a cell with no
    live fault site never runs a faulty half). *)
 type exec =
   | Paper_protocol
-  | Checkpointed of Experiment.prepared_input option
+  | Checkpointed_exec of Experiment.prepared_input option
+  | Fast_forward_exec of Experiment.ff_input option
 
 (* One experiment, given its schedule entry and the accounting golden
    (the cached one; on the paper path the profiling run re-derives the
@@ -155,7 +204,7 @@ let run_experiment ~(hooks : hooks_factory) ~respect_masks ?fault_kind
     ~(exec : exec) (prepared : Experiment.prepared)
     ~(golden : Experiment.golden) (ex : Seed.exp) : Experiment.run_result =
   match exec with
-  | Checkpointed pi ->
+  | Checkpointed_exec pi ->
     if golden.Experiment.g_dyn_sites = 0 then
       (* no live fault site: vacuously benign *)
       vacuous_benign
@@ -169,6 +218,17 @@ let run_experiment ~(hooks : hooks_factory) ~respect_masks ?fault_kind
       in
       Experiment.faulty_run_checkpointed ~hooks:(hooks ()) ~respect_masks
         ?fault_kind prepared ~pi ~dynamic_site ~seed:ex.Seed.bit_seed
+  | Fast_forward_exec ff ->
+    if golden.Experiment.g_dyn_sites = 0 then vacuous_benign
+    else
+      let ff =
+        match ff with Some ff -> ff | None -> assert false
+      in
+      let dynamic_site =
+        1 + Seed.uniform ex.Seed.site_key golden.Experiment.g_dyn_sites
+      in
+      Experiment.faulty_run_ff ~hooks:(hooks ()) ~respect_masks
+        ?fault_kind prepared ~ff ~dynamic_site ~seed:ex.Seed.bit_seed
   | Paper_protocol ->
     let golden =
       Experiment.golden_run ~hooks:(hooks ()) ~respect_masks prepared
@@ -247,8 +307,8 @@ let protocol cfg ~run_campaign =
   done;
   (!campaigns, !sdc_rates, !totals)
 
-let finalize (prepared : Experiment.prepared) (w : Workload.t) target category
-    (campaigns, sdc_rates, totals) golden_cache : result =
+let finalize cfg cell (prepared : Experiment.prepared) (w : Workload.t)
+    target category (campaigns, sdc_rates, totals) golden_cache : result =
   (* Sort goldens by input so the float accumulation order does not
      depend on hash-table layout (and hence on execution order). *)
   let goldens =
@@ -264,6 +324,37 @@ let finalize (prepared : Experiment.prepared) (w : Workload.t) target category
       /. float_of_int (List.length goldens)
   in
   let golden_runs = List.length goldens in
+  (* Fast-forward accounting, recomputed from the schedule (never from
+     what any executor physically did) so all three executors report
+     identical counters: the checkpoints laid per distinct input, and
+     the experiments whose site reaches the first checkpoint of its
+     input's plan — exactly the runs [faulty_run_ff] resumes. *)
+  let plans = Hashtbl.create 8 in
+  List.iter
+    (fun (g : Experiment.golden) ->
+      if g.Experiment.g_dyn_sites > 0 then
+        Hashtbl.replace plans g.Experiment.g_input
+          (plan_for cfg cell w ~input:g.Experiment.g_input
+             ~dyn_sites:g.Experiment.g_dyn_sites))
+    goldens;
+  let checkpoints =
+    Hashtbl.fold (fun _ p acc -> acc + Array.length p) plans 0
+  in
+  let ff_resumed = ref 0 in
+  for c = 0 to campaigns - 1 do
+    for e = 0 to cfg.experiments_per_campaign - 1 do
+      let ex = Seed.experiment cell ~campaign:c ~experiment:e in
+      let input = input_of w ex in
+      match Hashtbl.find_opt plans input with
+      | Some plan when Array.length plan > 0 ->
+        let g : Experiment.golden = Hashtbl.find golden_cache input in
+        let site =
+          1 + Seed.uniform ex.Seed.site_key g.Experiment.g_dyn_sites
+        in
+        if site >= plan.(0) then incr ff_resumed
+      | _ -> ()
+    done
+  done;
   {
     c_workload = w.Workload.w_name;
     c_target = target;
@@ -278,6 +369,8 @@ let finalize (prepared : Experiment.prepared) (w : Workload.t) target category
     c_avg_dynamic_instrs = avg (fun g -> g.Experiment.g_dyn_instrs);
     c_golden_runs = golden_runs;
     c_golden_reused = totals.n_experiments - golden_runs;
+    c_checkpoints = checkpoints;
+    c_ff_resumed = !ff_resumed;
   }
 
 (* JSON view of a result — the per-cell summary record of a trace, and
@@ -293,16 +386,52 @@ let result_json ?(detectors = false) (r : result) : Json.t =
     ~near_normal:r.c_near_normal ~static_sites:r.c_static_sites
     ~avg_dyn_sites:r.c_avg_dynamic_sites
     ~avg_dyn_instrs:r.c_avg_dynamic_instrs ~golden_runs:r.c_golden_runs
-    ~golden_reused:r.c_golden_reused
+    ~golden_reused:r.c_golden_reused ~checkpoints:r.c_checkpoints
+    ~ff_resumed:r.c_ff_resumed
+
+(* Resolve the effective executor: detector hooks keep their state
+   outside the machine (violation counters in the host), so a resumed
+   run would miss the skipped prefix's detector activity — detector
+   cells silently degrade from [Fast_forward] to [Checkpointed]. *)
+let effective_executor ~detectors (executor : executor) : executor =
+  if detectors && executor = Fast_forward then Checkpointed else executor
+
+(* The order a campaign's experiments execute in: schedule order for
+   the replaying executors; (input, injection site) order for the
+   fast-forward executor, so consecutive runs of one input resume from
+   monotonically advancing checkpoints (each restore is then a cheap
+   dirty-span rollback of the most recent image instead of a full
+   copy). Results are un-permuted afterwards — experiments are
+   independent, so execution order never changes what they compute. *)
+let execution_order (executor : executor) (exps : Seed.exp array)
+    (inputs : int array) ~(dyn_sites_of : int -> int) : int array =
+  let n = Array.length exps in
+  let order = Array.init n Fun.id in
+  (match executor with
+  | Fast_forward ->
+    let keys =
+      Array.init n (fun e ->
+          let dyn = dyn_sites_of inputs.(e) in
+          let site =
+            if dyn = 0 then 0
+            else 1 + Seed.uniform exps.(e).Seed.site_key dyn
+          in
+          (inputs.(e), site, e))
+    in
+    Array.sort (fun a b -> compare keys.(a) keys.(b)) order
+  | Legacy | Checkpointed -> ());
+  order
 
 (* Run the full campaign protocol for one
    (workload, target, site-category) cell, sequentially.
    [transform] pre-processes the module (e.g. detector insertion);
    [hooks] builds per-run extra runtime (e.g. the detector API). *)
 let run ?transform ?hooks ?(respect_masks = true)
-    ?fault_kind ?sink ?(checkpoint = true) (cfg : config) (w : Workload.t)
-    (target : Vir.Target.t) (category : Analysis.Sites.category) : result =
+    ?fault_kind ?sink ?(executor = Checkpointed) (cfg : config)
+    (w : Workload.t) (target : Vir.Target.t)
+    (category : Analysis.Sites.category) : result =
   let detectors = Option.is_some hooks in
+  let executor = effective_executor ~detectors executor in
   let hooks = Option.value hooks ~default:no_hooks_factory in
   let prepared = Experiment.prepare ?transform w target category in
   let cell = cell_of cfg w target category in
@@ -310,26 +439,43 @@ let run ?transform ?hooks ?(respect_masks = true)
      input once for scheduling and accounting (site counts, averages).
      On the checkpointed path the entry also carries the whole prepared
      input (machine + post-setup snapshot), so faulty runs skip machine
-     construction, [w_setup] and the golden run; on the paper-protocol
-     path every experiment still performs its own profiling run. *)
+     construction, [w_setup] and the golden run; the fast-forward path
+     additionally lays the input's checkpoint plan with one tracked
+     replay; on the paper-protocol path every experiment still performs
+     its own profiling run. *)
   let golden_cache = Hashtbl.create 8 in
   let pi_cache : (int, Experiment.prepared_input) Hashtbl.t =
     Hashtbl.create 8
   in
+  let ff_cache : (int, Experiment.ff_input) Hashtbl.t = Hashtbl.create 8 in
   let golden input =
     match Hashtbl.find_opt golden_cache input with
     | Some g -> g
     | None ->
       let g =
-        if checkpoint then begin
+        match executor with
+        | Checkpointed ->
           let pi =
             Experiment.prepare_input ~hooks:(hooks ()) ~respect_masks
               prepared ~input
           in
           Hashtbl.add pi_cache input pi;
           pi.Experiment.pi_golden
-        end
-        else
+        | Fast_forward ->
+          let pi =
+            Experiment.prepare_input ~hooks:(hooks ()) ~respect_masks
+              prepared ~input
+          in
+          let g = pi.Experiment.pi_golden in
+          let plan =
+            plan_for cfg cell w ~input
+              ~dyn_sites:g.Experiment.g_dyn_sites
+          in
+          Hashtbl.add ff_cache input
+            (Experiment.lay_checkpoints ~hooks:(hooks ()) ~respect_masks
+               prepared ~pi ~plan);
+          g
+        | Legacy ->
           Experiment.golden_run ~hooks:(hooks ()) ~respect_masks prepared
             ~input
       in
@@ -345,19 +491,31 @@ let run ?transform ?hooks ?(respect_masks = true)
           Seed.experiment cell ~campaign:c ~experiment:e)
     in
     let inputs = Array.map (input_of w) exps in
-    let results =
-      Array.mapi
-        (fun e ex ->
-          let golden = golden inputs.(e) in
-          let exec =
-            if checkpoint then
-              Checkpointed (Hashtbl.find_opt pi_cache inputs.(e))
-            else Paper_protocol
-          in
-          timed_experiment ~hooks ~respect_masks ?fault_kind ~exec
-            ~timings prepared ~golden ex)
-        exps
+    (* Resolve this round's goldens in schedule order (cache insertion
+       order stays executor-independent), then execute. *)
+    Array.iter (fun i -> ignore (golden i)) inputs;
+    let dyn_sites_of i =
+      (Hashtbl.find golden_cache i).Experiment.g_dyn_sites
     in
+    let order = execution_order executor exps inputs ~dyn_sites_of in
+    let results =
+      Array.make cfg.experiments_per_campaign (vacuous_benign, 0.0)
+    in
+    Array.iter
+      (fun e ->
+        let golden = Hashtbl.find golden_cache inputs.(e) in
+        let exec =
+          match executor with
+          | Checkpointed ->
+            Checkpointed_exec (Hashtbl.find_opt pi_cache inputs.(e))
+          | Fast_forward ->
+            Fast_forward_exec (Hashtbl.find_opt ff_cache inputs.(e))
+          | Legacy -> Paper_protocol
+        in
+        results.(e) <-
+          timed_experiment ~hooks ~respect_masks ?fault_kind ~exec
+            ~timings prepared ~golden exps.(e))
+      order;
     let site_counts =
       Array.map
         (fun i -> (Hashtbl.find golden_cache i).Experiment.g_dyn_sites)
@@ -368,8 +526,8 @@ let run ?transform ?hooks ?(respect_masks = true)
     Array.map fst results
   in
   let r =
-    finalize prepared w target category (protocol cfg ~run_campaign)
-      golden_cache
+    finalize cfg cell prepared w target category
+      (protocol cfg ~run_campaign) golden_cache
   in
   (match sink with
   | None -> ()
@@ -382,11 +540,12 @@ let run ?transform ?hooks ?(respect_masks = true)
    golden runs before the fan-out; results are gathered in experiment
    order, making the outcome bit-identical to [run]. *)
 let run_parallel ?transform ?hooks
-    ?(respect_masks = true) ?fault_kind ?pool ?sink ?(checkpoint = true)
-    ~jobs (cfg : config)
+    ?(respect_masks = true) ?fault_kind ?pool ?sink
+    ?(executor = Checkpointed) ~jobs (cfg : config)
     (w : Workload.t) (target : Vir.Target.t)
     (category : Analysis.Sites.category) : result =
   let detectors = Option.is_some hooks in
+  let executor = effective_executor ~detectors executor in
   let hooks = Option.value hooks ~default:no_hooks_factory in
   let with_pool_ f =
     match pool with
@@ -398,32 +557,64 @@ let run_parallel ?transform ?hooks
       let cell = cell_of cfg w target category in
       let golden_cache = Hashtbl.create 8 in
       (* Machines cannot be shared across domains, so the checkpointed
-         path keeps one prepared-input cache per pool worker (worker
-         ids are stable and never run two items at once — no locking).
-         A worker that first meets an input re-runs setup + golden for
-         its own cache; the numbers are deterministic, so this only
-         costs time, never changes results. Per-cell lifetime: the
-         caches (and their machines) die with this call. *)
+         and fast-forward paths keep one prepared-input (resp.
+         ff-input) cache per pool worker (worker ids are stable and
+         never run two items at once — no locking). A worker that
+         first meets an input re-runs setup + golden — and on the
+         fast-forward path the checkpoint-laying replay, whose plan is
+         a pure function of the schedule, so every worker lays the
+         same checkpoints — for its own cache; the numbers are
+         deterministic, so this only costs time, never changes
+         results. Per-cell lifetime: the caches (and their machines)
+         die with this call. *)
+      let uses_pi = match executor with Legacy -> false | _ -> true in
       let pi_caches : (int, Experiment.prepared_input) Hashtbl.t array =
         Array.init
-          (if checkpoint then Pool.size pool else 0)
+          (if uses_pi then Pool.size pool else 0)
           (fun _ -> Hashtbl.create 8)
       in
+      let ff_caches : (int, Experiment.ff_input) Hashtbl.t array =
+        Array.init
+          (match executor with Fast_forward -> Pool.size pool | _ -> 0)
+          (fun _ -> Hashtbl.create 8)
+      in
+      (* Build (and cache) worker [wid]'s prepared input, plus its laid
+         checkpoints on the fast-forward path. *)
+      let prepare_for wid input =
+        let pi =
+          Experiment.prepare_input ~hooks:(hooks ()) ~respect_masks
+            prepared ~input
+        in
+        Hashtbl.replace pi_caches.(wid) input pi;
+        (match executor with
+        | Fast_forward ->
+          let plan =
+            plan_for cfg cell w ~input
+              ~dyn_sites:pi.Experiment.pi_golden.Experiment.g_dyn_sites
+          in
+          Hashtbl.replace ff_caches.(wid) input
+            (Experiment.lay_checkpoints ~hooks:(hooks ()) ~respect_masks
+               prepared ~pi ~plan)
+        | Legacy | Checkpointed -> ());
+        pi
+      in
       let pi_for wid input (golden : Experiment.golden) =
-        if not checkpoint then None
-        else if golden.Experiment.g_dyn_sites = 0 then
+        if golden.Experiment.g_dyn_sites = 0 then
           (* vacuously benign: no faulty run will happen *)
           None
         else
           match Hashtbl.find_opt pi_caches.(wid) input with
           | Some pi -> Some pi
-          | None ->
-            let pi =
-              Experiment.prepare_input ~hooks:(hooks ()) ~respect_masks
-                prepared ~input
-            in
-            Hashtbl.replace pi_caches.(wid) input pi;
-            Some pi
+          | None -> Some (prepare_for wid input)
+      in
+      let ff_for wid input (golden : Experiment.golden) =
+        if golden.Experiment.g_dyn_sites = 0 then None
+        else begin
+          (match Hashtbl.find_opt ff_caches.(wid) input with
+          | Some _ -> ()
+          | None -> ignore (prepare_for wid input));
+          Hashtbl.find_opt ff_caches.(wid) input
+        end
       in
       let timings =
         match sink with Some s -> Trace.timings s | None -> false
@@ -452,14 +643,8 @@ let run_parallel ?transform ?hooks
         let goldens =
           Pool.map_with_worker pool
             (fun wid input ->
-              if checkpoint then begin
-                let pi =
-                  Experiment.prepare_input ~hooks:(hooks ())
-                    ~respect_masks prepared ~input
-                in
-                Hashtbl.replace pi_caches.(wid) input pi;
-                pi.Experiment.pi_golden
-              end
+              if uses_pi then
+                (prepare_for wid input).Experiment.pi_golden
               else
                 Experiment.golden_run ~hooks:(hooks ()) ~respect_masks
                   prepared ~input)
@@ -467,22 +652,35 @@ let run_parallel ?transform ?hooks
         in
         Array.iteri (fun k g -> Hashtbl.add golden_cache fresh.(k) g) goldens;
         (* The cache is read-only during the fan-out below. Workers
-           only buffer (result, wall) pairs; Pool.map returns them in
-           experiment order, and the sink is written from this
-           (sequential) protocol loop. *)
-        let results =
+           only buffer (result, wall) pairs; the fan-out runs in
+           injection-sorted order on the fast-forward path and results
+           are un-permuted right after, so the buffered array — and
+           hence the sink, written from this (sequential) protocol
+           loop — is in experiment order at any -j. *)
+        let dyn_sites_of i =
+          (Hashtbl.find golden_cache i).Experiment.g_dyn_sites
+        in
+        let order = execution_order executor exps inputs ~dyn_sites_of in
+        let fanned =
           Pool.map_with_worker pool
             (fun wid e ->
               let input = inputs.(e) in
               let golden = Hashtbl.find golden_cache input in
               let exec =
-                if checkpoint then Checkpointed (pi_for wid input golden)
-                else Paper_protocol
+                match executor with
+                | Checkpointed ->
+                  Checkpointed_exec (pi_for wid input golden)
+                | Fast_forward -> Fast_forward_exec (ff_for wid input golden)
+                | Legacy -> Paper_protocol
               in
               timed_experiment ~hooks ~respect_masks ?fault_kind ~exec
                 ~timings prepared ~golden exps.(e))
-            (Array.init cfg.experiments_per_campaign Fun.id)
+            order
         in
+        let results =
+          Array.make cfg.experiments_per_campaign (vacuous_benign, 0.0)
+        in
+        Array.iteri (fun k e -> results.(e) <- fanned.(k)) order;
         let site_counts =
           Array.map
             (fun i -> (Hashtbl.find golden_cache i).Experiment.g_dyn_sites)
@@ -493,8 +691,8 @@ let run_parallel ?transform ?hooks
         Array.map fst results
       in
       let r =
-        finalize prepared w target category (protocol cfg ~run_campaign)
-          golden_cache
+        finalize cfg cell prepared w target category
+          (protocol cfg ~run_campaign) golden_cache
       in
       (match sink with
       | None -> ()
@@ -504,12 +702,12 @@ let run_parallel ?transform ?hooks
 (* Cell-level driver: run many (workload, target, category) cells over
    one shared pool — the shape of a Fig 11/Table II sweep. *)
 let run_cells ?transform ?hooks ?respect_masks ?fault_kind ?sink
-    ?checkpoint ~jobs (cfg : config)
+    ?executor ~jobs (cfg : config)
     (cells : (Workload.t * Vir.Target.t * Analysis.Sites.category) list) :
     result list =
   Pool.with_pool ~jobs (fun pool ->
       List.map
         (fun (w, target, category) ->
           run_parallel ?transform ?hooks ?respect_masks ?fault_kind ~pool
-            ?sink ?checkpoint ~jobs cfg w target category)
+            ?sink ?executor ~jobs cfg w target category)
         cells)

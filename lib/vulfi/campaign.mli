@@ -45,6 +45,17 @@ type result = {
           are functions of the seed schedule alone, so they are
           identical between the legacy and checkpointed executors,
           sequential or [-j N]. *)
+  c_checkpoints : int;
+      (** machine-state checkpoints the fast-forward executor lays for
+          this cell (summed over the distinct scheduled inputs) *)
+  c_ff_resumed : int;
+      (** experiments whose injection site is at or past the first
+          checkpoint of its input's plan — the runs the fast-forward
+          executor resumes rather than replays. Like the golden
+          counters, both are pure functions of the seed schedule (not
+          of what any executor physically did), so every executor
+          reports the same values and traces stay byte-identical
+          across executors. *)
 }
 
 (** JSON view of a result: the per-cell summary record of a trace, and
@@ -66,6 +77,30 @@ val sdc_detection_rate : result -> float
     share detector state, sequentially or across domains. *)
 type hooks_factory = unit -> Experiment.hooks
 
+(** The three executors a campaign can run on. All produce bit-identical
+    results, digests and traces; they differ only in how much work each
+    experiment repeats.
+
+    - [Legacy] is the paper's §IV-B protocol taken literally: every
+      experiment performs its own fault-free profiling run on a freshly
+      built machine before the faulty run.
+    - [Checkpointed] runs [w_setup] once per (cell, input), snapshots
+      the post-setup memory image and executes the golden run once;
+      every further experiment on that input restores the snapshot and
+      reuses the machine.
+    - [Fast_forward] additionally lays full machine-state checkpoints
+      (memory image, register frames, call stack, dynamic counters) at
+      the scheduled injection sites during one instrumented golden
+      replay per (cell, input), and resumes every faulty run from the
+      nearest checkpoint at or before its injection site, executing
+      only the post-injection suffix. Campaigns run their experiments
+      in injection-sorted order (results and traces are emitted in
+      experiment order regardless). When detector hooks are attached,
+      [Fast_forward] silently degrades to [Checkpointed]: detector
+      state lives outside the machine and would not be restored by a
+      checkpoint. *)
+type executor = Legacy | Checkpointed | Fast_forward
+
 (** [run cfg w target category] executes the campaign protocol for one
     (workload, ISA, site-category) cell, sequentially. [transform]
     pre-processes the module (e.g. detector insertion); [hooks] builds
@@ -79,22 +114,17 @@ type hooks_factory = unit -> Experiment.hooks
     a default (no-timings) sink the trace is byte-identical between
     [run] and [run_parallel].
 
-    [checkpoint] (default [true]) selects the checkpointed executor:
-    per (cell, input), [w_setup] runs once, the post-setup memory image
-    is snapshotted and the golden run executes once; every further
-    experiment on that input restores the snapshot and reuses the
-    machine. [checkpoint:false] is the paper's §IV-B protocol taken
-    literally — every experiment performs its own fault-free profiling
-    run on a freshly built machine before the faulty run. The two are
-    bit-identical — results, digests and traces — because golden runs
-    are deterministic per (cell, input). *)
+    [executor] (default [Checkpointed]) selects the {!executor}; all
+    three are bit-identical — results, digests and traces — because
+    golden runs are deterministic per (cell, input) and checkpoint
+    placement is a pure function of the seed schedule. *)
 val run :
   ?transform:(Vir.Vmodule.t -> Vir.Vmodule.t) ->
   ?hooks:hooks_factory ->
   ?respect_masks:bool ->
   ?fault_kind:Runtime.fault_kind ->
   ?sink:Trace.sink ->
-  ?checkpoint:bool ->
+  ?executor:executor ->
   config ->
   Workload.t ->
   Vir.Target.t ->
@@ -108,10 +138,12 @@ val run :
     (in which case [jobs] is only used if [pool] is absent). [sink]
     records are emitted in experiment order from the protocol loop
     (workers only buffer), so the trace too is bit-identical to a
-    sequential run's unless the sink asked for wall times. With
-    [checkpoint] (the default) each worker keeps its own prepared-input
-    cache — machines cannot cross domains — while the shared golden
-    table stays schedule-deterministic. *)
+    sequential run's unless the sink asked for wall times. With the
+    [Checkpointed] and [Fast_forward] executors each worker keeps its
+    own prepared-input (and checkpoint) cache — machines cannot cross
+    domains — while the shared golden table stays
+    schedule-deterministic; checkpoint plans are pure functions of the
+    schedule, so every worker lays identical checkpoints. *)
 val run_parallel :
   ?transform:(Vir.Vmodule.t -> Vir.Vmodule.t) ->
   ?hooks:hooks_factory ->
@@ -119,7 +151,7 @@ val run_parallel :
   ?fault_kind:Runtime.fault_kind ->
   ?pool:Pool.t ->
   ?sink:Trace.sink ->
-  ?checkpoint:bool ->
+  ?executor:executor ->
   jobs:int ->
   config ->
   Workload.t ->
@@ -137,7 +169,7 @@ val run_cells :
   ?respect_masks:bool ->
   ?fault_kind:Runtime.fault_kind ->
   ?sink:Trace.sink ->
-  ?checkpoint:bool ->
+  ?executor:executor ->
   jobs:int ->
   config ->
   (Workload.t * Vir.Target.t * Analysis.Sites.category) list ->

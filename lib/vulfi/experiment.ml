@@ -143,6 +143,13 @@ type run_result = {
   r_dyn_instrs : int;  (** dynamic instructions of the faulty run *)
 }
 
+(* A fault-induced loop must terminate as an observable hang: a run
+   exceeding ten times the fault-free execution (plus slack for tiny
+   kernels) is classified as budget-exhausted. The single definition is
+   shared by every executor (legacy, checkpointed, fast-forward) so a
+   future tweak cannot silently diverge their classifications. *)
+let fault_budget (golden : golden) = (golden.g_dyn_instrs * 10) + 10_000
+
 (* Faulty run at 1-based [dynamic_site]; [seed] fixes the bit choice. *)
 let faulty_run ?(hooks = no_hooks) ?(respect_masks = true) ?fault_kind
     (p : prepared) ~(golden : golden) ~dynamic_site ~seed : run_result =
@@ -150,10 +157,7 @@ let faulty_run ?(hooks = no_hooks) ?(respect_masks = true) ?fault_kind
     Runtime.create ~seed ~respect_masks ?fault_kind
       (Runtime.Inject { dynamic_site })
   in
-  (* A fault-induced loop must terminate as an observable hang: a run
-     exceeding ten times the fault-free execution (plus slack for tiny
-     kernels) is classified as budget-exhausted. *)
-  let budget = (golden.g_dyn_instrs * 10) + 10_000 in
+  let budget = fault_budget golden in
   let st = Interp.Machine.create ~budget p.p_code in
   Runtime.attach rt st;
   hooks.h_reset ();
@@ -188,7 +192,7 @@ let faulty_run_checkpointed ?(hooks = no_hooks) ?(respect_masks = true)
       (Runtime.Inject { dynamic_site })
   in
   let golden = pi.pi_golden in
-  let budget = (golden.g_dyn_instrs * 10) + 10_000 in
+  let budget = fault_budget golden in
   let st = pi.pi_machine in
   Interp.Memory.restore (Interp.Machine.memory st) pi.pi_snapshot;
   Interp.Machine.reset ~budget st;
@@ -209,3 +213,166 @@ let faulty_run_checkpointed ?(hooks = no_hooks) ?(respect_masks = true)
     r_detected = hooks.h_flagged ();
     r_dyn_instrs = Interp.Machine.dyn_count st;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Fast-forward execution. The checkpointed path above still replays
+   the whole golden prefix of every faulty run up to the injected
+   site; on long workloads whose injections cluster late, that prefix
+   dominates campaign time. The fast-forward executor captures full
+   machine-state checkpoints (memory image, register frames, call
+   stack, counters) at a subset of the cell's scheduled injection
+   sites during ONE instrumented golden replay, and each faulty run
+   resumes from the nearest checkpoint at or before its site — only
+   the post-injection suffix executes.
+
+   Determinism is preserved because checkpoint *placement* is a pure
+   function of the seed schedule: every experiment's dynamic site is
+   computable upfront from (seed, workload, target, category,
+   campaign, experiment) before anything runs, so sequential and
+   parallel drivers derive the identical plan. *)
+
+(* Cap on checkpoints per (cell, input): bounds the retained memory
+   images while keeping one checkpoint per distinct scheduled site for
+   every realistic cell (paper cells schedule at most
+   [experiments_per_campaign * max_campaigns] distinct sites, and the
+   distinct count is far smaller on short traces). A checkpoint costs
+   one memory snapshot (dirty spans of small workload heaps) plus the
+   deep-copied register frames of the stack at the probe, so even a
+   few hundred are cheap; runs whose site falls exactly on a plan site
+   resume with zero pre-injection re-execution. *)
+let default_max_checkpoints = 192
+
+(* The checkpoint sites for one (cell, input): the distinct scheduled
+   injection sites, ascending, thinned to at most [max_checkpoints] by
+   keeping the rightmost site of each of [max_checkpoints] equal
+   slices (so every scheduled site still has a plan site at or not far
+   below it; sites below the first plan entry fall back to a
+   from-the-start replay). Pure function of the schedule. *)
+let checkpoint_plan ?(max_checkpoints = default_max_checkpoints)
+    (sites : int list) : int array =
+  let a =
+    Array.of_list
+      (List.sort_uniq compare (List.filter (fun s -> s > 0) sites))
+  in
+  let n = Array.length a in
+  if n <= max_checkpoints then a
+  else
+    Array.init max_checkpoints (fun i ->
+        a.(((i + 1) * n / max_checkpoints) - 1))
+
+(* A prepared input plus the machine-state checkpoints laid for it:
+   [(site, checkpoint)] pairs sorted by site ascending. The
+   checkpoints alias [ff_pi]'s machine — faulty runs must execute on
+   that machine (they do: that is the prepared input's machine). *)
+type ff_input = {
+  ff_pi : prepared_input;
+  ff_checkpoints : (int * Interp.Machine.checkpoint) array;
+}
+
+(* One instrumented golden replay laying the plan's checkpoints: the
+   machine rolls back to the post-setup image, then a tracked profile
+   run captures the full machine state immediately before the inject
+   call of each planned dynamic site (so the injection re-executes
+   naturally on resume). [dyn_count] at a capture equals the legacy
+   prefix length from run start — [w_setup] executes no machine
+   instructions — which is what makes the resumed counters (and hence
+   the trace records) bit-identical to a fresh replay. *)
+let lay_checkpoints ?(hooks = no_hooks) ?(respect_masks = true)
+    (p : prepared) ~(pi : prepared_input) ~(plan : int array) : ff_input =
+  if Array.length plan = 0 then { ff_pi = pi; ff_checkpoints = [||] }
+  else begin
+    let rt = Runtime.create ~respect_masks Runtime.Profile in
+    let st = pi.pi_machine in
+    Interp.Memory.restore (Interp.Machine.memory st) pi.pi_snapshot;
+    Interp.Machine.reset ~budget:Interp.Machine.default_budget st;
+    Runtime.attach rt st;
+    hooks.h_reset ();
+    hooks.h_attach st;
+    let inject_slots =
+      List.filter_map
+        (fun (name, _) -> Interp.Machine.extern_slot st name)
+        Fault_model.all_inject_fns
+    in
+    let nplan = Array.length plan in
+    let pidx = ref 0 in
+    (* The probe sees each extern call before it runs: the next live
+       site has index [dynamic_sites rt + 1], mirroring the counter
+       increment the handler is about to perform. *)
+    let probe _st ~slot (args : Interp.Vvalue.t list) =
+      !pidx < nplan
+      && List.mem slot inject_slots
+      && (match args with
+         | [ _value; mask; _site ] ->
+           ((not respect_masks) || Interp.Vvalue.as_bool mask)
+           && Runtime.dynamic_sites rt + 1 = plan.(!pidx)
+         | _ -> false)
+    in
+    let cks = ref [] in
+    let on_capture ck =
+      cks := (plan.(!pidx), ck) :: !cks;
+      incr pidx
+    in
+    (match
+       Interp.Machine.run_tracked st p.p_workload.Workload.w_fn pi.pi_args
+         ~probe ~on_capture
+     with
+    | _ -> ()
+    | exception Interp.Trap.Trap k ->
+      raise
+        (Golden_run_failed
+           (Printf.sprintf "%s input %d (checkpoint replay): %s"
+              p.p_workload.Workload.w_name pi.pi_golden.g_input
+              (Interp.Trap.to_string k))));
+    { ff_pi = pi; ff_checkpoints = Array.of_list (List.rev !cks) }
+  end
+
+(* Fast-forward variant of [faulty_run_checkpointed]: resume from the
+   nearest checkpoint at or before [dynamic_site] (falling back to a
+   full checkpointed replay when none exists). The runtime's site
+   counter starts at [site - 1]: the skipped prefix observed exactly
+   the sites before the checkpointed call, which re-executes first.
+   The RNG needs no replay — it is drawn only at the injection, always
+   inside the executed suffix. *)
+let faulty_run_ff ?(hooks = no_hooks) ?(respect_masks = true) ?fault_kind
+    (p : prepared) ~(ff : ff_input) ~dynamic_site ~seed : run_result =
+  let cks = ff.ff_checkpoints in
+  (* rightmost checkpoint with site <= dynamic_site *)
+  let best = ref (-1) in
+  let lo = ref 0 and hi = ref (Array.length cks - 1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst cks.(mid) <= dynamic_site then begin
+      best := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  if !best < 0 then
+    faulty_run_checkpointed ~hooks ~respect_masks ?fault_kind p
+      ~pi:ff.ff_pi ~dynamic_site ~seed
+  else begin
+    let site, ck = cks.(!best) in
+    let rt =
+      Runtime.create ~seed ~respect_masks ?fault_kind ~counter0:(site - 1)
+        (Runtime.Inject { dynamic_site })
+    in
+    let golden = ff.ff_pi.pi_golden in
+    let st = ff.ff_pi.pi_machine in
+    Runtime.attach rt st;
+    hooks.h_reset ();
+    hooks.h_attach st;
+    let faulty =
+      match Interp.Machine.resume ~budget:(fault_budget golden) st ck with
+      | _ -> Ok (ff.ff_pi.pi_read_output ())
+      | exception Interp.Trap.Trap k -> Error k
+    in
+    {
+      r_outcome =
+        Outcome.classify
+          ~tol:p.p_workload.Workload.w_out_tolerance
+          ~golden:golden.g_output ~faulty ();
+      r_injection = Runtime.injected rt;
+      r_detected = hooks.h_flagged ();
+      r_dyn_instrs = Interp.Machine.dyn_count st;
+    }
+  end

@@ -79,6 +79,13 @@ type run_result = {
   r_dyn_instrs : int;  (** dynamic instructions of the faulty run *)
 }
 
+(** Dynamic-instruction budget of a faulty run: ten times the
+    fault-free execution plus slack for tiny kernels, so a
+    fault-induced loop terminates as an observable hang. The single
+    definition shared by all three executors (legacy, checkpointed,
+    fast-forward). *)
+val fault_budget : golden -> int
+
 (** Faulty run corrupting the value at 1-based [dynamic_site]; [seed]
     fixes the bit/pattern choice, making experiments reproducible. *)
 val faulty_run :
@@ -101,6 +108,58 @@ val faulty_run_checkpointed :
   ?fault_kind:Runtime.fault_kind ->
   prepared ->
   pi:prepared_input ->
+  dynamic_site:int ->
+  seed:int ->
+  run_result
+
+(** {1 Fast-forward execution}
+
+    Full machine-state checkpoints at scheduled injection sites, laid
+    during one instrumented golden replay; faulty runs resume from the
+    nearest checkpoint at or before their site so only the
+    post-injection suffix executes. Placement is a pure function of
+    the seed schedule, preserving sequential/parallel determinism. *)
+
+(** Default cap on checkpoints per (cell, input). *)
+val default_max_checkpoints : int
+
+(** [checkpoint_plan sites] is the ascending array of distinct
+    positive scheduled sites, thinned to at most [max_checkpoints]
+    (default {!default_max_checkpoints}) by keeping the rightmost site
+    of each equal slice. Pure function of its input. *)
+val checkpoint_plan : ?max_checkpoints:int -> int list -> int array
+
+(** A prepared input plus its machine-state checkpoints, as
+    [(site, checkpoint)] pairs sorted by site ascending. The
+    checkpoints alias the prepared input's machine. *)
+type ff_input = {
+  ff_pi : prepared_input;
+  ff_checkpoints : (int * Interp.Machine.checkpoint) array;
+}
+
+(** One instrumented golden replay over [pi]'s machine capturing a
+    checkpoint immediately before the inject call of each planned
+    site (the call re-executes on resume). An empty [plan] skips the
+    replay entirely.
+    @raise Golden_run_failed when the replay traps. *)
+val lay_checkpoints :
+  ?hooks:hooks ->
+  ?respect_masks:bool ->
+  prepared ->
+  pi:prepared_input ->
+  plan:int array ->
+  ff_input
+
+(** Fast-forward variant of {!faulty_run_checkpointed}: resumes from
+    the nearest checkpoint at or before [dynamic_site], falling back
+    to a full checkpointed replay when none exists. Bit-identical to
+    {!faulty_run} on the same (input, dynamic_site, seed). *)
+val faulty_run_ff :
+  ?hooks:hooks ->
+  ?respect_masks:bool ->
+  ?fault_kind:Runtime.fault_kind ->
+  prepared ->
+  ff:ff_input ->
   dynamic_site:int ->
   seed:int ->
   run_result

@@ -43,6 +43,33 @@ let table1_row ~workload ~language ~input ~target ~dyn_instrs =
     (Vir.Target.name target)
     (float_of_int dyn_instrs /. 1.0e6)
 
+(* Sweep progress/ETA line. The degenerate ticks need explicit guards:
+   on the first tick [done_cells] is 0 (ETA would divide by zero) and
+   [elapsed_s] can be 0.0 on coarse clocks (the rate would be inf/nan),
+   so the rate clamps to 0 and the ETA renders as "--" until both are
+   well-defined. *)
+let progress_line ~label ~done_cells ~total_cells ~done_exps ~elapsed_s =
+  let rate =
+    if elapsed_s > 0.0 then float_of_int done_exps /. elapsed_s else 0.0
+  in
+  let rate = if Float.is_finite rate then rate else 0.0 in
+  let eta =
+    if done_cells <= 0 || elapsed_s <= 0.0 then None
+    else
+      let e =
+        elapsed_s /. float_of_int done_cells
+        *. float_of_int (max 0 (total_cells - done_cells))
+      in
+      if Float.is_finite e then Some e else None
+  in
+  match eta with
+  | Some e ->
+    Printf.sprintf "%s: %d/%d cells done, %.0f experiments/s, ETA %.0f s"
+      label done_cells total_cells rate e
+  | None ->
+    Printf.sprintf "%s: %d/%d cells done, %.0f experiments/s, ETA --" label
+      done_cells total_cells rate
+
 (* ------------------------------------------------------------------ *)
 (* Trace re-aggregation: rebuild Campaign.result values from the
    per-experiment records of a JSONL trace (the `vulfi report`
@@ -77,21 +104,23 @@ type cell_acc = {
   mutable ca_summary : Json.t option;
 }
 
-(* Returns the remaining records plus the trace's schema version: both
-   v1 and v2 are replayable (v2 merely adds the golden counters, which
-   are recomputable anyway — the version only decides whether the
-   summary cross-check may expect them). *)
+(* Returns the remaining records plus the trace's schema version: v1,
+   v2 and v3 are all replayable (v2 merely added the golden counters,
+   which are recomputable anyway; v3 adds the fast-forward counters,
+   which are adopted from the summary — the version decides what the
+   summary cross-check may expect). *)
 let check_header = function
   | [] -> bad "empty trace (no header record)"
   | header :: rest ->
     let version =
       match (Json.member "type" header, Json.member "schema" header) with
       | Some (Json.String "header"), Some (Json.String s) ->
-        if s = Trace.schema then `V2
+        if s = Trace.schema then `V3
+        else if s = Trace.schema_v2 then `V2
         else if s = Trace.schema_v1 then `V1
         else
-          bad "unsupported trace schema %S (expected %S or %S)" s
-            Trace.schema Trace.schema_v1
+          bad "unsupported trace schema %S (expected %S, %S or %S)" s
+            Trace.schema Trace.schema_v2 Trace.schema_v1
       | _ -> bad "first record is not a trace header"
     in
     (rest, version)
@@ -177,13 +206,14 @@ let replay_cell ~version ((workload, target_s, category_s) as _key)
      distinct inputs drawn, and experiments beyond the first per input *)
   let golden_runs = List.length goldens in
   let golden_reused = totals.Campaign.n_experiments - golden_runs in
-  (* static_sites, avg_dyn_instrs and the detectors flag describe the
-     campaign setup and golden runs only and are not recomputable from
-     experiment records: adopt them from the summary record, and
-     cross-check everything that is recomputable. *)
-  let static_sites, avg_dyn_instrs, detectors, summary_status =
+  (* static_sites, avg_dyn_instrs, the detectors flag and the v3
+     fast-forward counters describe the campaign setup, golden runs and
+     seed schedule only and are not recomputable from experiment
+     records: adopt them from the summary record, and cross-check
+     everything that is recomputable. *)
+  let static_sites, avg_dyn_instrs, detectors, ff_counters, summary_status =
     match c.ca_summary with
-    | None -> (0, 0.0, totals.Campaign.n_detected > 0, `Missing)
+    | None -> (0, 0.0, totals.Campaign.n_detected > 0, (0, 0), `Missing)
     | Some s ->
       let int_field name =
         match Json.member name s with
@@ -221,9 +251,17 @@ let replay_cell ~version ((workload, target_s, category_s) as _key)
       chk "avg_dyn_sites" (float_field "avg_dyn_sites" = avg_dyn_sites);
       (match version with
       | `V1 -> ()  (* v1 summaries have no golden counters *)
-      | `V2 ->
+      | `V2 | `V3 ->
         chk "golden_runs" (int_field "golden_runs" = golden_runs);
         chk "golden_reused" (int_field "golden_reused" = golden_reused));
+      (* the fast-forward counters depend on the master seed (scheduled
+         injection sites), which the trace does not carry — adoptable,
+         not recomputable *)
+      let ff_counters =
+        match version with
+        | `V1 | `V2 -> (0, 0)
+        | `V3 -> (int_field "checkpoints", int_field "ff_resumed")
+      in
       let status =
         match !mismatches with
         | [] -> `Match
@@ -235,8 +273,9 @@ let replay_cell ~version ((workload, target_s, category_s) as _key)
         | _ -> bad "%s: summary missing boolean \"detectors\"" cell_name
       in
       (int_field "static_sites", float_field "avg_dyn_instrs", detectors,
-       status)
+       ff_counters, status)
   in
+  let checkpoints, ff_resumed = ff_counters in
   {
     rp_result =
       {
@@ -253,6 +292,8 @@ let replay_cell ~version ((workload, target_s, category_s) as _key)
         c_avg_dynamic_instrs = avg_dyn_instrs;
         c_golden_runs = golden_runs;
         c_golden_reused = golden_reused;
+        c_checkpoints = checkpoints;
+        c_ff_resumed = ff_resumed;
       };
     rp_detectors = detectors;
     rp_summary = summary_status;

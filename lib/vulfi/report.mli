@@ -27,6 +27,19 @@ val table1_row :
   dyn_instrs:int ->
   string
 
+(** One sweep progress/ETA line, e.g.
+    ["fig11: 3/12 cells done, 412 experiments/s, ETA 38 s"]. Total
+    guards against the degenerate first tick: with [done_cells = 0] or
+    [elapsed_s <= 0.0] the ETA renders as ["--"] and the rate clamps to
+    0 instead of printing [inf]/[nan]. *)
+val progress_line :
+  label:string ->
+  done_cells:int ->
+  total_cells:int ->
+  done_exps:int ->
+  elapsed_s:float ->
+  string
+
 (** One campaign cell rebuilt from a trace. [rp_result] is re-aggregated
     from the per-experiment records alone (except [c_static_sites] and
     [c_avg_dynamic_instrs], which only the summary record carries);

@@ -49,11 +49,16 @@ type t = {
   fault_kind : fault_kind;
 }
 
+(* [counter0] seeds the dynamic-site counter: a run resumed from a
+   checkpoint has already observed the first [counter0] live sites in
+   its skipped prefix, so the runtime picks up counting where the
+   prefix left off. The RNG needs no equivalent — it is only drawn at
+   the injection itself, which always happens in the executed suffix. *)
 let create ?(seed = 0) ?(respect_masks = true)
-    ?(fault_kind = Single_bit_flip) mode =
+    ?(fault_kind = Single_bit_flip) ?(counter0 = 0) mode =
   {
     mode;
-    counter = 0;
+    counter = counter0;
     injection = None;
     rng = Random.State.make [| seed |];
     respect_masks;

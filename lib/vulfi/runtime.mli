@@ -32,12 +32,17 @@ type injection_record = {
 
 type t
 
-(** [create ?seed ?respect_masks ?fault_kind mode] builds a runtime.
-    [respect_masks] (default [true]) is VULFI's defining behaviour of
-    skipping masked-off vector lanes; [false] reproduces a
-    mask-oblivious injector for ablation. *)
+(** [create ?seed ?respect_masks ?fault_kind ?counter0 mode] builds a
+    runtime. [respect_masks] (default [true]) is VULFI's defining
+    behaviour of skipping masked-off vector lanes; [false] reproduces a
+    mask-oblivious injector for ablation. [counter0] (default 0) seeds
+    the dynamic-site counter with the number of live sites already
+    observed — a run resumed from a checkpoint passes the skipped
+    prefix's site count so injection indices keep their whole-run
+    meaning. *)
 val create :
-  ?seed:int -> ?respect_masks:bool -> ?fault_kind:fault_kind -> mode -> t
+  ?seed:int -> ?respect_masks:bool -> ?fault_kind:fault_kind ->
+  ?counter0:int -> mode -> t
 
 (** [corrupt t v] corrupts a scalar runtime value per the configured
     fault kind; returns the corrupted value and the representative bit

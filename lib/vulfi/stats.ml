@@ -49,6 +49,17 @@ let margin_of_error xs =
   if n < 2 then infinity
   else t95 ~df:(n - 1) *. stddev xs /. sqrt (float_of_int n)
 
+(* 95% confidence interval on the sample mean as (mean, margin). The
+   small-sample edge is explicit rather than falling out of float
+   arithmetic: with n < 2 no sample variance exists, so the margin is
+   [infinity] (every interval is plausible) — it must never be 0.0 or
+   nan, which would let a one-campaign cell satisfy the §IV-D stopping
+   rule. n = 2 is the first finite interval: df 1, t = 12.706. *)
+let confidence xs =
+  let n = List.length xs in
+  if n < 2 then (mean xs, infinity)
+  else (mean xs, t95 ~df:(n - 1) *. stddev xs /. sqrt (float_of_int n))
+
 (* Sample skewness (g1). *)
 let skewness xs =
   let n = float_of_int (List.length xs) in

@@ -8,12 +8,24 @@ val mean : float list -> float
 val stddev : float list -> float
 
 (** Two-sided 95% critical value of Student's t with [df] degrees of
-    freedom (tabulated to 30, stepped beyond, 1.96 asymptote). *)
+    freedom. Exact to df 30; beyond the table each bucket (31–40,
+    41–60, 61–120, 121+) uses the critical value at its {e smallest}
+    df — the largest value in the bucket — so the margin of error is
+    never understated and the §IV-D stopping rule can only err
+    conservative. [infinity] for df <= 0. *)
 val t95 : df:int -> float
 
 (** 95% margin of error of the sample mean: t * s / sqrt(n).
     [infinity] for fewer than two samples. *)
 val margin_of_error : float list -> float
+
+(** [(mean, margin)] of the 95% confidence interval on the sample mean.
+    Small samples are handled explicitly, never via float fallout:
+    n = 0 gives [(0.0, infinity)], n = 1 gives [(x, infinity)] (no
+    sample variance exists — the margin must not collapse to 0 or nan,
+    which would let a one-campaign cell pass the stopping rule), and
+    n = 2 is the first finite interval (df 1, t = 12.706). *)
+val confidence : float list -> float * float
 
 (** Sample skewness (g1). *)
 val skewness : float list -> float

@@ -10,14 +10,17 @@
     experiment wall time is inherently nondeterministic, so it is an
     opt-in sink feature ([timings:true]) rather than a default field. *)
 
-(* v2 adds the checkpointing counters [golden_runs]/[golden_reused] to
-   the summary record. Both counters are derived from the seed schedule
-   (distinct inputs drawn), not from physical cache behaviour, so the
-   legacy and checkpointed executors write identical traces. [report]
-   accepts v1 and v2. *)
-let schema = "vulfi-trace-v2"
+(* v2 added the checkpointing counters [golden_runs]/[golden_reused] to
+   the summary record; v3 adds the fast-forward counters
+   [checkpoints]/[ff_resumed]. All four counters are derived from the
+   seed schedule (distinct inputs drawn, scheduled injection sites),
+   not from physical cache or executor behaviour, so all executors
+   write identical traces. [report] accepts v1, v2 and v3. *)
+let schema = "vulfi-trace-v3"
 
 let schema_v1 = "vulfi-trace-v1"
+
+let schema_v2 = "vulfi-trace-v2"
 
 type sink = {
   s_emit : Json.t -> unit;
@@ -115,7 +118,8 @@ let experiment_record ~workload ~target ~category ~campaign ~experiment
 let summary_record ~workload ~target ~category ~detectors ~campaigns
     ~sdc_rates ~n_experiments ~n_sdc ~n_benign ~n_crash ~n_detected
     ~n_detected_sdc ~margin ~near_normal ~static_sites ~avg_dyn_sites
-    ~avg_dyn_instrs ~golden_runs ~golden_reused : Json.t =
+    ~avg_dyn_instrs ~golden_runs ~golden_reused ~checkpoints ~ff_resumed :
+    Json.t =
   Json.Obj
     [
       ("type", Json.String "summary");
@@ -142,4 +146,8 @@ let summary_record ~workload ~target ~category ~detectors ~campaigns
          must perform) and experiments that reused a cached golden *)
       ("golden_runs", Json.Int golden_runs);
       ("golden_reused", Json.Int golden_reused);
+      (* checkpoints the fast-forward plan lays and experiments it
+         resumes — again schedule-derived, not executor behaviour *)
+      ("checkpoints", Json.Int checkpoints);
+      ("ff_resumed", Json.Int ff_resumed);
     ]

@@ -9,12 +9,15 @@
     experiment record. *)
 
 (** Schema identifier stamped into the header record
-    (["vulfi-trace-v2"]; v2 adds schedule-derived [golden_runs] /
-    [golden_reused] counters to the summary record). *)
+    (["vulfi-trace-v3"]; v2 added schedule-derived [golden_runs] /
+    [golden_reused] counters to the summary record, v3 adds the
+    fast-forward [checkpoints] / [ff_resumed] counters). *)
 val schema : string
 
-(** The previous schema identifier, still accepted by [vulfi report]. *)
+(** Previous schema identifiers, still accepted by [vulfi report]. *)
 val schema_v1 : string
+
+val schema_v2 : string
 
 type sink
 
@@ -81,4 +84,6 @@ val summary_record :
   avg_dyn_instrs:float ->
   golden_runs:int ->
   golden_reused:int ->
+  checkpoints:int ->
+  ff_resumed:int ->
   Json.t

@@ -1,7 +1,9 @@
-(* Tests for the checkpointed execution layer: Memory snapshot/restore
-   (differential against a fresh replay), Machine.reset, masked access
-   at region edges, and legacy == checkpointed campaign equivalence
-   down to trace bytes. *)
+(* Tests for the checkpointed and fast-forward execution layers: Memory
+   snapshot/restore (differential against a fresh replay), Machine.reset
+   (including prefix accounting), masked access at region edges,
+   full-machine checkpoint resume == fresh replay differentials, and
+   legacy == checkpointed == fast-forward campaign equivalence down to
+   trace bytes, plus the small-sample stats and progress-line edges. *)
 
 open QCheck
 
@@ -252,6 +254,36 @@ let test_reset_rearms_budget () =
   ignore (Interp.Machine.run st2 "scale" args2);
   check Alcotest.int "rerun cost" cost (Interp.Machine.dyn_count st2)
 
+(* reset ~budget ~spent pre-charges a skipped prefix: dyn_count keeps
+   its whole-run meaning (prefix + executed suffix) and the prefix
+   counts against the budget — a mid-epoch re-arm can't mint fuel. *)
+let test_reset_spent_accounting () =
+  let n = 16 in
+  let m = Minispc.Driver.compile Vir.Target.Avx reset_src in
+  let st = Interp.Machine.create (Interp.Compile.compile_module m) in
+  let mem = Interp.Machine.memory st in
+  let a = Interp.Memory.alloc mem ~name:"a" ~bytes:(4 * n) in
+  Interp.Memory.write_f32_array mem a (Array.make n 1.0);
+  let args = [ Interp.Vvalue.of_ptr a; Interp.Vvalue.of_i32 n ] in
+  ignore (Interp.Machine.run st "scale" args);
+  let cost = Interp.Machine.dyn_count st in
+  Interp.Machine.reset ~budget:(cost + 100) ~spent:100 st;
+  check Alcotest.int "spent prefix visible before running" 100
+    (Interp.Machine.dyn_count st);
+  ignore (Interp.Machine.run st "scale" args);
+  check Alcotest.int "dyn_count = prefix + suffix" (cost + 100)
+    (Interp.Machine.dyn_count st);
+  (* the prefix consumes budget: remaining fuel below cost must trap *)
+  Interp.Machine.reset ~budget:(cost + 100) ~spent:102 st;
+  (match Interp.Machine.run st "scale" args with
+  | _ -> Alcotest.fail "expected budget trap"
+  | exception Interp.Trap.Trap Interp.Trap.Budget_exhausted -> ());
+  (* and a plain reset afterwards clears the prefix entirely *)
+  Interp.Machine.reset st;
+  ignore (Interp.Machine.run st "scale" args);
+  check Alcotest.int "plain reset clears prefix" cost
+    (Interp.Machine.dyn_count st)
+
 (* ---------------- faulty_run == faulty_run_checkpointed -------------- *)
 
 let vcopy_src =
@@ -333,6 +365,211 @@ let test_checkpointed_faulty_runs_match () =
       done)
     Analysis.Sites.all_categories
 
+(* ---------------- fast-forward resume == fresh replay ---------------- *)
+
+let check_runs_equal label (legacy : Vulfi.Experiment.run_result)
+    (ff : Vulfi.Experiment.run_result) =
+  check Alcotest.string (label ^ ": outcome")
+    (Vulfi.Outcome.to_string legacy.Vulfi.Experiment.r_outcome)
+    (Vulfi.Outcome.to_string ff.Vulfi.Experiment.r_outcome);
+  check Alcotest.int (label ^ ": dyn instrs")
+    legacy.Vulfi.Experiment.r_dyn_instrs ff.Vulfi.Experiment.r_dyn_instrs;
+  match (legacy.Vulfi.Experiment.r_injection, ff.Vulfi.Experiment.r_injection)
+  with
+  | Some a, Some b ->
+    check Alcotest.int (label ^ ": static site") a.Vulfi.Runtime.inj_static_site
+      b.Vulfi.Runtime.inj_static_site;
+    check Alcotest.int (label ^ ": bit") a.Vulfi.Runtime.inj_bit
+      b.Vulfi.Runtime.inj_bit;
+    Alcotest.(check bool)
+      (label ^ ": corrupted value") true
+      (Interp.Vvalue.equal a.Vulfi.Runtime.inj_after b.Vulfi.Runtime.inj_after)
+  | None, None -> ()
+  | _ -> Alcotest.failf "%s: injection records diverge" label
+
+(* checkpoint_plan is a pure function: distinct positive sites,
+   ascending; thinning keeps the rightmost site of each equal slice. *)
+let test_checkpoint_plan () =
+  check
+    Alcotest.(array int)
+    "dedup + sort + drop nonpositive" [| 1; 3; 7 |]
+    (Vulfi.Experiment.checkpoint_plan [ 7; 3; 1; 3; 0; -2; 7 ]);
+  check
+    Alcotest.(array int)
+    "thinned keeps rightmost per slice" [| 3; 6 |]
+    (Vulfi.Experiment.checkpoint_plan ~max_checkpoints:2 [ 1; 2; 3; 4; 5; 6 ]);
+  check Alcotest.(array int) "empty schedule" [||]
+    (Vulfi.Experiment.checkpoint_plan [])
+
+(* Site-by-site, every category: resuming from a full machine-state
+   checkpoint must reproduce the two-runs-per-experiment protocol
+   exactly. n = 19 leaves a masked 8-lane tail (straddle loads with OOB
+   masked-off lanes), and the Address category makes epochs crash
+   mid-suffix, so consecutive sites also prove resume-after-trap. A
+   dense plan (every probed site has its own checkpoint) and a sparse
+   thinned plan (most sites resume from an earlier checkpoint, sites
+   below the first fall back to a full replay) must both match. *)
+let test_ff_faulty_runs_match () =
+  List.iter
+    (fun category ->
+      let w = vcopy_workload [ 19 ] in
+      let p = Vulfi.Experiment.prepare w Vir.Target.Avx category in
+      let pi = Vulfi.Experiment.prepare_input p ~input:0 in
+      let g = pi.Vulfi.Experiment.pi_golden in
+      let hi = min 25 g.Vulfi.Experiment.g_dyn_sites in
+      let all_sites = List.init hi (fun i -> i + 1) in
+      let plans =
+        [
+          ("dense", Vulfi.Experiment.checkpoint_plan all_sites);
+          ( "sparse",
+            Vulfi.Experiment.checkpoint_plan ~max_checkpoints:3
+              (* drop site 1 so low sites exercise the no-checkpoint
+                 fallback *)
+              (List.filter (fun s -> s > hi / 3) all_sites) );
+        ]
+      in
+      List.iter
+        (fun (pname, plan) ->
+          let ff = Vulfi.Experiment.lay_checkpoints p ~pi ~plan in
+          check Alcotest.int
+            (Printf.sprintf "%s %s: checkpoints laid"
+               (Analysis.Sites.category_name category)
+               pname)
+            (Array.length plan)
+            (Array.length ff.Vulfi.Experiment.ff_checkpoints);
+          for k = 1 to hi do
+            let seed = 7000 + k in
+            let legacy =
+              Vulfi.Experiment.faulty_run p ~golden:g ~dynamic_site:k ~seed
+            in
+            let ff_r =
+              Vulfi.Experiment.faulty_run_ff p ~ff ~dynamic_site:k ~seed
+            in
+            check_runs_equal
+              (Printf.sprintf "%s %s site %d"
+                 (Analysis.Sites.category_name category)
+                 pname k)
+              legacy ff_r
+          done)
+        plans)
+    Analysis.Sites.all_categories
+
+(* Every fault kind through the resume path (the corruption draws its
+   RNG in the executed suffix, so kind must not matter to equivalence). *)
+let test_ff_fault_kinds_match () =
+  let kinds =
+    [
+      Vulfi.Runtime.Single_bit_flip;
+      Vulfi.Runtime.Multi_bit_flip 3;
+      Vulfi.Runtime.Random_value;
+      Vulfi.Runtime.Stuck_at_zero;
+    ]
+  in
+  let w = vcopy_workload [ 19 ] in
+  let p =
+    Vulfi.Experiment.prepare w Vir.Target.Avx Analysis.Sites.Pure_data
+  in
+  let pi = Vulfi.Experiment.prepare_input p ~input:0 in
+  let g = pi.Vulfi.Experiment.pi_golden in
+  let hi = min 12 g.Vulfi.Experiment.g_dyn_sites in
+  let plan =
+    Vulfi.Experiment.checkpoint_plan ~max_checkpoints:4
+      (List.init hi (fun i -> i + 1))
+  in
+  let ff = Vulfi.Experiment.lay_checkpoints p ~pi ~plan in
+  List.iter
+    (fun fault_kind ->
+      for k = 1 to hi do
+        let seed = 11000 + k in
+        let legacy =
+          Vulfi.Experiment.faulty_run ~fault_kind p ~golden:g ~dynamic_site:k
+            ~seed
+        in
+        let ff_r =
+          Vulfi.Experiment.faulty_run_ff ~fault_kind p ~ff ~dynamic_site:k
+            ~seed
+        in
+        check_runs_equal
+          (Printf.sprintf "%s site %d"
+             (Vulfi.Runtime.fault_kind_name fault_kind)
+             k)
+          legacy ff_r
+      done)
+    kinds
+
+(* QCheck differential: random (category, fault kind, plan density,
+   site, seed) — resume-from-checkpoint == fresh replay. Prepared
+   machines and laid checkpoints are cached per (category, density);
+   the property itself only runs the two faulty executions. *)
+let prop_ff_equals_legacy =
+  let categories = Array.of_list Analysis.Sites.all_categories in
+  let kinds =
+    [|
+      Vulfi.Runtime.Single_bit_flip;
+      Vulfi.Runtime.Multi_bit_flip 2;
+      Vulfi.Runtime.Random_value;
+      Vulfi.Runtime.Stuck_at_zero;
+    |]
+  in
+  let cache = Hashtbl.create 8 in
+  let cell_for cat_i density =
+    let key = (cat_i, density) in
+    match Hashtbl.find_opt cache key with
+    | Some c -> c
+    | None ->
+      let w = vcopy_workload [ 19 ] in
+      let p =
+        Vulfi.Experiment.prepare w Vir.Target.Avx categories.(cat_i)
+      in
+      let pi = Vulfi.Experiment.prepare_input p ~input:0 in
+      let g = pi.Vulfi.Experiment.pi_golden in
+      let hi = min 20 g.Vulfi.Experiment.g_dyn_sites in
+      let plan =
+        Vulfi.Experiment.checkpoint_plan ~max_checkpoints:density
+          (List.init hi (fun i -> i + 1))
+      in
+      let ff = Vulfi.Experiment.lay_checkpoints p ~pi ~plan in
+      let c = (p, g, ff, hi) in
+      Hashtbl.add cache key c;
+      c
+  in
+  Test.make ~name:"ff == legacy (random category/kind/plan/site/seed)"
+    ~count:120
+    (make
+       Gen.(
+         quad (int_range 0 (Array.length categories - 1))
+           (int_range 0 (Array.length kinds - 1))
+           (int_range 1 5) (pair (int_range 0 10_000) (int_range 0 10_000)))
+       ~print:(fun (c, k, d, (site, seed)) ->
+         Printf.sprintf "cat=%d kind=%d density=%d site_pick=%d seed=%d" c k
+           d site seed))
+    (fun (cat_i, kind_i, density, (site_pick, seed)) ->
+      let p, g, ff, hi = cell_for cat_i density in
+      let dynamic_site = 1 + (site_pick mod hi) in
+      let fault_kind = kinds.(kind_i) in
+      let legacy =
+        Vulfi.Experiment.faulty_run ~fault_kind p ~golden:g ~dynamic_site
+          ~seed
+      in
+      let ff_r =
+        Vulfi.Experiment.faulty_run_ff ~fault_kind p ~ff ~dynamic_site ~seed
+      in
+      Vulfi.Outcome.to_string legacy.Vulfi.Experiment.r_outcome
+      = Vulfi.Outcome.to_string ff_r.Vulfi.Experiment.r_outcome
+      && legacy.Vulfi.Experiment.r_dyn_instrs
+         = ff_r.Vulfi.Experiment.r_dyn_instrs
+      &&
+      match
+        (legacy.Vulfi.Experiment.r_injection, ff_r.Vulfi.Experiment.r_injection)
+      with
+      | Some a, Some b ->
+        a.Vulfi.Runtime.inj_static_site = b.Vulfi.Runtime.inj_static_site
+        && a.Vulfi.Runtime.inj_bit = b.Vulfi.Runtime.inj_bit
+        && Interp.Vvalue.equal a.Vulfi.Runtime.inj_after
+             b.Vulfi.Runtime.inj_after
+      | None, None -> true
+      | _ -> false)
+
 (* ---------------- legacy == checkpointed campaigns ---------------- *)
 
 let result_t : Vulfi.Campaign.result Alcotest.testable =
@@ -353,71 +590,155 @@ let tiny_config =
     seed = 99;
   }
 
-(* The acceptance bar of the PR: the checkpointed executor is
-   bit-identical to the paper-literal protocol — result record and trace
-   bytes — sequentially and across a domain pool. *)
-let test_campaign_checkpoint_matches_legacy () =
+(* The acceptance bar of the PR: all three executors are bit-identical
+   — result record and trace bytes — sequentially and across a domain
+   pool. *)
+let test_campaign_executors_match () =
   let w = vcopy_workload [ 8; 16; 19 ] in
   List.iter
     (fun category ->
-      let run_with ~checkpoint =
+      let run_with executor =
         let buf = Buffer.create 4096 in
         let sink = Vulfi.Trace.to_buffer buf in
         let r =
-          Vulfi.Campaign.run ~sink ~checkpoint tiny_config w Vir.Target.Avx
+          Vulfi.Campaign.run ~sink ~executor tiny_config w Vir.Target.Avx
             category
         in
         Vulfi.Trace.close sink;
         (r, Buffer.contents buf)
       in
-      let r_legacy, tr_legacy = run_with ~checkpoint:false in
-      let r_ckpt, tr_ckpt = run_with ~checkpoint:true in
+      let r_legacy, tr_legacy = run_with Vulfi.Campaign.Legacy in
+      let r_ckpt, tr_ckpt = run_with Vulfi.Campaign.Checkpointed in
+      let r_ff, tr_ff = run_with Vulfi.Campaign.Fast_forward in
       let name = Analysis.Sites.category_name category in
-      check result_t (name ^ ": results equal") r_legacy r_ckpt;
-      check Alcotest.string (name ^ ": traces byte-identical") tr_legacy
-        tr_ckpt;
-      (* the golden accounting is schedule-derived on both paths *)
+      check result_t (name ^ ": checkpointed results equal") r_legacy r_ckpt;
+      check result_t (name ^ ": fast-forward results equal") r_legacy r_ff;
+      check Alcotest.string
+        (name ^ ": checkpointed trace byte-identical")
+        tr_legacy tr_ckpt;
+      check Alcotest.string
+        (name ^ ": fast-forward trace byte-identical")
+        tr_legacy tr_ff;
+      (* the golden and fast-forward accounting is schedule-derived on
+         every path — the legacy run reports it too *)
       check Alcotest.int (name ^ ": golden runs + reused = experiments")
         r_ckpt.Vulfi.Campaign.c_totals.Vulfi.Campaign.n_experiments
         (r_ckpt.Vulfi.Campaign.c_golden_runs
-        + r_ckpt.Vulfi.Campaign.c_golden_reused))
+        + r_ckpt.Vulfi.Campaign.c_golden_reused);
+      check Alcotest.int
+        (name ^ ": legacy reports the same checkpoint count")
+        r_ff.Vulfi.Campaign.c_checkpoints
+        r_legacy.Vulfi.Campaign.c_checkpoints;
+      if r_ff.Vulfi.Campaign.c_checkpoints > 0 then
+        Alcotest.(check bool)
+          (name ^ ": some experiments resume")
+          true
+          (r_ff.Vulfi.Campaign.c_ff_resumed > 0))
     Analysis.Sites.all_categories
 
-let test_campaign_checkpoint_parallel_matches_legacy () =
+let test_campaign_executors_parallel_match () =
   let w = vcopy_workload [ 8; 16; 19 ] in
-  let buf_seq = Buffer.create 4096 and buf_par = Buffer.create 4096 in
-  let sink_seq = Vulfi.Trace.to_buffer buf_seq in
-  let r_legacy =
-    Vulfi.Campaign.run ~sink:sink_seq ~checkpoint:false tiny_config w
-      Vir.Target.Sse Analysis.Sites.Address
+  let trace_of f =
+    let buf = Buffer.create 4096 in
+    let sink = Vulfi.Trace.to_buffer buf in
+    let r = f sink in
+    Vulfi.Trace.close sink;
+    (r, Buffer.contents buf)
   in
-  Vulfi.Trace.close sink_seq;
-  let sink_par = Vulfi.Trace.to_buffer buf_par in
-  let r_par =
-    Vulfi.Campaign.run_parallel ~sink:sink_par ~checkpoint:true ~jobs:4
-      tiny_config w Vir.Target.Sse Analysis.Sites.Address
+  let r_legacy, tr_legacy =
+    trace_of (fun sink ->
+        Vulfi.Campaign.run ~sink ~executor:Vulfi.Campaign.Legacy tiny_config
+          w Vir.Target.Sse Analysis.Sites.Address)
   in
-  Vulfi.Trace.close sink_par;
-  check result_t "checkpointed -j4 == legacy sequential" r_legacy r_par;
-  check Alcotest.string "traces byte-identical" (Buffer.contents buf_seq)
-    (Buffer.contents buf_par)
+  let r_ckpt, tr_ckpt =
+    trace_of (fun sink ->
+        Vulfi.Campaign.run_parallel ~sink
+          ~executor:Vulfi.Campaign.Checkpointed ~jobs:4 tiny_config w
+          Vir.Target.Sse Analysis.Sites.Address)
+  in
+  let r_ff_seq, tr_ff_seq =
+    trace_of (fun sink ->
+        Vulfi.Campaign.run ~sink ~executor:Vulfi.Campaign.Fast_forward
+          tiny_config w Vir.Target.Sse Analysis.Sites.Address)
+  in
+  let r_ff_par, tr_ff_par =
+    trace_of (fun sink ->
+        Vulfi.Campaign.run_parallel ~sink
+          ~executor:Vulfi.Campaign.Fast_forward ~jobs:4 tiny_config w
+          Vir.Target.Sse Analysis.Sites.Address)
+  in
+  check result_t "checkpointed -j4 == legacy sequential" r_legacy r_ckpt;
+  check result_t "fast-forward sequential == legacy" r_legacy r_ff_seq;
+  check result_t "fast-forward -j4 == legacy" r_legacy r_ff_par;
+  check Alcotest.string "checkpointed -j4 trace byte-identical" tr_legacy
+    tr_ckpt;
+  check Alcotest.string "fast-forward trace byte-identical" tr_legacy
+    tr_ff_seq;
+  check Alcotest.string "fast-forward -j4 trace byte-identical" tr_legacy
+    tr_ff_par
 
 (* Stateful detector hooks ride the cached machines: h_reset/h_attach
-   run per experiment on both executors, so Fig 12 numbers agree too. *)
-let test_campaign_checkpoint_matches_legacy_with_detectors () =
+   run per experiment on every executor, so Fig 12 numbers agree too.
+   Fast_forward must silently degrade to Checkpointed here — detector
+   state lives outside the machine, so a resume would skip the prefix's
+   detector activity. *)
+let test_campaign_executors_match_with_detectors () =
   let w = vcopy_workload [ 8; 16; 19 ] in
   let transform =
     Detectors.Overhead.transform Detectors.Overhead.paper_detectors
   in
-  let legacy =
-    Vulfi.Campaign.run ~transform ~hooks:Detectors.Runtime.hooks
-      ~checkpoint:false tiny_config w Vir.Target.Avx Analysis.Sites.Control
+  let run_with executor =
+    Vulfi.Campaign.run ~transform ~hooks:Detectors.Runtime.hooks ~executor
+      tiny_config w Vir.Target.Avx Analysis.Sites.Control
   in
-  let ckpt =
-    Vulfi.Campaign.run ~transform ~hooks:Detectors.Runtime.hooks
-      ~checkpoint:true tiny_config w Vir.Target.Avx Analysis.Sites.Control
-  in
-  check result_t "detector campaign: checkpointed == legacy" legacy ckpt
+  let legacy = run_with Vulfi.Campaign.Legacy in
+  let ckpt = run_with Vulfi.Campaign.Checkpointed in
+  let ff = run_with Vulfi.Campaign.Fast_forward in
+  check result_t "detector campaign: checkpointed == legacy" legacy ckpt;
+  check result_t "detector campaign: fast-forward (fallback) == legacy"
+    legacy ff
+
+(* ---------------- stats + progress-line edges ---------------- *)
+
+(* Pin the small-sample confidence intervals: n < 2 must yield an
+   infinite margin (never 0 or nan — a one-campaign cell must not pass
+   the stopping rule), and n = 2 is the first finite interval, with
+   df 1 and t = 12.706. *)
+let test_confidence_small_samples () =
+  let m0, e0 = Vulfi.Stats.confidence [] in
+  check (Alcotest.float 0.0) "n=0 mean" 0.0 m0;
+  Alcotest.(check bool) "n=0 margin infinite" true (e0 = infinity);
+  let m1, e1 = Vulfi.Stats.confidence [ 0.25 ] in
+  check (Alcotest.float 0.0) "n=1 mean" 0.25 m1;
+  Alcotest.(check bool) "n=1 margin infinite" true (e1 = infinity);
+  let m2, e2 = Vulfi.Stats.confidence [ 0.2; 0.4 ] in
+  check (Alcotest.float 1e-12) "n=2 mean" 0.3 m2;
+  (* s = 0.1*sqrt(2), margin = 12.706 * s / sqrt(2) = 1.2706 *)
+  check (Alcotest.float 1e-9) "n=2 margin (t(1) = 12.706)" 1.2706 e2;
+  check (Alcotest.float 0.0) "confidence == margin_of_error"
+    (Vulfi.Stats.margin_of_error [ 0.2; 0.4 ])
+    e2;
+  Alcotest.(check bool)
+    "n=1 margin_of_error infinite" true
+    (Vulfi.Stats.margin_of_error [ 0.25 ] = infinity)
+
+(* Regression for the fig11 stderr reporter: the degenerate first tick
+   (nothing done yet and/or a zero elapsed reading from a coarse clock)
+   must print clamped values, never inf/nan. *)
+let test_progress_line_degenerate () =
+  let line = Vulfi.Report.progress_line ~label:"fig11" in
+  check Alcotest.string "first tick: nothing done, zero elapsed"
+    "fig11: 0/12 cells done, 0 experiments/s, ETA --"
+    (line ~done_cells:0 ~total_cells:12 ~done_exps:0 ~elapsed_s:0.0);
+  check Alcotest.string "zero elapsed with work done"
+    "fig11: 1/12 cells done, 0 experiments/s, ETA --"
+    (line ~done_cells:1 ~total_cells:12 ~done_exps:40 ~elapsed_s:0.0);
+  check Alcotest.string "normal tick"
+    "fig11: 3/12 cells done, 400 experiments/s, ETA 9 s"
+    (line ~done_cells:3 ~total_cells:12 ~done_exps:1200 ~elapsed_s:3.0);
+  check Alcotest.string "last tick: ETA 0"
+    "fig11: 12/12 cells done, 400 experiments/s, ETA 0 s"
+    (line ~done_cells:12 ~total_cells:12 ~done_exps:4800 ~elapsed_s:12.0)
 
 let () =
   Alcotest.run "checkpoint"
@@ -437,19 +758,34 @@ let () =
             test_reset_rerun_equals_fresh;
           Alcotest.test_case "reset re-arms budget" `Quick
             test_reset_rearms_budget;
+          Alcotest.test_case "reset ~spent prefix accounting" `Quick
+            test_reset_spent_accounting;
         ] );
       ( "experiment",
         [
           Alcotest.test_case "checkpointed faulty runs match" `Quick
             test_checkpointed_faulty_runs_match;
+          Alcotest.test_case "checkpoint plan" `Quick test_checkpoint_plan;
+          Alcotest.test_case "ff faulty runs match (dense + sparse plans)"
+            `Quick test_ff_faulty_runs_match;
+          Alcotest.test_case "ff faulty runs match (all fault kinds)" `Quick
+            test_ff_fault_kinds_match;
+          QCheck_alcotest.to_alcotest prop_ff_equals_legacy;
         ] );
       ( "campaign",
         [
-          Alcotest.test_case "checkpointed == legacy (all categories)"
-            `Quick test_campaign_checkpoint_matches_legacy;
-          Alcotest.test_case "checkpointed -j4 == legacy" `Quick
-            test_campaign_checkpoint_parallel_matches_legacy;
-          Alcotest.test_case "checkpointed == legacy (detectors)" `Quick
-            test_campaign_checkpoint_matches_legacy_with_detectors;
+          Alcotest.test_case "three executors match (all categories)" `Quick
+            test_campaign_executors_match;
+          Alcotest.test_case "three executors match (-j4)" `Quick
+            test_campaign_executors_parallel_match;
+          Alcotest.test_case "three executors match (detectors)" `Quick
+            test_campaign_executors_match_with_detectors;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "confidence small samples" `Quick
+            test_confidence_small_samples;
+          Alcotest.test_case "progress line degenerate ticks" `Quick
+            test_progress_line_degenerate;
         ] );
     ]

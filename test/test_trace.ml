@@ -290,6 +290,47 @@ let test_replay_rejects_bad_traces () =
   Alcotest.(check bool) "unknown outcome rejected" true
     (is_err (Report.replay_of_trace corrupted))
 
+(* Older traces must keep replaying: a v2 trace (no fast-forward
+   counters in the summary) and a v1 trace (no golden counters either)
+   are both accepted, with the missing counters defaulting to zero. *)
+let test_replay_accepts_older_schemas () =
+  let w = vcopy_workload [ 8 ] in
+  let live, text =
+    traced_run tiny_config w Vir.Target.Avx Analysis.Sites.Pure_data
+  in
+  let records = parse_trace text in
+  let strip_fields drop = function
+    | Json.Obj fields ->
+      Json.Obj (List.filter (fun (k, _) -> not (List.mem k drop)) fields)
+    | j -> j
+  in
+  let downgrade schema drop =
+    Json.Obj [ ("type", Json.String "header"); ("schema", Json.String schema) ]
+    :: List.map (strip_fields drop) (List.tl records)
+  in
+  let check_downgraded name trace =
+    match Report.replay_of_trace trace with
+    | Error msg -> Alcotest.fail (name ^ ": " ^ msg)
+    | Ok [ rp ] ->
+      let r = rp.Report.rp_result in
+      check Alcotest.string (name ^ ": fig11 row identical")
+        (Report.fig11_row live) (Report.fig11_row r);
+      Alcotest.(check bool)
+        (name ^ ": summary cross-check passed")
+        true
+        (rp.Report.rp_summary = `Match);
+      check Alcotest.int (name ^ ": ff counters default to 0") 0
+        (r.Campaign.c_checkpoints + r.Campaign.c_ff_resumed)
+    | Ok l ->
+      Alcotest.fail
+        (Printf.sprintf "%s: expected 1 cell, got %d" name (List.length l))
+  in
+  check_downgraded "v2"
+    (downgrade "vulfi-trace-v2" [ "checkpoints"; "ff_resumed" ]);
+  check_downgraded "v1"
+    (downgrade "vulfi-trace-v1"
+       [ "checkpoints"; "ff_resumed"; "golden_runs"; "golden_reused" ])
+
 let () =
   Alcotest.run "trace"
     [
@@ -317,5 +358,7 @@ let () =
             test_replay_matches_live;
           Alcotest.test_case "rejects bad traces" `Quick
             test_replay_rejects_bad_traces;
+          Alcotest.test_case "accepts older schemas" `Quick
+            test_replay_accepts_older_schemas;
         ] );
     ]
