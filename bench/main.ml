@@ -607,16 +607,46 @@ let baseline_pre_dps_bpi = "78.62"
 
 let interp_bench () =
   header
-    "VM throughput: dynamic instructions / second per benchmark \
-     (uninstrumented, input 0, AVX)";
+    (Printf.sprintf
+       "VM throughput: dynamic instructions / second per benchmark \
+        (uninstrumented, input 0, AVX, fusion %s)"
+       (if !Vulfi.Experiment.fusion_enabled then "on" else "off"));
   let reps = getenv_int "VULFI_INTERP_REPS" 5 in
-  let benches = Benchmarks.Registry.all in
+  (* VULFI_BENCH_ONLY=substr restricts the table to matching rows: used
+     by the profiling recipe in EXPERIMENTS.md to isolate one workload. *)
+  let benches =
+    match Sys.getenv_opt "VULFI_BENCH_ONLY" with
+    | None -> Benchmarks.Registry.all
+    | Some pat ->
+      List.filter
+        (fun (b : Benchmarks.Harness.benchmark) ->
+          let name =
+            String.lowercase_ascii b.Benchmarks.Harness.bench.Vulfi.Workload.w_name
+          in
+          let pat = String.lowercase_ascii pat in
+          let n = String.length name and p = String.length pat in
+          let rec at i = i + p <= n && (String.sub name i p = pat || at (i + 1)) in
+          at 0)
+        Benchmarks.Registry.all
+  in
+  let chains_annotated = ref 0 and chains_fused = ref 0 in
   let rows =
     List.map
       (fun (b : Benchmarks.Harness.benchmark) ->
         let w = (scale_workload b.Benchmarks.Harness.bench) in
         let m = w.Vulfi.Workload.w_build Vir.Target.Avx in
+        if !Vulfi.Experiment.fusion_enabled then begin
+          chains_annotated := !chains_annotated + Passes.Fuse.run_module m;
+          if Sys.getenv_opt "VULFI_FUSION_STATS" <> None then begin
+            Printf.printf "%s:" w.Vulfi.Workload.w_name;
+            List.iter
+              (fun (k, n) -> Printf.printf " %s=%d" k n)
+              (Passes.Fuse.rule_stats m);
+            print_newline ()
+          end
+        end;
         let code = Interp.Compile.compile_module m in
+        chains_fused := !chains_fused + Interp.Compile.fused_chain_count code;
         (* Timed region = Machine.run only: the metric is VM execution
            throughput; per-experiment state construction and input
            generation are excluded (identically for every interpreter
@@ -692,9 +722,14 @@ let interp_bench () =
   in
   Printf.printf "%-18s %33s  %8.2f M instr/s  %7.2f B/instr\n" "AGGREGATE" ""
     agg_mips agg_bpi;
+  Printf.printf "fused chains: %d of %d annotated\n" !chains_fused
+    !chains_annotated;
   let oc = open_out "BENCH_interp.json" in
-  Printf.fprintf oc "{\n  \"schema\": \"vulfi-interp-bench-v2\",\n";
+  Printf.fprintf oc "{\n  \"schema\": \"vulfi-interp-bench-v3\",\n";
   Printf.fprintf oc "  \"reps\": %d,\n" reps;
+  Printf.fprintf oc "  \"fusion\": %b,\n" !Vulfi.Experiment.fusion_enabled;
+  Printf.fprintf oc "  \"chains_annotated\": %d,\n" !chains_annotated;
+  Printf.fprintf oc "  \"chains_fused\": %d,\n" !chains_fused;
   Printf.fprintf oc "  \"aggregate_minstr_per_s\": %.3f,\n" agg_mips;
   Printf.fprintf oc "  \"aggregate_bytes_per_instr\": %.3f,\n" agg_bpi;
   (* Pre-DPS reference point (PR 4 tree, measured with this very
@@ -704,6 +739,11 @@ let interp_bench () =
     "  \"baseline_pre_dps\": {\"aggregate_minstr_per_s\": 26.114, \
      \"aggregate_bytes_per_instr\": %s},\n"
     baseline_pre_dps_bpi;
+  (* Pre-fusion reference point (PR 6 tree, same harness, right before
+     the superblock fusion backend landed). *)
+  Printf.fprintf oc
+    "  \"baseline_pre_fusion\": {\"aggregate_minstr_per_s\": 50.095, \
+     \"aggregate_bytes_per_instr\": 6.129},\n";
   Printf.fprintf oc "  \"benchmarks\": [\n";
   List.iteri
     (fun i (name, dyn, r, dt, mips, bpi) ->
@@ -948,6 +988,9 @@ let () =
       parse_args acc rest
     | "--ff-executor" :: rest ->
       executor := Vulfi.Campaign.Fast_forward;
+      parse_args acc rest
+    | "--no-fusion" :: rest ->
+      Vulfi.Experiment.fusion_enabled := false;
       parse_args acc rest
     | cmd :: rest -> parse_args (cmd :: acc) rest
   in

@@ -274,7 +274,8 @@ let print_cell ~detectors (r : Vulfi.Campaign.result) =
 
 let campaign_cmd =
   let run target category name experiments campaigns with_detectors
-      fault_kind jobs trace trace_timings legacy ff =
+      fault_kind jobs trace trace_timings legacy ff no_fusion =
+    if no_fusion then Vulfi.Experiment.fusion_enabled := false;
     if legacy && ff then begin
       prerr_endline
         "vulfi campaign: --legacy-executor and --ff-executor are mutually \
@@ -379,13 +380,22 @@ let campaign_cmd =
                  --detectors it silently degrades to the checkpointed \
                  executor (detector state lives outside the machine).")
   in
+  let no_fusion_arg =
+    Arg.(value & flag & info [ "no-fusion" ]
+           ~doc:"Disable the peephole fusion annotation pass before \
+                 threading (equivalent to VULFI_NO_FUSION=1). Fusion \
+                 only changes how the hot path is lowered, never what \
+                 it computes, so results and traces are byte-identical \
+                 either way; the flag exists for cross-checking and \
+                 timing comparisons.")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run a statistically sized fault-injection campaign")
     Term.(const run $ target_arg $ category_arg $ bench_arg
           $ experiments_arg $ campaigns_arg $ detectors_arg
           $ fault_kind_arg $ jobs_arg $ trace_arg $ trace_timings_arg
-          $ legacy_arg $ ff_arg)
+          $ legacy_arg $ ff_arg $ no_fusion_arg)
 
 (* ---------------- report ---------------- *)
 
@@ -494,8 +504,16 @@ let load_module target file =
       exit 1
 
 let opt_cmd =
-  let run target file do_constfold do_dce do_verify =
+  let run target file do_pipeline do_constfold do_dce do_verify =
     let m = load_module target file in
+    if do_pipeline then begin
+      List.iter
+        (fun (name, n) -> Printf.eprintf "; %s: %d\n" name n)
+        (Passes.Pipeline.run ~passes:Passes.Pipeline.optimizing m);
+      List.iter
+        (fun (rule, n) -> Printf.eprintf ";   fuse %s: %d\n" rule n)
+        (Passes.Fuse.rule_stats m)
+    end;
     if do_constfold then
       Printf.eprintf "; constfold: %d folds\n" (Passes.Constfold.run_module m);
     if do_dce then
@@ -511,6 +529,12 @@ let opt_cmd =
     end;
     print_string (Vir.Pp.module_to_string m)
   in
+  let pipeline_arg =
+    Arg.(value & flag & info [ "O"; "pipeline" ]
+           ~doc:"Run the optimizing pass pipeline (constfold, then the \
+                 fusion annotator) with per-pass statistics and \
+                 post-pass verification.")
+  in
   let constfold_arg =
     Arg.(value & flag & info [ "constfold" ] ~doc:"Run constant folding.")
   in
@@ -525,8 +549,8 @@ let opt_cmd =
        ~doc:
          "Load mini-ISPC source or textual VIR, run passes, print the VIR \
           (an opt-style pipeline)")
-    Term.(const run $ target_arg $ file_arg $ constfold_arg $ dce_arg
-          $ verify_arg)
+    Term.(const run $ target_arg $ file_arg $ pipeline_arg $ constfold_arg
+          $ dce_arg $ verify_arg)
 
 let () =
   let doc = "vector-oriented LLVM-style fault injector (VULFI reproduction)" in

@@ -1,0 +1,128 @@
+open Vir
+
+type rule =
+  | R_fbinop_fbinop
+  | R_ibinop_ibinop
+  | R_icmp_select
+  | R_fcmp_select
+  | R_cast_binop
+  | R_gep_load
+  | R_gep_store
+  | R_load_binop
+  | R_binop_store
+  | R_load_binop_store
+
+let rule_name = function
+  | R_fbinop_fbinop -> "fbinop_fbinop"
+  | R_ibinop_ibinop -> "ibinop_ibinop"
+  | R_icmp_select -> "icmp_select"
+  | R_fcmp_select -> "fcmp_select"
+  | R_cast_binop -> "cast_binop"
+  | R_gep_load -> "gep_load"
+  | R_gep_store -> "gep_store"
+  | R_load_binop -> "load_binop"
+  | R_binop_store -> "binop_store"
+  | R_load_binop_store -> "load_binop_store"
+
+let all_rules =
+  [
+    R_fbinop_fbinop; R_ibinop_ibinop; R_icmp_select; R_fcmp_select;
+    R_cast_binop; R_gep_load; R_gep_store; R_load_binop; R_binop_store;
+    R_load_binop_store;
+  ]
+
+type chain = { c_block : string; c_start : int; c_len : int; c_rule : rule }
+
+(* The execution body of a block as the threaded backend sees it: phis
+   run at block entry and the terminator last, whatever their physical
+   position, so chain adjacency is adjacency in this filtered list. *)
+let is_body_instr (i : Instr.t) =
+  match i.Instr.op with
+  | Instr.Phi _ | Instr.Br _ | Instr.Condbr _ | Instr.Ret _
+  | Instr.Unreachable ->
+    false
+  | _ -> true
+
+let uses_reg_op (o : Instr.operand) r =
+  match o with Instr.Reg (r', _) -> r' = r | Instr.Imm _ -> false
+
+(* [p]'s result is consumed by [c] and nothing else: exactly one textual
+   use in the whole function, and it is (physically) instruction [c].
+   One entry per occurrence in [Defuse.uses_of], so [op %r %r] yields
+   two sites and is rejected here. *)
+let links du (p : Instr.t) (c : Instr.t) =
+  Instr.defines p
+  &&
+  match Defuse.uses_of du p.Instr.id with
+  | [ site ] -> site.Defuse.u_instr == c
+  | _ -> false
+
+(* Classify an adjacent, def-use-linked (producer, consumer) pair. *)
+let pair_rule (p : Instr.t) (c : Instr.t) : rule option =
+  let r = p.Instr.id in
+  match (p.Instr.op, c.Instr.op) with
+  | Instr.Fbinop _, Instr.Fbinop _ -> Some R_fbinop_fbinop
+  | Instr.Ibinop _, Instr.Ibinop _ -> Some R_ibinop_ibinop
+  | Instr.Icmp _, Instr.Select (cond, _, _) when uses_reg_op cond r ->
+    Some R_icmp_select
+  | Instr.Fcmp _, Instr.Select (cond, _, _) when uses_reg_op cond r ->
+    Some R_fcmp_select
+  | Instr.Cast _, (Instr.Ibinop _ | Instr.Fbinop _) -> Some R_cast_binop
+  | Instr.Gep _, Instr.Load addr when uses_reg_op addr r -> Some R_gep_load
+  | Instr.Gep _, Instr.Store (_, ptr) when uses_reg_op ptr r ->
+    Some R_gep_store
+  | Instr.Load _, (Instr.Ibinop _ | Instr.Fbinop _) -> Some R_load_binop
+  | (Instr.Ibinop _ | Instr.Fbinop _), Instr.Store (v, _) when uses_reg_op v r
+    ->
+    Some R_binop_store
+  | _ -> None
+
+let find (f : Func.t) : chain list =
+  let du = Defuse.build f in
+  let out = ref [] in
+  List.iter
+    (fun (b : Block.t) ->
+      let body = Array.of_list (List.filter is_body_instr b.Block.instrs) in
+      let n = Array.length body in
+      let j = ref 0 in
+      while !j < n - 1 do
+        let p = body.(!j) and c = body.(!j + 1) in
+        let triple =
+          !j + 2 < n
+          &&
+          let s = body.(!j + 2) in
+          (match (p.Instr.op, c.Instr.op, s.Instr.op) with
+          | Instr.Load _, (Instr.Ibinop _ | Instr.Fbinop _), Instr.Store (v, _)
+            ->
+            uses_reg_op v c.Instr.id
+          | _ -> false)
+          && links du p c
+          && links du c body.(!j + 2)
+        in
+        if triple then begin
+          out :=
+            {
+              c_block = b.Block.label;
+              c_start = !j;
+              c_len = 3;
+              c_rule = R_load_binop_store;
+            }
+            :: !out;
+          j := !j + 3
+        end
+        else
+          match if links du p c then pair_rule p c else None with
+          | Some rule ->
+            out :=
+              {
+                c_block = b.Block.label;
+                c_start = !j;
+                c_len = 2;
+                c_rule = rule;
+              }
+              :: !out;
+            j := !j + 2
+          | None -> incr j
+      done)
+    f.Func.blocks;
+  List.rev !out

@@ -1,0 +1,46 @@
+(** Fusible straight-line chains inside basic blocks.
+
+    A chain is a run of adjacent non-phi, non-terminator instructions
+    whose intermediate results are each used exactly once, by the next
+    member of the chain. The interpreter's threading stage may lower an
+    annotated chain into one fused kernel; because every intermediate is
+    single-use, skipping its register-buffer write is unobservable.
+
+    Legality enforced here (the emitter re-checks shapes defensively):
+    - members are physically adjacent in the block's non-phi,
+      non-terminator body (the execution order of the threaded backend);
+    - every intermediate register has exactly one textual use in the
+      whole function, and that use is the next chain member (so
+      [a * a] never links — it reads the register twice);
+    - no calls, allocas or lane-shuffling instructions participate, so
+      a chain can neither swallow a fault-injection site nor reorder an
+      allocation. *)
+
+(** Which peephole rule a chain matched; names key the per-rule
+    differential equivalence tests and the pipeline statistics. *)
+type rule =
+  | R_fbinop_fbinop  (** fmul→fadd style float chains *)
+  | R_ibinop_ibinop  (** integer op chains (consumer may trap) *)
+  | R_icmp_select
+  | R_fcmp_select
+  | R_cast_binop
+  | R_gep_load
+  | R_gep_store
+  | R_load_binop
+  | R_binop_store
+  | R_load_binop_store  (** the three-member load→op→store chain *)
+
+val rule_name : rule -> string
+val all_rules : rule list
+
+type chain = {
+  c_block : string;  (** block label *)
+  c_start : int;  (** index into the non-phi, non-terminator body *)
+  c_len : int;  (** 2 or 3 *)
+  c_rule : rule;
+}
+
+(** Greedy left-to-right scan of every block: at each position the
+    three-member rule is tried first, then the two-member rules; chain
+    members never overlap. *)
+val find : Vir.Func.t -> chain list

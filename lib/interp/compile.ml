@@ -147,6 +147,10 @@ and cmodule = {
      handler table is indexed by these slots. *)
   extern_index : (string, int) Hashtbl.t;
   n_extern_slots : int;
+  mutable n_fused_chains : int;
+      (** chains from [Func.fuse_chains] actually lowered as fused
+          kernels by the threading stage (advisory annotations that
+          fail the emitter's defensive re-checks are skipped) *)
 }
 
 and state = {
@@ -191,7 +195,7 @@ let compile_operand (o : Vir.Instr.operand) =
 (* Shared template filler for register slots without a static def
    (unreachable under verified SSA). Frames copy the template, so the
    shared value itself is never written. *)
-let default_value = Vvalue.I (Vir.Vtype.I32, [| 0L |])
+let default_value = Vvalue.I (Vir.Vtype.I32, Ilanes.make 1 0L)
 
 let compile_func ~(func_id : int) (f : Vir.Func.t) : cfunc =
   let blocks = Array.of_list f.Vir.Func.blocks in
@@ -346,7 +350,7 @@ let exec_cfunc (st : state) (cf : cfunc) (regs : Vvalue.t array) :
     | Ct_br next -> go cur next
     | Ct_condbr_reg (r, l1, l2) -> (
       match Array.unsafe_get regs r with
-      | Vvalue.I (_, [| x |]) -> if x <> 0L then go cur l1 else go cur l2
+      | Vvalue.I (_, ba) -> if Ilanes.unsafe_get ba 0 <> 0L then go cur l1 else go cur l2
       | v -> if Vvalue.as_bool v then go cur l1 else go cur l2)
     | Ct_condbr (c, l1, l2) ->
       if Vvalue.as_bool (c regs) then go cur l1 else go cur l2
@@ -486,7 +490,7 @@ let exec_tracked (st : state) (cf : cfunc) (regs : Vvalue.t array)
       | Ct_br next -> go cur next
       | Ct_condbr_reg (r, l1, l2) -> (
         match Array.unsafe_get tf.tf_regs r with
-        | Vvalue.I (_, [| x |]) -> if x <> 0L then go cur l1 else go cur l2
+        | Vvalue.I (_, ba) -> if Ilanes.unsafe_get ba 0 <> 0L then go cur l1 else go cur l2
         | v -> if Vvalue.as_bool v then go cur l1 else go cur l2)
       | Ct_condbr (c, l1, l2) ->
         if Vvalue.as_bool (c tf.tf_regs) then go cur l1 else go cur l2
@@ -517,7 +521,7 @@ let exec_cfunc_resume (st : state) (cf : cfunc) (regs : Vvalue.t array)
     | Ct_br next -> go cur next
     | Ct_condbr_reg (r, l1, l2) -> (
       match Array.unsafe_get regs r with
-      | Vvalue.I (_, [| x |]) -> if x <> 0L then go cur l1 else go cur l2
+      | Vvalue.I (_, ba) -> if Ilanes.unsafe_get ba 0 <> 0L then go cur l1 else go cur l2
       | v -> if Vvalue.as_bool v then go cur l1 else go cur l2)
     | Ct_condbr (c, l1, l2) ->
       if Vvalue.as_bool (c regs) then go cur l1 else go cur l2
@@ -535,7 +539,7 @@ let exec_cfunc_resume (st : state) (cf : cfunc) (regs : Vvalue.t array)
   | Ct_br next -> go block next
   | Ct_condbr_reg (r, l1, l2) -> (
     match Array.unsafe_get regs r with
-    | Vvalue.I (_, [| x |]) -> if x <> 0L then go block l1 else go block l2
+    | Vvalue.I (_, ba) -> if Ilanes.unsafe_get ba 0 <> 0L then go block l1 else go block l2
     | v -> if Vvalue.as_bool v then go block l1 else go block l2)
   | Ct_condbr (c, l1, l2) ->
     if Vvalue.as_bool (c regs) then go block l1 else go block l2
@@ -605,10 +609,10 @@ let getter : coperand -> tgetter = function
    the destination buffer, no closure capture or Array.init dispatch on
    the dynamic path, no allocation. Safe indexing on the operands keeps
    the original failure mode on a shape-confused value. *)
-let map2_int_into (f : int64 -> int64 -> int64) (a : int64 array)
-    (b : int64 array) (o : int64 array) : unit =
-  for i = 0 to Array.length o - 1 do
-    Array.unsafe_set o i (f a.(i) b.(i))
+let map2_int_into (f : int64 -> int64 -> int64) (a : Ilanes.t)
+    (b : Ilanes.t) (o : Ilanes.t) : unit =
+  for i = 0 to Ilanes.length o - 1 do
+    Ilanes.unsafe_set o i (f (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i))
   done
 
 let map2_float_into (f : float -> float -> float) (a : float array)
@@ -618,9 +622,9 @@ let map2_float_into (f : float -> float -> float) (a : float array)
   done
 
 let map2_float_int_into (f : float -> float -> int64) (a : float array)
-    (b : float array) (o : int64 array) : unit =
-  for i = 0 to Array.length o - 1 do
-    Array.unsafe_set o i (f a.(i) b.(i))
+    (b : float array) (o : Ilanes.t) : unit =
+  for i = 0 to Ilanes.length o - 1 do
+    Ilanes.unsafe_set o i (f a.(i) b.(i))
   done
 
 (* Static element kind of an operand, for pre-specialization. The
@@ -644,7 +648,7 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
   let chg = if ci.cvec then charge_vec else charge in
   match i.Vir.Instr.op with
   | Vir.Instr.Ibinop (k, _, _) -> (
-    let f = Eval.ibinop_fn k (Vir.Vtype.elem i.Vir.Instr.ty) in
+    let ik = Eval.ibinop_into_fn k (Vir.Vtype.elem i.Vir.Instr.ty) in
     let bad () = invalid_arg "Machine: ibinop on floats" in
     if Vir.Vtype.lanes i.Vir.Instr.ty = 1 then
       (* Scalar loop arithmetic is the single hottest instruction class;
@@ -661,27 +665,27 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
                Array.unsafe_get regs rb,
                Array.unsafe_get regs dst )
            with
-          | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) ->
-            Array.unsafe_set o 0
-              (f (Array.unsafe_get a 0) (Array.unsafe_get b 0))
+          | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) -> ik a b o
           | _ -> bad ())
-      | Creg ra, Cimm (Vvalue.I (_, [| bv |])) ->
+      | Creg ra, Cimm (Vvalue.I (_, __imm)) when Ilanes.length __imm = 1 ->
+        (* The immediate payload lives in its own 1-lane buffer so the
+           kernel sees only flat buffers: no per-call boxing. *)
+        let ib = Ilanes.copy __imm in
         fun st ->
         let regs = st.regs in
           st.fuel <- st.fuel - 1;
           if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
           (match (Array.unsafe_get regs ra, Array.unsafe_get regs dst) with
-          | Vvalue.I (_, a), Vvalue.I (_, o) ->
-            Array.unsafe_set o 0 (f (Array.unsafe_get a 0) bv)
+          | Vvalue.I (_, a), Vvalue.I (_, o) -> ik a ib o
           | _ -> bad ())
-      | Cimm (Vvalue.I (_, [| av |])), Creg rb ->
+      | Cimm (Vvalue.I (_, __imm)), Creg rb when Ilanes.length __imm = 1 ->
+        let ia = Ilanes.copy __imm in
         fun st ->
         let regs = st.regs in
           st.fuel <- st.fuel - 1;
           if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
           (match (Array.unsafe_get regs rb, Array.unsafe_get regs dst) with
-          | Vvalue.I (_, b), Vvalue.I (_, o) ->
-            Array.unsafe_set o 0 (f av (Array.unsafe_get b 0))
+          | Vvalue.I (_, b), Vvalue.I (_, o) -> ik ia b o
           | _ -> bad ())
       | o1, o2 ->
         let ga = getter o1 and gb = getter o2 in
@@ -690,8 +694,7 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
           st.fuel <- st.fuel - 1;
           if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
           (match (ga regs, gb regs, Array.unsafe_get regs dst) with
-          | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) ->
-            o.(0) <- f a.(0) b.(0)
+          | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) -> ik a b o
           | _ -> bad ())
     else
       let ga = getter ops.(0) and gb = getter ops.(1) in
@@ -701,8 +704,7 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
         if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
         st.dyn_vector <- st.dyn_vector + 1;
         (match (ga regs, gb regs, Array.unsafe_get regs dst) with
-        | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) ->
-          map2_int_into f a b o
+        | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) -> ik a b o
         | _ -> bad ()))
   | Vir.Instr.Fbinop (k, _, _) -> (
     let s = Vir.Vtype.elem i.Vir.Instr.ty in
@@ -769,7 +771,7 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
         | _ -> bad ()))
   | Vir.Instr.Icmp (p, _, _) -> (
     let s = op_scalar i 0 in
-    let f = Eval.icmp_fn p s in
+    let ick = Eval.icmp_into_fn p s in
     let bad () = invalid_arg "Machine: icmp on floats" in
     let lanes =
       Vir.Vtype.lanes
@@ -787,18 +789,16 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
                Array.unsafe_get regs rb,
                Array.unsafe_get regs dst )
            with
-          | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) ->
-            Array.unsafe_set o 0
-              (f (Array.unsafe_get a 0) (Array.unsafe_get b 0))
+          | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) -> ick a b o
           | _ -> bad ())
-      | Creg ra, Cimm (Vvalue.I (_, [| bv |])) ->
+      | Creg ra, Cimm (Vvalue.I (_, __imm)) when Ilanes.length __imm = 1 ->
+        let ib = Ilanes.copy __imm in
         fun st ->
         let regs = st.regs in
           st.fuel <- st.fuel - 1;
           if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
           (match (Array.unsafe_get regs ra, Array.unsafe_get regs dst) with
-          | Vvalue.I (_, a), Vvalue.I (_, o) ->
-            Array.unsafe_set o 0 (f (Array.unsafe_get a 0) bv)
+          | Vvalue.I (_, a), Vvalue.I (_, o) -> ick a ib o
           | _ -> bad ())
       | o1, o2 ->
         let ga = getter o1 and gb = getter o2 in
@@ -807,8 +807,7 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
           st.fuel <- st.fuel - 1;
           if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
           (match (ga regs, gb regs, Array.unsafe_get regs dst) with
-          | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) ->
-            o.(0) <- f a.(0) b.(0)
+          | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) -> ick a b o
           | _ -> bad ())
     else
       let ga = getter ops.(0) and gb = getter ops.(1) in
@@ -818,11 +817,10 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
         if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
         st.dyn_vector <- st.dyn_vector + 1;
         (match (ga regs, gb regs, Array.unsafe_get regs dst) with
-        | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) ->
-          map2_int_into f a b o
+        | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) -> ick a b o
         | _ -> bad ()))
   | Vir.Instr.Fcmp (p, _, _) -> (
-    let f = Eval.fcmp_fn p in
+    let fck = Eval.fcmp_into_fn p in
     let bad () = invalid_arg "Machine: fcmp on ints" in
     let lanes =
       Vir.Vtype.lanes
@@ -835,8 +833,7 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
         st.fuel <- st.fuel - 1;
         if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
         (match (ga regs, gb regs, Array.unsafe_get regs dst) with
-        | Vvalue.F (_, a), Vvalue.F (_, b), Vvalue.I (_, o) ->
-          o.(0) <- f a.(0) b.(0)
+        | Vvalue.F (_, a), Vvalue.F (_, b), Vvalue.I (_, o) -> fck a b o
         | _ -> bad ())
     else
       let ga = getter ops.(0) and gb = getter ops.(1) in
@@ -846,8 +843,7 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
         if st.fuel < 0 then Trap.raise_ Trap.Budget_exhausted;
         st.dyn_vector <- st.dyn_vector + 1;
         (match (ga regs, gb regs, Array.unsafe_get regs dst) with
-        | Vvalue.F (_, a), Vvalue.F (_, b), Vvalue.I (_, o) ->
-          map2_float_int_into f a b o
+        | Vvalue.F (_, a), Vvalue.F (_, b), Vvalue.I (_, o) -> fck a b o
         | _ -> bad ()))
   | Vir.Instr.Select _ ->
     let gc = getter ops.(0)
@@ -868,17 +864,22 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
       fun st ->
         let regs = st.regs in
         chg st;
-        let c = gc regs in
-        (match (gx regs, gy regs, Array.unsafe_get regs dst) with
-        | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) ->
-          for ix = 0 to Array.length o - 1 do
-            o.(ix) <- (if Vvalue.is_true_lane c ix then a.(ix) else b.(ix))
-          done
-        | Vvalue.F (_, a), Vvalue.F (_, b), Vvalue.F (_, o) ->
-          for ix = 0 to Array.length o - 1 do
-            o.(ix) <- (if Vvalue.is_true_lane c ix then a.(ix) else b.(ix))
-          done
-        | _ -> invalid_arg "Machine: select arm kind mismatch")
+        (match gc regs with
+        | Vvalue.I (_, c) ->
+          (match (gx regs, gy regs, Array.unsafe_get regs dst) with
+          | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) ->
+            for ix = 0 to Ilanes.length o - 1 do
+              Ilanes.unsafe_set o ix
+                (if Ilanes.unsafe_get c ix <> 0L then Ilanes.unsafe_get a ix
+                 else Ilanes.unsafe_get b ix)
+            done
+          | Vvalue.F (_, a), Vvalue.F (_, b), Vvalue.F (_, o) ->
+            for ix = 0 to Array.length o - 1 do
+              o.(ix) <-
+                (if Ilanes.unsafe_get c ix <> 0L then a.(ix) else b.(ix))
+            done
+          | _ -> invalid_arg "Machine: select arm kind mismatch")
+        | Vvalue.F _ -> invalid_arg "Machine: select on float mask")
   | Vir.Instr.Cast (k, _) ->
     let f =
       Eval.cast_into_fn k ~src:(op_scalar i 0) ~dst_ty:i.Vir.Instr.ty
@@ -895,7 +896,8 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
         let regs = st.regs in
       chg st;
       (match Array.unsafe_get regs dst with
-      | Vvalue.I (_, o) -> o.(0) <- Memory.alloc st.mem ~name ~bytes
+      | Vvalue.I (_, o) ->
+        Ilanes.unsafe_set o 0 (Memory.alloc st.mem ~name ~bytes)
       | _ -> invalid_arg "Machine: alloca destination kind mismatch")
   | Vir.Instr.Load _ -> (
     let ld = Memory.loader_into i.Vir.Instr.ty in
@@ -906,7 +908,7 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
         chg st;
         let addr =
           match Array.unsafe_get regs rp with
-          | Vvalue.I (_, [| x |]) -> x
+          | Vvalue.I (_, ia) -> Ilanes.unsafe_get ia 0
           | v -> Vvalue.as_int v
         in
         ld st.mem addr (Array.unsafe_get regs dst)
@@ -928,7 +930,7 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
         chg st;
         let addr =
           match Array.unsafe_get regs rp with
-          | Vvalue.I (_, [| x |]) -> x
+          | Vvalue.I (_, ia) -> Ilanes.unsafe_get ia 0
           | v -> Vvalue.as_int v
         in
         stv st.mem (Array.unsafe_get regs rv) addr
@@ -948,15 +950,16 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
         chg st;
         let base =
           match Array.unsafe_get regs rb with
-          | Vvalue.I (_, [| x |]) -> x
+          | Vvalue.I (_, ia) -> Ilanes.unsafe_get ia 0
           | v -> Vvalue.as_int v
         and idx =
           match Array.unsafe_get regs ri with
-          | Vvalue.I (_, [| x |]) -> x
+          | Vvalue.I (_, ia) -> Ilanes.unsafe_get ia 0
           | v -> Vvalue.as_int v
         in
         (match Array.unsafe_get regs dst with
-        | Vvalue.I (_, o) -> o.(0) <- Int64.add base (Int64.mul idx eb)
+        | Vvalue.I (_, o) ->
+          Ilanes.unsafe_set o 0 (Int64.add base (Int64.mul idx eb))
         | _ -> bad ())
     | Creg rb, Cimm iv ->
       let off = Int64.mul (Vvalue.as_int iv) eb in
@@ -965,11 +968,11 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
         chg st;
         let base =
           match Array.unsafe_get regs rb with
-          | Vvalue.I (_, [| x |]) -> x
+          | Vvalue.I (_, ia) -> Ilanes.unsafe_get ia 0
           | v -> Vvalue.as_int v
         in
         (match Array.unsafe_get regs dst with
-        | Vvalue.I (_, o) -> o.(0) <- Int64.add base off
+        | Vvalue.I (_, o) -> Ilanes.unsafe_set o 0 (Int64.add base off)
         | _ -> bad ())
     | o1, o2 ->
       let gb = getter o1 and gi = getter o2 in
@@ -981,7 +984,7 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
             (Int64.mul (Vvalue.as_int (gi regs)) eb)
         in
         (match Array.unsafe_get regs dst with
-        | Vvalue.I (_, o) -> o.(0) <- p
+        | Vvalue.I (_, o) -> Ilanes.unsafe_set o 0 p
         | _ -> bad ()))
   | Vir.Instr.Extractelement _ ->
     let gv = getter ops.(0) and gi = getter ops.(1) in
@@ -993,7 +996,8 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
       if ix < 0 || ix >= Vvalue.lanes v then Trap.raise_ (Trap.Invalid_lane ix)
       else (
         match (v, Array.unsafe_get regs dst) with
-        | Vvalue.I (_, a), Vvalue.I (_, o) -> o.(0) <- a.(ix)
+        | Vvalue.I (_, a), Vvalue.I (_, o) ->
+          Ilanes.unsafe_set o 0 (Ilanes.get a ix)
         | Vvalue.F (_, a), Vvalue.F (_, o) -> o.(0) <- a.(ix)
         | _ -> invalid_arg "Machine: extractelement kind mismatch")
   | Vir.Instr.Insertelement _ ->
@@ -1008,24 +1012,38 @@ let rec thread_instr (cm : cmodule) (cf : cfunc) (ci : cinstr) : texec =
       if ix < 0 || ix >= Vvalue.lanes v then Trap.raise_ (Trap.Invalid_lane ix)
       else (
         match (v, e, Array.unsafe_get regs dst) with
-        | Vvalue.I (_, a), Vvalue.I (_, [| x |]), Vvalue.I (_, o) ->
-          Array.blit a 0 o 0 (Array.length o);
-          o.(ix) <- Bits.truncate s x
+        | Vvalue.I (_, a), Vvalue.I (_, e), Vvalue.I (_, o) ->
+          Ilanes.blit a 0 o 0 (Ilanes.length o);
+          Ilanes.set o ix (Bits.truncate s (Ilanes.unsafe_get e 0))
         | Vvalue.F (_, a), Vvalue.F (_, [| x |]), Vvalue.F (_, o) ->
           Array.blit a 0 o 0 (Array.length o);
           o.(ix) <- Bits.round_float s x
         | _ -> invalid_arg "Vvalue.insert: kind mismatch")
   | Vir.Instr.Shufflevector (_, _, mask) ->
     let ga = getter ops.(0) and gb = getter ops.(1) in
+    (* The verifier bounds every mask index by the operand lane counts,
+       so validate once here against the static operand type and run
+       the per-lane loop on unchecked accesses. *)
+    let src_lanes =
+      Vir.Vtype.lanes
+        (Vir.Instr.operand_ty (List.hd (Vir.Instr.operands i)))
+    in
+    Array.iter
+      (fun ix ->
+        if ix < 0 || ix >= 2 * src_lanes then
+          invalid_arg "Machine: shufflevector mask out of bounds")
+      mask;
     fun st ->
         let regs = st.regs in
       chg st;
       (match (ga regs, gb regs, Array.unsafe_get regs dst) with
       | Vvalue.I (_, xa), Vvalue.I (_, xb), Vvalue.I (_, o) ->
-        let n = Array.length xa in
-        for j = 0 to Array.length o - 1 do
+        let n = Ilanes.length xa in
+        for j = 0 to Ilanes.length o - 1 do
           let ix = Array.unsafe_get mask j in
-          o.(j) <- (if ix < n then xa.(ix) else xb.(ix - n))
+          Ilanes.unsafe_set o j
+            (if ix < n then Ilanes.unsafe_get xa ix
+             else Ilanes.unsafe_get xb (ix - n))
         done
       | Vvalue.F (_, xa), Vvalue.F (_, xb), Vvalue.F (_, o) ->
         let n = Array.length xa in
@@ -1154,7 +1172,7 @@ and thread_call (cm : cmodule) (ci : cinstr) (callee : string)
           chg st;
           (match (g0 regs, Array.unsafe_get regs dst) with
           | Vvalue.I (s, lanes), Vvalue.I (_, o) ->
-            o.(0) <- Eval.reduce_iadd s lanes
+            Ilanes.unsafe_set o 0 (Eval.reduce_iadd s lanes)
           | _ -> bad ())
       | "or", [| g0 |] when not is_float ->
         fun st ->
@@ -1162,7 +1180,7 @@ and thread_call (cm : cmodule) (ci : cinstr) (callee : string)
           chg st;
           (match (g0 regs, Array.unsafe_get regs dst) with
           | Vvalue.I (_, lanes), Vvalue.I (_, o) ->
-            o.(0) <- Eval.reduce_or lanes
+            Ilanes.unsafe_set o 0 (Eval.reduce_or lanes)
           | _ -> bad ())
       | "min", [| g0 |] when is_float ->
         fun st ->
@@ -1186,7 +1204,7 @@ and thread_call (cm : cmodule) (ci : cinstr) (callee : string)
           chg st;
           (match (g0 regs, Array.unsafe_get regs dst) with
           | Vvalue.I (_, lanes), Vvalue.I (_, o) ->
-            o.(0) <- Eval.reduce_imin lanes
+            Ilanes.unsafe_set o 0 (Eval.reduce_imin lanes)
           | _ -> bad ())
       | "max", [| g0 |] ->
         fun st ->
@@ -1194,7 +1212,7 @@ and thread_call (cm : cmodule) (ci : cinstr) (callee : string)
           chg st;
           (match (g0 regs, Array.unsafe_get regs dst) with
           | Vvalue.I (_, lanes), Vvalue.I (_, o) ->
-            o.(0) <- Eval.reduce_imax lanes
+            Ilanes.unsafe_set o 0 (Eval.reduce_imax lanes)
           | _ -> bad ())
       | _ ->
         fun st ->
@@ -1450,6 +1468,422 @@ let rec compose_body (body : texec array) lo hi : texec =
       a st;
       b st
 
+(* ------------------------------------------------------------------ *)
+(* Fused superblock kernels.
+
+   [thread_chain] lowers a chain annotated by the fusion pass
+   ([Func.fuse_chains], computed by [Analysis.Chains]) into ONE closure
+   covering all members. The legality argument:
+
+   - every intermediate register is single-use (its only reader is the
+     next chain member), so skipping — or keeping, for load/store
+     members — its buffer write is unobservable; fused kernels pass
+     pure intermediates as OCaml locals instead;
+   - fuel is still charged ONCE PER MEMBER, through the member's own
+     scalar/vector variant, so [dyn_count]/[dyn_vector] and the
+     [Budget_exhausted] trap point are bit-identical to unfused
+     execution;
+   - when the producer can trap (loads, the integer divide family),
+     charges stay strictly interleaved with member execution so a trap
+     leaves the same fuel as unfused stepping. Pure producers allow
+     grouping the charges up front: the only state a reordered trap
+     could expose is a partial register write, which is unobservable;
+   - the tracked executor and the resume path use [t_steps], which is
+     NEVER fused — fault sites and checkpoint positions stay per
+     original instruction.
+
+   The emitter re-checks every structural assumption (operand
+   positions, lane counts, value kinds) and returns [None] when
+   anything is off — annotations are advisory, and an unfused fallback
+   is always correct. *)
+
+let divlike = function
+  | Vir.Instr.Sdiv | Vir.Instr.Srem | Vir.Instr.Udiv | Vir.Instr.Urem -> true
+  | Vir.Instr.Add | Vir.Instr.Sub | Vir.Instr.Mul | Vir.Instr.And
+  | Vir.Instr.Or | Vir.Instr.Xor | Vir.Instr.Shl | Vir.Instr.Lshr
+  | Vir.Instr.Ashr ->
+    false
+
+let as_int_slot (v : Vvalue.t) : int64 =
+  match v with
+  | Vvalue.I (_, a) when Ilanes.length a = 1 -> Ilanes.unsafe_get a 0
+  | v -> Vvalue.as_int v
+
+let uses_creg (o : coperand) (r : int) =
+  match o with Creg r' -> r' = r | Cimm _ -> false
+
+(* An in-place binop kernel for the chain members that keep their
+   destination buffer (the binop of load→op, op→store and
+   load→op→store chains). *)
+let binop_kernel (ci : cinstr) : (Vvalue.t -> Vvalue.t -> Vvalue.t -> unit)
+    option =
+  let i = ci.src in
+  let scalar = Vir.Vtype.lanes i.Vir.Instr.ty = 1 in
+  match i.Vir.Instr.op with
+  | Vir.Instr.Ibinop (k, _, _) ->
+    let ik = Eval.ibinop_into_fn k (Vir.Vtype.elem i.Vir.Instr.ty) in
+    Some
+      (fun va vb vo ->
+        match (va, vb, vo) with
+        | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, o) -> ik a b o
+        | _ -> invalid_arg "Machine: fused ibinop kind mismatch")
+  | Vir.Instr.Fbinop (k, _, _) ->
+    let s = Vir.Vtype.elem i.Vir.Instr.ty in
+    let f = Eval.fbinop_fn k s in
+    let vmap =
+      match Eval.fbinop_vec_into_fn k s with
+      | Some vf -> vf
+      | None -> map2_float_into f
+    in
+    Some
+      (fun va vb vo ->
+        match (va, vb, vo) with
+        | Vvalue.F (_, a), Vvalue.F (_, b), Vvalue.F (_, o) ->
+          if scalar then o.(0) <- f a.(0) b.(0) else vmap a b o
+        | _ -> invalid_arg "Machine: fused fbinop kind mismatch")
+  | _ -> None
+
+let thread_chain (body : cinstr array) (s : int) (len : int) : texec option =
+  let p = body.(s) and c = body.(s + 1) in
+  let pi = p.src and ci = c.src in
+  let chg1 = if p.cvec then charge_vec else charge in
+  let chg2 = if c.cvec then charge_vec else charge in
+  (* Which consumer operand reads the producer's register; exactly one
+     must (two occurrences would mean two uses — not a legal chain). *)
+  let puse k = k < Array.length c.ops && uses_creg c.ops.(k) p.dst in
+  if len = 3 then (
+    (* load → binop → store, buffers kept for the trappy endpoints *)
+    let st3 = body.(s + 2) in
+    let chg3 = if st3.cvec then charge_vec else charge in
+    match (pi.Vir.Instr.op, st3.src.Vir.Instr.op, binop_kernel c) with
+    | Vir.Instr.Load _, Vir.Instr.Store _, Some bk
+      when (puse 0 || puse 1)
+           && not (puse 0 && puse 1)
+           && uses_creg st3.ops.(0) c.dst
+           && not (uses_creg st3.ops.(1) c.dst) ->
+      let ld = Memory.loader_into pi.Vir.Instr.ty in
+      let stv =
+        Memory.storer
+          (Vir.Instr.operand_ty (List.hd (Vir.Instr.operands st3.src)))
+      in
+      let gp = getter p.ops.(0) in
+      let g0 = getter c.ops.(0) and g1 = getter c.ops.(1) in
+      let gsp = getter st3.ops.(1) in
+      Some
+        (fun st ->
+          let regs = st.regs in
+          chg1 st;
+          ld st.mem (as_int_slot (gp regs)) (Array.unsafe_get regs p.dst);
+          chg2 st;
+          bk (g0 regs) (g1 regs) (Array.unsafe_get regs c.dst);
+          chg3 st;
+          stv st.mem (Array.unsafe_get regs c.dst) (as_int_slot (gsp regs)))
+    | _ -> None)
+  else
+    let lanes_match =
+      Vir.Vtype.lanes pi.Vir.Instr.ty = Vir.Vtype.lanes ci.Vir.Instr.ty
+    in
+    match (pi.Vir.Instr.op, ci.Vir.Instr.op) with
+    | Vir.Instr.Fbinop (k1, _, _), Vir.Instr.Fbinop (k2, _, _)
+      when (puse 0 || puse 1) && not (puse 0 && puse 1) && lanes_match -> (
+      (* Only the op/kind combinations with a specialized allocation-free
+         fused kernel are worth fusing; the generic closure-composed
+         form boxes floats per lane and would regress both time and the
+         allocation gate. *)
+      match
+        Eval.fbinop_fused_vec_into_fn
+          (Vir.Vtype.elem ci.Vir.Instr.ty)
+          ~k1 ~k2 ~first:(puse 0)
+      with
+      | None -> None
+      | Some fk ->
+        let ga = getter p.ops.(0) and gb = getter p.ops.(1) in
+        let go = getter c.ops.(if puse 0 then 1 else 0) in
+        let bad () = invalid_arg "Machine: fused fbinop kind mismatch" in
+        Some
+          (fun st ->
+            let regs = st.regs in
+            chg1 st;
+            chg2 st;
+            match (ga regs, gb regs, go regs, Array.unsafe_get regs c.dst) with
+            | ( Vvalue.F (_, a),
+                Vvalue.F (_, b),
+                Vvalue.F (_, cc),
+                Vvalue.F (_, o) ) ->
+              fk a b cc o
+            | _ -> bad ()))
+    | Vir.Instr.Ibinop (k1, _, _), Vir.Instr.Ibinop (k2, _, _)
+      when (puse 0 || puse 1) && not (puse 0 && puse 1) && lanes_match ->
+      (* Both members run through their specialized destination-passing
+         kernels, with the producer's own (single-use) register buffer
+         as the intermediate -- the write there is unobservable, and no
+         lane value ever crosses a closure boundary. *)
+      let ik1 = Eval.ibinop_into_fn k1 (Vir.Vtype.elem pi.Vir.Instr.ty) in
+      let ik2 = Eval.ibinop_into_fn k2 (Vir.Vtype.elem ci.Vir.Instr.ty) in
+      let ga = getter p.ops.(0) and gb = getter p.ops.(1) in
+      let go = getter c.ops.(if puse 0 then 1 else 0) in
+      let first = puse 0 in
+      let bad () = invalid_arg "Machine: fused ibinop kind mismatch" in
+      if Vir.Vtype.lanes ci.Vir.Instr.ty = 1 then
+        (* Interleaved charges: a trapping divide in the producer must
+           leave the same fuel as unfused stepping. *)
+        Some
+          (fun st ->
+            let regs = st.regs in
+            chg1 st;
+            match (ga regs, gb regs, Array.unsafe_get regs p.dst) with
+            | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, t) -> (
+              ik1 a b t;
+              chg2 st;
+              match (go regs, Array.unsafe_get regs c.dst) with
+              | Vvalue.I (_, oo), Vvalue.I (_, o) ->
+                if first then ik2 t oo o else ik2 oo t o
+              | _ -> bad ())
+            | _ -> bad ())
+      else if divlike k1 then None
+      else
+        Some
+          (fun st ->
+            let regs = st.regs in
+            chg1 st;
+            chg2 st;
+            match
+              ( ga regs,
+                gb regs,
+                go regs,
+                Array.unsafe_get regs p.dst,
+                Array.unsafe_get regs c.dst )
+            with
+            | ( Vvalue.I (_, a),
+                Vvalue.I (_, b),
+                Vvalue.I (_, oo),
+                Vvalue.I (_, t),
+                Vvalue.I (_, o) ) ->
+              ik1 a b t;
+              if first then ik2 t oo o else ik2 oo t o
+            | _ -> bad ())
+    | Vir.Instr.Icmp (pr, _, _), Vir.Instr.Select _
+      when puse 0 && not (puse 1) && not (puse 2) ->
+      (* The compare runs through its specialized kernel into the
+         producer's (single-use) register buffer; the select then reads
+         the mask lanes straight out of that buffer. *)
+      let ick = Eval.icmp_into_fn pr (op_scalar pi 0) in
+      let ga = getter p.ops.(0) and gb = getter p.ops.(1) in
+      let gx = getter c.ops.(1) and gy = getter c.ops.(2) in
+      let bad () = invalid_arg "Machine: fused icmp kind mismatch" in
+      if Vir.Vtype.lanes pi.Vir.Instr.ty = 1 then
+        Some
+          (fun st ->
+            let regs = st.regs in
+            chg1 st;
+            match (ga regs, gb regs, Array.unsafe_get regs p.dst) with
+            | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, t) ->
+              ick a b t;
+              chg2 st;
+              Vvalue.copy_into
+                ~dst:(Array.unsafe_get regs c.dst)
+                (if Ilanes.unsafe_get t 0 <> 0L then gx regs else gy regs)
+            | _ -> bad ())
+      else
+        Some
+          (fun st ->
+            let regs = st.regs in
+            chg1 st;
+            chg2 st;
+            match (ga regs, gb regs, Array.unsafe_get regs p.dst) with
+            | Vvalue.I (_, a), Vvalue.I (_, b), Vvalue.I (_, t) -> (
+              ick a b t;
+              match (gx regs, gy regs, Array.unsafe_get regs c.dst) with
+              | Vvalue.I (_, x), Vvalue.I (_, y), Vvalue.I (_, o) ->
+                for i = 0 to Ilanes.length o - 1 do
+                  Ilanes.unsafe_set o i
+                    (if Ilanes.unsafe_get t i <> 0L then Ilanes.unsafe_get x i
+                     else Ilanes.unsafe_get y i)
+                done
+              | Vvalue.F (_, x), Vvalue.F (_, y), Vvalue.F (_, o) ->
+                for i = 0 to Array.length o - 1 do
+                  o.(i) <-
+                    (if Ilanes.unsafe_get t i <> 0L then x.(i) else y.(i))
+                done
+              | _ -> invalid_arg "Machine: fused select arm kind mismatch")
+            | _ -> bad ())
+    | Vir.Instr.Fcmp (pr, _, _), Vir.Instr.Select _
+      when puse 0 && not (puse 1) && not (puse 2) ->
+      let fck = Eval.fcmp_into_fn pr in
+      let ga = getter p.ops.(0) and gb = getter p.ops.(1) in
+      let gx = getter c.ops.(1) and gy = getter c.ops.(2) in
+      let bad () = invalid_arg "Machine: fused fcmp kind mismatch" in
+      if Vir.Vtype.lanes pi.Vir.Instr.ty = 1 then
+        Some
+          (fun st ->
+            let regs = st.regs in
+            chg1 st;
+            match (ga regs, gb regs, Array.unsafe_get regs p.dst) with
+            | Vvalue.F (_, a), Vvalue.F (_, b), Vvalue.I (_, t) ->
+              fck a b t;
+              chg2 st;
+              Vvalue.copy_into
+                ~dst:(Array.unsafe_get regs c.dst)
+                (if Ilanes.unsafe_get t 0 <> 0L then gx regs else gy regs)
+            | _ -> bad ())
+      else
+        Some
+          (fun st ->
+            let regs = st.regs in
+            chg1 st;
+            chg2 st;
+            match (ga regs, gb regs, Array.unsafe_get regs p.dst) with
+            | Vvalue.F (_, a), Vvalue.F (_, b), Vvalue.I (_, t) -> (
+              fck a b t;
+              match (gx regs, gy regs, Array.unsafe_get regs c.dst) with
+              | Vvalue.I (_, x), Vvalue.I (_, y), Vvalue.I (_, o) ->
+                for i = 0 to Ilanes.length o - 1 do
+                  Ilanes.unsafe_set o i
+                    (if Ilanes.unsafe_get t i <> 0L then Ilanes.unsafe_get x i
+                     else Ilanes.unsafe_get y i)
+                done
+              | Vvalue.F (_, x), Vvalue.F (_, y), Vvalue.F (_, o) ->
+                for i = 0 to Array.length o - 1 do
+                  o.(i) <-
+                    (if Ilanes.unsafe_get t i <> 0L then x.(i) else y.(i))
+                done
+              | _ -> invalid_arg "Machine: fused select arm kind mismatch")
+            | _ -> bad ())
+    | Vir.Instr.Cast (k, _), (Vir.Instr.Ibinop _ | Vir.Instr.Fbinop _)
+      when (puse 0 || puse 1) && not (puse 0 && puse 1) && lanes_match -> (
+      (* The conversion runs through its specialized destination-passing
+         kernel into the producer's (single-use) register buffer; the
+         consumer's binop kernel then reads that register through its
+         ordinary operand getter. Works at any lane count now that both
+         halves are allocation-free. *)
+      match binop_kernel c with
+      | None -> None
+      | Some bk ->
+        let ck =
+          Eval.cast_into_fn k ~src:(op_scalar pi 0) ~dst_ty:pi.Vir.Instr.ty
+        in
+        let gsrc = getter p.ops.(0) in
+        let g0 = getter c.ops.(0) and g1 = getter c.ops.(1) in
+        Some
+          (fun st ->
+            let regs = st.regs in
+            chg1 st;
+            chg2 st;
+            ck (gsrc regs) (Array.unsafe_get regs p.dst);
+            bk (g0 regs) (g1 regs) (Array.unsafe_get regs c.dst)))
+    | Vir.Instr.Gep (_, _, elem_bytes), Vir.Instr.Load _ when puse 0 -> (
+      let eb = Int64.of_int elem_bytes in
+      let ld = Memory.loader_into ci.Vir.Instr.ty in
+      (* Operand matches inlined like the unfused gep arm, so the
+         address arithmetic never leaves int64 locals; the gep result
+         register is skipped entirely. *)
+      match (p.ops.(0), p.ops.(1)) with
+      | Creg rb, Creg ri ->
+        Some
+          (fun st ->
+            let regs = st.regs in
+            chg1 st;
+            chg2 st;
+            let base =
+              match Array.unsafe_get regs rb with
+              | Vvalue.I (_, ia) -> Ilanes.unsafe_get ia 0
+              | v -> Vvalue.as_int v
+            and idx =
+              match Array.unsafe_get regs ri with
+              | Vvalue.I (_, ia) -> Ilanes.unsafe_get ia 0
+              | v -> Vvalue.as_int v
+            in
+            ld st.mem
+              (Int64.add base (Int64.mul idx eb))
+              (Array.unsafe_get regs c.dst))
+      | Creg rb, Cimm iv ->
+        let off = Int64.mul (Vvalue.as_int iv) eb in
+        Some
+          (fun st ->
+            let regs = st.regs in
+            chg1 st;
+            chg2 st;
+            let base =
+              match Array.unsafe_get regs rb with
+              | Vvalue.I (_, ia) -> Ilanes.unsafe_get ia 0
+              | v -> Vvalue.as_int v
+            in
+            ld st.mem (Int64.add base off) (Array.unsafe_get regs c.dst))
+      | _ -> None)
+    | Vir.Instr.Gep (_, _, elem_bytes), Vir.Instr.Store _
+      when puse 1 && not (puse 0) -> (
+      let eb = Int64.of_int elem_bytes in
+      let stv =
+        Memory.storer
+          (Vir.Instr.operand_ty (List.hd (Vir.Instr.operands ci)))
+      in
+      let gv = getter c.ops.(0) in
+      match (p.ops.(0), p.ops.(1)) with
+      | Creg rb, Creg ri ->
+        Some
+          (fun st ->
+            let regs = st.regs in
+            chg1 st;
+            chg2 st;
+            let base =
+              match Array.unsafe_get regs rb with
+              | Vvalue.I (_, ia) -> Ilanes.unsafe_get ia 0
+              | v -> Vvalue.as_int v
+            and idx =
+              match Array.unsafe_get regs ri with
+              | Vvalue.I (_, ia) -> Ilanes.unsafe_get ia 0
+              | v -> Vvalue.as_int v
+            in
+            stv st.mem (gv regs) (Int64.add base (Int64.mul idx eb)))
+      | Creg rb, Cimm iv ->
+        let off = Int64.mul (Vvalue.as_int iv) eb in
+        Some
+          (fun st ->
+            let regs = st.regs in
+            chg1 st;
+            chg2 st;
+            let base =
+              match Array.unsafe_get regs rb with
+              | Vvalue.I (_, ia) -> Ilanes.unsafe_get ia 0
+              | v -> Vvalue.as_int v
+            in
+            stv st.mem (gv regs) (Int64.add base off))
+      | _ -> None)
+    | Vir.Instr.Load _, (Vir.Instr.Ibinop _ | Vir.Instr.Fbinop _)
+      when (puse 0 || puse 1) && not (puse 0 && puse 1) -> (
+      match binop_kernel c with
+      | None -> None
+      | Some bk ->
+        let ld = Memory.loader_into pi.Vir.Instr.ty in
+        let gp = getter p.ops.(0) in
+        let g0 = getter c.ops.(0) and g1 = getter c.ops.(1) in
+        Some
+          (fun st ->
+            let regs = st.regs in
+            chg1 st;
+            ld st.mem (as_int_slot (gp regs)) (Array.unsafe_get regs p.dst);
+            chg2 st;
+            bk (g0 regs) (g1 regs) (Array.unsafe_get regs c.dst)))
+    | (Vir.Instr.Ibinop _ | Vir.Instr.Fbinop _), Vir.Instr.Store _
+      when puse 0 && not (puse 1) -> (
+      match binop_kernel p with
+      | None -> None
+      | Some bk ->
+        let stv =
+          Memory.storer
+            (Vir.Instr.operand_ty (List.hd (Vir.Instr.operands ci)))
+        in
+        let g0 = getter p.ops.(0) and g1 = getter p.ops.(1) in
+        let gp = getter c.ops.(1) in
+        Some
+          (fun st ->
+            let regs = st.regs in
+            chg1 st;
+            bk (g0 regs) (g1 regs) (Array.unsafe_get regs p.dst);
+            chg2 st;
+            stv st.mem (Array.unsafe_get regs p.dst) (as_int_slot (gp regs))))
+    | _ -> None
+
 let thread_term (t : cterm) : tterm =
   match t with
   | Tbr n -> Ct_br n
@@ -1459,15 +1893,68 @@ let thread_term (t : cterm) : tterm =
   | Tret None -> Ct_ret_void
   | Tunreachable -> Ct_unreachable
 
+(* Hot-path body with annotated chains lowered to fused kernels. The
+   per-instruction closures ([body]) always exist — they back
+   [t_steps] — so a chain the emitter declines simply stays unfused. *)
+let fuse_body (cm : cmodule) (cf : cfunc) (blk : cblock) (body : texec array)
+    : texec array =
+  let chains =
+    List.filter
+      (fun (ch : Vir.Func.fuse_chain) -> ch.Vir.Func.fc_block = blk.clabel)
+      cf.cf.Vir.Func.fuse_chains
+  in
+  if chains = [] then body
+  else begin
+    let n = Array.length blk.body in
+    (* Validate bounds and overlap; annotations are advisory input. *)
+    let chain_at = Array.make (max n 1) None in
+    let covered = Array.make (max n 1) false in
+    List.iter
+      (fun (ch : Vir.Func.fuse_chain) ->
+        let s = ch.Vir.Func.fc_start and l = ch.Vir.Func.fc_len in
+        if s >= 0 && (l = 2 || l = 3) && s + l <= n then begin
+          let free = ref true in
+          for k = s to s + l - 1 do
+            if covered.(k) then free := false
+          done;
+          if !free then begin
+            for k = s to s + l - 1 do
+              covered.(k) <- true
+            done;
+            chain_at.(s) <- Some l
+          end
+        end)
+      chains;
+    let out = ref [] in
+    let k = ref 0 in
+    while !k < n do
+      match chain_at.(!k) with
+      | Some l -> (
+        match thread_chain blk.body !k l with
+        | Some fx ->
+          out := fx :: !out;
+          cm.n_fused_chains <- cm.n_fused_chains + 1;
+          k := !k + l
+        | None ->
+          out := body.(!k) :: !out;
+          incr k)
+      | None ->
+        out := body.(!k) :: !out;
+        incr k
+    done;
+    Array.of_list (List.rev !out)
+  end
+
 let thread_func (cm : cmodule) (cf : cfunc) : unit =
   let nblocks = Array.length cf.cblocks in
   cf.tblocks <-
     Array.map
       (fun (blk : cblock) ->
         let body = Array.map (thread_instr cm cf) blk.body in
+        let hot = fuse_body cm cf blk body in
         {
           t_phis = thread_phis cf blk nblocks;
-          t_body = compose_body body 0 (Array.length body);
+          t_body = compose_body hot 0 (Array.length hot);
           t_term = thread_term blk.term;
           t_steps =
             Array.mapi
@@ -1516,7 +2003,12 @@ let compile_module (m : Vir.Vmodule.t) : cmodule =
       n_funcs = !n_funcs;
       extern_index;
       n_extern_slots = !n_extern_slots;
+      n_fused_chains = 0;
     }
   in
   Hashtbl.iter (fun _ cf -> thread_func cm cf) cfuncs;
   cm
+
+(* How many annotated chains the threading stage actually fused, for
+   pipeline statistics and the bench coverage counters. *)
+let fused_chain_count (cm : cmodule) : int = cm.n_fused_chains

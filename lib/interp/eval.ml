@@ -132,6 +132,261 @@ let ibinop_fn (k : Vir.Instr.ibinop) (s : Vir.Vtype.scalar) :
 let eval_ibinop_lane k s a b = (ibinop_fn k s) a b
 
 (* ------------------------------------------------------------------ *)
+(* Destination-passing integer kernels over flat lane buffers.
+
+   Composing [ibinop_fn] with a generic lane loop pays three boxing
+   allocations per lane: both operands box crossing the
+   [int64 -> int64 -> int64] closure boundary and the result boxes
+   coming back. These factories select one concrete loop per
+   (opcode, width class) whose int64 locals never escape a single
+   expression, so the native compiler keeps every lane in a register —
+   no allocation on the arithmetic path at all. Semantics are
+   bit-identical to [ibinop_fn]/[icmp_fn] applied lane by lane
+   (including trap conditions and the per-width truncations); the rare
+   narrow widths fall back to the closure composition. *)
+
+let ibinop_into_fn (k : Vir.Instr.ibinop) (s : Vir.Vtype.scalar) :
+    Ilanes.t -> Ilanes.t -> Ilanes.t -> unit =
+  let full_width =
+    match s with Vir.Vtype.I64 | Vir.Vtype.Ptr -> true | _ -> false
+  in
+  let div_overflows = s = Vir.Vtype.I64 in
+  let fallback () =
+    let f = ibinop_fn k s in
+    fun a b o ->
+      for i = 0 to Ilanes.length o - 1 do
+        Ilanes.unsafe_set o i
+          (f (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i))
+      done
+  in
+  if full_width then
+    match k with
+    | Vir.Instr.Add ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.add (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i))
+        done
+    | Vir.Instr.Sub ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.sub (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i))
+        done
+    | Vir.Instr.Mul ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.mul (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i))
+        done
+    | Vir.Instr.And ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.logand (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i))
+        done
+    | Vir.Instr.Or ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.logor (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i))
+        done
+    | Vir.Instr.Xor ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.logxor (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i))
+        done
+    | Vir.Instr.Shl ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.shift_left (Ilanes.unsafe_get a i)
+               (Int64.to_int (Ilanes.unsafe_get b i) land 63))
+        done
+    | Vir.Instr.Lshr ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.shift_right_logical (Ilanes.unsafe_get a i)
+               (Int64.to_int (Ilanes.unsafe_get b i) land 63))
+        done
+    | Vir.Instr.Ashr ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.shift_right (Ilanes.unsafe_get a i)
+               (Int64.to_int (Ilanes.unsafe_get b i) land 63))
+        done
+    | Vir.Instr.Sdiv ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          let x = Ilanes.unsafe_get a i and y = Ilanes.unsafe_get b i in
+          if
+            y = 0L || (div_overflows && x = Int64.min_int && y = -1L)
+          then Trap.raise_ Trap.Division_by_zero;
+          Ilanes.unsafe_set o i (Int64.div x y)
+        done
+    | Vir.Instr.Srem ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          let x = Ilanes.unsafe_get a i and y = Ilanes.unsafe_get b i in
+          if
+            y = 0L || (div_overflows && x = Int64.min_int && y = -1L)
+          then Trap.raise_ Trap.Division_by_zero;
+          Ilanes.unsafe_set o i (Int64.rem x y)
+        done
+    | Vir.Instr.Udiv ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          let x = Ilanes.unsafe_get a i and y = Ilanes.unsafe_get b i in
+          if y = 0L then Trap.raise_ Trap.Division_by_zero;
+          Ilanes.unsafe_set o i (Int64.unsigned_div x y)
+        done
+    | Vir.Instr.Urem ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          let x = Ilanes.unsafe_get a i and y = Ilanes.unsafe_get b i in
+          if y = 0L then Trap.raise_ Trap.Division_by_zero;
+          Ilanes.unsafe_set o i (Int64.unsigned_rem x y)
+        done
+  else if s = Vir.Vtype.I32 then
+    match k with
+    | Vir.Instr.Add ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.of_int32
+               (Int64.to_int32
+                  (Int64.add (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i))))
+        done
+    | Vir.Instr.Sub ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.of_int32
+               (Int64.to_int32
+                  (Int64.sub (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i))))
+        done
+    | Vir.Instr.Mul ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.of_int32
+               (Int64.to_int32
+                  (Int64.mul (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i))))
+        done
+    | Vir.Instr.And ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.logand (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i))
+        done
+    | Vir.Instr.Or ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.logor (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i))
+        done
+    | Vir.Instr.Xor ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.logxor (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i))
+        done
+    | Vir.Instr.Shl ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.of_int32
+               (Int64.to_int32
+                  (Int64.shift_left (Ilanes.unsafe_get a i)
+                     (Int64.to_int (Ilanes.unsafe_get b i) land 31))))
+        done
+    | Vir.Instr.Lshr ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.shift_right_logical
+               (Int64.logand (Ilanes.unsafe_get a i) 0xFFFFFFFFL)
+               (Int64.to_int (Ilanes.unsafe_get b i) land 31))
+        done
+    | Vir.Instr.Ashr ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.shift_right (Ilanes.unsafe_get a i)
+               (Int64.to_int (Ilanes.unsafe_get b i) land 31))
+        done
+    | Vir.Instr.Sdiv ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          let x = Ilanes.unsafe_get a i and y = Ilanes.unsafe_get b i in
+          if y = 0L then Trap.raise_ Trap.Division_by_zero;
+          Ilanes.unsafe_set o i
+            (Int64.of_int32 (Int64.to_int32 (Int64.div x y)))
+        done
+    | Vir.Instr.Srem ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          let x = Ilanes.unsafe_get a i and y = Ilanes.unsafe_get b i in
+          if y = 0L then Trap.raise_ Trap.Division_by_zero;
+          Ilanes.unsafe_set o i
+            (Int64.of_int32 (Int64.to_int32 (Int64.rem x y)))
+        done
+    | Vir.Instr.Udiv ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          let x = Ilanes.unsafe_get a i and y = Ilanes.unsafe_get b i in
+          if y = 0L then Trap.raise_ Trap.Division_by_zero;
+          Ilanes.unsafe_set o i
+            (Int64.of_int32
+               (Int64.to_int32
+                  (Int64.unsigned_div (Int64.logand x 0xFFFFFFFFL)
+                     (Int64.logand y 0xFFFFFFFFL))))
+        done
+    | Vir.Instr.Urem ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          let x = Ilanes.unsafe_get a i and y = Ilanes.unsafe_get b i in
+          if y = 0L then Trap.raise_ Trap.Division_by_zero;
+          Ilanes.unsafe_set o i
+            (Int64.of_int32
+               (Int64.to_int32
+                  (Int64.unsigned_rem (Int64.logand x 0xFFFFFFFFL)
+                     (Int64.logand y 0xFFFFFFFFL))))
+        done
+  else
+    (* I1 masks combine with And/Or/Xor in predicated control flow, so
+       those three get direct loops; other narrow ops are cold. *)
+    match (k, s) with
+    | Vir.Instr.And, Vir.Vtype.I1 ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.logand
+               (Int64.logand (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i))
+               1L)
+        done
+    | Vir.Instr.Or, Vir.Vtype.I1 ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.logand
+               (Int64.logor (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i))
+               1L)
+        done
+    | Vir.Instr.Xor, Vir.Vtype.I1 ->
+      fun a b o ->
+        for i = 0 to Ilanes.length o - 1 do
+          Ilanes.unsafe_set o i
+            (Int64.logand
+               (Int64.logxor (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i))
+               1L)
+        done
+    | _ -> fallback ()
+
+(* ------------------------------------------------------------------ *)
 (* Float binary operations                                             *)
 
 (* F32 rounding inlined (unboxed, noalloc externals); F64 needs none.
@@ -225,6 +480,472 @@ let fbinop_vec_into_fn (k : Vir.Instr.fbinop) (s : Vir.Vtype.scalar) :
         done)
   | _ -> None
 
+(* Fused producer->consumer float pairs, op- and kind-specialized with
+   the same inline-rounding idiom as [fbinop_vec_into_fn]: the kernel
+   computes [o.(i) <- k2 (k1 a.(i) b.(i)) c.(i)] when [first] (the
+   producer's result is the consumer's first operand), or
+   [o.(i) <- k2 c.(i) (k1 a.(i) b.(i))] otherwise, with F32 rounding
+   after every operation exactly as the two unfused kernels would
+   round. Every arm is a single allocation-free loop: floats stay
+   unboxed lane to lane, which is the whole point -- the generic
+   closure-composed form boxes three floats per lane. Length-generic,
+   so scalar chains pass 1-lane arrays. [Frem] pairs fall back to the
+   unfused path ([None]). *)
+let fbinop_fused_vec_into_fn (s : Vir.Vtype.scalar) ~(k1 : Vir.Instr.fbinop)
+    ~(k2 : Vir.Instr.fbinop) ~(first : bool) :
+    (float array -> float array -> float array -> float array -> unit)
+    option =
+  match (s, k1, k2, first) with
+  | Vir.Vtype.F64, Vir.Instr.Fadd, Vir.Instr.Fadd, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            ((a.(i) +. b.(i)) +. c.(i))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fadd, Vir.Instr.Fadd, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (c.(i) +. (a.(i) +. b.(i)))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fadd, Vir.Instr.Fsub, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            ((a.(i) +. b.(i)) -. c.(i))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fadd, Vir.Instr.Fsub, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (c.(i) -. (a.(i) +. b.(i)))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fadd, Vir.Instr.Fmul, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            ((a.(i) +. b.(i)) *. c.(i))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fadd, Vir.Instr.Fmul, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (c.(i) *. (a.(i) +. b.(i)))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fadd, Vir.Instr.Fdiv, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            ((a.(i) +. b.(i)) /. c.(i))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fadd, Vir.Instr.Fdiv, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (c.(i) /. (a.(i) +. b.(i)))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fsub, Vir.Instr.Fadd, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            ((a.(i) -. b.(i)) +. c.(i))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fsub, Vir.Instr.Fadd, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (c.(i) +. (a.(i) -. b.(i)))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fsub, Vir.Instr.Fsub, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            ((a.(i) -. b.(i)) -. c.(i))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fsub, Vir.Instr.Fsub, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (c.(i) -. (a.(i) -. b.(i)))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fsub, Vir.Instr.Fmul, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            ((a.(i) -. b.(i)) *. c.(i))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fsub, Vir.Instr.Fmul, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (c.(i) *. (a.(i) -. b.(i)))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fsub, Vir.Instr.Fdiv, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            ((a.(i) -. b.(i)) /. c.(i))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fsub, Vir.Instr.Fdiv, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (c.(i) /. (a.(i) -. b.(i)))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fmul, Vir.Instr.Fadd, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            ((a.(i) *. b.(i)) +. c.(i))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fmul, Vir.Instr.Fadd, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (c.(i) +. (a.(i) *. b.(i)))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fmul, Vir.Instr.Fsub, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            ((a.(i) *. b.(i)) -. c.(i))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fmul, Vir.Instr.Fsub, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (c.(i) -. (a.(i) *. b.(i)))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fmul, Vir.Instr.Fmul, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            ((a.(i) *. b.(i)) *. c.(i))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fmul, Vir.Instr.Fmul, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (c.(i) *. (a.(i) *. b.(i)))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fmul, Vir.Instr.Fdiv, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            ((a.(i) *. b.(i)) /. c.(i))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fmul, Vir.Instr.Fdiv, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (c.(i) /. (a.(i) *. b.(i)))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fdiv, Vir.Instr.Fadd, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            ((a.(i) /. b.(i)) +. c.(i))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fdiv, Vir.Instr.Fadd, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (c.(i) +. (a.(i) /. b.(i)))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fdiv, Vir.Instr.Fsub, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            ((a.(i) /. b.(i)) -. c.(i))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fdiv, Vir.Instr.Fsub, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (c.(i) -. (a.(i) /. b.(i)))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fdiv, Vir.Instr.Fmul, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            ((a.(i) /. b.(i)) *. c.(i))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fdiv, Vir.Instr.Fmul, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (c.(i) *. (a.(i) /. b.(i)))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fdiv, Vir.Instr.Fdiv, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            ((a.(i) /. b.(i)) /. c.(i))
+        done)
+  | Vir.Vtype.F64, Vir.Instr.Fdiv, Vir.Instr.Fdiv, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (c.(i) /. (a.(i) /. b.(i)))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fadd, Vir.Instr.Fadd, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) +. b.(i)))) +. c.(i))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fadd, Vir.Instr.Fadd, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float (c.(i) +. (Int32.float_of_bits (Int32.bits_of_float (a.(i) +. b.(i)))))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fadd, Vir.Instr.Fsub, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) +. b.(i)))) -. c.(i))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fadd, Vir.Instr.Fsub, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float (c.(i) -. (Int32.float_of_bits (Int32.bits_of_float (a.(i) +. b.(i)))))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fadd, Vir.Instr.Fmul, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) +. b.(i)))) *. c.(i))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fadd, Vir.Instr.Fmul, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float (c.(i) *. (Int32.float_of_bits (Int32.bits_of_float (a.(i) +. b.(i)))))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fadd, Vir.Instr.Fdiv, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) +. b.(i)))) /. c.(i))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fadd, Vir.Instr.Fdiv, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float (c.(i) /. (Int32.float_of_bits (Int32.bits_of_float (a.(i) +. b.(i)))))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fsub, Vir.Instr.Fadd, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) -. b.(i)))) +. c.(i))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fsub, Vir.Instr.Fadd, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float (c.(i) +. (Int32.float_of_bits (Int32.bits_of_float (a.(i) -. b.(i)))))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fsub, Vir.Instr.Fsub, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) -. b.(i)))) -. c.(i))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fsub, Vir.Instr.Fsub, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float (c.(i) -. (Int32.float_of_bits (Int32.bits_of_float (a.(i) -. b.(i)))))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fsub, Vir.Instr.Fmul, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) -. b.(i)))) *. c.(i))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fsub, Vir.Instr.Fmul, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float (c.(i) *. (Int32.float_of_bits (Int32.bits_of_float (a.(i) -. b.(i)))))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fsub, Vir.Instr.Fdiv, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) -. b.(i)))) /. c.(i))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fsub, Vir.Instr.Fdiv, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float (c.(i) /. (Int32.float_of_bits (Int32.bits_of_float (a.(i) -. b.(i)))))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fmul, Vir.Instr.Fadd, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) *. b.(i)))) +. c.(i))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fmul, Vir.Instr.Fadd, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float (c.(i) +. (Int32.float_of_bits (Int32.bits_of_float (a.(i) *. b.(i)))))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fmul, Vir.Instr.Fsub, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) *. b.(i)))) -. c.(i))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fmul, Vir.Instr.Fsub, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float (c.(i) -. (Int32.float_of_bits (Int32.bits_of_float (a.(i) *. b.(i)))))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fmul, Vir.Instr.Fmul, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) *. b.(i)))) *. c.(i))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fmul, Vir.Instr.Fmul, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float (c.(i) *. (Int32.float_of_bits (Int32.bits_of_float (a.(i) *. b.(i)))))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fmul, Vir.Instr.Fdiv, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) *. b.(i)))) /. c.(i))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fmul, Vir.Instr.Fdiv, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float (c.(i) /. (Int32.float_of_bits (Int32.bits_of_float (a.(i) *. b.(i)))))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fdiv, Vir.Instr.Fadd, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) /. b.(i)))) +. c.(i))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fdiv, Vir.Instr.Fadd, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float (c.(i) +. (Int32.float_of_bits (Int32.bits_of_float (a.(i) /. b.(i)))))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fdiv, Vir.Instr.Fsub, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) /. b.(i)))) -. c.(i))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fdiv, Vir.Instr.Fsub, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float (c.(i) -. (Int32.float_of_bits (Int32.bits_of_float (a.(i) /. b.(i)))))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fdiv, Vir.Instr.Fmul, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) /. b.(i)))) *. c.(i))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fdiv, Vir.Instr.Fmul, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float (c.(i) *. (Int32.float_of_bits (Int32.bits_of_float (a.(i) /. b.(i)))))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fdiv, Vir.Instr.Fdiv, true ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) /. b.(i)))) /. c.(i))))
+        done)
+  | Vir.Vtype.F32, Vir.Instr.Fdiv, Vir.Instr.Fdiv, false ->
+    Some
+      (fun a b c o ->
+        for i = 0 to Array.length o - 1 do
+          Array.unsafe_set o i
+            (Int32.float_of_bits (Int32.bits_of_float (c.(i) /. (Int32.float_of_bits (Int32.bits_of_float (a.(i) /. b.(i)))))))
+        done)
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Comparisons                                                         *)
 
@@ -246,6 +967,119 @@ let icmp_fn (p : Vir.Instr.icmp_pred) (s : Vir.Vtype.scalar) :
 
 let eval_icmp_lane p s a b = (icmp_fn p s) a b
 
+(* Same unboxed-loop treatment for integer compares: signed predicates
+   compare the sign-normalised lanes directly; unsigned ones mask to
+   the width first ([Bits.to_unsigned] as a precomputed bit mask —
+   identity at full width). *)
+let icmp_into_fn (p : Vir.Instr.icmp_pred) (s : Vir.Vtype.scalar) :
+    Ilanes.t -> Ilanes.t -> Ilanes.t -> unit =
+  let um =
+    match s with
+    | Vir.Vtype.I1 -> 1L
+    | Vir.Vtype.I8 -> 0xFFL
+    | Vir.Vtype.I32 -> 0xFFFFFFFFL
+    | _ -> -1L
+  in
+  match p with
+  | Vir.Instr.Ieq ->
+    fun a b o ->
+      for i = 0 to Ilanes.length o - 1 do
+        Ilanes.unsafe_set o i
+          (if Int64.equal (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i)
+           then 1L
+           else 0L)
+      done
+  | Vir.Instr.Ine ->
+    fun a b o ->
+      for i = 0 to Ilanes.length o - 1 do
+        Ilanes.unsafe_set o i
+          (if Int64.equal (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i)
+           then 0L
+           else 1L)
+      done
+  | Vir.Instr.Islt ->
+    fun a b o ->
+      for i = 0 to Ilanes.length o - 1 do
+        Ilanes.unsafe_set o i
+          (if Int64.compare (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i) < 0
+           then 1L
+           else 0L)
+      done
+  | Vir.Instr.Isle ->
+    fun a b o ->
+      for i = 0 to Ilanes.length o - 1 do
+        Ilanes.unsafe_set o i
+          (if
+             Int64.compare (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i) <= 0
+           then 1L
+           else 0L)
+      done
+  | Vir.Instr.Isgt ->
+    fun a b o ->
+      for i = 0 to Ilanes.length o - 1 do
+        Ilanes.unsafe_set o i
+          (if Int64.compare (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i) > 0
+           then 1L
+           else 0L)
+      done
+  | Vir.Instr.Isge ->
+    fun a b o ->
+      for i = 0 to Ilanes.length o - 1 do
+        Ilanes.unsafe_set o i
+          (if
+             Int64.compare (Ilanes.unsafe_get a i) (Ilanes.unsafe_get b i) >= 0
+           then 1L
+           else 0L)
+      done
+  | Vir.Instr.Iult ->
+    fun a b o ->
+      for i = 0 to Ilanes.length o - 1 do
+        Ilanes.unsafe_set o i
+          (if
+             Int64.unsigned_compare
+               (Int64.logand (Ilanes.unsafe_get a i) um)
+               (Int64.logand (Ilanes.unsafe_get b i) um)
+             < 0
+           then 1L
+           else 0L)
+      done
+  | Vir.Instr.Iule ->
+    fun a b o ->
+      for i = 0 to Ilanes.length o - 1 do
+        Ilanes.unsafe_set o i
+          (if
+             Int64.unsigned_compare
+               (Int64.logand (Ilanes.unsafe_get a i) um)
+               (Int64.logand (Ilanes.unsafe_get b i) um)
+             <= 0
+           then 1L
+           else 0L)
+      done
+  | Vir.Instr.Iugt ->
+    fun a b o ->
+      for i = 0 to Ilanes.length o - 1 do
+        Ilanes.unsafe_set o i
+          (if
+             Int64.unsigned_compare
+               (Int64.logand (Ilanes.unsafe_get a i) um)
+               (Int64.logand (Ilanes.unsafe_get b i) um)
+             > 0
+           then 1L
+           else 0L)
+      done
+  | Vir.Instr.Iuge ->
+    fun a b o ->
+      for i = 0 to Ilanes.length o - 1 do
+        Ilanes.unsafe_set o i
+          (if
+             Int64.unsigned_compare
+               (Int64.logand (Ilanes.unsafe_get a i) um)
+               (Int64.logand (Ilanes.unsafe_get b i) um)
+             >= 0
+           then 1L
+           else 0L)
+      done
+
 let fcmp_fn (p : Vir.Instr.fcmp_pred) : float -> float -> int64 =
   let ord a b = not (Float.is_nan a || Float.is_nan b) in
   let b r = if r then 1L else 0L in
@@ -261,59 +1095,107 @@ let fcmp_fn (p : Vir.Instr.fcmp_pred) : float -> float -> int64 =
 
 let eval_fcmp_lane p a b = (fcmp_fn p) a b
 
+(* Destination-passing float compares: the predicate is matched once
+   and each per-lane comparison is syntactically inside its loop (a
+   [float -> float -> int64] closure would box both floats and the
+   result on every lane). Same ordered-comparison semantics as
+   [fcmp_fn]: any NaN operand makes the Fo* predicates false. *)
+let fcmp_into_fn (p : Vir.Instr.fcmp_pred) :
+    float array -> float array -> Ilanes.t -> unit =
+  match p with
+  | Vir.Instr.Foeq ->
+    fun a b o ->
+      for i = 0 to Ilanes.length o - 1 do
+        let x = Array.unsafe_get a i and y = Array.unsafe_get b i in
+        Ilanes.unsafe_set o i
+          (if (not (Float.is_nan x || Float.is_nan y)) && x = y then 1L
+           else 0L)
+      done
+  | Vir.Instr.Fone ->
+    fun a b o ->
+      for i = 0 to Ilanes.length o - 1 do
+        let x = Array.unsafe_get a i and y = Array.unsafe_get b i in
+        Ilanes.unsafe_set o i
+          (if (not (Float.is_nan x || Float.is_nan y)) && x <> y then 1L
+           else 0L)
+      done
+  | Vir.Instr.Folt ->
+    fun a b o ->
+      for i = 0 to Ilanes.length o - 1 do
+        let x = Array.unsafe_get a i and y = Array.unsafe_get b i in
+        Ilanes.unsafe_set o i
+          (if (not (Float.is_nan x || Float.is_nan y)) && x < y then 1L
+           else 0L)
+      done
+  | Vir.Instr.Fole ->
+    fun a b o ->
+      for i = 0 to Ilanes.length o - 1 do
+        let x = Array.unsafe_get a i and y = Array.unsafe_get b i in
+        Ilanes.unsafe_set o i
+          (if (not (Float.is_nan x || Float.is_nan y)) && x <= y then 1L
+           else 0L)
+      done
+  | Vir.Instr.Fogt ->
+    fun a b o ->
+      for i = 0 to Ilanes.length o - 1 do
+        let x = Array.unsafe_get a i and y = Array.unsafe_get b i in
+        Ilanes.unsafe_set o i
+          (if (not (Float.is_nan x || Float.is_nan y)) && x > y then 1L
+           else 0L)
+      done
+  | Vir.Instr.Foge ->
+    fun a b o ->
+      for i = 0 to Ilanes.length o - 1 do
+        let x = Array.unsafe_get a i and y = Array.unsafe_get b i in
+        Ilanes.unsafe_set o i
+          (if (not (Float.is_nan x || Float.is_nan y)) && x >= y then 1L
+           else 0L)
+      done
+  | Vir.Instr.Ford ->
+    fun a b o ->
+      for i = 0 to Ilanes.length o - 1 do
+        let x = Array.unsafe_get a i and y = Array.unsafe_get b i in
+        Ilanes.unsafe_set o i
+          (if not (Float.is_nan x || Float.is_nan y) then 1L else 0L)
+      done
+  | Vir.Instr.Funo ->
+    fun a b o ->
+      for i = 0 to Ilanes.length o - 1 do
+        let x = Array.unsafe_get a i and y = Array.unsafe_get b i in
+        Ilanes.unsafe_set o i
+          (if Float.is_nan x || Float.is_nan y then 1L else 0L)
+      done
+
 (* ------------------------------------------------------------------ *)
 (* Casts                                                               *)
 
-(* Specialized destination-passing cast: the cast opcode, source scalar
-   kind and destination type are matched once; the returned kernel
-   writes converted lanes into the destination value's own buffer. The
-   kernel still checks both value constructors so a kind-confused
-   extern result fails loudly rather than silently reinterpreting. *)
-let cast_into_fn (k : Vir.Instr.cast_op) ~(src : Vir.Vtype.scalar)
-    ~(dst_ty : Vir.Vtype.t) : Vvalue.t -> Vvalue.t -> unit =
-  let ds = Vir.Vtype.elem dst_ty in
+(* Per-lane cast semantics, pre-selected from the cast opcode and the
+   source/destination scalar kinds. This is the single source of truth
+   for conversion semantics: [cast_into_fn] (the threaded interpreter),
+   [cast_fn] (the constant folder, reference evaluator) and the fused
+   chain emitter in {!Compile} all build on the same lane converter, so
+   a fused cast→op kernel cannot disagree with the unfused steps. The
+   variant encodes the value-kind signature so callers can specialize
+   on it once, at threading time. *)
+type lane_conv =
+  | Cii of (int64 -> int64)
+  | Cfi of (float -> int64)
+  | Cif of (int64 -> float)
+  | Cff of (float -> float)
+
+let cast_lane_fn (k : Vir.Instr.cast_op) ~(src : Vir.Vtype.scalar)
+    ~(dst : Vir.Vtype.scalar) : lane_conv =
+  let ds = dst in
   let fail () =
     invalid_arg
       (Printf.sprintf "Machine: unsupported cast %s" (Vir.Instr.cast_name k))
   in
-  let int_to_int (f : int64 -> int64) (v : Vvalue.t) (out : Vvalue.t) =
-    match (v, out) with
-    | Vvalue.I (_, a), Vvalue.I (_, o) ->
-      for i = 0 to Array.length o - 1 do
-        o.(i) <- f a.(i)
-      done
-    | _ -> fail ()
-  in
-  let float_to_int (f : float -> int64) (v : Vvalue.t) (out : Vvalue.t) =
-    match (v, out) with
-    | Vvalue.F (_, a), Vvalue.I (_, o) ->
-      for i = 0 to Array.length o - 1 do
-        o.(i) <- f a.(i)
-      done
-    | _ -> fail ()
-  in
-  let int_to_float (f : int64 -> float) (v : Vvalue.t) (out : Vvalue.t) =
-    match (v, out) with
-    | Vvalue.I (_, a), Vvalue.F (_, o) ->
-      for i = 0 to Array.length o - 1 do
-        o.(i) <- f a.(i)
-      done
-    | _ -> fail ()
-  in
-  let float_to_float (f : float -> float) (v : Vvalue.t) (out : Vvalue.t) =
-    match (v, out) with
-    | Vvalue.F (_, a), Vvalue.F (_, o) ->
-      for i = 0 to Array.length o - 1 do
-        o.(i) <- f a.(i)
-      done
-    | _ -> fail ()
-  in
   match k with
   | Vir.Instr.Trunc | Vir.Instr.Sext | Vir.Instr.Ptrtoint
   | Vir.Instr.Inttoptr ->
-    int_to_int (Bits.truncate ds)
+    Cii (Bits.truncate ds)
   | Vir.Instr.Zext ->
-    int_to_int (fun x -> Bits.truncate ds (Bits.to_unsigned src x))
+    Cii (fun x -> Bits.truncate ds (Bits.to_unsigned src x))
   | Vir.Instr.Fptosi ->
     (* Out-of-range/NaN produce the x86 "integer indefinite" value. *)
     let bits = Vir.Vtype.scalar_bits ds in
@@ -329,26 +1211,269 @@ let cast_into_fn (k : Vir.Instr.cast_op) ~(src : Vir.Vtype.scalar)
           let tr = Bits.truncate ds i in
           if bits < 64 && tr <> i then Bits.truncate ds indefinite else tr
     in
-    float_to_int conv
+    Cfi conv
   | Vir.Instr.Sitofp ->
-    int_to_float (fun x -> Bits.round_float ds (Int64.to_float x))
-  | Vir.Instr.Fptrunc | Vir.Instr.Fpext -> float_to_float (Bits.round_float ds)
+    Cif (fun x -> Bits.round_float ds (Int64.to_float x))
+  | Vir.Instr.Fptrunc | Vir.Instr.Fpext -> Cff (Bits.round_float ds)
   | Vir.Instr.Bitcast ->
     if
       Vir.Vtype.is_float_scalar ds
       && Vir.Vtype.is_int_scalar src
       && Vir.Vtype.scalar_bits src = Vir.Vtype.scalar_bits ds
-    then int_to_float (Bits.float_of_bits ds)
+    then Cif (Bits.float_of_bits ds)
     else if
       Vir.Vtype.is_int_scalar ds
       && Vir.Vtype.is_float_scalar src
       && Vir.Vtype.scalar_bits src = Vir.Vtype.scalar_bits ds
-    then float_to_int (Bits.bits_of_float src)
+    then Cfi (Bits.bits_of_float src)
     else if
       Vir.Vtype.is_int_scalar ds
       && Vir.Vtype.is_int_scalar src
       && Vir.Vtype.scalar_bits src = Vir.Vtype.scalar_bits ds
-    then int_to_int (Bits.truncate ds)
+    then Cii (Bits.truncate ds)
+    else fail ()
+
+(* Specialized destination-passing cast: the cast opcode, source scalar
+   kind and destination type are matched once; the returned kernel
+   writes converted lanes into the destination value's own buffer. The
+   per-lane arithmetic of every conversion the verifier admits is
+   syntactically inside its loop, so lane values never cross a closure
+   boundary (an [int64 -> int64] or [float -> int64] indirect call
+   boxes its argument and result on every lane). The kernel still
+   checks both value constructors so a kind-confused extern result
+   fails loudly rather than silently reinterpreting. *)
+let cast_into_fn (k : Vir.Instr.cast_op) ~(src : Vir.Vtype.scalar)
+    ~(dst_ty : Vir.Vtype.t) : Vvalue.t -> Vvalue.t -> unit =
+  let ds = Vir.Vtype.elem dst_ty in
+  let fail () =
+    invalid_arg
+      (Printf.sprintf "Machine: unsupported cast %s" (Vir.Instr.cast_name k))
+  in
+  (* Per-lane fallback through [cast_lane_fn]'s closure, for the rare
+     conversions without a specialized loop below (e.g. fptosi to i8). *)
+  let generic () =
+    match cast_lane_fn k ~src ~dst:ds with
+    | exception Invalid_argument _ -> fun _ _ -> fail ()
+    | Cii f -> (
+      fun v out ->
+        match (v, out) with
+        | Vvalue.I (_, a), Vvalue.I (_, o) ->
+          for i = 0 to Ilanes.length o - 1 do
+            Ilanes.unsafe_set o i (f (Ilanes.unsafe_get a i))
+          done
+        | _ -> fail ())
+    | Cfi f -> (
+      fun v out ->
+        match (v, out) with
+        | Vvalue.F (_, a), Vvalue.I (_, o) ->
+          for i = 0 to Ilanes.length o - 1 do
+            Ilanes.unsafe_set o i (f a.(i))
+          done
+        | _ -> fail ())
+    | Cif f -> (
+      fun v out ->
+        match (v, out) with
+        | Vvalue.I (_, a), Vvalue.F (_, o) ->
+          for i = 0 to Array.length o - 1 do
+            o.(i) <- f (Ilanes.unsafe_get a i)
+          done
+        | _ -> fail ())
+    | Cff f -> (
+      fun v out ->
+        match (v, out) with
+        | Vvalue.F (_, a), Vvalue.F (_, o) ->
+          for i = 0 to Array.length o - 1 do
+            o.(i) <- f a.(i)
+          done
+        | _ -> fail ())
+  in
+  (* int -> int: pre-mask with [um] (the unsigned reinterpretation of
+     the source for zext, the identity mask otherwise), then truncate
+     to [ds]'s value range — the same composition as [Bits.truncate]
+     after [Bits.to_unsigned], with both steps inlined per width. *)
+  let ii (um : int64) : Vvalue.t -> Vvalue.t -> unit =
+    match ds with
+    | Vir.Vtype.I64 | Vir.Vtype.Ptr -> (
+      fun v out ->
+        match (v, out) with
+        | Vvalue.I (_, a), Vvalue.I (_, o) ->
+          for i = 0 to Ilanes.length o - 1 do
+            Ilanes.unsafe_set o i (Int64.logand (Ilanes.unsafe_get a i) um)
+          done
+        | _ -> fail ())
+    | Vir.Vtype.I32 -> (
+      fun v out ->
+        match (v, out) with
+        | Vvalue.I (_, a), Vvalue.I (_, o) ->
+          for i = 0 to Ilanes.length o - 1 do
+            Ilanes.unsafe_set o i
+              (Int64.of_int32
+                 (Int64.to_int32 (Int64.logand (Ilanes.unsafe_get a i) um)))
+          done
+        | _ -> fail ())
+    | Vir.Vtype.I8 -> (
+      fun v out ->
+        match (v, out) with
+        | Vvalue.I (_, a), Vvalue.I (_, o) ->
+          for i = 0 to Ilanes.length o - 1 do
+            Ilanes.unsafe_set o i
+              (Int64.shift_right
+                 (Int64.shift_left
+                    (Int64.logand (Ilanes.unsafe_get a i) um)
+                    56)
+                 56)
+          done
+        | _ -> fail ())
+    | Vir.Vtype.I1 -> (
+      fun v out ->
+        match (v, out) with
+        | Vvalue.I (_, a), Vvalue.I (_, o) ->
+          for i = 0 to Ilanes.length o - 1 do
+            Ilanes.unsafe_set o i (Int64.logand (Ilanes.unsafe_get a i) 1L)
+          done
+        | _ -> fail ())
+    | Vir.Vtype.F32 | Vir.Vtype.F64 -> fun _ _ -> fail ()
+  in
+  match k with
+  | Vir.Instr.Trunc | Vir.Instr.Sext | Vir.Instr.Ptrtoint
+  | Vir.Instr.Inttoptr ->
+    ii (-1L)
+  | Vir.Instr.Zext -> (
+    match src with
+    | Vir.Vtype.I1 -> ii 1L
+    | Vir.Vtype.I8 -> ii 0xFFL
+    | Vir.Vtype.I32 -> ii 0xFFFFFFFFL
+    | Vir.Vtype.I64 | Vir.Vtype.Ptr -> ii (-1L)
+    | Vir.Vtype.F32 | Vir.Vtype.F64 -> fun _ _ -> fail ())
+  | Vir.Instr.Fptosi -> (
+    (* Same out-of-range/NaN semantics as [cast_lane_fn]: the x86
+       "integer indefinite" value, with the range check against the
+       float images of the int64 extremes. *)
+    let lo = Int64.to_float Int64.min_int
+    and hi = Int64.to_float Int64.max_int in
+    match ds with
+    | Vir.Vtype.I64 | Vir.Vtype.Ptr -> (
+      fun v out ->
+        match (v, out) with
+        | Vvalue.F (_, a), Vvalue.I (_, o) ->
+          for i = 0 to Ilanes.length o - 1 do
+            let x = Array.unsafe_get a i in
+            Ilanes.unsafe_set o i
+              (if Float.is_nan x || x < lo || x > hi then Int64.min_int
+               else Int64.of_float x)
+          done
+        | _ -> fail ())
+    | Vir.Vtype.I32 -> (
+      let ind = Int64.of_int32 Int32.min_int in
+      fun v out ->
+        match (v, out) with
+        | Vvalue.F (_, a), Vvalue.I (_, o) ->
+          for i = 0 to Ilanes.length o - 1 do
+            let x = Array.unsafe_get a i in
+            Ilanes.unsafe_set o i
+              (if Float.is_nan x || x < lo || x > hi then ind
+               else
+                 let n = Int64.of_float x in
+                 let tr = Int64.of_int32 (Int64.to_int32 n) in
+                 if tr <> n then ind else tr)
+          done
+        | _ -> fail ())
+    | _ -> generic ())
+  | Vir.Instr.Sitofp -> (
+    match ds with
+    | Vir.Vtype.F64 -> (
+      fun v out ->
+        match (v, out) with
+        | Vvalue.I (_, a), Vvalue.F (_, o) ->
+          for i = 0 to Array.length o - 1 do
+            Array.unsafe_set o i (Int64.to_float (Ilanes.unsafe_get a i))
+          done
+        | _ -> fail ())
+    | Vir.Vtype.F32 -> (
+      fun v out ->
+        match (v, out) with
+        | Vvalue.I (_, a), Vvalue.F (_, o) ->
+          for i = 0 to Array.length o - 1 do
+            Array.unsafe_set o i
+              (Int32.float_of_bits
+                 (Int32.bits_of_float
+                    (Int64.to_float (Ilanes.unsafe_get a i))))
+          done
+        | _ -> fail ())
+    | _ -> fun _ _ -> fail ())
+  | Vir.Instr.Fptrunc | Vir.Instr.Fpext -> (
+    match ds with
+    | Vir.Vtype.F64 -> (
+      fun v out ->
+        match (v, out) with
+        | Vvalue.F (_, a), Vvalue.F (_, o) ->
+          Array.blit a 0 o 0 (Array.length o)
+        | _ -> fail ())
+    | Vir.Vtype.F32 -> (
+      fun v out ->
+        match (v, out) with
+        | Vvalue.F (_, a), Vvalue.F (_, o) ->
+          for i = 0 to Array.length o - 1 do
+            Array.unsafe_set o i
+              (Int32.float_of_bits (Int32.bits_of_float (Array.unsafe_get a i)))
+          done
+        | _ -> fail ())
+    | _ -> fun _ _ -> fail ())
+  | Vir.Instr.Bitcast ->
+    if
+      Vir.Vtype.is_float_scalar ds
+      && Vir.Vtype.is_int_scalar src
+      && Vir.Vtype.scalar_bits src = Vir.Vtype.scalar_bits ds
+    then
+      match ds with
+      | Vir.Vtype.F64 -> (
+        fun v out ->
+          match (v, out) with
+          | Vvalue.I (_, a), Vvalue.F (_, o) ->
+            for i = 0 to Array.length o - 1 do
+              Array.unsafe_set o i
+                (Int64.float_of_bits (Ilanes.unsafe_get a i))
+            done
+          | _ -> fail ())
+      | Vir.Vtype.F32 -> (
+        fun v out ->
+          match (v, out) with
+          | Vvalue.I (_, a), Vvalue.F (_, o) ->
+            for i = 0 to Array.length o - 1 do
+              Array.unsafe_set o i
+                (Int32.float_of_bits (Int64.to_int32 (Ilanes.unsafe_get a i)))
+            done
+          | _ -> fail ())
+      | _ -> fun _ _ -> fail ()
+    else if
+      Vir.Vtype.is_int_scalar ds
+      && Vir.Vtype.is_float_scalar src
+      && Vir.Vtype.scalar_bits src = Vir.Vtype.scalar_bits ds
+    then
+      match src with
+      | Vir.Vtype.F64 -> (
+        fun v out ->
+          match (v, out) with
+          | Vvalue.F (_, a), Vvalue.I (_, o) ->
+            for i = 0 to Ilanes.length o - 1 do
+              Ilanes.unsafe_set o i (Int64.bits_of_float (Array.unsafe_get a i))
+            done
+          | _ -> fail ())
+      | Vir.Vtype.F32 -> (
+        fun v out ->
+          match (v, out) with
+          | Vvalue.F (_, a), Vvalue.I (_, o) ->
+            for i = 0 to Ilanes.length o - 1 do
+              Ilanes.unsafe_set o i
+                (Int64.of_int32 (Int32.bits_of_float (Array.unsafe_get a i)))
+            done
+          | _ -> fail ())
+      | _ -> fun _ _ -> fail ()
+    else if
+      Vir.Vtype.is_int_scalar ds
+      && Vir.Vtype.is_int_scalar src
+      && Vir.Vtype.scalar_bits src = Vir.Vtype.scalar_bits ds
+    then ii (-1L)
     else fun _ _ -> fail ()
 
 (* Allocating wrapper over the destination-passing kernel, for the
@@ -371,7 +1496,7 @@ let cast_fn (k : Vir.Instr.cast_op) ~(src : Vir.Vtype.scalar)
     let n = Vvalue.lanes v in
     let out =
       if float_out then Vvalue.F (ds, Array.make n 0.0)
-      else Vvalue.I (ds, Array.make n 0L)
+      else Vvalue.I (ds, Ilanes.make n 0L)
     in
     into v out;
     out
@@ -421,10 +1546,22 @@ let math_fn = function
 let reduce_fadd (s : Vir.Vtype.scalar) (lanes : float array) =
   Array.fold_left (fun acc x -> Bits.round_float s (acc +. x)) 0.0 lanes
 
-let reduce_iadd (s : Vir.Vtype.scalar) (lanes : int64 array) =
-  Array.fold_left (fun acc x -> Bits.truncate s (Int64.add acc x)) 0L lanes
+(* The integer reductions are written as direct loops (not fold_left):
+   an [int64] accumulator threaded through a closure would be boxed on
+   every lane, while the loop-local ref unboxes completely. *)
+let reduce_iadd (s : Vir.Vtype.scalar) (lanes : Ilanes.t) =
+  let acc = ref 0L in
+  for i = 0 to Ilanes.length lanes - 1 do
+    acc := Bits.truncate s (Int64.add !acc (Ilanes.unsafe_get lanes i))
+  done;
+  !acc
 
-let reduce_or (lanes : int64 array) = Array.fold_left Int64.logor 0L lanes
+let reduce_or (lanes : Ilanes.t) =
+  let acc = ref 0L in
+  for i = 0 to Ilanes.length lanes - 1 do
+    acc := Int64.logor !acc (Ilanes.unsafe_get lanes i)
+  done;
+  !acc
 
 (* Reductions fold from lanes.(0) over the whole array (re-visiting lane
    0 is harmless for min/max), mirroring the historical implementation. *)
@@ -432,6 +1569,18 @@ let reduce_fmin (lanes : float array) = Array.fold_left fmin lanes.(0) lanes
 
 let reduce_fmax (lanes : float array) = Array.fold_left fmax lanes.(0) lanes
 
-let reduce_imin (lanes : int64 array) = Array.fold_left imin lanes.(0) lanes
+let reduce_imin (lanes : Ilanes.t) =
+  let acc = ref (Ilanes.get lanes 0) in
+  for i = 1 to Ilanes.length lanes - 1 do
+    let x = Ilanes.unsafe_get lanes i in
+    if Int64.compare x !acc < 0 then acc := x
+  done;
+  !acc
 
-let reduce_imax (lanes : int64 array) = Array.fold_left imax lanes.(0) lanes
+let reduce_imax (lanes : Ilanes.t) =
+  let acc = ref (Ilanes.get lanes 0) in
+  for i = 1 to Ilanes.length lanes - 1 do
+    let x = Ilanes.unsafe_get lanes i in
+    if Int64.compare x !acc > 0 then acc := x
+  done;
+  !acc

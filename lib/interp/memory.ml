@@ -155,18 +155,39 @@ let load_scalar m (s : Vir.Vtype.scalar) addr : Vvalue.t =
   let r, off = region_for m addr ~bytes in
   match s with
   | I1 ->
-    Vvalue.I (I1, [| (if Bytes.get r.data off = '\000' then 0L else 1L) |])
+    Vvalue.I (I1, Ilanes.make 1 ((if Bytes.get r.data off = '\000' then 0L else 1L)))
   | I8 ->
-    Vvalue.I (I8, [| Int64.of_int (Char.code (Bytes.get r.data off) lsl 56 asr 56) |])
+    Vvalue.I (I8, Ilanes.make 1 (Int64.of_int (Char.code (Bytes.get r.data off) lsl 56 asr 56)))
   | I32 ->
-    Vvalue.I (I32, [| Int64.of_int32 (Bytes.get_int32_le r.data off) |])
-  | I64 -> Vvalue.I (I64, [| Bytes.get_int64_le r.data off |])
-  | Ptr -> Vvalue.I (Ptr, [| Bytes.get_int64_le r.data off |])
+    Vvalue.I (I32, Ilanes.make 1 (Int64.of_int32 (Bytes.get_int32_le r.data off)))
+  | I64 -> Vvalue.I (I64, Ilanes.make 1 (Bytes.get_int64_le r.data off))
+  | Ptr -> Vvalue.I (Ptr, Ilanes.make 1 (Bytes.get_int64_le r.data off))
   | F32 ->
     Vvalue.F
       (F32, [| Int32.float_of_bits (Bytes.get_int32_le r.data off) |])
   | F64 ->
     Vvalue.F (F64, [| Int64.float_of_bits (Bytes.get_int64_le r.data off) |])
+
+(* Raw per-lane readers: same trap behaviour as [load_scalar] but the
+   lane comes back unboxed, so the masked/gather loops neither allocate
+   a value wrapper nor box the payload. *)
+let load_scalar_int m (s : Vir.Vtype.scalar) addr : int64 =
+  let bytes = Vir.Vtype.scalar_bytes s in
+  let r, off = region_for m addr ~bytes in
+  match s with
+  | I1 -> if Bytes.get r.data off = '\000' then 0L else 1L
+  | I8 -> Int64.of_int (Char.code (Bytes.get r.data off) lsl 56 asr 56)
+  | I32 -> Int64.of_int32 (Bytes.get_int32_le r.data off)
+  | I64 | Ptr -> Bytes.get_int64_le r.data off
+  | F32 | F64 -> invalid_arg "Memory.load_scalar_int: float scalar"
+
+let load_scalar_float m (s : Vir.Vtype.scalar) addr : float =
+  let bytes = Vir.Vtype.scalar_bytes s in
+  let r, off = region_for m addr ~bytes in
+  match s with
+  | F32 -> Int32.float_of_bits (Bytes.get_int32_le r.data off)
+  | F64 -> Int64.float_of_bits (Bytes.get_int64_le r.data off)
+  | _ -> invalid_arg "Memory.load_scalar_float: int scalar"
 
 let store_scalar m (s : Vir.Vtype.scalar) addr (lane_int : int64)
     (lane_float : float) =
@@ -241,9 +262,9 @@ let load m (ty : Vir.Vtype.t) addr : Vvalue.t =
         Vvalue.F (s, out)
       end
       else begin
-        let out = Array.make n 0L in
+        let out = Ilanes.make n 0L in
         for i = 0 to n - 1 do
-          Array.unsafe_set out i (read_lane_int s r.data (off + (i * sb)))
+          Ilanes.unsafe_set out i (read_lane_int s r.data (off + (i * sb)))
         done;
         Vvalue.I (s, out)
       end
@@ -261,12 +282,12 @@ let load m (ty : Vir.Vtype.t) addr : Vvalue.t =
       else
         Vvalue.I
           ( s,
-            Array.init n (fun i ->
+            Ilanes.init n (fun i ->
                 match
                   load_scalar m s
                     (Int64.add addr (Int64.mul step (Int64.of_int i)))
                 with
-                | Vvalue.I (_, [| x |]) -> x
+                | Vvalue.I (_, a) -> Ilanes.unsafe_get a 0
                 | _ -> assert false) ))
 
 (* Store a value to contiguous memory; [mask] (if given) disables lanes. *)
@@ -285,7 +306,7 @@ let store ?mask m (v : Vvalue.t) addr =
     match v with
     | Vvalue.I (_, lanes) ->
       for i = 0 to n - 1 do
-        write_lane_int s r.data (off + (i * sb)) lanes.(i)
+        write_lane_int s r.data (off + (i * sb)) (Ilanes.unsafe_get lanes i)
       done
     | Vvalue.F (_, lanes) ->
       for i = 0 to n - 1 do
@@ -300,7 +321,8 @@ let store ?mask m (v : Vvalue.t) addr =
       if enabled then
         let a = Int64.add addr (Int64.mul step (Int64.of_int i)) in
         match v with
-        | Vvalue.I (_, lanes) -> store_scalar m s a lanes.(i) 0.0
+        | Vvalue.I (_, lanes) ->
+          store_scalar m s a (Ilanes.unsafe_get lanes i) 0.0
         | Vvalue.F (_, lanes) -> store_scalar m s a 0L lanes.(i)
     done
 
@@ -317,27 +339,23 @@ let loader (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t =
     | I1 ->
       fun m addr ->
         let r, off = region_for m addr ~bytes:1 in
-        Vvalue.I
-          (I1, [| (if Bytes.get r.data off = '\000' then 0L else 1L) |])
+        Vvalue.I (I1, Ilanes.of_array [| (if Bytes.get r.data off = '\000' then 0L else 1L) |])
     | I8 ->
       fun m addr ->
         let r, off = region_for m addr ~bytes:1 in
-        Vvalue.I
-          ( I8,
-            [| Int64.of_int (Char.code (Bytes.get r.data off) lsl 56 asr 56) |]
-          )
+        Vvalue.I (I8, Ilanes.of_array [| Int64.of_int (Char.code (Bytes.get r.data off) lsl 56 asr 56) |])
     | I32 ->
       fun m addr ->
         let r, off = region_for m addr ~bytes:4 in
-        Vvalue.I (I32, [| Int64.of_int32 (Bytes.get_int32_le r.data off) |])
+        Vvalue.I (I32, Ilanes.make 1 (Int64.of_int32 (Bytes.get_int32_le r.data off)))
     | I64 ->
       fun m addr ->
         let r, off = region_for m addr ~bytes:8 in
-        Vvalue.I (I64, [| Bytes.get_int64_le r.data off |])
+        Vvalue.I (I64, Ilanes.make 1 (Bytes.get_int64_le r.data off))
     | Ptr ->
       fun m addr ->
         let r, off = region_for m addr ~bytes:8 in
-        Vvalue.I (Ptr, [| Bytes.get_int64_le r.data off |])
+        Vvalue.I (Ptr, Ilanes.make 1 (Bytes.get_int64_le r.data off))
     | F32 ->
       fun m addr ->
         let r, off = region_for m addr ~bytes:4 in
@@ -412,22 +430,18 @@ let loader (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t =
       fun m addr ->
         (match range_in_region m addr ~bytes with
         | Some (r, off) ->
-          Vvalue.I
-            ( I32,
-              [|
+          Vvalue.I (I32, Ilanes.of_array [|
                 Int64.of_int32 (Bytes.get_int32_le r.data off);
                 Int64.of_int32 (Bytes.get_int32_le r.data (off + 4));
                 Int64.of_int32 (Bytes.get_int32_le r.data (off + 8));
                 Int64.of_int32 (Bytes.get_int32_le r.data (off + 12));
-              |] )
+              |])
         | None -> load m ty addr)
     | Vir.Vtype.I32, 8 ->
       fun m addr ->
         (match range_in_region m addr ~bytes with
         | Some (r, off) ->
-          Vvalue.I
-            ( I32,
-              [|
+          Vvalue.I (I32, Ilanes.of_array [|
                 Int64.of_int32 (Bytes.get_int32_le r.data off);
                 Int64.of_int32 (Bytes.get_int32_le r.data (off + 4));
                 Int64.of_int32 (Bytes.get_int32_le r.data (off + 8));
@@ -436,31 +450,27 @@ let loader (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t =
                 Int64.of_int32 (Bytes.get_int32_le r.data (off + 20));
                 Int64.of_int32 (Bytes.get_int32_le r.data (off + 24));
                 Int64.of_int32 (Bytes.get_int32_le r.data (off + 28));
-              |] )
+              |])
         | None -> load m ty addr)
     | Vir.Vtype.I64, 2 ->
       fun m addr ->
         (match range_in_region m addr ~bytes with
         | Some (r, off) ->
-          Vvalue.I
-            ( I64,
-              [|
+          Vvalue.I (I64, Ilanes.of_array [|
                 Bytes.get_int64_le r.data off;
                 Bytes.get_int64_le r.data (off + 8);
-              |] )
+              |])
         | None -> load m ty addr)
     | Vir.Vtype.I64, 4 ->
       fun m addr ->
         (match range_in_region m addr ~bytes with
         | Some (r, off) ->
-          Vvalue.I
-            ( I64,
-              [|
+          Vvalue.I (I64, Ilanes.of_array [|
                 Bytes.get_int64_le r.data off;
                 Bytes.get_int64_le r.data (off + 8);
                 Bytes.get_int64_le r.data (off + 16);
                 Bytes.get_int64_le r.data (off + 24);
-              |] )
+              |])
         | None -> load m ty addr)
     | _ ->
       if Vir.Vtype.is_float_scalar s then
@@ -478,9 +488,9 @@ let loader (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t =
         fun m addr ->
           (match range_in_region m addr ~bytes with
           | Some (r, off) ->
-            let out = Array.make n 0L in
+            let out = Ilanes.make n 0L in
             for i = 0 to n - 1 do
-              Array.unsafe_set out i (read_lane_int s r.data (off + (i * sb)))
+              Ilanes.unsafe_set out i (read_lane_int s r.data (off + (i * sb)))
             done;
             Vvalue.I (s, out)
           | None -> load m ty addr))
@@ -504,28 +514,29 @@ let loader_into (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t -> unit =
         let r, off = region_for m addr ~bytes:1 in
         (match out with
         | Vvalue.I (_, o) ->
-          o.(0) <- (if Bytes.get r.data off = '\000' then 0L else 1L)
+          Ilanes.unsafe_set o 0
+            (if Bytes.get r.data off = '\000' then 0L else 1L)
         | _ -> bad_into ())
     | I8 ->
       fun m addr out ->
         let r, off = region_for m addr ~bytes:1 in
         (match out with
         | Vvalue.I (_, o) ->
-          o.(0) <-
-            Int64.of_int (Char.code (Bytes.get r.data off) lsl 56 asr 56)
+          Ilanes.unsafe_set o 0
+            (Int64.of_int (Char.code (Bytes.get r.data off) lsl 56 asr 56))
         | _ -> bad_into ())
     | I32 ->
       fun m addr out ->
         let r, off = region_for m addr ~bytes:4 in
         (match out with
         | Vvalue.I (_, o) ->
-          o.(0) <- Int64.of_int32 (Bytes.get_int32_le r.data off)
+          Ilanes.unsafe_set o 0 (Int64.of_int32 (Bytes.get_int32_le r.data off))
         | _ -> bad_into ())
     | I64 | Ptr ->
       fun m addr out ->
         let r, off = region_for m addr ~bytes:8 in
         (match out with
-        | Vvalue.I (_, o) -> o.(0) <- Bytes.get_int64_le r.data off
+        | Vvalue.I (_, o) -> Ilanes.unsafe_set o 0 (Bytes.get_int64_le r.data off)
         | _ -> bad_into ())
     | F32 ->
       fun m addr out ->
@@ -572,7 +583,8 @@ let loader_into (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t -> unit =
         (match (range_in_region m addr ~bytes, out) with
         | Some (r, off), Vvalue.I (_, o) ->
           for i = 0 to n - 1 do
-            o.(i) <- Int64.of_int32 (Bytes.get_int32_le r.data (off + (i * 4)))
+            Ilanes.unsafe_set o i
+              (Int64.of_int32 (Bytes.get_int32_le r.data (off + (i * 4))))
           done
         | None, _ -> Vvalue.copy_into ~dst:out (load m ty addr)
         | Some _, _ -> bad_into ())
@@ -580,9 +592,9 @@ let loader_into (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t -> unit =
       fun m addr out ->
         (match (range_in_region m addr ~bytes, out) with
         | Some (r, off), Vvalue.I (_, o) ->
-          for i = 0 to n - 1 do
-            o.(i) <- Bytes.get_int64_le r.data (off + (i * 8))
-          done
+          (* lane buffers are 8-byte little-endian words, same encoding
+             as memory: a vector of I64/Ptr lanes is one byte blit *)
+          Bytes.blit r.data off o 0 (n * 8)
         | None, _ -> Vvalue.copy_into ~dst:out (load m ty addr)
         | Some _, _ -> bad_into ())
     | Vir.Vtype.I1 | Vir.Vtype.I8 ->
@@ -590,7 +602,7 @@ let loader_into (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t -> unit =
         (match (range_in_region m addr ~bytes, out) with
         | Some (r, off), Vvalue.I (_, o) ->
           for i = 0 to n - 1 do
-            o.(i) <- read_lane_int s r.data (off + (i * sb))
+            Ilanes.unsafe_set o i (read_lane_int s r.data (off + (i * sb)))
           done
         | None, _ -> Vvalue.copy_into ~dst:out (load m ty addr)
         | Some _, _ -> bad_into ()))
@@ -607,7 +619,8 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
       fun m v addr ->
         let r, off = region_for m addr ~bytes:4 in
         (match v with
-        | Vvalue.I (_, [| x |]) ->
+        | Vvalue.I (_, a) when Ilanes.length a = 1 ->
+          let x = Ilanes.unsafe_get a 0 in
           touch r off 4;
           Bytes.set_int32_le r.data off (Int64.to_int32 x)
         | _ -> store_scalar m I32 addr (Vvalue.as_int v) 0.0)
@@ -615,7 +628,8 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
       fun m v addr ->
         let r, off = region_for m addr ~bytes:8 in
         (match v with
-        | Vvalue.I (_, [| x |]) ->
+        | Vvalue.I (_, a) when Ilanes.length a = 1 ->
+          let x = Ilanes.unsafe_get a 0 in
           touch r off 8;
           Bytes.set_int64_le r.data off x
         | _ -> store_scalar m I64 addr (Vvalue.as_int v) 0.0)
@@ -623,7 +637,8 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
       fun m v addr ->
         let r, off = region_for m addr ~bytes:8 in
         (match v with
-        | Vvalue.I (_, [| x |]) ->
+        | Vvalue.I (_, a) when Ilanes.length a = 1 ->
+          let x = Ilanes.unsafe_get a 0 in
           touch r off 8;
           Bytes.set_int64_le r.data off x
         | _ -> store_scalar m Ptr addr (Vvalue.as_int v) 0.0)
@@ -646,7 +661,8 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
     | I1 | I8 ->
       fun m v addr ->
         (match v with
-        | Vvalue.I (_, [| x |]) -> store_scalar m s addr x 0.0
+        | Vvalue.I (_, a) when Ilanes.length a = 1 ->
+          store_scalar m s addr (Ilanes.unsafe_get a 0) 0.0
         | _ -> store_scalar m s addr (Vvalue.as_int v) 0.0))
   | Vir.Vtype.Vector (n, s) -> (
     let sb = Vir.Vtype.scalar_bytes s in
@@ -697,44 +713,44 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
     | Vir.Vtype.I32, 4 ->
       fun m v addr ->
         (match (range_in_region m addr ~bytes, v) with
-        | Some (r, off), Vvalue.I (_, l) when Array.length l = 4 ->
+        | Some (r, off), Vvalue.I (_, l) when Ilanes.length l = 4 ->
           touch r off bytes;
-          Bytes.set_int32_le r.data off (Int64.to_int32 l.(0));
-          Bytes.set_int32_le r.data (off + 4) (Int64.to_int32 l.(1));
-          Bytes.set_int32_le r.data (off + 8) (Int64.to_int32 l.(2));
-          Bytes.set_int32_le r.data (off + 12) (Int64.to_int32 l.(3))
+          Bytes.set_int32_le r.data off (Int64.to_int32 (Ilanes.unsafe_get l 0));
+          Bytes.set_int32_le r.data (off + 4) (Int64.to_int32 (Ilanes.unsafe_get l 1));
+          Bytes.set_int32_le r.data (off + 8) (Int64.to_int32 (Ilanes.unsafe_get l 2));
+          Bytes.set_int32_le r.data (off + 12) (Int64.to_int32 (Ilanes.unsafe_get l 3))
         | _ -> store m v addr)
     | Vir.Vtype.I32, 8 ->
       fun m v addr ->
         (match (range_in_region m addr ~bytes, v) with
-        | Some (r, off), Vvalue.I (_, l) when Array.length l = 8 ->
+        | Some (r, off), Vvalue.I (_, l) when Ilanes.length l = 8 ->
           touch r off bytes;
-          Bytes.set_int32_le r.data off (Int64.to_int32 l.(0));
-          Bytes.set_int32_le r.data (off + 4) (Int64.to_int32 l.(1));
-          Bytes.set_int32_le r.data (off + 8) (Int64.to_int32 l.(2));
-          Bytes.set_int32_le r.data (off + 12) (Int64.to_int32 l.(3));
-          Bytes.set_int32_le r.data (off + 16) (Int64.to_int32 l.(4));
-          Bytes.set_int32_le r.data (off + 20) (Int64.to_int32 l.(5));
-          Bytes.set_int32_le r.data (off + 24) (Int64.to_int32 l.(6));
-          Bytes.set_int32_le r.data (off + 28) (Int64.to_int32 l.(7))
+          Bytes.set_int32_le r.data off (Int64.to_int32 (Ilanes.unsafe_get l 0));
+          Bytes.set_int32_le r.data (off + 4) (Int64.to_int32 (Ilanes.unsafe_get l 1));
+          Bytes.set_int32_le r.data (off + 8) (Int64.to_int32 (Ilanes.unsafe_get l 2));
+          Bytes.set_int32_le r.data (off + 12) (Int64.to_int32 (Ilanes.unsafe_get l 3));
+          Bytes.set_int32_le r.data (off + 16) (Int64.to_int32 (Ilanes.unsafe_get l 4));
+          Bytes.set_int32_le r.data (off + 20) (Int64.to_int32 (Ilanes.unsafe_get l 5));
+          Bytes.set_int32_le r.data (off + 24) (Int64.to_int32 (Ilanes.unsafe_get l 6));
+          Bytes.set_int32_le r.data (off + 28) (Int64.to_int32 (Ilanes.unsafe_get l 7))
         | _ -> store m v addr)
     | Vir.Vtype.I64, 2 ->
       fun m v addr ->
         (match (range_in_region m addr ~bytes, v) with
-        | Some (r, off), Vvalue.I (_, l) when Array.length l = 2 ->
+        | Some (r, off), Vvalue.I (_, l) when Ilanes.length l = 2 ->
           touch r off bytes;
-          Bytes.set_int64_le r.data off l.(0);
-          Bytes.set_int64_le r.data (off + 8) l.(1)
+          Bytes.set_int64_le r.data off (Ilanes.unsafe_get l 0);
+          Bytes.set_int64_le r.data (off + 8) (Ilanes.unsafe_get l 1)
         | _ -> store m v addr)
     | Vir.Vtype.I64, 4 ->
       fun m v addr ->
         (match (range_in_region m addr ~bytes, v) with
-        | Some (r, off), Vvalue.I (_, l) when Array.length l = 4 ->
+        | Some (r, off), Vvalue.I (_, l) when Ilanes.length l = 4 ->
           touch r off bytes;
-          Bytes.set_int64_le r.data off l.(0);
-          Bytes.set_int64_le r.data (off + 8) l.(1);
-          Bytes.set_int64_le r.data (off + 16) l.(2);
-          Bytes.set_int64_le r.data (off + 24) l.(3)
+          Bytes.set_int64_le r.data off (Ilanes.unsafe_get l 0);
+          Bytes.set_int64_le r.data (off + 8) (Ilanes.unsafe_get l 1);
+          Bytes.set_int64_le r.data (off + 16) (Ilanes.unsafe_get l 2);
+          Bytes.set_int64_le r.data (off + 24) (Ilanes.unsafe_get l 3)
         | _ -> store m v addr)
     | _ ->
       fun m v addr ->
@@ -744,7 +760,7 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
           match v with
           | Vvalue.I (_, lanes) ->
             for i = 0 to n - 1 do
-              write_lane_int s r.data (off + (i * sb)) lanes.(i)
+              write_lane_int s r.data (off + (i * sb)) (Ilanes.unsafe_get lanes i)
             done
           | Vvalue.F (_, lanes) ->
             for i = 0 to n - 1 do
@@ -771,10 +787,10 @@ let masked_load m (ty : Vir.Vtype.t) addr ~mask : Vvalue.t =
     else
       Vvalue.I
         ( s,
-          Array.init n (fun i ->
+          Ilanes.init n (fun i ->
               if Vvalue.is_true_lane mask i then
                 match load_scalar m s (lane_addr i) with
-                | Vvalue.I (_, [| x |]) -> x
+                | Vvalue.I (_, a) -> Ilanes.unsafe_get a 0
                 | _ -> assert false
               else 0L) )
   | _ -> invalid_arg "Memory.masked_load: scalar type"
@@ -791,24 +807,18 @@ let masked_load_into m (ty : Vir.Vtype.t) addr ~mask (out : Vvalue.t) =
     for i = 0 to n - 1 do
       o.(i) <-
         (if Vvalue.is_true_lane mask i then
-           match
-             load_scalar m s (Int64.add addr (Int64.mul step (Int64.of_int i)))
-           with
-           | Vvalue.F (_, [| x |]) -> x
-           | _ -> assert false
+           load_scalar_float m s
+             (Int64.add addr (Int64.mul step (Int64.of_int i)))
          else 0.0)
     done
   | Vir.Vtype.Vector (n, s), Vvalue.I (_, o)
     when not (Vir.Vtype.is_float_scalar s) ->
     let step = Int64.of_int (Vir.Vtype.scalar_bytes s) in
     for i = 0 to n - 1 do
-      o.(i) <-
+      Ilanes.unsafe_set o i
         (if Vvalue.is_true_lane mask i then
-           match
-             load_scalar m s (Int64.add addr (Int64.mul step (Int64.of_int i)))
-           with
-           | Vvalue.I (_, [| x |]) -> x
-           | _ -> assert false
+           load_scalar_int m s
+             (Int64.add addr (Int64.mul step (Int64.of_int i)))
          else 0L)
     done
   | Vir.Vtype.Vector _, _ ->
@@ -841,7 +851,7 @@ let read_i32_array m base n =
   | None ->
     Array.init n (fun i ->
         match load_scalar m I32 (Int64.add base (Int64.of_int (4 * i))) with
-        | Vvalue.I (_, [| x |]) -> Int64.to_int x
+        | Vvalue.I (_, a) -> Int64.to_int (Ilanes.unsafe_get a 0)
         | _ -> assert false)
 
 let write_f32_array m base (xs : float array) =

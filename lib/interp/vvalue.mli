@@ -1,10 +1,11 @@
 (** Runtime values of the VM: a typed array of lanes (scalars are
-    1-lane). Integers (booleans, pointers) are sign-normalised [int64]s;
-    floats are OCaml floats with F32 lanes kept rounded to single
-    precision. *)
+    1-lane). Integers (booleans, pointers) are sign-normalised [int64]s
+    packed 8-bytes-per-lane in a flat {!Ilanes.t} buffer — lane writes
+    are single stores with no boxing and no GC write barrier; floats are
+    OCaml floats with F32 lanes kept rounded to single precision. *)
 
 type t =
-  | I of Vir.Vtype.scalar * int64 array  (** I1/I8/I32/I64/Ptr lanes *)
+  | I of Vir.Vtype.scalar * Ilanes.t  (** I1/I8/I32/I64/Ptr lanes *)
   | F of Vir.Vtype.scalar * float array  (** F32/F64 lanes *)
 
 val ty : t -> Vir.Vtype.t

@@ -9,9 +9,13 @@ let scalar_const (s : Vir.Vtype.scalar) ~(int_lane : int64)
 
 let to_const (v : Vvalue.t) : Vir.Const.t =
   match v with
-  | Vvalue.I (s, [| x |]) -> Vir.Const.Cint (s, x)
+  | Vvalue.I (s, lanes) when Ilanes.length lanes = 1 ->
+    Vir.Const.Cint (s, Ilanes.unsafe_get lanes 0)
   | Vvalue.F (s, [| x |]) -> Vir.Const.Cfloat (s, x)
   | Vvalue.I (s, lanes) ->
-    Vir.Const.Cvec (Array.map (fun x -> Vir.Const.Cint (s, x)) lanes)
+    Vir.Const.Cvec
+      (Array.map
+         (fun x -> Vir.Const.Cint (s, x))
+         (Ilanes.to_array lanes))
   | Vvalue.F (s, lanes) ->
     Vir.Const.Cvec (Array.map (fun x -> Vir.Const.Cfloat (s, x)) lanes)

@@ -18,8 +18,12 @@ let both a b =
   | Some x, Some y -> Some (x, y)
   | _ -> None
 
-let map2i f (a : int64 array) (b : int64 array) =
-  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+let map2i f (a : Interp.Ilanes.t) (b : Interp.Ilanes.t) =
+  Interp.Ilanes.init (Interp.Ilanes.length a) (fun i ->
+      f (Interp.Ilanes.get a i) (Interp.Ilanes.get b i))
+
+let lanes_exist p (a : Interp.Ilanes.t) =
+  Interp.Ilanes.fold_left (fun acc x -> acc || p x) false a
 
 (* Evaluate one instruction if all operands are constant and the
    operation cannot trap. Returns the folded constant. *)
@@ -32,10 +36,10 @@ let eval_instr (i : Instr.t) : Const.t option =
       let trappy =
         match k with
         | Instr.Sdiv | Instr.Srem | Instr.Udiv | Instr.Urem ->
-          Array.exists (Int64.equal 0L) xb
+          lanes_exist (Int64.equal 0L) xb
           || (s = Vtype.I64
-             && Array.exists (Int64.equal Int64.min_int) xa
-             && Array.exists (Int64.equal (-1L)) xb)
+             && lanes_exist (Int64.equal Int64.min_int) xa
+             && lanes_exist (Int64.equal (-1L)) xb)
         | _ -> false
       in
       if trappy then None
@@ -70,7 +74,7 @@ let eval_instr (i : Instr.t) : Const.t option =
         (Vvalue_const.to_const
            (Vvalue.I
               ( Vtype.I1,
-                Array.init (Array.length xa) (fun ix ->
+                Interp.Ilanes.init (Array.length xa) (fun ix ->
                     Machine.eval_fcmp_lane p xa.(ix) xb.(ix)) )))
     | _ -> None)
   | Instr.Select (c, a, b) -> (
@@ -105,7 +109,14 @@ let eval_instr (i : Instr.t) : Const.t option =
     | _ -> None)
   | Instr.Shufflevector (a, b, mask) -> (
     match both a b with
-    | Some (va, vb) ->
+    | Some (va, vb) when
+        (* A mask index outside [0, 2n) is malformed IR (the verifier
+           rejects it); the folder must leave the instruction in place
+           rather than die on the extract, like the guarded
+           Extractelement/Insertelement arms above. *)
+        Array.for_all
+          (fun ix -> ix >= 0 && ix < Vvalue.lanes va + Vvalue.lanes vb)
+          mask ->
       let n = Vvalue.lanes va in
       let lane ix = if ix < n then Vvalue.extract va ix else Vvalue.extract vb (ix - n) in
       let parts = Array.map lane mask in
@@ -115,10 +126,11 @@ let eval_instr (i : Instr.t) : Const.t option =
         | Vvalue.I (s, _) ->
           Vvalue.I
             ( s,
-              Array.map
-                (fun p ->
-                  match p with Vvalue.I (_, [| x |]) -> x | _ -> assert false)
-                parts )
+              Interp.Ilanes.init (Array.length parts) (fun k ->
+                  match parts.(k) with
+                  | Vvalue.I (_, x) when Interp.Ilanes.length x = 1 ->
+                    Interp.Ilanes.unsafe_get x 0
+                  | _ -> assert false) )
         | Vvalue.F (s, _) ->
           Vvalue.F
             ( s,
@@ -128,7 +140,7 @@ let eval_instr (i : Instr.t) : Const.t option =
                 parts )
       in
       Some (Vvalue_const.to_const folded)
-    | None -> None)
+    | Some _ | None -> None)
   | _ -> None
 
 (* One folding sweep over a function; returns number of folds. Folded
@@ -138,7 +150,10 @@ let fold_func_once (f : Func.t) : int =
   let folded = ref 0 in
   List.iter
     (fun b ->
-      let dead = ref [] in
+      (* Hash-set of folded register ids: the dead-instruction filter
+         below is a membership test per instruction, so a sweep over a
+         large (e.g. fused-superblock) function stays O(n). *)
+      let dead = Hashtbl.create 16 in
       List.iter
         (fun (i : Instr.t) ->
           if Instr.defines i then
@@ -146,14 +161,14 @@ let fold_func_once (f : Func.t) : int =
             | Some c ->
               incr folded;
               Func.replace_uses f ~reg:i.Instr.id ~by:(Instr.Imm c);
-              dead := i.Instr.id :: !dead
+              Hashtbl.replace dead i.Instr.id ()
             | None -> ())
         b.Block.instrs;
-      if !dead <> [] then
+      if Hashtbl.length dead > 0 then
         b.Block.instrs <-
           List.filter
             (fun (i : Instr.t) ->
-              not (Instr.defines i && List.mem i.Instr.id !dead))
+              not (Instr.defines i && Hashtbl.mem dead i.Instr.id))
             b.Block.instrs)
     f.Func.blocks;
   !folded

@@ -4,6 +4,10 @@
     (constant division by zero) are deliberately left in place — the
     fault-injection study depends on traps staying observable. *)
 
+(** One folding sweep over a function (no fixpoint, no DCE); returns
+    the number of folds. Exposed so tests can pin per-sweep counts. *)
+val fold_func_once : Vir.Func.t -> int
+
 (** Fold one function to fixpoint (with a final DCE sweep); returns the
     number of folds performed. *)
 val run_func : Vir.Func.t -> int

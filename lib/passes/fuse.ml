@@ -1,0 +1,37 @@
+open Vir
+
+let run_func (f : Func.t) : int =
+  let chains = Analysis.Chains.find f in
+  f.Func.fuse_chains <-
+    List.map
+      (fun (c : Analysis.Chains.chain) ->
+        {
+          Func.fc_block = c.Analysis.Chains.c_block;
+          fc_start = c.Analysis.Chains.c_start;
+          fc_len = c.Analysis.Chains.c_len;
+        })
+      chains;
+  List.length chains
+
+let run_module (m : Vmodule.t) : int =
+  List.fold_left (fun acc f -> acc + run_func f) 0 m.Vmodule.funcs
+
+let clear_module (m : Vmodule.t) : unit =
+  List.iter (fun (f : Func.t) -> f.Func.fuse_chains <- []) m.Vmodule.funcs
+
+let rule_stats (m : Vmodule.t) : (string * int) list =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (c : Analysis.Chains.chain) ->
+          let k = Analysis.Chains.rule_name c.Analysis.Chains.c_rule in
+          Hashtbl.replace counts k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+        (Analysis.Chains.find f))
+    m.Vmodule.funcs;
+  List.filter_map
+    (fun r ->
+      let k = Analysis.Chains.rule_name r in
+      Option.map (fun n -> (k, n)) (Hashtbl.find_opt counts k))
+    Analysis.Chains.all_rules

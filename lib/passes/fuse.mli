@@ -1,0 +1,24 @@
+(** Peephole fusion annotation pass.
+
+    Finds legal straight-line chains ({!Analysis.Chains}) and records
+    them on each function's [fuse_chains] field for the interpreter's
+    threading stage to lower as single fused kernels. The pass rewrites
+    no IR — it only annotates — so it preserves semantics, dynamic
+    instruction counts, fault-site numbering and traces exactly; a
+    backend that ignores the annotation executes identically. *)
+
+(** Annotate one function; returns the number of chains found. Any
+    previous annotation is replaced. *)
+val run_func : Vir.Func.t -> int
+
+(** Annotate every function; returns the total chain count. *)
+val run_module : Vir.Vmodule.t -> int
+
+(** Remove all annotations (the differential tests compare a fused
+    module against the same module with annotations cleared). *)
+val clear_module : Vir.Vmodule.t -> unit
+
+(** Per-rule chain counts over a whole module, for pipeline statistics
+    and the bench coverage counters. Recomputed from {!Analysis.Chains};
+    does not modify annotations. *)
+val rule_stats : Vir.Vmodule.t -> (string * int) list

@@ -1,0 +1,32 @@
+(** The optimisation pass pipeline: an ordered registry of named passes
+    with per-pass statistics and verification.
+
+    Two pipelines ship:
+
+    - {!default} — the production pipeline ([fuse] only). Every pass in
+      it preserves semantics {e and} observable execution shape (dynamic
+      instruction counts, fault-site numbering, traces), so the campaign
+      path can run it unconditionally: results stay byte-identical with
+      the pipeline on or off.
+    - {!optimizing} — [constfold] then [fuse]: the "-O" pipeline for the
+      CLI [opt]/[compile] flow and the differential fuzzers. Constant
+      folding rewrites the IR (fewer dynamic instructions), so this one
+      is never applied inside fault-injection campaigns. *)
+
+type pass = {
+  p_name : string;
+  p_run : Vir.Vmodule.t -> int;  (** returns a rewrite/annotation count *)
+}
+
+val constfold : pass
+val fuse : pass
+
+val default : pass list
+val optimizing : pass list
+
+(** Run the passes in order, verifying the module after each one
+    ([verify] defaults to [true]); returns [(pass name, count)] per
+    pass, in execution order.
+    @raise Vir.Verify.Invalid_ir if a pass breaks the module. *)
+val run :
+  ?verify:bool -> ?passes:pass list -> Vir.Vmodule.t -> (string * int) list

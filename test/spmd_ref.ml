@@ -109,7 +109,8 @@ let rec eval env (mask : bool array option) (e : Ast.expr) : rvalue =
       match Interp.Machine.eval_cast Vir.Instr.Fptosi Vir.Vtype.i32
               (Interp.Vvalue.F (Vir.Vtype.F32, [| x |]))
       with
-      | Interp.Vvalue.I (_, [| v |]) -> v
+      | Interp.Vvalue.I (_, v) when Interp.Ilanes.length v = 1 ->
+        Interp.Ilanes.unsafe_get v 0
       | _ -> assert false
     in
     match eval env mask a with

@@ -165,7 +165,8 @@ let prop_masked_oob_lanes_never_trap =
       let addr = Int64.add base (Int64.of_int (4 * (words - live))) in
       let mask =
         Interp.Vvalue.I
-          (Vir.Vtype.I1, Array.init 8 (fun i -> if i < live then 1L else 0L))
+          ( Vir.Vtype.I1,
+            Interp.Ilanes.init 8 (fun i -> if i < live then 1L else 0L) )
       in
       let loaded =
         Interp.Memory.masked_load mem (Vir.Vtype.vector 8 Vir.Vtype.F32) addr

@@ -123,7 +123,10 @@ let prop_vec_int_chain =
       let vm =
         outcome (fun () ->
             let st = Machine.create (Compile.compile_module m) in
-            match Machine.run st "go" [ Vvalue.I (Vtype.I32, lanes0) ] with
+            match
+              Machine.run st "go"
+                [ Vvalue.I (Vtype.I32, Interp.Ilanes.of_array lanes0) ]
+            with
             | Some v -> List.init 4 (Vvalue.int_lane v)
             | None -> Alcotest.fail "expected value")
       in

@@ -1,0 +1,478 @@
+(* Per-rule differential equivalence tests for the superblock fusion
+   backend.
+
+   For every peephole rule in Analysis.Chains, a minimal VIR kernel
+   exhibiting exactly that chain is built and executed twice from the
+   same module — once with fusion annotations cleared (per-instruction
+   threading) and once annotated (fused kernel) — and the two runs must
+   agree bit-for-bit: return value lanes, memory contents, dynamic
+   instruction and vector counts, and trap outcome. Inputs are
+   QCheck-generated and include NaN/infinity lanes (float rules),
+   zero divisors (the trapping integer-divide consumer) and
+   out-of-range indices (the gep chains), so trap ordering and
+   lane-blend semantics are exercised, not just the happy path. A
+   budget sweep pins the fuel accounting: a chain interrupted by
+   Budget_exhausted must leave the same dynamic counts as unfused
+   stepping. *)
+
+open Vir
+
+let vl = 8
+let f32v = Vtype.vector vl Vtype.F32
+let i32v = Vtype.vector vl Vtype.I32
+
+let fvec xs = Interp.Vvalue.of_const (Const.Cvec (Array.map Const.f32 xs))
+let ivec xs = Interp.Vvalue.of_const (Const.Cvec (Array.map Const.i32 xs))
+
+(* Bit-exact rendering of a value (floats via their IEEE encoding). *)
+let vstring v =
+  String.concat ","
+    (List.init (Interp.Vvalue.lanes v) (fun i ->
+         Int64.to_string (Interp.Vvalue.lane_bits v i)))
+
+type result = {
+  r_ret : string option;
+  r_trap : string option;
+  r_dyn : int;
+  r_vec : int;
+  r_mem : string;
+  r_fused : int;  (** chains the threading stage actually fused *)
+}
+
+let result_equal a b =
+  a.r_ret = b.r_ret && a.r_trap = b.r_trap && a.r_dyn = b.r_dyn
+  && a.r_vec = b.r_vec && a.r_mem = b.r_mem
+
+(* Run [fn] on a fresh machine over [m], fused or not. [setup] builds
+   the argument list (and optionally initialises memory), returning a
+   closure that renders whatever memory the kernel may write. *)
+let exec ?(budget = Interp.Machine.default_budget) (m : Vmodule.t) ~fused ~fn
+    ~setup =
+  if fused then ignore (Passes.Fuse.run_module m)
+  else Passes.Fuse.clear_module m;
+  let cm = Interp.Compile.compile_module m in
+  let st = Interp.Machine.create ~budget cm in
+  let args, read_mem = setup st in
+  let ret, trap =
+    match Interp.Machine.run st fn args with
+    | v -> (Option.map vstring v, None)
+    | exception Interp.Trap.Trap k -> (None, Some (Interp.Trap.to_string k))
+  in
+  {
+    r_ret = ret;
+    r_trap = trap;
+    r_dyn = Interp.Machine.dyn_count st;
+    r_vec = Interp.Machine.dyn_vector_count st;
+    r_mem = read_mem ();
+    r_fused = Interp.Compile.fused_chain_count cm;
+  }
+
+(* The differential property: unfused and fused agree, and the fused
+   compile really lowered at least one chain (otherwise the test would
+   silently degrade to comparing the unfused path against itself). *)
+let differential ?budget m ~fn ~setup =
+  let u = exec ?budget m ~fused:false ~fn ~setup in
+  let f = exec ?budget m ~fused:true ~fn ~setup in
+  if f.r_fused < 1 then QCheck.Test.fail_report "no chain was fused";
+  if not (result_equal u f) then
+    QCheck.Test.fail_reportf
+      "fused run diverged:\n\
+       unfused: ret=%s trap=%s dyn=%d vec=%d mem=%s\n\
+       fused:   ret=%s trap=%s dyn=%d vec=%d mem=%s"
+      (Option.value ~default:"-" u.r_ret)
+      (Option.value ~default:"-" u.r_trap)
+      u.r_dyn u.r_vec u.r_mem
+      (Option.value ~default:"-" f.r_ret)
+      (Option.value ~default:"-" f.r_trap)
+      f.r_dyn f.r_vec f.r_mem;
+  true
+
+let no_mem st =
+  ignore st;
+  fun () -> ""
+
+(* ---------------- kernels, one per rule ---------------- *)
+
+let mk_fbinop_fbinop () =
+  let m = Vmodule.create "fuse" in
+  let b =
+    Builder.define m ~name:"f"
+      ~params:[ ("a", f32v); ("b", f32v); ("c", f32v) ]
+      ~ret_ty:f32v
+  in
+  Builder.position_at_end b (Builder.new_block b "entry");
+  let t = Builder.fmul b (Builder.param b "a") (Builder.param b "b") in
+  Builder.ret b (Some (Builder.fadd b t (Builder.param b "c")));
+  m
+
+let mk_ibinop_ibinop_vec () =
+  let m = Vmodule.create "fuse" in
+  let b =
+    Builder.define m ~name:"f"
+      ~params:[ ("a", i32v); ("b", i32v); ("c", i32v) ]
+      ~ret_ty:i32v
+  in
+  Builder.position_at_end b (Builder.new_block b "entry");
+  let t = Builder.add b (Builder.param b "a") (Builder.param b "b") in
+  Builder.ret b (Some (Builder.mul b t (Builder.param b "c")));
+  m
+
+(* Scalar chain whose consumer can trap: r = c / (x + y). *)
+let mk_ibinop_div () =
+  let m = Vmodule.create "fuse" in
+  let b =
+    Builder.define m ~name:"f"
+      ~params:[ ("x", Vtype.i32); ("y", Vtype.i32); ("c", Vtype.i32) ]
+      ~ret_ty:Vtype.i32
+  in
+  Builder.position_at_end b (Builder.new_block b "entry");
+  let t = Builder.add b (Builder.param b "x") (Builder.param b "y") in
+  Builder.ret b (Some (Builder.sdiv b (Builder.param b "c") t));
+  m
+
+let mk_icmp_select () =
+  let m = Vmodule.create "fuse" in
+  let b =
+    Builder.define m ~name:"f"
+      ~params:[ ("a", i32v); ("b", i32v); ("x", i32v); ("y", i32v) ]
+      ~ret_ty:i32v
+  in
+  Builder.position_at_end b (Builder.new_block b "entry");
+  let c = Builder.icmp b Instr.Islt (Builder.param b "a") (Builder.param b "b") in
+  Builder.ret b (Some (Builder.select b c (Builder.param b "x") (Builder.param b "y")));
+  m
+
+let mk_fcmp_select () =
+  let m = Vmodule.create "fuse" in
+  let b =
+    Builder.define m ~name:"f"
+      ~params:[ ("a", f32v); ("b", f32v); ("x", f32v); ("y", f32v) ]
+      ~ret_ty:f32v
+  in
+  Builder.position_at_end b (Builder.new_block b "entry");
+  let c = Builder.fcmp b Instr.Folt (Builder.param b "a") (Builder.param b "b") in
+  Builder.ret b (Some (Builder.select b c (Builder.param b "x") (Builder.param b "y")));
+  m
+
+let mk_cast_binop () =
+  let m = Vmodule.create "fuse" in
+  let b =
+    Builder.define m ~name:"f"
+      ~params:[ ("a", i32v); ("c", f32v) ]
+      ~ret_ty:f32v
+  in
+  Builder.position_at_end b (Builder.new_block b "entry");
+  let t = Builder.cast b Instr.Sitofp (Builder.param b "a") f32v in
+  Builder.ret b (Some (Builder.fadd b t (Builder.param b "c")));
+  m
+
+let mk_gep_load () =
+  let m = Vmodule.create "fuse" in
+  let b =
+    Builder.define m ~name:"f"
+      ~params:[ ("p", Vtype.ptr); ("i", Vtype.i32) ]
+      ~ret_ty:Vtype.i32
+  in
+  Builder.position_at_end b (Builder.new_block b "entry");
+  let g = Builder.gep b (Builder.param b "p") (Builder.param b "i") ~elem_bytes:4 in
+  Builder.ret b (Some (Builder.load b Vtype.i32 g));
+  m
+
+let mk_gep_store () =
+  let m = Vmodule.create "fuse" in
+  let b =
+    Builder.define m ~name:"f"
+      ~params:[ ("p", Vtype.ptr); ("i", Vtype.i32); ("v", Vtype.i32) ]
+      ~ret_ty:Vtype.Void
+  in
+  Builder.position_at_end b (Builder.new_block b "entry");
+  let g = Builder.gep b (Builder.param b "p") (Builder.param b "i") ~elem_bytes:4 in
+  Builder.store b (Builder.param b "v") g;
+  Builder.ret b None;
+  m
+
+let mk_load_binop () =
+  let m = Vmodule.create "fuse" in
+  let b =
+    Builder.define m ~name:"f"
+      ~params:[ ("p", Vtype.ptr); ("c", Vtype.i32) ]
+      ~ret_ty:Vtype.i32
+  in
+  Builder.position_at_end b (Builder.new_block b "entry");
+  let t = Builder.load b Vtype.i32 (Builder.param b "p") in
+  Builder.ret b (Some (Builder.add b t (Builder.param b "c")));
+  m
+
+let mk_binop_store () =
+  let m = Vmodule.create "fuse" in
+  let b =
+    Builder.define m ~name:"f"
+      ~params:[ ("a", Vtype.i32); ("b", Vtype.i32); ("p", Vtype.ptr) ]
+      ~ret_ty:Vtype.Void
+  in
+  Builder.position_at_end b (Builder.new_block b "entry");
+  let t = Builder.add b (Builder.param b "a") (Builder.param b "b") in
+  Builder.store b t (Builder.param b "p");
+  Builder.ret b None;
+  m
+
+let mk_load_binop_store () =
+  let m = Vmodule.create "fuse" in
+  let b =
+    Builder.define m ~name:"f"
+      ~params:[ ("p", Vtype.ptr); ("a", Vtype.i32); ("q", Vtype.ptr) ]
+      ~ret_ty:Vtype.Void
+  in
+  Builder.position_at_end b (Builder.new_block b "entry");
+  let t = Builder.load b Vtype.i32 (Builder.param b "p") in
+  let u = Builder.add b t (Builder.param b "a") in
+  Builder.store b u (Builder.param b "q");
+  Builder.ret b None;
+  m
+
+(* Every kernel above must be annotated with the rule it was built
+   for — otherwise the differential test exercises nothing. *)
+let test_rules_match () =
+  List.iter
+    (fun (expected, m) ->
+      let stats = Passes.Fuse.rule_stats m in
+      Alcotest.(check bool)
+        (expected ^ " chain found") true
+        (match List.assoc_opt expected stats with
+        | Some n -> n >= 1
+        | None -> false))
+    [
+      ("fbinop_fbinop", mk_fbinop_fbinop ());
+      ("ibinop_ibinop", mk_ibinop_ibinop_vec ());
+      ("ibinop_ibinop", mk_ibinop_div ());
+      ("icmp_select", mk_icmp_select ());
+      ("fcmp_select", mk_fcmp_select ());
+      ("cast_binop", mk_cast_binop ());
+      ("gep_load", mk_gep_load ());
+      ("gep_store", mk_gep_store ());
+      ("load_binop", mk_load_binop ());
+      ("binop_store", mk_binop_store ());
+      ("load_binop_store", mk_load_binop_store ());
+    ]
+
+(* ---------------- generators ---------------- *)
+
+let float_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        float_range (-1e6) 1e6;
+        oneofl [ Float.nan; Float.infinity; Float.neg_infinity; 0.0; -0.0 ];
+      ])
+
+let fvec_gen = QCheck.Gen.(array_size (return vl) float_gen)
+let ivec_gen = QCheck.Gen.(array_size (return vl) (int_range (-10000) 10000))
+
+let arb gen print = QCheck.make gen ~print
+
+let mem_words mem base n =
+  String.concat ","
+    (Array.to_list (Array.map string_of_int (Interp.Memory.read_i32_array mem base n)))
+
+(* ---------------- per-rule properties ---------------- *)
+
+let prop_fbinop =
+  QCheck.Test.make ~name:"fused fmul->fadd matches unfused (incl. NaN/inf)"
+    ~count:100
+    (arb
+       QCheck.Gen.(triple fvec_gen fvec_gen fvec_gen)
+       QCheck.Print.(triple (array float) (array float) (array float)))
+    (fun (a, b, c) ->
+      differential (mk_fbinop_fbinop ()) ~fn:"f" ~setup:(fun st ->
+          ignore st;
+          ([ fvec a; fvec b; fvec c ], fun () -> "")))
+
+let prop_ibinop_vec =
+  QCheck.Test.make ~name:"fused add->mul (vector) matches unfused" ~count:100
+    (arb
+       QCheck.Gen.(triple ivec_gen ivec_gen ivec_gen)
+       QCheck.Print.(triple (array int) (array int) (array int)))
+    (fun (a, b, c) ->
+      differential (mk_ibinop_ibinop_vec ()) ~fn:"f" ~setup:(fun st ->
+          ignore st;
+          ([ ivec a; ivec b; ivec c ], fun () -> "")))
+
+let prop_ibinop_div =
+  (* x + y is frequently zero here, so the trapping-consumer ordering
+     (charge, add, charge, trap) is exercised for real. *)
+  QCheck.Test.make ~name:"fused add->sdiv traps identically" ~count:200
+    (arb
+       QCheck.Gen.(triple (int_range (-3) 3) (int_range (-3) 3) (int_range (-100) 100))
+       QCheck.Print.(triple int int int))
+    (fun (x, y, c) ->
+      differential (mk_ibinop_div ()) ~fn:"f" ~setup:(fun st ->
+          ignore st;
+          ( [ Interp.Vvalue.of_i32 x; Interp.Vvalue.of_i32 y;
+              Interp.Vvalue.of_i32 c ],
+            fun () -> "" )))
+
+let prop_icmp_select =
+  QCheck.Test.make ~name:"fused icmp->select matches unfused" ~count:100
+    (arb
+       QCheck.Gen.(quad ivec_gen ivec_gen ivec_gen ivec_gen)
+       QCheck.Print.(quad (array int) (array int) (array int) (array int)))
+    (fun (a, b, x, y) ->
+      differential (mk_icmp_select ()) ~fn:"f" ~setup:(fun st ->
+          ignore st;
+          ([ ivec a; ivec b; ivec x; ivec y ], fun () -> "")))
+
+let prop_fcmp_select =
+  QCheck.Test.make ~name:"fused fcmp->select matches unfused (incl. NaN lanes)"
+    ~count:100
+    (arb
+       QCheck.Gen.(quad fvec_gen fvec_gen fvec_gen fvec_gen)
+       QCheck.Print.(quad (array float) (array float) (array float) (array float)))
+    (fun (a, b, x, y) ->
+      differential (mk_fcmp_select ()) ~fn:"f" ~setup:(fun st ->
+          ignore st;
+          ([ fvec a; fvec b; fvec x; fvec y ], fun () -> "")))
+
+let prop_cast_binop =
+  QCheck.Test.make ~name:"fused sitofp->fadd matches unfused" ~count:100
+    (arb
+       QCheck.Gen.(pair ivec_gen fvec_gen)
+       QCheck.Print.(pair (array int) (array float)))
+    (fun (a, c) ->
+      differential (mk_cast_binop ()) ~fn:"f" ~setup:(fun st ->
+          ignore st;
+          ([ ivec a; fvec c ], fun () -> "")))
+
+let n_slots = 16
+
+let mem_setup st =
+  let mem = Interp.Machine.memory st in
+  let base = Interp.Memory.alloc mem ~name:"buf" ~bytes:(4 * n_slots) in
+  Interp.Memory.write_i32_array mem base (Array.init n_slots (fun i -> 7 * i));
+  (mem, base)
+
+let prop_gep_load =
+  (* Index range deliberately exceeds the allocation on both sides so
+     the out-of-bounds trap path is compared too. *)
+  QCheck.Test.make ~name:"fused gep->load matches unfused (incl. OOB trap)"
+    ~count:150
+    (arb QCheck.Gen.(int_range (-4) (n_slots + 4)) QCheck.Print.int)
+    (fun i ->
+      differential (mk_gep_load ()) ~fn:"f" ~setup:(fun st ->
+          let mem, base = mem_setup st in
+          ( [ Interp.Vvalue.of_ptr base; Interp.Vvalue.of_i32 i ],
+            fun () -> mem_words mem base n_slots )))
+
+let prop_gep_store =
+  QCheck.Test.make ~name:"fused gep->store matches unfused (incl. OOB trap)"
+    ~count:150
+    (arb
+       QCheck.Gen.(pair (int_range (-4) (n_slots + 4)) (int_range (-1000) 1000))
+       QCheck.Print.(pair int int))
+    (fun (i, v) ->
+      differential (mk_gep_store ()) ~fn:"f" ~setup:(fun st ->
+          let mem, base = mem_setup st in
+          ( [ Interp.Vvalue.of_ptr base; Interp.Vvalue.of_i32 i;
+              Interp.Vvalue.of_i32 v ],
+            fun () -> mem_words mem base n_slots )))
+
+let prop_load_binop =
+  QCheck.Test.make ~name:"fused load->add matches unfused" ~count:100
+    (arb QCheck.Gen.(int_range (-1000) 1000) QCheck.Print.int)
+    (fun c ->
+      differential (mk_load_binop ()) ~fn:"f" ~setup:(fun st ->
+          let mem, base = mem_setup st in
+          ( [ Interp.Vvalue.of_ptr base; Interp.Vvalue.of_i32 c ],
+            fun () -> mem_words mem base n_slots )))
+
+let prop_binop_store =
+  QCheck.Test.make ~name:"fused add->store matches unfused" ~count:100
+    (arb
+       QCheck.Gen.(pair (int_range (-1000) 1000) (int_range (-1000) 1000))
+       QCheck.Print.(pair int int))
+    (fun (a, b) ->
+      differential (mk_binop_store ()) ~fn:"f" ~setup:(fun st ->
+          let mem, base = mem_setup st in
+          ( [ Interp.Vvalue.of_i32 a; Interp.Vvalue.of_i32 b;
+              Interp.Vvalue.of_ptr base ],
+            fun () -> mem_words mem base n_slots )))
+
+let prop_load_binop_store =
+  QCheck.Test.make ~name:"fused load->add->store matches unfused" ~count:100
+    (arb QCheck.Gen.(int_range (-1000) 1000) QCheck.Print.int)
+    (fun a ->
+      differential (mk_load_binop_store ()) ~fn:"f" ~setup:(fun st ->
+          let mem, base = mem_setup st in
+          ( [ Interp.Vvalue.of_ptr base; Interp.Vvalue.of_i32 a;
+              Interp.Vvalue.of_ptr (Int64.add base 20L) ],
+            fun () -> mem_words mem base n_slots )))
+
+(* ---------------- fuel accounting across traps ---------------- *)
+
+(* Sweep the budget through every prefix of each kernel: wherever the
+   Budget_exhausted trap lands (before, inside or after a fused chain),
+   the dynamic counters must match unfused stepping exactly. *)
+let test_budget_sweep () =
+  let cases =
+    [
+      ( "load_binop_store",
+        mk_load_binop_store,
+        fun st ->
+          let mem, base = mem_setup st in
+          ( [ Interp.Vvalue.of_ptr base; Interp.Vvalue.of_i32 3;
+              Interp.Vvalue.of_ptr (Int64.add base 20L) ],
+            fun () -> mem_words mem base n_slots ) );
+      ( "ibinop_div",
+        mk_ibinop_div,
+        fun st ->
+          ignore st;
+          ( [ Interp.Vvalue.of_i32 1; Interp.Vvalue.of_i32 (-1);
+              Interp.Vvalue.of_i32 5 ],
+            fun () -> "" ) );
+      ( "fbinop_fbinop",
+        mk_fbinop_fbinop,
+        fun st ->
+          ignore st;
+          ( [ fvec (Array.make vl 1.5); fvec (Array.make vl 2.5);
+              fvec (Array.make vl 0.5) ],
+            fun () -> "" ) );
+    ]
+  in
+  List.iter
+    (fun (name, mk, setup) ->
+      for budget = 0 to 8 do
+        let u = exec ~budget (mk ()) ~fused:false ~fn:"f" ~setup in
+        let f = exec ~budget (mk ()) ~fused:true ~fn:"f" ~setup in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s budget=%d identical" name budget)
+          true
+          (result_equal u f)
+      done)
+    cases
+
+let () =
+  ignore no_mem;
+  Alcotest.run "fuse"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "each kernel matches its rule" `Quick
+            test_rules_match;
+          Alcotest.test_case "budget sweep over chains" `Quick
+            test_budget_sweep;
+        ] );
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_fbinop;
+            prop_ibinop_vec;
+            prop_ibinop_div;
+            prop_icmp_select;
+            prop_fcmp_select;
+            prop_cast_binop;
+            prop_gep_load;
+            prop_gep_store;
+            prop_load_binop;
+            prop_binop_store;
+            prop_load_binop_store;
+          ] );
+    ]

@@ -33,7 +33,7 @@ let digest (out : Vulfi.Outcome.output) ~dyn ~dynv =
     out.Vulfi.Outcome.o_i32;
   (match out.Vulfi.Outcome.o_ret with
   | None -> add 1L
-  | Some (Interp.Vvalue.I (_, l)) -> Array.iter add l
+  | Some (Interp.Vvalue.I (_, l)) -> Array.iter add (Interp.Ilanes.to_array l)
   | Some (Interp.Vvalue.F (_, l)) ->
     Array.iter (fun f -> add (Int64.bits_of_float f)) l);
   add (Int64.of_int dyn);

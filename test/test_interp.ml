@@ -135,7 +135,8 @@ let test_memory_masked () =
   let base = Memory.alloc m ~name:"v" ~bytes:32 in
   Memory.write_f32_array m base [| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8. |];
   let mask =
-    Vvalue.I (Vtype.I1, [| 1L; 0L; 1L; 0L; 1L; 0L; 1L; 0L |])
+    Vvalue.I
+      (Vtype.I1, Interp.Ilanes.of_array [| 1L; 0L; 1L; 0L; 1L; 0L; 1L; 0L |])
   in
   let v = Vvalue.of_const (Const.splat 8 (Const.f32 0.0)) in
   Memory.store ~mask m v base;
@@ -159,7 +160,10 @@ let test_memory_masked_oob_disabled_lanes () =
   let base = Memory.alloc m ~name:"v" ~bytes:8 in
   (* only 2 f32 elements; lanes 2..7 would be OOB *)
   Memory.write_f32_array m base [| 5.0; 6.0 |];
-  let mask = Vvalue.I (Vtype.I1, [| 1L; 1L; 0L; 0L; 0L; 0L; 0L; 0L |]) in
+  let mask =
+    Vvalue.I
+      (Vtype.I1, Interp.Ilanes.of_array [| 1L; 1L; 0L; 0L; 0L; 0L; 0L; 0L |])
+  in
   let v = Memory.masked_load m (Vtype.vector 8 Vtype.F32) base ~mask in
   check (Alcotest.float 0.0) "lane 0" 5.0 (Vvalue.float_lane v 0);
   check (Alcotest.float 0.0) "lane 1" 6.0 (Vvalue.float_lane v 1);
@@ -229,7 +233,8 @@ let test_machine_masked_intrinsics () =
       Memory.write_f32_array mem dst (Array.make vl (-1.0));
       let mask =
         Vvalue.I
-          (Vtype.I1, Array.init vl (fun i -> if i mod 2 = 0 then 1L else 0L))
+          ( Vtype.I1,
+            Interp.Ilanes.init vl (fun i -> if i mod 2 = 0 then 1L else 0L) )
       in
       let _ =
         Machine.run st "masked_copy"
@@ -392,7 +397,10 @@ let prop_flip_involution =
     QCheck.(triple int64 (int_range 0 31) (int_range 0 7))
     (fun (x, bit, lane) ->
       let v =
-        Vvalue.I (Vtype.I32, Array.init 8 (fun i -> Bits.truncate Vtype.I32 (Int64.add x (Int64.of_int i))))
+        Vvalue.I
+          ( Vtype.I32,
+            Interp.Ilanes.init 8 (fun i ->
+                Bits.truncate Vtype.I32 (Int64.add x (Int64.of_int i))) )
       in
       let v' = Vvalue.flip_bit v ~lane ~bit in
       let v'' = Vvalue.flip_bit v' ~lane ~bit in
@@ -403,7 +411,7 @@ let prop_flip_changes_only_lane =
   QCheck.Test.make ~name:"bit flip touches exactly one lane" ~count:300
     QCheck.(pair (int_range 0 7) (int_range 0 31))
     (fun (lane, bit) ->
-      let v = Vvalue.I (Vtype.I32, Array.make 8 7L) in
+      let v = Vvalue.I (Vtype.I32, Interp.Ilanes.make 8 7L) in
       let v' = Vvalue.flip_bit v ~lane ~bit in
       let ok = ref true in
       for i = 0 to 7 do

@@ -180,6 +180,77 @@ let prop_constfold_equivalent =
       in
       run false = run true)
 
+let test_constfold_shuffle_bad_mask () =
+  (* Regression: a shufflevector whose mask indexes outside [0, 2n)
+     must not be folded (the extract would die), and the threading
+     stage must reject it loudly instead of reading out of bounds. *)
+  let m = Vmodule.create "cf" in
+  let b = Builder.define m ~name:"f" ~params:[] ~ret_ty:Vtype.i32 in
+  let entry = Builder.new_block b "entry" in
+  Builder.position_at_end b entry;
+  let va = Instr.Imm (Const.iota Vtype.I32 4) in
+  let vb = Instr.Imm (Const.splat 4 (Const.i32 9)) in
+  let s = Builder.shufflevector b va vb [| 0; 99; 2; 3 |] in
+  let e = Builder.extractelement b s (Ir_samples.imm_i32 0) in
+  Builder.ret b (Some e);
+  check Alcotest.int "bad mask not folded" 0
+    (Passes.Constfold.run_module m);
+  Alcotest.(check bool) "threading rejects the bad mask" true
+    (try
+       ignore (Interp.Compile.compile_module m);
+       false
+     with Invalid_argument _ -> true)
+
+let test_constfold_fold_counts_pinned () =
+  (* Pins the exact per-sweep and total fold counts of a three-step
+     constant chain, so a rewrite of the sweep (e.g. the hash-based
+     dead filter) that accidentally changes fixpoint behaviour fails
+     loudly rather than just running a different number of passes. *)
+  let mk () =
+    let m = Vmodule.create "cf" in
+    let b = Builder.define m ~name:"f" ~params:[] ~ret_ty:Vtype.i32 in
+    let entry = Builder.new_block b "entry" in
+    Builder.position_at_end b entry;
+    let x1 = Builder.add b (Ir_samples.imm_i32 1) (Ir_samples.imm_i32 2) in
+    let x2 = Builder.mul b x1 (Ir_samples.imm_i32 3) in
+    let x3 = Builder.sub b x2 (Ir_samples.imm_i32 4) in
+    Builder.ret b (Some x3);
+    m
+  in
+  (* One sweep folds only the head of the chain: downstream members
+     still read the (now-replaced) register from the snapshot the
+     sweep iterates over. *)
+  let m1 = mk () in
+  let f1 = Vmodule.find_func_exn m1 "f" in
+  check Alcotest.int "one fold per sweep" 1 (Passes.Constfold.fold_func_once f1);
+  (* The fixpoint driver folds all three and reports exactly three. *)
+  let m = mk () in
+  check Alcotest.int "three folds to fixpoint" 3 (Passes.Constfold.run_module m);
+  check Alcotest.int64 "value preserved" 5L (Interp.Vvalue.as_int (run_f m "f" []))
+
+let test_replace_uses_except () =
+  let m = Vmodule.create "ru" in
+  let b = Builder.define m ~name:"f" ~params:[ ("x", Vtype.i32) ] ~ret_ty:Vtype.i32 in
+  let entry = Builder.new_block b "entry" in
+  Builder.position_at_end b entry;
+  let d = Builder.add b (Builder.param b "x") (Ir_samples.imm_i32 1) in
+  let u1 = Builder.mul b d (Ir_samples.imm_i32 2) in
+  let u2 = Builder.sub b d (Ir_samples.imm_i32 3) in
+  Builder.ret b (Some (Builder.add b u1 u2));
+  let f = Vmodule.find_func_exn m "f" in
+  let reg_of = function Instr.Reg (r, _) -> r | _ -> Alcotest.fail "not a reg" in
+  let instr_of op =
+    List.find
+      (fun (i : Instr.t) -> Instr.defines i && i.Instr.id = reg_of op)
+      (Func.all_instrs f)
+  in
+  Func.replace_uses f ~reg:(reg_of d)
+    ~by:(Ir_samples.imm_i32 42)
+    ~except:[ reg_of u2 ];
+  let uses_d i = List.mem d (Instr.operands i) in
+  Alcotest.(check bool) "u1 redirected" false (uses_d (instr_of u1));
+  Alcotest.(check bool) "u2 kept (except)" true (uses_d (instr_of u2))
+
 (* ---------------- Domtree ---------------- *)
 
 let test_domtree_diamond () =
@@ -280,6 +351,12 @@ let () =
             test_constfold_vector_ops;
           Alcotest.test_case "preserves all benchmarks" `Slow
             test_constfold_preserves_benchmarks;
+          Alcotest.test_case "rejects bad shuffle mask" `Quick
+            test_constfold_shuffle_bad_mask;
+          Alcotest.test_case "fold counts pinned" `Quick
+            test_constfold_fold_counts_pinned;
+          Alcotest.test_case "replace_uses honours except" `Quick
+            test_replace_uses_except;
         ] );
       ( "domtree",
         [

@@ -187,7 +187,10 @@ let prop_int_chain =
       let vm =
         outcome (fun () ->
             let st = Machine.create (Compile.compile_module m) in
-            match Machine.run st "go" [ Vvalue.I (Vtype.I32, [| x0 |]) ] with
+            match
+              Machine.run st "go"
+                [ Vvalue.I (Vtype.I32, Interp.Ilanes.make 1 x0) ]
+            with
             | Some v -> Vvalue.as_int v
             | None -> Alcotest.fail "expected value")
       in

@@ -214,7 +214,9 @@ let test_masked_lanes_not_counted () =
     let src = Interp.Memory.alloc mem ~name:"src" ~bytes:32 in
     let dst = Interp.Memory.alloc mem ~name:"dst" ~bytes:32 in
     Interp.Memory.write_f32_array mem src (Array.init 8 float_of_int);
-    let mask = Interp.Vvalue.I (Vir.Vtype.I1, mask_pattern) in
+    let mask =
+      Interp.Vvalue.I (Vir.Vtype.I1, Interp.Ilanes.of_array mask_pattern)
+    in
     let _ =
       Interp.Machine.run st "masked_copy"
         [ Interp.Vvalue.of_ptr src; Interp.Vvalue.of_ptr dst; mask ]
