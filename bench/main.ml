@@ -609,7 +609,8 @@ let interp_bench () =
   header
     (Printf.sprintf
        "VM throughput: dynamic instructions / second per benchmark \
-        (uninstrumented, input 0, AVX, fusion %s)"
+        (uninstrumented, input 0, AVX, schedule %s, fusion %s)"
+       (if !Vulfi.Experiment.schedule_enabled then "on" else "off")
        (if !Vulfi.Experiment.fusion_enabled then "on" else "off"));
   let reps = getenv_int "VULFI_INTERP_REPS" 5 in
   (* VULFI_BENCH_ONLY=substr restricts the table to matching rows: used
@@ -630,23 +631,40 @@ let interp_bench () =
         Benchmarks.Registry.all
   in
   let chains_annotated = ref 0 and chains_fused = ref 0 in
+  let sched_moves = ref 0 in
+  let fused_hist : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let rows =
     List.map
       (fun (b : Benchmarks.Harness.benchmark) ->
         let w = (scale_workload b.Benchmarks.Harness.bench) in
         let m = w.Vulfi.Workload.w_build Vir.Target.Avx in
+        (* Same pass order as Experiment.prepare: schedule, then fuse. *)
+        let moves =
+          if !Vulfi.Experiment.schedule_enabled then
+            Passes.Schedule.run_module m
+          else 0
+        in
+        sched_moves := !sched_moves + moves;
         if !Vulfi.Experiment.fusion_enabled then begin
           chains_annotated := !chains_annotated + Passes.Fuse.run_module m;
           if Sys.getenv_opt "VULFI_FUSION_STATS" <> None then begin
-            Printf.printf "%s:" w.Vulfi.Workload.w_name;
+            Printf.printf "%s: sched_moves=%d" w.Vulfi.Workload.w_name moves;
             List.iter
               (fun (k, n) -> Printf.printf " %s=%d" k n)
               (Passes.Fuse.rule_stats m);
+            List.iter
+              (fun (l, n) -> Printf.printf " len%d=%d" l n)
+              (Passes.Fuse.length_hist m);
             print_newline ()
           end
         end;
         let code = Interp.Compile.compile_module m in
         chains_fused := !chains_fused + Interp.Compile.fused_chain_count code;
+        List.iter
+          (fun (l, n) ->
+            Hashtbl.replace fused_hist l
+              (n + Option.value ~default:0 (Hashtbl.find_opt fused_hist l)))
+          (Interp.Compile.fused_length_hist code);
         (* Timed region = Machine.run only: the metric is VM execution
            throughput; per-experiment state construction and input
            generation are excluded (identically for every interpreter
@@ -722,14 +740,37 @@ let interp_bench () =
   in
   Printf.printf "%-18s %33s  %8.2f M instr/s  %7.2f B/instr\n" "AGGREGATE" ""
     agg_mips agg_bpi;
-  Printf.printf "fused chains: %d of %d annotated\n" !chains_fused
-    !chains_annotated;
+  Printf.printf "fused chains: %d of %d annotated; scheduler moves: %d\n"
+    !chains_fused !chains_annotated !sched_moves;
+  (* Allocation-regression tripwire for the one workload that used to
+     blow the aggregate gate (23 B/instr before the memory fast paths):
+     fail loudly right here rather than letting CI bisect the
+     aggregate. *)
+  List.iter
+    (fun (name, _, _, _, _, bpi) ->
+      if name = "ConjugateGradient" && bpi > 12.0 then begin
+        Printf.eprintf
+          "FAIL: ConjugateGradient allocates %.2f B/instr (> 12.0 \
+           regression gate)\n"
+          bpi;
+        exit 1
+      end)
+    rows;
+  let hist_rows =
+    Hashtbl.fold (fun l n acc -> (l, n) :: acc) fused_hist []
+    |> List.sort compare
+  in
   let oc = open_out "BENCH_interp.json" in
-  Printf.fprintf oc "{\n  \"schema\": \"vulfi-interp-bench-v3\",\n";
+  Printf.fprintf oc "{\n  \"schema\": \"vulfi-interp-bench-v4\",\n";
   Printf.fprintf oc "  \"reps\": %d,\n" reps;
+  Printf.fprintf oc "  \"schedule\": %b,\n" !Vulfi.Experiment.schedule_enabled;
   Printf.fprintf oc "  \"fusion\": %b,\n" !Vulfi.Experiment.fusion_enabled;
+  Printf.fprintf oc "  \"sched_moves\": %d,\n" !sched_moves;
   Printf.fprintf oc "  \"chains_annotated\": %d,\n" !chains_annotated;
   Printf.fprintf oc "  \"chains_fused\": %d,\n" !chains_fused;
+  Printf.fprintf oc "  \"chain_length_hist\": [%s],\n"
+    (String.concat ", "
+       (List.map (fun (l, n) -> Printf.sprintf "[%d, %d]" l n) hist_rows));
   Printf.fprintf oc "  \"aggregate_minstr_per_s\": %.3f,\n" agg_mips;
   Printf.fprintf oc "  \"aggregate_bytes_per_instr\": %.3f,\n" agg_bpi;
   (* Pre-DPS reference point (PR 4 tree, measured with this very
@@ -740,10 +781,15 @@ let interp_bench () =
      \"aggregate_bytes_per_instr\": %s},\n"
     baseline_pre_dps_bpi;
   (* Pre-fusion reference point (PR 6 tree, same harness, right before
-     the superblock fusion backend landed). *)
+     the peephole fusion backend landed). *)
   Printf.fprintf oc
     "  \"baseline_pre_fusion\": {\"aggregate_minstr_per_s\": 50.095, \
      \"aggregate_bytes_per_instr\": 6.129},\n";
+  (* Pre-superblock reference point (PR 8 tree, same harness, right
+     before the list scheduler and whole-superblock kernels landed). *)
+  Printf.fprintf oc
+    "  \"baseline_pre_superblock\": {\"aggregate_minstr_per_s\": 70.325, \
+     \"aggregate_bytes_per_instr\": 4.275},\n";
   Printf.fprintf oc "  \"benchmarks\": [\n";
   List.iteri
     (fun i (name, dyn, r, dt, mips, bpi) ->
@@ -991,6 +1037,9 @@ let () =
       parse_args acc rest
     | "--no-fusion" :: rest ->
       Vulfi.Experiment.fusion_enabled := false;
+      parse_args acc rest
+    | "--no-schedule" :: rest ->
+      Vulfi.Experiment.schedule_enabled := false;
       parse_args acc rest
     | cmd :: rest -> parse_args (cmd :: acc) rest
   in

@@ -1,0 +1,151 @@
+(** Block-local dependence graphs for the list scheduler.
+
+    The unit of analysis is a block's execution body — the non-phi,
+    non-terminator instruction sequence, exactly the order the threaded
+    backend runs (see {!Chains.is_body_instr}). The graph partitions the
+    body into *fence* instructions, whose position is frozen, and
+    *movable* instructions, which may be permuted within their
+    fence-delimited region subject to register data dependences.
+
+    Fences are everything that can trap, touch memory, or transfer to
+    foreign code: loads, stores, allocas, the integer divide/remainder
+    family, and every call (module functions, intrinsics and externs —
+    which covers the [__vulfi_*] injection API and the [__det_*]
+    detector hooks, so instrumented fault sites pin the order of the
+    code around them). A fence is a full barrier in both directions:
+    the set of instructions executed before any potential trap point is
+    then invariant under scheduling, which keeps dynamic instruction
+    counts, trap kinds/operands, injected values and checkpoint states
+    byte-identical between scheduled and unscheduled campaigns
+    (DESIGN.md, "Scheduler legality"). *)
+
+open Vir
+
+(* Pure, non-trapping, register-only instructions. Everything else is a
+   fence. [Frem]/[Fdiv] are IEEE (inf/nan, never a trap); the integer
+   divide family traps on zero and stays pinned. [Gep] is plain address
+   arithmetic — the memory access it feeds is a separate instruction.
+   [Shufflevector] masks are statically bounds-checked by the verifier;
+   extract/insert lane indices are NOT (a register index — possibly
+   fault-corrupted — traps with [Invalid_lane] at run time), so those
+   move only when the index is an immediate provably inside the vector's
+   static lane count. *)
+let static_lane_ok (vec : Instr.operand) (ix : Instr.operand) =
+  match ix with
+  | Instr.Imm (Const.Cint (_, v)) ->
+    v >= 0L && v < Int64.of_int (Vtype.lanes (Instr.operand_ty vec))
+  | _ -> false
+
+let movable (i : Instr.t) =
+  match i.Instr.op with
+  | Instr.Ibinop ((Instr.Sdiv | Instr.Srem | Instr.Udiv | Instr.Urem), _, _)
+    ->
+    false
+  | Instr.Extractelement (v, ix) -> static_lane_ok v ix
+  | Instr.Insertelement (v, _, ix) -> static_lane_ok v ix
+  | Instr.Ibinop _ | Instr.Fbinop _ | Instr.Icmp _ | Instr.Fcmp _
+  | Instr.Select _ | Instr.Cast _ | Instr.Gep _ | Instr.Shufflevector _ ->
+    true
+  | Instr.Alloca _ | Instr.Load _ | Instr.Store _ | Instr.Call _
+  | Instr.Phi _ | Instr.Br _ | Instr.Condbr _ | Instr.Ret _
+  | Instr.Unreachable ->
+    false
+
+(* A maximal run of movable instructions: body indices [lo, hi)
+   (half-open) with no fence inside. *)
+type region = { r_lo : int; r_hi : int }
+
+let regions (body : Instr.t array) : region list =
+  let n = Array.length body in
+  let out = ref [] in
+  let lo = ref 0 in
+  for k = 0 to n - 1 do
+    if not (movable body.(k)) then begin
+      if k > !lo then out := { r_lo = !lo; r_hi = k } :: !out;
+      lo := k + 1
+    end
+  done;
+  if n > !lo then out := { r_lo = !lo; r_hi = n } :: !out;
+  List.rev !out
+
+(* Direct register (RAW) dependences inside one region: an edge j -> k
+   (both body indices, j < k by SSA) whenever instruction k reads the
+   register defined by instruction j. Under verified SSA there are no
+   WAR or WAW hazards — every instruction defines a fresh register. *)
+type graph = {
+  g_region : region;
+  g_preds : int list array;  (** per body index (offset by r_lo) *)
+  g_succs : int list array;
+}
+
+let build_region (body : Instr.t array) (r : region) : graph =
+  let size = r.r_hi - r.r_lo in
+  let def_at = Hashtbl.create (2 * size) in
+  for k = r.r_lo to r.r_hi - 1 do
+    let i = body.(k) in
+    if Instr.defines i then Hashtbl.replace def_at i.Instr.id k
+  done;
+  let preds = Array.make size [] and succs = Array.make size [] in
+  for k = r.r_lo to r.r_hi - 1 do
+    List.iter
+      (fun reg ->
+        match Hashtbl.find_opt def_at reg with
+        | Some j when j <> k ->
+          preds.(k - r.r_lo) <- (j - r.r_lo) :: preds.(k - r.r_lo);
+          succs.(j - r.r_lo) <- (k - r.r_lo) :: succs.(j - r.r_lo)
+        | _ -> ())
+      (Instr.uses body.(k))
+  done;
+  { g_region = r; g_preds = preds; g_succs = succs }
+
+(* Does [candidate] respect every dependence of [original]? Both are
+   full bodies; [candidate] must be a permutation of [original] that
+   keeps every fence at its original index and orders every in-region
+   RAW edge producer-first. Used by the scheduler's own postcondition
+   check and by the qcheck property in the test suite. *)
+let respects (original : Instr.t array) (candidate : Instr.t array) : bool =
+  let n = Array.length original in
+  Array.length candidate = n
+  &&
+  (* same multiset, by physical identity *)
+  let seen = Hashtbl.create (2 * n) in
+  Array.iteri (fun k i -> Hashtbl.replace seen (Obj.repr i) k) candidate;
+  (try
+     Array.iter
+       (fun i -> if not (Hashtbl.mem seen (Obj.repr i)) then raise Exit)
+       original;
+     true
+   with Exit -> false)
+  &&
+  (* fences pinned *)
+  (try
+     Array.iteri
+       (fun k i ->
+         if not (movable i) && candidate.(k) != i then raise Exit)
+       original;
+     true
+   with Exit -> false)
+  &&
+  (* region-internal RAW edges stay producer-first, and movables stay
+     inside their region *)
+  let pos_of i = Hashtbl.find seen (Obj.repr i) in
+  List.for_all
+    (fun r ->
+      let ok = ref true in
+      for k = r.r_lo to r.r_hi - 1 do
+        let p = pos_of original.(k) in
+        if p < r.r_lo || p >= r.r_hi then ok := false;
+        List.iter
+          (fun reg ->
+            for j = r.r_lo to r.r_hi - 1 do
+              let d = original.(j) in
+              if
+                j <> k && Instr.defines d
+                && d.Instr.id = reg
+                && pos_of d >= p
+              then ok := false
+            done)
+          (Instr.uses original.(k))
+      done;
+      !ok)
+    (regions original)

@@ -1,0 +1,39 @@
+(** Block-local dependence graphs for the list scheduler.
+
+    A block body (the non-phi, non-terminator sequence, in threaded
+    execution order) splits into pinned {e fences} — anything that can
+    trap, touch memory, or call out, including every [__vulfi_*]
+    injection call — and {e movable} pure instructions, reorderable
+    within their fence-delimited region subject to RAW register
+    dependences. See DESIGN.md, "Scheduler legality". *)
+
+val movable : Vir.Instr.t -> bool
+(** Pure, non-trapping, register-only: may be reordered. Everything
+    else (loads, stores, calls, allocas, integer divides, extract/insert
+    with a dynamic — hence trappable — lane index, phis, terminators) is
+    a fence that nothing crosses, in either direction. *)
+
+type region = { r_lo : int; r_hi : int }
+(** A maximal fence-free run of body indices, half-open [lo, hi). *)
+
+val regions : Vir.Instr.t array -> region list
+(** Maximal movable runs of a body, left to right. *)
+
+type graph = {
+  g_region : region;
+  g_preds : int list array;
+      (** RAW predecessors, indexed by [body_index - r_lo] *)
+  g_succs : int list array;
+}
+
+val build_region : Vir.Instr.t array -> region -> graph
+(** Direct register dependences between instructions of one region.
+    Under verified SSA these are the only hazards — every instruction
+    defines a fresh register, so no WAR/WAW edges exist. *)
+
+val respects : Vir.Instr.t array -> Vir.Instr.t array -> bool
+(** [respects original candidate]: is [candidate] a permutation of
+    [original] that keeps every fence at its original index, keeps
+    every movable inside its region, and orders every region-internal
+    RAW edge producer-first? The scheduler's postcondition, also used
+    by the qcheck property in the test suite. *)

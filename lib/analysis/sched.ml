@@ -1,0 +1,164 @@
+(** Greedy list scheduler over {!Deps} regions.
+
+    Goal: make single-use producer→consumer runs physically adjacent so
+    {!Chains.find} sees longer superblocks, without crossing any fence
+    (see {!Deps.movable} for the legality argument). Within each region
+    the scheduler emits instructions one at a time:
+
+    - after emitting a producer whose result has exactly one textual
+      use, and that use is ready (all its other region dependences
+      emitted), the consumer is emitted next — this is what glues
+      chains together;
+    - otherwise the ready instruction with the smallest original index
+      is emitted, except that instructions on a single-use chain
+      feeding the region-ending fence (a store's address gep, a
+      compare feeding a pinned select tail, …) are *delayed* to the
+      end of the region, so they end up adjacent to the fence that
+      consumes them and peepholes like gep→load / gep→store keep
+      firing.
+
+    The result is deterministic (ties break on original index) and is
+    checked against {!Deps.respects} — a violation is a scheduler bug
+    and raises. *)
+
+open Vir
+
+(* The single in-function use of [p]'s result, if there is exactly
+   one. *)
+let single_use du (p : Instr.t) : Instr.t option =
+  if not (Instr.defines p) then None
+  else
+    match Defuse.uses_of du p.Instr.id with
+    | [ site ] -> Some site.Defuse.u_instr
+    | _ -> None
+
+(* Body indices (region-relative) of instructions on a single-use chain
+   whose sink is [fence]: walk the fence's register operands backwards
+   while each link is single-use and in-region. *)
+let late_set du (body : Instr.t array) (r : Deps.region)
+    (fence : Instr.t option) : bool array =
+  let size = r.Deps.r_hi - r.Deps.r_lo in
+  let late = Array.make size false in
+  (match fence with
+  | None -> ()
+  | Some fence ->
+    let index_of = Hashtbl.create (2 * size) in
+    for k = r.Deps.r_lo to r.Deps.r_hi - 1 do
+      let i = body.(k) in
+      if Instr.defines i then Hashtbl.replace index_of i.Instr.id k
+    done;
+    let rec walk (consumer : Instr.t) =
+      List.iter
+        (fun reg ->
+          match Hashtbl.find_opt index_of reg with
+          | Some k when not late.(k - r.Deps.r_lo) -> (
+            let p = body.(k) in
+            match single_use du p with
+            | Some u when u == consumer ->
+              late.(k - r.Deps.r_lo) <- true;
+              walk p
+            | _ -> ())
+          | _ -> ())
+        (Instr.uses consumer)
+    in
+    walk fence);
+  late
+
+let schedule_region du (body : Instr.t array) (g : Deps.graph)
+    (fence : Instr.t option) : Instr.t array =
+  let r = g.Deps.g_region in
+  let lo = r.Deps.r_lo in
+  let size = r.Deps.r_hi - lo in
+  let indeg = Array.map List.length g.Deps.g_preds in
+  let late = late_set du body r fence in
+  let emitted = Array.make size false in
+  let out = Array.make size body.(lo) in
+  (* Ready = not emitted, indeg 0. Selection is O(size) per step;
+     regions are small (tens of instructions). *)
+  let pick_default () =
+    let best = ref (-1) in
+    for k = size - 1 downto 0 do
+      if (not emitted.(k)) && indeg.(k) = 0 then
+        if
+          !best = -1
+          || (not late.(k) && late.(!best))
+          || (late.(k) = late.(!best) && k < !best)
+        then best := k
+    done;
+    !best
+  in
+  let emit k pos =
+    emitted.(k) <- true;
+    out.(pos) <- body.(lo + k);
+    List.iter (fun s -> indeg.(s) <- indeg.(s) - 1) g.Deps.g_succs.(k)
+  in
+  let pos = ref 0 in
+  let last = ref (-1) in
+  while !pos < size do
+    let k =
+      (* Chain-follow: the last emitted instruction's single consumer,
+         if it lives in this region and is ready. Overrides the late
+         flag — getting chain members adjacent is the whole point. *)
+      let followed =
+        if !last < 0 then -1
+        else
+          match single_use du body.(lo + !last) with
+          | Some c -> (
+            let found = ref (-1) in
+            List.iter
+              (fun s ->
+                if body.(lo + s) == c && (not emitted.(s)) && indeg.(s) = 0
+                then found := s)
+              g.Deps.g_succs.(!last);
+            !found)
+          | None -> -1
+      in
+      if followed >= 0 then followed else pick_default ()
+    in
+    assert (k >= 0);
+    emit k !pos;
+    last := k;
+    incr pos
+  done;
+  out
+
+(* Schedule one body (the non-phi, non-terminator instruction sequence
+   of a block, in execution order). [fence_after r] is the instruction
+   pinning the region's right edge: the next body instruction, or the
+   block terminator for the last region. Returns the scheduled body and
+   the number of instructions that changed position. *)
+let schedule_body du ?(terminator : Instr.t option)
+    (body : Instr.t array) : Instr.t array * int =
+  let out = Array.copy body in
+  List.iter
+    (fun (r : Deps.region) ->
+      let g = Deps.build_region body r in
+      let fence =
+        if r.Deps.r_hi < Array.length body then Some body.(r.Deps.r_hi)
+        else terminator
+      in
+      let scheduled = schedule_region du body g fence in
+      Array.blit scheduled 0 out r.Deps.r_lo (r.Deps.r_hi - r.Deps.r_lo))
+    (Deps.regions body);
+  if not (Deps.respects body out) then
+    invalid_arg "Sched.schedule_body: dependence violation (scheduler bug)";
+  let moves = ref 0 in
+  Array.iteri (fun k i -> if out.(k) != i then incr moves) body;
+  (out, !moves)
+
+(* Schedule every block of [f] in place: phis keep their (entry)
+   position, the terminator stays last, the body is rewritten in
+   scheduled order. Returns the total move count. *)
+let schedule_func (f : Func.t) : int =
+  let du = Defuse.build f in
+  List.fold_left
+    (fun acc (b : Block.t) ->
+      let phis, rest = List.partition Instr.is_phi b.Block.instrs in
+      let body, terms = List.partition (fun i -> not (Instr.is_terminator i)) rest in
+      let arr = Array.of_list body in
+      let terminator = match terms with t :: _ -> Some t | [] -> None in
+      let scheduled, moves = schedule_body du ?terminator arr in
+      if moves > 0 then
+        b.Block.instrs <- phis @ Array.to_list scheduled @ terms;
+      acc + moves)
+    0 f.Func.blocks

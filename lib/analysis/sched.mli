@@ -1,0 +1,26 @@
+(** Greedy list scheduler over {!Deps} regions: reorders pure
+    instructions within fence-delimited runs so single-use
+    producer→consumer chains become physically adjacent (and thus
+    visible to {!Chains.find}), while every fence — loads, stores,
+    calls (including [__vulfi_*] injection sites), allocas, integer
+    divides — keeps its exact position. Deterministic; the output is
+    checked against {!Deps.respects}. *)
+
+val single_use : Defuse.t -> Vir.Instr.t -> Vir.Instr.t option
+(** The unique in-function reader of an instruction's result, if it
+    has exactly one textual use. *)
+
+val schedule_body :
+  Defuse.t ->
+  ?terminator:Vir.Instr.t ->
+  Vir.Instr.t array ->
+  Vir.Instr.t array * int
+(** Schedule one block body (non-phi, non-terminator instructions in
+    execution order); [terminator] pins the trailing region's right
+    edge. Returns the scheduled body and how many instructions changed
+    position. Raises [Invalid_argument] if the result would violate
+    {!Deps.respects} (a scheduler bug, not an input condition). *)
+
+val schedule_func : Vir.Func.t -> int
+(** Schedule every block of a function in place (phis stay at entry,
+    the terminator stays last). Returns the total move count. *)

@@ -7,7 +7,7 @@
 (* Truncate an int64 to the value range of a scalar type, preserving the
    two's-complement interpretation used by the VM (i1 -> 0/1, i8 signed
    byte, i32 signed 32-bit, i64/ptr full width). *)
-let truncate (s : Vir.Vtype.scalar) (x : int64) =
+let[@inline] truncate (s : Vir.Vtype.scalar) (x : int64) =
   match s with
   | I1 -> Int64.logand x 1L
   | I8 ->
@@ -19,7 +19,7 @@ let truncate (s : Vir.Vtype.scalar) (x : int64) =
 
 (* Two's-complement unsigned reinterpretation helpers for udiv/urem and
    unsigned comparisons at narrow widths. *)
-let to_unsigned (s : Vir.Vtype.scalar) (x : int64) =
+let[@inline] to_unsigned (s : Vir.Vtype.scalar) (x : int64) =
   match s with
   | I1 -> Int64.logand x 1L
   | I8 -> Int64.logand x 0xFFL
@@ -27,23 +27,30 @@ let to_unsigned (s : Vir.Vtype.scalar) (x : int64) =
   | I64 | Ptr -> x
   | F32 | F64 -> invalid_arg "Bits.to_unsigned: float scalar"
 
-let bits_of_float (s : Vir.Vtype.scalar) (x : float) =
+let[@inline] bits_of_float (s : Vir.Vtype.scalar) (x : float) =
   match s with
   | F32 -> Int64.of_int32 (Int32.bits_of_float x)
   | F64 -> Int64.bits_of_float x
   | _ -> invalid_arg "Bits.bits_of_float: int scalar"
 
-let float_of_bits (s : Vir.Vtype.scalar) (b : int64) =
+let[@inline] float_of_bits (s : Vir.Vtype.scalar) (b : int64) =
   match s with
   | F32 -> Int32.float_of_bits (Int64.to_int32 b)
   | F64 -> Int64.float_of_bits b
   | _ -> invalid_arg "Bits.float_of_bits: int scalar"
 
+(* Round a double to float32 precision and back: one tiny C call in
+   place of the two ([Int32.bits_of_float] + [Int32.float_of_bits])
+   the portable spelling costs, with bit-identical results — the
+   runtime's conversions are themselves plain [(float)] casts. The VM
+   pays this on every f32 lane of every arithmetic op, so the call
+   count is visible in profiles. *)
+external round_f32 : float -> float = "vulfi_round_f32" "vulfi_round_f32_unboxed"
+[@@unboxed] [@@noalloc]
+
 (* Round a float to the storage precision of [s]. *)
-let round_float (s : Vir.Vtype.scalar) (x : float) =
-  match s with
-  | F32 -> Int32.float_of_bits (Int32.bits_of_float x)
-  | _ -> x
+let[@inline] round_float (s : Vir.Vtype.scalar) (x : float) =
+  match s with F32 -> round_f32 x | _ -> x
 
 (* Flip bit [bit] (0 = LSB) of an integer scalar value. The result is
    re-truncated so that e.g. flipping bit 31 of an i32 stays in range. *)

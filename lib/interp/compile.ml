@@ -151,6 +151,9 @@ and cmodule = {
       (** chains from [Func.fuse_chains] actually lowered as fused
           kernels by the threading stage (advisory annotations that
           fail the emitter's defensive re-checks are skipped) *)
+  fused_hist : (int, int) Hashtbl.t;
+      (** chain length -> count over the actually-fused chains; feeds
+          the VULFI_FUSION_STATS / bench fusion report *)
 }
 
 and state = {
@@ -1884,6 +1887,93 @@ let thread_chain (body : cinstr array) (s : int) (len : int) : texec option =
             stv st.mem (Array.unsafe_get regs p.dst) (as_int_slot (gp regs))))
     | _ -> None
 
+(* The fused reduction tail: an elementwise float binop whose (single
+   use) result feeds a [reduce_add] intrinsic, lowered as ONE
+   accumulate loop with no intermediate vector ([Eval.
+   fbinop_reduce_fadd_fn] replicates the unfused rounding exactly).
+   Both members are pure and non-trapping, so the charges group up
+   front like the other pure pair kernels. *)
+let reduce_tail_kernel (p : cinstr) (c : cinstr) : texec option =
+  let pi = p.src and ci = c.src in
+  match (pi.Vir.Instr.op, ci.Vir.Instr.op) with
+  | Vir.Instr.Fbinop (k1, _, _), Vir.Instr.Call (callee, [ _ ])
+    when Array.length c.ops = 1
+         && uses_creg c.ops.(0) p.dst
+         && c.dst >= 0
+         && (match Vir.Intrinsics.lookup callee with
+            | Some { Vir.Intrinsics.kind = Vir.Intrinsics.Reduce "add"; _ }
+              ->
+              true
+            | _ -> false)
+         && Vir.Vtype.is_float_scalar (Vir.Vtype.elem pi.Vir.Instr.ty) -> (
+    match
+      Eval.fbinop_reduce_fadd_fn (Vir.Vtype.elem pi.Vir.Instr.ty) k1
+    with
+    | None -> None
+    | Some rk ->
+      let chg1 = if p.cvec then charge_vec else charge in
+      let chg2 = if c.cvec then charge_vec else charge in
+      let ga = getter p.ops.(0) and gb = getter p.ops.(1) in
+      Some
+        (fun st ->
+          let regs = st.regs in
+          chg1 st;
+          chg2 st;
+          match (ga regs, gb regs, Array.unsafe_get regs c.dst) with
+          | Vvalue.F (_, a), Vvalue.F (_, b), Vvalue.F (_, o) ->
+            o.(0) <- rk a b
+          | _ -> invalid_arg "Machine: fused reduce tail kind mismatch"))
+  | _ -> None
+
+(* Generalized superblock lowering: an arbitrary-length chain is walked
+   left to right and collapsed segment by segment — the three-member
+   load→binop→store kernel first, then the fused reduction tail, then
+   any two-member peephole kernel ([thread_chain]); members no merged
+   kernel covers keep their ordinary per-instruction closure
+   ([body_tx]), which still stages the intermediate through the
+   member's own register slot. The segments communicate ONLY through
+   the frame's register buffers ([regs.(dst)]): a fused kernel may be
+   shared by every machine (and every campaign pool domain) running
+   this module, so the scratch an intermediate stages through must live
+   in per-frame state, never in closure-captured buffers.
+
+   Returns [None] when no segment merged — composing unmodified
+   closures would only add dispatch layers over what [compose_body]
+   already does. *)
+let thread_superblock (body_tx : texec array) (body : cinstr array) (s : int)
+    (len : int) : texec option =
+  let e = s + len in
+  let steps = ref [] in
+  let merged = ref false in
+  let k = ref s in
+  while !k < e do
+    let push fx n =
+      steps := fx :: !steps;
+      merged := true;
+      k := !k + n
+    in
+    let try3 = if !k + 3 <= e then thread_chain body !k 3 else None in
+    match try3 with
+    | Some fx -> push fx 3
+    | None -> (
+      let try2 =
+        if !k + 2 <= e then
+          match reduce_tail_kernel body.(!k) body.(!k + 1) with
+          | Some fx -> Some fx
+          | None -> thread_chain body !k 2
+        else None
+      in
+      match try2 with
+      | Some fx -> push fx 2
+      | None ->
+        steps := body_tx.(!k) :: !steps;
+        incr k)
+  done;
+  if not !merged then None
+  else
+    let arr = Array.of_list (List.rev !steps) in
+    Some (compose_body arr 0 (Array.length arr))
+
 let thread_term (t : cterm) : tterm =
   match t with
   | Tbr n -> Ct_br n
@@ -1912,7 +2002,7 @@ let fuse_body (cm : cmodule) (cf : cfunc) (blk : cblock) (body : texec array)
     List.iter
       (fun (ch : Vir.Func.fuse_chain) ->
         let s = ch.Vir.Func.fc_start and l = ch.Vir.Func.fc_len in
-        if s >= 0 && (l = 2 || l = 3) && s + l <= n then begin
+        if s >= 0 && l >= 2 && s + l <= n then begin
           let free = ref true in
           for k = s to s + l - 1 do
             if covered.(k) then free := false
@@ -1930,10 +2020,21 @@ let fuse_body (cm : cmodule) (cf : cfunc) (blk : cblock) (body : texec array)
     while !k < n do
       match chain_at.(!k) with
       | Some l -> (
-        match thread_chain blk.body !k l with
+        (* Two/three-member chains go through the PR 7 whole-chain
+           peephole kernels; everything else (longer chains, reduction
+           tails, unclassified shapes) through the segmenting
+           superblock emitter. *)
+        let fx =
+          match if l <= 3 then thread_chain blk.body !k l else None with
+          | Some fx -> Some fx
+          | None -> thread_superblock body blk.body !k l
+        in
+        match fx with
         | Some fx ->
           out := fx :: !out;
           cm.n_fused_chains <- cm.n_fused_chains + 1;
+          Hashtbl.replace cm.fused_hist l
+            (1 + Option.value ~default:0 (Hashtbl.find_opt cm.fused_hist l));
           k := !k + l
         | None ->
           out := body.(!k) :: !out;
@@ -2004,6 +2105,7 @@ let compile_module (m : Vir.Vmodule.t) : cmodule =
       extern_index;
       n_extern_slots = !n_extern_slots;
       n_fused_chains = 0;
+      fused_hist = Hashtbl.create 8;
     }
   in
   Hashtbl.iter (fun _ cf -> thread_func cm cf) cfuncs;
@@ -2012,3 +2114,9 @@ let compile_module (m : Vir.Vmodule.t) : cmodule =
 (* How many annotated chains the threading stage actually fused, for
    pipeline statistics and the bench coverage counters. *)
 let fused_chain_count (cm : cmodule) : int = cm.n_fused_chains
+
+(* (chain length, count) over the actually-fused chains, ascending by
+   length — the chain-length histogram of the fusion-stats report. *)
+let fused_length_hist (cm : cmodule) : (int * int) list =
+  Hashtbl.fold (fun l n acc -> (l, n) :: acc) cm.fused_hist []
+  |> List.sort compare

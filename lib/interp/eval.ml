@@ -397,15 +397,15 @@ let fbinop_fn (k : Vir.Instr.fbinop) (s : Vir.Vtype.scalar) :
   if s = Vir.Vtype.F32 then
     match k with
     | Vir.Instr.Fadd ->
-      fun a b -> Int32.float_of_bits (Int32.bits_of_float (a +. b))
+      fun a b -> Bits.round_f32 (a +. b)
     | Vir.Instr.Fsub ->
-      fun a b -> Int32.float_of_bits (Int32.bits_of_float (a -. b))
+      fun a b -> Bits.round_f32 (a -. b)
     | Vir.Instr.Fmul ->
-      fun a b -> Int32.float_of_bits (Int32.bits_of_float (a *. b))
+      fun a b -> Bits.round_f32 (a *. b)
     | Vir.Instr.Fdiv ->
-      fun a b -> Int32.float_of_bits (Int32.bits_of_float (a /. b))
+      fun a b -> Bits.round_f32 (a /. b)
     | Vir.Instr.Frem ->
-      fun a b -> Int32.float_of_bits (Int32.bits_of_float (Float.rem a b))
+      fun a b -> Bits.round_f32 (Float.rem a b)
   else
     match k with
     | Vir.Instr.Fadd -> fun a b -> a +. b
@@ -416,12 +416,58 @@ let fbinop_fn (k : Vir.Instr.fbinop) (s : Vir.Vtype.scalar) :
 
 let eval_fbinop_lane k s a b = (fbinop_fn k s) a b
 
+(* Whole-vector f32 kernels: one noalloc C call runs the op and the
+   binary32 rounding over every lane ([lib/interp/round_stubs.c]),
+   replacing a per-lane rounding round-trip that dominated f32-heavy
+   profiles. Lane count comes from the destination buffer; in-place
+   use (output aliased with an input) is per-lane safe. *)
+external f32_fadd_arr : float array -> float array -> float array -> unit
+  = "vulfi_f32_fadd_arr"
+[@@noalloc]
+
+external f32_fsub_arr : float array -> float array -> float array -> unit
+  = "vulfi_f32_fsub_arr"
+[@@noalloc]
+
+external f32_fmul_arr : float array -> float array -> float array -> unit
+  = "vulfi_f32_fmul_arr"
+[@@noalloc]
+
+external f32_fdiv_arr : float array -> float array -> float array -> unit
+  = "vulfi_f32_fdiv_arr"
+[@@noalloc]
+
+(* Horizontal f32 reductions as single C calls: sequential accumulate
+   with rounding after every step, exactly as the OCaml loop rounds.
+   These box their float result, so they are plain externals. *)
+external f32_reduce_fadd : float array -> float = "vulfi_f32_reduce_fadd"
+
+external f32_fadd_reduce_fadd : float array -> float array -> float
+  = "vulfi_f32_fadd_reduce_fadd"
+
+external f32_fsub_reduce_fadd : float array -> float array -> float
+  = "vulfi_f32_fsub_reduce_fadd"
+
+external f32_fmul_reduce_fadd : float array -> float array -> float
+  = "vulfi_f32_fmul_reduce_fadd"
+
+external f32_fdiv_reduce_fadd : float array -> float array -> float
+  = "vulfi_f32_fdiv_reduce_fadd"
+
+let f32_arr_fn (k : Vir.Instr.fbinop) :
+    (float array -> float array -> float array -> unit) option =
+  match k with
+  | Vir.Instr.Fadd -> Some f32_fadd_arr
+  | Vir.Instr.Fsub -> Some f32_fsub_arr
+  | Vir.Instr.Fmul -> Some f32_fmul_arr
+  | Vir.Instr.Fdiv -> Some f32_fdiv_arr
+  | Vir.Instr.Frem -> None
+
 (* Lane- and op-specialized vector float arithmetic in destination-
    passing style: the kernel writes each lane straight into the
    destination register's pinned buffer, so the loop body is unboxed
    primitives with no per-lane closure application and no result
-   allocation at all. The f32 arms write the binary32 rounding
-   round-trip inline because a call would re-box the float. [frem]
+   allocation at all. The f32 arms are single C kernel calls. [frem]
    falls back to the generic per-lane-closure path ([None]). *)
 let fbinop_vec_into_fn (k : Vir.Instr.fbinop) (s : Vir.Vtype.scalar) :
     (float array -> float array -> float array -> unit) option =
@@ -450,34 +496,7 @@ let fbinop_vec_into_fn (k : Vir.Instr.fbinop) (s : Vir.Vtype.scalar) :
         for i = 0 to Array.length o - 1 do
           Array.unsafe_set o i (a.(i) /. b.(i))
         done)
-  | Vir.Vtype.F32, Vir.Instr.Fadd ->
-    Some
-      (fun a b o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float (a.(i) +. b.(i))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fsub ->
-    Some
-      (fun a b o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float (a.(i) -. b.(i))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fmul ->
-    Some
-      (fun a b o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float (a.(i) *. b.(i))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fdiv ->
-    Some
-      (fun a b o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float (a.(i) /. b.(i))))
-        done)
+  | Vir.Vtype.F32, _ -> f32_arr_fn k
   | _ -> None
 
 (* Fused producer->consumer float pairs, op- and kind-specialized with
@@ -720,230 +739,26 @@ let fbinop_fused_vec_into_fn (s : Vir.Vtype.scalar) ~(k1 : Vir.Instr.fbinop)
           Array.unsafe_set o i
             (c.(i) /. (a.(i) /. b.(i)))
         done)
-  | Vir.Vtype.F32, Vir.Instr.Fadd, Vir.Instr.Fadd, true ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) +. b.(i)))) +. c.(i))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fadd, Vir.Instr.Fadd, false ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float (c.(i) +. (Int32.float_of_bits (Int32.bits_of_float (a.(i) +. b.(i)))))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fadd, Vir.Instr.Fsub, true ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) +. b.(i)))) -. c.(i))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fadd, Vir.Instr.Fsub, false ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float (c.(i) -. (Int32.float_of_bits (Int32.bits_of_float (a.(i) +. b.(i)))))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fadd, Vir.Instr.Fmul, true ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) +. b.(i)))) *. c.(i))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fadd, Vir.Instr.Fmul, false ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float (c.(i) *. (Int32.float_of_bits (Int32.bits_of_float (a.(i) +. b.(i)))))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fadd, Vir.Instr.Fdiv, true ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) +. b.(i)))) /. c.(i))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fadd, Vir.Instr.Fdiv, false ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float (c.(i) /. (Int32.float_of_bits (Int32.bits_of_float (a.(i) +. b.(i)))))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fsub, Vir.Instr.Fadd, true ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) -. b.(i)))) +. c.(i))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fsub, Vir.Instr.Fadd, false ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float (c.(i) +. (Int32.float_of_bits (Int32.bits_of_float (a.(i) -. b.(i)))))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fsub, Vir.Instr.Fsub, true ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) -. b.(i)))) -. c.(i))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fsub, Vir.Instr.Fsub, false ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float (c.(i) -. (Int32.float_of_bits (Int32.bits_of_float (a.(i) -. b.(i)))))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fsub, Vir.Instr.Fmul, true ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) -. b.(i)))) *. c.(i))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fsub, Vir.Instr.Fmul, false ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float (c.(i) *. (Int32.float_of_bits (Int32.bits_of_float (a.(i) -. b.(i)))))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fsub, Vir.Instr.Fdiv, true ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) -. b.(i)))) /. c.(i))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fsub, Vir.Instr.Fdiv, false ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float (c.(i) /. (Int32.float_of_bits (Int32.bits_of_float (a.(i) -. b.(i)))))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fmul, Vir.Instr.Fadd, true ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) *. b.(i)))) +. c.(i))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fmul, Vir.Instr.Fadd, false ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float (c.(i) +. (Int32.float_of_bits (Int32.bits_of_float (a.(i) *. b.(i)))))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fmul, Vir.Instr.Fsub, true ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) *. b.(i)))) -. c.(i))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fmul, Vir.Instr.Fsub, false ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float (c.(i) -. (Int32.float_of_bits (Int32.bits_of_float (a.(i) *. b.(i)))))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fmul, Vir.Instr.Fmul, true ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) *. b.(i)))) *. c.(i))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fmul, Vir.Instr.Fmul, false ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float (c.(i) *. (Int32.float_of_bits (Int32.bits_of_float (a.(i) *. b.(i)))))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fmul, Vir.Instr.Fdiv, true ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) *. b.(i)))) /. c.(i))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fmul, Vir.Instr.Fdiv, false ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float (c.(i) /. (Int32.float_of_bits (Int32.bits_of_float (a.(i) *. b.(i)))))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fdiv, Vir.Instr.Fadd, true ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) /. b.(i)))) +. c.(i))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fdiv, Vir.Instr.Fadd, false ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float (c.(i) +. (Int32.float_of_bits (Int32.bits_of_float (a.(i) /. b.(i)))))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fdiv, Vir.Instr.Fsub, true ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) /. b.(i)))) -. c.(i))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fdiv, Vir.Instr.Fsub, false ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float (c.(i) -. (Int32.float_of_bits (Int32.bits_of_float (a.(i) /. b.(i)))))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fdiv, Vir.Instr.Fmul, true ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) /. b.(i)))) *. c.(i))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fdiv, Vir.Instr.Fmul, false ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float (c.(i) *. (Int32.float_of_bits (Int32.bits_of_float (a.(i) /. b.(i)))))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fdiv, Vir.Instr.Fdiv, true ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float ((Int32.float_of_bits (Int32.bits_of_float (a.(i) /. b.(i)))) /. c.(i))))
-        done)
-  | Vir.Vtype.F32, Vir.Instr.Fdiv, Vir.Instr.Fdiv, false ->
-    Some
-      (fun a b c o ->
-        for i = 0 to Array.length o - 1 do
-          Array.unsafe_set o i
-            (Int32.float_of_bits (Int32.bits_of_float (c.(i) /. (Int32.float_of_bits (Int32.bits_of_float (a.(i) /. b.(i)))))))
-        done)
+  | Vir.Vtype.F32, k1, k2, first -> (
+    (* Two whole-vector C kernel calls staged through [o]: pass one
+       writes the rounded producer lanes into [o], pass two combines
+       them with [c] in place.  Per lane this computes exactly
+       [round (k2 (round (k1 a b)) c)] (or the [c]-first mirror) -- the
+       same rounding sequence as the unfused kernels.  In destination-
+       passing style [o] never aliases an operand buffer (SSA: the
+       consumer's register differs from every source register), so
+       staging the producer lanes through [o] is safe. *)
+    match (f32_arr_fn k1, f32_arr_fn k2) with
+    | Some p1, Some p2 ->
+      Some
+        (if first then fun a b c o ->
+           p1 a b o;
+           p2 o c o
+         else
+           fun a b c o ->
+           p1 a b o;
+           p2 c o o)
+    | _ -> None)
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -1395,9 +1210,7 @@ let cast_into_fn (k : Vir.Instr.cast_op) ~(src : Vir.Vtype.scalar)
         | Vvalue.I (_, a), Vvalue.F (_, o) ->
           for i = 0 to Array.length o - 1 do
             Array.unsafe_set o i
-              (Int32.float_of_bits
-                 (Int32.bits_of_float
-                    (Int64.to_float (Ilanes.unsafe_get a i))))
+              (Bits.round_f32 (Int64.to_float (Ilanes.unsafe_get a i)))
           done
         | _ -> fail ())
     | _ -> fun _ _ -> fail ())
@@ -1415,7 +1228,7 @@ let cast_into_fn (k : Vir.Instr.cast_op) ~(src : Vir.Vtype.scalar)
         | Vvalue.F (_, a), Vvalue.F (_, o) ->
           for i = 0 to Array.length o - 1 do
             Array.unsafe_set o i
-              (Int32.float_of_bits (Int32.bits_of_float (Array.unsafe_get a i)))
+              (Bits.round_f32 (Array.unsafe_get a i))
           done
         | _ -> fail ())
     | _ -> fun _ _ -> fail ())
@@ -1519,13 +1332,13 @@ type math = Unary of (float -> float) | Binary of (float -> float -> float)
      operand is NaN, while [max] yields NaN only if all operands are
      NaN. (IEEE minNum/maxNum would instead *ignore* quiet NaNs.)
    Documented & pinned by tests in test_threaded.ml. *)
-let fmin (a : float) b = if Float.compare a b <= 0 then a else b
+let[@inline] fmin (a : float) b = if Float.compare a b <= 0 then a else b
 
-let fmax (a : float) b = if Float.compare a b >= 0 then a else b
+let[@inline] fmax (a : float) b = if Float.compare a b >= 0 then a else b
 
-let imin (a : int64) b = if Int64.compare a b <= 0 then a else b
+let[@inline] imin (a : int64) b = if Int64.compare a b <= 0 then a else b
 
-let imax (a : int64) b = if Int64.compare a b >= 0 then a else b
+let[@inline] imax (a : int64) b = if Int64.compare a b >= 0 then a else b
 
 let math_fn = function
   | "sqrt" -> Unary sqrt
@@ -1543,12 +1356,71 @@ let math_fn = function
 (* ------------------------------------------------------------------ *)
 (* Cross-lane reductions                                               *)
 
+(* All reductions are written as direct loops (not fold_left): an
+   accumulator threaded through a closure would be boxed on every lane,
+   while the loop-local ref unboxes completely. The float-add reduction
+   further resolves the storage precision *outside* the loop: a
+   per-lane [Bits.round_float s] call would re-dispatch on [s] and box
+   the float across the call on every lane. *)
 let reduce_fadd (s : Vir.Vtype.scalar) (lanes : float array) =
-  Array.fold_left (fun acc x -> Bits.round_float s (acc +. x)) 0.0 lanes
+  match s with
+  | Vir.Vtype.F32 ->
+    f32_reduce_fadd lanes
+  | _ ->
+    let acc = ref 0.0 in
+    for i = 0 to Array.length lanes - 1 do
+      acc := !acc +. Array.unsafe_get lanes i
+    done;
+    !acc
 
-(* The integer reductions are written as direct loops (not fold_left):
-   an [int64] accumulator threaded through a closure would be boxed on
-   every lane, while the loop-local ref unboxes completely. *)
+(* Fused elementwise-op -> add-reduction, the dot-product tail of a
+   superblock chain: computes [reduce_fadd s (map2 k a b)] in ONE loop
+   with no intermediate vector. F32 arms round after the elementwise op
+   AND after every accumulate, exactly as the unfused pair
+   ([fbinop_vec_into_fn] into a register, then [reduce_fadd] over it)
+   rounds — the fused result is bit-identical, not merely close.
+   [Frem] producers fall back to the unfused path ([None]). *)
+let fbinop_reduce_fadd_fn (s : Vir.Vtype.scalar) (k : Vir.Instr.fbinop) :
+    (float array -> float array -> float) option =
+  match (s, k) with
+  | Vir.Vtype.F64, Vir.Instr.Fmul ->
+    Some
+      (fun a b ->
+        let acc = ref 0.0 in
+        for i = 0 to Array.length a - 1 do
+          acc := !acc +. (Array.unsafe_get a i *. Array.unsafe_get b i)
+        done;
+        !acc)
+  | Vir.Vtype.F64, Vir.Instr.Fadd ->
+    Some
+      (fun a b ->
+        let acc = ref 0.0 in
+        for i = 0 to Array.length a - 1 do
+          acc := !acc +. (Array.unsafe_get a i +. Array.unsafe_get b i)
+        done;
+        !acc)
+  | Vir.Vtype.F64, Vir.Instr.Fsub ->
+    Some
+      (fun a b ->
+        let acc = ref 0.0 in
+        for i = 0 to Array.length a - 1 do
+          acc := !acc +. (Array.unsafe_get a i -. Array.unsafe_get b i)
+        done;
+        !acc)
+  | Vir.Vtype.F64, Vir.Instr.Fdiv ->
+    Some
+      (fun a b ->
+        let acc = ref 0.0 in
+        for i = 0 to Array.length a - 1 do
+          acc := !acc +. (Array.unsafe_get a i /. Array.unsafe_get b i)
+        done;
+        !acc)
+  | Vir.Vtype.F32, Vir.Instr.Fmul -> Some f32_fmul_reduce_fadd
+  | Vir.Vtype.F32, Vir.Instr.Fadd -> Some f32_fadd_reduce_fadd
+  | Vir.Vtype.F32, Vir.Instr.Fsub -> Some f32_fsub_reduce_fadd
+  | Vir.Vtype.F32, Vir.Instr.Fdiv -> Some f32_fdiv_reduce_fadd
+  | _ -> None
+
 let reduce_iadd (s : Vir.Vtype.scalar) (lanes : Ilanes.t) =
   let acc = ref 0L in
   for i = 0 to Ilanes.length lanes - 1 do
@@ -1565,9 +1437,21 @@ let reduce_or (lanes : Ilanes.t) =
 
 (* Reductions fold from lanes.(0) over the whole array (re-visiting lane
    0 is harmless for min/max), mirroring the historical implementation. *)
-let reduce_fmin (lanes : float array) = Array.fold_left fmin lanes.(0) lanes
+let reduce_fmin (lanes : float array) =
+  let acc = ref lanes.(0) in
+  for i = 0 to Array.length lanes - 1 do
+    let x = Array.unsafe_get lanes i in
+    if Float.compare x !acc < 0 then acc := x
+  done;
+  !acc
 
-let reduce_fmax (lanes : float array) = Array.fold_left fmax lanes.(0) lanes
+let reduce_fmax (lanes : float array) =
+  let acc = ref lanes.(0) in
+  for i = 0 to Array.length lanes - 1 do
+    let x = Array.unsafe_get lanes i in
+    if Float.compare x !acc > 0 then acc := x
+  done;
+  !acc
 
 let reduce_imin (lanes : Ilanes.t) =
   let acc = ref (Ilanes.get lanes 0) in

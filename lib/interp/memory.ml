@@ -20,13 +20,21 @@ type region = {
           actually touched. *)
 }
 
+(* Sentinel for "no region": zero-sized, so [in_region] is false for
+   every address and the lookup cache can be a plain (never-[option])
+   field — a cache miss then neither allocates a [Some] nor follows an
+   extra indirection on the hot path. *)
+let no_region =
+  { base = -1L; size = 0; data = Bytes.empty; rname = "<none>";
+    dlo = max_int; dhi = 0 }
+
 type t = {
   mutable regions : region list;  (** most recent first *)
   mutable next_base : int64;
-  mutable last : region option;
-      (** one-entry lookup cache: consecutive accesses overwhelmingly
-          hit the same region. Purely an accelerator — hit or miss, the
-          result of [find] is unchanged. *)
+  mutable last : region;
+      (** one-entry lookup cache ([no_region] when empty): consecutive
+          accesses overwhelmingly hit the same region. Purely an
+          accelerator — hit or miss, the lookup result is unchanged. *)
   mutable cur_gen : int;
       (** generation of the snapshot the dirty spans are relative to *)
   mutable next_gen : int;  (** monotonic snapshot-id source *)
@@ -35,7 +43,7 @@ type t = {
 (* Bases start high and advance by the allocation size rounded up to a
    page plus a guard page, mimicking a sparse address space. *)
 let create () =
-  { regions = []; next_base = 0x1000_0000L; last = None;
+  { regions = []; next_base = 0x1000_0000L; last = no_region;
     cur_gen = 0; next_gen = 0 }
 
 let page = 4096
@@ -124,35 +132,54 @@ let restore m snap =
   end;
   m.regions <- snap.snap_regions;
   m.next_base <- snap.snap_next_base;
-  m.last <- None
+  m.last <- no_region
 
-let in_region r addr =
+let[@inline] in_region r addr =
   addr >= r.base && Int64.sub addr r.base < Int64.of_int r.size
 
-let find m addr =
-  match m.last with
-  | Some r when in_region r addr -> m.last
-  | _ ->
-    let rec go = function
-      | [] -> None
-      | r :: rest -> if in_region r addr then Some r else go rest
-    in
-    let res = go m.regions in
-    (match res with Some _ -> m.last <- res | None -> ());
-    res
+let rec region_list addr = function
+  | [] -> no_region
+  | r :: rest -> if in_region r addr then r else region_list addr rest
 
-let region_for m addr ~bytes =
-  match find m addr with
-  | None -> Trap.raise_ (Trap.Out_of_bounds addr)
-  | Some r ->
-    let off = Int64.to_int (Int64.sub addr r.base) in
-    if off + bytes > r.size then Trap.raise_ (Trap.Out_of_bounds addr)
-    else (r, off)
+(* Region lookup returning [no_region] on miss. The cache-hit test is
+   forced inline into every access closure, and neither hit nor miss
+   allocates (the classic-compiler alternative — an [option] — costs a
+   [Some] per cache refill and boxes on every return). *)
+let[@inline] find_region m addr : region =
+  let l = m.last in
+  if in_region l addr then l
+  else begin
+    let r = region_list addr m.regions in
+    if r != no_region then m.last <- r;
+    r
+  end
+
+let find m addr =
+  let r = find_region m addr in
+  if r == no_region then None else Some r
+
+let[@inline] reg_off r addr = Int64.to_int (Int64.sub addr r.base)
+
+(* The whole range [addr, addr + bytes) inside one region, which is
+   returned (the caller recomputes the offset with [reg_off] — two
+   inlined int ops — instead of receiving an allocated tuple), or
+   [no_region]: the caller falls back to the per-lane path, which
+   reproduces the exact per-lane trap address. *)
+let[@inline] range_region m addr ~bytes : region =
+  let r = find_region m addr in
+  if r != no_region && reg_off r addr + bytes <= r.size then r else no_region
+
+(* In-bounds region for a [bytes]-wide access at [addr], or trap. *)
+let[@inline] region_at m addr ~bytes : region =
+  let r = range_region m addr ~bytes in
+  if r == no_region then Trap.raise_ (Trap.Out_of_bounds addr);
+  r
 
 (* Scalar loads/stores by element kind. i1 occupies one byte. *)
 let load_scalar m (s : Vir.Vtype.scalar) addr : Vvalue.t =
   let bytes = Vir.Vtype.scalar_bytes s in
-  let r, off = region_for m addr ~bytes in
+  let r = region_at m addr ~bytes in
+        let off = reg_off r addr in
   match s with
   | I1 ->
     Vvalue.I (I1, Ilanes.make 1 ((if Bytes.get r.data off = '\000' then 0L else 1L)))
@@ -173,7 +200,8 @@ let load_scalar m (s : Vir.Vtype.scalar) addr : Vvalue.t =
    a value wrapper nor box the payload. *)
 let load_scalar_int m (s : Vir.Vtype.scalar) addr : int64 =
   let bytes = Vir.Vtype.scalar_bytes s in
-  let r, off = region_for m addr ~bytes in
+  let r = region_at m addr ~bytes in
+        let off = reg_off r addr in
   match s with
   | I1 -> if Bytes.get r.data off = '\000' then 0L else 1L
   | I8 -> Int64.of_int (Char.code (Bytes.get r.data off) lsl 56 asr 56)
@@ -183,7 +211,8 @@ let load_scalar_int m (s : Vir.Vtype.scalar) addr : int64 =
 
 let load_scalar_float m (s : Vir.Vtype.scalar) addr : float =
   let bytes = Vir.Vtype.scalar_bytes s in
-  let r, off = region_for m addr ~bytes in
+  let r = region_at m addr ~bytes in
+        let off = reg_off r addr in
   match s with
   | F32 -> Int32.float_of_bits (Bytes.get_int32_le r.data off)
   | F64 -> Int64.float_of_bits (Bytes.get_int64_le r.data off)
@@ -192,7 +221,8 @@ let load_scalar_float m (s : Vir.Vtype.scalar) addr : float =
 let store_scalar m (s : Vir.Vtype.scalar) addr (lane_int : int64)
     (lane_float : float) =
   let bytes = Vir.Vtype.scalar_bytes s in
-  let r, off = region_for m addr ~bytes in
+  let r = region_at m addr ~bytes in
+        let off = reg_off r addr in
   touch r off bytes;
   match s with
   | I1 -> Bytes.set r.data off (if lane_int = 0L then '\000' else '\001')
@@ -252,8 +282,10 @@ let load m (ty : Vir.Vtype.t) addr : Vvalue.t =
   | Vir.Vtype.Vector (n, s) ->
     let sb = Vir.Vtype.scalar_bytes s in
     let step = Int64.of_int sb in
-    (match range_in_region m addr ~bytes:(n * sb) with
-    | Some (r, off) ->
+    (let r = range_region m addr ~bytes:(n * sb) in
+    let off = reg_off r addr in
+    match r != no_region with
+    | true ->
       if Vir.Vtype.is_float_scalar s then begin
         let out = Array.make n 0.0 in
         for i = 0 to n - 1 do
@@ -268,7 +300,7 @@ let load m (ty : Vir.Vtype.t) addr : Vvalue.t =
         done;
         Vvalue.I (s, out)
       end
-    | None ->
+    | false ->
       if Vir.Vtype.is_float_scalar s then
         Vvalue.F
           ( s,
@@ -290,41 +322,76 @@ let load m (ty : Vir.Vtype.t) addr : Vvalue.t =
                 | Vvalue.I (_, a) -> Ilanes.unsafe_get a 0
                 | _ -> assert false) ))
 
-(* Store a value to contiguous memory; [mask] (if given) disables lanes. *)
+(* Store a value to contiguous memory; [mask] (if given) disables lanes.
+   Masked stores whose whole vector span lies inside one region resolve
+   the region once and write enabled lanes at integer offsets (disabled
+   lanes untouched and — being in bounds along with the rest of the
+   span — needing no bounds check); each enabled lane's span is dirtied
+   individually, exactly like the per-lane path. Spans not contained in
+   one region take the per-lane path, which bounds-checks only enabled
+   lanes and reproduces exact per-lane trap addresses. *)
 let store ?mask m (v : Vvalue.t) addr =
   let n = Vvalue.lanes v in
   let s = Vvalue.scalar_kind v in
   let sb = Vir.Vtype.scalar_bytes s in
-  let fast =
-    match mask with
-    | Some _ -> None  (* disabled lanes must not be bounds-checked *)
-    | None -> range_in_region m addr ~bytes:(n * sb)
-  in
-  match fast with
-  | Some (r, off) -> (
-    touch r off (n * sb);
-    match v with
-    | Vvalue.I (_, lanes) ->
+  match mask with
+  | None -> (
+    let r = range_region m addr ~bytes:(n * sb) in
+    let off = reg_off r addr in
+    match r != no_region with
+    | true -> (
+      touch r off (n * sb);
+      match v with
+      | Vvalue.I (_, lanes) ->
+        for i = 0 to n - 1 do
+          write_lane_int s r.data (off + (i * sb)) (Ilanes.unsafe_get lanes i)
+        done
+      | Vvalue.F (_, lanes) ->
+        for i = 0 to n - 1 do
+          write_lane_float s r.data (off + (i * sb)) lanes.(i)
+        done)
+    | false ->
+      let step = Int64.of_int sb in
       for i = 0 to n - 1 do
-        write_lane_int s r.data (off + (i * sb)) (Ilanes.unsafe_get lanes i)
-      done
-    | Vvalue.F (_, lanes) ->
-      for i = 0 to n - 1 do
-        write_lane_float s r.data (off + (i * sb)) lanes.(i)
-      done)
-  | None ->
-    let step = Int64.of_int sb in
-    for i = 0 to n - 1 do
-      let enabled =
-        match mask with None -> true | Some mk -> Vvalue.is_true_lane mk i
-      in
-      if enabled then
         let a = Int64.add addr (Int64.mul step (Int64.of_int i)) in
         match v with
         | Vvalue.I (_, lanes) ->
           store_scalar m s a (Ilanes.unsafe_get lanes i) 0.0
         | Vvalue.F (_, lanes) -> store_scalar m s a 0L lanes.(i)
-    done
+      done)
+  | Some mk -> (
+    let r = range_region m addr ~bytes:(n * sb) in
+    let off = reg_off r addr in
+    match r != no_region with
+    | true -> (
+      let data = r.data in
+      match v with
+      | Vvalue.I (_, lanes) ->
+        for i = 0 to n - 1 do
+          if Vvalue.is_true_lane mk i then begin
+            let lo = off + (i * sb) in
+            touch r lo sb;
+            write_lane_int s data lo (Ilanes.unsafe_get lanes i)
+          end
+        done
+      | Vvalue.F (_, lanes) ->
+        for i = 0 to n - 1 do
+          if Vvalue.is_true_lane mk i then begin
+            let lo = off + (i * sb) in
+            touch r lo sb;
+            write_lane_float s data lo (Array.unsafe_get lanes i)
+          end
+        done)
+    | false ->
+      let step = Int64.of_int sb in
+      for i = 0 to n - 1 do
+        if Vvalue.is_true_lane mk i then
+          let a = Int64.add addr (Int64.mul step (Int64.of_int i)) in
+          match v with
+          | Vvalue.I (_, lanes) ->
+            store_scalar m s a (Ilanes.unsafe_get lanes i) 0.0
+          | Vvalue.F (_, lanes) -> store_scalar m s a 0L lanes.(i)
+      done)
 
 (* Pre-specialized load routine for a statically known access type: the
    threading stage builds one per load site, so the per-access work is
@@ -338,32 +405,39 @@ let loader (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t =
     match s with
     | I1 ->
       fun m addr ->
-        let r, off = region_for m addr ~bytes:1 in
+        let r = region_at m addr ~bytes:1 in
+        let off = reg_off r addr in
         Vvalue.I (I1, Ilanes.of_array [| (if Bytes.get r.data off = '\000' then 0L else 1L) |])
     | I8 ->
       fun m addr ->
-        let r, off = region_for m addr ~bytes:1 in
+        let r = region_at m addr ~bytes:1 in
+        let off = reg_off r addr in
         Vvalue.I (I8, Ilanes.of_array [| Int64.of_int (Char.code (Bytes.get r.data off) lsl 56 asr 56) |])
     | I32 ->
       fun m addr ->
-        let r, off = region_for m addr ~bytes:4 in
+        let r = region_at m addr ~bytes:4 in
+        let off = reg_off r addr in
         Vvalue.I (I32, Ilanes.make 1 (Int64.of_int32 (Bytes.get_int32_le r.data off)))
     | I64 ->
       fun m addr ->
-        let r, off = region_for m addr ~bytes:8 in
+        let r = region_at m addr ~bytes:8 in
+        let off = reg_off r addr in
         Vvalue.I (I64, Ilanes.make 1 (Bytes.get_int64_le r.data off))
     | Ptr ->
       fun m addr ->
-        let r, off = region_for m addr ~bytes:8 in
+        let r = region_at m addr ~bytes:8 in
+        let off = reg_off r addr in
         Vvalue.I (Ptr, Ilanes.make 1 (Bytes.get_int64_le r.data off))
     | F32 ->
       fun m addr ->
-        let r, off = region_for m addr ~bytes:4 in
+        let r = region_at m addr ~bytes:4 in
+        let off = reg_off r addr in
         Vvalue.F
           (F32, [| Int32.float_of_bits (Bytes.get_int32_le r.data off) |])
     | F64 ->
       fun m addr ->
-        let r, off = region_for m addr ~bytes:8 in
+        let r = region_at m addr ~bytes:8 in
+        let off = reg_off r addr in
         Vvalue.F
           (F64, [| Int64.float_of_bits (Bytes.get_int64_le r.data off) |]))
   | Vir.Vtype.Vector (n, s) -> (
@@ -374,8 +448,10 @@ let loader (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t =
     match (s, n) with
     | Vir.Vtype.F32, 4 ->
       fun m addr ->
-        (match range_in_region m addr ~bytes with
-        | Some (r, off) ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match r != no_region with
+        | true ->
           Vvalue.F
             ( F32,
               [|
@@ -384,11 +460,13 @@ let loader (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t =
                 Int32.float_of_bits (Bytes.get_int32_le r.data (off + 8));
                 Int32.float_of_bits (Bytes.get_int32_le r.data (off + 12));
               |] )
-        | None -> load m ty addr)
+        | false -> load m ty addr)
     | Vir.Vtype.F32, 8 ->
       fun m addr ->
-        (match range_in_region m addr ~bytes with
-        | Some (r, off) ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match r != no_region with
+        | true ->
           Vvalue.F
             ( F32,
               [|
@@ -401,22 +479,26 @@ let loader (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t =
                 Int32.float_of_bits (Bytes.get_int32_le r.data (off + 24));
                 Int32.float_of_bits (Bytes.get_int32_le r.data (off + 28));
               |] )
-        | None -> load m ty addr)
+        | false -> load m ty addr)
     | Vir.Vtype.F64, 2 ->
       fun m addr ->
-        (match range_in_region m addr ~bytes with
-        | Some (r, off) ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match r != no_region with
+        | true ->
           Vvalue.F
             ( F64,
               [|
                 Int64.float_of_bits (Bytes.get_int64_le r.data off);
                 Int64.float_of_bits (Bytes.get_int64_le r.data (off + 8));
               |] )
-        | None -> load m ty addr)
+        | false -> load m ty addr)
     | Vir.Vtype.F64, 4 ->
       fun m addr ->
-        (match range_in_region m addr ~bytes with
-        | Some (r, off) ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match r != no_region with
+        | true ->
           Vvalue.F
             ( F64,
               [|
@@ -425,22 +507,26 @@ let loader (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t =
                 Int64.float_of_bits (Bytes.get_int64_le r.data (off + 16));
                 Int64.float_of_bits (Bytes.get_int64_le r.data (off + 24));
               |] )
-        | None -> load m ty addr)
+        | false -> load m ty addr)
     | Vir.Vtype.I32, 4 ->
       fun m addr ->
-        (match range_in_region m addr ~bytes with
-        | Some (r, off) ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match r != no_region with
+        | true ->
           Vvalue.I (I32, Ilanes.of_array [|
                 Int64.of_int32 (Bytes.get_int32_le r.data off);
                 Int64.of_int32 (Bytes.get_int32_le r.data (off + 4));
                 Int64.of_int32 (Bytes.get_int32_le r.data (off + 8));
                 Int64.of_int32 (Bytes.get_int32_le r.data (off + 12));
               |])
-        | None -> load m ty addr)
+        | false -> load m ty addr)
     | Vir.Vtype.I32, 8 ->
       fun m addr ->
-        (match range_in_region m addr ~bytes with
-        | Some (r, off) ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match r != no_region with
+        | true ->
           Vvalue.I (I32, Ilanes.of_array [|
                 Int64.of_int32 (Bytes.get_int32_le r.data off);
                 Int64.of_int32 (Bytes.get_int32_le r.data (off + 4));
@@ -451,49 +537,57 @@ let loader (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t =
                 Int64.of_int32 (Bytes.get_int32_le r.data (off + 24));
                 Int64.of_int32 (Bytes.get_int32_le r.data (off + 28));
               |])
-        | None -> load m ty addr)
+        | false -> load m ty addr)
     | Vir.Vtype.I64, 2 ->
       fun m addr ->
-        (match range_in_region m addr ~bytes with
-        | Some (r, off) ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match r != no_region with
+        | true ->
           Vvalue.I (I64, Ilanes.of_array [|
                 Bytes.get_int64_le r.data off;
                 Bytes.get_int64_le r.data (off + 8);
               |])
-        | None -> load m ty addr)
+        | false -> load m ty addr)
     | Vir.Vtype.I64, 4 ->
       fun m addr ->
-        (match range_in_region m addr ~bytes with
-        | Some (r, off) ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match r != no_region with
+        | true ->
           Vvalue.I (I64, Ilanes.of_array [|
                 Bytes.get_int64_le r.data off;
                 Bytes.get_int64_le r.data (off + 8);
                 Bytes.get_int64_le r.data (off + 16);
                 Bytes.get_int64_le r.data (off + 24);
               |])
-        | None -> load m ty addr)
+        | false -> load m ty addr)
     | _ ->
       if Vir.Vtype.is_float_scalar s then
         fun m addr ->
-          (match range_in_region m addr ~bytes with
-          | Some (r, off) ->
+          (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match r != no_region with
+          | true ->
             let out = Array.make n 0.0 in
             for i = 0 to n - 1 do
               Array.unsafe_set out i
                 (read_lane_float s r.data (off + (i * sb)))
             done;
             Vvalue.F (s, out)
-          | None -> load m ty addr)
+          | false -> load m ty addr)
       else
         fun m addr ->
-          (match range_in_region m addr ~bytes with
-          | Some (r, off) ->
+          (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match r != no_region with
+          | true ->
             let out = Ilanes.make n 0L in
             for i = 0 to n - 1 do
               Ilanes.unsafe_set out i (read_lane_int s r.data (off + (i * sb)))
             done;
             Vvalue.I (s, out)
-          | None -> load m ty addr))
+          | false -> load m ty addr))
 
 (* Destination-passing variant of [loader]: writes the loaded lanes
    straight into the destination register's pinned buffer instead of
@@ -511,7 +605,8 @@ let loader_into (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t -> unit =
     match s with
     | I1 ->
       fun m addr out ->
-        let r, off = region_for m addr ~bytes:1 in
+        let r = region_at m addr ~bytes:1 in
+        let off = reg_off r addr in
         (match out with
         | Vvalue.I (_, o) ->
           Ilanes.unsafe_set o 0
@@ -519,7 +614,8 @@ let loader_into (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t -> unit =
         | _ -> bad_into ())
     | I8 ->
       fun m addr out ->
-        let r, off = region_for m addr ~bytes:1 in
+        let r = region_at m addr ~bytes:1 in
+        let off = reg_off r addr in
         (match out with
         | Vvalue.I (_, o) ->
           Ilanes.unsafe_set o 0
@@ -527,27 +623,31 @@ let loader_into (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t -> unit =
         | _ -> bad_into ())
     | I32 ->
       fun m addr out ->
-        let r, off = region_for m addr ~bytes:4 in
+        let r = region_at m addr ~bytes:4 in
+        let off = reg_off r addr in
         (match out with
         | Vvalue.I (_, o) ->
           Ilanes.unsafe_set o 0 (Int64.of_int32 (Bytes.get_int32_le r.data off))
         | _ -> bad_into ())
     | I64 | Ptr ->
       fun m addr out ->
-        let r, off = region_for m addr ~bytes:8 in
+        let r = region_at m addr ~bytes:8 in
+        let off = reg_off r addr in
         (match out with
         | Vvalue.I (_, o) -> Ilanes.unsafe_set o 0 (Bytes.get_int64_le r.data off)
         | _ -> bad_into ())
     | F32 ->
       fun m addr out ->
-        let r, off = region_for m addr ~bytes:4 in
+        let r = region_at m addr ~bytes:4 in
+        let off = reg_off r addr in
         (match out with
         | Vvalue.F (_, o) ->
           o.(0) <- Int32.float_of_bits (Bytes.get_int32_le r.data off)
         | _ -> bad_into ())
     | F64 ->
       fun m addr out ->
-        let r, off = region_for m addr ~bytes:8 in
+        let r = region_at m addr ~bytes:8 in
+        let off = reg_off r addr in
         (match out with
         | Vvalue.F (_, o) ->
           o.(0) <- Int64.float_of_bits (Bytes.get_int64_le r.data off)
@@ -560,52 +660,62 @@ let loader_into (ty : Vir.Vtype.t) : t -> int64 -> Vvalue.t -> unit =
     match s with
     | Vir.Vtype.F32 ->
       fun m addr out ->
-        (match (range_in_region m addr ~bytes, out) with
-        | Some (r, off), Vvalue.F (_, o) ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match out with
+        | Vvalue.F (_, o) when r != no_region ->
           for i = 0 to n - 1 do
             o.(i) <-
               Int32.float_of_bits (Bytes.get_int32_le r.data (off + (i * 4)))
           done
-        | None, _ -> Vvalue.copy_into ~dst:out (load m ty addr)
-        | Some _, _ -> bad_into ())
+        | _ when r == no_region -> Vvalue.copy_into ~dst:out (load m ty addr)
+        | _ -> bad_into ())
     | Vir.Vtype.F64 ->
       fun m addr out ->
-        (match (range_in_region m addr ~bytes, out) with
-        | Some (r, off), Vvalue.F (_, o) ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match out with
+        | Vvalue.F (_, o) when r != no_region ->
           for i = 0 to n - 1 do
             o.(i) <-
               Int64.float_of_bits (Bytes.get_int64_le r.data (off + (i * 8)))
           done
-        | None, _ -> Vvalue.copy_into ~dst:out (load m ty addr)
-        | Some _, _ -> bad_into ())
+        | _ when r == no_region -> Vvalue.copy_into ~dst:out (load m ty addr)
+        | _ -> bad_into ())
     | Vir.Vtype.I32 ->
       fun m addr out ->
-        (match (range_in_region m addr ~bytes, out) with
-        | Some (r, off), Vvalue.I (_, o) ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match out with
+        | Vvalue.I (_, o) when r != no_region ->
           for i = 0 to n - 1 do
             Ilanes.unsafe_set o i
               (Int64.of_int32 (Bytes.get_int32_le r.data (off + (i * 4))))
           done
-        | None, _ -> Vvalue.copy_into ~dst:out (load m ty addr)
-        | Some _, _ -> bad_into ())
+        | _ when r == no_region -> Vvalue.copy_into ~dst:out (load m ty addr)
+        | _ -> bad_into ())
     | Vir.Vtype.I64 | Vir.Vtype.Ptr ->
       fun m addr out ->
-        (match (range_in_region m addr ~bytes, out) with
-        | Some (r, off), Vvalue.I (_, o) ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match out with
+        | Vvalue.I (_, o) when r != no_region ->
           (* lane buffers are 8-byte little-endian words, same encoding
              as memory: a vector of I64/Ptr lanes is one byte blit *)
           Bytes.blit r.data off o 0 (n * 8)
-        | None, _ -> Vvalue.copy_into ~dst:out (load m ty addr)
-        | Some _, _ -> bad_into ())
+        | _ when r == no_region -> Vvalue.copy_into ~dst:out (load m ty addr)
+        | _ -> bad_into ())
     | Vir.Vtype.I1 | Vir.Vtype.I8 ->
       fun m addr out ->
-        (match (range_in_region m addr ~bytes, out) with
-        | Some (r, off), Vvalue.I (_, o) ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match out with
+        | Vvalue.I (_, o) when r != no_region ->
           for i = 0 to n - 1 do
             Ilanes.unsafe_set o i (read_lane_int s r.data (off + (i * sb)))
           done
-        | None, _ -> Vvalue.copy_into ~dst:out (load m ty addr)
-        | Some _, _ -> bad_into ()))
+        | _ when r == no_region -> Vvalue.copy_into ~dst:out (load m ty addr)
+        | _ -> bad_into ()))
 
 (* Pre-specialized unmasked store for a statically known operand type
    (the VIR verifier guarantees the stored value has that type; masked
@@ -617,7 +727,8 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
     match s with
     | I32 ->
       fun m v addr ->
-        let r, off = region_for m addr ~bytes:4 in
+        let r = region_at m addr ~bytes:4 in
+        let off = reg_off r addr in
         (match v with
         | Vvalue.I (_, a) when Ilanes.length a = 1 ->
           let x = Ilanes.unsafe_get a 0 in
@@ -626,7 +737,8 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
         | _ -> store_scalar m I32 addr (Vvalue.as_int v) 0.0)
     | I64 ->
       fun m v addr ->
-        let r, off = region_for m addr ~bytes:8 in
+        let r = region_at m addr ~bytes:8 in
+        let off = reg_off r addr in
         (match v with
         | Vvalue.I (_, a) when Ilanes.length a = 1 ->
           let x = Ilanes.unsafe_get a 0 in
@@ -635,7 +747,8 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
         | _ -> store_scalar m I64 addr (Vvalue.as_int v) 0.0)
     | Ptr ->
       fun m v addr ->
-        let r, off = region_for m addr ~bytes:8 in
+        let r = region_at m addr ~bytes:8 in
+        let off = reg_off r addr in
         (match v with
         | Vvalue.I (_, a) when Ilanes.length a = 1 ->
           let x = Ilanes.unsafe_get a 0 in
@@ -644,7 +757,8 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
         | _ -> store_scalar m Ptr addr (Vvalue.as_int v) 0.0)
     | F32 ->
       fun m v addr ->
-        let r, off = region_for m addr ~bytes:4 in
+        let r = region_at m addr ~bytes:4 in
+        let off = reg_off r addr in
         (match v with
         | Vvalue.F (_, [| x |]) ->
           touch r off 4;
@@ -652,7 +766,8 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
         | _ -> store_scalar m F32 addr 0L (Vvalue.as_float v))
     | F64 ->
       fun m v addr ->
-        let r, off = region_for m addr ~bytes:8 in
+        let r = region_at m addr ~bytes:8 in
+        let off = reg_off r addr in
         (match v with
         | Vvalue.F (_, [| x |]) ->
           touch r off 8;
@@ -670,8 +785,10 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
     match (s, n) with
     | Vir.Vtype.F32, 4 ->
       fun m v addr ->
-        (match (range_in_region m addr ~bytes, v) with
-        | Some (r, off), Vvalue.F (_, l) when Array.length l = 4 ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match v with
+        | Vvalue.F (_, l) when r != no_region && Array.length l = 4 ->
           touch r off bytes;
           Bytes.set_int32_le r.data off (Int32.bits_of_float l.(0));
           Bytes.set_int32_le r.data (off + 4) (Int32.bits_of_float l.(1));
@@ -680,8 +797,10 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
         | _ -> store m v addr)
     | Vir.Vtype.F32, 8 ->
       fun m v addr ->
-        (match (range_in_region m addr ~bytes, v) with
-        | Some (r, off), Vvalue.F (_, l) when Array.length l = 8 ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match v with
+        | Vvalue.F (_, l) when r != no_region && Array.length l = 8 ->
           touch r off bytes;
           Bytes.set_int32_le r.data off (Int32.bits_of_float l.(0));
           Bytes.set_int32_le r.data (off + 4) (Int32.bits_of_float l.(1));
@@ -694,16 +813,20 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
         | _ -> store m v addr)
     | Vir.Vtype.F64, 2 ->
       fun m v addr ->
-        (match (range_in_region m addr ~bytes, v) with
-        | Some (r, off), Vvalue.F (_, l) when Array.length l = 2 ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match v with
+        | Vvalue.F (_, l) when r != no_region && Array.length l = 2 ->
           touch r off bytes;
           Bytes.set_int64_le r.data off (Int64.bits_of_float l.(0));
           Bytes.set_int64_le r.data (off + 8) (Int64.bits_of_float l.(1))
         | _ -> store m v addr)
     | Vir.Vtype.F64, 4 ->
       fun m v addr ->
-        (match (range_in_region m addr ~bytes, v) with
-        | Some (r, off), Vvalue.F (_, l) when Array.length l = 4 ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match v with
+        | Vvalue.F (_, l) when r != no_region && Array.length l = 4 ->
           touch r off bytes;
           Bytes.set_int64_le r.data off (Int64.bits_of_float l.(0));
           Bytes.set_int64_le r.data (off + 8) (Int64.bits_of_float l.(1));
@@ -712,8 +835,10 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
         | _ -> store m v addr)
     | Vir.Vtype.I32, 4 ->
       fun m v addr ->
-        (match (range_in_region m addr ~bytes, v) with
-        | Some (r, off), Vvalue.I (_, l) when Ilanes.length l = 4 ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match v with
+        | Vvalue.I (_, l) when r != no_region && Ilanes.length l = 4 ->
           touch r off bytes;
           Bytes.set_int32_le r.data off (Int64.to_int32 (Ilanes.unsafe_get l 0));
           Bytes.set_int32_le r.data (off + 4) (Int64.to_int32 (Ilanes.unsafe_get l 1));
@@ -722,8 +847,10 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
         | _ -> store m v addr)
     | Vir.Vtype.I32, 8 ->
       fun m v addr ->
-        (match (range_in_region m addr ~bytes, v) with
-        | Some (r, off), Vvalue.I (_, l) when Ilanes.length l = 8 ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match v with
+        | Vvalue.I (_, l) when r != no_region && Ilanes.length l = 8 ->
           touch r off bytes;
           Bytes.set_int32_le r.data off (Int64.to_int32 (Ilanes.unsafe_get l 0));
           Bytes.set_int32_le r.data (off + 4) (Int64.to_int32 (Ilanes.unsafe_get l 1));
@@ -736,16 +863,20 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
         | _ -> store m v addr)
     | Vir.Vtype.I64, 2 ->
       fun m v addr ->
-        (match (range_in_region m addr ~bytes, v) with
-        | Some (r, off), Vvalue.I (_, l) when Ilanes.length l = 2 ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match v with
+        | Vvalue.I (_, l) when r != no_region && Ilanes.length l = 2 ->
           touch r off bytes;
           Bytes.set_int64_le r.data off (Ilanes.unsafe_get l 0);
           Bytes.set_int64_le r.data (off + 8) (Ilanes.unsafe_get l 1)
         | _ -> store m v addr)
     | Vir.Vtype.I64, 4 ->
       fun m v addr ->
-        (match (range_in_region m addr ~bytes, v) with
-        | Some (r, off), Vvalue.I (_, l) when Ilanes.length l = 4 ->
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match v with
+        | Vvalue.I (_, l) when r != no_region && Ilanes.length l = 4 ->
           touch r off bytes;
           Bytes.set_int64_le r.data off (Ilanes.unsafe_get l 0);
           Bytes.set_int64_le r.data (off + 8) (Ilanes.unsafe_get l 1);
@@ -754,8 +885,10 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
         | _ -> store m v addr)
     | _ ->
       fun m v addr ->
-        (match range_in_region m addr ~bytes with
-        | Some (r, off) -> (
+        (let r = range_region m addr ~bytes in
+    let off = reg_off r addr in
+    match r != no_region with
+        | true -> (
           touch r off bytes;
           match v with
           | Vvalue.I (_, lanes) ->
@@ -766,7 +899,7 @@ let storer (ty : Vir.Vtype.t) : t -> Vvalue.t -> int64 -> unit =
             for i = 0 to n - 1 do
               write_lane_float s r.data (off + (i * sb)) lanes.(i)
             done)
-        | None -> store m v addr))
+        | false -> store m v addr))
 
 (* Masked load: disabled lanes read as zero without touching memory
    (matching AVX maskload semantics). *)
@@ -798,29 +931,60 @@ let masked_load m (ty : Vir.Vtype.t) addr ~mask : Vvalue.t =
 (* Destination-passing masked load: every lane of the destination is
    written (disabled lanes as zero, per AVX maskload), so no stale lane
    survives in the pinned buffer. Enabled lanes that point out of
-   bounds trap exactly like [masked_load]. *)
+   bounds trap exactly like [masked_load]. When the whole vector span
+   lies inside one region (the common foreach-tail case) the region is
+   resolved once and lanes are read at integer offsets, so the access
+   neither boxes per-lane [int64] addresses nor allocates region/offset
+   pairs; the per-lane fallback reproduces exact per-lane trap
+   addresses for straddling or partially out-of-bounds spans. *)
 let masked_load_into m (ty : Vir.Vtype.t) addr ~mask (out : Vvalue.t) =
   match (ty, out) with
   | Vir.Vtype.Vector (n, s), Vvalue.F (_, o)
-    when Vir.Vtype.is_float_scalar s ->
-    let step = Int64.of_int (Vir.Vtype.scalar_bytes s) in
-    for i = 0 to n - 1 do
-      o.(i) <-
-        (if Vvalue.is_true_lane mask i then
-           load_scalar_float m s
-             (Int64.add addr (Int64.mul step (Int64.of_int i)))
-         else 0.0)
-    done
+    when Vir.Vtype.is_float_scalar s -> (
+    let sb = Vir.Vtype.scalar_bytes s in
+    let r = range_region m addr ~bytes:(n * sb) in
+    let off = reg_off r addr in
+    match r != no_region with
+    | true ->
+      let data = r.data in
+      for i = 0 to n - 1 do
+        Array.unsafe_set o i
+          (if Vvalue.is_true_lane mask i then
+             read_lane_float s data (off + (i * sb))
+           else 0.0)
+      done
+    | false ->
+      let step = Int64.of_int sb in
+      for i = 0 to n - 1 do
+        o.(i) <-
+          (if Vvalue.is_true_lane mask i then
+             load_scalar_float m s
+               (Int64.add addr (Int64.mul step (Int64.of_int i)))
+           else 0.0)
+      done)
   | Vir.Vtype.Vector (n, s), Vvalue.I (_, o)
-    when not (Vir.Vtype.is_float_scalar s) ->
-    let step = Int64.of_int (Vir.Vtype.scalar_bytes s) in
-    for i = 0 to n - 1 do
-      Ilanes.unsafe_set o i
-        (if Vvalue.is_true_lane mask i then
-           load_scalar_int m s
-             (Int64.add addr (Int64.mul step (Int64.of_int i)))
-         else 0L)
-    done
+    when not (Vir.Vtype.is_float_scalar s) -> (
+    let sb = Vir.Vtype.scalar_bytes s in
+    let r = range_region m addr ~bytes:(n * sb) in
+    let off = reg_off r addr in
+    match r != no_region with
+    | true ->
+      let data = r.data in
+      for i = 0 to n - 1 do
+        Ilanes.unsafe_set o i
+          (if Vvalue.is_true_lane mask i then
+             read_lane_int s data (off + (i * sb))
+           else 0L)
+      done
+    | false ->
+      let step = Int64.of_int sb in
+      for i = 0 to n - 1 do
+        Ilanes.unsafe_set o i
+          (if Vvalue.is_true_lane mask i then
+             load_scalar_int m s
+               (Int64.add addr (Int64.mul step (Int64.of_int i)))
+           else 0L)
+      done)
   | Vir.Vtype.Vector _, _ ->
     invalid_arg "Memory.masked_load_into: shape mismatch"
   | _ -> invalid_arg "Memory.masked_load: scalar type"
@@ -830,13 +994,15 @@ let masked_load_into m (ty : Vir.Vtype.t) addr ~mask (out : Vvalue.t) =
    otherwise the per-element path reproduces the per-element trap. *)
 
 let write_i32_array m base (xs : int array) =
-  match range_in_region m base ~bytes:(4 * Array.length xs) with
-  | Some (r, off) ->
+  let r = range_region m base ~bytes:(4 * Array.length xs) in
+    let off = reg_off r base in
+    match r != no_region with
+  | true ->
     touch r off (4 * Array.length xs);
     Array.iteri
       (fun i x -> Bytes.set_int32_le r.data (off + (4 * i)) (Int32.of_int x))
       xs
-  | None ->
+  | false ->
     Array.iteri
       (fun i x ->
         store_scalar m I32 (Int64.add base (Int64.of_int (4 * i)))
@@ -844,61 +1010,71 @@ let write_i32_array m base (xs : int array) =
       xs
 
 let read_i32_array m base n =
-  match range_in_region m base ~bytes:(4 * n) with
-  | Some (r, off) ->
+  let r = range_region m base ~bytes:(4 * n) in
+    let off = reg_off r base in
+    match r != no_region with
+  | true ->
     Array.init n (fun i ->
         Int32.to_int (Bytes.get_int32_le r.data (off + (4 * i))))
-  | None ->
+  | false ->
     Array.init n (fun i ->
         match load_scalar m I32 (Int64.add base (Int64.of_int (4 * i))) with
         | Vvalue.I (_, a) -> Int64.to_int (Ilanes.unsafe_get a 0)
         | _ -> assert false)
 
 let write_f32_array m base (xs : float array) =
-  match range_in_region m base ~bytes:(4 * Array.length xs) with
-  | Some (r, off) ->
+  let r = range_region m base ~bytes:(4 * Array.length xs) in
+    let off = reg_off r base in
+    match r != no_region with
+  | true ->
     touch r off (4 * Array.length xs);
     Array.iteri
       (fun i x ->
         Bytes.set_int32_le r.data (off + (4 * i)) (Int32.bits_of_float x))
       xs
-  | None ->
+  | false ->
     Array.iteri
       (fun i x ->
         store_scalar m F32 (Int64.add base (Int64.of_int (4 * i))) 0L x)
       xs
 
 let read_f32_array m base n =
-  match range_in_region m base ~bytes:(4 * n) with
-  | Some (r, off) ->
+  let r = range_region m base ~bytes:(4 * n) in
+    let off = reg_off r base in
+    match r != no_region with
+  | true ->
     Array.init n (fun i ->
         Int32.float_of_bits (Bytes.get_int32_le r.data (off + (4 * i))))
-  | None ->
+  | false ->
     Array.init n (fun i ->
         match load_scalar m F32 (Int64.add base (Int64.of_int (4 * i))) with
         | Vvalue.F (_, [| x |]) -> x
         | _ -> assert false)
 
 let write_f64_array m base (xs : float array) =
-  match range_in_region m base ~bytes:(8 * Array.length xs) with
-  | Some (r, off) ->
+  let r = range_region m base ~bytes:(8 * Array.length xs) in
+    let off = reg_off r base in
+    match r != no_region with
+  | true ->
     touch r off (8 * Array.length xs);
     Array.iteri
       (fun i x ->
         Bytes.set_int64_le r.data (off + (8 * i)) (Int64.bits_of_float x))
       xs
-  | None ->
+  | false ->
     Array.iteri
       (fun i x ->
         store_scalar m F64 (Int64.add base (Int64.of_int (8 * i))) 0L x)
       xs
 
 let read_f64_array m base n =
-  match range_in_region m base ~bytes:(8 * n) with
-  | Some (r, off) ->
+  let r = range_region m base ~bytes:(8 * n) in
+    let off = reg_off r base in
+    match r != no_region with
+  | true ->
     Array.init n (fun i ->
         Int64.float_of_bits (Bytes.get_int64_le r.data (off + (8 * i))))
-  | None ->
+  | false ->
     Array.init n (fun i ->
         match load_scalar m F64 (Int64.add base (Int64.of_int (8 * i))) with
         | Vvalue.F (_, [| x |]) -> x

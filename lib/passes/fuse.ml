@@ -19,6 +19,21 @@ let run_module (m : Vmodule.t) : int =
 let clear_module (m : Vmodule.t) : unit =
   List.iter (fun (f : Func.t) -> f.Func.fuse_chains <- []) m.Vmodule.funcs
 
+(* (chain length, count) over the module's current annotations,
+   ascending by length — the fusion-stats chain-length histogram. *)
+let length_hist (m : Vmodule.t) : (int * int) list =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Func.t) ->
+      List.iter
+        (fun (c : Func.fuse_chain) ->
+          let l = c.Func.fc_len in
+          Hashtbl.replace counts l
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+        f.Func.fuse_chains)
+    m.Vmodule.funcs;
+  Hashtbl.fold (fun l n acc -> (l, n) :: acc) counts [] |> List.sort compare
+
 let rule_stats (m : Vmodule.t) : (string * int) list =
   let counts = Hashtbl.create 16 in
   List.iter

@@ -22,3 +22,7 @@ val clear_module : Vir.Vmodule.t -> unit
     and the bench coverage counters. Recomputed from {!Analysis.Chains};
     does not modify annotations. *)
 val rule_stats : Vir.Vmodule.t -> (string * int) list
+
+(** [(chain length, count)] over the module's current annotations,
+    ascending by length — the fusion-stats chain-length histogram. *)
+val length_hist : Vir.Vmodule.t -> (int * int) list

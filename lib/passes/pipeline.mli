@@ -3,15 +3,18 @@
 
     Two pipelines ship:
 
-    - {!default} — the production pipeline ([fuse] only). Every pass in
-      it preserves semantics {e and} observable execution shape (dynamic
-      instruction counts, fault-site numbering, traces), so the campaign
-      path can run it unconditionally: results stay byte-identical with
-      the pipeline on or off.
-    - {!optimizing} — [constfold] then [fuse]: the "-O" pipeline for the
-      CLI [opt]/[compile] flow and the differential fuzzers. Constant
-      folding rewrites the IR (fewer dynamic instructions), so this one
-      is never applied inside fault-injection campaigns. *)
+    - {!default} — the production pipeline ([schedule] then [fuse]).
+      Every pass in it preserves semantics {e and} observable execution
+      shape (dynamic instruction counts, fault-site numbering, traces),
+      so the campaign path can run it unconditionally: results stay
+      byte-identical with the pipeline on or off. The scheduler only
+      permutes pure instructions between fences (DESIGN.md, "Scheduler
+      legality"), which changes no observable either.
+    - {!optimizing} — [constfold], [schedule], then [fuse]: the "-O"
+      pipeline for the CLI [opt]/[compile] flow and the differential
+      fuzzers. Constant folding rewrites the IR (fewer dynamic
+      instructions), so this one is never applied inside
+      fault-injection campaigns. *)
 
 type pass = {
   p_name : string;
@@ -19,6 +22,7 @@ type pass = {
 }
 
 val constfold : pass
+val schedule : pass
 val fuse : pass
 
 val default : pass list

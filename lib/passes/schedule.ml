@@ -1,0 +1,13 @@
+(* The list-scheduling pass: a thin module-level driver over
+   Analysis.Sched. Runs before fusion so Analysis.Chains sees the
+   scheduled (chain-adjacent) order. In campaigns it runs *after*
+   instrumentation — fault-site enumeration happens on the
+   pre-instrumentation module and every injected [__vulfi_*] call is a
+   fence, so scheduling cannot perturb site numbering, dynamic site
+   order, or anything else a trace records (see DESIGN.md, "Scheduler
+   legality"). *)
+
+let run_func (f : Vir.Func.t) : int = Analysis.Sched.schedule_func f
+
+let run_module (m : Vir.Vmodule.t) : int =
+  List.fold_left (fun acc f -> acc + run_func f) 0 m.Vir.Vmodule.funcs

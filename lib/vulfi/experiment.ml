@@ -36,12 +36,29 @@ let fusion_enabled =
     | Some ("1" | "true" | "yes") -> false
     | _ -> true)
 
+(* The list scheduler (Analysis.Sched via Passes.Schedule): reorders
+   pure instructions between fences so single-use chains become
+   adjacent for fusion. Injection calls, loads/stores and anything
+   trappable are fences nothing crosses, so dynamic counts, trap
+   points, injected values and traces are unchanged (DESIGN.md,
+   "Scheduler legality") — on by default even inside campaigns.
+   [VULFI_NO_SCHEDULE=1] / [--no-schedule] disables it for the CI
+   cross-check, mirroring [fusion_enabled]. *)
+let schedule_enabled =
+  ref
+    (match Sys.getenv_opt "VULFI_NO_SCHEDULE" with
+    | Some ("1" | "true" | "yes") -> false
+    | _ -> true)
+
 (* Build, select fault sites for [category], instrument, verify and
    compile a workload. [transform] optionally rewrites the module
-   before instrumentation (used to insert error detectors). Fusion
-   runs after instrumentation: injected Call redirections have already
-   split every targeted def-use link, so a chain can never swallow a
-   fault site. *)
+   before instrumentation (used to insert error detectors). Scheduling
+   and fusion run after instrumentation: injected Call redirections
+   have already split every targeted def-use link, so a chain can
+   never swallow a fault site, and the injection calls are scheduling
+   fences that pin the instrumented neighbourhood in place. Site
+   enumeration ([Sites.targets_of_module]) ran on the pre-pass module,
+   so site numbering is untouched either way. *)
 let prepare ?(transform = fun (m : Vir.Vmodule.t) -> m)
     (w : Workload.t) (target : Vir.Target.t)
     (category : Analysis.Sites.category) : prepared =
@@ -50,6 +67,8 @@ let prepare ?(transform = fun (m : Vir.Vmodule.t) -> m)
     Analysis.Sites.select (Analysis.Sites.targets_of_module m) category
   in
   let instr = Instrument.run m targets in
+  if !schedule_enabled then
+    ignore (Passes.Schedule.run_module instr.Instrument.instrumented);
   if !fusion_enabled then
     ignore (Passes.Fuse.run_module instr.Instrument.instrumented);
   {

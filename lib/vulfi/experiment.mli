@@ -30,10 +30,20 @@ type prepared = {
     fused against unfused runs. *)
 val fusion_enabled : bool ref
 
+(** Whether [prepare] runs the list scheduler ({!Passes.Schedule}) over
+    the instrumented module before fusion. The scheduler only permutes
+    pure, non-trapping instructions between fences (injection calls,
+    memory ops, every other trap point), so campaign results and traces
+    are byte-identical with it on or off; it defaults to [true] even
+    inside campaigns. Set [VULFI_NO_SCHEDULE=1] (read at startup), pass
+    [--no-schedule], or clear the ref to compare. *)
+val schedule_enabled : bool ref
+
 (** [prepare ?transform w target category] builds the workload module,
     applies [transform] (e.g. detector insertion), selects the fault
-    sites of [category], instruments and compiles (annotating fusion
-    chains first when {!fusion_enabled} is set). *)
+    sites of [category], instruments and compiles (scheduling and
+    annotating fusion chains first, per {!schedule_enabled} and
+    {!fusion_enabled}). *)
 val prepare :
   ?transform:(Vir.Vmodule.t -> Vir.Vmodule.t) ->
   Workload.t ->

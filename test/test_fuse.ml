@@ -230,17 +230,81 @@ let mk_load_binop_store () =
   Builder.ret b None;
   m
 
+(* Arbitrary-length superblock: four linked fbinops, each intermediate
+   read exactly once — the emitter segments this into fused pair
+   kernels staged through the destination registers. *)
+let mk_superblock () =
+  let m = Vmodule.create "fuse" in
+  let b =
+    Builder.define m ~name:"f"
+      ~params:
+        [
+          ("a", f32v); ("b", f32v); ("c", f32v); ("d", f32v); ("e", f32v);
+        ]
+      ~ret_ty:f32v
+  in
+  Builder.position_at_end b (Builder.new_block b "entry");
+  let t1 = Builder.fmul b (Builder.param b "a") (Builder.param b "b") in
+  let t2 = Builder.fadd b t1 (Builder.param b "c") in
+  let t3 = Builder.fsub b t2 (Builder.param b "d") in
+  Builder.ret b (Some (Builder.fdiv b t3 (Builder.param b "e")));
+  m
+
+(* Superblock with a trapping member: [gep -> load -> add -> sdiv],
+   so mid-chain traps (OOB load, divide by zero) and fuel exhaustion
+   inside the fused run are compared against unfused stepping. *)
+let mk_superblock_int () =
+  let m = Vmodule.create "fuse" in
+  let b =
+    Builder.define m ~name:"f"
+      ~params:[ ("p", Vtype.ptr); ("i", Vtype.i32); ("c", Vtype.i32) ]
+      ~ret_ty:Vtype.i32
+  in
+  Builder.position_at_end b (Builder.new_block b "entry");
+  let g = Builder.gep b (Builder.param b "p") (Builder.param b "i") ~elem_bytes:4 in
+  let t = Builder.load b Vtype.i32 g in
+  let u = Builder.add b t (Builder.param b "c") in
+  Builder.ret b (Some (Builder.sdiv b (Builder.param b "c") u));
+  m
+
+(* Fused reduction tail: an elementwise fbinop feeding a cross-lane
+   reduce intrinsic, lowered as one accumulate loop. *)
+let mk_reduce_tail () =
+  let m = Vmodule.create "fuse" in
+  let b =
+    Builder.define m ~name:"f"
+      ~params:[ ("a", f32v); ("b", f32v) ]
+      ~ret_ty:Vtype.f32
+  in
+  Builder.position_at_end b (Builder.new_block b "entry");
+  let t = Builder.fmul b (Builder.param b "a") (Builder.param b "b") in
+  Builder.ret b
+    (Some (Builder.call b ~ret:Vtype.f32 "llvm.vector.reduce.fadd" [ t ]));
+  m
+
+(* A longer chain ending in a reduce: the fbinop prefix fuses pairwise
+   and the tail still reduces from the staged register. *)
+let mk_superblock_reduce () =
+  let m = Vmodule.create "fuse" in
+  let b =
+    Builder.define m ~name:"f"
+      ~params:[ ("a", f32v); ("b", f32v); ("c", f32v) ]
+      ~ret_ty:Vtype.f32
+  in
+  Builder.position_at_end b (Builder.new_block b "entry");
+  let t1 = Builder.fmul b (Builder.param b "a") (Builder.param b "b") in
+  let t2 = Builder.fadd b t1 (Builder.param b "c") in
+  Builder.ret b
+    (Some (Builder.call b ~ret:Vtype.f32 "llvm.vector.reduce.fadd" [ t2 ]));
+  m
+
 (* Every kernel above must be annotated with the rule it was built
-   for — otherwise the differential test exercises nothing. *)
+   for — otherwise the differential test exercises nothing — and,
+   conversely, every rule the analysis can report must have at least
+   one kernel here, so adding a rule without differential coverage
+   fails this test. *)
 let test_rules_match () =
-  List.iter
-    (fun (expected, m) ->
-      let stats = Passes.Fuse.rule_stats m in
-      Alcotest.(check bool)
-        (expected ^ " chain found") true
-        (match List.assoc_opt expected stats with
-        | Some n -> n >= 1
-        | None -> false))
+  let cases =
     [
       ("fbinop_fbinop", mk_fbinop_fbinop ());
       ("ibinop_ibinop", mk_ibinop_ibinop_vec ());
@@ -253,7 +317,33 @@ let test_rules_match () =
       ("load_binop", mk_load_binop ());
       ("binop_store", mk_binop_store ());
       ("load_binop_store", mk_load_binop_store ());
+      ("superblock", mk_superblock ());
+      ("superblock", mk_superblock_int ());
+      ("reduce_tail", mk_reduce_tail ());
+      ("reduce_tail", mk_superblock_reduce ());
     ]
+  in
+  List.iter
+    (fun (expected, m) ->
+      let stats = Passes.Fuse.rule_stats m in
+      Alcotest.(check bool)
+        (expected ^ " chain found") true
+        (match List.assoc_opt expected stats with
+        | Some n -> n >= 1
+        | None -> false))
+    cases;
+  (* Reverse direction: every rule the analysis can report must appear
+     in [cases] above.  A rule added to [Analysis.Chains.all_rules]
+     without a kernel here has no differential coverage and fails. *)
+  let covered = List.map fst cases in
+  List.iter
+    (fun rule ->
+      let name = Analysis.Chains.rule_name rule in
+      Alcotest.(check bool)
+        (name ^ " has a differential kernel")
+        true
+        (List.mem name covered))
+    Analysis.Chains.all_rules
 
 (* ---------------- generators ---------------- *)
 
@@ -406,6 +496,60 @@ let prop_load_binop_store =
               Interp.Vvalue.of_ptr (Int64.add base 20L) ],
             fun () -> mem_words mem base n_slots )))
 
+let prop_superblock =
+  QCheck.Test.make
+    ~name:"fused 4-member superblock matches unfused (incl. NaN/inf)"
+    ~count:150
+    (arb
+       QCheck.Gen.(
+         pair (pair fvec_gen fvec_gen) (triple fvec_gen fvec_gen fvec_gen))
+       QCheck.Print.(
+         pair
+           (pair (array float) (array float))
+           (triple (array float) (array float) (array float))))
+    (fun ((a, b), (c, d, e)) ->
+      differential (mk_superblock ()) ~fn:"f" ~setup:(fun st ->
+          ignore st;
+          ([ fvec a; fvec b; fvec c; fvec d; fvec e ], fun () -> "")))
+
+let prop_superblock_int =
+  (* Narrow ranges make OOB loads and zero divisors common, so the
+     mid-superblock trap ordering is exercised for real. *)
+  QCheck.Test.make ~name:"fused gep->load->add->sdiv traps identically"
+    ~count:200
+    (arb
+       QCheck.Gen.(pair (int_range (-4) (n_slots + 4)) (int_range (-3) 3))
+       QCheck.Print.(pair int int))
+    (fun (i, c) ->
+      differential (mk_superblock_int ()) ~fn:"f" ~setup:(fun st ->
+          let mem, base = mem_setup st in
+          ( [ Interp.Vvalue.of_ptr base; Interp.Vvalue.of_i32 i;
+              Interp.Vvalue.of_i32 c ],
+            fun () -> mem_words mem base n_slots )))
+
+let prop_reduce_tail =
+  QCheck.Test.make
+    ~name:"fused fmul->reduce_fadd matches unfused (incl. NaN/inf)"
+    ~count:150
+    (arb
+       QCheck.Gen.(pair fvec_gen fvec_gen)
+       QCheck.Print.(pair (array float) (array float)))
+    (fun (a, b) ->
+      differential (mk_reduce_tail ()) ~fn:"f" ~setup:(fun st ->
+          ignore st;
+          ([ fvec a; fvec b ], fun () -> "")))
+
+let prop_superblock_reduce =
+  QCheck.Test.make
+    ~name:"fused fmul->fadd->reduce_fadd matches unfused" ~count:150
+    (arb
+       QCheck.Gen.(triple fvec_gen fvec_gen fvec_gen)
+       QCheck.Print.(triple (array float) (array float) (array float)))
+    (fun (a, b, c) ->
+      differential (mk_superblock_reduce ()) ~fn:"f" ~setup:(fun st ->
+          ignore st;
+          ([ fvec a; fvec b; fvec c ], fun () -> "")))
+
 (* ---------------- fuel accounting across traps ---------------- *)
 
 (* Sweep the budget through every prefix of each kernel: wherever the
@@ -435,11 +579,39 @@ let test_budget_sweep () =
           ( [ fvec (Array.make vl 1.5); fvec (Array.make vl 2.5);
               fvec (Array.make vl 0.5) ],
             fun () -> "" ) );
+      ( "superblock",
+        mk_superblock,
+        fun st ->
+          ignore st;
+          ( [ fvec (Array.make vl 1.5); fvec (Array.make vl 2.5);
+              fvec (Array.make vl 0.5); fvec (Array.make vl 3.0);
+              fvec (Array.make vl 4.0) ],
+            fun () -> "" ) );
+      ( "superblock_int",
+        mk_superblock_int,
+        fun st ->
+          let mem, base = mem_setup st in
+          ( [ Interp.Vvalue.of_ptr base; Interp.Vvalue.of_i32 3;
+              Interp.Vvalue.of_i32 (-7) ],
+            fun () -> mem_words mem base n_slots ) );
+      ( "reduce_tail",
+        mk_reduce_tail,
+        fun st ->
+          ignore st;
+          ( [ fvec (Array.make vl 1.5); fvec (Array.make vl 2.5) ],
+            fun () -> "" ) );
+      ( "superblock_reduce",
+        mk_superblock_reduce,
+        fun st ->
+          ignore st;
+          ( [ fvec (Array.make vl 1.5); fvec (Array.make vl 2.5);
+              fvec (Array.make vl 0.5) ],
+            fun () -> "" ) );
     ]
   in
   List.iter
     (fun (name, mk, setup) ->
-      for budget = 0 to 8 do
+      for budget = 0 to 10 do
         let u = exec ~budget (mk ()) ~fused:false ~fn:"f" ~setup in
         let f = exec ~budget (mk ()) ~fused:true ~fn:"f" ~setup in
         Alcotest.(check bool)
@@ -474,5 +646,9 @@ let () =
             prop_load_binop;
             prop_binop_store;
             prop_load_binop_store;
+            prop_superblock;
+            prop_superblock_int;
+            prop_reduce_tail;
+            prop_superblock_reduce;
           ] );
     ]

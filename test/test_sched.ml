@@ -1,0 +1,190 @@
+(* Properties of the dependence-driven list scheduler.
+
+   The scheduler's whole contract is legality: its output must be a
+   permutation of the block body that keeps every fence (memory op,
+   call, integer divide — every potential trap or injection point) at
+   its exact index and orders every region-internal RAW edge
+   producer-first ({!Analysis.Deps.respects}). The qcheck property
+   below generates random straight-line programs mixing movable
+   arithmetic with fences and checks that postcondition directly, plus
+   determinism (same input, same output). A unit test pins the
+   scheduler's purpose: a producer→consumer pair split by an unrelated
+   instruction becomes physically adjacent, so {!Analysis.Chains} can
+   fuse it. Finally, a campaign-level check runs one full (workload,
+   category) cell with scheduling on and off and compares the traces
+   byte-for-byte — the end-to-end statement that scheduling is
+   unobservable in campaign results. *)
+
+open Vir
+
+let vl = 8
+let i32v = Vtype.vector vl Vtype.I32
+let f32v = Vtype.vector vl Vtype.F32
+
+(* Build a single-block function from a step recipe: each step emits
+   either a movable op over previously defined values or a fence
+   (store / load / integer divide). The program is never executed —
+   the scheduler is a static pass — so memory shape and div operands
+   need not be safe. *)
+let build_program (steps : int list) : Func.t =
+  let m = Vmodule.create "sched" in
+  let b =
+    Builder.define m ~name:"f"
+      ~params:
+        [
+          ("p", Vtype.ptr); ("a", i32v); ("b", i32v); ("x", f32v);
+          ("y", f32v);
+        ]
+      ~ret_ty:i32v
+  in
+  Builder.position_at_end b (Builder.new_block b "entry");
+  let ints = ref [ Builder.param b "a"; Builder.param b "b" ] in
+  let floats = ref [ Builder.param b "x"; Builder.param b "y" ] in
+  let p = Builder.param b "p" in
+  let pick l n = List.nth l (abs n mod List.length l) in
+  List.iter
+    (fun s ->
+      let c = abs s in
+      match c mod 8 with
+      | 0 -> ints := Builder.add b (pick !ints c) (pick !ints (c / 7)) :: !ints
+      | 1 -> ints := Builder.mul b (pick !ints c) (pick !ints (c / 7)) :: !ints
+      | 2 ->
+        floats := Builder.fadd b (pick !floats c) (pick !floats (c / 7)) :: !floats
+      | 3 ->
+        floats := Builder.fmul b (pick !floats c) (pick !floats (c / 7)) :: !floats
+      | 4 ->
+        floats := Builder.fsub b (pick !floats c) (pick !floats (c / 7)) :: !floats
+      | 5 -> Builder.store b (pick !ints c) p (* fence *)
+      | 6 -> ints := Builder.load b i32v p :: !ints (* fence *)
+      | _ ->
+        (* fence: sdiv can trap, so it must never move *)
+        ints := Builder.sdiv b (pick !ints c) (pick !ints (c / 7)) :: !ints)
+    steps;
+  Builder.ret b (Some (pick !ints 0));
+  List.hd m.Vmodule.funcs
+
+let body_and_terminator (f : Func.t) =
+  let instrs = (List.hd f.Func.blocks).Block.instrs in
+  let body, term =
+    List.partition
+      (fun (i : Instr.t) ->
+        match i.Instr.op with
+        | Instr.Phi _ | Instr.Br _ | Instr.Condbr _ | Instr.Ret _
+        | Instr.Unreachable ->
+          false
+        | _ -> true)
+      instrs
+  in
+  (Array.of_list body, List.hd term)
+
+let steps_gen = QCheck.Gen.(list_size (int_range 2 24) (int_range 0 1000))
+
+let prop_respects =
+  QCheck.Test.make
+    ~name:"scheduled body is a dependence-respecting permutation" ~count:300
+    (QCheck.make steps_gen ~print:QCheck.Print.(list int))
+    (fun steps ->
+      let f = build_program steps in
+      let du = Analysis.Defuse.build f in
+      let body, term = body_and_terminator f in
+      let sched, moves = Analysis.Sched.schedule_body du ~terminator:term body in
+      if not (Analysis.Deps.respects body sched) then
+        QCheck.Test.fail_report "scheduler output violates dependences";
+      (* Determinism: scheduling the same body again is identical. *)
+      let sched', moves' =
+        Analysis.Sched.schedule_body du ~terminator:term body
+      in
+      if moves <> moves' || not (Array.for_all2 ( == ) sched sched') then
+        QCheck.Test.fail_report "scheduler is nondeterministic";
+      true)
+
+(* The reason the pass exists: a single-use producer separated from its
+   consumer by an unrelated instruction becomes adjacent, making the
+   pair visible to the chain finder (no chain before, a chain after). *)
+let test_makes_chains_adjacent () =
+  let m = Vmodule.create "sched" in
+  let b =
+    Builder.define m ~name:"f"
+      ~params:[ ("a", i32v); ("b", i32v); ("x", f32v); ("y", f32v) ]
+      ~ret_ty:f32v
+  in
+  Builder.position_at_end b (Builder.new_block b "entry");
+  let t1 = Builder.fmul b (Builder.param b "x") (Builder.param b "y") in
+  (* unrelated int op splits the float chain *)
+  let u = Builder.add b (Builder.param b "a") (Builder.param b "b") in
+  let u2 = Builder.mul b u u in
+  ignore u2;
+  let t2 = Builder.fadd b t1 (Builder.param b "x") in
+  Builder.ret b (Some t2);
+  let f = List.hd m.Vmodule.funcs in
+  let before = Analysis.Chains.find f in
+  Alcotest.(check bool)
+    "float pair not adjacent before scheduling" true
+    (not
+       (List.exists
+          (fun (c : Analysis.Chains.chain) ->
+            Analysis.Chains.rule_name c.Analysis.Chains.c_rule
+            = "fbinop_fbinop")
+          before));
+  let moves = Passes.Schedule.run_module m in
+  Alcotest.(check bool) "scheduler moved something" true (moves > 0);
+  let after = Analysis.Chains.find f in
+  Alcotest.(check bool)
+    "float pair fusible after scheduling" true
+    (List.exists
+       (fun (c : Analysis.Chains.chain) ->
+         Analysis.Chains.rule_name c.Analysis.Chains.c_rule = "fbinop_fbinop")
+       after)
+
+(* ---------------- campaign-level byte-identity ---------------- *)
+
+let tiny_cfg =
+  {
+    Vulfi.Campaign.experiments_per_campaign = 25;
+    min_campaigns = 3;
+    max_campaigns = 3;
+    margin_target = 1.0;
+    seed = 20260808;
+  }
+
+let micro name =
+  match Benchmarks.Registry.find name with
+  | Some b -> b.Benchmarks.Harness.bench
+  | None -> Alcotest.fail ("missing benchmark " ^ name)
+
+(* Scheduling must be invisible end to end: the full campaign trace —
+   every experiment record, every outcome, every dynamic count — is
+   byte-identical with the scheduler on and off. *)
+let test_campaign_trace_identity () =
+  let traced on =
+    let saved = !Vulfi.Experiment.schedule_enabled in
+    Vulfi.Experiment.schedule_enabled := on;
+    Fun.protect
+      ~finally:(fun () -> Vulfi.Experiment.schedule_enabled := saved)
+      (fun () ->
+        let buf = Buffer.create 4096 in
+        let sink = Vulfi.Trace.to_buffer buf in
+        ignore
+          (Vulfi.Campaign.run ~sink tiny_cfg (micro "dot product")
+             Vir.Target.Avx Analysis.Sites.Pure_data);
+        Vulfi.Trace.close sink;
+        Buffer.contents buf)
+  in
+  let on = traced true and off = traced false in
+  Alcotest.(check string) "schedule on == schedule off" on off
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "legality",
+        [
+          QCheck_alcotest.to_alcotest prop_respects;
+          Alcotest.test_case "scheduling enables fusion" `Quick
+            test_makes_chains_adjacent;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "campaign trace identical on/off" `Quick
+            test_campaign_trace_identity;
+        ] );
+    ]
