@@ -16,6 +16,9 @@
      --trace FILE             JSONL telemetry for every campaign run
      --legacy-executor        paper-literal two-runs-per-experiment protocol
      --ff-executor            fast-forward executor (checkpoint + resume)
+     --prune-executor         converge-pruned executor (fast-forward + early
+                              termination at golden-state re-convergence);
+                              conflicts with --legacy-executor
    Environment:
      VULFI_SCALE=paper        paper-scale campaigns (hours)
      VULFI_EXPERIMENTS=N      experiments per campaign override
@@ -62,9 +65,11 @@ let jobs = ref 1
 (* Executor selection: --legacy-executor is the paper's literal
    two-runs-per-experiment protocol (fresh profiling run + machine
    before every faulty run); --ff-executor resumes each faulty run from
-   a full machine-state checkpoint at its injection site; the default
-   is the checkpointed executor. Output is bit-identical across all
-   three; the flags exist for cross-checks and the `campaign`
+   a full machine-state checkpoint at its injection site;
+   --prune-executor additionally terminates a faulty run at the first
+   later checkpoint site whose machine state matches the golden run's;
+   the default is the checkpointed executor. Output is bit-identical
+   across all four; the flags exist for cross-checks and the `campaign`
    throughput comparison. *)
 let executor = ref Vulfi.Campaign.Checkpointed
 
@@ -805,19 +810,19 @@ let interp_bench () =
   Printf.printf "\nwrote BENCH_interp.json\n"
 
 (* ------------------------------------------------------------------ *)
-(* Campaign throughput: legacy vs checkpointed vs fast-forward         *)
+(* Campaign throughput: the four executors head to head                *)
 
-(* Runs the fig11 cell sweep three times — once per executor — over the
+(* Runs the fig11 cell sweep four times — once per executor — over the
    same shared pool settings, cross-checks that results and traces are
-   byte-identical across all three, and writes BENCH_campaign.json so
+   byte-identical across all four, and writes BENCH_campaign.json so
    successive PRs can track end-to-end campaign throughput the way
    BENCH_interp.json tracks raw VM throughput. *)
 let campaign_bench () =
   let cfg = campaign_config () in
   header
     (Printf.sprintf
-       "Campaign throughput: legacy vs checkpointed vs fast-forward \
-        executor over the fig11 cell sweep (-j %d)"
+       "Campaign throughput: legacy vs checkpointed vs fast-forward vs \
+        converge-pruned executor over the fig11 cell sweep (-j %d)"
        !jobs);
   let cells =
     List.concat_map
@@ -844,6 +849,11 @@ let campaign_bench () =
   let r_leg, tr_leg, t_leg = sweep Vulfi.Campaign.Legacy in
   let r_ckpt, tr_ckpt, t_ckpt = sweep Vulfi.Campaign.Checkpointed in
   let r_ff, tr_ff, t_ff = sweep Vulfi.Campaign.Fast_forward in
+  Vulfi.Experiment.reset_prune_stats ();
+  let r_pr, tr_pr, t_pr = sweep Vulfi.Campaign.Converge_pruned in
+  let prunes_performed, prune_checks_performed =
+    Vulfi.Experiment.prune_stats ()
+  in
   let sum f = List.fold_left (fun a r -> a + f r) 0 r_ckpt in
   let n_exps =
     sum (fun (r : Vulfi.Campaign.result) ->
@@ -861,28 +871,46 @@ let campaign_bench () =
   let ff_resumed =
     sum (fun (r : Vulfi.Campaign.result) -> r.Vulfi.Campaign.c_ff_resumed)
   in
+  let pruned =
+    sum (fun (r : Vulfi.Campaign.result) -> r.Vulfi.Campaign.c_pruned)
+  in
+  let prune_checks =
+    sum (fun (r : Vulfi.Campaign.result) -> r.Vulfi.Campaign.c_prune_checks)
+  in
   let rate dt = if dt > 0.0 then float_of_int n_exps /. dt else 0.0 in
   let speedup = if t_ckpt > 0.0 then t_leg /. t_ckpt else 0.0 in
   let speedup_ff = if t_ff > 0.0 then t_ckpt /. t_ff else 0.0 in
-  let results_identical = r_leg = r_ckpt && r_ckpt = r_ff in
+  let speedup_pruned = if t_pr > 0.0 then t_ff /. t_pr else 0.0 in
+  let results_identical =
+    r_leg = r_ckpt && r_ckpt = r_ff && r_ff = r_pr
+  in
   let traces_identical =
-    String.equal tr_leg tr_ckpt && String.equal tr_ckpt tr_ff
+    String.equal tr_leg tr_ckpt
+    && String.equal tr_ckpt tr_ff
+    && String.equal tr_ff tr_pr
   in
   Printf.printf "cells: %d   experiments: %d\n" (List.length cells) n_exps;
-  Printf.printf "legacy      : %7.2f s  %8.1f experiments/s\n" t_leg
+  Printf.printf "legacy         : %7.2f s  %8.1f experiments/s\n" t_leg
     (rate t_leg);
-  Printf.printf "checkpointed: %7.2f s  %8.1f experiments/s\n" t_ckpt
+  Printf.printf "checkpointed   : %7.2f s  %8.1f experiments/s\n" t_ckpt
     (rate t_ckpt);
-  Printf.printf "fast-forward: %7.2f s  %8.1f experiments/s\n" t_ff
+  Printf.printf "fast-forward   : %7.2f s  %8.1f experiments/s\n" t_ff
     (rate t_ff);
+  Printf.printf "converge-pruned: %7.2f s  %8.1f experiments/s\n" t_pr
+    (rate t_pr);
   Printf.printf
-    "speedup     : %6.2fx (ckpt/legacy)  %6.2fx (ff/ckpt)   golden runs \
-     %d (reused %d)   checkpoints %d (resumed %d)\n"
-    speedup speedup_ff golden_runs golden_reused checkpoints ff_resumed;
+    "speedup        : %6.2fx (ckpt/legacy)  %6.2fx (ff/ckpt)  %6.2fx \
+     (pruned/ff)\n"
+    speedup speedup_ff speedup_pruned;
+  Printf.printf
+    "golden runs %d (reused %d)   checkpoints %d (resumed %d)   prunable \
+     %d (pruned %d, %d of %d checks)\n"
+    golden_runs golden_reused checkpoints ff_resumed pruned
+    prunes_performed prune_checks_performed prune_checks;
   Printf.printf "results identical: %b   traces identical: %b\n"
     results_identical traces_identical;
   let oc = open_out "BENCH_campaign.json" in
-  Printf.fprintf oc "{\n  \"schema\": \"vulfi-campaign-bench-v2\",\n";
+  Printf.fprintf oc "{\n  \"schema\": \"vulfi-campaign-bench-v3\",\n";
   Printf.fprintf oc "  \"scale\": %S,\n"
     (if scale_is_paper then "paper" else "quick");
   Printf.fprintf oc "  \"jobs\": %d,\n" !jobs;
@@ -892,16 +920,32 @@ let campaign_bench () =
   Printf.fprintf oc "  \"golden_runs_eliminated\": %d,\n" golden_reused;
   Printf.fprintf oc "  \"checkpoints\": %d,\n" checkpoints;
   Printf.fprintf oc "  \"ff_resumed\": %d,\n" ff_resumed;
+  (* schedule-derived pruning opportunity vs what physically pruned *)
+  Printf.fprintf oc "  \"prunable_experiments\": %d,\n" pruned;
+  Printf.fprintf oc "  \"prune_checks_possible\": %d,\n" prune_checks;
+  Printf.fprintf oc "  \"prunes_performed\": %d,\n" prunes_performed;
+  Printf.fprintf oc "  \"prune_checks_performed\": %d,\n"
+    prune_checks_performed;
   Printf.fprintf oc "  \"legacy_seconds\": %.3f,\n" t_leg;
   Printf.fprintf oc "  \"checkpointed_seconds\": %.3f,\n" t_ckpt;
   Printf.fprintf oc "  \"fastforward_seconds\": %.3f,\n" t_ff;
+  Printf.fprintf oc "  \"pruned_seconds\": %.3f,\n" t_pr;
   Printf.fprintf oc "  \"legacy_experiments_per_s\": %.1f,\n" (rate t_leg);
   Printf.fprintf oc "  \"checkpointed_experiments_per_s\": %.1f,\n"
     (rate t_ckpt);
   Printf.fprintf oc "  \"fastforward_experiments_per_s\": %.1f,\n"
     (rate t_ff);
+  Printf.fprintf oc "  \"pruned_experiments_per_s\": %.1f,\n" (rate t_pr);
   Printf.fprintf oc "  \"speedup\": %.3f,\n" speedup;
   Printf.fprintf oc "  \"speedup_fastforward\": %.3f,\n" speedup_ff;
+  Printf.fprintf oc "  \"speedup_pruned\": %.3f,\n" speedup_pruned;
+  (* Pre-pruning reference point (PR 8 tree, this harness, quick scale,
+     right before the converge-pruned executor landed) so the pruning
+     before/after stays in the artifact. *)
+  Printf.fprintf oc
+    "  \"baseline_pre_prune\": {\"legacy_seconds\": 12.022, \
+     \"checkpointed_seconds\": 5.524, \"fastforward_seconds\": 3.694, \
+     \"speedup_fastforward\": 1.495},\n";
   Printf.fprintf oc "  \"results_identical\": %b,\n" results_identical;
   Printf.fprintf oc "  \"traces_identical\": %b\n" traces_identical;
   Printf.fprintf oc "}\n";
@@ -1030,10 +1074,23 @@ let () =
       Printf.eprintf "--trace expects a file name\n";
       exit 2
     | "--legacy-executor" :: rest ->
+      if !executor = Vulfi.Campaign.Converge_pruned then begin
+        Printf.eprintf
+          "--legacy-executor and --prune-executor are mutually exclusive\n";
+        exit 2
+      end;
       executor := Vulfi.Campaign.Legacy;
       parse_args acc rest
     | "--ff-executor" :: rest ->
       executor := Vulfi.Campaign.Fast_forward;
+      parse_args acc rest
+    | "--prune-executor" :: rest ->
+      if !executor = Vulfi.Campaign.Legacy then begin
+        Printf.eprintf
+          "--legacy-executor and --prune-executor are mutually exclusive\n";
+        exit 2
+      end;
+      executor := Vulfi.Campaign.Converge_pruned;
       parse_args acc rest
     | "--no-fusion" :: rest ->
       Vulfi.Experiment.fusion_enabled := false;

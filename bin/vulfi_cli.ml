@@ -274,15 +274,22 @@ let print_cell ~detectors (r : Vulfi.Campaign.result) =
 
 let campaign_cmd =
   let run target category name experiments campaigns with_detectors
-      fault_kind jobs trace trace_timings legacy ff no_fusion no_schedule =
+      fault_kind jobs trace trace_timings legacy ff prune no_fusion
+      no_schedule =
     if no_fusion then Vulfi.Experiment.fusion_enabled := false;
     if no_schedule then Vulfi.Experiment.schedule_enabled := false;
-    if legacy && ff then begin
-      prerr_endline
-        "vulfi campaign: --legacy-executor and --ff-executor are mutually \
-         exclusive";
-      exit 2
-    end;
+    (* executor flags are mutually exclusive, pairwise *)
+    List.iter
+      (fun (a, b, msg) ->
+        if a && b then begin
+          prerr_endline ("vulfi campaign: " ^ msg ^ " are mutually exclusive");
+          exit 2
+        end)
+      [
+        (legacy, ff, "--legacy-executor and --ff-executor");
+        (legacy, prune, "--legacy-executor and --prune-executor");
+        (ff, prune, "--ff-executor and --prune-executor");
+      ];
     let b = find_bench name in
     let cfg =
       {
@@ -293,20 +300,34 @@ let campaign_cmd =
         seed = 0xC0FFEE;
       }
     in
+    (* The seed schedule makes -j N bit-identical to a sequential run. *)
+    let requested =
+      if legacy then Vulfi.Campaign.Legacy
+      else if ff then Vulfi.Campaign.Fast_forward
+      else if prune then Vulfi.Campaign.Converge_pruned
+      else Vulfi.Campaign.Checkpointed
+    in
+    let effective =
+      Vulfi.Campaign.effective_executor ~detectors:with_detectors requested
+    in
+    (* the header records the executor only when detectors degraded it,
+       so non-degraded traces stay byte-identical across executors *)
+    let header_executor =
+      if effective <> requested then
+        Some (Vulfi.Campaign.executor_name effective)
+      else None
+    in
     let sink =
       Option.map
-        (fun f -> Vulfi.Trace.to_file ~timings:trace_timings f)
+        (fun f ->
+          Vulfi.Trace.to_file ~timings:trace_timings ?executor:header_executor
+            f)
         trace
     in
     Fun.protect
       ~finally:(fun () -> Option.iter Vulfi.Trace.close sink)
       (fun () ->
-        (* The seed schedule makes -j N bit-identical to a sequential run. *)
-        let executor =
-          if legacy then Vulfi.Campaign.Legacy
-          else if ff then Vulfi.Campaign.Fast_forward
-          else Vulfi.Campaign.Checkpointed
-        in
+        let executor = requested in
         let campaign_run ?transform ?hooks cfg w target category =
           if jobs > 1 then
             Vulfi.Campaign.run_parallel ?transform ?hooks ~fault_kind ?sink
@@ -378,8 +399,22 @@ let campaign_cmd =
                  one golden replay per input; each faulty run resumes \
                  from the nearest checkpoint at or before its site and \
                  executes only the suffix. Bit-identical output; with \
-                 --detectors it silently degrades to the checkpointed \
-                 executor (detector state lives outside the machine).")
+                 --detectors it degrades to the checkpointed executor \
+                 (detector state lives outside the machine), with a \
+                 stderr notice and the effective executor recorded in \
+                 the trace header.")
+  in
+  let prune_arg =
+    Arg.(value & flag & info [ "prune-executor" ]
+           ~doc:"Run the converge-pruned executor: fast-forward resume \
+                 plus convergence checks at every later checkpoint site \
+                 (counters, call stack, live registers, dirty-span \
+                 memory); a faulty run that re-converges with the \
+                 golden run terminates immediately and splices the \
+                 golden outcome. Bit-identical output \
+                 (VULFI_NO_PRUNE=1 degrades it to plain fast-forward \
+                 for cross-checks); with --detectors it degrades to \
+                 the checkpointed executor like --ff-executor.")
   in
   let no_fusion_arg =
     Arg.(value & flag & info [ "no-fusion" ]
@@ -405,7 +440,8 @@ let campaign_cmd =
     Term.(const run $ target_arg $ category_arg $ bench_arg
           $ experiments_arg $ campaigns_arg $ detectors_arg
           $ fault_kind_arg $ jobs_arg $ trace_arg $ trace_timings_arg
-          $ legacy_arg $ ff_arg $ no_fusion_arg $ no_schedule_arg)
+          $ legacy_arg $ ff_arg $ prune_arg $ no_fusion_arg
+          $ no_schedule_arg)
 
 (* ---------------- report ---------------- *)
 
@@ -434,6 +470,10 @@ let report_cmd =
       Printf.eprintf "%s: %s\n" file msg;
       exit 1
     | Ok replays ->
+      (match Vulfi.Report.header_executor records with
+      | Some e ->
+        Printf.printf "effective executor: %s (degraded by detectors)\n" e
+      | None -> ());
       let ok = ref true in
       List.iter
         (fun (rp : Vulfi.Report.replay) ->

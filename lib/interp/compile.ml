@@ -123,8 +123,22 @@ and skind =
       k_gs : tgetter array;
       k_dst : int;
       k_chg : state -> unit;
+      k_live : int array;
+          (** registers live after the call minus the destination: the
+              exact frame slots a convergence check must compare when
+              this call is the pending step of an outer activation
+              (pooled frames are never cleared, so dead slots hold
+              unrelated garbage and must be skipped) *)
     }
-  | Kextern of { x_slot : int; x_gs : tgetter array }
+  | Kextern of {
+      x_slot : int;
+      x_gs : tgetter array;
+      x_live : int array;
+          (** registers live before the call (including its arguments):
+              the frame slots a convergence check compares when this
+              extern is the interrupted step of the innermost
+              activation *)
+    }
 
 and texec = state -> unit
 
@@ -455,13 +469,13 @@ let exec_tracked (st : state) (cf : cfunc) (regs : Vvalue.t array)
         let s = Array.unsafe_get steps k in
         match s.s_kind with
         | Kplain -> s.s_exec st
-        | Kextern { x_slot; x_gs } ->
+        | Kextern { x_slot; x_gs; _ } ->
           let args =
             Array.to_list (Array.map (fun g -> g tf.tf_regs) x_gs)
           in
           if probe st ~slot:x_slot args then capture ();
           s.s_exec st
-        | Kcall { k_target; k_gs; k_dst; k_chg } ->
+        | Kcall { k_target; k_gs; k_dst; k_chg; _ } ->
           (* Mirrors the direct-call closure built by [thread_call]
              step for step, with the callee run under tracking. *)
           k_chg st;
@@ -597,6 +611,240 @@ let exec_resume (st : state) ~(budget : int) (ck : checkpoint) :
           ~instr:(fr.fc_instr + 1)
       end
     in
+    if level = 0 then r else unwind (level - 1) r
+  in
+  unwind (n - 1) None
+
+(* ------------------------------------------------------------------ *)
+(* Convergence-checked execution (the Converge_pruned executor's
+   engine). [exec_converge] / [exec_converge_resume] mirror
+   [exec_tracked] / [exec_resume], but instead of capturing checkpoints
+   they offer every extern call to a [check] callback together with the
+   current shadow stack; the callback typically calls [state_equal]
+   against a golden checkpoint at the same dynamic site and raises to
+   terminate the run early when the states match (the caller splices
+   the golden outcome — see Experiment.faulty_run_pruned).
+
+   [check] returns whether a future call can still matter. The first
+   [false] answer *detaches* the run: tracking stops and the rest of
+   the activation stack executes through the composed [t_body]
+   closures at full speed (per-step tracking forgoes the fused
+   superblock kernels, so a suffix that can no longer prune would
+   otherwise pay the tracked-interpreter tax for nothing). *)
+
+type converge_check =
+  state -> tracked_frame list -> slot:int -> Vvalue.t list -> bool
+
+(* Exact machine-state comparison against a checkpoint, restricted to
+   what can influence the continuation: dynamic counters, the call
+   stack's (function, block, instruction) positions, the *live*
+   registers of each interrupted position (dead slots of pooled frames
+   hold garbage from unrelated runs), and memory over the union of the
+   golden run's accumulated dirty spans [since] and the faulty run's
+   own live dirty spans (every byte outside both is untouched since the
+   shared post-setup image). Equality here implies the two executions
+   complete identically: the continuation reads only live registers,
+   compared memory, and the counters — and fault injectors past the
+   injection site never modify values or draw randomness. *)
+let state_equal (st : state) (stack : tracked_frame list)
+    (ck : checkpoint) ~(since : Memory.spans) : bool =
+  st.budget0 - st.fuel = ck.ck_spent
+  && st.dyn_vector = ck.ck_vec
+  &&
+  let n = Array.length ck.ck_stack in
+  let frame_eq i (tf : tracked_frame) =
+    let fc = ck.ck_stack.(i) in
+    tf.tf_func == fc.fc_func
+    && tf.tf_block = fc.fc_block
+    && tf.tf_instr = fc.fc_instr
+    &&
+    let live =
+      match
+        fc.fc_func.tblocks.(fc.fc_block).t_steps.(fc.fc_instr).s_kind
+      with
+      | Kextern { x_live; _ } when i = n - 1 -> Some x_live
+      | Kcall { k_live; _ } when i < n - 1 -> Some k_live
+      | _ -> None
+    in
+    match live with
+    | None -> false
+    | Some live ->
+      Array.for_all
+        (fun r -> Vvalue.equal tf.tf_regs.(r) fc.fc_saved.(r))
+        live
+  in
+  (* [stack] is innermost-first; [ck_stack] outermost-first. *)
+  let rec frames_eq i = function
+    | [] -> i < 0
+    | tf :: rest -> i >= 0 && frame_eq i tf && frames_eq (i - 1) rest
+  in
+  frames_eq (n - 1) stack
+  && Memory.equal_since st.mem ck.ck_mem ~since
+
+(* Shared tracked interpreter for the convergence executors: runs one
+   activation, firing [check] before every extern step. [resume_mid]
+   starts the frame at its recorded (block, instr) position without
+   re-running the block's phi moves (the resume entry); a fresh frame
+   enters at block 0 with the entry phi move, exactly like
+   [exec_tracked]. [live] is the shared detach latch: the first [false]
+   from [check] (anywhere in the activation tree) clears it, the
+   current block's remaining steps run through [exec_cfunc_resume]'s
+   full-speed path, and every enclosing activation follows suit. *)
+let rec converge_tf (st : state) (stack : tracked_frame list ref)
+    ~(check : converge_check) ~(live : bool ref) (tf : tracked_frame)
+    ~(resume_mid : bool) : Vvalue.t option =
+  let blocks = tf.tf_func.tblocks in
+  st.regs <- tf.tf_regs;
+  let rec go ~run_phis ~instr0 prev cur =
+    let b = Array.unsafe_get blocks cur in
+    if run_phis && Array.length b.t_phis <> 0 then b.t_phis.(prev + 1) st;
+    tf.tf_block <- cur;
+    let steps = b.t_steps in
+    let n = Array.length steps in
+    (* Returns -1 when the block completed under tracking, or the index
+       of the first unexecuted step after a detach. *)
+    let rec step k =
+      if k >= n then -1
+      else begin
+        tf.tf_instr <- k;
+        let s = Array.unsafe_get steps k in
+        match s.s_kind with
+        | Kplain ->
+          s.s_exec st;
+          step (k + 1)
+        | Kextern { x_slot; x_gs; _ } ->
+          let args =
+            Array.to_list (Array.map (fun g -> g tf.tf_regs) x_gs)
+          in
+          if not (check st !stack ~slot:x_slot args) then live := false;
+          s.s_exec st;
+          if !live then step (k + 1) else k + 1
+        | Kcall { k_target; k_gs; k_dst; k_chg; _ } ->
+          k_chg st;
+          st.depth <- st.depth + 1;
+          if st.depth > st.max_depth then Trap.raise_ Trap.Stack_overflow_vm;
+          let regs' = frame_for st k_target in
+          for a = 0 to Array.length k_gs - 1 do
+            Vvalue.copy_into
+              ~dst:(Array.unsafe_get regs' a)
+              ((Array.unsafe_get k_gs a) tf.tf_regs)
+          done;
+          let callee =
+            { tf_func = k_target; tf_regs = regs'; tf_block = 0;
+              tf_instr = 0 }
+          in
+          stack := callee :: !stack;
+          let r = converge_tf st stack ~check ~live callee ~resume_mid:false in
+          stack := List.tl !stack;
+          st.regs <- tf.tf_regs;
+          st.depth <- st.depth - 1;
+          (match r with
+          | Some v when k_dst >= 0 ->
+            Vvalue.copy_into ~dst:(Array.unsafe_get tf.tf_regs k_dst) v
+          | Some _ | None -> ());
+          if !live then step (k + 1) else k + 1
+      end
+    in
+    let detached_at = step instr0 in
+    if detached_at >= 0 then
+      (* no further check can matter: finish this activation through
+         the composed closures (fused superblock kernels and all) *)
+      exec_cfunc_resume st tf.tf_func tf.tf_regs ~block:cur
+        ~instr:detached_at
+    else begin
+      charge st;
+      match b.t_term with
+      | Ct_br next -> go ~run_phis:true ~instr0:0 cur next
+      | Ct_condbr_reg (r, l1, l2) -> (
+        match Array.unsafe_get tf.tf_regs r with
+        | Vvalue.I (_, ba) ->
+          if Ilanes.unsafe_get ba 0 <> 0L then
+            go ~run_phis:true ~instr0:0 cur l1
+          else go ~run_phis:true ~instr0:0 cur l2
+        | v ->
+          if Vvalue.as_bool v then go ~run_phis:true ~instr0:0 cur l1
+          else go ~run_phis:true ~instr0:0 cur l2)
+      | Ct_condbr (c, l1, l2) ->
+        if Vvalue.as_bool (c tf.tf_regs) then
+          go ~run_phis:true ~instr0:0 cur l1
+        else go ~run_phis:true ~instr0:0 cur l2
+      | Ct_ret g -> Some (g tf.tf_regs)
+      | Ct_ret_void -> None
+      | Ct_unreachable -> Trap.raise_ Trap.Unreachable_executed
+    end
+  in
+  if resume_mid then go ~run_phis:false ~instr0:tf.tf_instr (-1) tf.tf_block
+  else go ~run_phis:true ~instr0:0 (-1) 0
+
+(* Fresh convergence run: [exec_tracked] with [check] instead of the
+   capture probe. Used when the fault site precedes every checkpoint
+   (nothing to resume from) but later checkpoint sites can still prune. *)
+let exec_converge (st : state) (cf : cfunc) (regs : Vvalue.t array)
+    ~(check : converge_check) : Vvalue.t option =
+  let tf0 = { tf_func = cf; tf_regs = regs; tf_block = 0; tf_instr = 0 } in
+  let stack = ref [ tf0 ] in
+  converge_tf st stack ~check ~live:(ref true) tf0 ~resume_mid:false
+
+(* [exec_resume] with the whole resumed suffix run under tracking so
+   [check] fires at every extern along the way. The restore prologue
+   and the innermost-first unwind are identical to [exec_resume]; each
+   level's suffix just goes through [converge_tf] instead of the
+   full-speed [exec_cfunc_resume]. *)
+let exec_converge_resume (st : state) ~(budget : int) (ck : checkpoint)
+    ~(check : converge_check) : Vvalue.t option =
+  Memory.restore st.mem ck.ck_mem;
+  st.budget0 <- budget;
+  st.fuel <- budget - ck.ck_spent;
+  st.dyn_vector <- ck.ck_vec;
+  Array.iter
+    (fun fr ->
+      let dst = fr.fc_frame and src = fr.fc_saved in
+      for k = 0 to Array.length dst - 1 do
+        let d = Array.unsafe_get dst k in
+        if d != default_value then
+          Vvalue.copy_into ~dst:d (Array.unsafe_get src k)
+      done)
+    ck.ck_stack;
+  let n = Array.length ck.ck_stack in
+  if n = 0 then
+    invalid_arg "Compile.exec_converge_resume: empty checkpoint stack";
+  let tfs =
+    Array.map
+      (fun fr ->
+        { tf_func = fr.fc_func; tf_regs = fr.fc_frame;
+          tf_block = fr.fc_block; tf_instr = fr.fc_instr })
+      ck.ck_stack
+  in
+  (* innermost-first shadow stack over the pending outer activations *)
+  let stack = ref [] in
+  for level = 0 to n - 1 do
+    stack := tfs.(level) :: !stack
+  done;
+  let live = ref true in
+  let rec unwind level ret =
+    let tf = tfs.(level) in
+    st.depth <- level;
+    let r =
+      if level = n - 1 then
+        converge_tf st stack ~check ~live tf ~resume_mid:true
+      else begin
+        (match
+           tf.tf_func.tblocks.(tf.tf_block).t_steps.(tf.tf_instr).s_kind
+         with
+        | Kcall { k_dst; _ } -> (
+          match ret with
+          | Some v when k_dst >= 0 ->
+            Vvalue.copy_into ~dst:tf.tf_regs.(k_dst) v
+          | _ -> ())
+        | _ -> assert false);
+        tf.tf_instr <- tf.tf_instr + 1;
+        if !live then converge_tf st stack ~check ~live tf ~resume_mid:true
+        else
+          exec_cfunc_resume st tf.tf_func tf.tf_regs ~block:tf.tf_block
+            ~instr:tf.tf_instr
+      end
+    in
+    stack := List.tl !stack;
     if level = 0 then r else unwind (level - 1) r
   in
   unwind (n - 1) None
@@ -1257,13 +1505,130 @@ and thread_call (cm : cmodule) (ci : cinstr) (callee : string)
         | Some handler -> store_ret regs (handler st (mk_args regs))
         | None -> Trap.raise_ (Trap.Unknown_function callee)))
 
+(* ------------------------------------------------------------------ *)
+(* Per-register liveness over the register-form CFG. The convergence
+   executor compares frames only over the live-in registers of each
+   interrupted position: pooled frames are reused across runs without
+   clearing, so dead slots hold garbage from unrelated experiments —
+   comparing them would be sound but would make convergence near-never
+   fire. Restricting to live registers stays exact: a register is live
+   at p iff the continuation from p can read its current value, so
+   equal live registers (plus memory and counters) imply an identical
+   continuation. Standard backward dataflow; phi uses are attributed to
+   the predecessor edge and phi defs kill at the successor's entry. *)
+
+let instr_uses (ci : cinstr) (mark : int -> unit) : unit =
+  Array.iter (function Creg r -> mark r | Cimm _ -> ()) ci.ops
+
+let term_uses (t : cterm) (mark : int -> unit) : unit =
+  match t with
+  | Tcondbr (Creg r, _, _) -> mark r
+  | Tret (Some (Creg r)) -> mark r
+  | Tbr _ | Tcondbr (Cimm _, _, _) | Tret _ | Tunreachable -> ()
+
+let block_succs (t : cterm) : int list =
+  match t with
+  | Tbr l -> [ l ]
+  | Tcondbr (_, l1, l2) -> [ l1; l2 ]
+  | Tret _ | Tunreachable -> []
+
+(* live-out of block [bi] into [live]: every successor's live-in (which
+   already excludes its phi defs) plus the phi sources those successors
+   draw from this edge (first-match semantics, like [thread_phis]). *)
+let live_out_into (cf : cfunc) (live_in : bool array array) (bi : int)
+    (blk : cblock) (live : bool array) : unit =
+  List.iter
+    (fun s ->
+      let sb = cf.cblocks.(s) in
+      let sin = live_in.(s) in
+      for r = 0 to Array.length sin - 1 do
+        if sin.(r) then live.(r) <- true
+      done;
+      Array.iter
+        (fun (p : cphi) ->
+          match
+            Array.find_opt (fun (pred, _) -> pred = bi) p.incoming
+          with
+          | Some (_, Creg r) -> live.(r) <- true
+          | Some (_, Cimm _) | None -> ())
+        sb.cphis)
+    (block_succs blk.term)
+
+(* Fixpoint live-in (at block entry, before the phi moves) per block. *)
+let live_in_sets (cf : cfunc) : bool array array =
+  let nb = Array.length cf.cblocks in
+  let live_in = Array.init nb (fun _ -> Array.make cf.nregs false) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for bi = nb - 1 downto 0 do
+      let blk = cf.cblocks.(bi) in
+      let live = Array.make cf.nregs false in
+      live_out_into cf live_in bi blk live;
+      term_uses blk.term (fun r -> live.(r) <- true);
+      for k = Array.length blk.body - 1 downto 0 do
+        let ci = blk.body.(k) in
+        if ci.dst >= 0 then live.(ci.dst) <- false;
+        instr_uses ci (fun r -> live.(r) <- true)
+      done;
+      Array.iter (fun (p : cphi) -> live.(p.pdst) <- false) blk.cphis;
+      if live <> live_in.(bi) then begin
+        live_in.(bi) <- live;
+        changed := true
+      end
+    done
+  done;
+  live_in
+
+(* (live-before, live-after) register sets — sorted index arrays — for
+   each call step of [blk]; non-call steps get empty arrays (only
+   [Kcall]/[Kextern] annotations consume them). *)
+let step_live_sets (cf : cfunc) (live_in : bool array array) (bi : int)
+    (blk : cblock) : (int array * int array) array =
+  let n = Array.length blk.body in
+  let out = Array.make n ([||], [||]) in
+  if n > 0 then begin
+    let live = Array.make cf.nregs false in
+    live_out_into cf live_in bi blk live;
+    term_uses blk.term (fun r -> live.(r) <- true);
+    let to_set () =
+      let count = ref 0 in
+      Array.iter (fun v -> if v then incr count) live;
+      let a = Array.make !count 0 in
+      let j = ref 0 in
+      Array.iteri
+        (fun r v ->
+          if v then begin
+            a.(!j) <- r;
+            incr j
+          end)
+        live;
+      a
+    in
+    for k = n - 1 downto 0 do
+      let ci = blk.body.(k) in
+      let is_call =
+        match ci.src.Vir.Instr.op with
+        | Vir.Instr.Call _ -> true
+        | _ -> false
+      in
+      let after = if is_call then to_set () else [||] in
+      if ci.dst >= 0 then live.(ci.dst) <- false;
+      instr_uses ci (fun r -> live.(r) <- true);
+      let before = if is_call then to_set () else [||] in
+      out.(k) <- (before, after)
+    done
+  end;
+  out
+
 (* Call-structure annotation for [t_steps], resolved with exactly the
    same chain as [thread_call] (module functions, then intrinsics, then
    extern slots) so the tracked executor enters precisely the calls the
    fast closures enter. Arity-mismatched direct calls and intrinsics
    stay [Kplain]: their closures never run callee code under a deeper
    frame, so position tracking has nothing to record. *)
-let step_kind (cm : cmodule) (ci : cinstr) : skind =
+let step_kind (cm : cmodule) (ci : cinstr) ~(live_before : int array)
+    ~(live_after : int array) : skind =
   match ci.src.Vir.Instr.op with
   | Vir.Instr.Call (callee, _) -> (
     match Hashtbl.find_opt cm.cfuncs callee with
@@ -1276,6 +1641,17 @@ let step_kind (cm : cmodule) (ci : cinstr) : skind =
             k_gs = Array.map getter ci.ops;
             k_dst = ci.dst;
             k_chg = (if ci.cvec then charge_vec else charge);
+            k_live =
+              (* the destination is overwritten by the callee's return
+                 (itself determined by the compared callee state), so
+                 its pre-call content is excluded from comparisons *)
+              (if ci.dst >= 0 && Array.exists (fun r -> r = ci.dst) live_after
+               then
+                 Array.of_list
+                   (List.filter
+                      (fun r -> r <> ci.dst)
+                      (Array.to_list live_after))
+               else live_after);
           }
     | None -> (
       match Vir.Intrinsics.lookup callee with
@@ -1285,6 +1661,7 @@ let step_kind (cm : cmodule) (ci : cinstr) : skind =
           {
             x_slot = Hashtbl.find cm.extern_index callee;
             x_gs = Array.map getter ci.ops;
+            x_live = live_before;
           }))
   | _ -> Kplain
 
@@ -2048,11 +2425,13 @@ let fuse_body (cm : cmodule) (cf : cfunc) (blk : cblock) (body : texec array)
 
 let thread_func (cm : cmodule) (cf : cfunc) : unit =
   let nblocks = Array.length cf.cblocks in
+  let live_in = live_in_sets cf in
   cf.tblocks <-
-    Array.map
-      (fun (blk : cblock) ->
+    Array.mapi
+      (fun bi (blk : cblock) ->
         let body = Array.map (thread_instr cm cf) blk.body in
         let hot = fuse_body cm cf blk body in
+        let lives = step_live_sets cf live_in bi blk in
         {
           t_phis = thread_phis cf blk nblocks;
           t_body = compose_body hot 0 (Array.length hot);
@@ -2060,7 +2439,12 @@ let thread_func (cm : cmodule) (cf : cfunc) : unit =
           t_steps =
             Array.mapi
               (fun k ex ->
-                { s_exec = ex; s_kind = step_kind cm blk.body.(k) })
+                let live_before, live_after = lives.(k) in
+                {
+                  s_exec = ex;
+                  s_kind =
+                    step_kind cm blk.body.(k) ~live_before ~live_after;
+                })
               body;
         })
       cf.cblocks

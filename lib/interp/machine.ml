@@ -155,3 +155,52 @@ let run_tracked (st : state) name (args : Vvalue.t list)
    copy, exactly as [run] returns one. *)
 let resume ~budget (st : state) (ck : checkpoint) : Vvalue.t option =
   Option.map Vvalue.copy (Compile.exec_resume st ~budget ck)
+
+(* ------------------------------------------------------------------ *)
+(* Convergence checks (converge-pruned executor support).              *)
+
+type stack_view = Compile.tracked_frame list
+
+type converge_check = state -> stack_view -> slot:int -> Vvalue.t list -> bool
+
+(* Exact machine-state equality against a golden checkpoint captured at
+   the same dynamic site: counters, call-stack positions, live
+   registers, and memory restricted to the union of [since] (the golden
+   run's accumulated dirty spans up to the checkpoint) and this
+   machine's own live dirty spans. [true] implies the continuation of
+   this machine is bit-identical to the golden run's continuation from
+   the checkpoint (see DESIGN.md, convergence soundness). *)
+let state_equal (st : state) (stack : stack_view) (ck : checkpoint)
+    ~(since : Memory.spans) : bool =
+  Compile.state_equal st stack ck ~since
+
+(* [run] with every extern call offered to [check] (together with the
+   current shadow call stack) before it executes. [check] terminates
+   the run by raising; used by the converge-pruned executor when the
+   fault site precedes every checkpoint. *)
+let run_converge (st : state) name (args : Vvalue.t list)
+    ~(check : converge_check) : Vvalue.t option =
+  match Hashtbl.find_opt st.Compile.code.Compile.cfuncs name with
+  | Some cf ->
+    let nargs = List.length args in
+    if nargs <> cf.Compile.nparams then
+      invalid_arg
+        (Printf.sprintf
+           "Machine: call to @%s with %d argument(s), expects %d" name nargs
+           cf.Compile.nparams);
+    st.Compile.depth <- 0;
+    let regs = Compile.frame_for st cf in
+    List.iteri
+      (fun i v -> Vvalue.copy_into ~dst:regs.(i) v)
+      args;
+    Option.map Vvalue.copy (Compile.exec_converge st cf regs ~check)
+  | None -> Trap.raise_ (Trap.Unknown_function name)
+
+(* [resume] with the whole resumed suffix run under position tracking
+   so [check] fires at every extern along the way. Slower than [resume]
+   per instruction; the converge-pruned executor buys that cost back by
+   terminating at the first post-injection checkpoint site whose state
+   matches the golden run's. *)
+let resume_converge ~budget (st : state) (ck : checkpoint)
+    ~(check : converge_check) : Vvalue.t option =
+  Option.map Vvalue.copy (Compile.exec_converge_resume st ~budget ck ~check)

@@ -103,3 +103,52 @@ val run_tracked :
     the function result, like {!run}.
     @raise Trap.Trap on a crash in the resumed suffix. *)
 val resume : budget:int -> state -> checkpoint -> Vvalue.t option
+
+(** {1 Convergence checks}
+
+    Support for the converge-pruned executor: run (or resume) a faulty
+    experiment with every extern call offered to a [check] callback,
+    which compares the machine against the golden run's checkpoint at
+    the same dynamic site via {!state_equal} and raises to terminate
+    the run as soon as the states match — the suffix from that point is
+    provably identical to the golden run's, so the caller splices the
+    golden outcome. *)
+
+(** The shadow call stack at a check point (innermost activation
+    first); opaque outside {!state_equal}. *)
+type stack_view
+
+(** Callback fired before each extern call executes, with the machine,
+    the current shadow stack, the callee's extern slot and the argument
+    values. Terminate the run by raising. The return value says whether
+    a future call could still matter: the first [false] detaches the
+    run — tracking stops and the remaining suffix executes at full
+    speed through the fused kernels, with no further [check] calls.
+    Detaching is purely physical; the run's results and traces are
+    unchanged. *)
+type converge_check = state -> stack_view -> slot:int -> Vvalue.t list -> bool
+
+(** [state_equal st stack ck ~since] — exact equality of the running
+    machine against checkpoint [ck] (captured by the same machine at
+    the same dynamic site): dynamic counters, call-stack positions, the
+    live registers of each interrupted activation, and memory compared
+    only over the union of [since] (the golden run's accumulated dirty
+    spans up to [ck]) and this run's own live dirty spans. A [true]
+    answer implies the continuation from here is bit-identical to the
+    golden run's continuation from [ck]. *)
+val state_equal :
+  state -> stack_view -> checkpoint -> since:Memory.spans -> bool
+
+(** [run] under position tracking with [check] fired before every
+    extern call (no checkpoints are captured). Used when the fault site
+    precedes every checkpoint, so the faulty run starts fresh but later
+    checkpoint sites can still prune it.
+    @raise Trap.Trap and [Invalid_argument] as {!run} does. *)
+val run_converge :
+  state -> string -> Vvalue.t list -> check:converge_check -> Vvalue.t option
+
+(** {!resume} with the resumed suffix run under position tracking and
+    [check] fired before every extern call along the way.
+    @raise Trap.Trap on a crash in the resumed suffix. *)
+val resume_converge :
+  budget:int -> state -> checkpoint -> check:converge_check -> Vvalue.t option

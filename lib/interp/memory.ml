@@ -134,6 +134,70 @@ let restore m snap =
   m.next_base <- snap.snap_next_base;
   m.last <- no_region
 
+(* ------------------------------------------------------------------ *)
+(* Dirty-span bookkeeping for convergence checks. A [spans] value is an
+   accumulated per-region convex hull of dirty bytes, keyed by physical
+   region identity; [diff_spans] folds the live spans (writes since the
+   last snapshot/restore event) into an accumulator, and [equal_since]
+   compares the current memory against a snapshot restricted to the
+   union of the live spans and an accumulated hull — every byte outside
+   that union is untouched since the snapshot on both sides, so the
+   restricted comparison is exact (see DESIGN.md, convergence
+   soundness). *)
+
+type spans = (region * int * int) list
+
+let no_spans : spans = []
+
+let rec merge_span r lo hi = function
+  | [] -> [ (r, lo, hi) ]
+  | (r', lo', hi') :: rest when r' == r ->
+    (r, min lo lo', max hi hi') :: rest
+  | e :: rest -> e :: merge_span r lo hi rest
+
+let diff_spans m acc =
+  List.fold_left
+    (fun acc r ->
+      if r.dlo < r.dhi then merge_span r r.dlo (min r.dhi r.size) acc
+      else acc)
+    acc m.regions
+
+(* Byte-range equality in 8-byte strides with a bytewise tail. *)
+let bytes_equal_range a b lo hi =
+  let i = ref lo in
+  let ok = ref true in
+  while !ok && !i + 8 <= hi do
+    if Bytes.get_int64_ne a !i <> Bytes.get_int64_ne b !i then ok := false
+    else i := !i + 8
+  done;
+  while !ok && !i < hi do
+    if Bytes.unsafe_get a !i <> Bytes.unsafe_get b !i then ok := false
+    else incr i
+  done;
+  !ok
+
+(* Hull of region [r]'s entry in [since] and its live dirty span. *)
+let[@inline] hull_for r (since : spans) =
+  let rec find = function
+    | [] -> (max_int, 0)
+    | (r', lo, hi) :: rest -> if r' == r then (lo, hi) else find rest
+  in
+  let slo, shi = find since in
+  let llo = r.dlo and lhi = min r.dhi r.size in
+  (min slo llo, max shi lhi)
+
+let equal_since m snap ~since =
+  (* Any divergence in the allocation state (a region allocated after
+     the snapshot that is still live, or a different bump pointer) is
+     conservatively "not equal" — sound, and free to test. *)
+  m.regions == snap.snap_regions
+  && m.next_base = snap.snap_next_base
+  && Array.for_all
+       (fun (r, saved) ->
+         let lo, hi = hull_for r since in
+         lo >= hi || bytes_equal_range r.data saved lo (min hi r.size))
+       snap.snap_saved
+
 let[@inline] in_region r addr =
   addr >= r.base && Int64.sub addr r.base < Int64.of_int r.size
 

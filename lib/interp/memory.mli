@@ -25,6 +25,22 @@ type snapshot
 val snapshot : t -> snapshot
 val restore : t -> snapshot -> unit
 
+(** Accumulated dirty-span hulls for convergence checks. [diff_spans m
+    acc] widens [acc] with every region's live dirty span (the bytes
+    written since the last snapshot/restore event); [equal_since m snap
+    ~since] compares the current memory against [snap] restricted to
+    the union of [since] and the live spans — bytes outside that union
+    are untouched since [snap] on both sides, so the restricted
+    comparison equals a full comparison. Allocation-state divergence
+    (regions allocated after [snap] still live) conservatively returns
+    [false]. *)
+
+type spans
+
+val no_spans : spans
+val diff_spans : t -> spans -> spans
+val equal_since : t -> snapshot -> since:spans -> bool
+
 (** Load a (possibly vector) value of [ty] from contiguous memory.
     @raise Trap.Trap on out-of-bounds access. *)
 val load : t -> Vir.Vtype.t -> int64 -> Vvalue.t

@@ -108,6 +108,18 @@ type result = {
           counters, both are pure functions of the seed schedule, so
           every executor reports the same values and traces stay
           byte-identical across executors. *)
+  c_pruned : int;
+      (** experiments with at least one plan checkpoint site strictly
+          after their injection site — the runs the converge-pruned
+          executor can terminate early (whether a given run physically
+          prunes depends on when its fault converges; that physical
+          count is bench-only telemetry, {!Experiment.prune_stats}) *)
+  c_prune_checks : int;
+      (** total (experiment, plan site) pairs with the site strictly
+          after the injection site — the convergence comparisons the
+          converge-pruned executor can at most perform. Both are pure
+          functions of the seed schedule, reported identically by all
+          four executors. *)
 }
 
 let rate part total =
@@ -186,8 +198,20 @@ let plan_for cfg cell w ~input ~dyn_sites : int array =
    its site — only the post-injection suffix executes. Detector hooks
    keep their state outside the machine, so cells with detectors fall
    back to [Checkpointed] (a resumed run would skip the prefix's
-   detector activity). *)
-type executor = Legacy | Checkpointed | Fast_forward
+   detector activity).
+
+   [Converge_pruned] rides the fast-forward machinery (same plans,
+   same resume points, same execution order) and additionally runs
+   each faulty suffix under position tracking: at every later
+   checkpoint site it compares the machine against the golden state
+   captured there ({!Interp.Machine.state_equal} — counters, call
+   stack, live registers, dirty-span-restricted memory) and, on a
+   match, terminates immediately and splices the golden outcome. The
+   splice is provably identical to running the suffix out (DESIGN.md,
+   convergence soundness), so results and traces stay byte-identical.
+   It degrades to [Checkpointed] under detectors exactly as
+   [Fast_forward] does. *)
+type executor = Legacy | Checkpointed | Fast_forward | Converge_pruned
 
 (* How an experiment executes its runs (the per-experiment view of
    [executor]; the [option] carries the vacuous case — a cell with no
@@ -196,6 +220,7 @@ type exec =
   | Paper_protocol
   | Checkpointed_exec of Experiment.prepared_input option
   | Fast_forward_exec of Experiment.ff_input option
+  | Converge_pruned_exec of Experiment.ff_input option
 
 (* One experiment, given its schedule entry and the accounting golden
    (the cached one; on the paper path the profiling run re-derives the
@@ -228,6 +253,17 @@ let run_experiment ~(hooks : hooks_factory) ~respect_masks ?fault_kind
         1 + Seed.uniform ex.Seed.site_key golden.Experiment.g_dyn_sites
       in
       Experiment.faulty_run_ff ~hooks:(hooks ()) ~respect_masks
+        ?fault_kind prepared ~ff ~dynamic_site ~seed:ex.Seed.bit_seed
+  | Converge_pruned_exec ff ->
+    if golden.Experiment.g_dyn_sites = 0 then vacuous_benign
+    else
+      let ff =
+        match ff with Some ff -> ff | None -> assert false
+      in
+      let dynamic_site =
+        1 + Seed.uniform ex.Seed.site_key golden.Experiment.g_dyn_sites
+      in
+      Experiment.faulty_run_pruned ~hooks:(hooks ()) ~respect_masks
         ?fault_kind prepared ~ff ~dynamic_site ~seed:ex.Seed.bit_seed
   | Paper_protocol ->
     let golden =
@@ -341,6 +377,8 @@ let finalize cfg cell (prepared : Experiment.prepared) (w : Workload.t)
     Hashtbl.fold (fun _ p acc -> acc + Array.length p) plans 0
   in
   let ff_resumed = ref 0 in
+  let pruned = ref 0 in
+  let prune_checks = ref 0 in
   for c = 0 to campaigns - 1 do
     for e = 0 to cfg.experiments_per_campaign - 1 do
       let ex = Seed.experiment cell ~campaign:c ~experiment:e in
@@ -351,7 +389,17 @@ let finalize cfg cell (prepared : Experiment.prepared) (w : Workload.t)
         let site =
           1 + Seed.uniform ex.Seed.site_key g.Experiment.g_dyn_sites
         in
-        if site >= plan.(0) then incr ff_resumed
+        if site >= plan.(0) then incr ff_resumed;
+        (* Convergence-pruning opportunity: plan sites strictly after
+           the injection site. Schedule-derived upper bounds, like the
+           counters above — never what the executor physically did. *)
+        let after =
+          Array.fold_left
+            (fun n s -> if s > site then n + 1 else n)
+            0 plan
+        in
+        if after > 0 then incr pruned;
+        prune_checks := !prune_checks + after
       | _ -> ()
     done
   done;
@@ -371,6 +419,8 @@ let finalize cfg cell (prepared : Experiment.prepared) (w : Workload.t)
     c_golden_reused = totals.n_experiments - golden_runs;
     c_checkpoints = checkpoints;
     c_ff_resumed = !ff_resumed;
+    c_pruned = !pruned;
+    c_prune_checks = !prune_checks;
   }
 
 (* JSON view of a result — the per-cell summary record of a trace, and
@@ -387,14 +437,38 @@ let result_json ?(detectors = false) (r : result) : Json.t =
     ~avg_dyn_sites:r.c_avg_dynamic_sites
     ~avg_dyn_instrs:r.c_avg_dynamic_instrs ~golden_runs:r.c_golden_runs
     ~golden_reused:r.c_golden_reused ~checkpoints:r.c_checkpoints
-    ~ff_resumed:r.c_ff_resumed
+    ~ff_resumed:r.c_ff_resumed ~pruned:r.c_pruned
+    ~prune_checks:r.c_prune_checks
+
+let executor_name = function
+  | Legacy -> "legacy"
+  | Checkpointed -> "checkpointed"
+  | Fast_forward -> "fast-forward"
+  | Converge_pruned -> "converge-pruned"
 
 (* Resolve the effective executor: detector hooks keep their state
    outside the machine (violation counters in the host), so a resumed
    run would miss the skipped prefix's detector activity — detector
-   cells silently degrade from [Fast_forward] to [Checkpointed]. *)
+   cells degrade from [Fast_forward] (or [Converge_pruned], which rides
+   the same resume machinery) to [Checkpointed], with a once-per-process
+   stderr notice so the degradation is never silent. The effective
+   executor is also recorded in the trace header (see {!Trace.make})
+   and surfaced by [vulfi report]. *)
+let degradation_noticed = ref false
+
 let effective_executor ~detectors (executor : executor) : executor =
-  if detectors && executor = Fast_forward then Checkpointed else executor
+  match executor with
+  | (Fast_forward | Converge_pruned) when detectors ->
+    if not !degradation_noticed then begin
+      degradation_noticed := true;
+      Printf.eprintf
+        "vulfi: note: %s executor degrades to checkpointed when \
+         detectors are attached (detector state lives outside the \
+         machine and cannot be resumed)\n%!"
+        (executor_name executor)
+    end;
+    Checkpointed
+  | e -> e
 
 (* The order a campaign's experiments execute in: schedule order for
    the replaying executors; (input, injection site) order for the
@@ -408,7 +482,7 @@ let execution_order (executor : executor) (exps : Seed.exp array)
   let n = Array.length exps in
   let order = Array.init n Fun.id in
   (match executor with
-  | Fast_forward ->
+  | Fast_forward | Converge_pruned ->
     let keys =
       Array.init n (fun e ->
           let dyn = dyn_sites_of inputs.(e) in
@@ -421,6 +495,12 @@ let execution_order (executor : executor) (exps : Seed.exp array)
     Array.sort (fun a b -> compare keys.(a) keys.(b)) order
   | Legacy | Checkpointed -> ());
   order
+
+(* Does [executor] run faulty halves off the fast-forward input (laid
+   checkpoints + golden dirty spans)? *)
+let uses_ff = function
+  | Fast_forward | Converge_pruned -> true
+  | Legacy | Checkpointed -> false
 
 (* Run the full campaign protocol for one
    (workload, target, site-category) cell, sequentially.
@@ -461,7 +541,7 @@ let run ?transform ?hooks ?(respect_masks = true)
           in
           Hashtbl.add pi_cache input pi;
           pi.Experiment.pi_golden
-        | Fast_forward ->
+        | Fast_forward | Converge_pruned ->
           let pi =
             Experiment.prepare_input ~hooks:(hooks ()) ~respect_masks
               prepared ~input
@@ -510,6 +590,8 @@ let run ?transform ?hooks ?(respect_masks = true)
             Checkpointed_exec (Hashtbl.find_opt pi_cache inputs.(e))
           | Fast_forward ->
             Fast_forward_exec (Hashtbl.find_opt ff_cache inputs.(e))
+          | Converge_pruned ->
+            Converge_pruned_exec (Hashtbl.find_opt ff_cache inputs.(e))
           | Legacy -> Paper_protocol
         in
         results.(e) <-
@@ -575,7 +657,7 @@ let run_parallel ?transform ?hooks
       in
       let ff_caches : (int, Experiment.ff_input) Hashtbl.t array =
         Array.init
-          (match executor with Fast_forward -> Pool.size pool | _ -> 0)
+          (if uses_ff executor then Pool.size pool else 0)
           (fun _ -> Hashtbl.create 8)
       in
       (* Build (and cache) worker [wid]'s prepared input, plus its laid
@@ -586,8 +668,7 @@ let run_parallel ?transform ?hooks
             prepared ~input
         in
         Hashtbl.replace pi_caches.(wid) input pi;
-        (match executor with
-        | Fast_forward ->
+        if uses_ff executor then begin
           let plan =
             plan_for cfg cell w ~input
               ~dyn_sites:pi.Experiment.pi_golden.Experiment.g_dyn_sites
@@ -595,7 +676,7 @@ let run_parallel ?transform ?hooks
           Hashtbl.replace ff_caches.(wid) input
             (Experiment.lay_checkpoints ~hooks:(hooks ()) ~respect_masks
                prepared ~pi ~plan)
-        | Legacy | Checkpointed -> ());
+        end;
         pi
       in
       let pi_for wid input (golden : Experiment.golden) =
@@ -671,6 +752,8 @@ let run_parallel ?transform ?hooks
                 | Checkpointed ->
                   Checkpointed_exec (pi_for wid input golden)
                 | Fast_forward -> Fast_forward_exec (ff_for wid input golden)
+                | Converge_pruned ->
+                  Converge_pruned_exec (ff_for wid input golden)
                 | Legacy -> Paper_protocol
               in
               timed_experiment ~hooks ~respect_masks ?fault_kind ~exec

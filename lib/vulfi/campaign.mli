@@ -56,6 +56,17 @@ type result = {
           of what any executor physically did), so every executor
           reports the same values and traces stay byte-identical
           across executors. *)
+  c_pruned : int;
+      (** experiments with at least one plan checkpoint site strictly
+          after their injection site — the runs the converge-pruned
+          executor can terminate early (the physical prune count is
+          bench-only telemetry, {!Experiment.prune_stats}) *)
+  c_prune_checks : int;
+      (** total (experiment, plan site) pairs with the site strictly
+          after the injection site — the convergence comparisons the
+          converge-pruned executor can at most perform. Both are pure
+          functions of the seed schedule, reported identically by all
+          four executors. *)
 }
 
 (** JSON view of a result: the per-cell summary record of a trace, and
@@ -77,7 +88,7 @@ val sdc_detection_rate : result -> float
     share detector state, sequentially or across domains. *)
 type hooks_factory = unit -> Experiment.hooks
 
-(** The three executors a campaign can run on. All produce bit-identical
+(** The four executors a campaign can run on. All produce bit-identical
     results, digests and traces; they differ only in how much work each
     experiment repeats.
 
@@ -95,11 +106,33 @@ type hooks_factory = unit -> Experiment.hooks
       nearest checkpoint at or before its injection site, executing
       only the post-injection suffix. Campaigns run their experiments
       in injection-sorted order (results and traces are emitted in
-      experiment order regardless). When detector hooks are attached,
-      [Fast_forward] silently degrades to [Checkpointed]: detector
-      state lives outside the machine and would not be restored by a
-      checkpoint. *)
-type executor = Legacy | Checkpointed | Fast_forward
+      experiment order regardless).
+    - [Converge_pruned] rides the fast-forward machinery and runs each
+      faulty suffix under position tracking, comparing the machine
+      against the golden state at every later checkpoint site
+      ({!Interp.Machine.state_equal}); on a match it terminates
+      immediately and splices the golden outcome, which is provably
+      identical to running the suffix out (DESIGN.md, convergence
+      soundness). [VULFI_NO_PRUNE=1] degrades it to plain fast-forward
+      for cross-checks without changing any result or trace byte.
+
+    When detector hooks are attached, [Fast_forward] and
+    [Converge_pruned] degrade to [Checkpointed] — detector state lives
+    outside the machine and would not be restored by a checkpoint — with
+    a one-line stderr notice (once per process); the effective executor
+    is recorded in the trace header and shown by [vulfi report]. *)
+type executor = Legacy | Checkpointed | Fast_forward | Converge_pruned
+
+(** CLI/report-facing name of an executor ("legacy", "checkpointed",
+    "fast-forward", "converge-pruned"). *)
+val executor_name : executor -> string
+
+(** [effective_executor ~detectors e] is the executor the drivers will
+    actually use: [e], except that [Fast_forward] and [Converge_pruned]
+    degrade to [Checkpointed] when [detectors] is true (with a
+    once-per-process stderr notice). Exposed so front-ends can record
+    the effective executor in trace headers. *)
+val effective_executor : detectors:bool -> executor -> executor
 
 (** [run cfg w target category] executes the campaign protocol for one
     (workload, ISA, site-category) cell, sequentially. [transform]

@@ -50,6 +50,19 @@ let schedule_enabled =
     | Some ("1" | "true" | "yes") -> false
     | _ -> true)
 
+(* Convergence pruning inside the converge-pruned executor: terminate a
+   faulty run at the first post-injection checkpoint site whose machine
+   state matches the golden run's, splicing the golden outcome. Pure
+   throughput — results and traces are identical either way — so it is
+   on by default; [VULFI_NO_PRUNE=1] degrades [faulty_run_pruned] to
+   the plain fast-forward path for cross-checks, mirroring
+   [VULFI_NO_FUSION]/[VULFI_NO_SCHEDULE]. *)
+let prune_enabled =
+  ref
+    (match Sys.getenv_opt "VULFI_NO_PRUNE" with
+    | Some ("1" | "true" | "yes") -> false
+    | _ -> true)
+
 (* Build, select fault sites for [category], instrument, verify and
    compile a workload. [transform] optionally rewrites the module
    before instrumentation (used to insert error detectors). Scheduling
@@ -302,6 +315,13 @@ let checkpoint_plan ?(max_checkpoints = default_max_checkpoints)
 type ff_input = {
   ff_pi : prepared_input;
   ff_checkpoints : (int * Interp.Machine.checkpoint) array;
+  ff_spans : Interp.Memory.spans array;
+      (** aligned with [ff_checkpoints]: the golden run's accumulated
+          dirty-span hulls from the post-setup image up to each
+          checkpoint. A faulty run's convergence check at checkpoint
+          [j] compares memory only over [ff_spans.(j)] united with its
+          own live dirty spans — everything outside both is untouched
+          since the shared post-setup image on both sides. *)
 }
 
 (* One instrumented golden replay laying the plan's checkpoints: the
@@ -314,7 +334,8 @@ type ff_input = {
    the trace records) bit-identical to a fresh replay. *)
 let lay_checkpoints ?(hooks = no_hooks) ?(respect_masks = true)
     (p : prepared) ~(pi : prepared_input) ~(plan : int array) : ff_input =
-  if Array.length plan = 0 then { ff_pi = pi; ff_checkpoints = [||] }
+  if Array.length plan = 0 then
+    { ff_pi = pi; ff_checkpoints = [||]; ff_spans = [||] }
   else begin
     let rt = Runtime.create ~respect_masks Runtime.Profile in
     let st = pi.pi_machine in
@@ -330,21 +351,32 @@ let lay_checkpoints ?(hooks = no_hooks) ?(respect_masks = true)
     in
     let nplan = Array.length plan in
     let pidx = ref 0 in
+    (* Accumulated golden dirty spans relative to the post-setup image.
+       They must be folded in the probe, before the capture's
+       [Memory.snapshot] resets the live spans; each fold therefore
+       covers exactly the writes since the previous capture (or since
+       the post-setup restore for the first one). *)
+    let cum = ref Interp.Memory.no_spans in
     (* The probe sees each extern call before it runs: the next live
        site has index [dynamic_sites rt + 1], mirroring the counter
        increment the handler is about to perform. *)
     let probe _st ~slot (args : Interp.Vvalue.t list) =
-      !pidx < nplan
-      && List.mem slot inject_slots
-      && (match args with
-         | [ _value; mask; _site ] ->
-           ((not respect_masks) || Interp.Vvalue.as_bool mask)
-           && Runtime.dynamic_sites rt + 1 = plan.(!pidx)
-         | _ -> false)
+      let hit =
+        !pidx < nplan
+        && List.mem slot inject_slots
+        && (match args with
+           | [ _value; mask; _site ] ->
+             ((not respect_masks) || Interp.Vvalue.as_bool mask)
+             && Runtime.dynamic_sites rt + 1 = plan.(!pidx)
+           | _ -> false)
+      in
+      if hit then
+        cum := Interp.Memory.diff_spans (Interp.Machine.memory st) !cum;
+      hit
     in
     let cks = ref [] in
     let on_capture ck =
-      cks := (plan.(!pidx), ck) :: !cks;
+      cks := (plan.(!pidx), ck, !cum) :: !cks;
       incr pidx
     in
     (match
@@ -358,7 +390,12 @@ let lay_checkpoints ?(hooks = no_hooks) ?(respect_masks = true)
            (Printf.sprintf "%s input %d (checkpoint replay): %s"
               p.p_workload.Workload.w_name pi.pi_golden.g_input
               (Interp.Trap.to_string k))));
-    { ff_pi = pi; ff_checkpoints = Array.of_list (List.rev !cks) }
+    let laid = Array.of_list (List.rev !cks) in
+    {
+      ff_pi = pi;
+      ff_checkpoints = Array.map (fun (s, ck, _) -> (s, ck)) laid;
+      ff_spans = Array.map (fun (_, _, spans) -> spans) laid;
+    }
   end
 
 (* Fast-forward variant of [faulty_run_checkpointed]: resume from the
@@ -410,4 +447,173 @@ let faulty_run_ff ?(hooks = no_hooks) ?(respect_masks = true) ?fault_kind
       r_detected = hooks.h_flagged ();
       r_dyn_instrs = Interp.Machine.dyn_count st;
     }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Convergence-pruned execution. The fast-forward path above skips the
+   pre-injection prefix but still runs every post-injection suffix to
+   completion, even though most injected faults are masked long before
+   the program ends (the high benign rates of Fig 11) — from the moment
+   the faulty state re-converges with the golden state, the rest of the
+   run is provably identical and wasted. The converge-pruned executor
+   runs the suffix under position tracking and, at each checkpoint site
+   after the injection, compares the machine against the golden
+   checkpoint retained at that site ({!Interp.Machine.state_equal}:
+   counters, call stack, live registers, dirty-span-restricted memory).
+   On a match it terminates immediately and splices the golden
+   outcome — Benign, the golden dynamic counters, no detector flag —
+   which is byte-identical to what running the suffix out would have
+   produced (see DESIGN.md, convergence soundness). *)
+
+(* Physical pruning telemetry for the bench harness: how many faulty
+   runs were actually cut short, and how many state comparisons ran.
+   Deliberately NOT part of campaign results or traces (those stay pure
+   functions of the seed schedule, identical across executors); atomic
+   so parallel workers can bump them concurrently. *)
+let prunes_performed = Atomic.make 0
+let prune_checks_performed = Atomic.make 0
+
+let reset_prune_stats () =
+  Atomic.set prunes_performed 0;
+  Atomic.set prune_checks_performed 0
+
+let prune_stats () =
+  (Atomic.get prunes_performed, Atomic.get prune_checks_performed)
+
+exception Converged
+
+(* Converge-pruned variant of [faulty_run_ff]: identical resume /
+   fresh-start selection, but the executed portion runs under
+   convergence checks. Delegates to the plain fast-forward path when
+   pruning is disabled or no checkpoint site lies after the injection
+   (nothing could ever match, so tracked stepping would be pure
+   overhead). *)
+let faulty_run_pruned ?(hooks = no_hooks) ?(respect_masks = true)
+    ?fault_kind (p : prepared) ~(ff : ff_input) ~dynamic_site ~seed :
+    run_result =
+  let cks = ff.ff_checkpoints in
+  let ncks = Array.length cks in
+  (* first checkpoint site strictly after the injection: the only sites
+     where re-convergence with the golden run can be detected *)
+  let j0 = ref 0 in
+  while !j0 < ncks && fst cks.(!j0) <= dynamic_site do
+    incr j0
+  done;
+  if (not !prune_enabled) || !j0 >= ncks then
+    faulty_run_ff ~hooks ~respect_masks ?fault_kind p ~ff ~dynamic_site
+      ~seed
+  else begin
+    let golden = ff.ff_pi.pi_golden in
+    let st = ff.ff_pi.pi_machine in
+    (* rightmost checkpoint with site <= dynamic_site, as in
+       [faulty_run_ff] *)
+    let best = ref (-1) in
+    let lo = ref 0 and hi = ref (ncks - 1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst cks.(mid) <= dynamic_site then begin
+        best := mid;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    let rt =
+      if !best >= 0 then
+        Runtime.create ~seed ~respect_masks ?fault_kind
+          ~counter0:(fst cks.(!best) - 1)
+          (Runtime.Inject { dynamic_site })
+      else
+        Runtime.create ~seed ~respect_masks ?fault_kind
+          (Runtime.Inject { dynamic_site })
+    in
+    let inject_slots =
+      List.filter_map
+        (fun (name, _) -> Interp.Machine.extern_slot st name)
+        Fault_model.all_inject_fns
+    in
+    let next = ref !j0 in
+    (* A run that has failed this many consecutive comparisons has
+       almost certainly diverged for good (a flipped value keeps
+       propagating); give up checking and let the detach run the rest
+       of the suffix at full speed. Purely physical — the run still
+       completes and classifies exactly as the other executors say. *)
+    let max_failed_checks = 2 in
+    let failed = ref 0 in
+    let check mst stack ~slot (args : Interp.Vvalue.t list) =
+      (if !next < ncks && List.mem slot inject_slots then
+         match args with
+         | [ _value; mask; _site ]
+           when (not respect_masks) || Interp.Vvalue.as_bool mask ->
+           let site = Runtime.dynamic_sites rt + 1 in
+           while !next < ncks && fst cks.(!next) < site do
+             incr next
+           done;
+           if !next < ncks && fst cks.(!next) = site then begin
+             Atomic.incr prune_checks_performed;
+             if
+               Interp.Machine.state_equal mst stack
+                 (snd cks.(!next))
+                 ~since:ff.ff_spans.(!next)
+             then raise Converged;
+             incr failed;
+             incr next
+           end
+         | _ -> ());
+      !next < ncks && !failed < max_failed_checks
+    in
+    let budget = fault_budget golden in
+    let completion =
+      if !best >= 0 then begin
+        (* mirror [faulty_run_ff]'s resume discipline exactly *)
+        Runtime.attach rt st;
+        hooks.h_reset ();
+        hooks.h_attach st;
+        match
+          Interp.Machine.resume_converge ~budget st (snd cks.(!best)) ~check
+        with
+        | _ -> `Ran (Ok (ff.ff_pi.pi_read_output ()))
+        | exception Interp.Trap.Trap k -> `Ran (Error k)
+        | exception Converged -> `Pruned
+      end
+      else begin
+        (* mirror [faulty_run_checkpointed]'s fresh-start discipline *)
+        Interp.Memory.restore (Interp.Machine.memory st) ff.ff_pi.pi_snapshot;
+        Interp.Machine.reset ~budget st;
+        Runtime.attach rt st;
+        hooks.h_reset ();
+        hooks.h_attach st;
+        match
+          Interp.Machine.run_converge st p.p_workload.Workload.w_fn
+            ff.ff_pi.pi_args ~check
+        with
+        | _ -> `Ran (Ok (ff.ff_pi.pi_read_output ()))
+        | exception Interp.Trap.Trap k -> `Ran (Error k)
+        | exception Converged -> `Pruned
+      end
+    in
+    match completion with
+    | `Ran faulty ->
+      {
+        r_outcome =
+          Outcome.classify
+            ~tol:p.p_workload.Workload.w_out_tolerance
+            ~golden:golden.g_output ~faulty ();
+        r_injection = Runtime.injected rt;
+        r_detected = hooks.h_flagged ();
+        r_dyn_instrs = Interp.Machine.dyn_count st;
+      }
+    | `Pruned ->
+      (* Splice the golden completion: equal state at the check site
+         means the rest of the run reads and writes exactly what the
+         golden run did — outputs come back golden (Benign), the final
+         dynamic count equals the golden one, the injection record is
+         already live, and detectors cannot run under this executor
+         (detector campaigns degrade to the checkpointed tier). *)
+      Atomic.incr prunes_performed;
+      {
+        r_outcome = Outcome.Benign;
+        r_injection = Runtime.injected rt;
+        r_detected = hooks.h_flagged ();
+        r_dyn_instrs = golden.g_dyn_instrs;
+      }
   end

@@ -39,6 +39,15 @@ val fusion_enabled : bool ref
     [--no-schedule], or clear the ref to compare. *)
 val schedule_enabled : bool ref
 
+(** Whether {!faulty_run_pruned} actually prunes. Pruning only splices
+    outcomes that are provably identical to running the suffix out, so
+    results and traces are byte-identical with it on or off; it
+    defaults to [true]. Set [VULFI_NO_PRUNE=1] (read at startup) or
+    clear the ref to degrade the converge-pruned executor to plain
+    fast-forward for cross-checks, mirroring
+    {!fusion_enabled}/{!schedule_enabled}. *)
+val prune_enabled : bool ref
+
 (** [prepare ?transform w target category] builds the workload module,
     applies [transform] (e.g. detector insertion), selects the fault
     sites of [category], instruments and compiles (scheduling and
@@ -154,6 +163,11 @@ val checkpoint_plan : ?max_checkpoints:int -> int list -> int array
 type ff_input = {
   ff_pi : prepared_input;
   ff_checkpoints : (int * Interp.Machine.checkpoint) array;
+  ff_spans : Interp.Memory.spans array;
+      (** aligned with [ff_checkpoints]: the golden run's accumulated
+          dirty-span hulls from the post-setup image up to each
+          checkpoint (convergence checks compare memory only over
+          these plus the faulty run's own live spans) *)
 }
 
 (** One instrumented golden replay over [pi]'s machine capturing a
@@ -182,3 +196,40 @@ val faulty_run_ff :
   dynamic_site:int ->
   seed:int ->
   run_result
+
+(** {1 Convergence-pruned execution}
+
+    The fast-forward path skips the pre-injection prefix but runs every
+    post-injection suffix to completion; most faults are masked long
+    before that. {!faulty_run_pruned} runs the suffix under position
+    tracking, compares the machine against the golden checkpoint at
+    each post-injection checkpoint site
+    ({!Interp.Machine.state_equal}: counters, call stack, live
+    registers, dirty-span-restricted memory), and on a match
+    terminates immediately, splicing the golden outcome — which is
+    byte-identical to running the suffix out (DESIGN.md, convergence
+    soundness). *)
+
+(** Converge-pruned variant of {!faulty_run_ff}: same resume point and
+    classification, with early termination at the first post-injection
+    checkpoint site whose state matches the golden run's. Bit-identical
+    to {!faulty_run} on the same (input, dynamic_site, seed). Delegates
+    to {!faulty_run_ff} when {!prune_enabled} is false or no checkpoint
+    site lies after [dynamic_site]. *)
+val faulty_run_pruned :
+  ?hooks:hooks ->
+  ?respect_masks:bool ->
+  ?fault_kind:Runtime.fault_kind ->
+  prepared ->
+  ff:ff_input ->
+  dynamic_site:int ->
+  seed:int ->
+  run_result
+
+(** Physical pruning telemetry (runs actually cut short, state
+    comparisons performed) since the last {!reset_prune_stats}. Not
+    part of campaign results or traces — those are pure functions of
+    the seed schedule; this feeds the bench harness only. Thread-safe. *)
+val prune_stats : unit -> int * int
+
+val reset_prune_stats : unit -> unit

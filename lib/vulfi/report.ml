@@ -104,26 +104,38 @@ type cell_acc = {
   mutable ca_summary : Json.t option;
 }
 
-(* Returns the remaining records plus the trace's schema version: v1,
-   v2 and v3 are all replayable (v2 merely added the golden counters,
-   which are recomputable anyway; v3 adds the fast-forward counters,
-   which are adopted from the summary — the version decides what the
-   summary cross-check may expect). *)
+(* Returns the remaining records plus the trace's schema version: v1
+   through v4 are all replayable (v2 merely added the golden counters,
+   which are recomputable anyway; v3 added the fast-forward counters
+   and v4 the pruning counters, all adopted from the summary — the
+   version decides what the summary cross-check may expect). *)
 let check_header = function
   | [] -> bad "empty trace (no header record)"
   | header :: rest ->
     let version =
       match (Json.member "type" header, Json.member "schema" header) with
       | Some (Json.String "header"), Some (Json.String s) ->
-        if s = Trace.schema then `V3
+        if s = Trace.schema then `V4
+        else if s = Trace.schema_v3 then `V3
         else if s = Trace.schema_v2 then `V2
         else if s = Trace.schema_v1 then `V1
         else
-          bad "unsupported trace schema %S (expected %S, %S or %S)" s
-            Trace.schema Trace.schema_v2 Trace.schema_v1
+          bad "unsupported trace schema %S (expected %S, %S, %S or %S)" s
+            Trace.schema Trace.schema_v3 Trace.schema_v2 Trace.schema_v1
       | _ -> bad "first record is not a trace header"
     in
     (rest, version)
+
+(* The header's optional [executor] field (v4) — present only when a
+   detector cell degraded the requested executor; [vulfi report] prints
+   it so the degradation stays visible after the fact. *)
+let header_executor (records : Json.t list) : string option =
+  match records with
+  | header :: _ -> (
+    match Json.member "executor" header with
+    | Some (Json.String e) -> Some e
+    | _ -> None)
+  | [] -> None
 
 let replay_cell ~version ((workload, target_s, category_s) as _key)
     (c : cell_acc) : replay =
@@ -211,9 +223,15 @@ let replay_cell ~version ((workload, target_s, category_s) as _key)
      seed schedule only and are not recomputable from experiment
      records: adopt them from the summary record, and cross-check
      everything that is recomputable. *)
-  let static_sites, avg_dyn_instrs, detectors, ff_counters, summary_status =
+  let ( static_sites,
+        avg_dyn_instrs,
+        detectors,
+        ff_counters,
+        prune_counters,
+        summary_status ) =
     match c.ca_summary with
-    | None -> (0, 0.0, totals.Campaign.n_detected > 0, (0, 0), `Missing)
+    | None ->
+      (0, 0.0, totals.Campaign.n_detected > 0, (0, 0), (0, 0), `Missing)
     | Some s ->
       let int_field name =
         match Json.member name s with
@@ -251,16 +269,21 @@ let replay_cell ~version ((workload, target_s, category_s) as _key)
       chk "avg_dyn_sites" (float_field "avg_dyn_sites" = avg_dyn_sites);
       (match version with
       | `V1 -> ()  (* v1 summaries have no golden counters *)
-      | `V2 | `V3 ->
+      | `V2 | `V3 | `V4 ->
         chk "golden_runs" (int_field "golden_runs" = golden_runs);
         chk "golden_reused" (int_field "golden_reused" = golden_reused));
-      (* the fast-forward counters depend on the master seed (scheduled
-         injection sites), which the trace does not carry — adoptable,
-         not recomputable *)
+      (* the fast-forward and pruning counters depend on the master
+         seed (scheduled injection sites), which the trace does not
+         carry — adoptable, not recomputable *)
       let ff_counters =
         match version with
         | `V1 | `V2 -> (0, 0)
-        | `V3 -> (int_field "checkpoints", int_field "ff_resumed")
+        | `V3 | `V4 -> (int_field "checkpoints", int_field "ff_resumed")
+      in
+      let prune_counters =
+        match version with
+        | `V1 | `V2 | `V3 -> (0, 0)
+        | `V4 -> (int_field "pruned", int_field "prune_checks")
       in
       let status =
         match !mismatches with
@@ -273,9 +296,10 @@ let replay_cell ~version ((workload, target_s, category_s) as _key)
         | _ -> bad "%s: summary missing boolean \"detectors\"" cell_name
       in
       (int_field "static_sites", float_field "avg_dyn_instrs", detectors,
-       ff_counters, status)
+       ff_counters, prune_counters, status)
   in
   let checkpoints, ff_resumed = ff_counters in
+  let pruned, prune_checks = prune_counters in
   {
     rp_result =
       {
@@ -294,6 +318,8 @@ let replay_cell ~version ((workload, target_s, category_s) as _key)
         c_golden_reused = golden_reused;
         c_checkpoints = checkpoints;
         c_ff_resumed = ff_resumed;
+        c_pruned = pruned;
+        c_prune_checks = prune_checks;
       };
     rp_detectors = detectors;
     rp_summary = summary_status;

@@ -11,16 +11,21 @@
     opt-in sink feature ([timings:true]) rather than a default field. *)
 
 (* v2 added the checkpointing counters [golden_runs]/[golden_reused] to
-   the summary record; v3 adds the fast-forward counters
-   [checkpoints]/[ff_resumed]. All four counters are derived from the
-   seed schedule (distinct inputs drawn, scheduled injection sites),
-   not from physical cache or executor behaviour, so all executors
-   write identical traces. [report] accepts v1, v2 and v3. *)
-let schema = "vulfi-trace-v3"
+   the summary record; v3 added the fast-forward counters
+   [checkpoints]/[ff_resumed]; v4 adds the convergence-pruning counters
+   [pruned]/[prune_checks] and an optional [executor] header field
+   (present only when a detector cell degraded the requested executor).
+   All six counters are derived from the seed schedule (distinct inputs
+   drawn, scheduled injection sites), not from physical cache or
+   executor behaviour, so all executors write identical traces.
+   [report] accepts v1 through v4. *)
+let schema = "vulfi-trace-v4"
 
 let schema_v1 = "vulfi-trace-v1"
 
 let schema_v2 = "vulfi-trace-v2"
+
+let schema_v3 = "vulfi-trace-v3"
 
 type sink = {
   s_emit : Json.t -> unit;
@@ -32,33 +37,41 @@ let emit s j = s.s_emit j
 let close s = s.s_close ()
 let timings s = s.s_timings
 
-let header_record () =
-  Json.Obj [ ("type", Json.String "header"); ("schema", Json.String schema) ]
+(* The [executor] field is emitted only when given — front-ends pass it
+   only when detector hooks degraded the requested executor, so traces
+   of non-degraded runs stay byte-identical across all four executors. *)
+let header_record ?executor () =
+  Json.Obj
+    ([ ("type", Json.String "header"); ("schema", Json.String schema) ]
+    @
+    match executor with
+    | None -> []
+    | Some e -> [ ("executor", Json.String e) ])
 
-let make ?(timings = false) ~emit:e ~close:c () =
+let make ?(timings = false) ?executor ~emit:e ~close:c () =
   let s = { s_emit = e; s_close = c; s_timings = timings } in
-  e (header_record ());
+  e (header_record ?executor ());
   s
 
-let to_channel ?timings oc =
-  make ?timings
+let to_channel ?timings ?executor oc =
+  make ?timings ?executor
     ~emit:(fun j ->
       output_string oc (Json.to_string j);
       output_char oc '\n')
     ~close:(fun () -> flush oc)
     ()
 
-let to_file ?timings path =
+let to_file ?timings ?executor path =
   let oc = open_out path in
-  make ?timings
+  make ?timings ?executor
     ~emit:(fun j ->
       output_string oc (Json.to_string j);
       output_char oc '\n')
     ~close:(fun () -> close_out oc)
     ()
 
-let to_buffer ?timings buf =
-  make ?timings
+let to_buffer ?timings ?executor buf =
+  make ?timings ?executor
     ~emit:(fun j ->
       Buffer.add_string buf (Json.to_string j);
       Buffer.add_char buf '\n')
@@ -118,8 +131,8 @@ let experiment_record ~workload ~target ~category ~campaign ~experiment
 let summary_record ~workload ~target ~category ~detectors ~campaigns
     ~sdc_rates ~n_experiments ~n_sdc ~n_benign ~n_crash ~n_detected
     ~n_detected_sdc ~margin ~near_normal ~static_sites ~avg_dyn_sites
-    ~avg_dyn_instrs ~golden_runs ~golden_reused ~checkpoints ~ff_resumed :
-    Json.t =
+    ~avg_dyn_instrs ~golden_runs ~golden_reused ~checkpoints ~ff_resumed
+    ~pruned ~prune_checks : Json.t =
   Json.Obj
     [
       ("type", Json.String "summary");
@@ -150,4 +163,9 @@ let summary_record ~workload ~target ~category ~detectors ~campaigns
          resumes — again schedule-derived, not executor behaviour *)
       ("checkpoints", Json.Int checkpoints);
       ("ff_resumed", Json.Int ff_resumed);
+      (* convergence-pruning opportunity counts (experiments with a
+         later plan site, and how many such sites in total) — schedule-
+         derived upper bounds; the physical prune count is bench-only *)
+      ("pruned", Json.Int pruned);
+      ("prune_checks", Json.Int prune_checks);
     ]

@@ -1,9 +1,10 @@
 (* Tests for the checkpointed and fast-forward execution layers: Memory
    snapshot/restore (differential against a fresh replay), Machine.reset
    (including prefix accounting), masked access at region edges,
-   full-machine checkpoint resume == fresh replay differentials, and
-   legacy == checkpointed == fast-forward campaign equivalence down to
-   trace bytes, plus the small-sample stats and progress-line edges. *)
+   full-machine checkpoint resume == fresh replay differentials,
+   convergence-pruning soundness, and legacy == checkpointed ==
+   fast-forward == converge-pruned campaign equivalence down to trace
+   bytes, plus the small-sample stats and progress-line edges. *)
 
 open QCheck
 
@@ -498,6 +499,99 @@ let test_ff_fault_kinds_match () =
       done)
     kinds
 
+(* Converge-pruned, site-by-site, every category: early termination at
+   a matching checkpoint site must splice an outcome byte-identical to
+   the full legacy protocol — including for crashes, SDCs and detected
+   runs that never converge and run out through the detach path. The
+   sparse plan exercises sites below the first checkpoint (fresh-start
+   tracked run) and the pruning-disabled delegation. *)
+let test_pruned_faulty_runs_match () =
+  Vulfi.Experiment.reset_prune_stats ();
+  List.iter
+    (fun category ->
+      let w = vcopy_workload [ 19 ] in
+      let p = Vulfi.Experiment.prepare w Vir.Target.Avx category in
+      let pi = Vulfi.Experiment.prepare_input p ~input:0 in
+      let g = pi.Vulfi.Experiment.pi_golden in
+      let hi = min 25 g.Vulfi.Experiment.g_dyn_sites in
+      let all_sites = List.init hi (fun i -> i + 1) in
+      let plans =
+        [
+          ("dense", Vulfi.Experiment.checkpoint_plan all_sites);
+          ( "sparse",
+            Vulfi.Experiment.checkpoint_plan ~max_checkpoints:3
+              (List.filter (fun s -> s > hi / 3) all_sites) );
+        ]
+      in
+      List.iter
+        (fun (pname, plan) ->
+          let ff = Vulfi.Experiment.lay_checkpoints p ~pi ~plan in
+          for k = 1 to hi do
+            let seed = 7000 + k in
+            let legacy =
+              Vulfi.Experiment.faulty_run p ~golden:g ~dynamic_site:k ~seed
+            in
+            let pr =
+              Vulfi.Experiment.faulty_run_pruned p ~ff ~dynamic_site:k ~seed
+            in
+            check_runs_equal
+              (Printf.sprintf "pruned %s %s site %d"
+                 (Analysis.Sites.category_name category)
+                 pname k)
+              legacy pr
+          done)
+        plans)
+    Analysis.Sites.all_categories;
+  (* the equivalence must not be vacuous: across the sweep some runs
+     actually compared states and some actually pruned *)
+  let prunes, checks = Vulfi.Experiment.prune_stats () in
+  Alcotest.(check bool) "state comparisons ran" true (checks > 0);
+  Alcotest.(check bool) "some runs pruned" true (prunes > 0)
+
+(* Every fault kind through the pruned path: convergence only splices
+   when the post-injection state matches bit-for-bit, so the corruption
+   shape must not matter to equivalence. *)
+let test_pruned_fault_kinds_match () =
+  let kinds =
+    [
+      Vulfi.Runtime.Single_bit_flip;
+      Vulfi.Runtime.Multi_bit_flip 3;
+      Vulfi.Runtime.Random_value;
+      Vulfi.Runtime.Stuck_at_zero;
+    ]
+  in
+  let w = vcopy_workload [ 19 ] in
+  let p =
+    Vulfi.Experiment.prepare w Vir.Target.Avx Analysis.Sites.Pure_data
+  in
+  let pi = Vulfi.Experiment.prepare_input p ~input:0 in
+  let g = pi.Vulfi.Experiment.pi_golden in
+  let hi = min 12 g.Vulfi.Experiment.g_dyn_sites in
+  let plan =
+    Vulfi.Experiment.checkpoint_plan ~max_checkpoints:4
+      (List.init hi (fun i -> i + 1))
+  in
+  let ff = Vulfi.Experiment.lay_checkpoints p ~pi ~plan in
+  List.iter
+    (fun fault_kind ->
+      for k = 1 to hi do
+        let seed = 11000 + k in
+        let legacy =
+          Vulfi.Experiment.faulty_run ~fault_kind p ~golden:g ~dynamic_site:k
+            ~seed
+        in
+        let pr =
+          Vulfi.Experiment.faulty_run_pruned ~fault_kind p ~ff ~dynamic_site:k
+            ~seed
+        in
+        check_runs_equal
+          (Printf.sprintf "pruned %s site %d"
+             (Vulfi.Runtime.fault_kind_name fault_kind)
+             k)
+          legacy pr
+      done)
+    kinds
+
 (* QCheck differential: random (category, fault kind, plan density,
    site, seed) — resume-from-checkpoint == fresh replay. Prepared
    machines and laid checkpoints are cached per (category, density);
@@ -571,6 +665,84 @@ let prop_ff_equals_legacy =
       | None, None -> true
       | _ -> false)
 
+(* QCheck convergence-soundness differential: random (category, fault
+   kind, plan density, site, seed) — the pruned executor, which may
+   terminate a run early and splice the golden outcome, must be
+   indistinguishable from the full legacy protocol on outcome, dynamic
+   instruction count and injection record. This is the soundness
+   property of the pruning: a splice is only allowed when provably
+   byte-identical to running the suffix out. *)
+let prop_pruned_equals_legacy =
+  let categories = Array.of_list Analysis.Sites.all_categories in
+  let kinds =
+    [|
+      Vulfi.Runtime.Single_bit_flip;
+      Vulfi.Runtime.Multi_bit_flip 2;
+      Vulfi.Runtime.Random_value;
+      Vulfi.Runtime.Stuck_at_zero;
+    |]
+  in
+  let cache = Hashtbl.create 8 in
+  let cell_for cat_i density =
+    let key = (cat_i, density) in
+    match Hashtbl.find_opt cache key with
+    | Some c -> c
+    | None ->
+      let w = vcopy_workload [ 19 ] in
+      let p =
+        Vulfi.Experiment.prepare w Vir.Target.Avx categories.(cat_i)
+      in
+      let pi = Vulfi.Experiment.prepare_input p ~input:0 in
+      let g = pi.Vulfi.Experiment.pi_golden in
+      let hi = min 20 g.Vulfi.Experiment.g_dyn_sites in
+      let plan =
+        Vulfi.Experiment.checkpoint_plan ~max_checkpoints:density
+          (List.init hi (fun i -> i + 1))
+      in
+      let ff = Vulfi.Experiment.lay_checkpoints p ~pi ~plan in
+      let c = (p, g, ff, hi) in
+      Hashtbl.add cache key c;
+      c
+  in
+  Test.make
+    ~name:"convergence soundness: pruned == legacy (random cell/site/seed)"
+    ~count:120
+    (make
+       Gen.(
+         quad (int_range 0 (Array.length categories - 1))
+           (int_range 0 (Array.length kinds - 1))
+           (int_range 1 5) (pair (int_range 0 10_000) (int_range 0 10_000)))
+       ~print:(fun (c, k, d, (site, seed)) ->
+         Printf.sprintf "cat=%d kind=%d density=%d site_pick=%d seed=%d" c k
+           d site seed))
+    (fun (cat_i, kind_i, density, (site_pick, seed)) ->
+      let p, g, ff, hi = cell_for cat_i density in
+      let dynamic_site = 1 + (site_pick mod hi) in
+      let fault_kind = kinds.(kind_i) in
+      let legacy =
+        Vulfi.Experiment.faulty_run ~fault_kind p ~golden:g ~dynamic_site
+          ~seed
+      in
+      let pr =
+        Vulfi.Experiment.faulty_run_pruned ~fault_kind p ~ff ~dynamic_site
+          ~seed
+      in
+      Vulfi.Outcome.to_string legacy.Vulfi.Experiment.r_outcome
+      = Vulfi.Outcome.to_string pr.Vulfi.Experiment.r_outcome
+      && legacy.Vulfi.Experiment.r_dyn_instrs
+         = pr.Vulfi.Experiment.r_dyn_instrs
+      &&
+      match
+        (legacy.Vulfi.Experiment.r_injection, pr.Vulfi.Experiment.r_injection)
+      with
+      | Some a, Some b ->
+        a.Vulfi.Runtime.inj_static_site = b.Vulfi.Runtime.inj_static_site
+        && a.Vulfi.Runtime.inj_bit = b.Vulfi.Runtime.inj_bit
+        && Interp.Vvalue.equal a.Vulfi.Runtime.inj_after
+             b.Vulfi.Runtime.inj_after
+      | None, None -> true
+      | _ -> false)
+
 (* ---------------- legacy == checkpointed campaigns ---------------- *)
 
 let result_t : Vulfi.Campaign.result Alcotest.testable =
@@ -591,7 +763,7 @@ let tiny_config =
     seed = 99;
   }
 
-(* The acceptance bar of the PR: all three executors are bit-identical
+(* The acceptance bar of the PR: all four executors are bit-identical
    — result record and trace bytes — sequentially and across a domain
    pool. *)
 let test_campaign_executors_match () =
@@ -611,15 +783,20 @@ let test_campaign_executors_match () =
       let r_legacy, tr_legacy = run_with Vulfi.Campaign.Legacy in
       let r_ckpt, tr_ckpt = run_with Vulfi.Campaign.Checkpointed in
       let r_ff, tr_ff = run_with Vulfi.Campaign.Fast_forward in
+      let r_pr, tr_pr = run_with Vulfi.Campaign.Converge_pruned in
       let name = Analysis.Sites.category_name category in
       check result_t (name ^ ": checkpointed results equal") r_legacy r_ckpt;
       check result_t (name ^ ": fast-forward results equal") r_legacy r_ff;
+      check result_t (name ^ ": converge-pruned results equal") r_legacy r_pr;
       check Alcotest.string
         (name ^ ": checkpointed trace byte-identical")
         tr_legacy tr_ckpt;
       check Alcotest.string
         (name ^ ": fast-forward trace byte-identical")
         tr_legacy tr_ff;
+      check Alcotest.string
+        (name ^ ": converge-pruned trace byte-identical")
+        tr_legacy tr_pr;
       (* the golden and fast-forward accounting is schedule-derived on
          every path — the legacy run reports it too *)
       check Alcotest.int (name ^ ": golden runs + reused = experiments")
@@ -630,6 +807,16 @@ let test_campaign_executors_match () =
         (name ^ ": legacy reports the same checkpoint count")
         r_ff.Vulfi.Campaign.c_checkpoints
         r_legacy.Vulfi.Campaign.c_checkpoints;
+      (* pruning counters are schedule-derived too, and internally
+         consistent: each prunable experiment has at least one
+         schedule-possible check *)
+      check Alcotest.int
+        (name ^ ": legacy reports the same prunable count")
+        r_pr.Vulfi.Campaign.c_pruned r_legacy.Vulfi.Campaign.c_pruned;
+      Alcotest.(check bool)
+        (name ^ ": prune checks >= prunable experiments")
+        true
+        (r_pr.Vulfi.Campaign.c_prune_checks >= r_pr.Vulfi.Campaign.c_pruned);
       if r_ff.Vulfi.Campaign.c_checkpoints > 0 then
         Alcotest.(check bool)
           (name ^ ": some experiments resume")
@@ -668,21 +855,40 @@ let test_campaign_executors_parallel_match () =
           ~executor:Vulfi.Campaign.Fast_forward ~jobs:4 tiny_config w
           Vir.Target.Sse Analysis.Sites.Address)
   in
+  let r_pr_seq, tr_pr_seq =
+    trace_of (fun sink ->
+        Vulfi.Campaign.run ~sink ~executor:Vulfi.Campaign.Converge_pruned
+          tiny_config w Vir.Target.Sse Analysis.Sites.Address)
+  in
+  let r_pr_par, tr_pr_par =
+    trace_of (fun sink ->
+        Vulfi.Campaign.run_parallel ~sink
+          ~executor:Vulfi.Campaign.Converge_pruned ~jobs:4 tiny_config w
+          Vir.Target.Sse Analysis.Sites.Address)
+  in
   check result_t "checkpointed -j4 == legacy sequential" r_legacy r_ckpt;
   check result_t "fast-forward sequential == legacy" r_legacy r_ff_seq;
   check result_t "fast-forward -j4 == legacy" r_legacy r_ff_par;
+  check result_t "converge-pruned sequential == legacy" r_legacy r_pr_seq;
+  check result_t "converge-pruned -j4 == legacy" r_legacy r_pr_par;
   check Alcotest.string "checkpointed -j4 trace byte-identical" tr_legacy
     tr_ckpt;
   check Alcotest.string "fast-forward trace byte-identical" tr_legacy
     tr_ff_seq;
   check Alcotest.string "fast-forward -j4 trace byte-identical" tr_legacy
-    tr_ff_par
+    tr_ff_par;
+  check Alcotest.string "converge-pruned trace byte-identical" tr_legacy
+    tr_pr_seq;
+  check Alcotest.string "converge-pruned -j4 trace byte-identical" tr_legacy
+    tr_pr_par
 
 (* Stateful detector hooks ride the cached machines: h_reset/h_attach
    run per experiment on every executor, so Fig 12 numbers agree too.
-   Fast_forward must silently degrade to Checkpointed here — detector
-   state lives outside the machine, so a resume would skip the prefix's
-   detector activity. *)
+   Fast_forward and Converge_pruned must degrade to Checkpointed here —
+   detector state lives outside the machine, so a resume would skip the
+   prefix's detector activity (and a pruned splice its suffix's). The
+   degradation is announced on stderr and recorded by
+   [effective_executor]. *)
 let test_campaign_executors_match_with_detectors () =
   let w = vcopy_workload [ 8; 16; 19 ] in
   let transform =
@@ -695,9 +901,37 @@ let test_campaign_executors_match_with_detectors () =
   let legacy = run_with Vulfi.Campaign.Legacy in
   let ckpt = run_with Vulfi.Campaign.Checkpointed in
   let ff = run_with Vulfi.Campaign.Fast_forward in
+  let pr = run_with Vulfi.Campaign.Converge_pruned in
   check result_t "detector campaign: checkpointed == legacy" legacy ckpt;
   check result_t "detector campaign: fast-forward (fallback) == legacy"
-    legacy ff
+    legacy ff;
+  check result_t "detector campaign: converge-pruned (fallback) == legacy"
+    legacy pr
+
+(* The degradation is visible, not silent: [effective_executor] maps the
+   resume-based executors to Checkpointed exactly when detectors are
+   attached, and leaves everything else alone. *)
+let test_effective_executor () =
+  let eff = Vulfi.Campaign.effective_executor in
+  List.iter
+    (fun e ->
+      Alcotest.(check string)
+        "no detectors: identity"
+        (Vulfi.Campaign.executor_name e)
+        (Vulfi.Campaign.executor_name (eff ~detectors:false e)))
+    Vulfi.Campaign.
+      [ Legacy; Checkpointed; Fast_forward; Converge_pruned ];
+  Alcotest.(check string)
+    "detectors degrade fast-forward" "checkpointed"
+    (Vulfi.Campaign.executor_name
+       (eff ~detectors:true Vulfi.Campaign.Fast_forward));
+  Alcotest.(check string)
+    "detectors degrade converge-pruned" "checkpointed"
+    (Vulfi.Campaign.executor_name
+       (eff ~detectors:true Vulfi.Campaign.Converge_pruned));
+  Alcotest.(check string)
+    "detectors leave legacy alone" "legacy"
+    (Vulfi.Campaign.executor_name (eff ~detectors:true Vulfi.Campaign.Legacy))
 
 (* ---------------- stats + progress-line edges ---------------- *)
 
@@ -771,16 +1005,23 @@ let () =
             `Quick test_ff_faulty_runs_match;
           Alcotest.test_case "ff faulty runs match (all fault kinds)" `Quick
             test_ff_fault_kinds_match;
+          Alcotest.test_case "pruned faulty runs match (dense + sparse plans)"
+            `Quick test_pruned_faulty_runs_match;
+          Alcotest.test_case "pruned faulty runs match (all fault kinds)"
+            `Quick test_pruned_fault_kinds_match;
           QCheck_alcotest.to_alcotest prop_ff_equals_legacy;
+          QCheck_alcotest.to_alcotest prop_pruned_equals_legacy;
         ] );
       ( "campaign",
         [
-          Alcotest.test_case "three executors match (all categories)" `Quick
+          Alcotest.test_case "four executors match (all categories)" `Quick
             test_campaign_executors_match;
-          Alcotest.test_case "three executors match (-j4)" `Quick
+          Alcotest.test_case "four executors match (-j4)" `Quick
             test_campaign_executors_parallel_match;
-          Alcotest.test_case "three executors match (detectors)" `Quick
+          Alcotest.test_case "four executors match (detectors)" `Quick
             test_campaign_executors_match_with_detectors;
+          Alcotest.test_case "effective executor under detectors" `Quick
+            test_effective_executor;
         ] );
       ( "stats",
         [

@@ -290,9 +290,11 @@ let test_replay_rejects_bad_traces () =
   Alcotest.(check bool) "unknown outcome rejected" true
     (is_err (Report.replay_of_trace corrupted))
 
-(* Older traces must keep replaying: a v2 trace (no fast-forward
-   counters in the summary) and a v1 trace (no golden counters either)
-   are both accepted, with the missing counters defaulting to zero. *)
+(* Older traces must keep replaying: a v3 trace (no pruning counters in
+   the summary), a v2 trace (no fast-forward counters either) and a v1
+   trace (no golden counters either) are all accepted, with the missing
+   counters defaulting to zero and everything the version does carry
+   still adopted. *)
 let test_replay_accepts_older_schemas () =
   let w = vcopy_workload [ 8 ] in
   let live, text =
@@ -308,7 +310,7 @@ let test_replay_accepts_older_schemas () =
     Json.Obj [ ("type", Json.String "header"); ("schema", Json.String schema) ]
     :: List.map (strip_fields drop) (List.tl records)
   in
-  let check_downgraded name trace =
+  let check_downgraded ?(keeps_ff = false) name trace =
     match Report.replay_of_trace trace with
     | Error msg -> Alcotest.fail (name ^ ": " ^ msg)
     | Ok [ rp ] ->
@@ -319,17 +321,32 @@ let test_replay_accepts_older_schemas () =
         (name ^ ": summary cross-check passed")
         true
         (rp.Report.rp_summary = `Match);
-      check Alcotest.int (name ^ ": ff counters default to 0") 0
-        (r.Campaign.c_checkpoints + r.Campaign.c_ff_resumed)
+      check Alcotest.int (name ^ ": prune counters default to 0") 0
+        (r.Campaign.c_pruned + r.Campaign.c_prune_checks);
+      if keeps_ff then begin
+        check Alcotest.int (name ^ ": ff counters survive")
+          live.Campaign.c_checkpoints r.Campaign.c_checkpoints;
+        check Alcotest.int (name ^ ": ff_resumed survives")
+          live.Campaign.c_ff_resumed r.Campaign.c_ff_resumed
+      end
+      else
+        check Alcotest.int (name ^ ": ff counters default to 0") 0
+          (r.Campaign.c_checkpoints + r.Campaign.c_ff_resumed)
     | Ok l ->
       Alcotest.fail
         (Printf.sprintf "%s: expected 1 cell, got %d" name (List.length l))
   in
+  check_downgraded ~keeps_ff:true "v3"
+    (downgrade "vulfi-trace-v3" [ "pruned"; "prune_checks" ]);
   check_downgraded "v2"
-    (downgrade "vulfi-trace-v2" [ "checkpoints"; "ff_resumed" ]);
+    (downgrade "vulfi-trace-v2"
+       [ "pruned"; "prune_checks"; "checkpoints"; "ff_resumed" ]);
   check_downgraded "v1"
     (downgrade "vulfi-trace-v1"
-       [ "checkpoints"; "ff_resumed"; "golden_runs"; "golden_reused" ])
+       [
+         "pruned"; "prune_checks"; "checkpoints"; "ff_resumed";
+         "golden_runs"; "golden_reused";
+       ])
 
 let () =
   Alcotest.run "trace"
